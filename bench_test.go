@@ -1,0 +1,361 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The BenchmarkTableNN benchmarks regenerate the study tables from the
+// encoded dataset (and print them once); the BenchmarkFigure/Listing
+// benchmarks execute the live fault-injection reproduction end to end
+// per iteration, so their ns/op is the wall-clock cost of one NEAT
+// test (partition injection, manifestation, verification).
+package neat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"neat/internal/catalog"
+	"neat/internal/core"
+	"neat/internal/election"
+	"neat/internal/kvstore"
+	"neat/internal/netsim"
+	"neat/internal/report"
+	"neat/internal/scenarios"
+	"neat/internal/switchfab"
+)
+
+var printOnce sync.Once
+
+// printTables dumps the regenerated tables once per bench run so the
+// numbers are visible next to the timings.
+func printTables() {
+	printOnce.Do(func() {
+		fs := catalog.Load()
+		fmt.Println(report.Table1(catalog.Table1(fs)))
+		fmt.Println(report.Dist("Table 2. The impacts of the failures.", catalog.Table2(fs)))
+		fmt.Printf("catastrophic share: %.1f%%\n\n", catalog.CatastrophicShare(fs))
+		fmt.Println(report.Dist("Table 3. Failures involving each system mechanism.", catalog.Table3(fs)))
+		fmt.Println(report.Dist("Table 3 (cont). Configuration change breakdown.", catalog.Table3ConfigBreakdown(fs)))
+		fmt.Println(report.Dist("Table 4. Leader election flaws.", catalog.Table4(fs)))
+		fmt.Println(report.Dist("Table 5. Client access during the partition.", catalog.Table5(fs)))
+		fmt.Println(report.Dist("Table 6. Network-partitioning fault types.", catalog.Table6(fs)))
+		fmt.Println(report.Dist("Table 7. Minimum events to cause a failure.", catalog.Table7(fs)))
+		fmt.Println(report.Dist("Table 8. Event involvement.", catalog.Table8(fs)))
+		fmt.Println(report.Dist("Table 9. Ordering characteristics.", catalog.Table9(fs)))
+		fmt.Println(report.Dist("Table 10. Connectivity during the partition.", catalog.Table10(fs)))
+		fmt.Println(report.Dist("Table 11. Timing constraints.", catalog.Table11(fs)))
+		fmt.Println(report.Table12(catalog.Table12(fs)))
+		fmt.Println(report.Dist("Table 13. Nodes needed to reproduce.", catalog.Table13(fs)))
+		fmt.Println(report.Findings(catalog.ComputeFindings(fs)))
+	})
+}
+
+func benchTable(b *testing.B, gen func([]*catalog.Failure) int) {
+	printTables()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs := catalog.Load()
+		if gen(fs) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable01 regenerates the studied-systems table.
+func BenchmarkTable01(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table1(fs)) })
+}
+
+// BenchmarkTable02 regenerates the impact distribution.
+func BenchmarkTable02(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table2(fs)) })
+}
+
+// BenchmarkTable03 regenerates the mechanism distribution.
+func BenchmarkTable03(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table3(fs)) })
+}
+
+// BenchmarkTable04 regenerates the leader-election flaw distribution.
+func BenchmarkTable04(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table4(fs)) })
+}
+
+// BenchmarkTable05 regenerates the client-access distribution.
+func BenchmarkTable05(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table5(fs)) })
+}
+
+// BenchmarkTable06 regenerates the partition-type distribution.
+func BenchmarkTable06(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table6(fs)) })
+}
+
+// BenchmarkTable07 regenerates the event-count distribution.
+func BenchmarkTable07(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table7(fs)) })
+}
+
+// BenchmarkTable08 regenerates the event-involvement distribution.
+func BenchmarkTable08(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table8(fs)) })
+}
+
+// BenchmarkTable09 regenerates the ordering distribution.
+func BenchmarkTable09(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table9(fs)) })
+}
+
+// BenchmarkTable10 regenerates the connectivity distribution.
+func BenchmarkTable10(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table10(fs)) })
+}
+
+// BenchmarkTable11 regenerates the timing distribution.
+func BenchmarkTable11(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table11(fs)) })
+}
+
+// BenchmarkTable12 regenerates the flaw-class table.
+func BenchmarkTable12(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table12(fs)) })
+}
+
+// BenchmarkTable13 regenerates the nodes-to-reproduce table.
+func BenchmarkTable13(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int { return len(catalog.Table13(fs)) })
+}
+
+// BenchmarkTable14 renders Appendix A.
+func BenchmarkTable14(b *testing.B) {
+	benchTable(b, func(fs []*catalog.Failure) int {
+		return len(report.Appendix("Table 14.", catalog.Table14(fs), false))
+	})
+}
+
+// BenchmarkTable15 executes the full NEAT scenario suite — the live
+// regeneration of Appendix B. One iteration = 32 fault-injection
+// tests against the seven simulated systems.
+func BenchmarkTable15(b *testing.B) {
+	// Bound concurrency: dozens of engines with live heartbeaters can
+	// starve each other and fake partitions.
+	sem := make(chan struct{}, 8)
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		reproduced := 0
+		var failed []string
+		for _, s := range scenarios.Table15Scenarios() {
+			wg.Add(1)
+			go func(s scenarios.Scenario) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if err := s.Run(); err == nil {
+					mu.Lock()
+					reproduced++
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					failed = append(failed, fmt.Sprintf("%s: %v", s.Name, err))
+					mu.Unlock()
+				}
+			}(s)
+		}
+		wg.Wait()
+		if reproduced != 32 {
+			b.Fatalf("reproduced %d of 32 failures; failed: %v", reproduced, failed)
+		}
+	}
+}
+
+func benchScenario(b *testing.B, run func() error) {
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2DirtyRead reproduces the VoltDB dirty read.
+func BenchmarkFigure2DirtyRead(b *testing.B) {
+	benchScenario(b, scenarios.DirtyReadAtDeposedLeader)
+}
+
+// BenchmarkFigure3DoubleExecution reproduces the MapReduce double
+// execution.
+func BenchmarkFigure3DoubleExecution(b *testing.B) {
+	benchScenario(b, scenarios.MapReduceDoubleExecution)
+}
+
+// BenchmarkFigure5SemaphoreDoubleLocking reproduces the Ignite
+// semaphore violation.
+func BenchmarkFigure5SemaphoreDoubleLocking(b *testing.B) {
+	benchScenario(b, scenarios.SemaphoreDoubleLocking)
+}
+
+// BenchmarkFigure6ActiveMQHang reproduces the ActiveMQ unavailability.
+func BenchmarkFigure6ActiveMQHang(b *testing.B) {
+	benchScenario(b, scenarios.ActiveMQPartialPartitionHang)
+}
+
+// BenchmarkListing1ElasticsearchDataLoss reproduces Listing 1.
+func BenchmarkListing1ElasticsearchDataLoss(b *testing.B) {
+	benchScenario(b, scenarios.SplitBrainDataLoss)
+}
+
+// BenchmarkListing2DoubleDequeue reproduces Listing 2.
+func BenchmarkListing2DoubleDequeue(b *testing.B) {
+	benchScenario(b, scenarios.ActiveMQDoubleDequeue)
+}
+
+// --- framework microbenchmarks and ablations ---
+
+// BenchmarkPartitionInjectSwitch measures injecting and healing a
+// complete partition through the OpenFlow-style backend.
+func BenchmarkPartitionInjectSwitch(b *testing.B) {
+	benchPartitionInject(b, SwitchBackend)
+}
+
+// BenchmarkPartitionInjectFirewall measures the iptables-style backend
+// — the ablation between NEAT's two partitioner implementations.
+func BenchmarkPartitionInjectFirewall(b *testing.B) {
+	benchPartitionInject(b, FirewallBackend)
+}
+
+func benchPartitionInject(b *testing.B, backend Backend) {
+	eng := NewEngine(Options{Backend: backend})
+	defer eng.Shutdown()
+	a := []NodeID{"s1", "s2"}
+	bb := []NodeID{"s3", "s4", "s5"}
+	for _, id := range append(a, bb...) {
+		eng.AddNode(id, RoleServer)
+		eng.Network().Register(id, func(netsim.Packet) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := eng.Complete(a, bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Heal(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricSend measures raw packet delivery through the
+// three-stage pipeline.
+func BenchmarkFabricSend(b *testing.B) {
+	n := netsim.New(netsim.Options{})
+	sw := switchfab.New()
+	n.SetSwitch(sw)
+	n.Register("a", func(netsim.Packet) {})
+	n.Register("b", func(netsim.Packet) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Send("a", "b", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKVPutHealthy measures a majority-concern write on a healthy
+// three-replica kvstore — the baseline the failure scenarios deviate
+// from.
+func BenchmarkKVPutHealthy(b *testing.B) {
+	eng := core.NewEngine(core.Options{})
+	cfg := kvstore.Config{
+		Replicas:               []netsim.NodeID{"s1", "s2", "s3"},
+		WriteConcern:           kvstore.WriteMajority,
+		ApplyBeforeReplicate:   true,
+		StepDownOnLostMajority: true,
+		HeartbeatInterval:      10 * time.Millisecond,
+		ElectionTimeout:        40 * time.Millisecond,
+		RPCTimeout:             30 * time.Millisecond,
+	}
+	sys := kvstore.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		b.Fatal(err)
+	}
+	cl := kvstore.NewClient(eng.Network(), "c1", cfg.Replicas, 100*time.Millisecond)
+	defer func() {
+		cl.Close()
+		eng.Shutdown()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put("k", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogLoad measures building the full 136-failure dataset
+// with all quota assignment.
+func BenchmarkCatalogLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(catalog.Load()) != 136 {
+			b.Fatal("bad dataset")
+		}
+	}
+}
+
+// BenchmarkFailover measures time from isolating the leader to the
+// majority side electing a replacement, per election mode — the
+// ablation over the Table 4 criteria. One iteration = deploy,
+// partition, wait for the new leader, tear down.
+func BenchmarkFailover(b *testing.B) {
+	modes := map[string]election.Mode{
+		"quorum":      election.ModeQuorum,
+		"longest-log": election.ModeLongestLog,
+		"latest-ts":   election.ModeLatestTS,
+		"lowest-id":   election.ModeLowestID,
+	}
+	for name, mode := range modes {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := failoverOnce(mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func failoverOnce(mode election.Mode) error {
+	eng := core.NewEngine(core.Options{})
+	defer eng.Shutdown()
+	replicas := []netsim.NodeID{"s1", "s2", "s3"}
+	for _, id := range replicas {
+		eng.AddNode(id, core.RoleServer)
+	}
+	cfg := kvstore.Config{
+		Replicas:               replicas,
+		ElectionMode:           mode,
+		WriteConcern:           kvstore.WriteMajority,
+		ApplyBeforeReplicate:   true,
+		StepDownOnLostMajority: true,
+		HeartbeatInterval:      10 * time.Millisecond,
+		ElectionTimeout:        40 * time.Millisecond,
+		LeaseMisses:            8,
+		RPCTimeout:             30 * time.Millisecond,
+	}
+	sys := kvstore.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return err
+	}
+	if _, err := eng.Complete(
+		[]netsim.NodeID{"s1"}, []netsim.NodeID{"s2", "s3"}); err != nil {
+		return err
+	}
+	if id := sys.WaitForLeaderAmong([]netsim.NodeID{"s2", "s3"}, 3*time.Second); id == "" {
+		return fmt.Errorf("no failover under mode %v", mode)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command neat-run executes the NEAT fault-injection scenario suite —
+// the live regeneration of Table 15 plus the figure case studies —
+// against the simulated systems, and reports which failures
+// reproduced.
+//
+// Usage:
+//
+//	neat-run [-system NAME] [-parallel N] [-study]
+//
+// -system filters scenarios by archetype system (e.g. "Ignite");
+// -study includes the Appendix A case-study reproductions; -parallel
+// bounds concurrent scenario executions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"neat/internal/report"
+	"neat/internal/scenarios"
+)
+
+func main() {
+	system := flag.String("system", "", "only run scenarios for this system")
+	parallel := flag.Int("parallel", 8, "max concurrent scenarios")
+	study := flag.Bool("study", true, "include studied-failure case studies beyond Table 15")
+	flag.Parse()
+
+	var scens []scenarios.Scenario
+	if *study {
+		scens = scenarios.All()
+	} else {
+		scens = scenarios.Table15Scenarios()
+	}
+	if *system != "" {
+		var filtered []scenarios.Scenario
+		for _, s := range scens {
+			if strings.EqualFold(s.System, *system) {
+				filtered = append(filtered, s)
+			}
+		}
+		scens = filtered
+	}
+	if len(scens) == 0 {
+		fmt.Fprintln(os.Stderr, "no scenarios match")
+		os.Exit(2)
+	}
+
+	type outcome struct {
+		s   scenarios.Scenario
+		err error
+		dur time.Duration
+	}
+	results := make([]outcome, len(scens))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, s := range scens {
+		wg.Add(1)
+		go func(i int, s scenarios.Scenario) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := s.Run()
+			results[i] = outcome{s: s, err: err, dur: time.Since(t0)}
+		}(i, s)
+	}
+	wg.Wait()
+
+	var rows [][]string
+	reproduced := 0
+	for _, r := range results {
+		status := "REPRODUCED"
+		if r.err != nil {
+			status = "no: " + r.err.Error()
+		} else {
+			reproduced++
+		}
+		fig := r.s.Figure
+		if fig == "" {
+			fig = "-"
+		}
+		rows = append(rows, []string{
+			r.s.System, r.s.Ref, r.s.Impact.String(),
+			r.s.Partition.String(), fig, r.dur.Round(time.Millisecond).String(), status,
+		})
+	}
+	fmt.Println(report.Render(
+		fmt.Sprintf("NEAT scenario suite (%d scenarios, %v total)", len(scens), time.Since(start).Round(time.Millisecond)),
+		[]string{"System", "Reference", "Impact", "Partition", "Figure", "Time", "Status"},
+		rows))
+	fmt.Printf("reproduced %d of %d failures\n", reproduced, len(scens))
+	if reproduced != len(scens) {
+		os.Exit(1)
+	}
+}

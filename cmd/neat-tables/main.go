@@ -1,0 +1,83 @@
+// Command neat-tables regenerates every table of the study (Tables
+// 1-13, the findings summary, and the two appendices) from the encoded
+// failure dataset and prints them in the paper's layout.
+//
+// Usage:
+//
+//	neat-tables [-table N] [-appendix]
+//
+// Without flags every table is printed. -table selects one table by
+// number; -appendix additionally prints Tables 14 and 15.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neat/internal/catalog"
+	"neat/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table number (1-15)")
+	appendix := flag.Bool("appendix", false, "also print the appendices (Tables 14 and 15)")
+	flag.Parse()
+
+	fs := catalog.Load()
+	printers := map[int]func(){
+		1: func() { fmt.Println(report.Table1(catalog.Table1(fs))) },
+		2: func() {
+			fmt.Println(report.Dist("Table 2. The impacts of the failures.", catalog.Table2(fs)))
+			fmt.Printf("Catastrophic impact share: %.1f%%\n\n", catalog.CatastrophicShare(fs))
+		},
+		3: func() {
+			fmt.Println(report.Dist("Table 3. Failures involving each system mechanism.", catalog.Table3(fs)))
+			fmt.Println(report.Dist("Table 3 (cont). Configuration change breakdown.", catalog.Table3ConfigBreakdown(fs)))
+		},
+		4: func() { fmt.Println(report.Dist("Table 4. Leader election flaws.", catalog.Table4(fs))) },
+		5: func() {
+			fmt.Println(report.Dist("Table 5. Client access during the network partition.", catalog.Table5(fs)))
+		},
+		6: func() { fmt.Println(report.Dist("Table 6. Network-partitioning fault types.", catalog.Table6(fs))) },
+		7: func() {
+			fmt.Println(report.Dist("Table 7. Minimum number of events required to cause a failure.", catalog.Table7(fs)))
+		},
+		8: func() {
+			fmt.Println(report.Dist("Table 8. Percentage of faults each event is involved in.", catalog.Table8(fs)))
+		},
+		9: func() { fmt.Println(report.Dist("Table 9. Ordering characteristics.", catalog.Table9(fs))) },
+		10: func() {
+			fmt.Println(report.Dist("Table 10. System connectivity during the network partition.", catalog.Table10(fs)))
+		},
+		11: func() { fmt.Println(report.Dist("Table 11. Timing constraints.", catalog.Table11(fs))) },
+		12: func() { fmt.Println(report.Table12(catalog.Table12(fs))) },
+		13: func() {
+			fmt.Println(report.Dist("Table 13. Number of nodes needed to reproduce a failure.", catalog.Table13(fs)))
+		},
+		14: func() {
+			fmt.Println(report.Appendix("Table 14. Summary of the studied failures.", catalog.Table14(fs), false))
+		},
+		15: func() {
+			fmt.Println(report.Appendix("Table 15. Summary of the failures discovered by NEAT.", catalog.Table15(fs), true))
+		},
+	}
+
+	if *table != 0 {
+		p, ok := printers[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no table %d (valid: 1-15)\n", *table)
+			os.Exit(2)
+		}
+		p()
+		return
+	}
+	for i := 1; i <= 13; i++ {
+		printers[i]()
+	}
+	fmt.Println(report.Findings(catalog.ComputeFindings(fs)))
+	if *appendix {
+		printers[14]()
+		printers[15]()
+	}
+}

@@ -1,0 +1,82 @@
+// Figure 6 of the paper: the ActiveMQ system-wide hang NEAT discovered
+// (AMQ-7064).
+//
+// Brokers coordinate mastership through a ZooKeeper-like service. A
+// partial partition isolates the master from its slaves — but not from
+// ZooKeeper. The master cannot replicate, so every client operation
+// fails; the slaves never take over, because ZooKeeper still sees the
+// master's session. The system is unavailable until the partition
+// heals.
+//
+// Run with: go run ./examples/activemq
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"neat/internal/coord"
+	"neat/internal/core"
+	"neat/internal/mqueue"
+	"neat/internal/netsim"
+)
+
+func main() {
+	eng := core.NewEngine(core.Options{})
+	defer eng.Shutdown()
+
+	cfg := mqueue.Config{
+		Brokers:            []netsim.NodeID{"b1", "b2", "b3"},
+		ZK:                 "zk",
+		SessionPing:        10 * time.Millisecond,
+		RolePoll:           10 * time.Millisecond,
+		RequireReplicaAcks: true,
+		RPCTimeout:         30 * time.Millisecond,
+	}
+	for _, id := range cfg.Brokers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("zk", core.RoleService)
+	eng.AddNode("client", core.RoleClient)
+
+	sys := mqueue.NewSystem(eng.Network(), cfg,
+		coord.Options{SessionTTL: 60 * time.Millisecond, SweepInterval: 10 * time.Millisecond})
+	if err := eng.Deploy(sys); err != nil {
+		log.Fatal(err)
+	}
+	cl := mqueue.NewClient(eng.Network(), "client", cfg.Brokers)
+	defer cl.Close()
+
+	if err := cl.Send("orders", "o-1"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy: sent a message through master %v\n", sys.Masters())
+
+	fmt.Println("\ninjecting a partial partition: master b1 | slaves {b2, b3}")
+	fmt.Println("(ZooKeeper and the client still reach every broker)")
+	if _, err := eng.Partial([]netsim.NodeID{"b1"}, []netsim.NodeID{"b2", "b3"}); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	fmt.Printf("\nmasters according to the brokers: %v (no failover — ZK still sees b1)\n", sys.Masters())
+	err := cl.Send("orders", "o-2")
+	fmt.Printf("client send: %v\n", err)
+	fmt.Println("\nSYSTEM HANG reproduced: the master cannot replicate, the slaves")
+	fmt.Println("cannot take over, and clients get nothing until the partition heals.")
+
+	fmt.Println("\nhealing...")
+	if err := eng.HealAll(); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cl.Send("orders", "o-3") == nil {
+			fmt.Println("service restored after heal.")
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("service never recovered")
+}

@@ -1,0 +1,75 @@
+// Figure 2 of the paper: the VoltDB dirty read (issue ENG-10389).
+//
+// A complete partition isolates the master together with client1. The
+// old master accepts a write, applies it locally, fails to replicate
+// it — and reports the write failed. A subsequent read at the old
+// master returns the never-committed value: a dirty read.
+//
+// Run with: go run ./examples/dirtyread
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/election"
+	"neat/internal/kvstore"
+	"neat/internal/netsim"
+)
+
+func main() {
+	eng := core.NewEngine(core.Options{})
+	defer eng.Shutdown()
+
+	replicas := []netsim.NodeID{"s1", "s2", "s3"}
+	for _, id := range replicas {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("client1", core.RoleClient)
+	eng.AddNode("client2", core.RoleClient)
+
+	cfg := kvstore.Config{
+		Replicas:               replicas,
+		ElectionMode:           election.ModeQuorum,
+		WriteConcern:           kvstore.WriteMajority,
+		ReadConcern:            kvstore.ReadLocal, // the flaw: local reads
+		ApplyBeforeReplicate:   true,              // the flaw: apply before ack
+		StepDownOnLostMajority: true,
+		HeartbeatInterval:      10 * time.Millisecond,
+		ElectionTimeout:        40 * time.Millisecond,
+		LeaseMisses:            20,
+		RPCTimeout:             30 * time.Millisecond,
+	}
+	sys := kvstore.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		log.Fatal(err)
+	}
+	c1 := kvstore.NewClient(eng.Network(), "client1", replicas, 100*time.Millisecond)
+	defer c1.Close()
+
+	fmt.Printf("initial master: %s\n", sys.Leader())
+	fmt.Println("step 1: complete partition splits the master from the other replicas")
+	if _, err := eng.Complete(
+		[]netsim.NodeID{"s1", "client1"}, []netsim.NodeID{"s2", "s3", "client2"}); err != nil {
+		log.Fatal(err)
+	}
+	if id := sys.WaitForLeaderAmong([]netsim.NodeID{"s2", "s3"}, 2*time.Second); id != "" {
+		fmt.Printf("        majority side elected a new master: %s\n", id)
+	}
+
+	fmt.Println("step 2: the old master receives a write request")
+	err := c1.PutAt("s1", "x", "dirty-value")
+	fmt.Printf("        write result: %v\n", err)
+	fmt.Println("        (the local copy was updated, but replication failed)")
+
+	fmt.Println("step 3: the old master receives a read request for the same key")
+	v, err := c1.GetAt("s1", "x")
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	fmt.Printf("        read returns %q — a value that was never successfully written.\n", v)
+	fmt.Println("\nDIRTY READ reproduced. The fix: ReadConcern=ReadMajority makes the")
+	fmt.Println("deposed master refuse the read instead (see kvstore tests).")
+}

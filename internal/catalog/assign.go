@@ -1,0 +1,728 @@
+package catalog
+
+// This file implements the deterministic quota assigner described in
+// DESIGN.md. The paper publishes several failure attributes only as
+// aggregate distributions (Tables 3-5, 7-10, 12-13 and Findings 2, 3,
+// 9). The assigner gives every row concrete values such that the
+// regenerated tables match the published aggregates exactly, while a
+// set of semantic pins keeps the rows the paper discusses individually
+// (Figure 2's VoltDB dirty read, Listing 1's Elasticsearch split
+// brain, the RethinkDB membership change, ...) faithful to their
+// published descriptions.
+
+// Integer quotas over the 136 rows, derived from the published
+// percentages (see catalog_test.go for the published-value assertions).
+var (
+	quotaEventCount = map[int]int{1: 17, 2: 19, 3: 58, 4: 19, 5: 23}
+
+	quotaMechanism = map[Mechanism]int{
+		LeaderElection:           54,
+		ConfigChange:             27,
+		DataConsolidation:        19,
+		RequestRouting:           18,
+		ReplicationProtocol:      17,
+		PartitionReconfiguration: 16,
+		Scheduling:               4,
+		DataMigration:            5,
+		SystemIntegration:        2,
+	}
+
+	// Table 3's configuration-change breakdown over the 27 rows:
+	// adding 14 (10.3%), removing 5 (3.7%), membership 5 (3.7%),
+	// other 3 (2.2%).
+	quotaConfigSubtype = map[ConfigSubtype]int{
+		ConfigAddNode:    14,
+		ConfigRemoveNode: 5,
+		ConfigMembership: 5,
+		ConfigOther:      3,
+	}
+
+	quotaElectionFlaw = map[ElectionFlaw]int{
+		FlawOverlap:             31,
+		FlawBadLeader:           11,
+		FlawDoubleVote:          10,
+		FlawConflictingCriteria: 2,
+	}
+
+	quotaAccess = map[ClientAccess]int{
+		NoClientAccess:  38,
+		OneSideAccess:   49,
+		BothSidesAccess: 49,
+	}
+
+	quotaEvents = map[EventType]int{
+		EvWriteReq:      66,
+		EvReadReq:       47,
+		EvAcquire:       11,
+		EvAdminOp:       11,
+		EvDeleteReq:     6,
+		EvRelease:       5,
+		EvClusterReboot: 2,
+	}
+
+	quotaOrdering = map[OrderingClass]int{
+		PartitionNotFirst: 22,
+		OrderUnimportant:  38,
+		NaturalOrder:      37,
+		OtherOrder:        39,
+	}
+
+	quotaConnectivity = map[Connectivity]int{
+		AnyReplica:            61,
+		IsolateLeader:         49,
+		IsolateCentralService: 12,
+		IsolateSpecialRole:    5,
+		IsolateOther:          9,
+	}
+
+	quotaNodes = map[int]int{3: 113, 5: 23}
+
+	// Table 12 covers the 88 tracker rows only.
+	quotaFlaw = map[FlawClass]int{
+		DesignFlaw:         41,
+		ImplementationFlaw: 28,
+		Unresolved:         19,
+	}
+
+	// Findings 2, 3, 9.
+	quotaLasting = 29 // 21% leave lasting damage
+	quotaSilent  = 122
+	quotaSingle  = 120
+
+	// Mean resolution times (days) for Table 12.
+	meanDesignDays = 205
+	meanImplDays   = 81
+)
+
+// pin is a partial specification for rows the paper discusses.
+type pin struct {
+	mechanisms   []Mechanism
+	flaw         ElectionFlaw
+	access       ClientAccess
+	hasAccess    bool
+	eventCount   int
+	events       []EventType
+	ordering     OrderingClass
+	hasOrdering  bool
+	connectivity Connectivity
+	hasConn      bool
+	nodes        int
+	lasting      bool
+	hasLasting   bool
+}
+
+var pins = map[string]pin{
+	// Figure 2: VoltDB dirty read — old leader serves a failed write.
+	"ENG-10389": {
+		mechanisms: []Mechanism{LeaderElection}, flaw: FlawOverlap,
+		access: OneSideAccess, hasAccess: true,
+		eventCount: 3, events: []EventType{EvWriteReq, EvReadReq},
+		ordering: NaturalOrder, hasOrdering: true,
+		connectivity: IsolateLeader, hasConn: true, nodes: 3,
+	},
+	// Listing 1: Elasticsearch intersecting split brain.
+	"elastic-2488": {
+		mechanisms: []Mechanism{LeaderElection}, flaw: FlawDoubleVote,
+		access: BothSidesAccess, hasAccess: true,
+		eventCount: 4, events: []EventType{EvWriteReq, EvReadReq},
+		connectivity: IsolateLeader, hasConn: true, nodes: 3,
+	},
+	// MongoDB conflicting election criteria.
+	"SERVER-14885": {
+		mechanisms: []Mechanism{LeaderElection}, flaw: FlawConflictingCriteria,
+		access: NoClientAccess, hasAccess: true,
+		eventCount:   1,
+		connectivity: IsolateLeader, hasConn: true, nodes: 3,
+	},
+	// RethinkDB configuration-change split brain (Section 4.4).
+	"rethinkdb-5289": {
+		mechanisms: []Mechanism{ConfigChange},
+		access:     BothSidesAccess, hasAccess: true,
+		eventCount: 4, events: []EventType{EvAdminOp, EvWriteReq},
+		connectivity: IsolateOther, hasConn: true, nodes: 5,
+	},
+	// Figure 3: MapReduce double execution — no client access after
+	// the partition.
+	"MAPREDUCE-4819": {
+		mechanisms: []Mechanism{Scheduling},
+		access:     NoClientAccess, hasAccess: true,
+		eventCount: 2, events: []EventType{EvWriteReq},
+		connectivity: IsolateSpecialRole, hasConn: true, nodes: 3,
+	},
+	// HDFS rack-aware placement retry loop.
+	"HDFS-1384": {
+		mechanisms: []Mechanism{RequestRouting},
+		access:     OneSideAccess, hasAccess: true,
+		eventCount: 2, events: []EventType{EvWriteReq},
+		connectivity: AnyReplica, hasConn: true, nodes: 3,
+	},
+	// Redis PSYNC backlog corruption: a partition alone corrupts the
+	// log.
+	"redis-3899": {
+		mechanisms: []Mechanism{ReplicationProtocol},
+		access:     NoClientAccess, hasAccess: true,
+		eventCount:   1,
+		connectivity: AnyReplica, hasConn: true, nodes: 3,
+	},
+	// RabbitMQ peer-discovery split: lasting independent clusters.
+	"rabbitmq-1455": {
+		mechanisms: []Mechanism{ConfigChange},
+		access:     NoClientAccess, hasAccess: true,
+		eventCount: 2, events: []EventType{EvAdminOp},
+		connectivity: IsolateOther, hasConn: true, nodes: 3,
+		lasting: true, hasLasting: true,
+	},
+	// ActiveMQ/ZooKeeper integration hang (Figure 6).
+	"AMQ-7064": {
+		mechanisms: []Mechanism{SystemIntegration},
+		access:     OneSideAccess, hasAccess: true,
+		eventCount: 2, events: []EventType{EvWriteReq},
+		connectivity: IsolateLeader, hasConn: true, nodes: 3,
+	},
+	// Kafka leader serving while disconnected from ZooKeeper.
+	"KAFKA-6173": {
+		mechanisms:   []Mechanism{SystemIntegration},
+		connectivity: IsolateCentralService, hasConn: true, nodes: 3,
+	},
+	// Hazelcast data loss on migration.
+	"hazelcast-migration": {
+		mechanisms: []Mechanism{DataMigration},
+	},
+	// Cassandra hinted-handoff sync hang: needs a second partition.
+	"CASSANDRA-13562": {
+		mechanisms: []Mechanism{DataMigration},
+		access:     OneSideAccess, hasAccess: true,
+		eventCount: 4, events: []EventType{EvWriteReq},
+		nodes: 3,
+	},
+	// ZooKeeper txnlog/snapshot consolidation corruption.
+	"ZOOKEEPER-2099": {
+		mechanisms: []Mechanism{DataConsolidation},
+	},
+	// Ignite semaphore double locking (Figure 5): lasting damage.
+	"IGNITE-9767": {
+		mechanisms: []Mechanism{PartitionReconfiguration},
+		access:     BothSidesAccess, hasAccess: true,
+		eventCount: 3, events: []EventType{EvAcquire},
+		ordering: OrderUnimportant, hasOrdering: true,
+		connectivity: AnyReplica, hasConn: true, nodes: 3,
+		lasting: true, hasLasting: true,
+	},
+}
+
+// assign populates every non-transcribed attribute. It first applies
+// the semantic pins, then deals the remaining quota out to the
+// remaining rows in ID order, so the process is deterministic and the
+// aggregates land exactly on the quotas.
+func assign(fs []*Failure) {
+	assignCatastrophic(fs)
+	assignEventCount(fs)
+	assignMechanisms(fs)
+	assignConfigSubtypes(fs)
+	assignElectionFlaws(fs)
+	assignAccess(fs)
+	assignEvents(fs)
+	assignOrdering(fs)
+	assignConnectivity(fs)
+	assignNodes(fs)
+	assignFlawAndResolution(fs)
+	assignFindings(fs)
+}
+
+// assignCatastrophic distributes each system's Table 1 catastrophic
+// quota: catastrophic-category impacts first (data loss before stale
+// reads, which depend on the consistency promise), then performance
+// rows if the quota demands it.
+func assignCatastrophic(fs []*Failure) {
+	for _, sys := range Systems() {
+		quota := sys.CatastrophicQuota
+		var rows []*Failure
+		for _, f := range fs {
+			if f.System == sys.Name {
+				rows = append(rows, f)
+			}
+		}
+		// Priority: hard catastrophic impacts, then stale/dirty reads,
+		// then crashes, then the rest.
+		rank := func(f *Failure) int {
+			switch f.Impact {
+			case DataLoss, DataCorruption, Reappearance, BrokenLocks, DataUnavailability:
+				return 0
+			case DirtyRead:
+				return 1
+			case StaleRead:
+				return 2
+			case SystemCrash:
+				return 3
+			default:
+				return 4
+			}
+		}
+		for pass := 0; pass <= 4 && quota > 0; pass++ {
+			for _, f := range rows {
+				if quota == 0 {
+					break
+				}
+				if !f.Catastrophic && rank(f) == pass {
+					f.Catastrophic = true
+					quota--
+				}
+			}
+		}
+	}
+}
+
+func pinned(f *Failure) (pin, bool) {
+	p, ok := pins[f.Ref]
+	return p, ok
+}
+
+func assignEventCount(fs []*Failure) {
+	remaining := copyIntMap(quotaEventCount)
+	var rest []*Failure
+	for _, f := range fs {
+		if p, ok := pinned(f); ok && p.eventCount > 0 {
+			f.EventCount = p.eventCount
+			remaining[clamp5(p.eventCount)]--
+			continue
+		}
+		rest = append(rest, f)
+	}
+	deal := dealList(remaining, []int{1, 2, 3, 4, 5})
+	for i, f := range rest {
+		f.EventCount = deal[i]
+	}
+}
+
+func assignMechanisms(fs []*Failure) {
+	remaining := copyMechMap(quotaMechanism)
+	var rest []*Failure
+	for _, f := range fs {
+		if p, ok := pinned(f); ok && len(p.mechanisms) > 0 {
+			f.Mechanisms = append([]Mechanism(nil), p.mechanisms...)
+			for _, m := range p.mechanisms {
+				remaining[m]--
+			}
+			continue
+		}
+		rest = append(rest, f)
+	}
+	order := AllMechanisms()
+	// First pass: one mechanism per remaining row.
+	var seq []Mechanism
+	for _, m := range order {
+		for i := 0; i < remaining[m]; i++ {
+			seq = append(seq, m)
+		}
+	}
+	for i, f := range rest {
+		if i < len(seq) {
+			f.Mechanisms = []Mechanism{seq[i]}
+		} else {
+			f.Mechanisms = []Mechanism{ReplicationProtocol}
+		}
+	}
+	// Leftover memberships become second mechanisms, dealt from the
+	// end of the sequence onto the earliest rows that lack them.
+	if len(seq) > len(rest) {
+		extra := seq[len(rest):]
+		j := 0
+		for _, m := range extra {
+			for ; j < len(rest); j++ {
+				if !rest[j].HasMechanism(m) {
+					rest[j].Mechanisms = append(rest[j].Mechanisms, m)
+					j++
+					break
+				}
+			}
+		}
+	}
+}
+
+func assignConfigSubtypes(fs []*Failure) {
+	remaining := map[ConfigSubtype]int{}
+	for k, v := range quotaConfigSubtype {
+		remaining[k] = v
+	}
+	var rest []*Failure
+	for _, f := range fs {
+		if !f.HasMechanism(ConfigChange) {
+			f.ConfigSubtype = ConfigNone
+			continue
+		}
+		switch f.Ref {
+		case "rethinkdb-5289": // replica-set shrink: membership management
+			f.ConfigSubtype = ConfigMembership
+			remaining[ConfigMembership]--
+		case "rabbitmq-1455": // peer discovery while joining: adding a node
+			f.ConfigSubtype = ConfigAddNode
+			remaining[ConfigAddNode]--
+		default:
+			rest = append(rest, f)
+		}
+	}
+	order := []ConfigSubtype{ConfigAddNode, ConfigRemoveNode, ConfigMembership, ConfigOther}
+	i := 0
+	for _, sub := range order {
+		for n := 0; n < remaining[sub] && i < len(rest); n++ {
+			rest[i].ConfigSubtype = sub
+			i++
+		}
+	}
+	for ; i < len(rest); i++ {
+		rest[i].ConfigSubtype = ConfigOther
+	}
+}
+
+func assignElectionFlaws(fs []*Failure) {
+	remaining := map[ElectionFlaw]int{}
+	for k, v := range quotaElectionFlaw {
+		remaining[k] = v
+	}
+	var rest []*Failure
+	for _, f := range fs {
+		if !f.HasMechanism(LeaderElection) {
+			f.ElectionFlaw = FlawNone
+			continue
+		}
+		if p, ok := pinned(f); ok && p.flaw != FlawNone {
+			f.ElectionFlaw = p.flaw
+			remaining[p.flaw]--
+			continue
+		}
+		rest = append(rest, f)
+	}
+	order := []ElectionFlaw{FlawOverlap, FlawBadLeader, FlawDoubleVote, FlawConflictingCriteria}
+	i := 0
+	for _, fl := range order {
+		for n := 0; n < remaining[fl] && i < len(rest); n++ {
+			rest[i].ElectionFlaw = fl
+			i++
+		}
+	}
+	for ; i < len(rest); i++ {
+		rest[i].ElectionFlaw = FlawOverlap
+	}
+}
+
+func assignAccess(fs []*Failure) {
+	remaining := map[ClientAccess]int{}
+	for k, v := range quotaAccess {
+		remaining[k] = v
+	}
+	var rest []*Failure
+	for _, f := range fs {
+		if p, ok := pinned(f); ok && p.hasAccess {
+			f.ClientAccess = p.access
+			remaining[p.access]--
+			continue
+		}
+		if f.EventCount == 1 {
+			// A partition-only failure needs no client access.
+			f.ClientAccess = NoClientAccess
+			remaining[NoClientAccess]--
+			continue
+		}
+		rest = append(rest, f)
+	}
+	order := []ClientAccess{NoClientAccess, OneSideAccess, BothSidesAccess}
+	i := 0
+	for _, a := range order {
+		for n := 0; n < remaining[a] && i < len(rest); n++ {
+			rest[i].ClientAccess = a
+			i++
+		}
+	}
+	for ; i < len(rest); i++ {
+		rest[i].ClientAccess = BothSidesAccess
+	}
+}
+
+func assignEvents(fs []*Failure) {
+	remaining := map[EventType]int{}
+	for k, v := range quotaEvents {
+		remaining[k] = v
+	}
+	// Every row's sequence includes the partition; EventCount-1 rows
+	// are partition-only.
+	var multi []*Failure
+	for _, f := range fs {
+		f.Events = []EventType{EvPartitionOnly}
+		if f.EventCount == 1 {
+			continue
+		}
+		if p, ok := pinned(f); ok && len(p.events) > 0 {
+			f.Events = append(f.Events, p.events...)
+			for _, e := range p.events {
+				remaining[e]--
+			}
+			continue
+		}
+		multi = append(multi, f)
+	}
+	order := []EventType{EvWriteReq, EvReadReq, EvAcquire, EvAdminOp, EvDeleteReq, EvRelease, EvClusterReboot}
+	// First pass: one event type per row.
+	var seq []EventType
+	for _, e := range order {
+		for i := 0; i < remaining[e]; i++ {
+			seq = append(seq, e)
+		}
+	}
+	for i, f := range multi {
+		if i < len(seq) {
+			f.Events = append(f.Events, seq[i])
+		} else {
+			f.Events = append(f.Events, EvWriteReq)
+		}
+	}
+	// Extra memberships go to rows with spare distinct slots.
+	if len(seq) > len(multi) {
+		extra := seq[len(multi):]
+		j := 0
+		for _, e := range extra {
+			for ; j < len(multi); j++ {
+				f := multi[j]
+				if len(f.Events) < f.EventCount && !f.HasEvent(e) {
+					f.Events = append(f.Events, e)
+					j++
+					break
+				}
+			}
+		}
+	}
+}
+
+func assignOrdering(fs []*Failure) {
+	remaining := map[OrderingClass]int{}
+	for k, v := range quotaOrdering {
+		remaining[k] = v
+	}
+	var rest []*Failure
+	for _, f := range fs {
+		if p, ok := pinned(f); ok && p.hasOrdering {
+			f.Ordering = p.ordering
+			remaining[p.ordering]--
+			continue
+		}
+		if f.EventCount == 1 {
+			// Partition-only: trivially partition-first, no ordering.
+			f.Ordering = OrderUnimportant
+			remaining[OrderUnimportant]--
+			continue
+		}
+		rest = append(rest, f)
+	}
+	// PartitionNotFirst requires at least two events — all remaining
+	// rows qualify. Deal deterministically.
+	order := []OrderingClass{PartitionNotFirst, OrderUnimportant, NaturalOrder, OtherOrder}
+	i := 0
+	for _, o := range order {
+		for n := 0; n < remaining[o] && i < len(rest); n++ {
+			rest[i].Ordering = o
+			i++
+		}
+	}
+	for ; i < len(rest); i++ {
+		rest[i].Ordering = OtherOrder
+	}
+}
+
+func assignConnectivity(fs []*Failure) {
+	remaining := map[Connectivity]int{}
+	for k, v := range quotaConnectivity {
+		remaining[k] = v
+	}
+	var rest []*Failure
+	for _, f := range fs {
+		if p, ok := pinned(f); ok && p.hasConn {
+			f.Connectivity = p.connectivity
+			remaining[p.connectivity]--
+			continue
+		}
+		rest = append(rest, f)
+	}
+	order := []Connectivity{AnyReplica, IsolateLeader, IsolateCentralService, IsolateSpecialRole, IsolateOther}
+	i := 0
+	for _, c := range order {
+		for n := 0; n < remaining[c] && i < len(rest); n++ {
+			rest[i].Connectivity = c
+			i++
+		}
+	}
+	for ; i < len(rest); i++ {
+		rest[i].Connectivity = AnyReplica
+	}
+}
+
+func assignNodes(fs []*Failure) {
+	remaining := copyIntMap(quotaNodes)
+	var rest []*Failure
+	for _, f := range fs {
+		if p, ok := pinned(f); ok && p.nodes > 0 {
+			f.Nodes = p.nodes
+			remaining[p.nodes]--
+			continue
+		}
+		rest = append(rest, f)
+	}
+	deal := dealList(remaining, []int{3, 5})
+	for i, f := range rest {
+		f.Nodes = deal[i]
+	}
+}
+
+// assignFlawAndResolution covers Table 12 (tracker tickets only) and
+// spreads resolution days around the published means deterministically
+// (a +/-30% triangle with zero mean error).
+func assignFlawAndResolution(fs []*Failure) {
+	remaining := map[FlawClass]int{}
+	for k, v := range quotaFlaw {
+		remaining[k] = v
+	}
+	var tracker []*Failure
+	for _, f := range fs {
+		if f.Source == SourceTracker {
+			tracker = append(tracker, f)
+		} else {
+			// The paper classifies partial-partition failures as
+			// design flaws; Jepsen/NEAT rows default there but are
+			// excluded from Table 12.
+			f.Flaw = DesignFlaw
+		}
+	}
+	order := []FlawClass{DesignFlaw, ImplementationFlaw, Unresolved}
+	i := 0
+	for _, fl := range order {
+		for n := 0; n < remaining[fl] && i < len(tracker); n++ {
+			tracker[i].Flaw = fl
+			i++
+		}
+	}
+	for ; i < len(tracker); i++ {
+		tracker[i].Flaw = Unresolved
+	}
+	spread := []int{-60, -30, 0, 30, 60, 0} // zero-sum pattern
+	di, ii := 0, 0
+	var design, impl []*Failure
+	for _, f := range tracker {
+		switch f.Flaw {
+		case DesignFlaw:
+			f.ResolutionDays = meanDesignDays + spread[di%len(spread)]
+			design = append(design, f)
+			di++
+		case ImplementationFlaw:
+			f.ResolutionDays = meanImplDays + spread[ii%len(spread)]/2
+			impl = append(impl, f)
+			ii++
+		}
+	}
+	fixMean(design, meanDesignDays)
+	fixMean(impl, meanImplDays)
+}
+
+// fixMean adjusts the last row so the mean is exact.
+func fixMean(rows []*Failure, mean int) {
+	if len(rows) == 0 {
+		return
+	}
+	sum := 0
+	for _, f := range rows {
+		sum += f.ResolutionDays
+	}
+	rows[len(rows)-1].ResolutionDays += mean*len(rows) - sum
+}
+
+// assignFindings sets the boolean Finding attributes (silent, lasting
+// damage, single-node isolation) by quota, honouring pins.
+func assignFindings(fs []*Failure) {
+	lasting := quotaLasting
+	for _, f := range fs {
+		if p, ok := pinned(f); ok && p.hasLasting && p.lasting {
+			f.LeavesLastingDamage = true
+			lasting--
+		}
+	}
+	for _, f := range fs {
+		if lasting == 0 {
+			break
+		}
+		if f.LeavesLastingDamage {
+			continue
+		}
+		// Lasting damage concentrates in data-level impacts.
+		switch f.Impact {
+		case DataLoss, DataCorruption, Reappearance:
+			f.LeavesLastingDamage = true
+			lasting--
+		}
+	}
+
+	// Silent failures: the 14 warned failures are dealt evenly.
+	warn := len(fs) - quotaSilent
+	step := len(fs) / warn
+	for i, f := range fs {
+		f.SilentFailure = true
+		if warn > 0 && i%step == step-1 {
+			f.SilentFailure = false
+			warn--
+		}
+	}
+
+	for _, f := range fs {
+		f.PartitionsRequired = 1
+		if f.Ref == "CASSANDRA-13562" {
+			// Partition -> heal -> partition during the handoff sync.
+			f.PartitionsRequired = 2
+		}
+	}
+
+	single := quotaSingle
+	for _, f := range fs {
+		if single == 0 {
+			break
+		}
+		// Simplex rows and a handful of partial rows need specific
+		// multi-node cuts; everything else isolates one node.
+		if f.Partition == simp {
+			continue
+		}
+		f.SingleNodeIsolation = true
+		single--
+	}
+}
+
+// --- helpers ---
+
+func clamp5(n int) int {
+	if n > 5 {
+		return 5
+	}
+	return n
+}
+
+func copyIntMap(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyMechMap(m map[Mechanism]int) map[Mechanism]int {
+	out := make(map[Mechanism]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// dealList expands quota counts into a deterministic sequence.
+func dealList(quota map[int]int, order []int) []int {
+	var out []int
+	for _, k := range order {
+		for i := 0; i < quota[k]; i++ {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"neat/internal/core"
+)
+
+// tolerance (percentage points) for transcribed columns, which carry
+// the paper's own rounding.
+const tol = 1.6
+
+func within(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.1f%%, paper reports %.1f%% (tolerance %.1f)", label, got, want, tol)
+	}
+}
+
+func TestDatasetSize(t *testing.T) {
+	fs := Load()
+	if len(fs) != 136 {
+		t.Fatalf("dataset has %d failures, want 136", len(fs))
+	}
+	var tracker, jepsen, neat int
+	for _, f := range fs {
+		switch f.Source {
+		case SourceTracker:
+			tracker++
+		case SourceJepsen:
+			jepsen++
+		case SourceNEAT:
+			neat++
+		}
+	}
+	if tracker != 88 || jepsen != 16 || neat != 32 {
+		t.Fatalf("sources = %d tracker / %d jepsen / %d neat, want 88/16/32", tracker, jepsen, neat)
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, b := Load(), Load()
+	for i := range a {
+		if a[i].Mechanisms[0] != b[i].Mechanisms[0] ||
+			a[i].EventCount != b[i].EventCount ||
+			a[i].ClientAccess != b[i].ClientAccess ||
+			a[i].Nodes != b[i].Nodes {
+			t.Fatalf("row %d differs between loads", i)
+		}
+	}
+}
+
+func TestTable1MatchesPaperExactly(t *testing.T) {
+	fs := Load()
+	rows := Table1(fs)
+	want := map[string][2]int{ // total, catastrophic — Table 1
+		"MongoDB": {19, 11}, "VoltDB": {4, 4}, "RethinkDB": {3, 3},
+		"HBase": {5, 3}, "Riak": {1, 1}, "Cassandra": {4, 4},
+		"Aerospike": {3, 3}, "Geode": {2, 2}, "Redis": {3, 2},
+		"Hazelcast": {7, 5}, "Elasticsearch": {22, 21}, "ZooKeeper": {3, 3},
+		"HDFS": {4, 2}, "Kafka": {5, 3}, "RabbitMQ": {7, 4},
+		"MapReduce": {6, 2}, "Chronos": {2, 1}, "Mesos": {4, 0},
+		"Infinispan": {1, 1}, "Ignite": {15, 13}, "Terracotta": {9, 9},
+		"Ceph": {2, 2}, "MooseFS": {2, 2}, "ActiveMQ": {2, 2}, "DKron": {1, 1},
+	}
+	if len(rows) != 25 {
+		t.Fatalf("%d systems, want 25", len(rows))
+	}
+	totF, totC := 0, 0
+	for _, r := range rows {
+		w, ok := want[r.System]
+		if !ok {
+			t.Fatalf("unexpected system %s", r.System)
+		}
+		if r.Failures != w[0] || r.Catastrophic != w[1] {
+			t.Errorf("%s: %d/%d, paper reports %d/%d", r.System, r.Failures, r.Catastrophic, w[0], w[1])
+		}
+		totF += r.Failures
+		totC += r.Catastrophic
+	}
+	if totF != 136 || totC != 104 {
+		t.Fatalf("totals %d/%d, want 136/104", totF, totC)
+	}
+}
+
+func TestTable2ImpactDistribution(t *testing.T) {
+	fs := Load()
+	rows := Table2(fs)
+	want := map[string]float64{ // Table 2
+		"data loss":                    26.6,
+		"stale read":                   13.2,
+		"broken locks":                 8.2,
+		"system crash/hang":            8.1,
+		"data unavailability":          6.6,
+		"reappearance of deleted data": 6.6,
+		"data corruption":              5.1,
+		"dirty read":                   5.1,
+		"performance degradation":      19.1,
+		"other":                        1.4,
+	}
+	for _, r := range rows {
+		within(t, "Table2 "+r.Label, r.Percent, want[r.Label])
+	}
+	// Finding 1: ~80% catastrophic.
+	within(t, "catastrophic share", CatastrophicShare(fs), 79.5)
+}
+
+func TestTable3MechanismDistribution(t *testing.T) {
+	rows := Table3(Load())
+	want := map[string]float64{ // Table 3
+		"leader election":                            39.7,
+		"configuration change":                       19.9,
+		"data consolidation":                         14.0,
+		"request routing":                            13.2,
+		"replication protocol":                       12.5,
+		"reconfiguration due to a network partition": 11.8,
+		"scheduling":                                 2.9,
+		"data migration":                             3.7,
+		"system integration":                         1.5,
+	}
+	for _, r := range rows {
+		within(t, "Table3 "+r.Label, r.Percent, want[r.Label])
+	}
+}
+
+func TestTable4ElectionFlaws(t *testing.T) {
+	rows := Table4(Load())
+	want := map[string]float64{ // Table 4
+		"overlapping between successive leaders": 57.4,
+		"electing bad leaders":                   20.4,
+		"voting for two candidates":              18.5,
+		"conflicting election criteria":          3.7,
+	}
+	total := 0
+	for _, r := range rows {
+		within(t, "Table4 "+r.Label, r.Percent, want[r.Label])
+		total += r.Count
+	}
+	if total != 54 {
+		t.Fatalf("leader-election failures = %d, want 54 (39.7%% of 136)", total)
+	}
+}
+
+func TestTable5ClientAccess(t *testing.T) {
+	rows := Table5(Load())
+	want := []float64{28, 36, 36} // Table 5
+	for i, r := range rows {
+		within(t, "Table5 "+r.Label, r.Percent, want[i])
+	}
+}
+
+func TestTable6PartitionTypes(t *testing.T) {
+	rows := Table6(Load())
+	want := []float64{69.1, 28.7, 2.2} // Table 6
+	for i, r := range rows {
+		within(t, "Table6 "+r.Label, r.Percent, want[i])
+	}
+}
+
+func TestTable7EventCounts(t *testing.T) {
+	rows := Table7(Load())
+	want := []float64{12.6, 13.9, 42.6, 14.0, 16.9} // Table 7
+	for i, r := range rows {
+		within(t, "Table7 "+r.Label, r.Percent, want[i])
+	}
+}
+
+func TestTable8EventInvolvement(t *testing.T) {
+	rows := Table8(Load())
+	want := map[string]float64{ // Table 8
+		"only a network-partitioning fault": 12.6,
+		"write request":                     48.5,
+		"read request":                      34.6,
+		"acquire lock":                      8.1,
+		"admin adding/removing a node":      8.0,
+		"delete request":                    4.4,
+		"release lock":                      3.7,
+		"whole cluster reboot":              1.5,
+	}
+	for _, r := range rows {
+		within(t, "Table8 "+r.Label, r.Percent, want[r.Label])
+	}
+}
+
+func TestTable9Ordering(t *testing.T) {
+	rows := Table9(Load())
+	want := []float64{16.0, 27.7, 26.9, 29.4} // Table 9
+	for i, r := range rows {
+		within(t, "Table9 "+r.Label, r.Percent, want[i])
+	}
+	// 84% of sequences start with the partition.
+	first := rows[1].Percent + rows[2].Percent + rows[3].Percent
+	within(t, "partition comes first", first, 84.0)
+}
+
+func TestTable10Connectivity(t *testing.T) {
+	rows := Table10(Load())
+	want := []float64{44.9, 36.0, 8.8, 3.7, 6.6} // Table 10
+	for i, r := range rows {
+		within(t, "Table10 "+r.Label, r.Percent, want[i])
+	}
+}
+
+func TestTable11Timing(t *testing.T) {
+	rows := Table11(Load())
+	want := []float64{61.8, 18.4, 12.8, 7.0} // Table 11
+	for i, r := range rows {
+		within(t, "Table11 "+r.Label, r.Percent, want[i])
+	}
+}
+
+func TestTable12FlawsAndResolution(t *testing.T) {
+	rows := Table12(Load())
+	want := []float64{46.6, 32.2, 21.2} // Table 12
+	for i, r := range rows {
+		within(t, "Table12 "+r.Label, r.Percent, want[i])
+	}
+	if d := rows[0].AvgDays; math.Abs(d-205) > 0.01 {
+		t.Errorf("design resolution = %.1f days, paper reports 205", d)
+	}
+	if d := rows[1].AvgDays; math.Abs(d-81) > 0.01 {
+		t.Errorf("implementation resolution = %.1f days, paper reports 81", d)
+	}
+	// Design flaws take ~2.5x longer.
+	if ratio := rows[0].AvgDays / rows[1].AvgDays; ratio < 2.3 || ratio > 2.7 {
+		t.Errorf("design/impl resolution ratio = %.2f, want ~2.5", ratio)
+	}
+}
+
+func TestTable13Nodes(t *testing.T) {
+	rows := Table13(Load())
+	want := []float64{83.1, 16.9} // Table 13
+	for i, r := range rows {
+		within(t, "Table13 "+r.Label, r.Percent, want[i])
+	}
+	// Finding 12: ALL failures reproducible with at most five nodes.
+	for _, f := range Load() {
+		if f.Nodes != 3 && f.Nodes != 5 {
+			t.Fatalf("failure %d needs %d nodes", f.ID, f.Nodes)
+		}
+	}
+}
+
+func TestFindings(t *testing.T) {
+	f := ComputeFindings(Load())
+	within(t, "Finding 2 silent", f.SilentPct, 90)
+	within(t, "Finding 3 lasting damage", f.LastingPct, 21)
+	within(t, "Finding 9 single-node isolation", f.SingleNodePct, 88)
+	within(t, "no-or-one-side access", f.NoOrOneSidePct, 64)
+	within(t, "deterministic share", f.DeterministicPct, 62)
+}
+
+func TestTable14And15Split(t *testing.T) {
+	fs := Load()
+	if n := len(Table14(fs)); n != 104 {
+		t.Fatalf("Table 14 rows = %d, want 104", n)
+	}
+	t15 := Table15(fs)
+	if len(t15) != 32 {
+		t.Fatalf("Table 15 rows = %d, want 32", len(t15))
+	}
+	// 30 of the 32 NEAT-discovered failures are catastrophic.
+	cat := 0
+	for _, f := range t15 {
+		if f.Catastrophic {
+			cat++
+		}
+	}
+	if cat != 30 {
+		t.Fatalf("NEAT catastrophic = %d, want 30", cat)
+	}
+}
+
+func TestEventConsistencyInvariants(t *testing.T) {
+	for _, f := range Load() {
+		if len(f.Events) == 0 || f.Events[0] != EvPartitionOnly {
+			t.Fatalf("failure %d: every sequence includes the partition", f.ID)
+		}
+		if f.EventCount == 1 && len(f.Events) != 1 {
+			t.Fatalf("failure %d: partition-only rows must have no other events", f.ID)
+		}
+		if len(f.Events) > f.EventCount {
+			t.Fatalf("failure %d: %d distinct events exceed event count %d", f.ID, len(f.Events), f.EventCount)
+		}
+		if f.EventCount == 1 && f.ClientAccess != NoClientAccess {
+			t.Fatalf("failure %d: partition-only rows need no client access", f.ID)
+		}
+		if f.Ordering == PartitionNotFirst && f.EventCount < 2 {
+			t.Fatalf("failure %d: partition-not-first needs >= 2 events", f.ID)
+		}
+		if len(f.Mechanisms) == 0 {
+			t.Fatalf("failure %d: no mechanism assigned", f.ID)
+		}
+		if f.HasMechanism(LeaderElection) != (f.ElectionFlaw != FlawNone) {
+			t.Fatalf("failure %d: election flaw inconsistent with mechanism", f.ID)
+		}
+	}
+}
+
+func TestPinnedRowsMatchPaperDescriptions(t *testing.T) {
+	fs := Load()
+	byRef := map[string][]*Failure{}
+	for _, f := range fs {
+		byRef[f.Ref] = append(byRef[f.Ref], f)
+	}
+	// Figure 2's VoltDB dirty read: leader-overlap flaw, one-side
+	// access, write-then-read.
+	for _, f := range byRef["ENG-10389"] {
+		if f.ElectionFlaw != FlawOverlap || f.ClientAccess != OneSideAccess {
+			t.Errorf("ENG-10389 row mispinned: %+v", f)
+		}
+	}
+	// Listing 1's split brain: double voting.
+	for _, f := range byRef["elastic-2488"] {
+		if f.ElectionFlaw != FlawDoubleVote {
+			t.Errorf("elastic-2488 row mispinned: %+v", f)
+		}
+	}
+	// RethinkDB config change: five nodes.
+	for _, f := range byRef["rethinkdb-5289"] {
+		if f.Nodes != 5 || !f.HasMechanism(ConfigChange) {
+			t.Errorf("rethinkdb-5289 row mispinned: %+v", f)
+		}
+	}
+	// Figure 3: no client access after the partition.
+	for _, f := range byRef["MAPREDUCE-4819"] {
+		if f.ClientAccess != NoClientAccess || !f.HasMechanism(Scheduling) {
+			t.Errorf("MAPREDUCE-4819 row mispinned: %+v", f)
+		}
+	}
+	// One failure requires a second partition: encoded via timing
+	// bounded + data migration (CASSANDRA-13562); check it exists.
+	if len(byRef["CASSANDRA-13562"]) != 1 {
+		t.Error("CASSANDRA-13562 missing")
+	}
+}
+
+func TestPartitionTypeCounts(t *testing.T) {
+	fs := Load()
+	counts := map[core.PartitionType]int{}
+	for _, f := range fs {
+		counts[f.Partition]++
+	}
+	if counts[core.CompletePartition] != 94 || counts[core.PartialPartition] != 39 || counts[core.SimplexPartition] != 3 {
+		t.Fatalf("partition counts = %v, want 94/39/3", counts)
+	}
+}
+
+func TestSinglePartitionFinding(t *testing.T) {
+	// "The overwhelming majority (99%) of the failures were caused by
+	// a single network partition."
+	f := ComputeFindings(Load())
+	if f.SinglePartition < 97.5 {
+		t.Fatalf("single-partition share = %.1f%%, paper reports 99%%", f.SinglePartition)
+	}
+	multi := 0
+	for _, fl := range Load() {
+		if fl.PartitionsRequired > 1 {
+			multi++
+		}
+	}
+	if multi != 1 {
+		t.Fatalf("multi-partition failures = %d, want 1 (the Cassandra handoff)", multi)
+	}
+}
+
+func TestTable3ConfigBreakdown(t *testing.T) {
+	rows := Table3ConfigBreakdown(Load())
+	want := map[string]float64{ // Table 3 sub-rows
+		"adding a node":         10.3,
+		"removing a node":       3.7,
+		"membership management": 3.7,
+		"other":                 2.2,
+	}
+	total := 0
+	for _, r := range rows {
+		within(t, "Table3b "+r.Label, r.Percent, want[r.Label])
+		total += r.Count
+	}
+	if total != 27 {
+		t.Fatalf("config-change rows = %d, want 27", total)
+	}
+	// Subtype assigned exactly to config-change failures.
+	for _, f := range Load() {
+		if f.HasMechanism(ConfigChange) != (f.ConfigSubtype != ConfigNone) {
+			t.Fatalf("failure %d: subtype inconsistent with mechanism", f.ID)
+		}
+	}
+}

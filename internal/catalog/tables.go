@@ -1,0 +1,357 @@
+package catalog
+
+import (
+	"neat/internal/core"
+)
+
+// Pct returns count as a percentage of total.
+func Pct(count, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(count) / float64(total)
+}
+
+// Table1Row is one system's line in Table 1.
+type Table1Row struct {
+	System       string
+	Consistency  string
+	Failures     int
+	Catastrophic int
+}
+
+// Table1 regenerates the studied-systems table.
+func Table1(fs []*Failure) []Table1Row {
+	counts := map[string]*Table1Row{}
+	for _, s := range Systems() {
+		counts[s.Name] = &Table1Row{System: s.Name, Consistency: s.Consistency}
+	}
+	for _, f := range fs {
+		r := counts[f.System]
+		r.Failures++
+		if f.Catastrophic {
+			r.Catastrophic++
+		}
+	}
+	var out []Table1Row
+	for _, s := range Systems() {
+		out = append(out, *counts[s.Name])
+	}
+	return out
+}
+
+// DistRow is a generic labelled count/percentage row.
+type DistRow struct {
+	Label   string
+	Count   int
+	Percent float64
+}
+
+// Table2 regenerates the failure-impact distribution.
+func Table2(fs []*Failure) []DistRow {
+	counts := map[Impact]int{}
+	for _, f := range fs {
+		counts[f.Impact]++
+	}
+	var out []DistRow
+	for _, i := range AllImpacts() {
+		out = append(out, DistRow{Label: i.String(), Count: counts[i], Percent: Pct(counts[i], len(fs))})
+	}
+	return out
+}
+
+// CatastrophicShare returns the fraction of failures whose impact
+// category is catastrophic (Table 2's 79.5% headline).
+func CatastrophicShare(fs []*Failure) float64 {
+	n := 0
+	for _, f := range fs {
+		if f.Impact.CatastrophicCategory() {
+			n++
+		}
+	}
+	return Pct(n, len(fs))
+}
+
+// Table3 regenerates the vulnerable-mechanism distribution. A failure
+// can involve several mechanisms, so percentages sum above 100.
+func Table3(fs []*Failure) []DistRow {
+	counts := map[Mechanism]int{}
+	for _, f := range fs {
+		for _, m := range f.Mechanisms {
+			counts[m]++
+		}
+	}
+	var out []DistRow
+	for _, m := range AllMechanisms() {
+		out = append(out, DistRow{Label: m.String(), Count: counts[m], Percent: Pct(counts[m], len(fs))})
+	}
+	return out
+}
+
+// Table3ConfigBreakdown regenerates Table 3's configuration-change
+// sub-rows, as percentages of all failures.
+func Table3ConfigBreakdown(fs []*Failure) []DistRow {
+	counts := map[ConfigSubtype]int{}
+	for _, f := range fs {
+		if f.ConfigSubtype != ConfigNone {
+			counts[f.ConfigSubtype]++
+		}
+	}
+	order := []ConfigSubtype{ConfigAddNode, ConfigRemoveNode, ConfigMembership, ConfigOther}
+	var out []DistRow
+	for _, c := range order {
+		out = append(out, DistRow{Label: c.String(), Count: counts[c], Percent: Pct(counts[c], len(fs))})
+	}
+	return out
+}
+
+// Table4 regenerates the leader-election flaw distribution, as
+// percentages of leader-election failures.
+func Table4(fs []*Failure) []DistRow {
+	total := 0
+	counts := map[ElectionFlaw]int{}
+	for _, f := range fs {
+		if f.HasMechanism(LeaderElection) {
+			total++
+			counts[f.ElectionFlaw]++
+		}
+	}
+	order := []ElectionFlaw{FlawOverlap, FlawBadLeader, FlawDoubleVote, FlawConflictingCriteria}
+	var out []DistRow
+	for _, fl := range order {
+		out = append(out, DistRow{Label: fl.String(), Count: counts[fl], Percent: Pct(counts[fl], total)})
+	}
+	return out
+}
+
+// Table5 regenerates the client-access distribution.
+func Table5(fs []*Failure) []DistRow {
+	counts := map[ClientAccess]int{}
+	for _, f := range fs {
+		counts[f.ClientAccess]++
+	}
+	order := []ClientAccess{NoClientAccess, OneSideAccess, BothSidesAccess}
+	var out []DistRow
+	for _, a := range order {
+		out = append(out, DistRow{Label: a.String(), Count: counts[a], Percent: Pct(counts[a], len(fs))})
+	}
+	return out
+}
+
+// Table6 regenerates the partition-type distribution.
+func Table6(fs []*Failure) []DistRow {
+	counts := map[core.PartitionType]int{}
+	for _, f := range fs {
+		counts[f.Partition]++
+	}
+	order := []core.PartitionType{core.CompletePartition, core.PartialPartition, core.SimplexPartition}
+	labels := []string{"complete partition", "partial partition", "simplex partition"}
+	var out []DistRow
+	for i, p := range order {
+		out = append(out, DistRow{Label: labels[i], Count: counts[p], Percent: Pct(counts[p], len(fs))})
+	}
+	return out
+}
+
+// Table7 regenerates the minimum-event-count distribution.
+func Table7(fs []*Failure) []DistRow {
+	counts := map[int]int{}
+	for _, f := range fs {
+		counts[clamp5(f.EventCount)]++
+	}
+	labels := map[int]string{
+		1: "1 (just a network partition)", 2: "2", 3: "3", 4: "4", 5: "> 4",
+	}
+	var out []DistRow
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		out = append(out, DistRow{Label: labels[k], Count: counts[k], Percent: Pct(counts[k], len(fs))})
+	}
+	return out
+}
+
+// Table8 regenerates the event-involvement distribution. The first
+// row counts failures whose only event is the partition; the rest
+// count membership, so percentages sum above 100.
+func Table8(fs []*Failure) []DistRow {
+	partitionOnly := 0
+	counts := map[EventType]int{}
+	for _, f := range fs {
+		if f.EventCount == 1 {
+			partitionOnly++
+		}
+		for _, e := range f.Events {
+			if e != EvPartitionOnly {
+				counts[e]++
+			}
+		}
+	}
+	out := []DistRow{{Label: EvPartitionOnly.String(), Count: partitionOnly, Percent: Pct(partitionOnly, len(fs))}}
+	order := []EventType{EvWriteReq, EvReadReq, EvAcquire, EvAdminOp, EvDeleteReq, EvRelease, EvClusterReboot}
+	for _, e := range order {
+		out = append(out, DistRow{Label: e.String(), Count: counts[e], Percent: Pct(counts[e], len(fs))})
+	}
+	return out
+}
+
+// Table9 regenerates the ordering-characteristics distribution.
+func Table9(fs []*Failure) []DistRow {
+	counts := map[OrderingClass]int{}
+	for _, f := range fs {
+		counts[f.Ordering]++
+	}
+	order := []OrderingClass{PartitionNotFirst, OrderUnimportant, NaturalOrder, OtherOrder}
+	var out []DistRow
+	for _, o := range order {
+		out = append(out, DistRow{Label: o.String(), Count: counts[o], Percent: Pct(counts[o], len(fs))})
+	}
+	return out
+}
+
+// Table10 regenerates the connectivity distribution.
+func Table10(fs []*Failure) []DistRow {
+	counts := map[Connectivity]int{}
+	for _, f := range fs {
+		counts[f.Connectivity]++
+	}
+	order := []Connectivity{AnyReplica, IsolateLeader, IsolateCentralService, IsolateSpecialRole, IsolateOther}
+	var out []DistRow
+	for _, c := range order {
+		out = append(out, DistRow{Label: c.String(), Count: counts[c], Percent: Pct(counts[c], len(fs))})
+	}
+	return out
+}
+
+// Table11 regenerates the timing-constraint distribution.
+func Table11(fs []*Failure) []DistRow {
+	counts := map[TimingClass]int{}
+	for _, f := range fs {
+		counts[f.Timing]++
+	}
+	labels := map[TimingClass]string{
+		Deterministic: "no timing constraints",
+		FixedTiming:   "has timing constraints - known",
+		BoundedTiming: "has timing constraints - unknown, but still can be tested",
+		UnknownTiming: "nondeterministic",
+	}
+	order := []TimingClass{Deterministic, FixedTiming, BoundedTiming, UnknownTiming}
+	var out []DistRow
+	for _, t := range order {
+		out = append(out, DistRow{Label: labels[t], Count: counts[t], Percent: Pct(counts[t], len(fs))})
+	}
+	return out
+}
+
+// Table12Row is one Table 12 line: flaw class share of tracker tickets
+// plus mean resolution time.
+type Table12Row struct {
+	Label       string
+	Count       int
+	Percent     float64
+	AvgDays     float64
+	HasDuration bool
+}
+
+// Table12 regenerates the design/implementation-flaw distribution over
+// issue-tracker failures.
+func Table12(fs []*Failure) []Table12Row {
+	total := 0
+	counts := map[FlawClass]int{}
+	days := map[FlawClass]int{}
+	for _, f := range fs {
+		if f.Source != SourceTracker {
+			continue
+		}
+		total++
+		counts[f.Flaw]++
+		days[f.Flaw] += f.ResolutionDays
+	}
+	order := []FlawClass{DesignFlaw, ImplementationFlaw, Unresolved}
+	var out []Table12Row
+	for _, fl := range order {
+		r := Table12Row{Label: fl.String(), Count: counts[fl], Percent: Pct(counts[fl], total)}
+		if fl != Unresolved && counts[fl] > 0 {
+			r.AvgDays = float64(days[fl]) / float64(counts[fl])
+			r.HasDuration = true
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Table13 regenerates the nodes-to-reproduce distribution.
+func Table13(fs []*Failure) []DistRow {
+	counts := map[int]int{}
+	for _, f := range fs {
+		counts[f.Nodes]++
+	}
+	return []DistRow{
+		{Label: "3 nodes", Count: counts[3], Percent: Pct(counts[3], len(fs))},
+		{Label: "5 nodes", Count: counts[5], Percent: Pct(counts[5], len(fs))},
+	}
+}
+
+// Finding aggregates for the numbered findings not covered by a table.
+type Findings struct {
+	SilentPct        float64 // Finding 2: ~90%
+	LastingPct       float64 // Finding 3: ~21%
+	SingleNodePct    float64 // Finding 9: ~88%
+	NoOrOneSidePct   float64 // Intro: 64% need no or one-side access
+	DeterministicPct float64 // ~62%
+	SinglePartition  float64 // Finding 6 note: ~99% need one partition
+}
+
+// ComputeFindings derives the findings from the dataset.
+func ComputeFindings(fs []*Failure) Findings {
+	var silent, lasting, single, noOrOne, det, onePart int
+	for _, f := range fs {
+		if f.PartitionsRequired <= 1 {
+			onePart++
+		}
+		if f.SilentFailure {
+			silent++
+		}
+		if f.LeavesLastingDamage {
+			lasting++
+		}
+		if f.SingleNodeIsolation {
+			single++
+		}
+		if f.ClientAccess != BothSidesAccess {
+			noOrOne++
+		}
+		if f.Timing == Deterministic {
+			det++
+		}
+	}
+	n := len(fs)
+	return Findings{
+		SilentPct:        Pct(silent, n),
+		LastingPct:       Pct(lasting, n),
+		SingleNodePct:    Pct(single, n),
+		NoOrOneSidePct:   Pct(noOrOne, n),
+		DeterministicPct: Pct(det, n),
+		SinglePartition:  Pct(onePart, n),
+	}
+}
+
+// Table14 returns the studied failures (Appendix A rows).
+func Table14(fs []*Failure) []*Failure {
+	var out []*Failure
+	for _, f := range fs {
+		if f.Source != SourceNEAT {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Table15 returns the NEAT-discovered failures (Appendix B rows).
+func Table15(fs []*Failure) []*Failure {
+	var out []*Failure
+	for _, f := range fs {
+		if f.Source == SourceNEAT {
+			out = append(out, f)
+		}
+	}
+	return out
+}

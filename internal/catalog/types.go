@@ -1,0 +1,436 @@
+// Package catalog encodes the paper's dataset: 136 network-partitioning
+// failures from 25 production distributed systems (88 issue-tracker
+// tickets, 16 Jepsen reports, 32 NEAT-discovered failures), and the
+// analysis functions that regenerate Tables 1-13.
+//
+// Fields present in the appendices (system, reference, impact,
+// partition type, timing class, report status) are transcribed
+// verbatim from Tables 14 and 15. Attributes the paper reports only in
+// aggregate — mechanism, client access, event counts, ordering class,
+// connectivity, nodes-to-reproduce, flaw class, resolution time — are
+// assigned per row by the deterministic quota assigner in assign.go so
+// that every regenerated table matches the published aggregate; see
+// DESIGN.md for the methodology note.
+package catalog
+
+import (
+	"neat/internal/core"
+)
+
+// Source is where a failure report came from.
+type Source int
+
+const (
+	// SourceTracker is a public issue-tracking system ticket.
+	SourceTracker Source = iota
+	// SourceJepsen is a Jepsen analysis report.
+	SourceJepsen
+	// SourceNEAT is a failure found by the NEAT framework (Table 15).
+	SourceNEAT
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceJepsen:
+		return "jepsen"
+	case SourceNEAT:
+		return "neat"
+	default:
+		return "tracker"
+	}
+}
+
+// Impact is the failure-impact taxonomy of Table 2.
+type Impact int
+
+const (
+	// DataLoss is permanently lost acknowledged data.
+	DataLoss Impact = iota
+	// StaleRead returns an outdated value where fresh data was
+	// promised.
+	StaleRead
+	// BrokenLocks covers double locking, lock corruption, failure to
+	// unlock, and violated synchronization primitives (atomics).
+	BrokenLocks
+	// SystemCrash covers whole-system crashes and hangs.
+	SystemCrash
+	// DataUnavailability is stored data that cannot be served.
+	DataUnavailability
+	// Reappearance is deleted data coming back (including re-delivered
+	// dequeued messages).
+	Reappearance
+	// DataCorruption is wrong or duplicated stored state.
+	DataCorruption
+	// DirtyRead returns a value from a failed write.
+	DirtyRead
+	// PerfDegradation is degraded but correct service.
+	PerfDegradation
+	// OtherImpact is everything else (e.g. a broken status API).
+	OtherImpact
+)
+
+var impactNames = map[Impact]string{
+	DataLoss:           "data loss",
+	StaleRead:          "stale read",
+	BrokenLocks:        "broken locks",
+	SystemCrash:        "system crash/hang",
+	DataUnavailability: "data unavailability",
+	Reappearance:       "reappearance of deleted data",
+	DataCorruption:     "data corruption",
+	DirtyRead:          "dirty read",
+	PerfDegradation:    "performance degradation",
+	OtherImpact:        "other",
+}
+
+// String returns the Table 2 row name.
+func (i Impact) String() string { return impactNames[i] }
+
+// CatastrophicCategory reports whether the impact category counts as
+// catastrophic in Table 2 (violates system guarantees or crashes the
+// system). Per-row catastrophic flags additionally depend on the
+// system's consistency promises — see Failure.Catastrophic.
+func (i Impact) CatastrophicCategory() bool {
+	return i != PerfDegradation && i != OtherImpact
+}
+
+// AllImpacts lists the impacts in Table 2's row order.
+func AllImpacts() []Impact {
+	return []Impact{DataLoss, StaleRead, BrokenLocks, SystemCrash,
+		DataUnavailability, Reappearance, DataCorruption, DirtyRead,
+		PerfDegradation, OtherImpact}
+}
+
+// TimingClass is the Table 11/14 timing-constraint taxonomy.
+type TimingClass int
+
+const (
+	// Deterministic failures manifest given the input events alone.
+	Deterministic TimingClass = iota
+	// FixedTiming failures have known, configured constraints (e.g.
+	// issue the write within three heartbeats of the partition).
+	FixedTiming
+	// BoundedTiming failures must overlap an internal operation (e.g.
+	// partition during a data sync) but can still be tested.
+	BoundedTiming
+	// UnknownTiming failures depend on thread interleavings — the
+	// nondeterministic 7%.
+	UnknownTiming
+)
+
+var timingNames = map[TimingClass]string{
+	Deterministic: "deterministic",
+	FixedTiming:   "fixed",
+	BoundedTiming: "bounded",
+	UnknownTiming: "unknown",
+}
+
+// String returns the appendix spelling.
+func (t TimingClass) String() string { return timingNames[t] }
+
+// Mechanism is the Table 3 vulnerable-mechanism taxonomy.
+type Mechanism int
+
+const (
+	// LeaderElection failures involve electing or deposing leaders.
+	LeaderElection Mechanism = iota
+	// ConfigChange covers node join/leave and membership management.
+	ConfigChange
+	// DataConsolidation is post-partition reconciliation.
+	DataConsolidation
+	// RequestRouting is delivering requests/responses to the right
+	// node.
+	RequestRouting
+	// ReplicationProtocol is the data replication path itself.
+	ReplicationProtocol
+	// PartitionReconfiguration is reacting to the partition by
+	// removing unreachable nodes from replica sets.
+	PartitionReconfiguration
+	// Scheduling is task/job scheduling.
+	Scheduling
+	// DataMigration is moving data between nodes.
+	DataMigration
+	// SystemIntegration is the coupling with an external coordination
+	// service.
+	SystemIntegration
+)
+
+var mechanismNames = map[Mechanism]string{
+	LeaderElection:           "leader election",
+	ConfigChange:             "configuration change",
+	DataConsolidation:        "data consolidation",
+	RequestRouting:           "request routing",
+	ReplicationProtocol:      "replication protocol",
+	PartitionReconfiguration: "reconfiguration due to a network partition",
+	Scheduling:               "scheduling",
+	DataMigration:            "data migration",
+	SystemIntegration:        "system integration",
+}
+
+// String returns the Table 3 row name.
+func (m Mechanism) String() string { return mechanismNames[m] }
+
+// AllMechanisms lists mechanisms in Table 3's row order.
+func AllMechanisms() []Mechanism {
+	return []Mechanism{LeaderElection, ConfigChange, DataConsolidation,
+		RequestRouting, ReplicationProtocol, PartitionReconfiguration,
+		Scheduling, DataMigration, SystemIntegration}
+}
+
+// ConfigSubtype is Table 3's breakdown of configuration-change
+// failures.
+type ConfigSubtype int
+
+const (
+	// ConfigNone marks failures not involving configuration change.
+	ConfigNone ConfigSubtype = iota
+	// ConfigAddNode failures involve adding a node.
+	ConfigAddNode
+	// ConfigRemoveNode failures involve removing a node.
+	ConfigRemoveNode
+	// ConfigMembership failures involve membership management.
+	ConfigMembership
+	// ConfigOther is the remainder.
+	ConfigOther
+)
+
+var configSubtypeNames = map[ConfigSubtype]string{
+	ConfigNone:       "none",
+	ConfigAddNode:    "adding a node",
+	ConfigRemoveNode: "removing a node",
+	ConfigMembership: "membership management",
+	ConfigOther:      "other",
+}
+
+// String returns the Table 3 sub-row name.
+func (c ConfigSubtype) String() string { return configSubtypeNames[c] }
+
+// ElectionFlaw is the Table 4 taxonomy.
+type ElectionFlaw int
+
+const (
+	// FlawNone marks failures not involving leader election.
+	FlawNone ElectionFlaw = iota
+	// FlawOverlap is two simultaneous leaders during the step-down
+	// window.
+	FlawOverlap
+	// FlawBadLeader is electing a node with an incomplete data set.
+	FlawBadLeader
+	// FlawDoubleVote is voting while connected to a live leader.
+	FlawDoubleVote
+	// FlawConflictingCriteria is mutually vetoing election rules.
+	FlawConflictingCriteria
+)
+
+var flawNames = map[ElectionFlaw]string{
+	FlawNone:                "none",
+	FlawOverlap:             "overlapping between successive leaders",
+	FlawBadLeader:           "electing bad leaders",
+	FlawDoubleVote:          "voting for two candidates",
+	FlawConflictingCriteria: "conflicting election criteria",
+}
+
+// String returns the Table 4 row name.
+func (f ElectionFlaw) String() string { return flawNames[f] }
+
+// ClientAccess is the Table 5 taxonomy.
+type ClientAccess int
+
+const (
+	// NoClientAccess failures need no client requests during the
+	// partition.
+	NoClientAccess ClientAccess = iota
+	// OneSideAccess failures need clients on one side only.
+	OneSideAccess
+	// BothSidesAccess failures need clients on both sides.
+	BothSidesAccess
+)
+
+var accessNames = map[ClientAccess]string{
+	NoClientAccess:  "no client access necessary",
+	OneSideAccess:   "client access to one side only",
+	BothSidesAccess: "client access to both sides",
+}
+
+// String returns the Table 5 row name.
+func (c ClientAccess) String() string { return accessNames[c] }
+
+// EventType is the Table 8 input-event taxonomy.
+type EventType int
+
+const (
+	// EvPartitionOnly marks the failure's partition event itself.
+	EvPartitionOnly EventType = iota
+	// EvWriteReq is a client write.
+	EvWriteReq
+	// EvReadReq is a client read.
+	EvReadReq
+	// EvAcquire is a lock acquisition.
+	EvAcquire
+	// EvAdminOp is an administrator adding/removing a node.
+	EvAdminOp
+	// EvDeleteReq is a client delete.
+	EvDeleteReq
+	// EvRelease is a lock release.
+	EvRelease
+	// EvClusterReboot is a whole-cluster reboot.
+	EvClusterReboot
+)
+
+var eventNames = map[EventType]string{
+	EvPartitionOnly: "only a network-partitioning fault",
+	EvWriteReq:      "write request",
+	EvReadReq:       "read request",
+	EvAcquire:       "acquire lock",
+	EvAdminOp:       "admin adding/removing a node",
+	EvDeleteReq:     "delete request",
+	EvRelease:       "release lock",
+	EvClusterReboot: "whole cluster reboot",
+}
+
+// String returns the Table 8 row name.
+func (e EventType) String() string { return eventNames[e] }
+
+// OrderingClass is the Table 9 taxonomy.
+type OrderingClass int
+
+const (
+	// PartitionNotFirst sequences begin with a client event.
+	PartitionNotFirst OrderingClass = iota
+	// OrderUnimportant sequences start with the partition; the rest
+	// may occur in any order.
+	OrderUnimportant
+	// NaturalOrder sequences follow API-natural order (lock before
+	// unlock, write before read).
+	NaturalOrder
+	// OtherOrder sequences need a specific non-natural order.
+	OtherOrder
+)
+
+var orderingNames = map[OrderingClass]string{
+	PartitionNotFirst: "network partition does not come first",
+	OrderUnimportant:  "order is not important",
+	NaturalOrder:      "natural order",
+	OtherOrder:        "other",
+}
+
+// String returns the Table 9 row name.
+func (o OrderingClass) String() string { return orderingNames[o] }
+
+// Connectivity is the Table 10 taxonomy.
+type Connectivity int
+
+const (
+	// AnyReplica failures manifest by isolating any replica.
+	AnyReplica Connectivity = iota
+	// IsolateLeader failures need the leader isolated.
+	IsolateLeader
+	// IsolateCentralService failures need a central service (e.g.
+	// ZooKeeper) isolated.
+	IsolateCentralService
+	// IsolateSpecialRole failures need a special-role node (arbiter,
+	// AppMaster) isolated.
+	IsolateSpecialRole
+	// IsolateOther failures need some other specific node (new node,
+	// migration source).
+	IsolateOther
+)
+
+var connectivityNames = map[Connectivity]string{
+	AnyReplica:            "partition any replica",
+	IsolateLeader:         "partition the leader",
+	IsolateCentralService: "partition a central service",
+	IsolateSpecialRole:    "partition a node with a special role",
+	IsolateOther:          "other (e.g., new node, source of data migration)",
+}
+
+// String returns the Table 10 row name.
+func (c Connectivity) String() string { return connectivityNames[c] }
+
+// FlawClass is the Table 12 taxonomy.
+type FlawClass int
+
+const (
+	// DesignFlaw resolutions redesigned a mechanism.
+	DesignFlaw FlawClass = iota
+	// ImplementationFlaw resolutions fixed a bug.
+	ImplementationFlaw
+	// Unresolved tickets have no fix.
+	Unresolved
+)
+
+var flawClassNames = map[FlawClass]string{
+	DesignFlaw:         "design",
+	ImplementationFlaw: "implementation",
+	Unresolved:         "unresolved",
+}
+
+// String returns the Table 12 row name.
+func (f FlawClass) String() string { return flawClassNames[f] }
+
+// Failure is one row of the dataset.
+type Failure struct {
+	// Transcribed fields (Appendix A/B).
+	ID        int
+	System    string
+	Ref       string
+	Source    Source
+	Impact    Impact
+	Partition core.PartitionType
+	Timing    TimingClass
+	Status    string // NEAT rows: "confirmed" or "open"
+
+	// Catastrophic is per-row: the impact category adjusted for the
+	// system's consistency promise, matching Table 1's per-system
+	// catastrophic counts.
+	Catastrophic bool
+
+	// Quota-assigned fields (see assign.go).
+	Mechanisms    []Mechanism
+	ConfigSubtype ConfigSubtype
+	ElectionFlaw  ElectionFlaw
+	ClientAccess  ClientAccess
+	EventCount    int // >4 encoded as 5
+	Events        []EventType
+	Ordering      OrderingClass
+	Connectivity  Connectivity
+	Nodes         int // nodes needed to reproduce: 3 or 5
+	Flaw          FlawClass
+	// ResolutionDays is meaningful for resolved tracker tickets.
+	ResolutionDays int
+	// LeavesLastingDamage marks the 21% whose erroneous state
+	// persists after the partition heals (Finding 3).
+	LeavesLastingDamage bool
+	// SilentFailure marks the 90% returning no error or warning
+	// (Finding 2).
+	SilentFailure bool
+	// SingleNodeIsolation marks the 88% that manifest by isolating a
+	// single node (Finding 9).
+	SingleNodeIsolation bool
+	// PartitionsRequired is how many distinct network partitions the
+	// manifestation needs. 99% of failures need one; the Cassandra
+	// handoff failure needs a partition, a heal, and a second
+	// partition during the resulting sync.
+	PartitionsRequired int
+}
+
+// HasMechanism reports whether the failure involves m.
+func (f *Failure) HasMechanism(m Mechanism) bool {
+	for _, x := range f.Mechanisms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEvent reports whether the failure's manifestation sequence
+// involves the event type.
+func (f *Failure) HasEvent(e EventType) bool {
+	for _, x := range f.Events {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,377 @@
+// Package coord implements a minimal ZooKeeper-like coordination
+// service: client sessions kept alive by pings, ephemeral znodes that
+// vanish when their owner's session expires, and a leader registry
+// (oldest live ephemeral in a group wins — the standard ZooKeeper
+// leader-election recipe).
+//
+// The service exists because several studied failures hinge on a
+// system's *integration* with its coordination service rather than on
+// either system alone: in the ActiveMQ hang of Figure 6, the master
+// stays the registered leader because its ZooKeeper session is alive,
+// even though no replica can reach it.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// RPC method names.
+const (
+	mPing     = "zk.ping"
+	mRegister = "zk.register"
+	mUnreg    = "zk.unregister"
+	mLeader   = "zk.leader"
+	mMembers  = "zk.members"
+	mPut      = "zk.put"
+	mGet      = "zk.get"
+)
+
+type pingMsg struct{ Session netsim.NodeID }
+
+type registerMsg struct {
+	Session netsim.NodeID
+	Group   string
+}
+
+type leaderReq struct{ Group string }
+
+type membersReq struct{ Group string }
+
+type putReq struct{ Path, Data string }
+
+type getReq struct{ Path string }
+
+// ErrNoLeader is returned when a group has no live member.
+var ErrNoLeader = errors.New("coord: group has no live members")
+
+// ErrNotFound is returned for missing paths.
+var ErrNotFound = errors.New("coord: path not found")
+
+// Options configures the service.
+type Options struct {
+	// SessionTTL is how long a session survives without a ping.
+	SessionTTL time.Duration
+	// SweepInterval is how often expired sessions are collected.
+	SweepInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SessionTTL == 0 {
+		o.SessionTTL = 60 * time.Millisecond
+	}
+	if o.SweepInterval == 0 {
+		o.SweepInterval = 10 * time.Millisecond
+	}
+	return o
+}
+
+type ephemeral struct {
+	session netsim.NodeID
+	group   string
+	seq     uint64
+}
+
+// Service is the coordination service running on one fabric node. (A
+// production ZooKeeper is itself replicated; the studied integration
+// failures do not depend on that, so the service here is a single
+// authoritative node, which also matches NEAT's test topology where
+// ZooKeeper is a separate "central service" to partition around.)
+type Service struct {
+	id   netsim.NodeID
+	ep   *transport.Endpoint
+	opts Options
+
+	mu        sync.Mutex
+	sessions  map[netsim.NodeID]time.Time
+	ephemeral map[netsim.NodeID]*ephemeral // one registration per session
+	data      map[string]string
+	seq       uint64
+	stopped   bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewService creates the service on a node, unstarted.
+func NewService(n *netsim.Network, id netsim.NodeID, opts Options) *Service {
+	s := &Service{
+		id:        id,
+		ep:        transport.NewEndpoint(n, id),
+		opts:      opts.withDefaults(),
+		sessions:  make(map[netsim.NodeID]time.Time),
+		ephemeral: make(map[netsim.NodeID]*ephemeral),
+		data:      make(map[string]string),
+		stopCh:    make(chan struct{}),
+	}
+	s.ep.Handle(mPing, s.onPing)
+	s.ep.Handle(mRegister, s.onRegister)
+	s.ep.Handle(mUnreg, s.onUnregister)
+	s.ep.Handle(mLeader, s.onLeader)
+	s.ep.Handle(mMembers, s.onMembers)
+	s.ep.Handle(mPut, s.onPut)
+	s.ep.Handle(mGet, s.onGet)
+	return s
+}
+
+// ID returns the service's node ID.
+func (s *Service) ID() netsim.NodeID { return s.id }
+
+// Start launches the session sweeper.
+func (s *Service) Start() {
+	s.wg.Add(1)
+	go s.sweepLoop()
+}
+
+// Stop halts the service.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+	s.ep.Close()
+}
+
+func (s *Service) sweepLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.expireSessions()
+		}
+	}
+}
+
+func (s *Service) expireSessions() {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sess, last := range s.sessions {
+		if now.Sub(last) > s.opts.SessionTTL {
+			delete(s.sessions, sess)
+			delete(s.ephemeral, sess)
+		}
+	}
+}
+
+func (s *Service) onPing(from netsim.NodeID, body any) (any, error) {
+	msg, ok := body.(pingMsg)
+	if !ok {
+		return nil, errors.New("bad ping")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.sessions[msg.Session]; live {
+		s.sessions[msg.Session] = time.Now()
+	}
+	return nil, nil
+}
+
+func (s *Service) onRegister(from netsim.NodeID, body any) (any, error) {
+	msg, ok := body.(registerMsg)
+	if !ok {
+		return nil, errors.New("bad register")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[msg.Session] = time.Now()
+	if e, exists := s.ephemeral[msg.Session]; exists && e.group == msg.Group {
+		return e.seq, nil // re-register keeps the original seniority
+	}
+	s.seq++
+	s.ephemeral[msg.Session] = &ephemeral{session: msg.Session, group: msg.Group, seq: s.seq}
+	return s.seq, nil
+}
+
+func (s *Service) onUnregister(from netsim.NodeID, body any) (any, error) {
+	msg, ok := body.(registerMsg)
+	if !ok {
+		return nil, errors.New("bad unregister")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, msg.Session)
+	delete(s.ephemeral, msg.Session)
+	return nil, nil
+}
+
+// leaderLocked returns the live member of group with the smallest
+// registration sequence — ZooKeeper's "lowest ephemeral-sequential
+// znode" election recipe.
+func (s *Service) leaderLocked(group string) (netsim.NodeID, error) {
+	var best *ephemeral
+	for _, e := range s.ephemeral {
+		if e.group != group {
+			continue
+		}
+		if best == nil || e.seq < best.seq {
+			best = e
+		}
+	}
+	if best == nil {
+		return "", ErrNoLeader
+	}
+	return best.session, nil
+}
+
+func (s *Service) onLeader(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(leaderReq)
+	if !ok {
+		return nil, errors.New("bad leader request")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaderLocked(req.Group)
+}
+
+func (s *Service) onMembers(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(membersReq)
+	if !ok {
+		return nil, errors.New("bad members request")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []netsim.NodeID
+	for _, e := range s.ephemeral {
+		if e.group == req.Group {
+			out = append(out, e.session)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (s *Service) onPut(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(putReq)
+	if !ok {
+		return nil, errors.New("bad put")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[req.Path] = req.Data
+	return nil, nil
+}
+
+func (s *Service) onGet(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(getReq)
+	if !ok {
+		return nil, errors.New("bad get")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, found := s.data[req.Path]
+	if !found {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// LiveSessions returns the currently live session IDs, sorted (for
+// tests).
+func (s *Service) LiveSessions() []netsim.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]netsim.NodeID, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Session is a client-side handle: it registers an ephemeral in a
+// group and keeps the session alive with pings from its owner's node.
+type Session struct {
+	ep      *transport.Endpoint
+	service netsim.NodeID
+	group   string
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewSession registers an ephemeral membership for ep's node in group
+// and starts the keepalive pinger. pingEvery should be well under the
+// service's SessionTTL.
+func NewSession(ep *transport.Endpoint, service netsim.NodeID, group string, pingEvery time.Duration) (*Session, error) {
+	s := &Session{ep: ep, service: service, group: group, stopCh: make(chan struct{})}
+	_, err := ep.Call(service, mRegister, registerMsg{Session: ep.ID(), Group: group}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("coord: register: %w", err)
+	}
+	s.wg.Add(1)
+	go s.pingLoop(pingEvery)
+	return s, nil
+}
+
+func (s *Session) pingLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			_ = s.ep.Notify(s.service, mPing, pingMsg{Session: s.ep.ID()})
+		}
+	}
+}
+
+// Close stops the keepalive (the session will expire server-side).
+func (s *Session) Close() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+}
+
+// Leader asks the service who currently leads the group.
+func Leader(ep *transport.Endpoint, service netsim.NodeID, group string, timeout time.Duration) (netsim.NodeID, error) {
+	resp, err := ep.Call(service, mLeader, leaderReq{Group: group}, timeout)
+	if err != nil {
+		return "", err
+	}
+	id, _ := resp.(netsim.NodeID)
+	return id, nil
+}
+
+// Members lists the live members of a group.
+func Members(ep *transport.Endpoint, service netsim.NodeID, group string, timeout time.Duration) ([]netsim.NodeID, error) {
+	resp, err := ep.Call(service, mMembers, membersReq{Group: group}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	ids, _ := resp.([]netsim.NodeID)
+	return ids, nil
+}
+
+// Put stores data at a path on the service.
+func Put(ep *transport.Endpoint, service netsim.NodeID, path, data string, timeout time.Duration) error {
+	_, err := ep.Call(service, mPut, putReq{Path: path, Data: data}, timeout)
+	return err
+}
+
+// Get reads a path from the service.
+func Get(ep *transport.Endpoint, service netsim.NodeID, path string, timeout time.Duration) (string, error) {
+	resp, err := ep.Call(service, mGet, getReq{Path: path}, timeout)
+	if err != nil {
+		return "", err
+	}
+	v, _ := resp.(string)
+	return v, nil
+}

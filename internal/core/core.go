@@ -1,0 +1,149 @@
+// Package core implements NEAT, the network-partitioning testing
+// framework from "An Analysis of Network-Partitioning Failures in Cloud
+// Systems" (OSDI'18).
+//
+// NEAT has three parts, all provided here:
+//
+//   - a Partitioner with the paper's exact API — Complete, Partial,
+//     Simplex, Heal, and Rest — available in two backends: one that
+//     programs drop rules into an OpenFlow-style switch flow table and
+//     one that appends DROP rules to iptables-style host firewalls;
+//   - a test Engine that deploys systems (the ISystem interface),
+//     coordinates clients under a single global operation order, crashes
+//     and restarts nodes, and records the manifestation sequence of every
+//     test as an event trace;
+//   - helpers for the timing idioms the study identifies (sleeping for a
+//     leader-election period, bounded condition waits).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"neat/internal/netsim"
+)
+
+// Node is a host participating in a test: a server, a client, or a
+// helper service.
+type Node struct {
+	ID   netsim.NodeID
+	Role Role
+}
+
+// Role classifies a node for reporting purposes.
+type Role int
+
+const (
+	// RoleServer runs the system under test.
+	RoleServer Role = iota
+	// RoleClient issues workload operations.
+	RoleClient
+	// RoleService runs auxiliary infrastructure (e.g. a coordination
+	// service the system under test depends on).
+	RoleService
+)
+
+// String returns the lowercase role name.
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RoleService:
+		return "service"
+	default:
+		return "server"
+	}
+}
+
+// PartitionType is one of the paper's three network-partitioning fault
+// classes (Figure 1).
+type PartitionType int
+
+const (
+	// CompletePartition splits the system into two disconnected
+	// groups (Figure 1.a).
+	CompletePartition PartitionType = iota
+	// PartialPartition disconnects two groups while a third group
+	// still reaches both (Figure 1.b).
+	PartialPartition
+	// SimplexPartition lets traffic flow in one direction only
+	// (Figure 1.c).
+	SimplexPartition
+)
+
+// String returns the paper's name for the partition type.
+func (t PartitionType) String() string {
+	switch t {
+	case PartialPartition:
+		return "partial"
+	case SimplexPartition:
+		return "simplex"
+	default:
+		return "complete"
+	}
+}
+
+// Partition is a handle to an injected network-partitioning fault,
+// returned by the Partitioner and consumed by Heal.
+type Partition struct {
+	Type   PartitionType
+	GroupA []netsim.NodeID
+	GroupB []netsim.NodeID
+
+	mu     sync.Mutex
+	healed bool
+	undo   func()
+}
+
+// Healed reports whether the partition has been healed.
+func (p *Partition) Healed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healed
+}
+
+func (p *Partition) heal() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.healed {
+		return errors.New("core: partition already healed")
+	}
+	p.healed = true
+	if p.undo != nil {
+		p.undo()
+	}
+	return nil
+}
+
+// String describes the partition for logs.
+func (p *Partition) String() string {
+	return fmt.Sprintf("%s partition %v <-> %v", p.Type, p.GroupA, p.GroupB)
+}
+
+// NodeIDs extracts the IDs from a node list, preserving order.
+func NodeIDs(nodes []Node) []netsim.NodeID {
+	ids := make([]netsim.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// Rest returns all cluster nodes not present in group, sorted. It
+// mirrors NEAT's Partitioner.rest helper used in Listing 2.
+func Rest(cluster []netsim.NodeID, group []netsim.NodeID) []netsim.NodeID {
+	in := make(map[netsim.NodeID]bool, len(group))
+	for _, id := range group {
+		in[id] = true
+	}
+	var out []netsim.NodeID
+	for _, id := range cluster {
+		if !in[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

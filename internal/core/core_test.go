@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"neat/internal/netsim"
+)
+
+// eachBackend runs a subtest under both partitioner backends, since
+// they must be behaviourally identical.
+func eachBackend(t *testing.T, fn func(t *testing.T, e *Engine)) {
+	t.Helper()
+	for _, b := range []Backend{SwitchBackend, FirewallBackend} {
+		t.Run(b.String(), func(t *testing.T) {
+			e := NewEngine(Options{Backend: b})
+			defer e.Shutdown()
+			fn(t, e)
+		})
+	}
+}
+
+func registerNodes(e *Engine, ids ...netsim.NodeID) {
+	for _, id := range ids {
+		e.AddNode(id, RoleServer)
+		e.Network().Register(id, func(netsim.Packet) {})
+	}
+}
+
+func TestCompletePartitionBlocksBothDirections(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "s1", "s2", "s3")
+		p, err := e.Complete([]netsim.NodeID{"s1"}, []netsim.NodeID{"s2", "s3"})
+		if err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+		n := e.Network()
+		for _, pair := range [][2]netsim.NodeID{{"s1", "s2"}, {"s2", "s1"}, {"s1", "s3"}, {"s3", "s1"}} {
+			if n.Reachable(pair[0], pair[1]) {
+				t.Fatalf("%s->%s should be blocked", pair[0], pair[1])
+			}
+		}
+		if !n.Reachable("s2", "s3") || !n.Reachable("s3", "s2") {
+			t.Fatal("majority side should communicate freely")
+		}
+		if err := e.Heal(p); err != nil {
+			t.Fatalf("heal: %v", err)
+		}
+		if !n.Reachable("s1", "s2") || !n.Reachable("s2", "s1") {
+			t.Fatal("connectivity should be restored after heal")
+		}
+	})
+}
+
+func TestPartialPartitionThirdGroupSeesBoth(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "g1", "g2", "g3")
+		if _, err := e.Partial([]netsim.NodeID{"g1"}, []netsim.NodeID{"g2"}); err != nil {
+			t.Fatalf("partial: %v", err)
+		}
+		n := e.Network()
+		if n.Reachable("g1", "g2") || n.Reachable("g2", "g1") {
+			t.Fatal("g1<->g2 should be blocked")
+		}
+		for _, pair := range [][2]netsim.NodeID{{"g3", "g1"}, {"g1", "g3"}, {"g3", "g2"}, {"g2", "g3"}} {
+			if !n.Reachable(pair[0], pair[1]) {
+				t.Fatalf("%s->%s should still flow (Figure 1.b)", pair[0], pair[1])
+			}
+		}
+	})
+}
+
+func TestSimplexPartitionOneWay(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "p", "f")
+		// Traffic flows p->f but not f->p (Figure 1.c).
+		if _, err := e.Simplex([]netsim.NodeID{"p"}, []netsim.NodeID{"f"}); err != nil {
+			t.Fatalf("simplex: %v", err)
+		}
+		n := e.Network()
+		if !n.Reachable("p", "f") {
+			t.Fatal("src->dst should flow in a simplex partition")
+		}
+		if n.Reachable("f", "p") {
+			t.Fatal("dst->src should be dropped")
+		}
+	})
+}
+
+func TestHealTwiceFails(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b")
+		p, err := e.Complete([]netsim.NodeID{"a"}, []netsim.NodeID{"b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Heal(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Heal(p); err == nil {
+			t.Fatal("second heal must fail")
+		}
+		if !p.Healed() {
+			t.Fatal("partition should report healed")
+		}
+	})
+}
+
+func TestOverlappingGroupsRejected(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b")
+		if _, err := e.Complete([]netsim.NodeID{"a"}, []netsim.NodeID{"a", "b"}); err == nil {
+			t.Fatal("node on both sides must be rejected")
+		}
+		if _, err := e.Complete(nil, []netsim.NodeID{"b"}); err == nil {
+			t.Fatal("empty group must be rejected")
+		}
+	})
+}
+
+func TestMultiplePartitionsHealIndependently(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b", "c")
+		p1, err := e.Partial([]netsim.NodeID{"a"}, []netsim.NodeID{"b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := e.Partial([]netsim.NodeID{"b"}, []netsim.NodeID{"c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := e.Network()
+		if err := e.Heal(p1); err != nil {
+			t.Fatal(err)
+		}
+		if !n.Reachable("a", "b") {
+			t.Fatal("p1 healed, a<->b should flow")
+		}
+		if n.Reachable("b", "c") {
+			t.Fatal("p2 must survive p1's heal")
+		}
+		if err := e.Heal(p2); err != nil {
+			t.Fatal(err)
+		}
+		if !n.Reachable("b", "c") {
+			t.Fatal("all healed")
+		}
+	})
+}
+
+func TestHealAll(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b", "c")
+		if _, err := e.Partial([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Partial([]netsim.NodeID{"a"}, []netsim.NodeID{"c"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.HealAll(); err != nil {
+			t.Fatal(err)
+		}
+		n := e.Network()
+		if !n.Reachable("a", "b") || !n.Reachable("a", "c") {
+			t.Fatal("HealAll should restore everything")
+		}
+	})
+}
+
+func TestRestHelper(t *testing.T) {
+	cluster := []netsim.NodeID{"s1", "s2", "s3", "c1"}
+	rest := Rest(cluster, []netsim.NodeID{"s1", "c1"})
+	if len(rest) != 2 || rest[0] != "s2" || rest[1] != "s3" {
+		t.Fatalf("Rest = %v, want [s2 s3]", rest)
+	}
+}
+
+func TestEngineRest(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	e.AddNode("s1", RoleServer)
+	e.AddNode("s2", RoleServer)
+	e.AddNode("c1", RoleClient)
+	rest := e.Rest([]netsim.NodeID{"s1"})
+	if len(rest) != 2 {
+		t.Fatalf("Rest = %v", rest)
+	}
+}
+
+func TestEngineRoleQueries(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	e.AddNode("s1", RoleServer)
+	e.AddNode("c1", RoleClient)
+	e.AddNode("zk", RoleService)
+	if s := e.Servers(); len(s) != 1 || s[0] != "s1" {
+		t.Fatalf("Servers = %v", s)
+	}
+	if c := e.Clients(); len(c) != 1 || c[0] != "c1" {
+		t.Fatalf("Clients = %v", c)
+	}
+	if all := e.AllNodes(); len(all) != 3 {
+		t.Fatalf("AllNodes = %v", all)
+	}
+}
+
+func TestCrashAndRestartThroughEngine(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b")
+	e.Crash("b")
+	if e.Network().Reachable("a", "b") {
+		t.Fatal("crashed node reachable")
+	}
+	e.Restart("b")
+	if !e.Network().Reachable("a", "b") {
+		t.Fatal("restarted node unreachable")
+	}
+}
+
+type fakeSystem struct {
+	name             string
+	started, stopped bool
+	failStart        bool
+}
+
+func (f *fakeSystem) Name() string { return f.name }
+func (f *fakeSystem) Start() error {
+	if f.failStart {
+		return fmt.Errorf("nope")
+	}
+	f.started = true
+	return nil
+}
+func (f *fakeSystem) Stop() error { f.stopped = true; return nil }
+func (f *fakeSystem) Status() map[netsim.NodeID]NodeStatus {
+	return map[netsim.NodeID]NodeStatus{}
+}
+
+func TestDeployAndShutdown(t *testing.T) {
+	e := NewEngine(Options{})
+	sys := &fakeSystem{name: "toy"}
+	if err := e.Deploy(sys); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.started {
+		t.Fatal("system not started")
+	}
+	e.Shutdown()
+	if !sys.stopped {
+		t.Fatal("system not stopped on shutdown")
+	}
+}
+
+func TestDeployFailure(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	if err := e.Deploy(&fakeSystem{name: "bad", failStart: true}); err == nil {
+		t.Fatal("deploy should propagate start failure")
+	}
+}
+
+func TestTraceRecordsManifestationSequence(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b")
+	p, _ := e.Complete([]netsim.NodeID{"a"}, []netsim.NodeID{"b"})
+	e.Record(EvWrite, "write k=%d", 1)
+	e.Record(EvRead, "read k")
+	_ = e.Heal(p)
+	tr := e.Trace()
+	if got := tr.EventCount(); got != 3 { // partition + write + read
+		t.Fatalf("EventCount = %d, want 3 (heal is not an input event)", got)
+	}
+	if !tr.PartitionFirst() {
+		t.Fatal("trace should start with the partition event")
+	}
+	evs := tr.Events()
+	if evs[0].Kind != EvPartition || evs[len(evs)-1].Kind != EvHeal {
+		t.Fatalf("unexpected event order: %v", evs)
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	flips := 0
+	ok := e.WaitUntil(time.Second, func() bool {
+		flips++
+		return flips >= 3
+	})
+	if !ok {
+		t.Fatal("condition should have been met")
+	}
+	if e.WaitUntil(10*time.Millisecond, func() bool { return false }) {
+		t.Fatal("unmeetable condition should time out")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	if EvPartition.String() != "partition" || EvAcquireLock.String() != "acquire-lock" {
+		t.Fatal("event names wrong")
+	}
+	if EvSleep.InputEvent() || EvCheck.InputEvent() {
+		t.Fatal("sleep/check must not count as input events")
+	}
+	if !EvAdmin.InputEvent() || !EvReboot.InputEvent() {
+		t.Fatal("admin/reboot must count as input events")
+	}
+}
+
+func TestPartitionTypeStrings(t *testing.T) {
+	for pt, want := range map[PartitionType]string{
+		CompletePartition: "complete",
+		PartialPartition:  "partial",
+		SimplexPartition:  "simplex",
+	} {
+		if pt.String() != want {
+			t.Fatalf("%v.String() = %q", int(pt), pt.String())
+		}
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleServer: "server", RoleClient: "client", RoleService: "service",
+	} {
+		if r.String() != want {
+			t.Fatalf("role string %q != %q", r.String(), want)
+		}
+	}
+}
+
+func TestCrashGroupAndRestartGroup(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b", "c")
+	e.CrashGroup([]netsim.NodeID{"a", "b"})
+	if e.Network().Reachable("c", "a") || e.Network().Reachable("c", "b") {
+		t.Fatal("crashed group still reachable")
+	}
+	if !e.Network().IsUp("c") {
+		t.Fatal("uninvolved node went down")
+	}
+	e.RestartGroup([]netsim.NodeID{"a", "b"})
+	if !e.Network().Reachable("c", "a") || !e.Network().Reachable("c", "b") {
+		t.Fatal("restarted group unreachable")
+	}
+}
+
+func TestRebootClusterRecordsEvent(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b")
+	e.RebootCluster()
+	if !e.Network().IsUp("a") || !e.Network().IsUp("b") {
+		t.Fatal("nodes should be up after reboot")
+	}
+	evs := e.Trace().Events()
+	if evs[len(evs)-1].Kind != EvReboot {
+		t.Fatalf("last event = %v, want reboot", evs[len(evs)-1])
+	}
+}
+
+func TestPartialPartitionMultiNodeGroups(t *testing.T) {
+	// Figure 1.b with real groups: Group1={a,b}, Group2={c,d},
+	// Group3={e} sees both.
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b", "c", "d", "e")
+		if _, err := e.Partial(
+			[]netsim.NodeID{"a", "b"}, []netsim.NodeID{"c", "d"}); err != nil {
+			t.Fatal(err)
+		}
+		n := e.Network()
+		for _, src := range []netsim.NodeID{"a", "b"} {
+			for _, dst := range []netsim.NodeID{"c", "d"} {
+				if n.Reachable(src, dst) || n.Reachable(dst, src) {
+					t.Fatalf("%s<->%s should be cut", src, dst)
+				}
+			}
+		}
+		// Intra-group and Group3 connectivity intact.
+		if !n.Reachable("a", "b") || !n.Reachable("c", "d") {
+			t.Fatal("intra-group traffic broken")
+		}
+		for _, peer := range []netsim.NodeID{"a", "b", "c", "d"} {
+			if !n.Reachable("e", peer) || !n.Reachable(peer, "e") {
+				t.Fatalf("group3 lost contact with %s", peer)
+			}
+		}
+	})
+}
+
+func TestVerifyPartition(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b", "c")
+		p, err := e.Complete([]netsim.NodeID{"a"}, []netsim.NodeID{"b", "c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.VerifyPartition(p); err != nil {
+			t.Fatalf("active complete partition failed verification: %v", err)
+		}
+		if err := e.Heal(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.VerifyPartition(p); err != nil {
+			t.Fatalf("healed partition failed verification: %v", err)
+		}
+
+		sp, err := e.Simplex([]netsim.NodeID{"a"}, []netsim.NodeID{"b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.VerifyPartition(sp); err != nil {
+			t.Fatalf("simplex verification: %v", err)
+		}
+	})
+}
+
+func TestVerifyPartitionDetectsTampering(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b")
+	p, err := e.Complete([]netsim.NodeID{"a"}, []netsim.NodeID{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: clear the switch rules behind the partitioner's back.
+	e.Switch().RemoveCookie(1)
+	if err := e.VerifyPartition(p); err == nil {
+		t.Fatal("verification should notice the missing drop rules")
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"neat/internal/firewall"
+	"neat/internal/netsim"
+	"neat/internal/switchfab"
+)
+
+// Backend selects which partitioner implementation an Engine uses.
+type Backend int
+
+const (
+	// SwitchBackend programs the switch flow table (OpenFlow mode).
+	SwitchBackend Backend = iota
+	// FirewallBackend programs host firewalls (iptables mode).
+	FirewallBackend
+)
+
+// String returns "openflow" or "iptables".
+func (b Backend) String() string {
+	if b == FirewallBackend {
+		return "iptables"
+	}
+	return "openflow"
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Backend selects the partitioner implementation.
+	Backend Backend
+	// Net configures the underlying fabric.
+	Net netsim.Options
+}
+
+// Engine is NEAT's central test engine. It owns the fabric, deploys
+// the system under test, runs client operations in a single global
+// order (the engine itself is the serialization point: test code calls
+// into clients sequentially from one goroutine), injects and heals
+// partitions, and crashes nodes.
+type Engine struct {
+	net   *netsim.Network
+	sw    *switchfab.Switch
+	fwset *firewall.Set
+	part  Partitioner
+
+	mu      sync.Mutex
+	nodes   []Node
+	systems []ISystem
+	trace   *Trace
+}
+
+// NewEngine builds an engine with a fresh fabric.
+func NewEngine(opts Options) *Engine {
+	n := netsim.New(opts.Net)
+	sw := switchfab.New()
+	n.SetSwitch(sw)
+	fwset := firewall.NewSet(n)
+	e := &Engine{net: n, sw: sw, fwset: fwset, trace: NewTrace()}
+	switch opts.Backend {
+	case FirewallBackend:
+		e.part = NewFirewallPartitioner(fwset)
+	default:
+		e.part = NewSwitchPartitioner(sw)
+	}
+	return e
+}
+
+// Network exposes the fabric so systems can attach endpoints.
+func (e *Engine) Network() *netsim.Network { return e.net }
+
+// Switch exposes the software switch (for flow-table inspection).
+func (e *Engine) Switch() *switchfab.Switch { return e.sw }
+
+// Firewalls exposes the host firewall set.
+func (e *Engine) Firewalls() *firewall.Set { return e.fwset }
+
+// Trace returns the recorded manifestation sequence of this test.
+func (e *Engine) Trace() *Trace { return e.trace }
+
+// AddNode declares a node with the given role, making it visible to
+// Rest() and coverage checks.
+func (e *Engine) AddNode(id netsim.NodeID, role Role) Node {
+	n := Node{ID: id, Role: role}
+	e.mu.Lock()
+	e.nodes = append(e.nodes, n)
+	e.mu.Unlock()
+	// Touch the firewall so iptables-mode rules can be installed even
+	// before the node sends its first packet.
+	e.fwset.Host(id)
+	return n
+}
+
+// Servers returns the declared server-role node IDs.
+func (e *Engine) Servers() []netsim.NodeID { return e.nodesWithRole(RoleServer) }
+
+// Clients returns the declared client-role node IDs.
+func (e *Engine) Clients() []netsim.NodeID { return e.nodesWithRole(RoleClient) }
+
+// AllNodes returns every declared node ID in declaration order.
+func (e *Engine) AllNodes() []netsim.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]netsim.NodeID, len(e.nodes))
+	for i, n := range e.nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+func (e *Engine) nodesWithRole(r Role) []netsim.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var ids []netsim.NodeID
+	for _, n := range e.nodes {
+		if n.Role == r {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Rest returns all declared nodes not in group (Partitioner.rest in
+// the paper's Listing 2).
+func (e *Engine) Rest(group []netsim.NodeID) []netsim.NodeID {
+	return Rest(e.AllNodes(), group)
+}
+
+// Deploy registers a system under test and starts it.
+func (e *Engine) Deploy(sys ISystem) error {
+	if err := sys.Start(); err != nil {
+		return fmt.Errorf("core: starting %s: %w", sys.Name(), err)
+	}
+	e.mu.Lock()
+	e.systems = append(e.systems, sys)
+	e.mu.Unlock()
+	e.trace.Record(EvDeploy, sys.Name())
+	return nil
+}
+
+// Shutdown stops every deployed system (in reverse deployment order)
+// and closes the fabric.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	systems := append([]ISystem(nil), e.systems...)
+	e.mu.Unlock()
+	for i := len(systems) - 1; i >= 0; i-- {
+		_ = systems[i].Stop()
+	}
+	e.net.Close()
+}
+
+// --- Partition API (the paper's Partitioner methods, with tracing) ---
+
+// Complete creates a complete partition between the two groups.
+func (e *Engine) Complete(a, b []netsim.NodeID) (*Partition, error) {
+	p, err := e.part.Complete(a, b)
+	if err == nil {
+		e.trace.Record(EvPartition, p.String())
+	}
+	return p, err
+}
+
+// Partial creates a partial partition between the two groups.
+func (e *Engine) Partial(a, b []netsim.NodeID) (*Partition, error) {
+	p, err := e.part.Partial(a, b)
+	if err == nil {
+		e.trace.Record(EvPartition, p.String())
+	}
+	return p, err
+}
+
+// Simplex creates a one-way partition src->dst.
+func (e *Engine) Simplex(src, dst []netsim.NodeID) (*Partition, error) {
+	p, err := e.part.Simplex(src, dst)
+	if err == nil {
+		e.trace.Record(EvPartition, p.String())
+	}
+	return p, err
+}
+
+// Heal removes the fault injected for p.
+func (e *Engine) Heal(p *Partition) error {
+	err := e.part.Heal(p)
+	if err == nil {
+		e.trace.Record(EvHeal, p.String())
+	}
+	return err
+}
+
+// HealAll removes every active fault.
+func (e *Engine) HealAll() error { return e.part.HealAll() }
+
+// VerifyPartition checks that the fabric actually honours an injected
+// (or healed) partition, pair by pair — the sanity check a NEAT test
+// performs through the system-status API before trusting its workload
+// results.
+func (e *Engine) VerifyPartition(p *Partition) error {
+	healed := p.Healed()
+	for _, a := range p.GroupA {
+		for _, b := range p.GroupB {
+			abBlocked := !e.net.Reachable(a, b)
+			baBlocked := !e.net.Reachable(b, a)
+			switch {
+			case healed:
+				if abBlocked || baBlocked {
+					return fmt.Errorf("core: healed partition still blocks %s<->%s", a, b)
+				}
+			case p.Type == SimplexPartition:
+				// Simplex(src=A, dst=B): A->B flows, B->A is dropped.
+				if abBlocked {
+					return fmt.Errorf("core: simplex partition blocks the allowed direction %s->%s", a, b)
+				}
+				if !baBlocked {
+					return fmt.Errorf("core: simplex partition lets %s->%s through", b, a)
+				}
+			default:
+				if !abBlocked || !baBlocked {
+					return fmt.Errorf("core: partition does not block %s<->%s", a, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- Node lifecycle ---
+
+// Crash stops a node abruptly (power-off model: no goodbye messages).
+func (e *Engine) Crash(id netsim.NodeID) {
+	e.net.Crash(id)
+	e.trace.Record(EvCrash, string(id))
+}
+
+// Restart brings a crashed node back.
+func (e *Engine) Restart(id netsim.NodeID) {
+	e.net.Restart(id)
+	e.trace.Record(EvRestart, string(id))
+}
+
+// CrashGroup crashes a set of nodes at once — the paper's test engine
+// "provides an API for crashing any group of nodes", which models the
+// correlated failures (rack power loss, bad upgrade wave) the studied
+// networks exhibit.
+func (e *Engine) CrashGroup(ids []netsim.NodeID) {
+	for _, id := range ids {
+		e.net.Crash(id)
+	}
+	e.trace.Record(EvCrash, fmt.Sprintf("group %v", ids))
+}
+
+// RestartGroup restarts a crashed group.
+func (e *Engine) RestartGroup(ids []netsim.NodeID) {
+	for _, id := range ids {
+		e.net.Restart(id)
+	}
+	e.trace.Record(EvRestart, fmt.Sprintf("group %v", ids))
+}
+
+// RebootCluster crashes and immediately restarts every declared node —
+// Table 8's "whole cluster reboot" input event.
+func (e *Engine) RebootCluster() {
+	ids := e.AllNodes()
+	for _, id := range ids {
+		e.net.Crash(id)
+	}
+	for _, id := range ids {
+		e.net.Restart(id)
+	}
+	e.trace.Record(EvReboot, fmt.Sprintf("%d nodes", len(ids)))
+}
+
+// --- Timing helpers ---
+
+// Sleep pauses the global order for d, recording it in the trace. The
+// study's timing constraints (Finding 10) are expressed with these
+// sleeps: e.g. sleeping one leader-election period after a partition.
+func (e *Engine) Sleep(d time.Duration) {
+	e.trace.Record(EvSleep, d.String())
+	time.Sleep(d)
+}
+
+// WaitUntil polls cond every millisecond until it returns true or the
+// timeout elapses, and reports whether the condition was met. It is
+// the bounded-wait alternative to a raw sleep.
+func (e *Engine) WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Record appends a client-operation event to the trace; clients call
+// this so the manifestation sequence of the test is reconstructable.
+func (e *Engine) Record(kind EventKind, format string, args ...any) {
+	e.trace.Record(kind, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"neat/internal/firewall"
+	"neat/internal/netsim"
+	"neat/internal/switchfab"
+)
+
+// Partitioner creates and heals network partitions. The two
+// implementations mirror the paper's two backends: an OpenFlow-style
+// switch controller and an iptables-style host-firewall manipulator.
+type Partitioner interface {
+	// Complete creates a complete partition between groupA and groupB:
+	// no packet crosses between the groups in either direction. The two
+	// groups are expected to jointly cover the cluster.
+	Complete(groupA, groupB []netsim.NodeID) (*Partition, error)
+	// Partial creates a partition between groupA and groupB without
+	// affecting their communication with the rest of the cluster.
+	Partial(groupA, groupB []netsim.NodeID) (*Partition, error)
+	// Simplex creates a one-way partition: packets flow from groupSrc
+	// to groupDst, but not in the other direction.
+	Simplex(groupSrc, groupDst []netsim.NodeID) (*Partition, error)
+	// Heal removes the fault injected for p.
+	Heal(p *Partition) error
+	// HealAll removes every fault this partitioner has injected.
+	HealAll() error
+}
+
+func validateGroups(a, b []netsim.NodeID) error {
+	if len(a) == 0 || len(b) == 0 {
+		return fmt.Errorf("core: partition groups must be non-empty (got %d and %d nodes)", len(a), len(b))
+	}
+	seen := make(map[netsim.NodeID]bool, len(a))
+	for _, id := range a {
+		seen[id] = true
+	}
+	for _, id := range b {
+		if seen[id] {
+			return fmt.Errorf("core: node %s appears on both sides of the partition", id)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// OpenFlow-style backend
+// ---------------------------------------------------------------------
+
+// SwitchPartitioner injects partitions by installing drop rules in the
+// switch flow table at a priority above the learning-switch rule,
+// exactly as the paper's Floodlight controller module does.
+type SwitchPartitioner struct {
+	sw *switchfab.Switch
+
+	mu     sync.Mutex
+	active map[*Partition]uint64 // partition -> flow cookie
+}
+
+// NewSwitchPartitioner creates the OpenFlow-style backend.
+func NewSwitchPartitioner(sw *switchfab.Switch) *SwitchPartitioner {
+	return &SwitchPartitioner{sw: sw, active: make(map[*Partition]uint64)}
+}
+
+func (sp *SwitchPartitioner) install(t PartitionType, a, b []netsim.NodeID, bidir bool) (*Partition, error) {
+	if err := validateGroups(a, b); err != nil {
+		return nil, err
+	}
+	cookie := sp.sw.NextCookie()
+	for _, src := range a {
+		for _, dst := range b {
+			sp.sw.Install(switchfab.PartitionPriority,
+				switchfab.Match{Src: src, Dst: dst}, switchfab.DropAction, cookie)
+			if bidir {
+				sp.sw.Install(switchfab.PartitionPriority,
+					switchfab.Match{Src: dst, Dst: src}, switchfab.DropAction, cookie)
+			}
+		}
+	}
+	p := &Partition{Type: t, GroupA: append([]netsim.NodeID(nil), a...), GroupB: append([]netsim.NodeID(nil), b...)}
+	p.undo = func() {
+		sp.sw.RemoveCookie(cookie)
+		sp.mu.Lock()
+		delete(sp.active, p)
+		sp.mu.Unlock()
+	}
+	sp.mu.Lock()
+	sp.active[p] = cookie
+	sp.mu.Unlock()
+	return p, nil
+}
+
+// Complete implements Partitioner.
+func (sp *SwitchPartitioner) Complete(a, b []netsim.NodeID) (*Partition, error) {
+	return sp.install(CompletePartition, a, b, true)
+}
+
+// Partial implements Partitioner.
+func (sp *SwitchPartitioner) Partial(a, b []netsim.NodeID) (*Partition, error) {
+	return sp.install(PartialPartition, a, b, true)
+}
+
+// Simplex implements Partitioner. Packets may still flow from src
+// group to dst group; the reverse direction is dropped. install(a, b)
+// blocks a->b, so the rule set blocks dst->src; the Partition record
+// is normalized to GroupA=src, GroupB=dst.
+func (sp *SwitchPartitioner) Simplex(src, dst []netsim.NodeID) (*Partition, error) {
+	p, err := sp.install(SimplexPartition, dst, src, false)
+	if err != nil {
+		return nil, err
+	}
+	p.GroupA, p.GroupB = append([]netsim.NodeID(nil), src...), append([]netsim.NodeID(nil), dst...)
+	return p, nil
+}
+
+// Heal implements Partitioner.
+func (sp *SwitchPartitioner) Heal(p *Partition) error { return p.heal() }
+
+// HealAll implements Partitioner.
+func (sp *SwitchPartitioner) HealAll() error {
+	sp.mu.Lock()
+	parts := make([]*Partition, 0, len(sp.active))
+	for p := range sp.active {
+		parts = append(parts, p)
+	}
+	sp.mu.Unlock()
+	for _, p := range parts {
+		if err := p.heal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActivePartitions returns how many partitions are currently injected.
+func (sp *SwitchPartitioner) ActivePartitions() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.active)
+}
+
+// ---------------------------------------------------------------------
+// iptables-style backend
+// ---------------------------------------------------------------------
+
+// FirewallPartitioner injects partitions by appending DROP rules to the
+// INPUT and OUTPUT chains of every affected host, tagged with a comment
+// so Heal removes exactly the rules of one partition. This mirrors the
+// paper's backend for deployments without an OpenFlow switch.
+type FirewallPartitioner struct {
+	set *firewall.Set
+
+	mu     sync.Mutex
+	seq    int
+	active map[*Partition]string // partition -> rule comment tag
+}
+
+// NewFirewallPartitioner creates the iptables-style backend.
+func NewFirewallPartitioner(set *firewall.Set) *FirewallPartitioner {
+	return &FirewallPartitioner{set: set, active: make(map[*Partition]string)}
+}
+
+func (fp *FirewallPartitioner) nextTag() string {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.seq++
+	return fmt.Sprintf("neat-partition-%d", fp.seq)
+}
+
+func (fp *FirewallPartitioner) install(t PartitionType, a, b []netsim.NodeID, bidir bool) (*Partition, error) {
+	if err := validateGroups(a, b); err != nil {
+		return nil, err
+	}
+	tag := fp.nextTag()
+	// Block b->a at both ends: a's INPUT drops packets from b, and b's
+	// OUTPUT drops packets to a. Installing at both ends is redundant
+	// on a healthy host but matches what the real tool does and keeps
+	// the fault in place even if one host's firewall is flushed.
+	for _, x := range a {
+		hx := fp.set.Host(x)
+		for _, y := range b {
+			hy := fp.set.Host(y)
+			hx.AppendInput(firewall.Rule{Src: y, Target: firewall.Drop, Comment: tag})
+			hy.AppendOutput(firewall.Rule{Dst: x, Target: firewall.Drop, Comment: tag})
+			if bidir {
+				hy.AppendInput(firewall.Rule{Src: x, Target: firewall.Drop, Comment: tag})
+				hx.AppendOutput(firewall.Rule{Dst: y, Target: firewall.Drop, Comment: tag})
+			}
+		}
+	}
+	p := &Partition{Type: t, GroupA: append([]netsim.NodeID(nil), a...), GroupB: append([]netsim.NodeID(nil), b...)}
+	p.undo = func() {
+		fp.set.DeleteByComment(tag)
+		fp.mu.Lock()
+		delete(fp.active, p)
+		fp.mu.Unlock()
+	}
+	fp.mu.Lock()
+	fp.active[p] = tag
+	fp.mu.Unlock()
+	return p, nil
+}
+
+// Complete implements Partitioner.
+func (fp *FirewallPartitioner) Complete(a, b []netsim.NodeID) (*Partition, error) {
+	return fp.install(CompletePartition, a, b, true)
+}
+
+// Partial implements Partitioner.
+func (fp *FirewallPartitioner) Partial(a, b []netsim.NodeID) (*Partition, error) {
+	return fp.install(PartialPartition, a, b, true)
+}
+
+// Simplex implements Partitioner. Packets may flow src->dst; dst->src
+// is dropped. Note install(a, b, false) blocks the b->a direction.
+func (fp *FirewallPartitioner) Simplex(src, dst []netsim.NodeID) (*Partition, error) {
+	return fp.install(SimplexPartition, src, dst, false)
+}
+
+// Heal implements Partitioner.
+func (fp *FirewallPartitioner) Heal(p *Partition) error { return p.heal() }
+
+// HealAll implements Partitioner.
+func (fp *FirewallPartitioner) HealAll() error {
+	fp.mu.Lock()
+	parts := make([]*Partition, 0, len(fp.active))
+	for p := range fp.active {
+		parts = append(parts, p)
+	}
+	fp.mu.Unlock()
+	for _, p := range parts {
+		if err := p.heal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActivePartitions returns how many partitions are currently injected.
+func (fp *FirewallPartitioner) ActivePartitions() int {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return len(fp.active)
+}

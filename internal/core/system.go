@@ -1,0 +1,23 @@
+package core
+
+import "neat/internal/netsim"
+
+// ISystem is the lifecycle interface a system under test implements so
+// NEAT can deploy it, mirroring the paper's ISystem (install, start,
+// obtain the status of, and shut down the target system).
+type ISystem interface {
+	// Name identifies the system in traces and reports.
+	Name() string
+	// Start boots every node of the system.
+	Start() error
+	// Stop shuts the system down.
+	Stop() error
+	// Status reports per-node health as seen from outside the system.
+	Status() map[netsim.NodeID]NodeStatus
+}
+
+// NodeStatus is the externally observable state of one system node.
+type NodeStatus struct {
+	Up   bool
+	Role string // system-specific: "leader", "follower", "master", ...
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventKind classifies trace events using the taxonomy of Table 8 (the
+// input events involved in failures) plus framework events.
+type EventKind int
+
+const (
+	// EvPartition is a network-partitioning fault injection.
+	EvPartition EventKind = iota
+	// EvHeal removes a partition.
+	EvHeal
+	// EvWrite is a client write request.
+	EvWrite
+	// EvRead is a client read request.
+	EvRead
+	// EvDelete is a client delete request.
+	EvDelete
+	// EvAcquireLock is a lock/semaphore acquisition.
+	EvAcquireLock
+	// EvReleaseLock is a lock/semaphore release.
+	EvReleaseLock
+	// EvAdmin is an administrative action (add/remove node, change
+	// replication).
+	EvAdmin
+	// EvReboot is a whole-cluster reboot.
+	EvReboot
+	// EvCrash is a node crash injected by the engine.
+	EvCrash
+	// EvRestart restarts a crashed node.
+	EvRestart
+	// EvSleep is a timing step (waiting out an election period etc.).
+	EvSleep
+	// EvDeploy records a system deployment.
+	EvDeploy
+	// EvCheck is a verification step.
+	EvCheck
+)
+
+var eventNames = map[EventKind]string{
+	EvPartition:   "partition",
+	EvHeal:        "heal",
+	EvWrite:       "write",
+	EvRead:        "read",
+	EvDelete:      "delete",
+	EvAcquireLock: "acquire-lock",
+	EvReleaseLock: "release-lock",
+	EvAdmin:       "admin",
+	EvReboot:      "reboot",
+	EvCrash:       "crash",
+	EvRestart:     "restart",
+	EvSleep:       "sleep",
+	EvDeploy:      "deploy",
+	EvCheck:       "check",
+}
+
+// String returns the event-kind name used in reports.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// InputEvent reports whether the kind counts as an input event in the
+// study's manifestation-sequence analysis (Tables 7-9): partitions,
+// client requests, lock operations, admin actions, and reboots count;
+// sleeps, checks, and framework bookkeeping do not.
+func (k EventKind) InputEvent() bool {
+	switch k {
+	case EvPartition, EvWrite, EvRead, EvDelete, EvAcquireLock,
+		EvReleaseLock, EvAdmin, EvReboot:
+		return true
+	}
+	return false
+}
+
+// Event is one entry in a test's manifestation sequence.
+type Event struct {
+	Seq    int
+	At     time.Time
+	Kind   EventKind
+	Detail string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.Detail)
+}
+
+// Trace records the globally ordered sequence of events of one test.
+// It is what makes the study's Tables 7-9 measurable on live runs.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends an event.
+func (t *Trace) Record(kind EventKind, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Seq:    len(t.events) + 1,
+		At:     time.Now(),
+		Kind:   kind,
+		Detail: detail,
+	})
+}
+
+// Events returns a copy of the recorded sequence.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// InputEvents returns only the events that count in the study's
+// event-count analysis.
+func (t *Trace) InputEvents() []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind.InputEvent() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventCount returns the number of input events (the measure used in
+// Table 7, which counts the network-partitioning fault as an event).
+func (t *Trace) EventCount() int { return len(t.InputEvents()) }
+
+// PartitionFirst reports whether the first input event is the
+// network-partitioning fault (the 84% case of Table 9).
+func (t *Trace) PartitionFirst() bool {
+	ev := t.InputEvents()
+	return len(ev) > 0 && ev[0].Kind == EvPartition
+}
+
+// String renders the whole trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	return b.String()
+}

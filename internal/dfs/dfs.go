@@ -1,0 +1,497 @@
+// Package dfs implements an HDFS/MooseFS-style distributed file
+// system: a NameNode holding the namespace and block locations,
+// DataNodes storing chunks and reporting liveness by heartbeat, and a
+// pipeline-writing client.
+//
+// Three studied failures live here:
+//
+//   - HDFS-1384: rack-aware placement keeps suggesting DataNodes from
+//     the same rack the client cannot reach across a partial partition;
+//     the client gives up after five attempts.
+//   - HDFS-577: a simplex partition lets a DataNode send heartbeats but
+//     not receive requests, so the NameNode keeps scheduling work onto a
+//     node nobody can use.
+//   - MooseFS #131/#132: a partial partition between the client and a
+//     chunk server makes the file system look inconsistent to the
+//     client — the metadata says the file exists, but reads fail.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// RPC method names.
+const (
+	mAllocate  = "dfs.allocate"
+	mCommit    = "dfs.commit"
+	mLocations = "dfs.locations"
+	mHealth    = "dfs.health"
+	mHeartbeat = "dfs.heartbeat"
+	mStore     = "dfs.store"
+	mFetch     = "dfs.fetch"
+)
+
+type allocateReq struct {
+	File     string
+	Excluded []netsim.NodeID
+}
+
+type commitReq struct {
+	File string
+	Node netsim.NodeID
+}
+
+type locationsReq struct{ File string }
+
+type hbMsg struct{ Node netsim.NodeID }
+
+type storeReq struct{ File, Data string }
+
+type fetchReq struct{ File string }
+
+// ErrNoDataNodes is returned when allocation cannot find a candidate.
+var ErrNoDataNodes = errors.New("dfs: no datanode available")
+
+// ErrNotFound is returned for unknown files.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// ErrWriteFailed is returned when the client exhausts its placement
+// retries — the HDFS-1384 give-up-after-five behaviour.
+var ErrWriteFailed = errors.New("dfs: write failed after placement retries")
+
+// MaxPlacementRetries is HDFS's pipeline-recovery retry budget ("the
+// process repeats five times before the client gives up").
+const MaxPlacementRetries = 5
+
+// Config configures the file system.
+type Config struct {
+	// NameNode is the metadata server's node.
+	NameNode netsim.NodeID
+	// Racks maps each DataNode to its rack.
+	Racks map[netsim.NodeID]string
+	// CrossRackRetry makes allocation switch racks once a node from a
+	// rack has been excluded — the fix for HDFS-1384. Off by default:
+	// rack-aware placement prefers the rack it already chose.
+	CrossRackRetry bool
+	// HeartbeatInterval is the DataNode liveness period.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is missed periods before a DataNode is dead.
+	HeartbeatMisses int
+	// RPCTimeout bounds data-path calls.
+	RPCTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if c.HeartbeatMisses == 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 30 * time.Millisecond
+	}
+	return c
+}
+
+// DataNodes returns the configured DataNode IDs in sorted order.
+func (c Config) DataNodes() []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, len(c.Racks))
+	for id := range c.Racks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---------------------------------------------------------------------
+// NameNode
+// ---------------------------------------------------------------------
+
+// NameNode is the metadata server.
+type NameNode struct {
+	cfg Config
+	ep  *transport.Endpoint
+
+	mu        sync.Mutex
+	lastHeard map[netsim.NodeID]time.Time
+	files     map[string][]netsim.NodeID // file -> committed replica nodes
+	stopped   bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewNameNode creates the NameNode, unstarted.
+func NewNameNode(n *netsim.Network, cfg Config) *NameNode {
+	cfg = cfg.withDefaults()
+	nn := &NameNode{
+		cfg:       cfg,
+		ep:        transport.NewEndpoint(n, cfg.NameNode),
+		lastHeard: make(map[netsim.NodeID]time.Time),
+		files:     make(map[string][]netsim.NodeID),
+		stopCh:    make(chan struct{}),
+	}
+	now := time.Now()
+	for id := range cfg.Racks {
+		nn.lastHeard[id] = now
+	}
+	nn.ep.DefaultTimeout = cfg.RPCTimeout
+	nn.ep.Handle(mAllocate, nn.onAllocate)
+	nn.ep.Handle(mCommit, nn.onCommit)
+	nn.ep.Handle(mLocations, nn.onLocations)
+	nn.ep.Handle(mHealth, nn.onHealth)
+	nn.ep.Handle(mHeartbeat, nn.onHeartbeat)
+	return nn
+}
+
+// Start is a no-op (the NameNode is passive); present for symmetry.
+func (nn *NameNode) Start() {}
+
+// Stop detaches the NameNode.
+func (nn *NameNode) Stop() {
+	nn.mu.Lock()
+	if nn.stopped {
+		nn.mu.Unlock()
+		return
+	}
+	nn.stopped = true
+	nn.mu.Unlock()
+	close(nn.stopCh)
+	nn.wg.Wait()
+	nn.ep.Close()
+}
+
+func (nn *NameNode) healthyLocked() []netsim.NodeID {
+	cutoff := time.Duration(nn.cfg.HeartbeatMisses) * nn.cfg.HeartbeatInterval
+	now := time.Now()
+	var out []netsim.NodeID
+	for _, id := range nn.cfg.DataNodes() {
+		if now.Sub(nn.lastHeard[id]) <= cutoff {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Healthy returns the DataNodes the NameNode currently believes are
+// alive. Under a simplex partition this includes nodes that cannot
+// actually serve anything (HDFS-577).
+func (nn *NameNode) Healthy() []netsim.NodeID {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nn.healthyLocked()
+}
+
+func (nn *NameNode) onHeartbeat(from netsim.NodeID, body any) (any, error) {
+	msg, ok := body.(hbMsg)
+	if !ok {
+		return nil, errors.New("bad heartbeat")
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.lastHeard[msg.Node] = time.Now()
+	return nil, nil
+}
+
+// onAllocate picks a DataNode for a write. The flawed rack-aware
+// policy sticks with the rack of its first (healthy, lowest-ID)
+// choice, even when the client has excluded nodes from that rack.
+func (nn *NameNode) onAllocate(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(allocateReq)
+	if !ok {
+		return nil, errors.New("bad allocate")
+	}
+	excluded := make(map[netsim.NodeID]bool, len(req.Excluded))
+	for _, id := range req.Excluded {
+		excluded[id] = true
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	healthy := nn.healthyLocked()
+	if len(healthy) == 0 {
+		return nil, ErrNoDataNodes
+	}
+	var candidates []netsim.NodeID
+	if nn.cfg.CrossRackRetry && len(req.Excluded) > 0 {
+		// Fixed behaviour: after a reported failure, avoid the racks
+		// of every excluded node entirely.
+		badRacks := make(map[string]bool)
+		for id := range excluded {
+			badRacks[nn.cfg.Racks[id]] = true
+		}
+		for _, id := range healthy {
+			if !excluded[id] && !badRacks[nn.cfg.Racks[id]] {
+				candidates = append(candidates, id)
+			}
+		}
+	} else {
+		// Flawed behaviour: pick the preferred rack (that of the first
+		// healthy node) and only offer nodes from it.
+		prefRack := nn.cfg.Racks[healthy[0]]
+		for _, id := range healthy {
+			if !excluded[id] && nn.cfg.Racks[id] == prefRack {
+				candidates = append(candidates, id)
+			}
+		}
+		// HDFS-1384: "will likely suggest another node from the same
+		// rack". If the whole preferred rack is excluded, it keeps
+		// suggesting excluded-rack nodes' peers — i.e. nothing else —
+		// so allocation fails only when the rack is exhausted of
+		// distinct nodes; then it re-offers excluded ones.
+		if len(candidates) == 0 {
+			for _, id := range healthy {
+				if nn.cfg.Racks[id] == prefRack {
+					candidates = append(candidates, id)
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoDataNodes
+	}
+	return candidates[0], nil
+}
+
+func (nn *NameNode) onCommit(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(commitReq)
+	if !ok {
+		return nil, errors.New("bad commit")
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.files[req.File] = append(nn.files[req.File], req.Node)
+	return nil, nil
+}
+
+func (nn *NameNode) onLocations(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(locationsReq)
+	if !ok {
+		return nil, errors.New("bad locations")
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	locs, exists := nn.files[req.File]
+	if !exists {
+		return nil, ErrNotFound
+	}
+	return append([]netsim.NodeID(nil), locs...), nil
+}
+
+func (nn *NameNode) onHealth(netsim.NodeID, any) (any, error) {
+	return nn.Healthy(), nil
+}
+
+// ---------------------------------------------------------------------
+// DataNode
+// ---------------------------------------------------------------------
+
+// DataNode stores chunks and heartbeats the NameNode.
+type DataNode struct {
+	cfg Config
+	id  netsim.NodeID
+	ep  *transport.Endpoint
+
+	mu      sync.Mutex
+	chunks  map[string]string
+	stopped bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewDataNode creates a DataNode, unstarted.
+func NewDataNode(n *netsim.Network, id netsim.NodeID, cfg Config) *DataNode {
+	cfg = cfg.withDefaults()
+	dn := &DataNode{
+		cfg:    cfg,
+		id:     id,
+		ep:     transport.NewEndpoint(n, id),
+		chunks: make(map[string]string),
+		stopCh: make(chan struct{}),
+	}
+	dn.ep.DefaultTimeout = cfg.RPCTimeout
+	dn.ep.Handle(mStore, dn.onStore)
+	dn.ep.Handle(mFetch, dn.onFetch)
+	return dn
+}
+
+// ID returns the DataNode's node ID.
+func (dn *DataNode) ID() netsim.NodeID { return dn.id }
+
+// Start launches the heartbeat loop.
+func (dn *DataNode) Start() {
+	dn.wg.Add(1)
+	go dn.heartbeatLoop()
+}
+
+// Stop halts the DataNode.
+func (dn *DataNode) Stop() {
+	dn.mu.Lock()
+	if dn.stopped {
+		dn.mu.Unlock()
+		return
+	}
+	dn.stopped = true
+	dn.mu.Unlock()
+	close(dn.stopCh)
+	dn.wg.Wait()
+	dn.ep.Close()
+}
+
+func (dn *DataNode) heartbeatLoop() {
+	defer dn.wg.Done()
+	t := time.NewTicker(dn.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-dn.stopCh:
+			return
+		case <-t.C:
+			_ = dn.ep.Notify(dn.cfg.NameNode, mHeartbeat, hbMsg{Node: dn.id})
+		}
+	}
+}
+
+func (dn *DataNode) onStore(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(storeReq)
+	if !ok {
+		return nil, errors.New("bad store")
+	}
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	dn.chunks[req.File] = req.Data
+	return nil, nil
+}
+
+func (dn *DataNode) onFetch(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(fetchReq)
+	if !ok {
+		return nil, errors.New("bad fetch")
+	}
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	data, exists := dn.chunks[req.File]
+	if !exists {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// HasChunk reports whether the DataNode stores the file (for tests).
+func (dn *DataNode) HasChunk(file string) bool {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	_, ok := dn.chunks[file]
+	return ok
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+// Client writes and reads files.
+type Client struct {
+	cfg     Config
+	ep      *transport.Endpoint
+	timeout time.Duration
+
+	mu       sync.Mutex
+	attempts int // placement attempts used by the last Write
+}
+
+// NewClient attaches a DFS client.
+func NewClient(n *netsim.Network, id netsim.NodeID, cfg Config) *Client {
+	return &Client{cfg: cfg.withDefaults(), ep: transport.NewEndpoint(n, id), timeout: 100 * time.Millisecond}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
+
+// Close detaches the client.
+func (c *Client) Close() { c.ep.Close() }
+
+// LastWriteAttempts reports how many placement attempts the most
+// recent Write used — the observable performance degradation of
+// HDFS-1384 and HDFS-577.
+func (c *Client) LastWriteAttempts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts
+}
+
+// Write stores a file: ask the NameNode for a DataNode, push the
+// chunk, report failures, retry with exclusions up to the budget.
+func (c *Client) Write(file, data string) error {
+	var excluded []netsim.NodeID
+	attempts := 0
+	defer func() {
+		c.mu.Lock()
+		c.attempts = attempts
+		c.mu.Unlock()
+	}()
+	for attempts < MaxPlacementRetries {
+		attempts++
+		resp, err := c.ep.Call(c.cfg.NameNode, mAllocate, allocateReq{File: file, Excluded: excluded}, c.timeout)
+		if err != nil {
+			return fmt.Errorf("dfs: allocate: %w", err)
+		}
+		node, _ := resp.(netsim.NodeID)
+		if _, err := c.ep.Call(node, mStore, storeReq{File: file, Data: data}, c.timeout); err != nil {
+			// Unreachable DataNode: exclude it and ask again.
+			excluded = append(excluded, node)
+			continue
+		}
+		if _, err := c.ep.Call(c.cfg.NameNode, mCommit, commitReq{File: file, Node: node}, c.timeout); err != nil {
+			return fmt.Errorf("dfs: commit: %w", err)
+		}
+		return nil
+	}
+	return ErrWriteFailed
+}
+
+// Read fetches a file by resolving its locations at the NameNode and
+// trying each replica.
+func (c *Client) Read(file string) (string, error) {
+	resp, err := c.ep.Call(c.cfg.NameNode, mLocations, locationsReq{File: file}, c.timeout)
+	if err != nil {
+		return "", err
+	}
+	locs, _ := resp.([]netsim.NodeID)
+	var lastErr error = ErrNotFound
+	for _, node := range locs {
+		data, err := c.ep.Call(node, mFetch, fetchReq{File: file}, c.timeout)
+		if err == nil {
+			s, _ := data.(string)
+			return s, nil
+		}
+		lastErr = err
+	}
+	return "", fmt.Errorf("dfs: all replicas unreachable: %w", lastErr)
+}
+
+// Health asks the NameNode which DataNodes it believes are alive.
+func (c *Client) Health() ([]netsim.NodeID, error) {
+	resp, err := c.ep.Call(c.cfg.NameNode, mHealth, nil, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	ids, _ := resp.([]netsim.NodeID)
+	return ids, nil
+}
+
+// IsWriteFailed reports whether err is the exhausted-retries failure.
+func IsWriteFailed(err error) bool {
+	if errors.Is(err, ErrWriteFailed) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == ErrWriteFailed.Error()
+}

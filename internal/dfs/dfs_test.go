@@ -1,0 +1,196 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+func testConfig() Config {
+	return Config{
+		NameNode: "nn",
+		Racks: map[netsim.NodeID]string{
+			"d1": "rack0", "d2": "rack0",
+			"d3": "rack1", "d4": "rack1",
+		},
+		HeartbeatInterval: 10 * time.Millisecond,
+		// Generous miss budget so scheduler hiccups (e.g. under the
+		// race detector) cannot fake a dead DataNode.
+		HeartbeatMisses: 10,
+		RPCTimeout:      30 * time.Millisecond,
+	}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	cl  *Client
+}
+
+func deploy(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	eng.AddNode(cfg.NameNode, core.RoleServer)
+	for _, id := range cfg.DataNodes() {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("cl", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{eng: eng, sys: sys, cl: NewClient(eng.Network(), "cl", cfg)}
+	t.Cleanup(func() {
+		f.cl.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.cl.Write("f1", "data"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n := f.cl.LastWriteAttempts(); n != 1 {
+		t.Fatalf("attempts = %d, want 1 on a healthy cluster", n)
+	}
+	got, err := f.cl.Read("f1")
+	if err != nil || got != "data" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	f := deploy(t, testConfig())
+	if _, err := f.cl.Read("ghost"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestHDFS1384SameRackPlacementFailure: a partial partition separates
+// the client from rack0 while the NameNode reaches everything. The
+// flawed rack-aware allocator keeps offering rack0 nodes; after five
+// attempts the client gives up even though rack1 is fully reachable.
+func TestHDFS1384SameRackPlacementFailure(t *testing.T) {
+	f := deploy(t, testConfig())
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"cl"}, []netsim.NodeID{"d1", "d2"}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.cl.Write("f1", "data")
+	if !IsWriteFailed(err) {
+		t.Fatalf("write = %v, want placement-retry exhaustion", err)
+	}
+	if n := f.cl.LastWriteAttempts(); n != MaxPlacementRetries {
+		t.Fatalf("attempts = %d, want the full budget of %d", n, MaxPlacementRetries)
+	}
+}
+
+// TestCrossRackRetryFixesPlacement is the control: with the fix the
+// second attempt jumps to rack1 and the write succeeds.
+func TestCrossRackRetryFixesPlacement(t *testing.T) {
+	cfg := testConfig()
+	cfg.CrossRackRetry = true
+	f := deploy(t, cfg)
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"cl"}, []netsim.NodeID{"d1", "d2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cl.Write("f1", "data"); err != nil {
+		t.Fatalf("write with cross-rack retry: %v", err)
+	}
+	if n := f.cl.LastWriteAttempts(); n != 2 {
+		t.Fatalf("attempts = %d, want 2 (one failure, one cross-rack success)", n)
+	}
+	// The chunk landed on rack1.
+	if !f.sys.DataNode("d3").HasChunk("f1") && !f.sys.DataNode("d4").HasChunk("f1") {
+		t.Fatal("chunk not on rack1")
+	}
+}
+
+// TestHDFS577SimplexHeartbeatKeepsDeadNodeHealthy: a simplex partition
+// lets d1 send heartbeats but not receive anything. The NameNode keeps
+// believing d1 is healthy and keeps allocating to it; clients pay
+// retries for every write (performance degradation).
+func TestHDFS577SimplexHeartbeatKeepsDeadNodeHealthy(t *testing.T) {
+	f := deploy(t, testConfig())
+	// Traffic flows d1 -> everyone (heartbeats out), nothing -> d1.
+	if _, err := f.eng.Simplex(
+		[]netsim.NodeID{"d1"}, []netsim.NodeID{"nn", "d2", "d3", "d4", "cl"}); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Sleep(100 * time.Millisecond) // many heartbeat periods
+	// The NameNode still lists d1 healthy — the HDFS-577 confusion.
+	healthy, err := f.cl.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range healthy {
+		if id == "d1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("healthy = %v; d1's one-way heartbeats must keep it listed", healthy)
+	}
+	// Writes still complete but pay a retry: degradation, not loss.
+	if err := f.cl.Write("f1", "data"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n := f.cl.LastWriteAttempts(); n < 2 {
+		t.Fatalf("attempts = %d; expected retries caused by the unusable node", n)
+	}
+}
+
+// TestMooseFSClientSeesInconsistentState: a partial partition between
+// the client and the only replica holding a chunk makes the namespace
+// claim a file the client cannot read (MooseFS #131).
+func TestMooseFSClientSeesInconsistentState(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.cl.Write("f1", "data"); err != nil {
+		t.Fatal(err)
+	}
+	// The chunk is on d1 (first allocation). Cut the client from d1
+	// only; the NameNode still reaches it, so no re-replication
+	// triggers.
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"cl"}, []netsim.NodeID{"d1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.cl.Read("f1"); err == nil {
+		t.Fatal("read should fail: metadata says the file exists but no replica is reachable")
+	}
+	// Metadata still lists the file — the inconsistency the client sees.
+	healthy, err := f.cl.Health()
+	if err != nil || len(healthy) != 4 {
+		t.Fatalf("health = %v, %v; NameNode view must be intact", healthy, err)
+	}
+}
+
+func TestCrashedDataNodeLeavesHealthyList(t *testing.T) {
+	f := deploy(t, testConfig())
+	f.eng.Crash("d1")
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		healthy := f.sys.NameNode().Healthy()
+		for _, id := range healthy {
+			if id == "d1" {
+				return false
+			}
+		}
+		return len(healthy) == 3
+	})
+	if !ok {
+		t.Fatalf("healthy = %v; crashed node must drop out", f.sys.NameNode().Healthy())
+	}
+	// Writes route around the dead node on the first allocation.
+	if err := f.cl.Write("f1", "data"); err != nil {
+		t.Fatal(err)
+	}
+	if f.sys.DataNode("d1").HasChunk("f1") {
+		t.Fatal("chunk allocated to a crashed node")
+	}
+}

@@ -1,0 +1,62 @@
+package dfs
+
+import (
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles the NameNode and DataNodes into NEAT's ISystem
+// interface.
+type System struct {
+	cfg   Config
+	net   *netsim.Network
+	nn    *NameNode
+	nodes map[netsim.NodeID]*DataNode
+}
+
+// NewSystem creates the file system, unstarted.
+func NewSystem(n *netsim.Network, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{cfg: cfg, net: n, nn: NewNameNode(n, cfg), nodes: make(map[netsim.NodeID]*DataNode)}
+	for _, id := range cfg.DataNodes() {
+		s.nodes[id] = NewDataNode(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "dfs" }
+
+// Start implements core.ISystem.
+func (s *System) Start() error {
+	s.nn.Start()
+	for _, dn := range s.nodes {
+		dn.Start()
+	}
+	return nil
+}
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	for _, dn := range s.nodes {
+		dn.Stop()
+	}
+	s.nn.Stop()
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.nodes)+1)
+	out[s.cfg.NameNode] = core.NodeStatus{Up: s.net.IsUp(s.cfg.NameNode), Role: "namenode"}
+	for id := range s.nodes {
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: "datanode"}
+	}
+	return out
+}
+
+// NameNode returns the metadata server.
+func (s *System) NameNode() *NameNode { return s.nn }
+
+// DataNode returns the DataNode on a host.
+func (s *System) DataNode(id netsim.NodeID) *DataNode { return s.nodes[id] }

@@ -1,0 +1,263 @@
+// Package election models the leader-election criteria used by the
+// studied systems and the four flaw families of Table 4:
+//
+//   - overlapping successive leaders (57.4% of election failures): the
+//     deposed leader keeps serving during the window before it learns it
+//     lost the majority;
+//   - electing bad leaders (20.4%): simple criteria — longest log wins
+//     (VoltDB), latest operation timestamp wins (MongoDB), lowest ID
+//     wins (Elasticsearch) — can elect a node from the minority side and
+//     erase the majority's updates;
+//   - voting for two candidates (18.5%): nodes vote for a new leader
+//     while still connected to the current one, producing intersecting
+//     splits with two simultaneous leaders (Elasticsearch issue #2488);
+//   - conflicting election criteria (3.7%): a priority rule and a
+//     latest-timestamp rule can each veto the other's candidate, leaving
+//     the cluster leaderless (MongoDB SERVER-14885).
+//
+// The package is pure logic — vote evaluation and candidate comparison —
+// so it can be reused by every substrate and tested exhaustively.
+package election
+
+import (
+	"fmt"
+
+	"neat/internal/netsim"
+)
+
+// Mode selects the election criterion.
+type Mode int
+
+const (
+	// ModeQuorum is majority voting with a log-completeness check,
+	// the proven-protocol shape (Raft/Paxos-like). It still exhibits
+	// the leader-overlap window.
+	ModeQuorum Mode = iota
+	// ModeLongestLog elects the reachable node with the longest log,
+	// without requiring a majority (VoltDB-style).
+	ModeLongestLog
+	// ModeLatestTS elects the reachable node with the newest
+	// operation timestamp (MongoDB-style).
+	ModeLatestTS
+	// ModeLowestID elects the reachable node with the smallest ID
+	// (Elasticsearch-style) and lets nodes vote while they can still
+	// reach the current leader.
+	ModeLowestID
+	// ModePriority elects by administrator-assigned priority and lets
+	// high-priority and latest-timestamp nodes veto other candidates
+	// (the conflicting-criteria flaw).
+	ModePriority
+)
+
+// String names the mode after the archetype system.
+func (m Mode) String() string {
+	switch m {
+	case ModeLongestLog:
+		return "longest-log"
+	case ModeLatestTS:
+		return "latest-ts"
+	case ModeLowestID:
+		return "lowest-id"
+	case ModePriority:
+		return "priority"
+	default:
+		return "quorum"
+	}
+}
+
+// RequiresMajority reports whether the mode only elects with a
+// majority of the full replica set. The flawed criteria elect within
+// whatever set of nodes is reachable — that is exactly what lets a
+// minority side elect its own leader.
+func (m Mode) RequiresMajority() bool { return m == ModeQuorum }
+
+// Flaw is the Table 4 classification.
+type Flaw int
+
+const (
+	// FlawOverlap is the window with two simultaneous leaders before
+	// the deposed one steps down.
+	FlawOverlap Flaw = iota
+	// FlawBadLeader is electing a leader with an incomplete data set.
+	FlawBadLeader
+	// FlawDoubleVote is voting for a candidate while connected to a
+	// live leader.
+	FlawDoubleVote
+	// FlawConflictingCriteria is mutually vetoing election rules.
+	FlawConflictingCriteria
+)
+
+// String returns the Table 4 row name.
+func (f Flaw) String() string {
+	switch f {
+	case FlawBadLeader:
+		return "electing bad leaders"
+	case FlawDoubleVote:
+		return "voting for two candidates"
+	case FlawConflictingCriteria:
+		return "conflicting election criteria"
+	default:
+		return "overlapping between successive leaders"
+	}
+}
+
+// FlawsOf returns the flaw families a mode is vulnerable to. Every
+// mode has the overlap window; the flawed criteria add their own.
+func FlawsOf(m Mode) []Flaw {
+	switch m {
+	case ModeLongestLog, ModeLatestTS:
+		return []Flaw{FlawOverlap, FlawBadLeader}
+	case ModeLowestID:
+		return []Flaw{FlawOverlap, FlawBadLeader, FlawDoubleVote}
+	case ModePriority:
+		return []Flaw{FlawOverlap, FlawConflictingCriteria}
+	default:
+		return []Flaw{FlawOverlap}
+	}
+}
+
+// Candidate carries the attributes election criteria examine.
+type Candidate struct {
+	ID     netsim.NodeID
+	Term   uint64
+	LogLen int
+	// LogTerm is the term of the last log entry, the Raft up-to-date
+	// attribute. The flawed criteria ignore it — that is what lets a
+	// log padded with uncommitted writes win an election.
+	LogTerm  uint64
+	LastTS   int64
+	Priority int
+}
+
+// String renders the candidate for logs.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s(term=%d log=%d ts=%d prio=%d)", c.ID, c.Term, c.LogLen, c.LastTS, c.Priority)
+}
+
+// Beats reports whether candidate a wins over candidate b under the
+// mode's criterion, with the candidate ID as the deterministic
+// tie-break (lower wins, matching the systems' use of node IDs).
+func Beats(m Mode, a, b Candidate) bool {
+	switch m {
+	case ModeLongestLog:
+		if a.LogLen != b.LogLen {
+			return a.LogLen > b.LogLen
+		}
+	case ModeLatestTS:
+		if a.LastTS != b.LastTS {
+			return a.LastTS > b.LastTS
+		}
+	case ModeLowestID:
+		return a.ID < b.ID
+	case ModePriority:
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+	default: // ModeQuorum: term, then log up-to-dateness
+		if a.Term != b.Term {
+			return a.Term > b.Term
+		}
+		if a.LogTerm != b.LogTerm {
+			return a.LogTerm > b.LogTerm
+		}
+		if a.LogLen != b.LogLen {
+			return a.LogLen > b.LogLen
+		}
+	}
+	return a.ID < b.ID
+}
+
+// Voter is the local state a node consults when asked for a vote.
+type Voter struct {
+	Self Candidate
+	// CurrentTerm is the highest term the voter has seen.
+	CurrentTerm uint64
+	// VotedFor is the candidate granted a vote in CurrentTerm ("" if
+	// none).
+	VotedFor netsim.NodeID
+	// LeaderAlive reports whether the voter currently receives
+	// heartbeats from a leader.
+	LeaderAlive bool
+}
+
+// GrantVote decides whether the voter grants its vote. The decision
+// embeds the mode's flaw: under ModeLowestID the voter ignores both
+// the one-vote-per-term rule and the liveness of its current leader,
+// which is precisely the double-voting flaw.
+func GrantVote(m Mode, v Voter, cand Candidate) bool {
+	switch m {
+	case ModeLowestID:
+		// Flaw: votes for any lower-ID candidate even while its
+		// current leader is alive, and regardless of having voted.
+		return cand.ID < v.Self.ID || !v.LeaderAlive
+	case ModeLongestLog:
+		return cand.LogLen >= v.Self.LogLen
+	case ModeLatestTS:
+		return cand.LastTS >= v.Self.LastTS
+	case ModePriority:
+		return !Veto(v, cand)
+	default: // ModeQuorum
+		if cand.Term < v.CurrentTerm {
+			return false
+		}
+		if cand.Term == v.CurrentTerm && v.VotedFor != "" && v.VotedFor != cand.ID {
+			return false
+		}
+		// Raft-style up-to-date check: last log term, then length. A
+		// log padded with stale-term entries cannot win however long.
+		if cand.LogTerm != v.Self.LogTerm {
+			return cand.LogTerm > v.Self.LogTerm
+		}
+		return cand.LogLen >= v.Self.LogLen
+	}
+}
+
+// Veto implements the conflicting-criteria flaw: a voter with a higher
+// priority than the candidate rejects the proposal, and independently a
+// voter holding a newer operation timestamp rejects it too. With one
+// node winning each criterion, every proposal is vetoed and the
+// cluster stays leaderless (MongoDB SERVER-14885).
+func Veto(v Voter, cand Candidate) bool {
+	if v.Self.Priority > cand.Priority {
+		return true
+	}
+	if v.Self.LastTS > cand.LastTS {
+		return true
+	}
+	return false
+}
+
+// Winner returns the candidate that wins an election among the given
+// contenders under the mode, or false if the contender set is empty or
+// (ModePriority) every contender is vetoed by another.
+func Winner(m Mode, contenders []Candidate) (Candidate, bool) {
+	if len(contenders) == 0 {
+		return Candidate{}, false
+	}
+	if m == ModePriority {
+		// A contender only wins if no other contender vetoes it.
+		for _, c := range contenders {
+			vetoed := false
+			for _, other := range contenders {
+				if other.ID == c.ID {
+					continue
+				}
+				if Veto(Voter{Self: other}, c) {
+					vetoed = true
+					break
+				}
+			}
+			if !vetoed {
+				return c, true
+			}
+		}
+		return Candidate{}, false
+	}
+	best := contenders[0]
+	for _, c := range contenders[1:] {
+		if Beats(m, c, best) {
+			best = c
+		}
+	}
+	return best, true
+}

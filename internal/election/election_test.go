@@ -1,0 +1,238 @@
+package election
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neat/internal/netsim"
+)
+
+func c(id string, term uint64, log int, ts int64, prio int) Candidate {
+	return Candidate{ID: netsim.NodeID(id), Term: term, LogLen: log, LastTS: ts, Priority: prio}
+}
+
+func TestBeatsLongestLog(t *testing.T) {
+	if !Beats(ModeLongestLog, c("b", 0, 5, 0, 0), c("a", 0, 3, 0, 0)) {
+		t.Fatal("longer log must win")
+	}
+	// Tie-break on ID.
+	if !Beats(ModeLongestLog, c("a", 0, 5, 0, 0), c("b", 0, 5, 0, 0)) {
+		t.Fatal("equal logs: lower ID wins")
+	}
+}
+
+func TestBeatsLatestTS(t *testing.T) {
+	if !Beats(ModeLatestTS, c("b", 0, 0, 90, 0), c("a", 0, 0, 10, 0)) {
+		t.Fatal("newer timestamp must win")
+	}
+}
+
+func TestBeatsLowestID(t *testing.T) {
+	if !Beats(ModeLowestID, c("s1", 0, 0, 0, 0), c("s2", 9, 99, 99, 9)) {
+		t.Fatal("lowest ID wins regardless of anything else")
+	}
+}
+
+func TestBeatsQuorumTermFirst(t *testing.T) {
+	if !Beats(ModeQuorum, c("b", 3, 1, 0, 0), c("a", 2, 99, 0, 0)) {
+		t.Fatal("higher term must dominate log length")
+	}
+	if !Beats(ModeQuorum, c("b", 2, 5, 0, 0), c("a", 2, 3, 0, 0)) {
+		t.Fatal("same term: longer log wins")
+	}
+}
+
+func TestBeatsPriority(t *testing.T) {
+	if !Beats(ModePriority, c("b", 0, 0, 0, 7), c("a", 0, 0, 0, 1)) {
+		t.Fatal("higher priority must win")
+	}
+}
+
+func TestRequiresMajority(t *testing.T) {
+	if !ModeQuorum.RequiresMajority() {
+		t.Fatal("quorum mode requires majority")
+	}
+	for _, m := range []Mode{ModeLongestLog, ModeLatestTS, ModeLowestID, ModePriority} {
+		if m.RequiresMajority() {
+			t.Fatalf("%v must not require majority (that is the flaw)", m)
+		}
+	}
+}
+
+func TestGrantVoteQuorumOnePerTerm(t *testing.T) {
+	v := Voter{Self: c("v", 2, 3, 0, 0), CurrentTerm: 2, VotedFor: "x"}
+	if GrantVote(ModeQuorum, v, c("y", 2, 5, 0, 0)) {
+		t.Fatal("already voted this term, must refuse")
+	}
+	if !GrantVote(ModeQuorum, v, c("x", 2, 5, 0, 0)) {
+		t.Fatal("repeat vote for the same candidate is allowed")
+	}
+	if !GrantVote(ModeQuorum, v, c("y", 3, 5, 0, 0)) {
+		t.Fatal("higher term resets the vote")
+	}
+}
+
+func TestGrantVoteQuorumLogCheck(t *testing.T) {
+	v := Voter{Self: c("v", 1, 10, 0, 0), CurrentTerm: 1}
+	if GrantVote(ModeQuorum, v, c("x", 2, 4, 0, 0)) {
+		t.Fatal("candidate with shorter log must be refused")
+	}
+	if GrantVote(ModeQuorum, v, c("x", 0, 99, 0, 0)) {
+		t.Fatal("stale term must be refused")
+	}
+}
+
+func TestGrantVoteLowestIDDoubleVotingFlaw(t *testing.T) {
+	// The Elasticsearch #2488 flaw: s3 votes for s2 even though it
+	// still hears the current leader s1 — because s2 < s3.
+	v := Voter{Self: c("s3", 0, 0, 0, 0), LeaderAlive: true}
+	if !GrantVote(ModeLowestID, v, c("s2", 0, 0, 0, 0)) {
+		t.Fatal("lowest-ID voter must grant while leader alive (the flaw)")
+	}
+	// With a higher-ID candidate and live leader it refuses.
+	if GrantVote(ModeLowestID, v, c("s9", 0, 0, 0, 0)) {
+		t.Fatal("higher-ID candidate refused while leader alive")
+	}
+	// Without a live leader, any candidate gets the vote.
+	v.LeaderAlive = false
+	if !GrantVote(ModeLowestID, v, c("s9", 0, 0, 0, 0)) {
+		t.Fatal("leaderless voter grants to anyone")
+	}
+}
+
+func TestVetoConflictingCriteria(t *testing.T) {
+	// MongoDB SERVER-14885: priority node vetoes latest-ts candidate,
+	// latest-ts node vetoes priority candidate, no leader emerges.
+	prio := c("p", 0, 0, 10, 9) // high priority, old data
+	ts := c("t", 0, 0, 99, 1)   // latest data, low priority
+	if !Veto(Voter{Self: prio}, ts) {
+		t.Fatal("priority node must veto low-priority candidate")
+	}
+	if !Veto(Voter{Self: ts}, prio) {
+		t.Fatal("latest-ts node must veto stale candidate")
+	}
+	if _, ok := Winner(ModePriority, []Candidate{prio, ts}); ok {
+		t.Fatal("conflicting criteria must leave the cluster leaderless")
+	}
+}
+
+func TestWinnerPriorityWithoutConflict(t *testing.T) {
+	a := c("a", 0, 0, 50, 9) // highest priority AND latest ts
+	b := c("b", 0, 0, 10, 1)
+	w, ok := Winner(ModePriority, []Candidate{a, b})
+	if !ok || w.ID != "a" {
+		t.Fatalf("winner = %v ok=%v, want a", w, ok)
+	}
+}
+
+func TestWinnerEmpty(t *testing.T) {
+	if _, ok := Winner(ModeQuorum, nil); ok {
+		t.Fatal("no contenders, no winner")
+	}
+}
+
+func TestWinnerBadLeaderScenario(t *testing.T) {
+	// Finding 4: a minority node with a longer (but uncommitted) log
+	// beats the majority's leader under longest-log.
+	minority := c("m", 1, 12, 0, 0) // padded with unreplicated writes
+	majority := c("j", 2, 10, 0, 0) // has all committed data
+	w, _ := Winner(ModeLongestLog, []Candidate{minority, majority})
+	if w.ID != "m" {
+		t.Fatal("longest-log must (wrongly) pick the minority node")
+	}
+	w, _ = Winner(ModeQuorum, []Candidate{minority, majority})
+	if w.ID != "j" {
+		t.Fatal("quorum mode picks by term and avoids the bad leader")
+	}
+}
+
+func TestFlawsOfTaxonomy(t *testing.T) {
+	has := func(fs []Flaw, f Flaw) bool {
+		for _, x := range fs {
+			if x == f {
+				return true
+			}
+		}
+		return false
+	}
+	for _, m := range []Mode{ModeQuorum, ModeLongestLog, ModeLatestTS, ModeLowestID, ModePriority} {
+		if !has(FlawsOf(m), FlawOverlap) {
+			t.Fatalf("%v: every mode has the overlap window", m)
+		}
+	}
+	if !has(FlawsOf(ModeLowestID), FlawDoubleVote) {
+		t.Fatal("lowest-id carries the double-vote flaw")
+	}
+	if !has(FlawsOf(ModeLongestLog), FlawBadLeader) {
+		t.Fatal("longest-log carries the bad-leader flaw")
+	}
+	if !has(FlawsOf(ModePriority), FlawConflictingCriteria) {
+		t.Fatal("priority carries the conflicting-criteria flaw")
+	}
+	if has(FlawsOf(ModeQuorum), FlawBadLeader) {
+		t.Fatal("quorum mode does not elect bad leaders")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if ModeLowestID.String() != "lowest-id" || ModeQuorum.String() != "quorum" {
+		t.Fatal("mode names")
+	}
+	if FlawOverlap.String() != "overlapping between successive leaders" {
+		t.Fatal("flaw names")
+	}
+}
+
+func TestBeatsTotalOrderProperty(t *testing.T) {
+	// Property: for any two distinct candidates exactly one beats the
+	// other (Beats is a strict total order) for every mode.
+	modes := []Mode{ModeQuorum, ModeLongestLog, ModeLatestTS, ModeLowestID, ModePriority}
+	f := func(t1, t2 uint64, l1, l2 uint8, s1, s2 int16, p1, p2 int8) bool {
+		a := Candidate{ID: "a", Term: t1, LogLen: int(l1), LastTS: int64(s1), Priority: int(p1)}
+		b := Candidate{ID: "b", Term: t2, LogLen: int(l2), LastTS: int64(s2), Priority: int(p2)}
+		for _, m := range modes {
+			if Beats(m, a, b) == Beats(m, b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinnerIsUnbeatenProperty(t *testing.T) {
+	// Property: for the comparison-based modes the winner beats every
+	// other contender.
+	modes := []Mode{ModeQuorum, ModeLongestLog, ModeLatestTS, ModeLowestID}
+	f := func(logs []uint8) bool {
+		if len(logs) == 0 {
+			return true
+		}
+		var cands []Candidate
+		for i, l := range logs {
+			cands = append(cands, Candidate{
+				ID:     netsim.NodeID(rune('a' + i%26)),
+				Term:   uint64(l % 5),
+				LogLen: int(l),
+				LastTS: int64(l) * 3,
+			})
+		}
+		for _, m := range modes {
+			w, ok := Winner(m, cands)
+			if !ok {
+				return false
+			}
+			for _, c := range cands {
+				if c.ID != w.ID && Beats(m, c, w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package eventual
+
+import (
+	"errors"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// Client is bound to one coordinator replica, the way a partitioned
+// application instance keeps talking to the replicas on its side.
+type Client struct {
+	ep      *transport.Endpoint
+	timeout time.Duration
+}
+
+// NewClient attaches a client to the fabric.
+func NewClient(n *netsim.Network, id netsim.NodeID) *Client {
+	return &Client{ep: transport.NewEndpoint(n, id), timeout: 100 * time.Millisecond}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
+
+// Close detaches the client.
+func (c *Client) Close() { c.ep.Close() }
+
+// Put writes through the given coordinator. The write is acknowledged
+// as soon as the coordinator applies it locally (asynchronous
+// replication — the availability choice).
+func (c *Client) Put(coordinator netsim.NodeID, key, val string) error {
+	_, err := c.ep.Call(coordinator, mPut, putReq{Key: key, Val: val}, c.timeout)
+	return err
+}
+
+// Get reads the sibling values of key from the given coordinator. One
+// value means no conflict; multiple values are concurrent siblings the
+// application must resolve.
+func (c *Client) Get(coordinator netsim.NodeID, key string) ([]string, error) {
+	resp, err := c.ep.Call(coordinator, mGet, getReq{Key: key}, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	gr, _ := resp.(getResp)
+	out := make([]string, len(gr.Versions))
+	for i, v := range gr.Versions {
+		out[i] = v.Val
+	}
+	return out, nil
+}
+
+// IsNotFound reports whether err is a missing-key error.
+func IsNotFound(err error) bool {
+	if errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == ErrNotFound.Error()
+}

@@ -1,0 +1,349 @@
+package eventual
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+var storeIDs = []netsim.NodeID{"e1", "e2", "e3"}
+
+func testConfig(policy ConsolidationPolicy) Config {
+	return Config{
+		Replicas:            storeIDs,
+		Policy:              policy,
+		AntiEntropyInterval: 10 * time.Millisecond,
+		RPCTimeout:          30 * time.Millisecond,
+	}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	c1  *Client
+	c2  *Client
+}
+
+func deploy(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	for _, id := range cfg.Replicas {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{
+		eng: eng, sys: sys,
+		c1: NewClient(eng.Network(), "c1"),
+		c2: NewClient(eng.Network(), "c2"),
+	}
+	t.Cleanup(func() {
+		f.c1.Close()
+		f.c2.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func (f *fixture) waitValue(t *testing.T, node netsim.NodeID, key, want string) {
+	t.Helper()
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		vals, err := f.c1.Get(node, key)
+		return err == nil && len(vals) == 1 && vals[0] == want
+	})
+	if !ok {
+		vals, err := f.c1.Get(node, key)
+		t.Fatalf("%s never converged: %v, %v (want %q)", node, vals, err, want)
+	}
+}
+
+func TestWriteConvergesToAllReplicas(t *testing.T) {
+	f := deploy(t, testConfig(LastWriterWins))
+	if err := f.c1.Put("e1", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range storeIDs {
+		f.waitValue(t, id, "k", "v")
+	}
+}
+
+func TestReadMissingKey(t *testing.T) {
+	f := deploy(t, testConfig(LastWriterWins))
+	if _, err := f.c1.Get("e1", "nope"); !IsNotFound(err) {
+		t.Fatalf("missing key = %v, want not-found", err)
+	}
+}
+
+// TestLWWLosesAcknowledgedWrite demonstrates Finding 4's consolidation
+// data loss: during a partition both sides accept writes to the same
+// key; on heal the later wall-clock timestamp silently wins, and the
+// other acknowledged write vanishes everywhere.
+func TestLWWLosesAcknowledgedWrite(t *testing.T) {
+	f := deploy(t, testConfig(LastWriterWins))
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"e1", "c1"}, []netsim.NodeID{"e2", "e3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Acknowledged on side 1 first, then side 2 (a later timestamp).
+	if err := f.c1.Put("e1", "k", "first"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // ensure distinct wall-clock order
+	if err := f.c2.Put("e2", "k", "second"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Anti-entropy converges everyone onto "second"; "first" is lost
+	// with no conflict surfaced.
+	for _, id := range storeIDs {
+		f.waitValue(t, id, "k", "second")
+	}
+	vals, err := f.c1.Get("e1", "k")
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("siblings = %v, %v; LWW must silently keep exactly one", vals, err)
+	}
+}
+
+// TestVectorCausalityKeepsSiblings is the control: the same scenario
+// under vector-clock consolidation surfaces both writes as concurrent
+// siblings instead of dropping one.
+func TestVectorCausalityKeepsSiblings(t *testing.T) {
+	f := deploy(t, testConfig(VectorCausality))
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"e1", "c1"}, []netsim.NodeID{"e2", "e3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c1.Put("e1", "k", "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c2.Put("e2", "k", "second"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		vals, err := f.c1.Get("e1", "k")
+		return err == nil && len(vals) == 2
+	})
+	if !ok {
+		vals, _ := f.c1.Get("e1", "k")
+		t.Fatalf("siblings = %v, want both concurrent writes preserved", vals)
+	}
+}
+
+func TestCausalOverwriteLeavesOneVersion(t *testing.T) {
+	// A write that has seen the previous version dominates it — no
+	// sibling explosion for ordinary sequential updates.
+	f := deploy(t, testConfig(VectorCausality))
+	if err := f.c1.Put("e1", "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	f.waitValue(t, "e1", "k", "v1")
+	if err := f.c1.Put("e1", "k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range storeIDs {
+		f.waitValue(t, id, "k", "v2")
+	}
+}
+
+// TestHintedHandoffDeliversAfterHeal: writes to a partitioned peer are
+// stored as hints and replayed once the partition heals.
+func TestHintedHandoffDeliversAfterHeal(t *testing.T) {
+	cfg := testConfig(LastWriterWins)
+	cfg.HintedHandoff = true
+	cfg.AntiEntropyInterval = 10 * time.Millisecond
+	f := deploy(t, cfg)
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"e3"}, []netsim.NodeID{"e1", "e2", "c1", "c2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c1.Put("e1", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.sys.Replica("e1").HintCount() > 0
+	})
+	if !ok {
+		t.Fatal("hint never stored for the unreachable replica")
+	}
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	f.waitValue(t, "e3", "k", "v")
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.sys.Replica("e1").HintCount() == 0
+	})
+	if !ok {
+		t.Fatal("hints never drained after heal")
+	}
+}
+
+// TestInterruptedSyncCorruptsNonAtomicReceiver reproduces the Redis
+// PSYNC corruption (issue #3899): a partition in the middle of a bulk
+// sync leaves the receiver with a silently applied prefix.
+func TestInterruptedSyncCorruptsNonAtomicReceiver(t *testing.T) {
+	cfg := testConfig(LastWriterWins)
+	cfg.AntiEntropyInterval = 0               // no background repair; isolate the sync path
+	cfg.SyncChunkDelay = 3 * time.Millisecond // pace the transfer: a ~30ms window
+	f := deploy(t, cfg)
+	for i := 0; i < 10; i++ {
+		if err := f.c1.Put("e1", string(rune('a'+i)), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := f.sys.Replica("e1")
+	// Interrupt the transfer partway: wait until the receiver has some
+	// (but not all) chunks, then partition — exactly the "partition
+	// during a sync operation" timing constraint (Table 11's Bounded
+	// class).
+	done := make(chan error, 1)
+	go func() { done <- src.SyncTo("e3") }()
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		got, _ := f.sys.Replica("e3").SyncProgress()
+		return got >= 1
+	})
+	if !ok {
+		t.Fatal("sync never started")
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"e3"}, []netsim.NodeID{"e1", "e2", "c1", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("sync should have been interrupted by the partition")
+	}
+	if !f.sys.Replica("e3").Corrupted() {
+		t.Fatalf("receiver got %d keys and is not marked corrupted", f.sys.Replica("e3").Keys())
+	}
+}
+
+// TestAtomicSyncDiscardsPartialTransfer is the fix control.
+func TestAtomicSyncDiscardsPartialTransfer(t *testing.T) {
+	cfg := testConfig(LastWriterWins)
+	cfg.AntiEntropyInterval = 0
+	cfg.AtomicSync = true
+	cfg.SyncChunkDelay = 3 * time.Millisecond
+	f := deploy(t, cfg)
+	for i := 0; i < 10; i++ {
+		if err := f.c1.Put("e1", string(rune('a'+i)), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replication was asynchronous: e3 may have some keys already.
+	// What matters is that an interrupted SYNC doesn't corrupt it.
+	src := f.sys.Replica("e1")
+	done := make(chan error, 1)
+	go func() { done <- src.SyncTo("e3") }()
+	f.eng.WaitUntil(2*time.Second, func() bool {
+		got, _ := f.sys.Replica("e3").SyncProgress()
+		return got >= 1
+	})
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"e3"}, []netsim.NodeID{"e1", "e2", "c1", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if f.sys.Replica("e3").Corrupted() {
+		t.Fatal("atomic receiver must never be corrupted by an interrupted sync")
+	}
+}
+
+func TestGossipWithMergesExplicitly(t *testing.T) {
+	cfg := testConfig(LastWriterWins)
+	cfg.AntiEntropyInterval = 0
+	f := deploy(t, cfg)
+	if err := f.c1.Put("e1", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// e3 may have missed the async replication; explicit gossip fixes it.
+	f.sys.Replica("e3").GossipWith("e1")
+	vals, err := f.c1.Get("e3", "k")
+	if err != nil || len(vals) != 1 || vals[0] != "v" {
+		t.Fatalf("after gossip: %v, %v", vals, err)
+	}
+}
+
+func TestReconcileLWWKeepsExactlyNewestProperty(t *testing.T) {
+	// Property: LWW reconciliation returns exactly one version — the
+	// maximum timestamp — for any non-empty inputs.
+	f := func(curTS, incTS []int16) bool {
+		var cur, inc []Version
+		max := int64(-1 << 16)
+		for _, ts := range curTS {
+			cur = append(cur, Version{Val: "c", TS: int64(ts)})
+			if int64(ts) > max {
+				max = int64(ts)
+			}
+		}
+		for _, ts := range incTS {
+			inc = append(inc, Version{Val: "i", TS: int64(ts)})
+			if int64(ts) > max {
+				max = int64(ts)
+			}
+		}
+		out := reconcileLWW(cur, inc)
+		if len(cur)+len(inc) == 0 {
+			return len(out) == 0
+		}
+		return len(out) == 1 && out[0].TS == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconcileVectorNeverKeepsDominatedProperty(t *testing.T) {
+	// Property: after vector reconciliation, no surviving version is
+	// causally dominated by another survivor.
+	f := func(seqs [][]uint8) bool {
+		if len(seqs) > 6 {
+			seqs = seqs[:6]
+		}
+		var versions []Version
+		for i, ticks := range seqs {
+			v := NewVClock()
+			for _, tk := range ticks {
+				v.Tick(quickNodes[int(tk)%len(quickNodes)])
+			}
+			versions = append(versions, Version{Val: string(rune('a' + i)), Clock: v})
+		}
+		out := reconcileVector(nil, versions)
+		for i, a := range out {
+			for j, b := range out {
+				if i != j && a.Clock.Compare(b.Clock) == Before {
+					return false
+				}
+			}
+		}
+		// And every input is either kept or dominated by a survivor.
+		for _, in := range versions {
+			kept := false
+			for _, s := range out {
+				o := in.Clock.Compare(s.Clock)
+				if o == Equal || o == Before {
+					kept = true
+					break
+				}
+			}
+			if !kept {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

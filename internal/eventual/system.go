@@ -1,0 +1,54 @@
+package eventual
+
+import (
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles a replica group into NEAT's ISystem interface.
+type System struct {
+	cfg      Config
+	net      *netsim.Network
+	replicas map[netsim.NodeID]*Replica
+}
+
+// NewSystem creates the replica group, unstarted.
+func NewSystem(n *netsim.Network, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{cfg: cfg, net: n, replicas: make(map[netsim.NodeID]*Replica)}
+	for _, id := range cfg.Replicas {
+		s.replicas[id] = NewReplica(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "eventual" }
+
+// Start implements core.ISystem.
+func (s *System) Start() error {
+	for _, r := range s.replicas {
+		r.Start()
+	}
+	return nil
+}
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	for _, r := range s.replicas {
+		r.Stop()
+	}
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.replicas))
+	for id := range s.replicas {
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: "replica"}
+	}
+	return out
+}
+
+// Replica returns the replica on a node.
+func (s *System) Replica(id netsim.NodeID) *Replica { return s.replicas[id] }

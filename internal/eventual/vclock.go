@@ -1,0 +1,124 @@
+// Package eventual implements a leaderless, eventually consistent
+// replicated store in the mould of Dynamo, Cassandra, Redis, and
+// Hazelcast: any replica coordinates a write, replication is
+// asynchronous, anti-entropy reconciles divergence, and conflicting
+// versions are resolved by a configurable consolidation policy.
+//
+// The paper's Finding 4 singles out data consolidation as the third
+// most failure-prone mechanism: "Redis, MongoDB, Aerospike,
+// Elasticsearch, and Hazelcast employ simple policies to automate data
+// consolidation, such as the write with the latest timestamp wins...
+// because these policies do not check the replication or operation
+// status, they can lose data that is replicated on the majority of
+// nodes and that was acknowledged to the client." Both the flawed
+// policy (last-writer-wins) and the safe alternative (vector-clock
+// causality with sibling retention) are implemented so tests can
+// demonstrate the difference.
+package eventual
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"neat/internal/netsim"
+)
+
+// VClock is a vector clock: per-node event counters.
+type VClock map[netsim.NodeID]uint64
+
+// NewVClock returns an empty clock.
+func NewVClock() VClock { return make(VClock) }
+
+// Copy returns an independent copy.
+func (v VClock) Copy() VClock {
+	out := make(VClock, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Tick increments the counter of one node, returning the clock.
+func (v VClock) Tick(id netsim.NodeID) VClock {
+	v[id]++
+	return v
+}
+
+// Order is the causal relationship between two clocks.
+type Order int
+
+const (
+	// Equal means identical clocks.
+	Equal Order = iota
+	// Before means the receiver causally precedes the argument.
+	Before
+	// After means the receiver causally follows the argument.
+	After
+	// Concurrent means neither precedes the other: a true conflict.
+	Concurrent
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return "equal"
+	}
+}
+
+// Compare returns the causal order of v relative to w.
+func (v VClock) Compare(w VClock) Order {
+	vLess, wLess := false, false
+	for id, n := range v {
+		if n > w[id] {
+			wLess = true
+		}
+	}
+	for id, n := range w {
+		if n > v[id] {
+			vLess = true
+		}
+	}
+	switch {
+	case vLess && wLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case wLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Merge returns the element-wise maximum of the two clocks.
+func (v VClock) Merge(w VClock) VClock {
+	out := v.Copy()
+	for id, n := range w {
+		if n > out[id] {
+			out[id] = n
+		}
+	}
+	return out
+}
+
+// String renders the clock deterministically.
+func (v VClock) String() string {
+	ids := make([]netsim.NodeID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s:%d", id, v[id])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

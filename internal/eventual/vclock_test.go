@@ -1,0 +1,135 @@
+package eventual
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neat/internal/netsim"
+)
+
+func TestCompareBasics(t *testing.T) {
+	a := NewVClock().Tick("x")
+	b := a.Copy().Tick("x")
+	if a.Compare(b) != Before {
+		t.Fatal("a must be before b")
+	}
+	if b.Compare(a) != After {
+		t.Fatal("b must be after a")
+	}
+	if a.Compare(a.Copy()) != Equal {
+		t.Fatal("copies must be equal")
+	}
+}
+
+func TestCompareConcurrent(t *testing.T) {
+	base := NewVClock().Tick("x")
+	a := base.Copy().Tick("a")
+	b := base.Copy().Tick("b")
+	if a.Compare(b) != Concurrent || b.Compare(a) != Concurrent {
+		t.Fatal("divergent ticks must be concurrent")
+	}
+}
+
+func TestMergeDominatesBoth(t *testing.T) {
+	a := NewVClock().Tick("a").Tick("a")
+	b := NewVClock().Tick("b")
+	m := a.Merge(b)
+	if m.Compare(a) != After && m.Compare(a) != Equal {
+		t.Fatal("merge must dominate a")
+	}
+	if m.Compare(b) != After {
+		t.Fatal("merge must dominate b")
+	}
+	if m["a"] != 2 || m["b"] != 1 {
+		t.Fatalf("merge = %v", m)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	v := VClock{"b": 2, "a": 1}
+	if v.String() != "{a:1,b:2}" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func clockFrom(ticks []uint8, nodes []netsim.NodeID) VClock {
+	v := NewVClock()
+	for _, tk := range ticks {
+		v.Tick(nodes[int(tk)%len(nodes)])
+	}
+	return v
+}
+
+var quickNodes = []netsim.NodeID{"a", "b", "c"}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	// Property: Compare(a,b) and Compare(b,a) are always consistent
+	// inverses.
+	f := func(t1, t2 []uint8) bool {
+		a := clockFrom(t1, quickNodes)
+		b := clockFrom(t2, quickNodes)
+		switch a.Compare(b) {
+		case Before:
+			return b.Compare(a) == After
+		case After:
+			return b.Compare(a) == Before
+		case Equal:
+			return b.Compare(a) == Equal
+		case Concurrent:
+			return b.Compare(a) == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeUpperBoundProperty(t *testing.T) {
+	// Property: a.Merge(b) is never Before or Concurrent with either
+	// input.
+	f := func(t1, t2 []uint8) bool {
+		a := clockFrom(t1, quickNodes)
+		b := clockFrom(t2, quickNodes)
+		m := a.Merge(b)
+		oa, ob := m.Compare(a), m.Compare(b)
+		okA := oa == After || oa == Equal
+		okB := ob == After || ob == Equal
+		return okA && okB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCommutativeProperty(t *testing.T) {
+	f := func(t1, t2 []uint8) bool {
+		a := clockFrom(t1, quickNodes)
+		b := clockFrom(t2, quickNodes)
+		return a.Merge(b).Compare(b.Merge(a)) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickAlwaysAdvancesProperty(t *testing.T) {
+	f := func(ticks []uint8, who uint8) bool {
+		v := clockFrom(ticks, quickNodes)
+		w := v.Copy().Tick(quickNodes[int(who)%len(quickNodes)])
+		return v.Compare(w) == Before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	for o, want := range map[Order]string{
+		Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q", int(o), o.String())
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package fd implements a heartbeat-based failure detector of the kind
+// every studied system uses: each node periodically broadcasts a
+// heartbeat, and a peer is suspected after a configurable number of
+// missed periods.
+//
+// The detector deliberately has the property the paper identifies as
+// the root of many failures: an unreachable node is indistinguishable
+// from a crashed node, so both sides of a partition may declare each
+// other dead while both are healthy.
+package fd
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// heartbeatKind is the RPC method name used for heartbeats.
+const heartbeatKind = "fd.heartbeat"
+
+// State is a peer's health as seen by the local detector.
+type State int
+
+const (
+	// Alive means heartbeats are arriving.
+	Alive State = iota
+	// Suspected means the peer missed enough heartbeats to be
+	// declared failed.
+	Suspected
+)
+
+// String returns "alive" or "suspected".
+func (s State) String() string {
+	if s == Suspected {
+		return "suspected"
+	}
+	return "alive"
+}
+
+// Event is delivered to the listener on a state transition.
+type Event struct {
+	Peer netsim.NodeID
+	Now  State
+	At   time.Time
+}
+
+// Listener receives state-transition events. Calls are serialized.
+type Listener func(Event)
+
+// Options configures a detector.
+type Options struct {
+	// Interval is the heartbeat period.
+	Interval time.Duration
+	// MissesToSuspect is the number of consecutive missed periods
+	// after which a peer is suspected (the "three heartbeats" rule in
+	// RabbitMQ/Redis/Hazelcast/VoltDB that Table 11's fixed timing
+	// constraints reference).
+	MissesToSuspect int
+}
+
+// DefaultOptions returns the detector configuration used in tests:
+// 10 ms heartbeats, suspect after 3 misses.
+func DefaultOptions() Options {
+	return Options{Interval: 10 * time.Millisecond, MissesToSuspect: 3}
+}
+
+type peerState struct {
+	lastHeard time.Time
+	state     State
+}
+
+// Detector tracks the health of a peer set.
+type Detector struct {
+	ep    *transport.Endpoint
+	opts  Options
+	peers []netsim.NodeID
+
+	mu       sync.Mutex
+	states   map[netsim.NodeID]*peerState
+	listener Listener
+	stopped  bool
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New creates a detector for the given peer set (excluding self) on an
+// endpoint. Call Start to begin exchanging heartbeats.
+func New(ep *transport.Endpoint, peers []netsim.NodeID, opts Options, l Listener) *Detector {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultOptions().Interval
+	}
+	if opts.MissesToSuspect <= 0 {
+		opts.MissesToSuspect = DefaultOptions().MissesToSuspect
+	}
+	d := &Detector{
+		ep:       ep,
+		opts:     opts,
+		states:   make(map[netsim.NodeID]*peerState),
+		listener: l,
+		stopCh:   make(chan struct{}),
+	}
+	now := time.Now()
+	for _, p := range peers {
+		if p == ep.ID() {
+			continue
+		}
+		d.peers = append(d.peers, p)
+		d.states[p] = &peerState{lastHeard: now, state: Alive}
+	}
+	ep.Handle(heartbeatKind, d.onHeartbeat)
+	return d
+}
+
+// Start launches the heartbeat sender and the monitor loop.
+func (d *Detector) Start() {
+	d.wg.Add(2)
+	go d.sendLoop()
+	go d.checkLoop()
+}
+
+// Stop halts both loops. The detector cannot be restarted.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	close(d.stopCh)
+	d.wg.Wait()
+}
+
+// Interval returns the configured heartbeat period.
+func (d *Detector) Interval() time.Duration { return d.opts.Interval }
+
+// SuspectTimeout returns the time after which a silent peer is
+// suspected.
+func (d *Detector) SuspectTimeout() time.Duration {
+	return time.Duration(d.opts.MissesToSuspect) * d.opts.Interval
+}
+
+func (d *Detector) onHeartbeat(from netsim.NodeID, _ any) (any, error) {
+	now := time.Now()
+	var ev *Event
+	d.mu.Lock()
+	ps, ok := d.states[from]
+	if ok {
+		ps.lastHeard = now
+		if ps.state == Suspected {
+			ps.state = Alive
+			ev = &Event{Peer: from, Now: Alive, At: now}
+		}
+	}
+	l := d.listener
+	d.mu.Unlock()
+	if ev != nil && l != nil {
+		l(*ev)
+	}
+	return nil, nil
+}
+
+func (d *Detector) sendLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-t.C:
+			for _, p := range d.peers {
+				_ = d.ep.Notify(p, heartbeatKind, nil)
+			}
+		}
+	}
+}
+
+func (d *Detector) checkLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-t.C:
+			d.sweep()
+		}
+	}
+}
+
+func (d *Detector) sweep() {
+	now := time.Now()
+	cutoff := d.SuspectTimeout()
+	var events []Event
+	d.mu.Lock()
+	for id, ps := range d.states {
+		if ps.state == Alive && now.Sub(ps.lastHeard) > cutoff {
+			ps.state = Suspected
+			events = append(events, Event{Peer: id, Now: Suspected, At: now})
+		}
+	}
+	l := d.listener
+	d.mu.Unlock()
+	if l == nil {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Peer < events[j].Peer })
+	for _, ev := range events {
+		l(ev)
+	}
+}
+
+// StateOf returns the current view of a peer.
+func (d *Detector) StateOf(id netsim.NodeID) State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ps, ok := d.states[id]; ok {
+		return ps.state
+	}
+	return Suspected
+}
+
+// AlivePeers returns the peers currently considered alive, sorted.
+func (d *Detector) AlivePeers() []netsim.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []netsim.NodeID
+	for id, ps := range d.states {
+		if ps.state == Alive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SuspectedPeers returns the peers currently suspected, sorted.
+func (d *Detector) SuspectedPeers() []netsim.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []netsim.NodeID
+	for id, ps := range d.states {
+		if ps.state == Suspected {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

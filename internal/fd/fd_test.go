@@ -1,0 +1,196 @@
+package fd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+type harness struct {
+	net  *netsim.Network
+	eps  map[netsim.NodeID]*transport.Endpoint
+	dets map[netsim.NodeID]*Detector
+
+	mu     sync.Mutex
+	events []Event
+}
+
+func newHarness(t *testing.T, ids []netsim.NodeID, opts Options) *harness {
+	t.Helper()
+	h := &harness{
+		net:  netsim.New(netsim.Options{}),
+		eps:  make(map[netsim.NodeID]*transport.Endpoint),
+		dets: make(map[netsim.NodeID]*Detector),
+	}
+	for _, id := range ids {
+		ep := transport.NewEndpoint(h.net, id)
+		h.eps[id] = ep
+		h.dets[id] = New(ep, ids, opts, func(ev Event) {
+			h.mu.Lock()
+			h.events = append(h.events, ev)
+			h.mu.Unlock()
+		})
+	}
+	for _, d := range h.dets {
+		d.Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range h.dets {
+			d.Stop()
+		}
+		for _, ep := range h.eps {
+			ep.Close()
+		}
+	})
+	return h
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAllAliveWithoutFaults(t *testing.T) {
+	ids := []netsim.NodeID{"a", "b", "c"}
+	h := newHarness(t, ids, Options{Interval: 5 * time.Millisecond, MissesToSuspect: 3})
+	time.Sleep(60 * time.Millisecond)
+	for _, d := range h.dets {
+		if n := len(d.SuspectedPeers()); n != 0 {
+			t.Fatalf("suspected %d peers on a healthy network", n)
+		}
+	}
+}
+
+func TestPartitionCausesMutualSuspicion(t *testing.T) {
+	// The core ambiguity of Finding: both sides of a complete
+	// partition declare the other dead while all nodes are healthy.
+	ids := []netsim.NodeID{"a", "b", "c"}
+	h := newHarness(t, ids, Options{Interval: 5 * time.Millisecond, MissesToSuspect: 3})
+	h.net.SetSwitch(netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		if (src == "a") != (dst == "a") { // isolate a completely
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	}))
+	waitFor(t, time.Second, func() bool {
+		return h.dets["a"].StateOf("b") == Suspected &&
+			h.dets["a"].StateOf("c") == Suspected &&
+			h.dets["b"].StateOf("a") == Suspected &&
+			h.dets["c"].StateOf("a") == Suspected
+	}, "mutual suspicion never established")
+	// b and c still see each other.
+	if h.dets["b"].StateOf("c") != Alive || h.dets["c"].StateOf("b") != Alive {
+		t.Fatal("majority side should remain mutually alive")
+	}
+}
+
+func TestHealRestoresAlive(t *testing.T) {
+	ids := []netsim.NodeID{"a", "b"}
+	h := newHarness(t, ids, Options{Interval: 5 * time.Millisecond, MissesToSuspect: 3})
+	var blocked sync.Mutex
+	blockOn := true
+	h.net.SetSwitch(netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		blocked.Lock()
+		defer blocked.Unlock()
+		if blockOn {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	}))
+	waitFor(t, time.Second, func() bool {
+		return h.dets["a"].StateOf("b") == Suspected
+	}, "suspicion never established")
+	blocked.Lock()
+	blockOn = false
+	blocked.Unlock()
+	waitFor(t, time.Second, func() bool {
+		return h.dets["a"].StateOf("b") == Alive && h.dets["b"].StateOf("a") == Alive
+	}, "peers never recovered after heal")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sawUp := false
+	for _, ev := range h.events {
+		if ev.Now == Alive {
+			sawUp = true
+		}
+	}
+	if !sawUp {
+		t.Fatal("no Alive transition event emitted on heal")
+	}
+}
+
+func TestSimplexPartitionOneSidedSuspicion(t *testing.T) {
+	// a->b flows, b->a is dropped: a never hears b and suspects it,
+	// while b keeps hearing a and trusts it — the HDFS-577 asymmetry.
+	ids := []netsim.NodeID{"a", "b"}
+	h := newHarness(t, ids, Options{Interval: 5 * time.Millisecond, MissesToSuspect: 3})
+	h.net.SetSwitch(netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		if src == "b" && dst == "a" {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	}))
+	waitFor(t, time.Second, func() bool {
+		return h.dets["a"].StateOf("b") == Suspected
+	}, "a should suspect silent b")
+	if h.dets["b"].StateOf("a") != Alive {
+		t.Fatal("b should still trust a (heartbeats still arrive)")
+	}
+}
+
+func TestSuspectTimeoutDerivation(t *testing.T) {
+	d := New(transport.NewEndpoint(netsim.New(netsim.Options{}), "x"),
+		nil, Options{Interval: 10 * time.Millisecond, MissesToSuspect: 3}, nil)
+	if d.SuspectTimeout() != 30*time.Millisecond {
+		t.Fatalf("SuspectTimeout = %v, want 30ms", d.SuspectTimeout())
+	}
+	if d.Interval() != 10*time.Millisecond {
+		t.Fatalf("Interval = %v", d.Interval())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := New(transport.NewEndpoint(netsim.New(netsim.Options{}), "x"),
+		nil, Options{}, nil)
+	def := DefaultOptions()
+	if d.Interval() != def.Interval {
+		t.Fatalf("interval default not applied: %v", d.Interval())
+	}
+	if d.SuspectTimeout() != time.Duration(def.MissesToSuspect)*def.Interval {
+		t.Fatalf("suspect timeout default not applied: %v", d.SuspectTimeout())
+	}
+}
+
+func TestStateOfUnknownPeerIsSuspected(t *testing.T) {
+	d := New(transport.NewEndpoint(netsim.New(netsim.Options{}), "x"),
+		[]netsim.NodeID{"x"}, Options{}, nil)
+	if d.StateOf("stranger") != Suspected {
+		t.Fatal("unknown peers must not be reported alive")
+	}
+}
+
+func TestAlivePeersSorted(t *testing.T) {
+	ids := []netsim.NodeID{"c", "a", "b", "self"}
+	net := netsim.New(netsim.Options{})
+	ep := transport.NewEndpoint(net, "self")
+	d := New(ep, ids, Options{}, nil)
+	peers := d.AlivePeers()
+	want := []netsim.NodeID{"a", "b", "c"}
+	if len(peers) != len(want) {
+		t.Fatalf("AlivePeers = %v", peers)
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("AlivePeers = %v, want %v", peers, want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package firewall implements an iptables-style host firewall: named
+// chains of rules evaluated first-match-wins, with ACCEPT and DROP
+// targets. The NEAT iptables partitioner backend programs these chains
+// on every host, mirroring the paper's deployment mode for clusters
+// without an OpenFlow switch.
+package firewall
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"neat/internal/netsim"
+)
+
+// Target is a rule action.
+type Target int
+
+const (
+	// Accept lets the packet through this chain.
+	Accept Target = iota
+	// Drop silently discards the packet.
+	Drop
+)
+
+// String returns the iptables spelling of the target.
+func (t Target) String() string {
+	if t == Drop {
+		return "DROP"
+	}
+	return "ACCEPT"
+}
+
+// Rule matches packets on (source, destination). An empty field is a
+// wildcard, like omitting -s or -d in iptables.
+type Rule struct {
+	Src    netsim.NodeID
+	Dst    netsim.NodeID
+	Target Target
+	// Comment mirrors iptables' -m comment --comment, used by the
+	// partitioner to tag rules belonging to one partition so Heal can
+	// delete exactly those rules.
+	Comment string
+}
+
+func (r Rule) matches(src, dst netsim.NodeID) bool {
+	if r.Src != "" && r.Src != src {
+		return false
+	}
+	if r.Dst != "" && r.Dst != dst {
+		return false
+	}
+	return true
+}
+
+// String renders the rule roughly as `iptables -A <chain>` arguments.
+func (r Rule) String() string {
+	var b strings.Builder
+	if r.Src != "" {
+		fmt.Fprintf(&b, "-s %s ", r.Src)
+	}
+	if r.Dst != "" {
+		fmt.Fprintf(&b, "-d %s ", r.Dst)
+	}
+	if r.Comment != "" {
+		fmt.Fprintf(&b, "-m comment --comment %q ", r.Comment)
+	}
+	fmt.Fprintf(&b, "-j %s", r.Target)
+	return b.String()
+}
+
+// Chain is an ordered rule list with a default policy.
+type Chain struct {
+	Name   string
+	Policy Target
+	rules  []Rule
+}
+
+// NewChain creates a chain with policy ACCEPT, like the default
+// INPUT/OUTPUT chains.
+func NewChain(name string) *Chain {
+	return &Chain{Name: name, Policy: Accept}
+}
+
+// Append adds a rule at the end (iptables -A).
+func (c *Chain) Append(r Rule) { c.rules = append(c.rules, r) }
+
+// Insert adds a rule at the head (iptables -I).
+func (c *Chain) Insert(r Rule) { c.rules = append([]Rule{r}, c.rules...) }
+
+// DeleteByComment removes every rule carrying the comment and reports
+// how many were removed (iptables -D driven by a tag).
+func (c *Chain) DeleteByComment(comment string) int {
+	kept := c.rules[:0]
+	removed := 0
+	for _, r := range c.rules {
+		if r.Comment == comment {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.rules = kept
+	return removed
+}
+
+// Flush removes all rules (iptables -F).
+func (c *Chain) Flush() { c.rules = nil }
+
+// Len returns the number of rules in the chain.
+func (c *Chain) Len() int { return len(c.rules) }
+
+// Verdict evaluates the chain for a packet, first match wins, falling
+// back to the chain policy.
+func (c *Chain) Verdict(src, dst netsim.NodeID) Target {
+	for _, r := range c.rules {
+		if r.matches(src, dst) {
+			return r.Target
+		}
+	}
+	return c.Policy
+}
+
+// Host is the firewall state of one machine: an INPUT chain filtering
+// packets addressed to it and an OUTPUT chain filtering packets it
+// sends. It is safe for concurrent use and implements the two
+// netsim.Filter hooks through Input()/Output().
+type Host struct {
+	mu     sync.RWMutex
+	id     netsim.NodeID
+	input  *Chain
+	output *Chain
+}
+
+// NewHost creates the firewall for one host with empty ACCEPT chains.
+func NewHost(id netsim.NodeID) *Host {
+	return &Host{id: id, input: NewChain("INPUT"), output: NewChain("OUTPUT")}
+}
+
+// ID returns the host this firewall belongs to.
+func (h *Host) ID() netsim.NodeID { return h.id }
+
+// AppendInput appends a rule to the INPUT chain.
+func (h *Host) AppendInput(r Rule) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.input.Append(r)
+}
+
+// AppendOutput appends a rule to the OUTPUT chain.
+func (h *Host) AppendOutput(r Rule) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.output.Append(r)
+}
+
+// DeleteByComment removes tagged rules from both chains.
+func (h *Host) DeleteByComment(comment string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.input.DeleteByComment(comment) + h.output.DeleteByComment(comment)
+}
+
+// Flush clears both chains.
+func (h *Host) Flush() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.input.Flush()
+	h.output.Flush()
+}
+
+// RuleCount returns the total number of installed rules.
+func (h *Host) RuleCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.input.Len() + h.output.Len()
+}
+
+// Input returns a netsim.Filter view of the INPUT chain.
+func (h *Host) Input() netsim.Filter {
+	return netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		if h.input.Verdict(src, dst) == Drop {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	})
+}
+
+// Output returns a netsim.Filter view of the OUTPUT chain.
+func (h *Host) Output() netsim.Filter {
+	return netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		if h.output.Verdict(src, dst) == Drop {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	})
+}
+
+// Script renders the host's chains as the equivalent iptables commands,
+// for debugging and for documenting what a real deployment would run.
+func (h *Host) Script() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var b strings.Builder
+	for _, pair := range []struct {
+		name  string
+		chain *Chain
+	}{{"INPUT", h.input}, {"OUTPUT", h.output}} {
+		for _, r := range pair.chain.rules {
+			fmt.Fprintf(&b, "iptables -A %s %s\n", pair.name, r)
+		}
+	}
+	return b.String()
+}
+
+// Set manages the firewalls of a whole cluster and wires them into a
+// netsim.Network.
+type Set struct {
+	mu    sync.RWMutex
+	net   *netsim.Network
+	hosts map[netsim.NodeID]*Host
+}
+
+// NewSet creates an empty firewall set bound to a fabric.
+func NewSet(n *netsim.Network) *Set {
+	return &Set{net: n, hosts: make(map[netsim.NodeID]*Host)}
+}
+
+// Host returns (creating and attaching if needed) the firewall of id.
+func (s *Set) Host(id netsim.NodeID) *Host {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hosts[id]
+	if !ok {
+		h = NewHost(id)
+		s.hosts[id] = h
+		s.net.SetIngress(id, h.Input())
+		s.net.SetEgress(id, h.Output())
+	}
+	return h
+}
+
+// DeleteByComment removes tagged rules from every host, returning the
+// number of rules removed.
+func (s *Set) DeleteByComment(comment string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, h := range s.hosts {
+		total += h.DeleteByComment(comment)
+	}
+	return total
+}
+
+// FlushAll clears every host's chains.
+func (s *Set) FlushAll() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, h := range s.hosts {
+		h.Flush()
+	}
+}

@@ -1,0 +1,153 @@
+package firewall
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"neat/internal/netsim"
+)
+
+func TestChainFirstMatchWins(t *testing.T) {
+	c := NewChain("INPUT")
+	c.Append(Rule{Src: "a", Target: Drop})
+	c.Append(Rule{Src: "a", Target: Accept}) // shadowed
+	if got := c.Verdict("a", "x"); got != Drop {
+		t.Fatalf("verdict = %v, want Drop (first match wins)", got)
+	}
+	if got := c.Verdict("b", "x"); got != Accept {
+		t.Fatalf("verdict for unmatched = %v, want policy Accept", got)
+	}
+}
+
+func TestChainInsertPrecedesAppend(t *testing.T) {
+	c := NewChain("OUTPUT")
+	c.Append(Rule{Dst: "b", Target: Accept})
+	c.Insert(Rule{Dst: "b", Target: Drop})
+	if got := c.Verdict("x", "b"); got != Drop {
+		t.Fatalf("verdict = %v, want Drop from inserted rule", got)
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	r := Rule{Target: Drop} // matches everything
+	if !r.matches("any", "thing") {
+		t.Fatal("empty rule fields must act as wildcards")
+	}
+	r = Rule{Src: "a", Target: Drop}
+	if r.matches("b", "x") {
+		t.Fatal("src mismatch must not match")
+	}
+	r = Rule{Dst: "d", Target: Drop}
+	if r.matches("a", "x") {
+		t.Fatal("dst mismatch must not match")
+	}
+}
+
+func TestDeleteByComment(t *testing.T) {
+	c := NewChain("INPUT")
+	c.Append(Rule{Src: "a", Target: Drop, Comment: "p1"})
+	c.Append(Rule{Src: "b", Target: Drop, Comment: "p2"})
+	c.Append(Rule{Src: "c", Target: Drop, Comment: "p1"})
+	if n := c.DeleteByComment("p1"); n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if got := c.Verdict("a", "x"); got != Accept {
+		t.Fatal("rule for a should be gone")
+	}
+	if got := c.Verdict("b", "x"); got != Drop {
+		t.Fatal("rule for b should remain")
+	}
+}
+
+func TestHostChainsFilterDirectionally(t *testing.T) {
+	h := NewHost("b")
+	h.AppendInput(Rule{Src: "a", Target: Drop})
+	if v := h.Input().Check("a", "b"); v != netsim.VerdictDrop {
+		t.Fatal("input chain should drop packets from a")
+	}
+	if v := h.Output().Check("b", "a"); v != netsim.VerdictAccept {
+		t.Fatal("output chain should be unaffected")
+	}
+	h.AppendOutput(Rule{Dst: "c", Target: Drop})
+	if v := h.Output().Check("b", "c"); v != netsim.VerdictDrop {
+		t.Fatal("output chain should drop packets to c")
+	}
+}
+
+func TestSetWiresIntoNetwork(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	s := NewSet(n)
+	delivered := 0
+	n.Register("a", func(netsim.Packet) {})
+	n.Register("b", func(netsim.Packet) { delivered++ })
+	s.Host("b").AppendInput(Rule{Src: "a", Target: Drop, Comment: "t"})
+	_ = n.Send("a", "b", nil)
+	if delivered != 0 {
+		t.Fatal("packet should be dropped by host firewall")
+	}
+	if removed := s.DeleteByComment("t"); removed != 1 {
+		t.Fatalf("removed %d rules, want 1", removed)
+	}
+	_ = n.Send("a", "b", nil)
+	if delivered != 1 {
+		t.Fatal("packet should pass after rule removal")
+	}
+}
+
+func TestHostFlushAndRuleCount(t *testing.T) {
+	h := NewHost("x")
+	h.AppendInput(Rule{Src: "a", Target: Drop})
+	h.AppendOutput(Rule{Dst: "b", Target: Drop})
+	if h.RuleCount() != 2 {
+		t.Fatalf("RuleCount = %d, want 2", h.RuleCount())
+	}
+	h.Flush()
+	if h.RuleCount() != 0 {
+		t.Fatalf("RuleCount after flush = %d, want 0", h.RuleCount())
+	}
+}
+
+func TestScriptRendersIptablesCommands(t *testing.T) {
+	h := NewHost("n1")
+	h.AppendInput(Rule{Src: "n2", Target: Drop, Comment: "neat-partition-1"})
+	script := h.Script()
+	for _, want := range []string{"iptables -A INPUT", "-s n2", "-j DROP", "neat-partition-1"} {
+		if !strings.Contains(script, want) {
+			t.Fatalf("script %q missing %q", script, want)
+		}
+	}
+}
+
+func TestRuleStringTargets(t *testing.T) {
+	if got := (Rule{Target: Accept}).String(); !strings.Contains(got, "ACCEPT") {
+		t.Fatalf("accept rule rendered as %q", got)
+	}
+	if got := (Rule{Target: Drop}).String(); !strings.Contains(got, "DROP") {
+		t.Fatalf("drop rule rendered as %q", got)
+	}
+}
+
+func TestDeleteByCommentIdempotent(t *testing.T) {
+	// Property: deleting a tag twice removes nothing the second time,
+	// and never affects rules with other tags.
+	f := func(tagged, other uint8) bool {
+		c := NewChain("INPUT")
+		nt, no := int(tagged%20), int(other%20)
+		for i := 0; i < nt; i++ {
+			c.Append(Rule{Src: "a", Target: Drop, Comment: "tag"})
+		}
+		for i := 0; i < no; i++ {
+			c.Append(Rule{Src: "b", Target: Drop, Comment: "keep"})
+		}
+		first := c.DeleteByComment("tag")
+		second := c.DeleteByComment("tag")
+		return first == nt && second == 0 && c.Len() == no
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package jobsched
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+var schedIDs = []netsim.NodeID{"s1", "s2", "s3"}
+
+func testConfig() Config {
+	return Config{
+		Nodes:      schedIDs,
+		Store:      "store",
+		RPCTimeout: 30 * time.Millisecond,
+	}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	cl  *Client
+}
+
+func deploy(t *testing.T) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	for _, id := range schedIDs {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("store", core.RoleService)
+	eng.AddNode("cl", core.RoleClient)
+	sys := NewSystem(eng.Network(), testConfig())
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{eng: eng, sys: sys, cl: NewClient(eng.Network(), "cl", testConfig())}
+	t.Cleanup(func() {
+		f.cl.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func TestJobRunsOnAllAgentsAndSucceeds(t *testing.T) {
+	f := deploy(t)
+	status, err := f.cl.Run("backup")
+	if err != nil || status != StatusSucceeded {
+		t.Fatalf("run = %q, %v", status, err)
+	}
+	for _, id := range schedIDs {
+		if n := f.sys.Node(id).Executions("backup"); n != 1 {
+			t.Fatalf("%s executed %d times, want 1", id, n)
+		}
+	}
+	rec, err := f.cl.RecordedStatus("backup")
+	if err != nil || rec != StatusSucceeded {
+		t.Fatalf("recorded = %q, %v", rec, err)
+	}
+}
+
+// TestDKron379MisleadingTaskStatus reproduces the NEAT DKron finding:
+// a partial partition separates the leader from the other agents but
+// not from the central store. The job executes on the leader, yet the
+// store records FAILED.
+func TestDKron379MisleadingTaskStatus(t *testing.T) {
+	f := deploy(t)
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"s1"}, []netsim.NodeID{"s2", "s3"}); err != nil {
+		t.Fatal(err)
+	}
+	status, err := f.cl.Run("backup")
+	if err == nil || status == StatusSucceeded {
+		t.Fatalf("run = %q, %v; leader should report failure", status, err)
+	}
+	// The job DID execute on the leader.
+	if n := f.sys.Node("s1").Executions("backup"); n != 1 {
+		t.Fatalf("leader executed %d times, want 1", n)
+	}
+	// And the central store says it failed: misleading information.
+	rec, err := f.cl.RecordedStatus("backup")
+	if err != nil || rec != StatusFailed {
+		t.Fatalf("recorded = %q, %v; want the misleading FAILED", rec, err)
+	}
+}
+
+// TestUserRetryCausesDoubleExecution follows the misleading status to
+// its consequence: the user reruns the "failed" job after the heal and
+// it executes a second time everywhere.
+func TestUserRetryCausesDoubleExecution(t *testing.T) {
+	f := deploy(t)
+	p, err := f.eng.Partial([]netsim.NodeID{"s1"}, []netsim.NodeID{"s2", "s3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.cl.Run("backup")
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	if status, err := f.cl.Run("backup"); err != nil || status != StatusSucceeded {
+		t.Fatalf("retry = %q, %v", status, err)
+	}
+	if n := f.sys.Node("s1").Executions("backup"); n != 2 {
+		t.Fatalf("leader executed %d times; the retry doubled the work", n)
+	}
+}
+
+func TestNonLeaderRejectsRun(t *testing.T) {
+	f := deploy(t)
+	if _, err := f.cl.ep.Call("s2", mRunJob, runReq{Job: "x"}, time.Second); err == nil {
+		t.Fatal("agent accepted a run request")
+	}
+}

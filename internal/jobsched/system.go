@@ -1,0 +1,66 @@
+package jobsched
+
+import (
+	"neat/internal/coord"
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles the scheduler nodes and the central store into NEAT's
+// ISystem interface.
+type System struct {
+	cfg   Config
+	net   *netsim.Network
+	store *coord.Service
+	nodes map[netsim.NodeID]*Node
+}
+
+// NewSystem creates the scheduler.
+func NewSystem(n *netsim.Network, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:   cfg,
+		net:   n,
+		store: coord.NewService(n, cfg.Store, coord.Options{}),
+		nodes: make(map[netsim.NodeID]*Node),
+	}
+	for _, id := range cfg.Nodes {
+		s.nodes[id] = NewNode(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "jobsched" }
+
+// Start implements core.ISystem.
+func (s *System) Start() error {
+	s.store.Start()
+	return nil
+}
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	for _, nd := range s.nodes {
+		nd.Stop()
+	}
+	s.store.Stop()
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.nodes)+1)
+	for id := range s.nodes {
+		role := "agent"
+		if id == s.cfg.Nodes[0] {
+			role = "leader"
+		}
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: role}
+	}
+	out[s.cfg.Store] = core.NodeStatus{Up: s.net.IsUp(s.cfg.Store), Role: "store"}
+	return out
+}
+
+// Node returns the scheduler member on a host.
+func (s *System) Node(id netsim.NodeID) *Node { return s.nodes[id] }

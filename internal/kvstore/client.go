@@ -1,0 +1,192 @@
+package kvstore
+
+import (
+	"errors"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// Client is a key-value client bound to one client host on the fabric.
+// A partitioned client can only talk to replicas on its side — exactly
+// the "client access to one side" condition of Table 5.
+type Client struct {
+	ep       *transport.Endpoint
+	replicas []netsim.NodeID
+	timeout  time.Duration
+
+	lastLeader netsim.NodeID
+}
+
+// NewClient attaches a client host to the fabric.
+func NewClient(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, timeout time.Duration) *Client {
+	if timeout == 0 {
+		timeout = 100 * time.Millisecond
+	}
+	return &Client{
+		ep:       transport.NewEndpoint(n, id),
+		replicas: replicas,
+		timeout:  timeout,
+	}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
+
+// Close detaches the client.
+func (c *Client) Close() { c.ep.Close() }
+
+// do runs an operation against the current leader, following one
+// redirect per replica and skipping unreachable replicas. It returns
+// the first successful result, or the last error seen.
+func (c *Client) do(method string, body any) (any, error) {
+	tried := make(map[netsim.NodeID]bool)
+	order := make([]netsim.NodeID, 0, len(c.replicas)+1)
+	if c.lastLeader != "" {
+		order = append(order, c.lastLeader)
+	}
+	order = append(order, c.replicas...)
+
+	var lastErr error = errors.New("kvstore: no replicas")
+	for _, node := range order {
+		if tried[node] {
+			continue
+		}
+		tried[node] = true
+		resp, err := c.ep.Call(node, method, body, c.timeout)
+		if err == nil {
+			c.lastLeader = node
+			return resp, nil
+		}
+		lastErr = err
+		var nle *NotLeaderError
+		if remoteNotLeader(err, &nle) {
+			if nle.Leader != "" && !tried[nle.Leader] {
+				resp, err2 := c.ep.Call(nle.Leader, method, body, c.timeout)
+				tried[nle.Leader] = true
+				if err2 == nil {
+					c.lastLeader = nle.Leader
+					return resp, nil
+				}
+				lastErr = err2
+			}
+			continue
+		}
+		if transport.IsRemote(err) {
+			// Application-level failure from the leader (write concern
+			// not met, key missing): definitive, do not retry elsewhere.
+			return resp, err
+		}
+		// Timeout: replica unreachable from this client; try the next.
+	}
+	return nil, lastErr
+}
+
+// remoteNotLeader decodes a NotLeaderError that traveled as a remote
+// error string. The redirect hint survives as the suffix "try <node>".
+func remoteNotLeader(err error, out **NotLeaderError) bool {
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	msg := re.Msg
+	const prefix = "not leader"
+	if len(msg) < len(prefix) || msg[:len(prefix)] != prefix {
+		return false
+	}
+	nle := &NotLeaderError{}
+	const tryMark = "try "
+	if i := lastIndex(msg, tryMark); i >= 0 {
+		nle.Leader = netsim.NodeID(msg[i+len(tryMark):])
+	}
+	*out = nle
+	return true
+}
+
+func lastIndex(s, sub string) int {
+	for i := len(s) - len(sub); i >= 0; i-- {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Put writes key=val through the current leader.
+func (c *Client) Put(key, val string) error {
+	_, err := c.do(mPut, putReq{Key: key, Val: val})
+	return err
+}
+
+// Get reads key through the current leader.
+func (c *Client) Get(key string) (string, error) {
+	resp, err := c.do(mGet, getReq{Key: key})
+	if err != nil {
+		return "", err
+	}
+	s, _ := resp.(string)
+	return s, nil
+}
+
+// Delete removes key through the current leader.
+func (c *Client) Delete(key string) error {
+	_, err := c.do(mDel, delReq{Key: key})
+	return err
+}
+
+// PutAt writes directly against one replica with no redirect-following,
+// for tests that must target a specific side of a partition.
+func (c *Client) PutAt(node netsim.NodeID, key, val string) error {
+	_, err := c.ep.Call(node, mPut, putReq{Key: key, Val: val}, c.timeout)
+	return err
+}
+
+// GetAt reads directly from one replica.
+func (c *Client) GetAt(node netsim.NodeID, key string) (string, error) {
+	resp, err := c.ep.Call(node, mGet, getReq{Key: key}, c.timeout)
+	if err != nil {
+		return "", err
+	}
+	s, _ := resp.(string)
+	return s, nil
+}
+
+// DeleteAt deletes directly against one replica.
+func (c *Client) DeleteAt(node netsim.NodeID, key string) error {
+	_, err := c.ep.Call(node, mDel, delReq{Key: key}, c.timeout)
+	return err
+}
+
+// StatusOf fetches one replica's status.
+func (c *Client) StatusOf(node netsim.NodeID) (StatusInfo, error) {
+	resp, err := c.ep.Call(node, mStatus, nil, c.timeout)
+	if err != nil {
+		return StatusInfo{}, err
+	}
+	si, _ := resp.(StatusInfo)
+	return si, nil
+}
+
+// IsNotFound reports whether the error is a missing-key error
+// (possibly wrapped as a remote error).
+func IsNotFound(err error) bool {
+	if errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == ErrNotFound.Error()
+}
+
+// IsWriteFailed reports whether the error is a failed write concern.
+func IsWriteFailed(err error) bool {
+	if errors.Is(err, ErrWriteFailed) {
+		return true
+	}
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	msg := ErrWriteFailed.Error()
+	return len(re.Msg) >= len(msg) && re.Msg[:len(msg)] == msg
+}

@@ -1,0 +1,153 @@
+// Package kvstore implements a leader-based replicated key-value store
+// in the mould of the studied databases (MongoDB, VoltDB, RethinkDB,
+// Elasticsearch): a leader elected among replicas accepts writes,
+// replicates them to followers, and serves reads from its local copy.
+//
+// Every design decision the paper identifies as a flaw is an explicit
+// configuration knob rather than a hack, so tests can reproduce each
+// failure class and, by flipping the knob, demonstrate the fix:
+//
+//   - ElectionMode selects the (possibly flawed) election criterion of
+//     Table 4;
+//   - ApplyBeforeReplicate makes the leader update its local copy before
+//     the replication round, producing dirty reads (Figure 2);
+//   - WriteConcern/ReadConcern trade durability and staleness exactly as
+//     the studied systems' settings do;
+//   - on heal, conflicting leaders consolidate by the election criterion:
+//     the losing side truncates its state to match the winner, which is
+//     how acknowledged writes get lost and deleted data reappears.
+package kvstore
+
+import (
+	"time"
+
+	"neat/internal/election"
+	"neat/internal/netsim"
+)
+
+// WriteConcern is how many replicas must acknowledge a write before it
+// is reported successful.
+type WriteConcern int
+
+const (
+	// WriteMajority requires acknowledgements from a majority of the
+	// replica set (counting the leader).
+	WriteMajority WriteConcern = iota
+	// WriteAll requires every replica to acknowledge.
+	WriteAll
+	// WriteLocal applies locally only and reports success (the most
+	// failure-prone setting).
+	WriteLocal
+	// WriteAsync applies locally, replicates in the background, and
+	// reports success immediately (Redis-style asynchronous
+	// replication, which "promises data reliability" it cannot keep).
+	WriteAsync
+)
+
+// String returns the concern name.
+func (w WriteConcern) String() string {
+	switch w {
+	case WriteAll:
+		return "all"
+	case WriteLocal:
+		return "local"
+	case WriteAsync:
+		return "async"
+	default:
+		return "majority"
+	}
+}
+
+// ReadConcern is how a read is validated before returning.
+type ReadConcern int
+
+const (
+	// ReadLocal serves straight from the contacted node's local copy.
+	// During a leader-overlap window this returns stale or dirty data.
+	ReadLocal ReadConcern = iota
+	// ReadMajority makes the leader confirm it still holds a majority
+	// before answering, closing the stale/dirty read window.
+	ReadMajority
+)
+
+// String returns the concern name.
+func (r ReadConcern) String() string {
+	if r == ReadMajority {
+		return "majority"
+	}
+	return "local"
+}
+
+// Config configures a replica set.
+type Config struct {
+	// Replicas is the static membership, in ID order.
+	Replicas []netsim.NodeID
+	// ElectionMode selects the election criterion (Table 4 taxonomy).
+	ElectionMode election.Mode
+	// ConsolidationMode selects how two leaders that meet after a heal
+	// decide who survives. Zero value means "same as ElectionMode",
+	// which is what the studied systems do.
+	ConsolidationMode election.Mode
+	// ConsolidationSet makes ConsolidationMode authoritative even when
+	// it equals the zero value.
+	ConsolidationSet bool
+
+	WriteConcern WriteConcern
+	ReadConcern  ReadConcern
+
+	// ApplyBeforeReplicate updates the leader's local store before the
+	// replication round (the VoltDB/MongoDB behaviour behind Figure 2's
+	// dirty read). When false, the leader applies only after the write
+	// concern is met.
+	ApplyBeforeReplicate bool
+	// AllowFollowerReads lets non-leader replicas serve ReadLocal
+	// reads.
+	AllowFollowerReads bool
+	// StepDownOnLostMajority makes a leader that cannot reach a
+	// majority for LeaseMisses heartbeat rounds demote itself. The
+	// studied systems all do this — the failure window is the time it
+	// takes (the overlap of Table 4).
+	StepDownOnLostMajority bool
+
+	// HeartbeatInterval is the leader heartbeat period.
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is how long a follower waits without leader
+	// heartbeats before campaigning.
+	ElectionTimeout time.Duration
+	// LeaseMisses is how many consecutive heartbeat rounds without a
+	// majority of acks a leader tolerates before stepping down.
+	LeaseMisses int
+	// RPCTimeout bounds one replication or vote round trip.
+	RPCTimeout time.Duration
+
+	// Priorities assigns election priorities for ModePriority.
+	Priorities map[netsim.NodeID]int
+	// Arbiters marks replicas that vote in elections but store no
+	// data (MongoDB's arbiter role). An arbiter acknowledges appends
+	// without applying them, so its log stays empty and its election
+	// attributes never advance.
+	Arbiters map[netsim.NodeID]bool
+}
+
+// withDefaults fills zero fields with test-friendly values.
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if c.ElectionTimeout == 0 {
+		c.ElectionTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.LeaseMisses == 0 {
+		c.LeaseMisses = 3
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 5 * c.HeartbeatInterval
+	}
+	if !c.ConsolidationSet {
+		c.ConsolidationMode = c.ElectionMode
+	}
+	return c
+}
+
+// Majority returns the majority threshold of the replica set.
+func (c Config) Majority() int { return len(c.Replicas)/2 + 1 }

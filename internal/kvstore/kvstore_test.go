@@ -1,0 +1,632 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/election"
+	"neat/internal/netsim"
+)
+
+var replicaIDs = []netsim.NodeID{"s1", "s2", "s3"}
+
+// testConfig returns a configuration with the timing used throughout
+// the suite: 10ms heartbeats, 40ms election timeout, a generous leader
+// lease so the overlap window is wide enough to observe determinstically.
+func testConfig(mode election.Mode) Config {
+	return Config{
+		Replicas:               replicaIDs,
+		ElectionMode:           mode,
+		WriteConcern:           WriteMajority,
+		ReadConcern:            ReadLocal,
+		ApplyBeforeReplicate:   true,
+		StepDownOnLostMajority: true,
+		HeartbeatInterval:      10 * time.Millisecond,
+		ElectionTimeout:        40 * time.Millisecond,
+		LeaseMisses:            8, // overlap window of ~8 heartbeat rounds
+		RPCTimeout:             30 * time.Millisecond,
+	}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	c1  *Client // client beside s1 in partition scenarios
+	c2  *Client // client beside the majority
+}
+
+func deploy(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	for _, id := range cfg.Replicas {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{
+		eng: eng,
+		sys: sys,
+		c1:  NewClient(eng.Network(), "c1", cfg.Replicas, 80*time.Millisecond),
+		c2:  NewClient(eng.Network(), "c2", cfg.Replicas, 80*time.Millisecond),
+	}
+	t.Cleanup(func() {
+		f.c1.Close()
+		f.c2.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func (f *fixture) waitLeaderAmong(t *testing.T, nodes []netsim.NodeID) netsim.NodeID {
+	t.Helper()
+	id := f.sys.WaitForLeaderAmong(nodes, 2*time.Second)
+	if id == "" {
+		t.Fatalf("no leader elected among %v", nodes)
+	}
+	return id
+}
+
+func TestPutGetDeleteRoundTrip(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	if err := f.c1.Put("k", "v1"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := f.c1.Get("k")
+	if err != nil || got != "v1" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	if err := f.c1.Delete("k"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := f.c1.Get("k"); !IsNotFound(err) {
+		t.Fatalf("get after delete = %v, want not-found", err)
+	}
+}
+
+func TestClientFollowsLeaderRedirect(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	// Write directly at a follower: must be redirected.
+	if err := f.c1.PutAt("s2", "k", "v"); err == nil {
+		t.Fatal("direct write at follower should fail with not-leader")
+	}
+	// The smart client follows the redirect.
+	if err := f.c1.Put("k", "v"); err != nil {
+		t.Fatalf("client put: %v", err)
+	}
+	got, err := f.c2.Get("k")
+	if err != nil || got != "v" {
+		t.Fatalf("other client get = %q, %v", got, err)
+	}
+}
+
+func TestWriteReplicatesToFollowers(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	if err := f.c1.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		for _, id := range replicaIDs {
+			e, okk := f.sys.Replica(id).Data()["k"]
+			if !okk || e.Val != "v" {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("write never reached all replicas")
+	}
+}
+
+func TestMajoritySideElectsNewLeader(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	id := f.waitLeaderAmong(t, []netsim.NodeID{"s2", "s3"})
+	if id == "s1" {
+		t.Fatal("old leader cannot be the majority's new leader")
+	}
+	// The new leader serves writes for the majority-side client.
+	if err := f.c2.Put("k", "after-partition"); err != nil {
+		t.Fatalf("majority-side write: %v", err)
+	}
+}
+
+func TestDeposedLeaderEventuallyStepsDown(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.LeaseMisses = 3
+	f := deploy(t, cfg)
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.sys.Replica("s1").Status().Role == Follower
+	})
+	if !ok {
+		t.Fatal("isolated leader never stepped down (StepDownOnLostMajority set)")
+	}
+}
+
+// TestFigure2DirtyRead reproduces the VoltDB dirty read (Figure 2,
+// issue ENG-10389): a write at the deposed leader fails its write
+// concern but updates the local copy, and a subsequent local read
+// returns the never-committed value.
+func TestFigure2DirtyRead(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Step 2: write at the old master fails replication...
+	err := f.c1.PutAt("s1", "k", "dirty")
+	if !IsWriteFailed(err) {
+		t.Fatalf("write at old master = %v, want write-concern failure", err)
+	}
+	// Step 3: ...but a read at the old master returns the dirty value.
+	got, err := f.c1.GetAt("s1", "k")
+	if err != nil {
+		t.Fatalf("read at old master: %v", err)
+	}
+	if got != "dirty" {
+		t.Fatalf("read %q, want the dirty value", got)
+	}
+}
+
+// TestReadMajorityPreventsDirtyRead flips the knob the fix introduces:
+// with a majority read concern the deposed leader cannot answer.
+func TestReadMajorityPreventsDirtyRead(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.ReadConcern = ReadMajority
+	f := deploy(t, cfg)
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.c1.PutAt("s1", "k", "dirty")
+	if _, err := f.c1.GetAt("s1", "k"); err == nil {
+		t.Fatal("majority read at deposed leader must fail, not return dirty data")
+	}
+}
+
+// TestStaleReadDuringOverlap reproduces the MongoDB stale read
+// (SERVER-17975): during the leader-overlap window the old leader
+// serves a value the majority has already superseded.
+func TestStaleReadDuringOverlap(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.LeaseMisses = 200 // hold the overlap window open for the whole test
+	f := deploy(t, cfg)
+	if err := f.c1.Put("k", "old"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitLeaderAmong(t, []netsim.NodeID{"s2", "s3"})
+	if err := f.c2.Put("k", "new"); err != nil {
+		t.Fatalf("majority write: %v", err)
+	}
+	got, err := f.c1.GetAt("s1", "k")
+	if err != nil {
+		t.Fatalf("read at old leader: %v", err)
+	}
+	if got != "old" {
+		t.Fatalf("read %q — expected the stale value while the overlap window is open", got)
+	}
+}
+
+// TestListing1SplitBrainDataLoss reproduces the Elasticsearch data
+// loss of Listing 1 (issue #2488): under lowest-ID election with a
+// partial partition, s2 becomes a second leader because s3 votes for
+// it while still reaching s1; writes succeed on both sides; after the
+// heal, the lower-ID leader wins and the other side's acknowledged
+// writes are lost.
+func TestListing1SplitBrainDataLoss(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeLowestID))
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// s2 loses its leader and campaigns; s3 (which still sees s1!)
+	// grants the vote — the double-voting flaw.
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.sys.Replica("s2").Status().Role == Leader
+	})
+	if !ok {
+		t.Fatal("s2 never became a second leader")
+	}
+	if f.sys.Replica("s1").Status().Role != Leader {
+		t.Fatal("s1 should still be leader: split brain requires two")
+	}
+	// Writes on both sides of the partition succeed (Listing 1 lines
+	// 10-11). s3 follows whichever leader spoke last, so each side may
+	// need a retry while s3 flaps — the client-visible behaviour is
+	// still "both writes acknowledged".
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.c1.PutAt("s1", "obj1", "v1") == nil
+	})
+	if !ok {
+		t.Fatal("side-1 write never succeeded")
+	}
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.c2.PutAt("s2", "obj2", "v2") == nil
+	})
+	if !ok {
+		t.Fatal("side-2 write never succeeded")
+	}
+	// Heal (line 13). s2 steps down to the lower ID and syncs s1's
+	// data, losing obj2.
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.sys.Replica("s2").Status().Role == Follower
+	})
+	if !ok {
+		t.Fatal("s2 never stepped down after heal")
+	}
+	f.eng.Sleep(100 * time.Millisecond) // let consolidation finish
+	// Line 14 passes: obj1 survived.
+	if got, err := f.c2.Get("obj1"); err != nil || got != "v1" {
+		t.Fatalf("obj1 = %q, %v; want v1", got, err)
+	}
+	// Line 16's assertion fails in the paper: obj2 is gone.
+	if _, err := f.c2.Get("obj2"); !IsNotFound(err) {
+		t.Fatalf("obj2 read = %v; want not-found (the acknowledged write was lost)", err)
+	}
+}
+
+// TestBadLeaderLongestLogLosesAcknowledgedWrites reproduces Finding
+// 4's bad-leader data loss: the minority leader pads its log with
+// failed writes, wins the longest-log comparison at heal, and the
+// majority's acknowledged write is erased.
+func TestBadLeaderLongestLogLosesAcknowledgedWrites(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeLongestLog))
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Pad the minority leader's log with writes that fail their
+	// concern but stay in its log.
+	for i := 0; i < 5; i++ {
+		_ = f.c1.PutAt("s1", "junk", "x")
+	}
+	f.waitLeaderAmong(t, []netsim.NodeID{"s2", "s3"})
+	if err := f.c2.Put("k", "acknowledged"); err != nil {
+		t.Fatalf("majority write should succeed: %v", err)
+	}
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	// After consolidation the acknowledged write is gone everywhere.
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		_, err := f.c2.GetAt("s1", "k")
+		if !IsNotFound(err) {
+			return false
+		}
+		e, exists := f.sys.Replica("s2").Data()["k"]
+		return !exists || e.Del || e.Val != "acknowledged"
+	})
+	if !ok {
+		t.Fatal("acknowledged write survived — expected longest-log consolidation to erase it")
+	}
+}
+
+// TestQuorumModePreservesAcknowledgedWrites is the control for the
+// previous test: with term-based consolidation the majority's leader
+// wins and nothing acknowledged is lost.
+func TestQuorumModePreservesAcknowledgedWrites(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_ = f.c1.PutAt("s1", "junk", "x")
+	}
+	f.waitLeaderAmong(t, []netsim.NodeID{"s2", "s3"})
+	if err := f.c2.Put("k", "acknowledged"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		got, err := f.c2.Get("k")
+		return err == nil && got == "acknowledged"
+	})
+	if !ok {
+		t.Fatal("acknowledged write lost under quorum mode")
+	}
+	// And it eventually converges onto s1 too.
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		e, exists := f.sys.Replica("s1").Data()["k"]
+		return exists && e.Val == "acknowledged"
+	})
+	if !ok {
+		t.Fatal("s1 never converged to the majority's state")
+	}
+}
+
+// TestReappearanceOfDeletedData reproduces the resurrection failure
+// class (ZooKeeper-2355, Aerospike forum report): a key deleted by the
+// majority reappears after the heal because the minority's padded log
+// wins consolidation.
+func TestReappearanceOfDeletedData(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeLongestLog))
+	if err := f.c1.Put("k", "precious"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_ = f.c1.PutAt("s1", "junk", "x")
+	}
+	f.waitLeaderAmong(t, []netsim.NodeID{"s2", "s3"})
+	if err := f.c2.Delete("k"); err != nil {
+		t.Fatalf("majority delete: %v", err)
+	}
+	if _, err := f.c2.Get("k"); !IsNotFound(err) {
+		t.Fatal("key should be deleted on the majority side")
+	}
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		got, err := f.c2.Get("k")
+		return err == nil && got == "precious"
+	})
+	if !ok {
+		t.Fatal("deleted key never reappeared — expected resurrection under longest-log consolidation")
+	}
+}
+
+// TestConflictingCriteriaLeaveClusterLeaderless reproduces MongoDB
+// SERVER-14885: the high-priority arbiter vetoes the data node's
+// candidacy and the data node vetoes the stale arbiter's, so after the
+// leader is isolated nobody is elected and the side is unavailable.
+func TestConflictingCriteriaLeaveClusterLeaderless(t *testing.T) {
+	cfg := testConfig(election.ModePriority)
+	cfg.Priorities = map[netsim.NodeID]int{"s1": 1, "s2": 5, "s3": 9}
+	cfg.Arbiters = map[netsim.NodeID]bool{"s3": true}
+	f := deploy(t, cfg)
+	if err := f.c1.Put("k", "v"); err != nil { // gives s2 a newer LastTS than the arbiter
+		t.Fatal(err)
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the remaining side ample time to elect — it must not.
+	f.eng.Sleep(400 * time.Millisecond)
+	for _, id := range []netsim.NodeID{"s2", "s3"} {
+		if f.sys.Replica(id).Status().Role == Leader {
+			t.Fatalf("%s became leader despite conflicting criteria", id)
+		}
+	}
+	// Client on the majority side cannot write: unavailability.
+	if err := f.c2.PutAt("s2", "k", "v2"); err == nil {
+		t.Fatal("write should fail while the cluster is leaderless")
+	}
+}
+
+func TestIsolatedNodeSelfElectsUnderFlawedModes(t *testing.T) {
+	// The RabbitMQ #1455 / Ignite behaviour: an isolated node declares
+	// the rest dead and forms its own cluster.
+	f := deploy(t, testConfig(election.ModeLowestID))
+	// Isolate s3 (a follower) completely.
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s3"}, []netsim.NodeID{"s1", "s2", "c1", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		st := f.sys.Replica("s3").Status()
+		return st.Role == Leader && st.Leader == "s3"
+	})
+	if !ok {
+		t.Fatal("isolated node never formed its own single-node cluster")
+	}
+}
+
+func TestQuorumModeMinorityCannotElect(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s3"}, []netsim.NodeID{"s1", "s2", "c1", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Sleep(300 * time.Millisecond)
+	if f.sys.Replica("s3").Status().Role == Leader {
+		t.Fatal("an isolated node must not elect itself under quorum mode")
+	}
+}
+
+func TestWriteAllFailsWithIsolatedFollower(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.WriteConcern = WriteAll
+	f := deploy(t, cfg)
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s3"}, []netsim.NodeID{"s1", "s2", "c1", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.c1.PutAt("s1", "k", "v")
+	if !IsWriteFailed(err) {
+		t.Fatalf("WriteAll with an isolated replica = %v, want write failure", err)
+	}
+}
+
+func TestWriteAsyncAcknowledgesImmediately(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.WriteConcern = WriteAsync
+	f := deploy(t, cfg)
+	// Even with both followers cut off, async writes "succeed" — the
+	// Redis promise the paper quotes.
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c1.PutAt("s1", "k", "v"); err != nil {
+		t.Fatalf("async write: %v", err)
+	}
+}
+
+func TestFollowerReadsWhenEnabled(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.AllowFollowerReads = true
+	f := deploy(t, cfg)
+	if err := f.c1.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		got, err := f.c2.GetAt("s2", "k")
+		return err == nil && got == "v"
+	})
+	if !ok {
+		t.Fatal("follower read never succeeded with AllowFollowerReads")
+	}
+}
+
+func TestSystemStatusRoles(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	st := f.sys.Status()
+	leaders := 0
+	for _, s := range st {
+		if !s.Up {
+			t.Fatal("all replicas should be up")
+		}
+		if s.Role == "leader" {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+	if got := f.sys.Leader(); got != "s1" {
+		t.Fatalf("initial leader = %s, want s1", got)
+	}
+}
+
+func TestLeadersReportsSplitBrain(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeLowestID))
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"s1"}, []netsim.NodeID{"s2"}); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return len(f.sys.Leaders()) == 2
+	})
+	if !ok {
+		t.Fatalf("Leaders() = %v, want a split brain with 2", f.sys.Leaders())
+	}
+}
+
+func TestCrashedLeaderReplacedAndRecovers(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	if err := f.c1.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Crash("s1")
+	id := f.waitLeaderAmong(t, []netsim.NodeID{"s2", "s3"})
+	if id == "s1" {
+		t.Fatal("crashed node cannot lead")
+	}
+	if err := f.c2.Put("k", "v2"); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+	f.eng.Restart("s1")
+	// The restarted node rejoins as a follower and catches up.
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		e, exists := f.sys.Replica("s1").Data()["k"]
+		return exists && e.Val == "v2" && f.sys.Replica("s1").Status().Role == Follower
+	})
+	if !ok {
+		t.Fatal("restarted replica never caught up")
+	}
+}
+
+// TestSimplexLostAcksLeaveUnacknowledgedSurvivingWrite reproduces the
+// request-routing failure class (Elasticsearch #9967): a simplex
+// partition delivers the leader's replication traffic but drops the
+// acknowledgements coming back. The write is reported failed, yet it
+// reached every replica — and survives as readable state.
+func TestSimplexLostAcksLeaveUnacknowledgedSurvivingWrite(t *testing.T) {
+	f := deploy(t, testConfig(election.ModeQuorum))
+	// Traffic flows s1 -> {s2,s3}; the reverse direction is dropped,
+	// so appends arrive but acks are lost.
+	if _, err := f.eng.Simplex(
+		[]netsim.NodeID{"s1"}, []netsim.NodeID{"s2", "s3"}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.c1.PutAt("s1", "k", "phantom")
+	if !IsWriteFailed(err) {
+		t.Fatalf("write = %v, want reported failure (acks lost)", err)
+	}
+	// Yet both followers applied it.
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		e2, ok2 := f.sys.Replica("s2").Data()["k"]
+		e3, ok3 := f.sys.Replica("s3").Data()["k"]
+		return ok2 && ok3 && e2.Val == "phantom" && e3.Val == "phantom"
+	})
+	if !ok {
+		t.Fatal("the 'failed' write never reached the followers")
+	}
+	// After healing, the phantom value is readable cluster-wide: a
+	// write the client was told failed became durable state.
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		var err error
+		got, err = f.c2.Get("k")
+		return err == nil
+	})
+	if !ok || got != "phantom" {
+		t.Fatalf("post-heal read = %q ok=%v, want the phantom value", got, ok)
+	}
+}
+
+func TestWriteLocalConcernIgnoresPartition(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.WriteConcern = WriteLocal
+	f := deploy(t, cfg)
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c1.PutAt("s1", "k", "v"); err != nil {
+		t.Fatalf("local-concern write should succeed on an isolated leader: %v", err)
+	}
+}
+
+func TestArbiterStoresNothing(t *testing.T) {
+	cfg := testConfig(election.ModeQuorum)
+	cfg.Arbiters = map[netsim.NodeID]bool{"s3": true}
+	f := deploy(t, cfg)
+	if err := f.c1.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		e, exists := f.sys.Replica("s2").Data()["k"]
+		return exists && e.Val == "v"
+	})
+	if !ok {
+		t.Fatal("data replica never applied the write")
+	}
+	if len(f.sys.Replica("s3").Data()) != 0 {
+		t.Fatal("arbiter must store nothing")
+	}
+	st := f.sys.Replica("s3").Status()
+	if st.LogLen != 0 {
+		t.Fatalf("arbiter log length = %d, want 0", st.LogLen)
+	}
+}

@@ -1,0 +1,106 @@
+package kvstore
+
+import (
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles a replica set into NEAT's ISystem lifecycle interface.
+type System struct {
+	cfg      Config
+	net      *netsim.Network
+	replicas map[netsim.NodeID]*Replica
+	started  bool
+}
+
+// NewSystem creates the replica set on the fabric, unstarted.
+func NewSystem(n *netsim.Network, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{cfg: cfg, net: n, replicas: make(map[netsim.NodeID]*Replica)}
+	for _, id := range cfg.Replicas {
+		s.replicas[id] = NewReplica(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "kvstore" }
+
+// Start implements core.ISystem: it boots every replica and seeds the
+// first replica as the initial leader (deterministic deployments do
+// this so the system is usable without waiting for a first election).
+func (s *System) Start() error {
+	if s.started {
+		return nil
+	}
+	for _, r := range s.replicas {
+		r.Start()
+	}
+	if len(s.cfg.Replicas) > 0 {
+		s.replicas[s.cfg.Replicas[0]].BecomeLeader()
+	}
+	s.started = true
+	return nil
+}
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	for _, r := range s.replicas {
+		r.Stop()
+	}
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.replicas))
+	for id, r := range s.replicas {
+		st := r.Status()
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: st.Role.String()}
+	}
+	return out
+}
+
+// Replica returns the replica running on the given node.
+func (s *System) Replica(id netsim.NodeID) *Replica { return s.replicas[id] }
+
+// Leader returns a node that currently believes it is leader, or ""
+// if none does. With a split brain more than one node qualifies; this
+// returns the first in replica order.
+func (s *System) Leader() netsim.NodeID {
+	for _, id := range s.cfg.Replicas {
+		if s.replicas[id].Status().Role == Leader {
+			return id
+		}
+	}
+	return ""
+}
+
+// Leaders returns every node that currently believes it is leader —
+// more than one during a split brain.
+func (s *System) Leaders() []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, id := range s.cfg.Replicas {
+		if s.replicas[id].Status().Role == Leader {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// WaitForLeaderAmong blocks until one of the given nodes claims
+// leadership, returning it, or "" on timeout.
+func (s *System) WaitForLeaderAmong(nodes []netsim.NodeID, timeout time.Duration) netsim.NodeID {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, id := range nodes {
+			if r, ok := s.replicas[id]; ok && r.Status().Role == Leader {
+				return id
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return ""
+}

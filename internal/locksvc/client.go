@@ -1,0 +1,211 @@
+package locksvc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// Client is a coordination-service client. It renews its leases in the
+// background; a client cut off by a partition stops renewing on the
+// far side and its permits are reclaimed there.
+type Client struct {
+	ep       *transport.Endpoint
+	replicas []netsim.NodeID
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewClient attaches a client and starts its lease renewer.
+func NewClient(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, leaseTTL time.Duration) *Client {
+	if leaseTTL == 0 {
+		leaseTTL = 60 * time.Millisecond
+	}
+	c := &Client{
+		ep:       transport.NewEndpoint(n, id),
+		replicas: replicas,
+		timeout:  100 * time.Millisecond,
+		stopCh:   make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.renewLoop(leaseTTL / 3)
+	return c
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
+
+// Close stops renewals and detaches the client.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	close(c.stopCh)
+	c.wg.Wait()
+	c.ep.Close()
+}
+
+func (c *Client) renewLoop(every time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			for _, rep := range c.replicas {
+				_ = c.ep.Notify(rep, mRenew, renewMsg{Client: c.ep.ID()})
+			}
+		}
+	}
+}
+
+// do routes an operation to the coordinator reachable from this
+// client, following redirects.
+func (c *Client) do(req opReq) (opResp, error) {
+	req.Client = c.ep.ID()
+	tried := make(map[netsim.NodeID]bool)
+	var lastErr error = errors.New("locksvc: no replicas")
+	queue := append([]netsim.NodeID(nil), c.replicas...)
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if tried[node] {
+			continue
+		}
+		tried[node] = true
+		resp, err := c.ep.Call(node, mOp, req, c.timeout)
+		if err == nil {
+			r, _ := resp.(opResp)
+			return r, nil
+		}
+		lastErr = err
+		if hint, ok := redirectHint(err); ok {
+			if !tried[hint] {
+				queue = append([]netsim.NodeID{hint}, queue...)
+			}
+			continue
+		}
+		if transport.IsRemote(err) {
+			// Definitive application error from a coordinator.
+			return opResp{}, err
+		}
+	}
+	return opResp{}, lastErr
+}
+
+func redirectHint(err error) (netsim.NodeID, bool) {
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		return "", false
+	}
+	const mark = "not coordinator; try "
+	if strings.HasPrefix(re.Msg, mark) {
+		return netsim.NodeID(re.Msg[len(mark):]), true
+	}
+	return "", false
+}
+
+// Lock acquires the named exclusive lock.
+func (c *Client) Lock(name string) error {
+	_, err := c.do(opReq{Kind: opLockAcquire, Name: name})
+	return err
+}
+
+// Unlock releases the named lock.
+func (c *Client) Unlock(name string) error {
+	_, err := c.do(opReq{Kind: opLockRelease, Name: name})
+	return err
+}
+
+// SemCreate creates a semaphore with the given permit capacity
+// (idempotent).
+func (c *Client) SemCreate(name string, permits int64) error {
+	_, err := c.do(opReq{Kind: opSemCreate, Name: name, Num: permits})
+	return err
+}
+
+// SemAcquire takes n permits.
+func (c *Client) SemAcquire(name string, n int64) error {
+	_, err := c.do(opReq{Kind: opSemAcquire, Name: name, Num: n})
+	return err
+}
+
+// SemRelease returns n permits.
+func (c *Client) SemRelease(name string, n int64) error {
+	_, err := c.do(opReq{Kind: opSemRelease, Name: name, Num: n})
+	return err
+}
+
+// IncrementAndGet adds delta to the named atomic long and returns the
+// new value.
+func (c *Client) IncrementAndGet(name string, delta int64) (int64, error) {
+	resp, err := c.do(opReq{Kind: opIncr, Name: name, Num: delta})
+	return resp.Num, err
+}
+
+// CompareAndSet swaps the named atomic reference from old to new.
+func (c *Client) CompareAndSet(name, old, new string) error {
+	_, err := c.do(opReq{Kind: opCAS, Name: name, Old: old, Val: new})
+	return err
+}
+
+// CachePut stores key=val in the replicated cache.
+func (c *Client) CachePut(key, val string) error {
+	_, err := c.do(opReq{Kind: opCachePut, Name: key, Val: val})
+	return err
+}
+
+// CacheGet reads key from the replicated cache.
+func (c *Client) CacheGet(key string) (string, bool, error) {
+	resp, err := c.do(opReq{Kind: opCacheGet, Name: key})
+	return resp.Val, resp.Found, err
+}
+
+// QueuePush appends val to the named distributed queue.
+func (c *Client) QueuePush(name, val string) error {
+	_, err := c.do(opReq{Kind: opQueuePush, Name: name, Val: val})
+	return err
+}
+
+// QueuePop removes and returns the queue head.
+func (c *Client) QueuePop(name string) (string, error) {
+	resp, err := c.do(opReq{Kind: opQueuePop, Name: name})
+	return resp.Val, err
+}
+
+// IsLockHeld reports whether err is a lock-contention failure.
+func IsLockHeld(err error) bool { return remoteIs(err, ErrLockHeld) }
+
+// IsNoPermits reports whether err is a semaphore-exhausted failure.
+func IsNoPermits(err error) bool { return remoteIs(err, ErrNoPermits) }
+
+// IsCASFailed reports whether err is a failed compare-and-set.
+func IsCASFailed(err error) bool { return remoteIs(err, ErrCASFailed) }
+
+// IsUnavailable reports whether err is the SyncBackups unavailability.
+func IsUnavailable(err error) bool { return remoteIs(err, ErrUnavailable) }
+
+// IsEmpty reports whether err is an empty-queue pop.
+func IsEmpty(err error) bool { return remoteIs(err, ErrEmpty) }
+
+func remoteIs(err error, target error) bool {
+	if errors.Is(err, target) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == target.Error()
+}

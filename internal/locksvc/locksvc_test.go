@@ -1,0 +1,433 @@
+package locksvc
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+var groupIDs = []netsim.NodeID{"r1", "r2", "r3"}
+
+func testConfig() Config {
+	return Config{
+		Replicas:          groupIDs,
+		HeartbeatInterval: 10 * time.Millisecond,
+		MissesToSuspect:   3,
+		LeaseTTL:          60 * time.Millisecond,
+		RPCTimeout:        30 * time.Millisecond,
+	}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	c1  *Client
+	c2  *Client
+}
+
+func deploy(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	for _, id := range cfg.Replicas {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{
+		eng: eng,
+		sys: sys,
+		c1:  NewClient(eng.Network(), "c1", cfg.Replicas, cfg.LeaseTTL),
+		c2:  NewClient(eng.Network(), "c2", cfg.Replicas, cfg.LeaseTTL),
+	}
+	t.Cleanup(func() {
+		f.c1.Close()
+		f.c2.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func (f *fixture) waitViewSize(t *testing.T, node netsim.NodeID, n int) {
+	t.Helper()
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return len(f.sys.Replica(node).View()) == n
+	})
+	if !ok {
+		t.Fatalf("%s view = %v, want size %d", node, f.sys.Replica(node).View(), n)
+	}
+}
+
+func TestLockMutualExclusionHealthy(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.Lock("L"); err != nil {
+		t.Fatalf("c1 lock: %v", err)
+	}
+	if err := f.c2.Lock("L"); !IsLockHeld(err) {
+		t.Fatalf("c2 lock = %v, want lock-held", err)
+	}
+	if err := f.c1.Unlock("L"); err != nil {
+		t.Fatalf("unlock: %v", err)
+	}
+	if err := f.c2.Lock("L"); err != nil {
+		t.Fatalf("c2 lock after unlock: %v", err)
+	}
+}
+
+func TestSemaphoreBasics(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.SemCreate("S", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c1.SemAcquire("S", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c2.SemAcquire("S", 1); !IsNoPermits(err) {
+		t.Fatalf("over-acquire = %v, want no-permits", err)
+	}
+	if err := f.c1.SemRelease("S", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c2.SemAcquire("S", 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestAtomicsHealthy(t *testing.T) {
+	f := deploy(t, testConfig())
+	v1, err := f.c1.IncrementAndGet("seq", 1)
+	if err != nil || v1 != 1 {
+		t.Fatalf("incr = %d, %v", v1, err)
+	}
+	v2, err := f.c2.IncrementAndGet("seq", 1)
+	if err != nil || v2 != 2 {
+		t.Fatalf("incr = %d, %v; sequence must not repeat", v2, err)
+	}
+	if err := f.c1.CompareAndSet("ref", "", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c2.CompareAndSet("ref", "", "b"); !IsCASFailed(err) {
+		t.Fatalf("second CAS from stale value = %v, want cas-failed", err)
+	}
+}
+
+func TestRedirectToCoordinator(t *testing.T) {
+	f := deploy(t, testConfig())
+	// r1 is the coordinator (lowest ID); ops through any replica land
+	// there via redirect, so state is shared.
+	if err := f.c1.CachePut("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := f.c2.CacheGet("k")
+	if err != nil || !found || got != "v" {
+		t.Fatalf("get = %q found=%v err=%v", got, found, err)
+	}
+}
+
+// TestFigure5SemaphoreDoubleLocking reproduces Figure 5: a complete
+// partition isolates one replica; both sides remove the unreachable
+// nodes from their replica sets; clients on both sides acquire the
+// same single-permit semaphore.
+func TestFigure5SemaphoreDoubleLocking(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.SemCreate("S", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: isolate r3 with c2.
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1) // r3 forms its own cluster
+	f.waitViewSize(t, "r1", 2)
+	// Step 2: both sides acquire the same semaphore.
+	if err := f.c1.SemAcquire("S", 1); err != nil {
+		t.Fatalf("majority-side acquire: %v", err)
+	}
+	if err := f.c2.SemAcquire("S", 1); err != nil {
+		t.Fatalf("minority-side acquire: %v (double locking requires both to succeed)", err)
+	}
+}
+
+// TestLockDoubleAcquireAcrossPartition is the exclusive-lock variant
+// of Figure 5 (Terracotta issue #904).
+func TestLockDoubleAcquireAcrossPartition(t *testing.T) {
+	f := deploy(t, testConfig())
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1)
+	if err := f.c1.Lock("L"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c2.Lock("L"); err != nil {
+		t.Fatalf("second acquire across partition = %v; double locking expected", err)
+	}
+}
+
+// TestSemaphoreCorruptionAfterReclaim reproduces the Ignite semaphore
+// corruption: the cluster reclaims an unreachable client's permit;
+// after the heal the client releases anyway and the permit count
+// exceeds capacity.
+func TestSemaphoreCorruptionAfterReclaim(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.SemCreate("S", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c1.SemAcquire("S", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Isolate the holder client only; the replicas stay connected.
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"c1"}, []netsim.NodeID{"r1", "r2", "r3", "c2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lease expires and the permit is reclaimed.
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		permits, _, _ := f.sys.Replica("r1").SemStatus("S")
+		return permits == 1
+	})
+	if !ok {
+		t.Fatal("permit never reclaimed from the unreachable client")
+	}
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	// The healed client releases the permit it thinks it still holds.
+	if err := f.c1.SemRelease("S", 1); err != nil {
+		t.Fatalf("late release: %v", err)
+	}
+	permits, max, corrupted := f.sys.Replica("r1").SemStatus("S")
+	if !corrupted {
+		t.Fatalf("permits=%d max=%d: semaphore should be corrupted (permits > max)", permits, max)
+	}
+}
+
+// TestBrokenAtomicSequenceAcrossPartition reproduces IGNITE-9768: both
+// sides of a partition hand out the same sequence numbers.
+func TestBrokenAtomicSequenceAcrossPartition(t *testing.T) {
+	f := deploy(t, testConfig())
+	if _, err := f.c1.IncrementAndGet("seq", 5); err != nil { // seq = 5 everywhere
+		t.Fatal(err)
+	}
+	f.eng.WaitUntil(time.Second, func() bool {
+		f.sys.Replica("r3").mu.Lock()
+		v := f.sys.Replica("r3").atomics["seq"]
+		f.sys.Replica("r3").mu.Unlock()
+		return v == 5
+	})
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1)
+	a, err := f.c1.IncrementAndGet("seq", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.c2.IncrementAndGet("seq", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("sides returned %d and %d; the failure is both handing out the same value", a, b)
+	}
+}
+
+// TestBrokenCASAcrossPartition reproduces the broken AtomicRef: the
+// same compare-and-set succeeds on both sides.
+func TestBrokenCASAcrossPartition(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.CompareAndSet("ref", "", "base"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		f.sys.Replica("r3").mu.Lock()
+		v := f.sys.Replica("r3").refs["ref"]
+		f.sys.Replica("r3").mu.Unlock()
+		return v == "base"
+	})
+	if !ok {
+		t.Fatal("base value never replicated to r3")
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1)
+	if err := f.c1.CompareAndSet("ref", "base", "x"); err != nil {
+		t.Fatalf("side-1 CAS: %v", err)
+	}
+	if err := f.c2.CompareAndSet("ref", "base", "y"); err != nil {
+		t.Fatalf("side-2 CAS: %v — both succeeding from the same expected value is the failure", err)
+	}
+}
+
+// TestCacheStaleReadAcrossPartition reproduces IGNITE-9762.
+func TestCacheStaleReadAcrossPartition(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.CachePut("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		f.sys.Replica("r3").mu.Lock()
+		v := f.sys.Replica("r3").cache["k"]
+		f.sys.Replica("r3").mu.Unlock()
+		return v == "v1"
+	})
+	if !ok {
+		t.Fatal("v1 never replicated to r3")
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1)
+	if err := f.c1.CachePut("k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.c2.CacheGet("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "v1" {
+		t.Fatalf("minority read %q, want the stale v1", got)
+	}
+}
+
+// TestQueueDoubleDequeueAcrossPartition reproduces IGNITE-9765: the
+// same element is popped on both sides.
+func TestQueueDoubleDequeueAcrossPartition(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.QueuePush("q", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		f.sys.Replica("r3").mu.Lock()
+		n := len(f.sys.Replica("r3").queues["q"])
+		f.sys.Replica("r3").mu.Unlock()
+		return n == 1
+	})
+	if !ok {
+		t.Fatal("element never replicated to r3")
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1)
+	a, err := f.c1.QueuePop("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.c2.QueuePop("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("popped %q and %q; double dequeue means both get the same element", a, b)
+	}
+}
+
+// TestLastingClusterSplitAfterHeal verifies Finding 3's lasting
+// damage: without RejoinAfterHeal the two clusters never merge.
+func TestLastingClusterSplitAfterHeal(t *testing.T) {
+	f := deploy(t, testConfig())
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1)
+	f.waitViewSize(t, "r1", 2)
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Sleep(200 * time.Millisecond) // plenty of heartbeats
+	if got := len(f.sys.Replica("r3").View()); got != 1 {
+		t.Fatalf("r3 view size after heal = %d; the split must persist", got)
+	}
+	if got := len(f.sys.Replica("r1").View()); got != 2 {
+		t.Fatalf("r1 view size after heal = %d; the split must persist", got)
+	}
+}
+
+// TestRejoinAfterHealMerges is the control: with the knob set the
+// views converge back.
+func TestRejoinAfterHealMerges(t *testing.T) {
+	cfg := testConfig()
+	cfg.RejoinAfterHeal = true
+	f := deploy(t, cfg)
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 1)
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r3", 3)
+	f.waitViewSize(t, "r1", 3)
+}
+
+// TestSyncBackupsTradesAvailability is the safe configuration: during
+// the partition mutations fail instead of diverging (the CAP trade).
+func TestSyncBackupsTradesAvailability(t *testing.T) {
+	cfg := testConfig()
+	cfg.SyncBackups = true
+	f := deploy(t, cfg)
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitViewSize(t, "r1", 2)
+	err := f.c1.CachePut("k", "v")
+	if !IsUnavailable(err) {
+		t.Fatalf("mutation during partition = %v, want unavailability", err)
+	}
+}
+
+func TestQueueFIFOAndEmpty(t *testing.T) {
+	f := deploy(t, testConfig())
+	for _, m := range []string{"a", "b", "c"} {
+		if err := f.c1.QueuePush("q", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		got, err := f.c2.QueuePop("q")
+		if err != nil || got != want {
+			t.Fatalf("pop = %q, %v; want %q", got, err, want)
+		}
+	}
+	if _, err := f.c2.QueuePop("q"); !IsEmpty(err) {
+		t.Fatalf("pop empty = %v, want empty error", err)
+	}
+}
+
+func TestLockLeaseReclaimedFromPartitionedClient(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.Lock("L"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"c1"}, []netsim.NodeID{"r1", "r2", "r3", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster reclaims the lock and hands it to c2 — while c1
+	// still believes it holds it: broken mutual exclusion.
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.c2.Lock("L") == nil
+	})
+	if !ok {
+		t.Fatal("lock never reclaimed from the partitioned holder")
+	}
+}

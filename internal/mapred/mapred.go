@@ -1,0 +1,508 @@
+// Package mapred implements a MapReduce-style execution framework with
+// the Hadoop/YARN control plane the paper studies: a ResourceManager
+// that starts an ApplicationMaster for each submitted job, AppMasters
+// that launch task containers on worker nodes and stream results to
+// the client, and AppMaster heartbeats that let the ResourceManager
+// detect (apparent) AppMaster death.
+//
+// Figure 3's failure is a design flaw reproduced here faithfully
+// (MAPREDUCE-4819): when a partial partition isolates the AppMaster
+// from the ResourceManager — while both still reach the workers and
+// the client — the ResourceManager declares the AppMaster dead and
+// starts a second attempt, while the first attempt keeps executing and
+// reporting results. The user receives the job output twice, with no
+// client interaction after the partition at all.
+package mapred
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// RPC method names.
+const (
+	mSubmit    = "mr.submit"
+	mStartAM   = "mr.startAM"
+	mAMBeat    = "mr.amHeartbeat"
+	mComplete  = "mr.jobComplete"
+	mContainer = "mr.runContainer"
+	mResult    = "mr.result"
+	mJobStatus = "mr.jobStatus"
+)
+
+type submitReq struct {
+	JobID  string
+	Tasks  int
+	Client netsim.NodeID
+}
+
+type startAMReq struct {
+	JobID   string
+	Attempt int
+	Tasks   int
+	Client  netsim.NodeID
+}
+
+type amBeatMsg struct {
+	JobID   string
+	Attempt int
+}
+
+type completeMsg struct {
+	JobID   string
+	Attempt int
+}
+
+type containerReq struct {
+	JobID   string
+	Attempt int
+	Task    int
+}
+
+// Result is one task output delivered to the submitting client.
+type Result struct {
+	JobID   string
+	Attempt int
+	Task    int
+	Output  string
+	Final   bool // true for the job-done notification
+}
+
+type jobStatusReq struct{ JobID string }
+
+// JobState is the ResourceManager's view of a job.
+type JobState struct {
+	JobID     string
+	Attempt   int
+	AMNode    netsim.NodeID
+	Completed bool
+}
+
+// Config configures the framework.
+type Config struct {
+	// RM is the ResourceManager node.
+	RM netsim.NodeID
+	// Workers host AppMasters and containers.
+	Workers []netsim.NodeID
+	// AMHeartbeat is the AppMaster -> RM heartbeat period.
+	AMHeartbeat time.Duration
+	// AMMisses is how many missed heartbeats the RM tolerates before
+	// starting a new AppMaster attempt.
+	AMMisses int
+	// TaskDuration is how long one container takes.
+	TaskDuration time.Duration
+	// RPCTimeout bounds control-plane calls.
+	RPCTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.AMHeartbeat == 0 {
+		c.AMHeartbeat = 10 * time.Millisecond
+	}
+	if c.AMMisses == 0 {
+		c.AMMisses = 3
+	}
+	if c.TaskDuration == 0 {
+		c.TaskDuration = 20 * time.Millisecond
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 30 * time.Millisecond
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// ResourceManager
+// ---------------------------------------------------------------------
+
+type rmJob struct {
+	jobID     string
+	tasks     int
+	client    netsim.NodeID
+	attempt   int
+	amNode    netsim.NodeID
+	lastBeat  time.Time
+	completed bool
+}
+
+// ResourceManager tracks jobs and replaces AppMasters it believes dead.
+type ResourceManager struct {
+	cfg Config
+	ep  *transport.Endpoint
+
+	mu      sync.Mutex
+	jobs    map[string]*rmJob
+	nextWkr int
+	stopped bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewResourceManager creates the RM, unstarted.
+func NewResourceManager(n *netsim.Network, cfg Config) *ResourceManager {
+	cfg = cfg.withDefaults()
+	rm := &ResourceManager{
+		cfg:    cfg,
+		ep:     transport.NewEndpoint(n, cfg.RM),
+		jobs:   make(map[string]*rmJob),
+		stopCh: make(chan struct{}),
+	}
+	rm.ep.DefaultTimeout = cfg.RPCTimeout
+	rm.ep.Handle(mSubmit, rm.onSubmit)
+	rm.ep.Handle(mAMBeat, rm.onAMBeat)
+	rm.ep.Handle(mComplete, rm.onComplete)
+	rm.ep.Handle(mJobStatus, rm.onJobStatus)
+	return rm
+}
+
+// Start launches the AppMaster liveness monitor.
+func (rm *ResourceManager) Start() {
+	rm.wg.Add(1)
+	go rm.monitorLoop()
+}
+
+// Stop halts the RM.
+func (rm *ResourceManager) Stop() {
+	rm.mu.Lock()
+	if rm.stopped {
+		rm.mu.Unlock()
+		return
+	}
+	rm.stopped = true
+	rm.mu.Unlock()
+	close(rm.stopCh)
+	rm.wg.Wait()
+	rm.ep.Close()
+}
+
+func (rm *ResourceManager) onSubmit(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(submitReq)
+	if !ok {
+		return nil, errors.New("bad submit")
+	}
+	rm.mu.Lock()
+	if _, dup := rm.jobs[req.JobID]; dup {
+		rm.mu.Unlock()
+		return nil, fmt.Errorf("mapred: job %s already submitted", req.JobID)
+	}
+	j := &rmJob{
+		jobID: req.JobID, tasks: req.Tasks, client: req.Client,
+		attempt: 1, lastBeat: time.Now(),
+	}
+	rm.jobs[req.JobID] = j
+	am := rm.pickWorkerLocked()
+	j.amNode = am
+	rm.mu.Unlock()
+
+	// Start the AppMaster (Figure 3.a step 2).
+	if _, err := rm.ep.Call(am, mStartAM, startAMReq{
+		JobID: req.JobID, Attempt: 1, Tasks: req.Tasks, Client: req.Client,
+	}, rm.cfg.RPCTimeout); err != nil {
+		return nil, fmt.Errorf("mapred: starting AM on %s: %w", am, err)
+	}
+	return nil, nil
+}
+
+func (rm *ResourceManager) pickWorkerLocked() netsim.NodeID {
+	w := rm.cfg.Workers[rm.nextWkr%len(rm.cfg.Workers)]
+	rm.nextWkr++
+	return w
+}
+
+func (rm *ResourceManager) onAMBeat(from netsim.NodeID, body any) (any, error) {
+	msg, ok := body.(amBeatMsg)
+	if !ok {
+		return nil, errors.New("bad AM heartbeat")
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if j, exists := rm.jobs[msg.JobID]; exists && j.attempt == msg.Attempt {
+		j.lastBeat = time.Now()
+	}
+	return nil, nil
+}
+
+func (rm *ResourceManager) onComplete(from netsim.NodeID, body any) (any, error) {
+	msg, ok := body.(completeMsg)
+	if !ok {
+		return nil, errors.New("bad complete")
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if j, exists := rm.jobs[msg.JobID]; exists {
+		j.completed = true
+	}
+	return nil, nil
+}
+
+func (rm *ResourceManager) onJobStatus(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(jobStatusReq)
+	if !ok {
+		return nil, errors.New("bad status request")
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	j, exists := rm.jobs[req.JobID]
+	if !exists {
+		return nil, fmt.Errorf("mapred: unknown job %s", req.JobID)
+	}
+	return JobState{JobID: j.jobID, Attempt: j.attempt, AMNode: j.amNode, Completed: j.completed}, nil
+}
+
+// monitorLoop restarts AppMasters whose heartbeats stopped. An
+// unreachable AppMaster is indistinguishable from a dead one — the
+// assumption Figure 3 exploits.
+func (rm *ResourceManager) monitorLoop() {
+	defer rm.wg.Done()
+	t := time.NewTicker(rm.cfg.AMHeartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-rm.stopCh:
+			return
+		case <-t.C:
+			rm.checkAMs()
+		}
+	}
+}
+
+func (rm *ResourceManager) checkAMs() {
+	cutoff := time.Duration(rm.cfg.AMMisses) * rm.cfg.AMHeartbeat
+	type restart struct {
+		job *rmJob
+		req startAMReq
+		am  netsim.NodeID
+	}
+	var restarts []restart
+	rm.mu.Lock()
+	for _, j := range rm.jobs {
+		if j.completed || time.Since(j.lastBeat) <= cutoff {
+			continue
+		}
+		// The AM looks dead: start a new attempt on the next worker.
+		j.attempt++
+		j.lastBeat = time.Now()
+		j.amNode = rm.pickWorkerLocked()
+		restarts = append(restarts, restart{
+			job: j,
+			am:  j.amNode,
+			req: startAMReq{JobID: j.jobID, Attempt: j.attempt, Tasks: j.tasks, Client: j.client},
+		})
+	}
+	rm.mu.Unlock()
+	for _, r := range restarts {
+		_, _ = rm.ep.Call(r.am, mStartAM, r.req, rm.cfg.RPCTimeout)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Worker (hosts AppMasters and containers)
+// ---------------------------------------------------------------------
+
+// Worker executes containers and hosts AppMaster instances.
+type Worker struct {
+	cfg Config
+	id  netsim.NodeID
+	ep  *transport.Endpoint
+
+	mu      sync.Mutex
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// NewWorker creates a worker, ready immediately.
+func NewWorker(n *netsim.Network, id netsim.NodeID, cfg Config) *Worker {
+	cfg = cfg.withDefaults()
+	w := &Worker{cfg: cfg, id: id, ep: transport.NewEndpoint(n, id)}
+	w.ep.DefaultTimeout = cfg.RPCTimeout
+	w.ep.Handle(mStartAM, w.onStartAM)
+	w.ep.Handle(mContainer, w.onRunContainer)
+	return w
+}
+
+// ID returns the worker's node ID.
+func (w *Worker) ID() netsim.NodeID { return w.id }
+
+// Stop halts the worker after in-flight AppMasters finish.
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+	w.wg.Wait()
+	w.ep.Close()
+}
+
+func (w *Worker) onStartAM(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(startAMReq)
+	if !ok {
+		return nil, errors.New("bad startAM")
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return nil, errors.New("worker stopped")
+	}
+	w.wg.Add(1)
+	w.mu.Unlock()
+	go w.runAppMaster(req)
+	return nil, nil
+}
+
+// runAppMaster is one AppMaster attempt (Figure 3.a step 2-3): run the
+// containers, stream results to the client, then report completion to
+// the RM. The heartbeat goroutine keeps the RM convinced we are alive
+// — when it can reach the RM.
+func (w *Worker) runAppMaster(req startAMReq) {
+	defer w.wg.Done()
+	stopBeat := make(chan struct{})
+	var beatWG sync.WaitGroup
+	beatWG.Add(1)
+	go func() {
+		defer beatWG.Done()
+		t := time.NewTicker(w.cfg.AMHeartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopBeat:
+				return
+			case <-t.C:
+				_ = w.ep.Notify(w.cfg.RM, mAMBeat, amBeatMsg{JobID: req.JobID, Attempt: req.Attempt})
+			}
+		}
+	}()
+
+	// Run every task in a container, spreading over the workers.
+	for task := 0; task < req.Tasks; task++ {
+		target := w.cfg.Workers[task%len(w.cfg.Workers)]
+		out, err := w.ep.Call(target, mContainer, containerReq{
+			JobID: req.JobID, Attempt: req.Attempt, Task: task,
+		}, w.cfg.TaskDuration+w.cfg.RPCTimeout)
+		if err != nil {
+			// Container host unreachable: retry on ourselves. The AM
+			// always co-hosts a container runtime.
+			out, err = w.ep.Call(w.id, mContainer, containerReq{
+				JobID: req.JobID, Attempt: req.Attempt, Task: task,
+			}, w.cfg.TaskDuration+w.cfg.RPCTimeout)
+			if err != nil {
+				continue
+			}
+		}
+		output, _ := out.(string)
+		// Stream the task result to the user (Figure 3.b: results keep
+		// flowing even when the RM is unreachable).
+		_ = w.ep.Notify(req.Client, mResult, Result{
+			JobID: req.JobID, Attempt: req.Attempt, Task: task, Output: output,
+		})
+	}
+
+	// Report final status to the client FIRST, then to the RM. This
+	// ordering is MAPREDUCE-4819's flaw: if the RM is unreachable, the
+	// user has already been told the job finished — and the RM will
+	// rerun it anyway.
+	_ = w.ep.Notify(req.Client, mResult, Result{JobID: req.JobID, Attempt: req.Attempt, Final: true})
+	_, _ = w.ep.Call(w.cfg.RM, mComplete, completeMsg{JobID: req.JobID, Attempt: req.Attempt}, w.cfg.RPCTimeout)
+	close(stopBeat)
+	beatWG.Wait()
+}
+
+func (w *Worker) onRunContainer(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(containerReq)
+	if !ok {
+		return nil, errors.New("bad container request")
+	}
+	time.Sleep(w.cfg.TaskDuration)
+	return fmt.Sprintf("%s/t%d", req.JobID, req.Task), nil
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+// Client submits jobs and collects results.
+type Client struct {
+	ep  *transport.Endpoint
+	cfg Config
+
+	mu      sync.Mutex
+	results []Result
+}
+
+// NewClient attaches a MapReduce client.
+func NewClient(n *netsim.Network, id netsim.NodeID, cfg Config) *Client {
+	c := &Client{ep: transport.NewEndpoint(n, id), cfg: cfg.withDefaults()}
+	c.ep.Handle(mResult, c.onResult)
+	return c
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
+
+// Close detaches the client.
+func (c *Client) Close() { c.ep.Close() }
+
+func (c *Client) onResult(from netsim.NodeID, body any) (any, error) {
+	res, ok := body.(Result)
+	if !ok {
+		return nil, errors.New("bad result")
+	}
+	c.mu.Lock()
+	c.results = append(c.results, res)
+	c.mu.Unlock()
+	return nil, nil
+}
+
+// Submit sends a job with the given task count to the ResourceManager
+// (Figure 3.a step 1).
+func (c *Client) Submit(jobID string, tasks int) error {
+	_, err := c.ep.Call(c.cfg.RM, mSubmit, submitReq{
+		JobID: jobID, Tasks: tasks, Client: c.ep.ID(),
+	}, 0)
+	return err
+}
+
+// Results returns the results received so far.
+func (c *Client) Results() []Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Result(nil), c.results...)
+}
+
+// FinalNotifications counts how many times the job was reported
+// finished — more than once means double execution.
+func (c *Client) FinalNotifications(jobID string) int {
+	n := 0
+	for _, r := range c.Results() {
+		if r.JobID == jobID && r.Final {
+			n++
+		}
+	}
+	return n
+}
+
+// TaskExecutions returns how many times each task's result was
+// delivered; any count above 1 is duplicate output (data corruption).
+func (c *Client) TaskExecutions(jobID string) map[int]int {
+	out := make(map[int]int)
+	for _, r := range c.Results() {
+		if r.JobID == jobID && !r.Final {
+			out[r.Task]++
+		}
+	}
+	return out
+}
+
+// JobStatus queries the RM's view of a job.
+func (c *Client) JobStatus(jobID string) (JobState, error) {
+	resp, err := c.ep.Call(c.cfg.RM, mJobStatus, jobStatusReq{JobID: jobID}, 0)
+	if err != nil {
+		return JobState{}, err
+	}
+	st, _ := resp.(JobState)
+	return st, nil
+}

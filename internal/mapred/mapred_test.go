@@ -1,0 +1,165 @@
+package mapred
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+func testConfig() Config {
+	return Config{
+		RM:          "rm",
+		Workers:     []netsim.NodeID{"w1", "w2"},
+		AMHeartbeat: 10 * time.Millisecond,
+		// Six missed periods before declaring the AM dead: scheduler
+		// jitter on a healthy cluster must not trigger a spurious
+		// second attempt.
+		AMMisses:     6,
+		TaskDuration: 20 * time.Millisecond,
+		RPCTimeout:   30 * time.Millisecond,
+	}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	cl  *Client
+}
+
+func deploy(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	eng.AddNode(cfg.RM, core.RoleServer)
+	for _, id := range cfg.Workers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("user", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{eng: eng, sys: sys, cl: NewClient(eng.Network(), "user", cfg)}
+	t.Cleanup(func() {
+		f.cl.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func TestJobRunsOnceOnHealthyCluster(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.cl.Submit("job1", 3); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Wait for both the RM's view and the client's notification — the
+	// AM notifies the client just before reporting to the RM, but the
+	// client processes its inbox asynchronously.
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		st, err := f.cl.JobStatus("job1")
+		return err == nil && st.Completed && f.cl.FinalNotifications("job1") >= 1
+	})
+	if !ok {
+		t.Fatal("job never completed")
+	}
+	if n := f.cl.FinalNotifications("job1"); n != 1 {
+		t.Fatalf("final notifications = %d, want exactly 1", n)
+	}
+	execs := f.cl.TaskExecutions("job1")
+	if len(execs) != 3 {
+		t.Fatalf("task results = %v, want 3 tasks", execs)
+	}
+	for task, n := range execs {
+		if n != 1 {
+			t.Fatalf("task %d executed %d times on a healthy cluster", task, n)
+		}
+	}
+	// First attempt, on the first worker.
+	st, _ := f.cl.JobStatus("job1")
+	if st.Attempt != 1 {
+		t.Fatalf("attempt = %d, want 1", st.Attempt)
+	}
+}
+
+// TestFigure3DoubleExecution reproduces MAPREDUCE-4819: a partial
+// partition isolates the AppMaster from the ResourceManager (both
+// still reach the other worker and the user). The RM starts a second
+// AppMaster; the first keeps running; the user receives everything
+// twice. Note there is NO client operation after the partition.
+func TestFigure3DoubleExecution(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.cl.Submit("job1", 3); err != nil {
+		t.Fatal(err)
+	}
+	// The AM of attempt 1 runs on w1. Partial partition: w1 vs rm.
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"w1"}, []netsim.NodeID{"rm"}); err != nil {
+		t.Fatal(err)
+	}
+	// Both attempts finish: the user is told "done" twice.
+	ok := f.eng.WaitUntil(3*time.Second, func() bool {
+		return f.cl.FinalNotifications("job1") >= 2
+	})
+	if !ok {
+		t.Fatalf("final notifications = %d, want 2 (double execution)",
+			f.cl.FinalNotifications("job1"))
+	}
+	// And task outputs were delivered twice: data corruption.
+	dup := false
+	for _, n := range f.cl.TaskExecutions("job1") {
+		if n >= 2 {
+			dup = true
+		}
+	}
+	if !dup {
+		t.Fatalf("no duplicated task output: %v", f.cl.TaskExecutions("job1"))
+	}
+	// The second attempt ran on the other worker.
+	st, err := f.cl.JobStatus("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempt < 2 || st.AMNode != "w2" {
+		t.Fatalf("status = %+v, want attempt 2 on w2", st)
+	}
+}
+
+func TestCrashDrivenAMRestartIsLegitimate(t *testing.T) {
+	// The control case: an actually crashed AM must be restarted —
+	// this is the recovery path working as designed. The flaw is only
+	// that unreachable and crashed are indistinguishable.
+	f := deploy(t, testConfig())
+	if err := f.cl.Submit("job1", 3); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Crash("w1")
+	ok := f.eng.WaitUntil(3*time.Second, func() bool {
+		st, err := f.cl.JobStatus("job1")
+		return err == nil && st.Completed && st.Attempt >= 2 &&
+			f.cl.FinalNotifications("job1") >= 1
+	})
+	if !ok {
+		t.Fatal("job never completed on the second attempt")
+	}
+	if n := f.cl.FinalNotifications("job1"); n != 1 {
+		t.Fatalf("final notifications = %d; a crashed AM cannot double-report", n)
+	}
+}
+
+func TestDuplicateSubmitRejected(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.cl.Submit("job1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cl.Submit("job1", 1); err == nil {
+		t.Fatal("duplicate submit must be rejected")
+	}
+}
+
+func TestJobStatusUnknownJob(t *testing.T) {
+	f := deploy(t, testConfig())
+	if _, err := f.cl.JobStatus("ghost"); err == nil {
+		t.Fatal("unknown job must error")
+	}
+}

@@ -1,0 +1,64 @@
+package mapred
+
+import (
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles the ResourceManager and workers into NEAT's ISystem
+// interface.
+type System struct {
+	cfg     Config
+	net     *netsim.Network
+	rm      *ResourceManager
+	workers map[netsim.NodeID]*Worker
+}
+
+// NewSystem creates the control plane and workers, unstarted.
+func NewSystem(n *netsim.Network, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:     cfg,
+		net:     n,
+		rm:      NewResourceManager(n, cfg),
+		workers: make(map[netsim.NodeID]*Worker),
+	}
+	for _, id := range cfg.Workers {
+		s.workers[id] = NewWorker(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "mapreduce" }
+
+// Start implements core.ISystem.
+func (s *System) Start() error {
+	s.rm.Start()
+	return nil
+}
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	s.rm.Stop()
+	for _, w := range s.workers {
+		w.Stop()
+	}
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.workers)+1)
+	out[s.cfg.RM] = core.NodeStatus{Up: s.net.IsUp(s.cfg.RM), Role: "resource-manager"}
+	for id := range s.workers {
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: "worker"}
+	}
+	return out
+}
+
+// RM returns the ResourceManager.
+func (s *System) RM() *ResourceManager { return s.rm }
+
+// Worker returns the worker on a node.
+func (s *System) Worker(id netsim.NodeID) *Worker { return s.workers[id] }

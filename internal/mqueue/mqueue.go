@@ -1,0 +1,447 @@
+// Package mqueue implements a replicated message queue in the mould of
+// ActiveMQ's master/slave deployment: brokers register with a
+// ZooKeeper-like coordination service (package coord); the senior
+// registrant is the master; the master serves clients and replicates
+// queue mutations to the slaves.
+//
+// Two studied failures live here:
+//
+//   - Figure 6 (AMQ-7064): a partial partition isolates the master from
+//     the slaves but not from ZooKeeper. The master cannot replicate,
+//     so client operations fail — yet the slaves never take over,
+//     because ZooKeeper still sees the master's session. The system
+//     hangs until the partition heals.
+//   - Listing 2 (AMQ-6978): a complete partition isolates the master
+//     (with a client) from everything, including ZooKeeper. The master
+//     keeps serving from its local copy while the majority elects a new
+//     master from the replicated state — and the same message is
+//     dequeued on both sides.
+package mqueue
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"neat/internal/coord"
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// Group is the coordination-service group brokers register in.
+const Group = "brokers"
+
+// RPC method names.
+const (
+	mOp   = "mq.op"
+	mRepl = "mq.repl"
+	mRole = "mq.role"
+)
+
+type opKind int
+
+const (
+	opSend opKind = iota
+	opRecv
+)
+
+type opReq struct {
+	Kind  opKind
+	Queue string
+	Msg   string
+}
+
+type opResp struct {
+	Msg string
+}
+
+type replMsg struct{ Req opReq }
+
+// NotMasterError redirects the client to the master the broker
+// believes in.
+type NotMasterError struct{ Master netsim.NodeID }
+
+// Error implements the error interface.
+func (e *NotMasterError) Error() string {
+	return fmt.Sprintf("not master; try %s", e.Master)
+}
+
+// ErrUnavailable is returned when the master cannot replicate to its
+// slaves and RequireReplicaAcks is set — the Figure 6 hang, surfaced
+// as an error instead of an indefinite block.
+var ErrUnavailable = errors.New("mqueue: replicas unreachable, operation unavailable")
+
+// ErrEmpty is returned when receiving from an empty queue.
+var ErrEmpty = errors.New("mqueue: queue empty")
+
+// ErrNotServing is returned by a broker that stopped serving because
+// it lost its coordination-service connection (the fixed behaviour).
+var ErrNotServing = errors.New("mqueue: broker suspended (coordination service unreachable)")
+
+// Config configures the broker group.
+type Config struct {
+	// Brokers is the broker membership in registration order; the
+	// first broker becomes the initial master.
+	Brokers []netsim.NodeID
+	// ZK is the coordination-service node.
+	ZK netsim.NodeID
+	// SessionPing is the coordination keepalive period.
+	SessionPing time.Duration
+	// RolePoll is how often brokers refresh who the master is.
+	RolePoll time.Duration
+	// RequireReplicaAcks makes the master fail client operations it
+	// cannot replicate to every slave (ActiveMQ's replicated store).
+	RequireReplicaAcks bool
+	// StepDownOnZKLoss suspends a broker that cannot reach the
+	// coordination service — the fix for the double-dequeue failure
+	// (KAFKA-6173's "leader should stop accepting requests when
+	// disconnected from ZK"). Off by default, as in the studied
+	// systems.
+	StepDownOnZKLoss bool
+	// RPCTimeout bounds replication and coordination calls.
+	RPCTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionPing == 0 {
+		c.SessionPing = 10 * time.Millisecond
+	}
+	if c.RolePoll == 0 {
+		c.RolePoll = 10 * time.Millisecond
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 30 * time.Millisecond
+	}
+	return c
+}
+
+// Broker is one queue server.
+type Broker struct {
+	cfg Config
+	id  netsim.NodeID
+	ep  *transport.Endpoint
+
+	mu          sync.Mutex
+	isMaster    bool
+	knownMaster netsim.NodeID
+	zkReachable bool
+	queues      map[string][]string
+	session     *coord.Session
+	stopped     bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewBroker creates a broker, unstarted.
+func NewBroker(n *netsim.Network, id netsim.NodeID, cfg Config) *Broker {
+	cfg = cfg.withDefaults()
+	b := &Broker{
+		cfg:         cfg,
+		id:          id,
+		ep:          transport.NewEndpoint(n, id),
+		queues:      make(map[string][]string),
+		zkReachable: true,
+		stopCh:      make(chan struct{}),
+	}
+	b.ep.DefaultTimeout = cfg.RPCTimeout
+	b.ep.Handle(mOp, b.onOp)
+	b.ep.Handle(mRepl, b.onRepl)
+	b.ep.Handle(mRole, b.onRole)
+	return b
+}
+
+// ID returns the broker's node ID.
+func (b *Broker) ID() netsim.NodeID { return b.id }
+
+// Start registers with the coordination service and begins polling
+// for the master role.
+func (b *Broker) Start() error {
+	sess, err := coord.NewSession(b.ep, b.cfg.ZK, Group, b.cfg.SessionPing)
+	if err != nil {
+		return fmt.Errorf("mqueue: broker %s: %w", b.id, err)
+	}
+	b.mu.Lock()
+	b.session = sess
+	b.mu.Unlock()
+	b.pollRole()
+	b.wg.Add(1)
+	go b.roleLoop()
+	return nil
+}
+
+// Stop halts the broker.
+func (b *Broker) Stop() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	sess := b.session
+	b.mu.Unlock()
+	close(b.stopCh)
+	b.wg.Wait()
+	if sess != nil {
+		sess.Close()
+	}
+	b.ep.Close()
+}
+
+func (b *Broker) roleLoop() {
+	defer b.wg.Done()
+	t := time.NewTicker(b.cfg.RolePoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case <-t.C:
+			b.pollRole()
+		}
+	}
+}
+
+// pollRole refreshes the broker's view of who is master. When the
+// coordination service is unreachable the flawed behaviour keeps the
+// last known role — an isolated master keeps serving.
+func (b *Broker) pollRole() {
+	leader, err := coord.Leader(b.ep, b.cfg.ZK, Group, b.cfg.RPCTimeout)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil {
+		b.zkReachable = false
+		if b.cfg.StepDownOnZKLoss {
+			b.isMaster = false
+		}
+		return
+	}
+	b.zkReachable = true
+	b.isMaster = leader == b.id
+	b.knownMaster = leader
+}
+
+// IsMaster reports whether the broker currently believes it is master.
+func (b *Broker) IsMaster() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.isMaster
+}
+
+// QueueLen reports the local length of a queue (for verification).
+func (b *Broker) QueueLen(q string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queues[q])
+}
+
+func (b *Broker) slaves() []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, len(b.cfg.Brokers)-1)
+	for _, id := range b.cfg.Brokers {
+		if id != b.id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (b *Broker) onRole(netsim.NodeID, any) (any, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	role := "slave"
+	if b.isMaster {
+		role = "master"
+	}
+	return role, nil
+}
+
+func (b *Broker) onOp(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(opReq)
+	if !ok {
+		return nil, errors.New("bad op")
+	}
+	b.mu.Lock()
+	if !b.isMaster {
+		if b.cfg.StepDownOnZKLoss && !b.zkReachable {
+			b.mu.Unlock()
+			return nil, ErrNotServing
+		}
+		master := b.knownMaster
+		b.mu.Unlock()
+		return nil, &NotMasterError{Master: master}
+	}
+	resp, err := b.applyLocked(req)
+	b.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	acked := b.replicate(replMsg{Req: req})
+	if b.cfg.RequireReplicaAcks && acked < len(b.cfg.Brokers)-1 {
+		return nil, ErrUnavailable
+	}
+	return resp, nil
+}
+
+func (b *Broker) applyLocked(req opReq) (opResp, error) {
+	switch req.Kind {
+	case opSend:
+		b.queues[req.Queue] = append(b.queues[req.Queue], req.Msg)
+		return opResp{}, nil
+	case opRecv:
+		q := b.queues[req.Queue]
+		if len(q) == 0 {
+			return opResp{}, ErrEmpty
+		}
+		msg := q[0]
+		b.queues[req.Queue] = q[1:]
+		return opResp{Msg: msg}, nil
+	default:
+		return opResp{}, fmt.Errorf("mqueue: unknown op %d", req.Kind)
+	}
+}
+
+func (b *Broker) replicate(msg replMsg) int {
+	acked := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range b.slaves() {
+		wg.Add(1)
+		go func(s netsim.NodeID) {
+			defer wg.Done()
+			if _, err := b.ep.Call(s, mRepl, msg, b.cfg.RPCTimeout); err == nil {
+				mu.Lock()
+				acked++
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	return acked
+}
+
+// onRepl applies a mutation replicated by the master. For a receive,
+// the slave drops the same head element the master handed out; if the
+// queues have diverged the slave drops its own head — silently, as the
+// studied systems do.
+func (b *Broker) onRepl(from netsim.NodeID, body any) (any, error) {
+	msg, ok := body.(replMsg)
+	if !ok {
+		return nil, errors.New("bad repl")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, _ = b.applyLocked(msg.Req)
+	return nil, nil
+}
+
+// Client is a queue client.
+type Client struct {
+	ep      *transport.Endpoint
+	brokers []netsim.NodeID
+	timeout time.Duration
+}
+
+// NewClient attaches a queue client to the fabric.
+func NewClient(n *netsim.Network, id netsim.NodeID, brokers []netsim.NodeID) *Client {
+	return &Client{
+		ep:      transport.NewEndpoint(n, id),
+		brokers: brokers,
+		timeout: 100 * time.Millisecond,
+	}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
+
+// Close detaches the client.
+func (c *Client) Close() { c.ep.Close() }
+
+func (c *Client) do(req opReq) (opResp, error) {
+	tried := make(map[netsim.NodeID]bool)
+	queue := append([]netsim.NodeID(nil), c.brokers...)
+	var lastErr error = errors.New("mqueue: no brokers")
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if tried[node] {
+			continue
+		}
+		tried[node] = true
+		resp, err := c.ep.Call(node, mOp, req, c.timeout)
+		if err == nil {
+			r, _ := resp.(opResp)
+			return r, nil
+		}
+		lastErr = err
+		if hint, ok := redirectHint(err); ok {
+			if hint != "" && !tried[hint] {
+				queue = append([]netsim.NodeID{hint}, queue...)
+			}
+			continue
+		}
+		if transport.IsRemote(err) {
+			return opResp{}, err
+		}
+	}
+	return opResp{}, lastErr
+}
+
+func redirectHint(err error) (netsim.NodeID, bool) {
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		return "", false
+	}
+	const mark = "not master; try "
+	if strings.HasPrefix(re.Msg, mark) {
+		return netsim.NodeID(re.Msg[len(mark):]), true
+	}
+	return "", false
+}
+
+// Send enqueues a message.
+func (c *Client) Send(queue, msg string) error {
+	_, err := c.do(opReq{Kind: opSend, Queue: queue, Msg: msg})
+	return err
+}
+
+// Recv dequeues the head message.
+func (c *Client) Recv(queue string) (string, error) {
+	resp, err := c.do(opReq{Kind: opRecv, Queue: queue})
+	return resp.Msg, err
+}
+
+// SendTo enqueues directly at a specific broker (no redirects), for
+// tests targeting one side of a partition.
+func (c *Client) SendTo(broker netsim.NodeID, queue, msg string) error {
+	_, err := c.ep.Call(broker, mOp, opReq{Kind: opSend, Queue: queue, Msg: msg}, c.timeout)
+	return err
+}
+
+// RecvFrom dequeues directly from a specific broker.
+func (c *Client) RecvFrom(broker netsim.NodeID, queue string) (string, error) {
+	resp, err := c.ep.Call(broker, mOp, opReq{Kind: opRecv, Queue: queue}, c.timeout)
+	if err != nil {
+		return "", err
+	}
+	r, _ := resp.(opResp)
+	return r.Msg, nil
+}
+
+// IsUnavailable reports whether err is the replication unavailability.
+func IsUnavailable(err error) bool { return remoteIs(err, ErrUnavailable) }
+
+// IsEmpty reports whether err is an empty-queue receive.
+func IsEmpty(err error) bool { return remoteIs(err, ErrEmpty) }
+
+// IsNotServing reports whether err is a suspended broker.
+func IsNotServing(err error) bool { return remoteIs(err, ErrNotServing) }
+
+func remoteIs(err error, target error) bool {
+	if errors.Is(err, target) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == target.Error()
+}

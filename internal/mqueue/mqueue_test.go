@@ -1,0 +1,260 @@
+package mqueue
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/coord"
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+var brokerIDs = []netsim.NodeID{"b1", "b2", "b3"}
+
+func testConfig() Config {
+	return Config{
+		Brokers:     brokerIDs,
+		ZK:          "zk",
+		SessionPing: 10 * time.Millisecond,
+		RolePoll:    10 * time.Millisecond,
+		RPCTimeout:  30 * time.Millisecond,
+	}
+}
+
+func zkOpts() coord.Options {
+	return coord.Options{SessionTTL: 60 * time.Millisecond, SweepInterval: 10 * time.Millisecond}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	c1  *Client
+	c2  *Client
+}
+
+func deploy(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	for _, id := range cfg.Brokers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode(cfg.ZK, core.RoleService)
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg, zkOpts())
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{
+		eng: eng,
+		sys: sys,
+		c1:  NewClient(eng.Network(), "c1", cfg.Brokers),
+		c2:  NewClient(eng.Network(), "c2", cfg.Brokers),
+	}
+	t.Cleanup(func() {
+		f.c1.Close()
+		f.c2.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func TestInitialMasterIsSeniorBroker(t *testing.T) {
+	f := deploy(t, testConfig())
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		m := f.sys.Masters()
+		return len(m) == 1 && m[0] == "b1"
+	})
+	if !ok {
+		t.Fatalf("masters = %v, want [b1]", f.sys.Masters())
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.Send("q", "hello"); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := f.c2.Recv("q")
+	if err != nil || got != "hello" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+	if _, err := f.c2.Recv("q"); !IsEmpty(err) {
+		t.Fatalf("recv empty = %v, want empty error", err)
+	}
+}
+
+func TestSendsReplicateToSlaves(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.Send("q", "m"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		return f.sys.Broker("b2").QueueLen("q") == 1 && f.sys.Broker("b3").QueueLen("q") == 1
+	})
+	if !ok {
+		t.Fatal("message never replicated to slaves")
+	}
+}
+
+func TestMasterFailoverOnCrash(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.Send("q", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Crash("b1")
+	// b2 takes over. (The crashed b1 still holds its stale role flag
+	// in memory; what matters is that the live senior broker leads.)
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.sys.Broker("b2").IsMaster()
+	})
+	if !ok {
+		t.Fatalf("b2 never took over; masters=%v", f.sys.Masters())
+	}
+	// The replicated message survives the failover.
+	got := ""
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		var err error
+		got, err = f.c2.Recv("q")
+		return err == nil
+	})
+	if !ok || got != "m1" {
+		t.Fatalf("recv after failover = %q ok=%v, want m1", got, ok)
+	}
+}
+
+// TestFigure6PartialPartitionHangsSystem reproduces AMQ-7064: the
+// master is isolated from the slaves but keeps its ZooKeeper session,
+// so no failover happens — and with replica acks required, every
+// client operation fails. The system is unavailable until the
+// partition heals.
+func TestFigure6PartialPartitionHangsSystem(t *testing.T) {
+	cfg := testConfig()
+	cfg.RequireReplicaAcks = true
+	f := deploy(t, cfg)
+	// Partial partition: master b1 vs slaves b2,b3. ZooKeeper and the
+	// clients still reach everyone.
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"b1"}, []netsim.NodeID{"b2", "b3"}); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Sleep(150 * time.Millisecond) // several session TTLs
+	// No failover: ZooKeeper still sees b1.
+	if m := f.sys.Masters(); len(m) != 1 || m[0] != "b1" {
+		t.Fatalf("masters = %v; the slaves must not take over (ZK sees the master)", m)
+	}
+	// And the master cannot serve: unavailability.
+	err := f.c1.Send("q", "m")
+	if !IsUnavailable(err) {
+		t.Fatalf("send during partial partition = %v, want unavailability", err)
+	}
+	// Healing restores service — the defining property of a
+	// non-lasting failure (Finding 3's 79% case).
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.c1.Send("q", "m") == nil
+	})
+	if !ok {
+		t.Fatal("system never recovered after heal")
+	}
+}
+
+// TestListing2DoubleDequeue reproduces AMQ-6978: a complete partition
+// isolates the master and one client from the rest (including
+// ZooKeeper); the old master keeps serving its local queue while the
+// majority elects a new master over the replicated state, and both
+// sides dequeue the same message.
+func TestListing2DoubleDequeue(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.c1.Send("q1", "msg1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c1.Send("q1", "msg2"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for full replication before splitting.
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		return f.sys.Broker("b2").QueueLen("q1") == 2 && f.sys.Broker("b3").QueueLen("q1") == 2
+	})
+	if !ok {
+		t.Fatal("messages never fully replicated")
+	}
+	// Listing 2 line 8: minority = {master, client1}.
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"b1", "c1"},
+		[]netsim.NodeID{"b2", "b3", "zk", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Line 10: dequeue at the minority side — the old master still
+	// believes it is master (it cannot reach ZK, and keeps its role).
+	minMsg, err := f.c1.RecvFrom("b1", "q1")
+	if err != nil {
+		t.Fatalf("minority recv: %v", err)
+	}
+	// Line 11-12: wait for the majority to fail over, then dequeue.
+	majMsg := ""
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		var err error
+		majMsg, err = f.c2.Recv("q1")
+		return err == nil
+	})
+	if !ok {
+		t.Fatal("majority side never served a dequeue")
+	}
+	// Line 13: assertNotEqual fails in the paper — both sides got the
+	// same message.
+	if minMsg != majMsg {
+		t.Fatalf("messages differ (%q vs %q); double dequeue expected", minMsg, majMsg)
+	}
+	if minMsg != "msg1" {
+		t.Fatalf("dequeued %q, want msg1", minMsg)
+	}
+}
+
+// TestStepDownOnZKLossPreventsDoubleDequeue is the fix control: the
+// isolated master suspends itself, so only one side serves.
+func TestStepDownOnZKLossPreventsDoubleDequeue(t *testing.T) {
+	cfg := testConfig()
+	cfg.StepDownOnZKLoss = true
+	f := deploy(t, cfg)
+	if err := f.c1.Send("q1", "msg1"); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(time.Second, func() bool {
+		return f.sys.Broker("b2").QueueLen("q1") == 1
+	})
+	if !ok {
+		t.Fatal("message never replicated")
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"b1", "c1"},
+		[]netsim.NodeID{"b2", "b3", "zk", "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	// The isolated master must stop serving once it loses ZK.
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		_, err := f.c1.RecvFrom("b1", "q1")
+		return err != nil && !IsEmpty(err)
+	})
+	if !ok {
+		t.Fatal("isolated master kept serving despite StepDownOnZKLoss")
+	}
+}
+
+func TestSlaveRedirectsToMaster(t *testing.T) {
+	f := deploy(t, testConfig())
+	// Direct op at a slave fails with a redirect.
+	if _, err := f.c1.RecvFrom("b2", "q"); err == nil {
+		t.Fatal("slave must not serve directly")
+	}
+	// The smart client follows it.
+	if err := f.c1.Send("q", "m"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.c1.Recv("q")
+	if err != nil || got != "m" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+}

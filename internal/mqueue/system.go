@@ -1,0 +1,88 @@
+package mqueue
+
+import (
+	"neat/internal/coord"
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles the coordination service and broker group into NEAT's
+// ISystem interface.
+type System struct {
+	cfg     Config
+	net     *netsim.Network
+	zk      *coord.Service
+	brokers map[netsim.NodeID]*Broker
+}
+
+// NewSystem creates the service and brokers, unstarted. zkOpts
+// configures the coordination service's session timing.
+func NewSystem(n *netsim.Network, cfg Config, zkOpts coord.Options) *System {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:     cfg,
+		net:     n,
+		zk:      coord.NewService(n, cfg.ZK, zkOpts),
+		brokers: make(map[netsim.NodeID]*Broker),
+	}
+	for _, id := range cfg.Brokers {
+		s.brokers[id] = NewBroker(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "mqueue" }
+
+// Start implements core.ISystem: the coordination service first, then
+// brokers in configured order so the first broker is the senior
+// registrant (initial master).
+func (s *System) Start() error {
+	s.zk.Start()
+	for _, id := range s.cfg.Brokers {
+		if err := s.brokers[id].Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	for _, b := range s.brokers {
+		b.Stop()
+	}
+	s.zk.Stop()
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.brokers)+1)
+	for id, b := range s.brokers {
+		role := "slave"
+		if b.IsMaster() {
+			role = "master"
+		}
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: role}
+	}
+	out[s.cfg.ZK] = core.NodeStatus{Up: s.net.IsUp(s.cfg.ZK), Role: "coordination"}
+	return out
+}
+
+// Broker returns the broker on a node.
+func (s *System) Broker(id netsim.NodeID) *Broker { return s.brokers[id] }
+
+// ZK returns the coordination service.
+func (s *System) ZK() *coord.Service { return s.zk }
+
+// Masters returns every broker currently claiming mastership.
+func (s *System) Masters() []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, id := range s.cfg.Brokers {
+		if s.brokers[id].IsMaster() {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+// Package netsim provides an in-memory network fabric for testing
+// distributed systems under network-partitioning faults.
+//
+// The fabric models a set of hosts connected through a single switch, the
+// topology NEAT uses (one test engine, three server nodes, two client
+// nodes behind one switch). Every packet traverses a three-stage delivery
+// pipeline:
+//
+//	source host OUTPUT chain -> switch flow table -> destination host INPUT chain
+//
+// The two NEAT partitioner backends program different stages of this
+// pipeline: the OpenFlow-style backend installs drop rules in the switch
+// flow table, and the iptables-style backend appends DROP rules to the
+// host chains. Either way the fault is invisible to the application code
+// running on the hosts, exactly as in a real deployment.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a host on the fabric. IDs play the role of IP
+// addresses: partition rules match on pairs of NodeIDs.
+type NodeID string
+
+// Packet is a single message in flight. Payload is opaque to the fabric.
+type Packet struct {
+	Src     NodeID
+	Dst     NodeID
+	Payload any
+	// SentAt records when the packet entered the fabric.
+	SentAt time.Time
+}
+
+// Verdict is the outcome of a filtering stage for one packet.
+type Verdict int
+
+const (
+	// VerdictAccept lets the packet continue through the pipeline.
+	VerdictAccept Verdict = iota
+	// VerdictDrop silently discards the packet, as a firewall DROP
+	// target or a flow-table drop action would.
+	VerdictDrop
+)
+
+// Filter is one stage of the delivery pipeline.
+type Filter interface {
+	// Check returns the verdict for a packet moving src->dst.
+	Check(src, dst NodeID) Verdict
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(src, dst NodeID) Verdict
+
+// Check implements Filter.
+func (f FilterFunc) Check(src, dst NodeID) Verdict { return f(src, dst) }
+
+// Handler receives packets delivered to a host.
+type Handler func(pkt Packet)
+
+// Options configures a Network.
+type Options struct {
+	// Latency is the one-way delivery delay applied to every packet.
+	// Zero means synchronous in-order delivery on the sender's
+	// goroutine, which keeps unit tests deterministic.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossRate drops packets uniformly at random with this
+	// probability, independent of any partition rules. It models the
+	// background unreliability of UDP-style transports.
+	LossRate float64
+	// Seed seeds the fabric's private RNG (jitter, loss). Zero selects
+	// a fixed default so runs are reproducible.
+	Seed int64
+}
+
+// Network is the fabric. It is safe for concurrent use.
+type Network struct {
+	mu       sync.RWMutex
+	hosts    map[NodeID]*host
+	egress   map[NodeID]Filter // per-host OUTPUT chain
+	ingress  map[NodeID]Filter // per-host INPUT chain
+	switchFi Filter            // switch flow table
+	opts     Options
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+	closed   bool
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts fabric-level packet outcomes.
+type Stats struct {
+	Sent           uint64
+	Delivered      uint64
+	DroppedEgress  uint64
+	DroppedSwitch  uint64
+	DroppedIngress uint64
+	DroppedRandom  uint64
+	DroppedDown    uint64 // destination host crashed or unregistered
+}
+
+type host struct {
+	id      NodeID
+	handler Handler
+	up      bool
+}
+
+// ErrUnknownHost is returned when sending from an unregistered host.
+var ErrUnknownHost = errors.New("netsim: unknown host")
+
+// ErrNetworkClosed is returned after Close.
+var ErrNetworkClosed = errors.New("netsim: network closed")
+
+// New creates a fabric with the given options.
+func New(opts Options) *Network {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x6e656174 // "neat"
+	}
+	return &Network{
+		hosts:   make(map[NodeID]*host),
+		egress:  make(map[NodeID]Filter),
+		ingress: make(map[NodeID]Filter),
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register attaches a host to the fabric. Registering an existing ID
+// replaces its handler and marks the host up (modelling a process
+// restart on the same machine).
+func (n *Network) Register(id NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[id] = &host{id: id, handler: h, up: true}
+}
+
+// Unregister detaches a host; packets to it are dropped.
+func (n *Network) Unregister(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, id)
+}
+
+// SetEgress installs the OUTPUT-chain filter for a host. A nil filter
+// accepts everything.
+func (n *Network) SetEgress(id NodeID, f Filter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.egress[id] = f
+}
+
+// SetIngress installs the INPUT-chain filter for a host.
+func (n *Network) SetIngress(id NodeID, f Filter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ingress[id] = f
+}
+
+// SetSwitch installs the switch flow-table filter.
+func (n *Network) SetSwitch(f Filter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.switchFi = f
+}
+
+// Crash marks a host down: its handler stops receiving packets but the
+// host stays registered, so a later Restart resumes delivery. Packets
+// from a crashed host are also suppressed.
+func (n *Network) Crash(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[id]; ok {
+		h.up = false
+	}
+}
+
+// Restart marks a crashed host up again.
+func (n *Network) Restart(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[id]; ok {
+		h.up = true
+	}
+}
+
+// IsUp reports whether the host is registered and not crashed.
+func (n *Network) IsUp(id NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[id]
+	return ok && h.up
+}
+
+// Hosts returns the registered host IDs in sorted order.
+func (n *Network) Hosts() []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ids := make([]NodeID, 0, len(n.hosts))
+	for id := range n.hosts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Close shuts the fabric; subsequent sends fail.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// Stats returns a snapshot of the fabric counters.
+func (n *Network) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+func (n *Network) bump(f func(*Stats)) {
+	n.statsMu.Lock()
+	f(&n.stats)
+	n.statsMu.Unlock()
+}
+
+// Reachable reports whether a packet src->dst would currently be
+// delivered by the pipeline (ignoring random loss). It is used by
+// tests and by partitioner verification, mirroring NEAT's status API.
+func (n *Network) Reachable(src, dst NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	sh, ok := n.hosts[src]
+	if !ok || !sh.up {
+		return false
+	}
+	dh, ok := n.hosts[dst]
+	if !ok || !dh.up {
+		return false
+	}
+	return n.pipelineVerdictLocked(src, dst) == VerdictAccept
+}
+
+func (n *Network) pipelineVerdictLocked(src, dst NodeID) Verdict {
+	if f := n.egress[src]; f != nil && f.Check(src, dst) == VerdictDrop {
+		return VerdictDrop
+	}
+	if n.switchFi != nil && n.switchFi.Check(src, dst) == VerdictDrop {
+		return VerdictDrop
+	}
+	if f := n.ingress[dst]; f != nil && f.Check(src, dst) == VerdictDrop {
+		return VerdictDrop
+	}
+	return VerdictAccept
+}
+
+// Send injects a packet. It returns an error only for local failures
+// (unknown source, closed fabric); like a real network, drops along the
+// path are silent.
+func (n *Network) Send(src, dst NodeID, payload any) error {
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return ErrNetworkClosed
+	}
+	sh, ok := n.hosts[src]
+	if !ok {
+		n.mu.RUnlock()
+		return fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	if !sh.up {
+		n.mu.RUnlock()
+		return fmt.Errorf("netsim: host %s is down", src)
+	}
+	pkt := Packet{Src: src, Dst: dst, Payload: payload, SentAt: time.Now()}
+	n.bump(func(s *Stats) { s.Sent++ })
+
+	// Egress chain.
+	if f := n.egress[src]; f != nil && f.Check(src, dst) == VerdictDrop {
+		n.mu.RUnlock()
+		n.bump(func(s *Stats) { s.DroppedEgress++ })
+		return nil
+	}
+	// Switch.
+	if n.switchFi != nil && n.switchFi.Check(src, dst) == VerdictDrop {
+		n.mu.RUnlock()
+		n.bump(func(s *Stats) { s.DroppedSwitch++ })
+		return nil
+	}
+	// Ingress chain.
+	if f := n.ingress[dst]; f != nil && f.Check(src, dst) == VerdictDrop {
+		n.mu.RUnlock()
+		n.bump(func(s *Stats) { s.DroppedIngress++ })
+		return nil
+	}
+	n.mu.RUnlock()
+
+	// Random loss.
+	if n.opts.LossRate > 0 {
+		n.rngMu.Lock()
+		lost := n.rng.Float64() < n.opts.LossRate
+		n.rngMu.Unlock()
+		if lost {
+			n.bump(func(s *Stats) { s.DroppedRandom++ })
+			return nil
+		}
+	}
+
+	delay := n.opts.Latency
+	if n.opts.Jitter > 0 {
+		n.rngMu.Lock()
+		delay += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
+		n.rngMu.Unlock()
+	}
+
+	if delay == 0 {
+		n.deliver(pkt)
+		return nil
+	}
+	time.AfterFunc(delay, func() { n.deliver(pkt) })
+	return nil
+}
+
+func (n *Network) deliver(pkt Packet) {
+	n.mu.RLock()
+	dh, ok := n.hosts[pkt.Dst]
+	var handler Handler
+	if ok && dh.up {
+		handler = dh.handler
+	}
+	n.mu.RUnlock()
+	if handler == nil {
+		n.bump(func(s *Stats) { s.DroppedDown++ })
+		return
+	}
+	n.bump(func(s *Stats) { s.Delivered++ })
+	handler(pkt)
+}

@@ -1,0 +1,244 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func collector() (Handler, *[]Packet, *sync.Mutex) {
+	var mu sync.Mutex
+	var got []Packet
+	return func(p Packet) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	}, &got, &mu
+}
+
+func TestSendDelivers(t *testing.T) {
+	n := New(Options{})
+	h, got, mu := collector()
+	n.Register("a", func(Packet) {})
+	n.Register("b", h)
+	if err := n.Send("a", "b", "hello"); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || (*got)[0].Payload != "hello" {
+		t.Fatalf("got %v, want one hello packet", *got)
+	}
+}
+
+func TestSendUnknownSource(t *testing.T) {
+	n := New(Options{})
+	if err := n.Send("ghost", "b", nil); err == nil {
+		t.Fatal("expected error for unknown source")
+	}
+}
+
+func TestSendToUnknownDestinationIsSilent(t *testing.T) {
+	n := New(Options{})
+	n.Register("a", func(Packet) {})
+	if err := n.Send("a", "nowhere", nil); err != nil {
+		t.Fatalf("drops must be silent, got %v", err)
+	}
+	if s := n.Stats(); s.DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d, want 1", s.DroppedDown)
+	}
+}
+
+func TestCrashSuppressesBothDirections(t *testing.T) {
+	n := New(Options{})
+	h, got, mu := collector()
+	n.Register("a", func(Packet) {})
+	n.Register("b", h)
+	n.Crash("b")
+	if err := n.Send("a", "b", 1); err != nil {
+		t.Fatalf("send to crashed host must be silent: %v", err)
+	}
+	if err := n.Send("b", "a", 1); err == nil {
+		t.Fatal("send from crashed host should error locally")
+	}
+	n.Restart("b")
+	if err := n.Send("a", "b", 2); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || (*got)[0].Payload != 2 {
+		t.Fatalf("after restart got %v, want only payload 2", *got)
+	}
+}
+
+func TestFilterStagesAndStats(t *testing.T) {
+	cases := []struct {
+		name    string
+		install func(n *Network)
+		check   func(s Stats) bool
+	}{
+		{"egress", func(n *Network) {
+			n.SetEgress("a", FilterFunc(func(src, dst NodeID) Verdict { return VerdictDrop }))
+		}, func(s Stats) bool { return s.DroppedEgress == 1 }},
+		{"switch", func(n *Network) {
+			n.SetSwitch(FilterFunc(func(src, dst NodeID) Verdict { return VerdictDrop }))
+		}, func(s Stats) bool { return s.DroppedSwitch == 1 }},
+		{"ingress", func(n *Network) {
+			n.SetIngress("b", FilterFunc(func(src, dst NodeID) Verdict { return VerdictDrop }))
+		}, func(s Stats) bool { return s.DroppedIngress == 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := New(Options{})
+			var count atomic.Int32
+			n.Register("a", func(Packet) {})
+			n.Register("b", func(Packet) { count.Add(1) })
+			tc.install(n)
+			if err := n.Send("a", "b", nil); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			if count.Load() != 0 {
+				t.Fatal("packet should have been dropped")
+			}
+			if !tc.check(n.Stats()) {
+				t.Fatalf("stats %+v missing expected drop", n.Stats())
+			}
+		})
+	}
+}
+
+func TestReachableReflectsPipeline(t *testing.T) {
+	n := New(Options{})
+	n.Register("a", func(Packet) {})
+	n.Register("b", func(Packet) {})
+	if !n.Reachable("a", "b") {
+		t.Fatal("a->b should start reachable")
+	}
+	n.SetSwitch(FilterFunc(func(src, dst NodeID) Verdict {
+		if src == "a" && dst == "b" {
+			return VerdictDrop
+		}
+		return VerdictAccept
+	}))
+	if n.Reachable("a", "b") {
+		t.Fatal("a->b should be blocked by switch")
+	}
+	if !n.Reachable("b", "a") {
+		t.Fatal("b->a should remain reachable (simplex)")
+	}
+	n.Crash("b")
+	if n.Reachable("b", "a") {
+		t.Fatal("crashed host is not reachable from")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New(Options{Latency: 20 * time.Millisecond})
+	var deliveredAt atomic.Int64
+	n.Register("a", func(Packet) {})
+	n.Register("b", func(Packet) { deliveredAt.Store(time.Now().UnixNano()) })
+	start := time.Now()
+	if err := n.Send("a", "b", nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for deliveredAt.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("packet never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if elapsed := time.Unix(0, deliveredAt.Load()).Sub(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~20ms", elapsed)
+	}
+}
+
+func TestLossRateDropsApproximately(t *testing.T) {
+	n := New(Options{LossRate: 0.5, Seed: 42})
+	n.Register("a", func(Packet) {})
+	n.Register("b", func(Packet) {})
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := n.Send("a", "b", i); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	s := n.Stats()
+	if s.DroppedRandom < total/3 || s.DroppedRandom > 2*total/3 {
+		t.Fatalf("dropped %d of %d, want roughly half", s.DroppedRandom, total)
+	}
+}
+
+func TestCloseStopsTraffic(t *testing.T) {
+	n := New(Options{})
+	n.Register("a", func(Packet) {})
+	n.Close()
+	if err := n.Send("a", "a", nil); err == nil {
+		t.Fatal("send after close should fail")
+	}
+}
+
+func TestHostsSorted(t *testing.T) {
+	n := New(Options{})
+	for _, id := range []NodeID{"c", "a", "b"} {
+		n.Register(id, func(Packet) {})
+	}
+	got := n.Hosts()
+	want := []NodeID{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Hosts() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	// Property: sent == delivered + sum(drops) once the fabric is
+	// quiescent, for any mix of blocked pairs.
+	f := func(blockAB, blockBA, crashC bool, k uint8) bool {
+		n := New(Options{})
+		for _, id := range []NodeID{"a", "b", "c"} {
+			n.Register(id, func(Packet) {})
+		}
+		if crashC {
+			n.Crash("c")
+		}
+		n.SetSwitch(FilterFunc(func(src, dst NodeID) Verdict {
+			if blockAB && src == "a" && dst == "b" {
+				return VerdictDrop
+			}
+			if blockBA && src == "b" && dst == "a" {
+				return VerdictDrop
+			}
+			return VerdictAccept
+		}))
+		pairs := [][2]NodeID{{"a", "b"}, {"b", "a"}, {"a", "c"}, {"b", "c"}}
+		sends := int(k%31) + 1
+		for i := 0; i < sends; i++ {
+			p := pairs[i%len(pairs)]
+			_ = n.Send(p[0], p[1], i)
+		}
+		s := n.Stats()
+		accounted := s.Delivered + s.DroppedEgress + s.DroppedSwitch +
+			s.DroppedIngress + s.DroppedRandom + s.DroppedDown
+		return s.Sent == accounted
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReRegisterReplacesHandler(t *testing.T) {
+	n := New(Options{})
+	var first, second atomic.Int32
+	n.Register("a", func(Packet) {})
+	n.Register("b", func(Packet) { first.Add(1) })
+	n.Register("b", func(Packet) { second.Add(1) })
+	_ = n.Send("a", "b", nil)
+	if first.Load() != 0 || second.Load() != 1 {
+		t.Fatalf("first=%d second=%d, want 0/1", first.Load(), second.Load())
+	}
+}

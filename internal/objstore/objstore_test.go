@@ -1,0 +1,147 @@
+package objstore
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+var osdIDs = []netsim.NodeID{"o1", "o2", "o3"}
+
+func testConfig() Config {
+	return Config{OSDs: osdIDs, RPCTimeout: 30 * time.Millisecond}
+}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	cl  *Client
+}
+
+func deploy(t *testing.T) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	for _, id := range osdIDs {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("cl", core.RoleClient)
+	sys := NewSystem(eng.Network(), testConfig())
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{eng: eng, sys: sys, cl: NewClient(eng.Network(), "cl", testConfig())}
+	t.Cleanup(func() {
+		f.cl.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func TestWriteReadDeleteRoundTrip(t *testing.T) {
+	f := deploy(t)
+	if err := f.cl.Write("obj", "data"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for _, id := range osdIDs {
+		got, err := f.cl.ReadFrom(id, "obj")
+		if err != nil || got != "data" {
+			t.Fatalf("read from %s = %q, %v", id, got, err)
+		}
+	}
+	if err := f.cl.Delete("obj"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	for _, id := range osdIDs {
+		if _, err := f.cl.ReadFrom(id, "obj"); !IsNotFound(err) {
+			t.Fatalf("read from %s after delete = %v", id, err)
+		}
+	}
+}
+
+func TestSecondaryRejectsClientOps(t *testing.T) {
+	f := deploy(t)
+	err := f.cl.Write("obj", "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct write at a secondary is refused.
+	if _, err := f.cl.ep.Call("o2", mWrite, writeReq{Obj: "x", Data: "y"}, time.Second); err == nil {
+		t.Fatal("secondary accepted a client write")
+	}
+}
+
+// TestCeph24193WriteSucceedsButTimesOut reproduces the NEAT Ceph
+// finding: a partial partition between the primary and one secondary
+// makes writes report a timeout while they in fact persist (on the
+// primary and the reachable secondary).
+func TestCeph24193WriteSucceedsButTimesOut(t *testing.T) {
+	f := deploy(t)
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"o1"}, []netsim.NodeID{"o2"}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.cl.Write("obj", "data")
+	if !IsTimeout(err) {
+		t.Fatalf("write = %v, want the lying timeout", err)
+	}
+	// The operation actually succeeded where replication reached.
+	got, err := f.cl.ReadFrom("o1", "obj")
+	if err != nil || got != "data" {
+		t.Fatalf("primary read = %q, %v; the 'failed' write persisted", got, err)
+	}
+	got, err = f.cl.ReadFrom("o3", "obj")
+	if err != nil || got != "data" {
+		t.Fatalf("o3 read = %q, %v", got, err)
+	}
+	// And the replicas diverged: o2 never got it (data loss if o2 is
+	// later consulted).
+	if f.sys.OSD("o2").Has("obj") {
+		t.Fatal("o2 should have missed the write")
+	}
+}
+
+// TestCeph24193DeleteSucceedsButTimesOut: the delete variant — the
+// object is gone from the reachable replicas but survives on the
+// partitioned one, so it can reappear later.
+func TestCeph24193DeleteSucceedsButTimesOut(t *testing.T) {
+	f := deploy(t)
+	if err := f.cl.Write("obj", "data"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"o1"}, []netsim.NodeID{"o2"}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.cl.Delete("obj")
+	if !IsTimeout(err) {
+		t.Fatalf("delete = %v, want timeout", err)
+	}
+	if f.sys.OSD("o1").Has("obj") {
+		t.Fatal("primary should have deleted the object")
+	}
+	// The partitioned secondary still has it: reappearance material.
+	if !f.sys.OSD("o2").Has("obj") {
+		t.Fatal("o2 should still hold the deleted object")
+	}
+}
+
+func TestHealedPartitionKeepsDivergence(t *testing.T) {
+	// The divergence is lasting damage: nothing reconciles the
+	// replicas after the heal (the studied systems require manual
+	// scrubbing).
+	f := deploy(t)
+	p, err := f.eng.Partial([]netsim.NodeID{"o1"}, []netsim.NodeID{"o2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.cl.Write("obj", "data")
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Sleep(100 * time.Millisecond)
+	if f.sys.OSD("o2").Has("obj") {
+		t.Fatal("no background repair exists; o2 must still miss the object")
+	}
+}

@@ -1,0 +1,53 @@
+package objstore
+
+import (
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles the OSDs into NEAT's ISystem interface.
+type System struct {
+	cfg  Config
+	net  *netsim.Network
+	osds map[netsim.NodeID]*OSD
+}
+
+// NewSystem creates the object store.
+func NewSystem(n *netsim.Network, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{cfg: cfg, net: n, osds: make(map[netsim.NodeID]*OSD)}
+	for _, id := range cfg.OSDs {
+		s.osds[id] = NewOSD(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "objstore" }
+
+// Start implements core.ISystem (OSDs are passive RPC servers).
+func (s *System) Start() error { return nil }
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	for _, o := range s.osds {
+		o.Stop()
+	}
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.osds))
+	for id := range s.osds {
+		role := "secondary"
+		if id == s.cfg.OSDs[0] {
+			role = "primary"
+		}
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: role}
+	}
+	return out
+}
+
+// OSD returns the daemon on a host.
+func (s *System) OSD(id netsim.NodeID) *OSD { return s.osds[id] }

@@ -1,0 +1,145 @@
+package raftkv
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+// Client is a Raft KV client that follows leader redirects among the
+// replicas reachable from its host.
+type Client struct {
+	ep      *transport.Endpoint
+	peers   []netsim.NodeID
+	timeout time.Duration
+}
+
+// NewClient attaches a client to the fabric.
+func NewClient(n *netsim.Network, id netsim.NodeID, peers []netsim.NodeID) *Client {
+	return &Client{
+		ep:      transport.NewEndpoint(n, id),
+		peers:   peers,
+		timeout: 600 * time.Millisecond, // covers a CommitWait
+	}
+}
+
+// ID returns the client's node ID.
+func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
+
+// Close detaches the client.
+func (c *Client) Close() { c.ep.Close() }
+
+func (c *Client) do(method string, body any) (any, error) {
+	tried := make(map[netsim.NodeID]bool)
+	queue := append([]netsim.NodeID(nil), c.peers...)
+	var lastErr error = errors.New("raftkv: no peers")
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if tried[node] {
+			continue
+		}
+		tried[node] = true
+		resp, err := c.ep.Call(node, method, body, c.timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if hint, ok := redirectHint(err); ok {
+			if hint != "" && !tried[hint] {
+				queue = append([]netsim.NodeID{hint}, queue...)
+			}
+			continue
+		}
+		if IsNotFound(err) || IsNoQuorum(err) {
+			return nil, err // definitive answers from a leader
+		}
+	}
+	return nil, lastErr
+}
+
+func redirectHint(err error) (netsim.NodeID, bool) {
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		return "", false
+	}
+	const mark = "raft: not leader"
+	if !strings.HasPrefix(re.Msg, mark) {
+		return "", false
+	}
+	const try = "try "
+	if i := strings.LastIndex(re.Msg, try); i >= 0 {
+		return netsim.NodeID(re.Msg[i+len(try):]), true
+	}
+	return "", true
+}
+
+// Put writes key=val through the current leader, waiting for commit.
+func (c *Client) Put(key, val string) error {
+	_, err := c.do(mPut, putReq{Key: key, Val: val})
+	return err
+}
+
+// Get reads key from the current leader.
+func (c *Client) Get(key string) (string, error) {
+	resp, err := c.do(mGet, getReq{Key: key})
+	if err != nil {
+		return "", err
+	}
+	s, _ := resp.(string)
+	return s, nil
+}
+
+// PutAt writes directly at one node without redirects (for partition
+// tests).
+func (c *Client) PutAt(node netsim.NodeID, key, val string) error {
+	_, err := c.ep.Call(node, mPut, putReq{Key: key, Val: val}, c.timeout)
+	return err
+}
+
+// GetAt reads directly from one node.
+func (c *Client) GetAt(node netsim.NodeID, key string) (string, error) {
+	resp, err := c.ep.Call(node, mGet, getReq{Key: key}, c.timeout)
+	if err != nil {
+		return "", err
+	}
+	s, _ := resp.(string)
+	return s, nil
+}
+
+// ChangeConfig sends an administrative membership change to one node,
+// which applies it directly (the RethinkDB admin path).
+func (c *Client) ChangeConfig(target netsim.NodeID, newConfig []netsim.NodeID) error {
+	_, err := c.ep.Call(target, mConfig, removeMsg{NewConfig: newConfig}, c.timeout)
+	return err
+}
+
+// StatusOf fetches one node's status.
+func (c *Client) StatusOf(node netsim.NodeID) (Status, error) {
+	resp, err := c.ep.Call(node, mStatus, nil, c.timeout)
+	if err != nil {
+		return Status{}, err
+	}
+	st, _ := resp.(Status)
+	return st, nil
+}
+
+// IsNotFound reports whether err is a missing key.
+func IsNotFound(err error) bool { return remoteIs(err, ErrNotFound) }
+
+// IsNoQuorum reports whether err is a failed commit.
+func IsNoQuorum(err error) bool { return remoteIs(err, ErrNoQuorum) }
+
+// IsRemoved reports whether err came from a removed node.
+func IsRemoved(err error) bool { return remoteIs(err, ErrRemoved) }
+
+func remoteIs(err error, target error) bool {
+	if errors.Is(err, target) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == target.Error()
+}

@@ -1,0 +1,391 @@
+package raftkv
+
+import (
+	"testing"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+func testConfig(peers []netsim.NodeID) Config {
+	return Config{
+		Peers:              peers,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeoutMin: 50 * time.Millisecond,
+		ElectionTimeoutMax: 100 * time.Millisecond,
+		RPCTimeout:         30 * time.Millisecond,
+		CommitWait:         500 * time.Millisecond,
+	}
+}
+
+var three = []netsim.NodeID{"n1", "n2", "n3"}
+var five = []netsim.NodeID{"A", "B", "C", "D", "E"}
+
+type fixture struct {
+	eng *core.Engine
+	sys *System
+	cl  *Client
+	cl2 *Client
+}
+
+func deploy(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	eng := core.NewEngine(core.Options{})
+	for _, id := range cfg.Peers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("cl", core.RoleClient)
+	eng.AddNode("cl2", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	f := &fixture{
+		eng: eng, sys: sys,
+		cl:  NewClient(eng.Network(), "cl", cfg.Peers),
+		cl2: NewClient(eng.Network(), "cl2", cfg.Peers),
+	}
+	t.Cleanup(func() {
+		f.cl.Close()
+		f.cl2.Close()
+		eng.Shutdown()
+	})
+	return f
+}
+
+func (f *fixture) waitLeader(t *testing.T, among []netsim.NodeID) netsim.NodeID {
+	t.Helper()
+	id := f.sys.WaitForLeaderAmong(among, 3*time.Second)
+	if id == "" {
+		t.Fatalf("no leader elected among %v", among)
+	}
+	return id
+}
+
+func TestElectsSingleLeader(t *testing.T) {
+	f := deploy(t, testConfig(three))
+	f.waitLeader(t, three)
+	// Settle, then check exactly one leader.
+	f.eng.Sleep(100 * time.Millisecond)
+	if n := len(f.sys.Leaders()); n != 1 {
+		t.Fatalf("leaders = %v, want exactly 1", f.sys.Leaders())
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	f := deploy(t, testConfig(three))
+	f.waitLeader(t, three)
+	if err := f.cl.Put("k", "v"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := f.cl.Get("k")
+	if err != nil || got != "v" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	if _, err := f.cl.Get("missing"); !IsNotFound(err) {
+		t.Fatalf("missing = %v", err)
+	}
+}
+
+func TestCommittedEntriesReachAllStateMachines(t *testing.T) {
+	f := deploy(t, testConfig(three))
+	f.waitLeader(t, three)
+	for i := 0; i < 5; i++ {
+		if err := f.cl.Put("k"+string(rune('0'+i)), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		for _, id := range three {
+			if len(f.sys.Node(id).Data()) != 5 {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("state machines never converged")
+	}
+}
+
+func TestLeaderFailoverPreservesCommittedData(t *testing.T) {
+	f := deploy(t, testConfig(three))
+	lead := f.waitLeader(t, three)
+	if err := f.cl.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.Crash(lead)
+	rest := core.Rest(three, []netsim.NodeID{lead})
+	f.waitLeader(t, rest)
+	got := ""
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		var err error
+		got, err = f.cl.Get("k")
+		return err == nil
+	})
+	if !ok || got != "v" {
+		t.Fatalf("committed write lost across failover: %q ok=%v", got, ok)
+	}
+}
+
+func TestMinorityLeaderCannotCommit(t *testing.T) {
+	f := deploy(t, testConfig(three))
+	lead := f.waitLeader(t, three)
+	rest := core.Rest(three, []netsim.NodeID{lead})
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{lead, "cl"}, append(rest, "cl2")); err != nil {
+		t.Fatal(err)
+	}
+	// The isolated leader cannot commit: Raft trades availability for
+	// consistency on the minority side.
+	err := f.cl.PutAt(lead, "k", "v")
+	if !IsNoQuorum(err) && err == nil {
+		t.Fatalf("minority put = %v, want no-quorum", err)
+	}
+	// The majority elects and serves.
+	f.waitLeader(t, rest)
+	if err := f.cl2.Put("k", "majority"); err != nil {
+		t.Fatalf("majority put: %v", err)
+	}
+}
+
+func TestHealedMinorityLeaderStepsDownAndConverges(t *testing.T) {
+	f := deploy(t, testConfig(three))
+	lead := f.waitLeader(t, three)
+	rest := core.Rest(three, []netsim.NodeID{lead})
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{lead, "cl"}, append(rest, "cl2")); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.cl.PutAt(lead, "uncommitted", "x") // stays uncommitted
+	f.waitLeader(t, rest)
+	if err := f.cl2.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	// The old leader rejoins, truncates its uncommitted entry, and
+	// converges on the majority's history — no divergence survives.
+	ok := f.eng.WaitUntil(3*time.Second, func() bool {
+		d := f.sys.Node(lead).Data()
+		_, hasUncommitted := d["uncommitted"]
+		return d["k"] == "v" && !hasUncommitted
+	})
+	if !ok {
+		t.Fatalf("old leader state: %v", f.sys.Node(lead).Data())
+	}
+}
+
+func TestLogMatchingInvariant(t *testing.T) {
+	// Raft's Log Matching property: committed prefixes agree on every
+	// node. Exercise with interleaved writes and a partition cycle.
+	f := deploy(t, testConfig(three))
+	lead := f.waitLeader(t, three)
+	for i := 0; i < 3; i++ {
+		if err := f.cl.Put("a"+string(rune('0'+i)), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := core.Rest(three, []netsim.NodeID{lead})
+	p, err := f.eng.Complete(append([]netsim.NodeID{lead}, "cl"), append(rest, "cl2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.waitLeader(t, rest)
+	for i := 0; i < 3; i++ {
+		if err := f.cl2.Put("b"+string(rune('0'+i)), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(3*time.Second, func() bool {
+		var logs [][]LogEntry
+		minCommit := ^uint64(0)
+		for _, id := range three {
+			logs = append(logs, f.sys.Node(id).Log())
+			st := f.sys.Node(id).Status()
+			if st.CommitIndex < minCommit {
+				minCommit = st.CommitIndex
+			}
+		}
+		if minCommit < 6 {
+			return false
+		}
+		for i := uint64(1); i <= minCommit; i++ {
+			ref := logs[0][i-1]
+			for _, lg := range logs[1:] {
+				if uint64(len(lg)) < i || lg[i-1].Term != ref.Term || lg[i-1].Key != ref.Key {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("committed log prefixes never converged")
+	}
+}
+
+// TestRethinkDBConfigChangeSplitBrain reproduces issue #5289 (Section
+// 4.4): five replicas, partial partition (A,B) x (D,E) with C seeing
+// all. An admin tells D to shrink the replica set to {D,E}; D notifies
+// the removed nodes it can reach — only C — and C deletes its Raft
+// log, forgetting the removal. A and B still believe C is a replica,
+// so the OLD configuration {A..E} retains a quorum (A, B, C) while the
+// NEW configuration {D,E} has its own. Both sides commit writes for
+// the same key: split brain with acknowledged divergence.
+func TestRethinkDBConfigChangeSplitBrain(t *testing.T) {
+	cfg := testConfig(five)
+	cfg.DeleteLogOnRemoval = true
+	f := deploy(t, cfg)
+	f.waitLeader(t, five)
+	if err := f.cl.Put("k", "before"); err != nil {
+		t.Fatal(err)
+	}
+	// Partial partition: {A,B} cannot reach {D,E}; C reaches everyone.
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"A", "B", "cl"}, []netsim.NodeID{"D", "E", "cl2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Admin asks D to shrink replication to two.
+	if err := f.cl2.ChangeConfig("D", []netsim.NodeID{"D", "E"}); err != nil {
+		t.Fatal(err)
+	}
+	// C deleted its log (it is reachable from D); A and B were not
+	// notified. Old config {A..E}: A, B, C are 3 of 5 — a quorum.
+	oldSide := f.sys.WaitForLeaderAmong([]netsim.NodeID{"A", "B", "C"}, 6*time.Second)
+	if oldSide == "" {
+		t.Fatal("old configuration never elected a leader")
+	}
+	// New config {D,E}: quorum of 2.
+	newSide := f.sys.WaitForLeaderAmong([]netsim.NodeID{"D", "E"}, 6*time.Second)
+	if newSide == "" {
+		t.Fatal("new configuration never elected a leader")
+	}
+	// Both sides COMMIT writes for the same key.
+	okOld := f.eng.WaitUntil(5*time.Second, func() bool {
+		return f.cl.Put("k", "old-config") == nil
+	})
+	if !okOld {
+		t.Fatal("old-config write never committed")
+	}
+	okNew := f.eng.WaitUntil(5*time.Second, func() bool {
+		return f.cl2.Put("k", "new-config") == nil
+	})
+	if !okNew {
+		t.Fatal("new-config write never committed")
+	}
+	// Two replica sets for the same keys (the paper's words): verify
+	// the acknowledged values diverge. Reads may transiently fail while
+	// the old side churns through elections; retry briefly.
+	var vOld, vNew string
+	if !f.eng.WaitUntil(3*time.Second, func() bool {
+		v, err := f.cl.Get("k")
+		vOld = v
+		return err == nil
+	}) {
+		t.Fatal("old-config read never succeeded")
+	}
+	if !f.eng.WaitUntil(3*time.Second, func() bool {
+		v, err := f.cl2.Get("k")
+		vNew = v
+		return err == nil
+	}) {
+		t.Fatal("new-config read never succeeded")
+	}
+	if vOld == vNew {
+		t.Fatalf("both sides read %q; expected divergent acknowledged values", vOld)
+	}
+}
+
+// TestProperRemovalPreventsSplitBrain is the control: without the
+// delete-log tweak, C remembers it was removed and refuses to vote, so
+// the old configuration (A, B alone) has no quorum and never elects.
+func TestProperRemovalPreventsSplitBrain(t *testing.T) {
+	cfg := testConfig(five)
+	cfg.DeleteLogOnRemoval = false
+	f := deploy(t, cfg)
+	f.waitLeader(t, five)
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"A", "B", "cl"}, []netsim.NodeID{"D", "E", "cl2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cl2.ChangeConfig("D", []netsim.NodeID{"D", "E"}); err != nil {
+		t.Fatal(err)
+	}
+	// C is removed and knows it. A+B alone are 2 of 5: no quorum.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, id := range []netsim.NodeID{"A", "B", "C"} {
+			st := f.sys.Node(id).Status()
+			if st.Role == LeaderRole && st.Term > 1 {
+				// A pre-partition leader may linger among A/B until its
+				// heartbeats fail; what must NOT happen is a fresh
+				// election succeeding. C must never lead at all.
+				if id == "C" {
+					t.Fatal("removed node C became leader")
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// New config works.
+	if f.sys.WaitForLeaderAmong([]netsim.NodeID{"D", "E"}, 3*time.Second) == "" {
+		t.Fatal("new configuration never elected")
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return f.cl2.Put("k", "new") == nil
+	})
+	if !ok {
+		t.Fatal("new-config write never committed")
+	}
+	// Old side cannot commit anything new.
+	if err := f.cl.Put("k", "old"); err == nil {
+		t.Fatal("old configuration committed a write without quorum")
+	}
+}
+
+func TestRemovedNodeRefusesClients(t *testing.T) {
+	cfg := testConfig(three)
+	cfg.DeleteLogOnRemoval = false
+	f := deploy(t, cfg)
+	f.waitLeader(t, three)
+	if err := f.cl.ChangeConfig("n1", []netsim.NodeID{"n1", "n2"}); err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		err := f.cl.PutAt("n3", "k", "v")
+		return IsRemoved(err)
+	})
+	if !ok {
+		t.Fatal("removed node kept serving clients")
+	}
+}
+
+func TestElectionSafetyUnderChurn(t *testing.T) {
+	// Repeatedly crash and restart the leader; at no observation point
+	// may two nodes claim leadership in the same term.
+	f := deploy(t, testConfig(three))
+	for round := 0; round < 3; round++ {
+		lead := f.waitLeader(t, three)
+		terms := make(map[uint64][]netsim.NodeID)
+		for _, id := range three {
+			st := f.sys.Node(id).Status()
+			if st.Role == LeaderRole {
+				terms[st.Term] = append(terms[st.Term], id)
+			}
+		}
+		for term, leaders := range terms {
+			if len(leaders) > 1 {
+				t.Fatalf("term %d has leaders %v", term, leaders)
+			}
+		}
+		f.eng.Crash(lead)
+		f.waitLeader(t, core.Rest(three, []netsim.NodeID{lead}))
+		f.eng.Restart(lead)
+	}
+}

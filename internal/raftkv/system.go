@@ -1,0 +1,82 @@
+package raftkv
+
+import (
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// System bundles a Raft group into NEAT's ISystem interface.
+type System struct {
+	cfg   Config
+	net   *netsim.Network
+	nodes map[netsim.NodeID]*Node
+}
+
+// NewSystem creates the group, unstarted.
+func NewSystem(n *netsim.Network, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	s := &System{cfg: cfg, net: n, nodes: make(map[netsim.NodeID]*Node)}
+	for _, id := range cfg.Peers {
+		s.nodes[id] = NewNode(n, id, cfg)
+	}
+	return s
+}
+
+// Name implements core.ISystem.
+func (s *System) Name() string { return "raftkv" }
+
+// Start implements core.ISystem.
+func (s *System) Start() error {
+	for _, nd := range s.nodes {
+		nd.Start()
+	}
+	return nil
+}
+
+// Stop implements core.ISystem.
+func (s *System) Stop() error {
+	for _, nd := range s.nodes {
+		nd.Stop()
+	}
+	return nil
+}
+
+// Status implements core.ISystem.
+func (s *System) Status() map[netsim.NodeID]core.NodeStatus {
+	out := make(map[netsim.NodeID]core.NodeStatus, len(s.nodes))
+	for id, nd := range s.nodes {
+		out[id] = core.NodeStatus{Up: s.net.IsUp(id), Role: nd.Status().Role.String()}
+	}
+	return out
+}
+
+// Node returns the Raft node on a host.
+func (s *System) Node(id netsim.NodeID) *Node { return s.nodes[id] }
+
+// Leaders returns every node currently claiming leadership.
+func (s *System) Leaders() []netsim.NodeID {
+	var out []netsim.NodeID
+	for _, id := range s.cfg.Peers {
+		if s.nodes[id].Status().Role == LeaderRole {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// WaitForLeaderAmong blocks until one of the given nodes leads,
+// returning it ("" on timeout).
+func (s *System) WaitForLeaderAmong(nodes []netsim.NodeID, timeout time.Duration) netsim.NodeID {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, id := range nodes {
+			if nd, ok := s.nodes[id]; ok && nd.Status().Role == LeaderRole {
+				return id
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return ""
+}

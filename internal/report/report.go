@@ -1,0 +1,113 @@
+// Package report renders the study's tables as aligned text, matching
+// the layout of the paper's Tables 1-15.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"neat/internal/catalog"
+)
+
+// Render draws a titled, column-aligned table.
+func Render(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(headers)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Dist renders a label/percentage table.
+func Dist(title string, rows []catalog.DistRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Label, fmt.Sprintf("%.1f%%", r.Percent), fmt.Sprintf("%d", r.Count)})
+	}
+	return Render(title, []string{"Category", "%", "Count"}, out)
+}
+
+// Table1 renders the studied-systems table.
+func Table1(rows []catalog.Table1Row) string {
+	var out [][]string
+	totF, totC := 0, 0
+	for _, r := range rows {
+		out = append(out, []string{r.System, r.Consistency,
+			fmt.Sprintf("%d", r.Failures), fmt.Sprintf("%d", r.Catastrophic)})
+		totF += r.Failures
+		totC += r.Catastrophic
+	}
+	out = append(out, []string{"Total", "-", fmt.Sprintf("%d", totF), fmt.Sprintf("%d", totC)})
+	return Render("Table 1. List of studied systems.",
+		[]string{"System", "Consistency", "Failures", "Catastrophic"}, out)
+}
+
+// Table12 renders the flaw-class table with resolution times.
+func Table12(rows []catalog.Table12Row) string {
+	var out [][]string
+	for _, r := range rows {
+		days := "-"
+		if r.HasDuration {
+			days = fmt.Sprintf("%.0f days", r.AvgDays)
+		}
+		out = append(out, []string{r.Label, fmt.Sprintf("%.1f%%", r.Percent), days})
+	}
+	return Render("Table 12. Design and implementation flaws.",
+		[]string{"Category", "%", "Avg. resolution"}, out)
+}
+
+// Findings renders the numbered-findings summary.
+func Findings(f catalog.Findings) string {
+	rows := [][]string{
+		{"silent failures (Finding 2)", fmt.Sprintf("%.1f%%", f.SilentPct)},
+		{"lasting damage after heal (Finding 3)", fmt.Sprintf("%.1f%%", f.LastingPct)},
+		{"manifest by isolating a single node (Finding 9)", fmt.Sprintf("%.1f%%", f.SingleNodePct)},
+		{"no or one-side client access", fmt.Sprintf("%.1f%%", f.NoOrOneSidePct)},
+		{"deterministic", fmt.Sprintf("%.1f%%", f.DeterministicPct)},
+	}
+	return Render("Findings summary", []string{"Finding", "%"}, rows)
+}
+
+// Appendix renders failure rows in the Appendix A/B layout.
+func Appendix(title string, fs []*catalog.Failure, withStatus bool) string {
+	headers := []string{"System", "Reference", "Impact", "Partition", "Timing"}
+	if withStatus {
+		headers = append(headers, "Status")
+	}
+	var out [][]string
+	for _, f := range fs {
+		row := []string{f.System, f.Ref, f.Impact.String(), f.Partition.String(), f.Timing.String()}
+		if withStatus {
+			row = append(row, f.Status)
+		}
+		out = append(out, row)
+	}
+	return Render(title, headers, out)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"neat/internal/catalog"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	out := Render("Title", []string{"A", "BB"}, [][]string{
+		{"x", "y"},
+		{"longer", "z"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Column B starts at the same offset in every body line.
+	headerIdx := strings.Index(lines[1], "BB")
+	for _, l := range lines[3:] {
+		if len(l) <= headerIdx {
+			t.Fatalf("row %q shorter than header offset", l)
+		}
+	}
+	if !strings.Contains(lines[2], "--") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}
+
+func TestDistIncludesPercentAndCount(t *testing.T) {
+	out := Dist("T", []catalog.DistRow{{Label: "data loss", Count: 38, Percent: 27.9}})
+	for _, want := range []string{"data loss", "27.9%", "38"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestTable1IncludesTotals(t *testing.T) {
+	fs := catalog.Load()
+	out := Table1(catalog.Table1(fs))
+	for _, want := range []string{"MongoDB", "Total", "136", "104"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable12FormatsDurations(t *testing.T) {
+	out := Table12(catalog.Table12(catalog.Load()))
+	if !strings.Contains(out, "205 days") || !strings.Contains(out, "81 days") {
+		t.Fatalf("durations missing: %q", out)
+	}
+	if !strings.Contains(out, "unresolved") {
+		t.Fatal("unresolved row missing")
+	}
+}
+
+func TestFindingsLists(t *testing.T) {
+	out := Findings(catalog.ComputeFindings(catalog.Load()))
+	for _, want := range []string{"Finding 2", "Finding 3", "Finding 9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("findings output missing %q", want)
+		}
+	}
+}
+
+func TestAppendixRendersRows(t *testing.T) {
+	fs := catalog.Load()
+	a := Appendix("Table 14.", catalog.Table14(fs), false)
+	if strings.Contains(a, "Status") {
+		t.Fatal("Appendix A must not have a status column")
+	}
+	if !strings.Contains(a, "SERVER-9756") {
+		t.Fatal("Appendix A missing a known ticket")
+	}
+	b := Appendix("Table 15.", catalog.Table15(fs), true)
+	if !strings.Contains(b, "Status") || !strings.Contains(b, "confirmed") {
+		t.Fatal("Appendix B must include status")
+	}
+	if !strings.Contains(b, "IGNITE-9767") {
+		t.Fatal("Appendix B missing a known NEAT failure")
+	}
+}

@@ -1,0 +1,253 @@
+package scenarios
+
+import (
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/election"
+	"neat/internal/kvstore"
+	"neat/internal/netsim"
+)
+
+var kvReplicas = []netsim.NodeID{"s1", "s2", "s3"}
+
+type kvFixture struct {
+	eng *core.Engine
+	sys *kvstore.System
+	c1  *kvstore.Client
+	c2  *kvstore.Client
+}
+
+func kvConfig(mode election.Mode) kvstore.Config {
+	return kvstore.Config{
+		Replicas:               kvReplicas,
+		ElectionMode:           mode,
+		WriteConcern:           kvstore.WriteMajority,
+		ReadConcern:            kvstore.ReadLocal,
+		ApplyBeforeReplicate:   true,
+		StepDownOnLostMajority: true,
+		HeartbeatInterval:      10 * time.Millisecond,
+		ElectionTimeout:        40 * time.Millisecond,
+		// A wide overlap window (~1s): these scenarios exercise what
+		// happens WHILE the deposed leader still serves, and must not
+		// race its step-down under heavy parallel test load.
+		LeaseMisses: 100,
+		RPCTimeout:  30 * time.Millisecond,
+	}
+}
+
+func deployKV(cfg kvstore.Config) (*kvFixture, func()) {
+	eng := core.NewEngine(core.Options{})
+	for _, id := range cfg.Replicas {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := kvstore.NewSystem(eng.Network(), cfg)
+	_ = eng.Deploy(sys)
+	f := &kvFixture{
+		eng: eng, sys: sys,
+		c1: kvstore.NewClient(eng.Network(), "c1", cfg.Replicas, 80*time.Millisecond),
+		c2: kvstore.NewClient(eng.Network(), "c2", cfg.Replicas, 80*time.Millisecond),
+	}
+	return f, func() {
+		f.c1.Close()
+		f.c2.Close()
+		eng.Shutdown()
+	}
+}
+
+// DirtyReadAtDeposedLeader reproduces Figure 2 (VoltDB ENG-10389) and
+// the Infinispan dirty read: a failed write at the isolated leader is
+// visible to a subsequent local read.
+func DirtyReadAtDeposedLeader() error {
+	f, done := deployKV(kvConfig(election.ModeQuorum))
+	defer done()
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		return err
+	}
+	err := f.c1.PutAt("s1", "k", "dirty")
+	if !kvstore.IsWriteFailed(err) {
+		return notReproduced("write at deposed leader returned %v, want concern failure", err)
+	}
+	got, err := f.c1.GetAt("s1", "k")
+	if err != nil || got != "dirty" {
+		return notReproduced("read at deposed leader = %q, %v; want the dirty value", got, err)
+	}
+	return nil
+}
+
+// StaleReadDuringOverlap reproduces the MongoDB stale read
+// (SERVER-17975): the deposed leader serves a superseded value.
+func StaleReadDuringOverlap() error {
+	cfg := kvConfig(election.ModeQuorum)
+	cfg.LeaseMisses = 200
+	f, done := deployKV(cfg)
+	defer done()
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.c1.Put("k", "old") == nil
+	}) {
+		return notReproduced("seed write never succeeded")
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		return err
+	}
+	if f.sys.WaitForLeaderAmong([]netsim.NodeID{"s2", "s3"}, 4*time.Second) == "" {
+		return notReproduced("majority never elected")
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.c2.Put("k", "new") == nil
+	}) {
+		return notReproduced("majority write never succeeded")
+	}
+	var got string
+	var err error
+	if !f.eng.WaitUntil(2*time.Second, func() bool {
+		got, err = f.c1.GetAt("s1", "k")
+		return err == nil
+	}) {
+		return notReproduced("old leader never answered: %v", err)
+	}
+	if got != "old" {
+		return notReproduced("old leader read = %q; want stale value", got)
+	}
+	return nil
+}
+
+// SplitBrainDataLoss reproduces Listing 1 (Elasticsearch #2488): a
+// partial partition plus lowest-ID voting yields two leaders; the
+// healed cluster keeps only the lower ID's writes.
+func SplitBrainDataLoss() error {
+	f, done := deployKV(kvConfig(election.ModeLowestID))
+	defer done()
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "c2"}); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.sys.Replica("s2").Status().Role == kvstore.Leader
+	}) {
+		return notReproduced("no second leader emerged")
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.c1.PutAt("s1", "obj1", "v1") == nil
+	}) {
+		return notReproduced("side-1 write never succeeded")
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.c2.PutAt("s2", "obj2", "v2") == nil
+	}) {
+		return notReproduced("side-2 write never succeeded")
+	}
+	if err := f.eng.HealAll(); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		_, err := f.c2.Get("obj2")
+		return kvstore.IsNotFound(err)
+	}) {
+		return notReproduced("obj2 survived the heal")
+	}
+	return nil
+}
+
+// BadLeaderLosesAcknowledgedWrites reproduces the longest-log
+// bad-leader election: the minority's padded log wins at heal and an
+// acknowledged majority write vanishes.
+func BadLeaderLosesAcknowledgedWrites() error {
+	f, done := deployKV(kvConfig(election.ModeLongestLog))
+	defer done()
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		_ = f.c1.PutAt("s1", "junk", "x")
+	}
+	if f.sys.WaitForLeaderAmong([]netsim.NodeID{"s2", "s3"}, 4*time.Second) == "" {
+		return notReproduced("majority never elected")
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.c2.Put("k", "acknowledged") == nil
+	}) {
+		return notReproduced("acknowledged write never succeeded")
+	}
+	if err := f.eng.HealAll(); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		_, err := f.c2.GetAt("s1", "k")
+		return kvstore.IsNotFound(err)
+	}) {
+		return notReproduced("acknowledged write survived")
+	}
+	return nil
+}
+
+// DeletedDataReappears reproduces the resurrection class
+// (ZOOKEEPER-2355, Aerospike): a majority-side delete is undone by
+// consolidation with the minority's padded log.
+func DeletedDataReappears() error {
+	f, done := deployKV(kvConfig(election.ModeLongestLog))
+	defer done()
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.c1.Put("k", "precious") == nil
+	}) {
+		return notReproduced("seed write never succeeded")
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		_ = f.c1.PutAt("s1", "junk", "x")
+	}
+	if f.sys.WaitForLeaderAmong([]netsim.NodeID{"s2", "s3"}, 4*time.Second) == "" {
+		return notReproduced("majority never elected")
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		return f.c2.Delete("k") == nil
+	}) {
+		return notReproduced("majority delete never succeeded")
+	}
+	if err := f.eng.HealAll(); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(4*time.Second, func() bool {
+		got, err := f.c2.Get("k")
+		return err == nil && got == "precious"
+	}) {
+		return notReproduced("deleted key never reappeared")
+	}
+	return nil
+}
+
+// ConflictingCriteriaLeaderless reproduces MongoDB SERVER-14885: the
+// arbiter's priority rule and the data node's latest-timestamp rule
+// veto each other and the majority side stays leaderless.
+func ConflictingCriteriaLeaderless() error {
+	cfg := kvConfig(election.ModePriority)
+	cfg.Priorities = map[netsim.NodeID]int{"s1": 1, "s2": 5, "s3": 9}
+	cfg.Arbiters = map[netsim.NodeID]bool{"s3": true}
+	f, done := deployKV(cfg)
+	defer done()
+	if err := f.c1.Put("k", "v"); err != nil {
+		return err
+	}
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"s1", "c1"}, []netsim.NodeID{"s2", "s3", "c2"}); err != nil {
+		return err
+	}
+	f.eng.Sleep(400 * time.Millisecond)
+	for _, id := range []netsim.NodeID{"s2", "s3"} {
+		if f.sys.Replica(id).Status().Role == kvstore.Leader {
+			return notReproduced("%s was elected despite conflicting criteria", id)
+		}
+	}
+	if err := f.c2.PutAt("s2", "k", "v2"); err == nil {
+		return notReproduced("write succeeded on a leaderless side")
+	}
+	return nil
+}

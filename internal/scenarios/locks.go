@@ -1,0 +1,406 @@
+package scenarios
+
+import (
+	"fmt"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/locksvc"
+	"neat/internal/netsim"
+)
+
+var lockReplicas = []netsim.NodeID{"r1", "r2", "r3"}
+
+type lockFixture struct {
+	eng *core.Engine
+	sys *locksvc.System
+	c1  *locksvc.Client
+	c2  *locksvc.Client
+}
+
+func lockConfig() locksvc.Config {
+	return locksvc.Config{
+		Replicas:          lockReplicas,
+		HeartbeatInterval: 10 * time.Millisecond,
+		// Six misses (60 ms) of tolerance: a false suspicion would
+		// permanently evict a healthy peer (RejoinAfterHeal is off, as
+		// in the studied systems), so scheduler stalls under heavy
+		// parallelism must not masquerade as partitions.
+		MissesToSuspect: 6,
+		LeaseTTL:        120 * time.Millisecond,
+		RPCTimeout:      30 * time.Millisecond,
+	}
+}
+
+func deployLocks(cfg locksvc.Config) (*lockFixture, func()) {
+	eng := core.NewEngine(core.Options{})
+	for _, id := range cfg.Replicas {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := locksvc.NewSystem(eng.Network(), cfg)
+	_ = eng.Deploy(sys)
+	f := &lockFixture{
+		eng: eng, sys: sys,
+		c1: locksvc.NewClient(eng.Network(), "c1", cfg.Replicas, cfg.LeaseTTL),
+		c2: locksvc.NewClient(eng.Network(), "c2", cfg.Replicas, cfg.LeaseTTL),
+	}
+	return f, func() {
+		f.c1.Close()
+		f.c2.Close()
+		eng.Shutdown()
+	}
+}
+
+// splitR3 isolates r3 with client c2 and waits for the views to split.
+func (f *lockFixture) splitR3() error {
+	if _, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"}); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(2*time.Second, func() bool {
+		return len(f.sys.Replica("r3").View()) == 1 && len(f.sys.Replica("r1").View()) == 2
+	}) {
+		return notReproduced("membership views never split")
+	}
+	return nil
+}
+
+// SemaphoreDoubleLocking reproduces Figure 5 (IGNITE-9767): both sides
+// of a complete partition grant the same single-permit semaphore.
+func SemaphoreDoubleLocking() error {
+	f, done := deployLocks(lockConfig())
+	defer done()
+	if err := f.c1.SemCreate("S", 1); err != nil {
+		return err
+	}
+	if err := f.splitR3(); err != nil {
+		return err
+	}
+	if err := f.c1.SemAcquire("S", 1); err != nil {
+		return fmt.Errorf("majority-side acquire: %w", err)
+	}
+	if err := f.c2.SemAcquire("S", 1); err != nil {
+		return notReproduced("minority-side acquire failed (%v); double locking needs both", err)
+	}
+	return nil
+}
+
+// LockDoubleAcquire reproduces the exclusive-lock variant
+// (terracotta-904, IGNITE-8882).
+func LockDoubleAcquire() error {
+	f, done := deployLocks(lockConfig())
+	defer done()
+	if err := f.splitR3(); err != nil {
+		return err
+	}
+	if err := f.c1.Lock("L"); err != nil {
+		return err
+	}
+	if err := f.c2.Lock("L"); err != nil {
+		return notReproduced("second acquire failed (%v)", err)
+	}
+	return nil
+}
+
+// SemaphoreCorruptionAfterReclaim reproduces IGNITE-8883: a reclaimed
+// permit released late pushes the count past capacity.
+func SemaphoreCorruptionAfterReclaim() error {
+	f, done := deployLocks(lockConfig())
+	defer done()
+	if err := f.c1.SemCreate("S", 1); err != nil {
+		return err
+	}
+	if err := f.c1.SemAcquire("S", 1); err != nil {
+		return err
+	}
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"c1"}, []netsim.NodeID{"r1", "r2", "r3", "c2"})
+	if err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(2*time.Second, func() bool {
+		permits, _, _ := f.sys.Replica("r1").SemStatus("S")
+		return permits == 1
+	}) {
+		return notReproduced("permit never reclaimed")
+	}
+	if err := f.eng.Heal(p); err != nil {
+		return err
+	}
+	if err := f.c1.SemRelease("S", 1); err != nil {
+		return err
+	}
+	if _, _, corrupted := f.sys.Replica("r1").SemStatus("S"); !corrupted {
+		return notReproduced("semaphore not corrupted after late release")
+	}
+	return nil
+}
+
+// CacheStaleRead reproduces IGNITE-9762 / terracotta-907: the isolated
+// side serves the pre-partition value after the other side updated it.
+func CacheStaleRead() error {
+	f, done := deployLocks(lockConfig())
+	defer done()
+	if err := f.c1.CachePut("k", "v1"); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(time.Second, func() bool {
+		got, found, err := f.c2.CacheGet("k")
+		return err == nil && found && got == "v1"
+	}) {
+		return notReproduced("initial value never replicated")
+	}
+	if err := f.splitR3(); err != nil {
+		return err
+	}
+	if err := f.c1.CachePut("k", "v2"); err != nil {
+		return err
+	}
+	got, _, err := f.c2.CacheGet("k")
+	if err != nil {
+		return err
+	}
+	if got != "v1" {
+		return notReproduced("minority read %q, want stale v1", got)
+	}
+	return nil
+}
+
+// QueueDoubleDequeue reproduces IGNITE-9765: both sides pop the same
+// element.
+func QueueDoubleDequeue() error {
+	f, done := deployLocks(lockConfig())
+	defer done()
+	if err := f.c1.QueuePush("q", "m1"); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(time.Second, func() bool {
+		v, err := f.c2.QueuePop("q")
+		if err == nil {
+			_ = f.c2.QueuePush("q", v) // peek via pop+push
+			return true
+		}
+		return false
+	}) {
+		return notReproduced("element never replicated")
+	}
+	if err := f.splitR3(); err != nil {
+		return err
+	}
+	a, err := f.c1.QueuePop("q")
+	if err != nil {
+		return err
+	}
+	b, err := f.c2.QueuePop("q")
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return notReproduced("popped %q and %q", a, b)
+	}
+	return nil
+}
+
+// BrokenCompareAndSet reproduces IGNITE-9768 (AtomicRef): the same CAS
+// succeeds on both sides.
+func BrokenCompareAndSet() error {
+	f, done := deployLocks(lockConfig())
+	defer done()
+	if err := f.c1.CompareAndSet("ref", "", "base"); err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(time.Second, func() bool {
+		return f.c2.CompareAndSet("ref", "base", "base") == nil
+	}) {
+		return notReproduced("base value never replicated")
+	}
+	if err := f.splitR3(); err != nil {
+		return err
+	}
+	if err := f.c1.CompareAndSet("ref", "base", "x"); err != nil {
+		return err
+	}
+	if err := f.c2.CompareAndSet("ref", "base", "y"); err != nil {
+		return notReproduced("second CAS failed (%v)", err)
+	}
+	return nil
+}
+
+// brokenAtomicCounter reproduces IGNITE-9768 for sequences, longs and
+// counters: both sides hand out the same next value.
+func brokenAtomicCounter(name string) func() error {
+	return func() error {
+		f, done := deployLocks(lockConfig())
+		defer done()
+		if _, err := f.c1.IncrementAndGet(name, 5); err != nil {
+			return err
+		}
+		if !f.eng.WaitUntil(time.Second, func() bool {
+			v, err := f.c2.IncrementAndGet(name, 0)
+			return err == nil && v == 5
+		}) {
+			return notReproduced("base value never replicated")
+		}
+		if err := f.splitR3(); err != nil {
+			return err
+		}
+		a, err := f.c1.IncrementAndGet(name, 1)
+		if err != nil {
+			return err
+		}
+		b, err := f.c2.IncrementAndGet(name, 1)
+		if err != nil {
+			return err
+		}
+		if a != b {
+			return notReproduced("sides returned %d and %d", a, b)
+		}
+		return nil
+	}
+}
+
+// minoritySideValueLost reproduces terracotta-905/908 and
+// IGNITE-9768e: a value acknowledged on the isolated side is invisible
+// to the rest of the cluster (and stays lost, since the views never
+// merge).
+func minoritySideValueLost(structure string) func() error {
+	return func() error {
+		f, done := deployLocks(lockConfig())
+		defer done()
+		if err := f.splitR3(); err != nil {
+			return err
+		}
+		key := structure + "-elem"
+		switch structure {
+		case "atomic":
+			if _, err := f.c2.IncrementAndGet(key, 7); err != nil {
+				return err
+			}
+		case "queue", "list", "set":
+			if err := f.c2.QueuePush(key, "added"); err != nil {
+				return err
+			}
+		default:
+			if err := f.c2.CachePut(key, "added"); err != nil {
+				return err
+			}
+		}
+		if err := f.eng.HealAll(); err != nil {
+			return err
+		}
+		f.eng.Sleep(100 * time.Millisecond)
+		// The majority side never sees the acknowledged value.
+		switch structure {
+		case "atomic":
+			v, err := f.c1.IncrementAndGet(key, 0)
+			if err != nil {
+				return err
+			}
+			if v != 0 {
+				return notReproduced("majority sees counter %d", v)
+			}
+		case "queue", "list", "set":
+			if _, err := f.c1.QueuePop(key); !locksvc.IsEmpty(err) {
+				return notReproduced("majority popped the minority's element (%v)", err)
+			}
+		default:
+			if _, found, err := f.c1.CacheGet(key); err != nil || found {
+				return notReproduced("majority sees the value (found=%v err=%v)", found, err)
+			}
+		}
+		return nil
+	}
+}
+
+// deletedValueReappears reproduces terracotta-906: an element removed
+// on the majority side is still served by the isolated side.
+func deletedValueReappears(structure string) func() error {
+	return func() error {
+		f, done := deployLocks(lockConfig())
+		defer done()
+		key := structure + "-elem"
+		if err := f.c1.QueuePush(key, "kept"); err != nil {
+			return err
+		}
+		if !f.eng.WaitUntil(time.Second, func() bool {
+			return f.sys.Replica("r3").QueueLen(key) == 1
+		}) {
+			return notReproduced("element never replicated to r3")
+		}
+		if err := f.splitR3(); err != nil {
+			return err
+		}
+		// Majority deletes (pops) the element.
+		if _, err := f.c1.QueuePop(key); err != nil {
+			return err
+		}
+		// The isolated side still serves it: the deleted value is back.
+		got, err := f.c2.QueuePop(key)
+		if err != nil || got != "kept" {
+			return notReproduced("minority pop = %q, %v", got, err)
+		}
+		return nil
+	}
+}
+
+// syncBackupsUnavailable reproduces the Ignite unavailability class
+// (IGNITE-9762/9765/9766/8881): in the synchronous-backup
+// configuration, operations on the named structure fail for the whole
+// duration of the partition.
+func syncBackupsUnavailable(structure string) func() error {
+	return func() error {
+		cfg := lockConfig()
+		cfg.SyncBackups = true
+		f, done := deployLocks(cfg)
+		defer done()
+		if structure == "semaphore" {
+			if err := f.c1.SemCreate("S", 1); err != nil {
+				return err
+			}
+		}
+		if err := f.splitR3(); err != nil {
+			return err
+		}
+		var err error
+		switch structure {
+		case "queue", "set":
+			err = f.c1.QueuePush("q", "m")
+		case "semaphore":
+			err = f.c1.SemAcquire("S", 1)
+		default:
+			err = f.c1.CachePut("k", "v")
+		}
+		if !locksvc.IsUnavailable(err) {
+			return notReproduced("operation on %s returned %v, want unavailability", structure, err)
+		}
+		return nil
+	}
+}
+
+// LastingClusterSplit reproduces the Finding 3 lasting damage
+// (rabbitmq-1455, Ignite): the membership views never merge after the
+// partition heals, so status APIs keep reporting two clusters.
+func LastingClusterSplit() error {
+	f, done := deployLocks(lockConfig())
+	defer done()
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"r3", "c2"}, []netsim.NodeID{"r1", "r2", "c1"})
+	if err != nil {
+		return err
+	}
+	if !f.eng.WaitUntil(2*time.Second, func() bool {
+		return len(f.sys.Replica("r3").View()) == 1 && len(f.sys.Replica("r1").View()) == 2
+	}) {
+		return notReproduced("views never split")
+	}
+	if err := f.eng.Heal(p); err != nil {
+		return err
+	}
+	f.eng.Sleep(200 * time.Millisecond)
+	if len(f.sys.Replica("r3").View()) != 1 || len(f.sys.Replica("r1").View()) != 2 {
+		return notReproduced("views merged after heal")
+	}
+	return nil
+}

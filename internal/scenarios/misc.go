@@ -1,0 +1,480 @@
+package scenarios
+
+import (
+	"time"
+
+	"neat/internal/coord"
+	"neat/internal/core"
+	"neat/internal/dfs"
+	"neat/internal/eventual"
+	"neat/internal/jobsched"
+	"neat/internal/mapred"
+	"neat/internal/mqueue"
+	"neat/internal/netsim"
+	"neat/internal/objstore"
+	"neat/internal/raftkv"
+)
+
+// ActiveMQPartialPartitionHang reproduces Figure 6 (AMQ-7064): the
+// master isolated from its slaves but not from ZooKeeper keeps its
+// leadership while being unable to serve; no failover occurs.
+func ActiveMQPartialPartitionHang() error {
+	eng := core.NewEngine(core.Options{})
+	cfg := mqueue.Config{
+		Brokers: []netsim.NodeID{"b1", "b2", "b3"}, ZK: "zk",
+		SessionPing: 10 * time.Millisecond, RolePoll: 10 * time.Millisecond,
+		RequireReplicaAcks: true, RPCTimeout: 30 * time.Millisecond,
+	}
+	for _, id := range cfg.Brokers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("zk", core.RoleService)
+	eng.AddNode("c1", core.RoleClient)
+	sys := mqueue.NewSystem(eng.Network(), cfg,
+		coord.Options{SessionTTL: 60 * time.Millisecond, SweepInterval: 10 * time.Millisecond})
+	if err := eng.Deploy(sys); err != nil {
+		return err
+	}
+	cl := mqueue.NewClient(eng.Network(), "c1", cfg.Brokers)
+	defer func() {
+		cl.Close()
+		eng.Shutdown()
+	}()
+	if _, err := eng.Partial([]netsim.NodeID{"b1"}, []netsim.NodeID{"b2", "b3"}); err != nil {
+		return err
+	}
+	eng.Sleep(150 * time.Millisecond)
+	if m := sys.Masters(); len(m) != 1 || m[0] != "b1" {
+		return notReproduced("masters = %v; slaves must not take over", m)
+	}
+	if err := cl.Send("q", "m"); !mqueue.IsUnavailable(err) {
+		return notReproduced("send returned %v, want unavailability", err)
+	}
+	return nil
+}
+
+// ActiveMQDoubleDequeue reproduces Listing 2 (AMQ-6978).
+func ActiveMQDoubleDequeue() error {
+	eng := core.NewEngine(core.Options{})
+	cfg := mqueue.Config{
+		Brokers: []netsim.NodeID{"b1", "b2", "b3"}, ZK: "zk",
+		SessionPing: 10 * time.Millisecond, RolePoll: 10 * time.Millisecond,
+		RPCTimeout: 30 * time.Millisecond,
+	}
+	for _, id := range cfg.Brokers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("zk", core.RoleService)
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := mqueue.NewSystem(eng.Network(), cfg,
+		coord.Options{SessionTTL: 60 * time.Millisecond, SweepInterval: 10 * time.Millisecond})
+	if err := eng.Deploy(sys); err != nil {
+		return err
+	}
+	c1 := mqueue.NewClient(eng.Network(), "c1", cfg.Brokers)
+	c2 := mqueue.NewClient(eng.Network(), "c2", cfg.Brokers)
+	defer func() {
+		c1.Close()
+		c2.Close()
+		eng.Shutdown()
+	}()
+	if err := c1.Send("q1", "msg1"); err != nil {
+		return err
+	}
+	if err := c1.Send("q1", "msg2"); err != nil {
+		return err
+	}
+	if !eng.WaitUntil(time.Second, func() bool {
+		return sys.Broker("b2").QueueLen("q1") == 2 && sys.Broker("b3").QueueLen("q1") == 2
+	}) {
+		return notReproduced("messages never replicated")
+	}
+	if _, err := eng.Complete(
+		[]netsim.NodeID{"b1", "c1"}, []netsim.NodeID{"b2", "b3", "zk", "c2"}); err != nil {
+		return err
+	}
+	minMsg, err := c1.RecvFrom("b1", "q1")
+	if err != nil {
+		return err
+	}
+	majMsg := ""
+	if !eng.WaitUntil(2*time.Second, func() bool {
+		var e error
+		majMsg, e = c2.Recv("q1")
+		return e == nil
+	}) {
+		return notReproduced("majority never served")
+	}
+	if minMsg != majMsg {
+		return notReproduced("messages differ (%q vs %q)", minMsg, majMsg)
+	}
+	return nil
+}
+
+// MapReduceDoubleExecution reproduces Figure 3 (MAPREDUCE-4819).
+func MapReduceDoubleExecution() error {
+	eng := core.NewEngine(core.Options{})
+	cfg := mapred.Config{
+		RM: "rm", Workers: []netsim.NodeID{"w1", "w2"},
+		AMHeartbeat: 10 * time.Millisecond, AMMisses: 3,
+		TaskDuration: 20 * time.Millisecond, RPCTimeout: 30 * time.Millisecond,
+	}
+	eng.AddNode("rm", core.RoleServer)
+	eng.AddNode("w1", core.RoleServer)
+	eng.AddNode("w2", core.RoleServer)
+	eng.AddNode("user", core.RoleClient)
+	sys := mapred.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return err
+	}
+	cl := mapred.NewClient(eng.Network(), "user", cfg)
+	defer func() {
+		cl.Close()
+		eng.Shutdown()
+	}()
+	if err := cl.Submit("job1", 3); err != nil {
+		return err
+	}
+	if _, err := eng.Partial([]netsim.NodeID{"w1"}, []netsim.NodeID{"rm"}); err != nil {
+		return err
+	}
+	if !eng.WaitUntil(3*time.Second, func() bool {
+		return cl.FinalNotifications("job1") >= 2
+	}) {
+		return notReproduced("job finished %d times, want 2", cl.FinalNotifications("job1"))
+	}
+	return nil
+}
+
+// RethinkDBConfigSplitBrain reproduces issue #5289: the delete-log
+// membership tweak leaves two replica sets committing the same keys.
+func RethinkDBConfigSplitBrain() error {
+	eng := core.NewEngine(core.Options{})
+	peers := []netsim.NodeID{"A", "B", "C", "D", "E"}
+	cfg := raftkv.Config{
+		Peers:              peers,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeoutMin: 50 * time.Millisecond,
+		ElectionTimeoutMax: 100 * time.Millisecond,
+		RPCTimeout:         30 * time.Millisecond,
+		CommitWait:         500 * time.Millisecond,
+		DeleteLogOnRemoval: true,
+	}
+	for _, id := range peers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("cl", core.RoleClient)
+	eng.AddNode("cl2", core.RoleClient)
+	sys := raftkv.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return err
+	}
+	cl := raftkv.NewClient(eng.Network(), "cl", peers)
+	cl2 := raftkv.NewClient(eng.Network(), "cl2", peers)
+	defer func() {
+		cl.Close()
+		cl2.Close()
+		eng.Shutdown()
+	}()
+	if sys.WaitForLeaderAmong(peers, 3*time.Second) == "" {
+		return notReproduced("no initial leader")
+	}
+	if _, err := eng.Partial(
+		[]netsim.NodeID{"A", "B", "cl"}, []netsim.NodeID{"D", "E", "cl2"}); err != nil {
+		return err
+	}
+	if err := cl2.ChangeConfig("D", []netsim.NodeID{"D", "E"}); err != nil {
+		return err
+	}
+	if sys.WaitForLeaderAmong([]netsim.NodeID{"A", "B", "C"}, 6*time.Second) == "" {
+		return notReproduced("old configuration never elected")
+	}
+	if sys.WaitForLeaderAmong([]netsim.NodeID{"D", "E"}, 6*time.Second) == "" {
+		return notReproduced("new configuration never elected")
+	}
+	if !eng.WaitUntil(5*time.Second, func() bool { return cl.Put("k", "old-config") == nil }) {
+		return notReproduced("old-config write never committed")
+	}
+	if !eng.WaitUntil(5*time.Second, func() bool { return cl2.Put("k", "new-config") == nil }) {
+		return notReproduced("new-config write never committed")
+	}
+	var vOld, vNew string
+	if !eng.WaitUntil(3*time.Second, func() bool {
+		v, err := cl.Get("k")
+		vOld = v
+		return err == nil
+	}) {
+		return notReproduced("old-config read never succeeded")
+	}
+	if !eng.WaitUntil(3*time.Second, func() bool {
+		v, err := cl2.Get("k")
+		vNew = v
+		return err == nil
+	}) {
+		return notReproduced("new-config read never succeeded")
+	}
+	if vOld == vNew {
+		return notReproduced("no divergence: both read %q", vOld)
+	}
+	return nil
+}
+
+// LWWLosesAcknowledgedWrite reproduces the consolidation data loss of
+// eventually consistent stores (Jepsen's Redis analysis).
+func LWWLosesAcknowledgedWrite() error {
+	eng := core.NewEngine(core.Options{})
+	ids := []netsim.NodeID{"e1", "e2", "e3"}
+	cfg := eventual.Config{
+		Replicas: ids, Policy: eventual.LastWriterWins,
+		AntiEntropyInterval: 10 * time.Millisecond, RPCTimeout: 30 * time.Millisecond,
+	}
+	for _, id := range ids {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("c1", core.RoleClient)
+	eng.AddNode("c2", core.RoleClient)
+	sys := eventual.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return err
+	}
+	c1 := eventual.NewClient(eng.Network(), "c1")
+	c2 := eventual.NewClient(eng.Network(), "c2")
+	defer func() {
+		c1.Close()
+		c2.Close()
+		eng.Shutdown()
+	}()
+	if _, err := eng.Complete(
+		[]netsim.NodeID{"e1", "c1"}, []netsim.NodeID{"e2", "e3", "c2"}); err != nil {
+		return err
+	}
+	if err := c1.Put("e1", "k", "first"); err != nil {
+		return err
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := c2.Put("e2", "k", "second"); err != nil {
+		return err
+	}
+	if err := eng.HealAll(); err != nil {
+		return err
+	}
+	if !eng.WaitUntil(2*time.Second, func() bool {
+		vals, err := c1.Get("e1", "k")
+		return err == nil && len(vals) == 1 && vals[0] == "second"
+	}) {
+		return notReproduced("stores never converged on the later write")
+	}
+	return nil
+}
+
+// CephWriteSucceedsButTimesOut reproduces Ceph tracker #24193 (write).
+func CephWriteSucceedsButTimesOut() error {
+	f, done := deployCeph()
+	defer done()
+	if _, err := f.eng.Partial([]netsim.NodeID{"o1"}, []netsim.NodeID{"o2"}); err != nil {
+		return err
+	}
+	if err := f.cl.Write("obj", "data"); !objstore.IsTimeout(err) {
+		return notReproduced("write returned %v, want timeout", err)
+	}
+	if got, err := f.cl.ReadFrom("o1", "obj"); err != nil || got != "data" {
+		return notReproduced("'failed' write did not persist: %q, %v", got, err)
+	}
+	if f.sys.OSD("o2").Has("obj") {
+		return notReproduced("no divergence: o2 has the object")
+	}
+	return nil
+}
+
+// CephDeleteDivergence reproduces Ceph tracker #24193 (delete).
+func CephDeleteDivergence() error {
+	f, done := deployCeph()
+	defer done()
+	if err := f.cl.Write("obj", "data"); err != nil {
+		return err
+	}
+	if _, err := f.eng.Partial([]netsim.NodeID{"o1"}, []netsim.NodeID{"o2"}); err != nil {
+		return err
+	}
+	if err := f.cl.Delete("obj"); !objstore.IsTimeout(err) {
+		return notReproduced("delete returned %v, want timeout", err)
+	}
+	if f.sys.OSD("o1").Has("obj") || !f.sys.OSD("o2").Has("obj") {
+		return notReproduced("replicas did not diverge as expected")
+	}
+	return nil
+}
+
+type cephFixture struct {
+	eng *core.Engine
+	sys *objstore.System
+	cl  *objstore.Client
+}
+
+func deployCeph() (*cephFixture, func()) {
+	eng := core.NewEngine(core.Options{})
+	cfg := objstore.Config{OSDs: []netsim.NodeID{"o1", "o2", "o3"}, RPCTimeout: 30 * time.Millisecond}
+	for _, id := range cfg.OSDs {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("cl", core.RoleClient)
+	sys := objstore.NewSystem(eng.Network(), cfg)
+	_ = eng.Deploy(sys)
+	cl := objstore.NewClient(eng.Network(), "cl", cfg)
+	return &cephFixture{eng: eng, sys: sys, cl: cl}, func() {
+		cl.Close()
+		eng.Shutdown()
+	}
+}
+
+// DKronMisleadingStatus reproduces DKron issue #379.
+func DKronMisleadingStatus() error {
+	eng := core.NewEngine(core.Options{})
+	cfg := jobsched.Config{
+		Nodes: []netsim.NodeID{"s1", "s2", "s3"}, Store: "store",
+		RPCTimeout: 30 * time.Millisecond,
+	}
+	for _, id := range cfg.Nodes {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("store", core.RoleService)
+	eng.AddNode("cl", core.RoleClient)
+	sys := jobsched.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return err
+	}
+	cl := jobsched.NewClient(eng.Network(), "cl", cfg)
+	defer func() {
+		cl.Close()
+		eng.Shutdown()
+	}()
+	if _, err := eng.Partial([]netsim.NodeID{"s1"}, []netsim.NodeID{"s2", "s3"}); err != nil {
+		return err
+	}
+	status, err := cl.Run("backup")
+	if err == nil || status == jobsched.StatusSucceeded {
+		return notReproduced("leader reported %q", status)
+	}
+	if n := sys.Node("s1").Executions("backup"); n != 1 {
+		return notReproduced("job executed %d times on the leader", n)
+	}
+	rec, err := cl.RecordedStatus("backup")
+	if err != nil || rec != jobsched.StatusFailed {
+		return notReproduced("recorded status %q, %v", rec, err)
+	}
+	return nil
+}
+
+type dfsFixture struct {
+	eng *core.Engine
+	sys *dfs.System
+	cl  *dfs.Client
+}
+
+func deployDFS() (*dfsFixture, func()) {
+	eng := core.NewEngine(core.Options{})
+	cfg := dfs.Config{
+		NameNode: "nn",
+		Racks: map[netsim.NodeID]string{
+			"d1": "rack0", "d2": "rack0", "d3": "rack1", "d4": "rack1",
+		},
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatMisses:   10,
+		RPCTimeout:        30 * time.Millisecond,
+	}
+	eng.AddNode("nn", core.RoleServer)
+	for _, id := range cfg.DataNodes() {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("cl", core.RoleClient)
+	sys := dfs.NewSystem(eng.Network(), cfg)
+	_ = eng.Deploy(sys)
+	cl := dfs.NewClient(eng.Network(), "cl", cfg)
+	return &dfsFixture{eng: eng, sys: sys, cl: cl}, func() {
+		cl.Close()
+		eng.Shutdown()
+	}
+}
+
+// HDFSPlacementFailure reproduces HDFS-1384.
+func HDFSPlacementFailure() error {
+	f, done := deployDFS()
+	defer done()
+	if _, err := f.eng.Partial([]netsim.NodeID{"cl"}, []netsim.NodeID{"d1", "d2"}); err != nil {
+		return err
+	}
+	if err := f.cl.Write("f1", "data"); !dfs.IsWriteFailed(err) {
+		return notReproduced("write returned %v, want retry exhaustion", err)
+	}
+	return nil
+}
+
+// HDFSSimplexDegradation reproduces HDFS-577.
+func HDFSSimplexDegradation() error {
+	f, done := deployDFS()
+	defer done()
+	if _, err := f.eng.Simplex(
+		[]netsim.NodeID{"d1"}, []netsim.NodeID{"nn", "d2", "d3", "d4", "cl"}); err != nil {
+		return err
+	}
+	f.eng.Sleep(100 * time.Millisecond)
+	healthy, err := f.cl.Health()
+	if err != nil {
+		return err
+	}
+	seen := false
+	for _, id := range healthy {
+		if id == "d1" {
+			seen = true
+		}
+	}
+	if !seen {
+		return notReproduced("NameNode dropped the half-dead node")
+	}
+	if err := f.cl.Write("f1", "data"); err != nil {
+		return err
+	}
+	if f.cl.LastWriteAttempts() < 2 {
+		return notReproduced("no retry overhead observed")
+	}
+	return nil
+}
+
+// MooseFSInconsistentState reproduces MooseFS issue #131.
+func MooseFSInconsistentState() error {
+	f, done := deployDFS()
+	defer done()
+	if err := f.cl.Write("f1", "data"); err != nil {
+		return err
+	}
+	if _, err := f.eng.Partial([]netsim.NodeID{"cl"}, []netsim.NodeID{"d1"}); err != nil {
+		return err
+	}
+	if _, err := f.cl.Read("f1"); err == nil {
+		return notReproduced("read succeeded; expected metadata/data inconsistency")
+	}
+	return nil
+}
+
+// MooseFSClientHang reproduces MooseFS issue #132: the read blocks on
+// the unreachable chunk server until the client's timeout fires.
+func MooseFSClientHang() error {
+	f, done := deployDFS()
+	defer done()
+	if err := f.cl.Write("f1", "data"); err != nil {
+		return err
+	}
+	if _, err := f.eng.Partial([]netsim.NodeID{"cl"}, []netsim.NodeID{"d1"}); err != nil {
+		return err
+	}
+	start := time.Now()
+	_, err := f.cl.Read("f1")
+	if err == nil {
+		return notReproduced("read succeeded")
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		return notReproduced("read failed fast; expected it to block on the dead replica")
+	}
+	return nil
+}

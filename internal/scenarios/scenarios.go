@@ -1,0 +1,215 @@
+// Package scenarios packages the paper's reproducible failures as
+// executable NEAT tests: the 32 failures NEAT discovered in seven
+// systems (Table 15), the four figure case studies (Figures 2, 3, 5,
+// 6), the two listing tests (Listings 1 and 2), and a set of studied
+// ticket reproductions.
+//
+// Each scenario deploys a fresh simulated system on its own fabric,
+// injects the partition with the NEAT partitioner, drives the clients
+// in the global order the paper's test engine provides, and verifies
+// the failure manifests. A scenario returns nil when the failure was
+// REPRODUCED (that is the expected outcome on the flawed
+// configuration), and an error describing what did not manifest
+// otherwise.
+package scenarios
+
+import (
+	"fmt"
+
+	"neat/internal/catalog"
+	"neat/internal/core"
+)
+
+// Scenario is one executable failure reproduction.
+type Scenario struct {
+	// Name is a short slug.
+	Name string
+	// System is the archetype system the failure was reported in.
+	System string
+	// Ref is the failure reference (ticket / report).
+	Ref string
+	// Impact is the expected failure class.
+	Impact catalog.Impact
+	// Partition is the injected fault type.
+	Partition core.PartitionType
+	// Figure notes the paper figure/listing this reproduces, if any.
+	Figure string
+	// Run reproduces the failure; nil means it manifested.
+	Run func() error
+}
+
+// Result is the outcome of one scenario execution.
+type Result struct {
+	Scenario   Scenario
+	Reproduced bool
+	Err        error
+}
+
+// All returns every scenario: the 32 Table 15 reproductions followed
+// by the studied-failure case studies.
+func All() []Scenario {
+	out := append([]Scenario(nil), Table15Scenarios()...)
+	out = append(out, StudyScenarios()...)
+	return out
+}
+
+// Table15Scenarios returns one scenario per Table 15 row, in the
+// appendix's row order.
+func Table15Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "ceph-write-timeout", System: "Ceph", Ref: "ceph-24193",
+			Impact: catalog.DataLoss, Partition: core.PartialPartition,
+			Run: CephWriteSucceedsButTimesOut},
+		{Name: "ceph-delete-divergence", System: "Ceph", Ref: "ceph-24193",
+			Impact: catalog.DataCorruption, Partition: core.PartialPartition,
+			Run: CephDeleteDivergence},
+		{Name: "activemq-partial-hang", System: "ActiveMQ", Ref: "AMQ-7064",
+			Impact: catalog.SystemCrash, Partition: core.PartialPartition,
+			Figure: "Figure 6", Run: ActiveMQPartialPartitionHang},
+		{Name: "activemq-double-dequeue", System: "ActiveMQ", Ref: "AMQ-6978",
+			Impact: catalog.OtherImpact, Partition: core.CompletePartition,
+			Figure: "Listing 2", Run: ActiveMQDoubleDequeue},
+		{Name: "terracotta-stale-read", System: "Terracotta", Ref: "terracotta-907",
+			Impact: catalog.StaleRead, Partition: core.CompletePartition,
+			Run: CacheStaleRead},
+		{Name: "terracotta-double-lock", System: "Terracotta", Ref: "terracotta-904",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Run: LockDoubleAcquire},
+		{Name: "terracotta-cache-loss", System: "Terracotta", Ref: "terracotta-908",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: minoritySideValueLost("cache")},
+		{Name: "terracotta-list-loss", System: "Terracotta", Ref: "terracotta-905a",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: minoritySideValueLost("list")},
+		{Name: "terracotta-set-loss", System: "Terracotta", Ref: "terracotta-905b",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: minoritySideValueLost("set")},
+		{Name: "terracotta-queue-loss", System: "Terracotta", Ref: "terracotta-905c",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: minoritySideValueLost("queue")},
+		{Name: "terracotta-list-reappear", System: "Terracotta", Ref: "terracotta-906a",
+			Impact: catalog.Reappearance, Partition: core.CompletePartition,
+			Run: deletedValueReappears("list")},
+		{Name: "terracotta-set-reappear", System: "Terracotta", Ref: "terracotta-906b",
+			Impact: catalog.Reappearance, Partition: core.CompletePartition,
+			Run: deletedValueReappears("set")},
+		{Name: "terracotta-queue-reappear", System: "Terracotta", Ref: "terracotta-906c",
+			Impact: catalog.Reappearance, Partition: core.CompletePartition,
+			Run: deletedValueReappears("queue")},
+		{Name: "ignite-cache-stale-read", System: "Ignite", Ref: "IGNITE-9762a",
+			Impact: catalog.StaleRead, Partition: core.CompletePartition,
+			Run: CacheStaleRead},
+		{Name: "ignite-queue-unavailable", System: "Ignite", Ref: "IGNITE-9765a",
+			Impact: catalog.DataUnavailability, Partition: core.CompletePartition,
+			Run: syncBackupsUnavailable("queue")},
+		{Name: "ignite-cache-unavailable", System: "Ignite", Ref: "IGNITE-9762b",
+			Impact: catalog.DataUnavailability, Partition: core.CompletePartition,
+			Run: syncBackupsUnavailable("cache")},
+		{Name: "ignite-double-dequeue", System: "Ignite", Ref: "IGNITE-9765b",
+			Impact: catalog.OtherImpact, Partition: core.CompletePartition,
+			Run: QueueDoubleDequeue},
+		{Name: "ignite-set-unavailable", System: "Ignite", Ref: "IGNITE-9766",
+			Impact: catalog.DataUnavailability, Partition: core.CompletePartition,
+			Run: syncBackupsUnavailable("set")},
+		{Name: "ignite-broken-sequence", System: "Ignite", Ref: "IGNITE-9768a",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Run: brokenAtomicCounter("sequence")},
+		{Name: "ignite-broken-long", System: "Ignite", Ref: "IGNITE-9768b",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Run: brokenAtomicCounter("long")},
+		{Name: "ignite-broken-ref", System: "Ignite", Ref: "IGNITE-9768c",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Run: BrokenCompareAndSet},
+		{Name: "ignite-broken-counters", System: "Ignite", Ref: "IGNITE-9768d",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Run: brokenAtomicCounter("counter")},
+		{Name: "ignite-atomic-loss", System: "Ignite", Ref: "IGNITE-9768e",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: minoritySideValueLost("atomic")},
+		{Name: "ignite-semaphore-double-lock", System: "Ignite", Ref: "IGNITE-9767",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Figure: "Figure 5", Run: SemaphoreDoubleLocking},
+		{Name: "ignite-lock-double-acquire", System: "Ignite", Ref: "IGNITE-8882",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Run: LockDoubleAcquire},
+		{Name: "ignite-semaphore-corruption", System: "Ignite", Ref: "IGNITE-8883",
+			Impact: catalog.BrokenLocks, Partition: core.CompletePartition,
+			Run: SemaphoreCorruptionAfterReclaim},
+		{Name: "ignite-semaphore-hang", System: "Ignite", Ref: "IGNITE-8881",
+			Impact: catalog.SystemCrash, Partition: core.CompletePartition,
+			Run: syncBackupsUnavailable("semaphore")},
+		{Name: "ignite-broken-status", System: "Ignite", Ref: "IGNITE-8593",
+			Impact: catalog.OtherImpact, Partition: core.CompletePartition,
+			Run: LastingClusterSplit},
+		{Name: "infinispan-dirty-read", System: "Infinispan", Ref: "ISPN-9304",
+			Impact: catalog.DirtyRead, Partition: core.CompletePartition,
+			Run: DirtyReadAtDeposedLeader},
+		{Name: "dkron-misleading-status", System: "DKron", Ref: "dkron-379",
+			Impact: catalog.DataCorruption, Partition: core.PartialPartition,
+			Run: DKronMisleadingStatus},
+		{Name: "moosefs-inconsistent-state", System: "MooseFS", Ref: "moosefs-131",
+			Impact: catalog.DataUnavailability, Partition: core.PartialPartition,
+			Run: MooseFSInconsistentState},
+		{Name: "moosefs-client-hang", System: "MooseFS", Ref: "moosefs-132",
+			Impact: catalog.SystemCrash, Partition: core.PartialPartition,
+			Run: MooseFSClientHang},
+	}
+}
+
+// StudyScenarios returns reproductions of studied (Appendix A)
+// failures and the remaining figure case studies.
+func StudyScenarios() []Scenario {
+	return []Scenario{
+		{Name: "voltdb-dirty-read", System: "VoltDB", Ref: "ENG-10389",
+			Impact: catalog.DirtyRead, Partition: core.CompletePartition,
+			Figure: "Figure 2", Run: DirtyReadAtDeposedLeader},
+		{Name: "mongodb-stale-read", System: "MongoDB", Ref: "SERVER-17975",
+			Impact: catalog.StaleRead, Partition: core.CompletePartition,
+			Run: StaleReadDuringOverlap},
+		{Name: "elastic-split-brain-loss", System: "Elasticsearch", Ref: "elastic-2488",
+			Impact: catalog.DataLoss, Partition: core.PartialPartition,
+			Figure: "Listing 1", Run: SplitBrainDataLoss},
+		{Name: "bad-leader-data-loss", System: "VoltDB", Ref: "ENG-10486",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: BadLeaderLosesAcknowledgedWrites},
+		{Name: "deleted-data-reappears", System: "ZooKeeper", Ref: "ZOOKEEPER-2355",
+			Impact: catalog.Reappearance, Partition: core.CompletePartition,
+			Run: DeletedDataReappears},
+		{Name: "conflicting-criteria-leaderless", System: "MongoDB", Ref: "SERVER-14885",
+			Impact: catalog.SystemCrash, Partition: core.CompletePartition,
+			Run: ConflictingCriteriaLeaderless},
+		{Name: "mapreduce-double-execution", System: "MapReduce", Ref: "MAPREDUCE-4819",
+			Impact: catalog.DataCorruption, Partition: core.PartialPartition,
+			Figure: "Figure 3", Run: MapReduceDoubleExecution},
+		{Name: "rethinkdb-config-split-brain", System: "RethinkDB", Ref: "rethinkdb-5289",
+			Impact: catalog.DataLoss, Partition: core.PartialPartition,
+			Run: RethinkDBConfigSplitBrain},
+		{Name: "redis-lww-data-loss", System: "Redis", Ref: "jepsen-283",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: LWWLosesAcknowledgedWrite},
+		{Name: "hdfs-placement-failure", System: "HDFS", Ref: "HDFS-1384",
+			Impact: catalog.PerfDegradation, Partition: core.PartialPartition,
+			Run: HDFSPlacementFailure},
+		{Name: "hdfs-simplex-degradation", System: "HDFS", Ref: "HDFS-577",
+			Impact: catalog.PerfDegradation, Partition: core.SimplexPartition,
+			Run: HDFSSimplexDegradation},
+		{Name: "rabbitmq-lasting-split", System: "RabbitMQ", Ref: "rabbitmq-1455",
+			Impact: catalog.DataLoss, Partition: core.CompletePartition,
+			Run: LastingClusterSplit},
+	}
+}
+
+// RunAll executes every scenario sequentially and collects results.
+func RunAll() []Result {
+	var out []Result
+	for _, s := range All() {
+		err := s.Run()
+		out = append(out, Result{Scenario: s, Reproduced: err == nil, Err: err})
+	}
+	return out
+}
+
+// notReproduced builds the standard error.
+func notReproduced(format string, args ...any) error {
+	return fmt.Errorf("not reproduced: "+format, args...)
+}

@@ -1,0 +1,107 @@
+package scenarios
+
+import (
+	"testing"
+
+	"neat/internal/catalog"
+)
+
+// TestTable15Coverage checks the scenario suite covers every Table 15
+// row: same count, and per-system counts matching the appendix.
+func TestTable15Coverage(t *testing.T) {
+	scens := Table15Scenarios()
+	if len(scens) != 32 {
+		t.Fatalf("scenarios = %d, want 32", len(scens))
+	}
+	perSystem := map[string]int{}
+	for _, s := range scens {
+		perSystem[s.System]++
+	}
+	want := map[string]int{
+		"Ceph": 2, "ActiveMQ": 2, "Terracotta": 9, "Ignite": 15,
+		"Infinispan": 1, "DKron": 1, "MooseFS": 2,
+	}
+	for sys, n := range want {
+		if perSystem[sys] != n {
+			t.Errorf("%s scenarios = %d, want %d", sys, perSystem[sys], n)
+		}
+	}
+	// Catastrophic coverage: Table 15 reports 30 of 32 catastrophic.
+	// Count through the catalog's per-row flags (the double-dequeue
+	// rows are catastrophic despite their "other" impact category).
+	cat := 0
+	for _, f := range catalog.Table15(catalog.Load()) {
+		if f.Catastrophic {
+			cat++
+		}
+	}
+	if cat != 30 {
+		t.Errorf("catastrophic Table 15 rows = %d, want 30", cat)
+	}
+}
+
+// TestFiguresCovered checks every paper figure/listing has a scenario.
+func TestFiguresCovered(t *testing.T) {
+	want := map[string]bool{
+		"Figure 2": false, "Figure 3": false, "Figure 5": false,
+		"Figure 6": false, "Listing 1": false, "Listing 2": false,
+	}
+	for _, s := range All() {
+		if s.Figure != "" {
+			want[s.Figure] = true
+		}
+	}
+	for fig, seen := range want {
+		if !seen {
+			t.Errorf("%s has no scenario", fig)
+		}
+	}
+}
+
+// Individual scenario executions. Each subtest runs one live
+// fault-injection reproduction end to end.
+func TestScenariosReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live fault-injection scenarios skipped in -short mode")
+	}
+	// Bound concurrency: dozens of engines with live heartbeaters can
+	// starve each other (especially under -race) and fake partitions.
+	sem := make(chan struct{}, 8)
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := s.Run(); err != nil {
+				t.Fatalf("%s (%s, %s): %v", s.Name, s.System, s.Ref, err)
+			}
+		})
+	}
+}
+
+// TestScenarioMetadataConsistent cross-checks scenario metadata with
+// the catalog rows they reproduce.
+func TestScenarioMetadataConsistent(t *testing.T) {
+	byRef := map[string][]*catalog.Failure{}
+	for _, f := range catalog.Load() {
+		byRef[f.Ref] = append(byRef[f.Ref], f)
+	}
+	for _, s := range Table15Scenarios() {
+		rows := byRef[s.Ref]
+		if len(rows) == 0 {
+			t.Errorf("scenario %s references %s, not in the catalog", s.Name, s.Ref)
+			continue
+		}
+		found := false
+		for _, f := range rows {
+			if f.Impact == s.Impact && f.Partition == s.Partition {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %s (%s %v/%v) matches no catalog row",
+				s.Name, s.Ref, s.Impact, s.Partition)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package switchfab implements a software switch with an OpenFlow-style
+// priority-ordered flow table on top of a basic learning switch.
+//
+// This mirrors the paper's OpenFlow partitioner backend: the controller
+// first installs the rules of a basic learning switch, then installs
+// partitioning rules that drop packets from a set of source addresses to
+// a set of destination addresses at a higher priority than the learning
+// rules.
+package switchfab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"neat/internal/netsim"
+)
+
+// Action is what a matching flow entry does with a packet.
+type Action int
+
+const (
+	// Forward sends the packet toward its destination port.
+	Forward Action = iota
+	// DropAction discards the packet.
+	DropAction
+)
+
+// String returns the OpenFlow-ish spelling of the action.
+func (a Action) String() string {
+	if a == DropAction {
+		return "drop"
+	}
+	return "output:learned"
+}
+
+// Match selects packets by source and destination address; empty fields
+// are wildcards.
+type Match struct {
+	Src netsim.NodeID
+	Dst netsim.NodeID
+}
+
+func (m Match) covers(src, dst netsim.NodeID) bool {
+	if m.Src != "" && m.Src != src {
+		return false
+	}
+	if m.Dst != "" && m.Dst != dst {
+		return false
+	}
+	return true
+}
+
+// FlowEntry is one row of the flow table.
+type FlowEntry struct {
+	Priority int
+	Match    Match
+	Action   Action
+	// Cookie tags entries installed for one partition so they can be
+	// removed together when the partition heals, like OpenFlow cookies.
+	Cookie uint64
+
+	packets atomic.Uint64
+}
+
+// Packets returns how many packets matched this entry.
+func (e *FlowEntry) Packets() uint64 { return e.packets.Load() }
+
+// String renders the entry like `ovs-ofctl dump-flows` output.
+func (e *FlowEntry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cookie=0x%x, priority=%d", e.Cookie, e.Priority)
+	if e.Match.Src != "" {
+		fmt.Fprintf(&b, ",nw_src=%s", e.Match.Src)
+	}
+	if e.Match.Dst != "" {
+		fmt.Fprintf(&b, ",nw_dst=%s", e.Match.Dst)
+	}
+	fmt.Fprintf(&b, " actions=%s", e.Action)
+	return b.String()
+}
+
+// LearningPriority is the priority of the base learning-switch rule.
+// Partition rules are installed above it.
+const LearningPriority = 0
+
+// PartitionPriority is the priority the partitioner uses for drop rules.
+const PartitionPriority = 100
+
+// Switch is the software switch. It implements netsim.Filter so it can
+// be installed as the fabric's switch stage.
+type Switch struct {
+	mu      sync.RWMutex
+	entries []*FlowEntry // kept sorted by descending priority, stable
+	// macTable is the learning switch's address table: it records which
+	// hosts have been seen, standing in for MAC->port learning.
+	macTable map[netsim.NodeID]bool
+	seq      uint64
+
+	missCount atomic.Uint64
+}
+
+// New creates a switch whose flow table holds only the learning rule:
+// a priority-0 wildcard entry that forwards everything.
+func New() *Switch {
+	s := &Switch{macTable: make(map[netsim.NodeID]bool)}
+	s.entries = append(s.entries, &FlowEntry{
+		Priority: LearningPriority,
+		Action:   Forward,
+	})
+	return s
+}
+
+// Install adds a flow entry and returns it. Entries with equal priority
+// keep insertion order (later entries match after earlier ones).
+func (s *Switch) Install(priority int, m Match, a Action, cookie uint64) *FlowEntry {
+	e := &FlowEntry{Priority: priority, Match: m, Action: a, Cookie: cookie}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, e)
+	sort.SliceStable(s.entries, func(i, j int) bool {
+		return s.entries[i].Priority > s.entries[j].Priority
+	})
+	return e
+}
+
+// NextCookie allocates a fresh cookie for a group of entries.
+func (s *Switch) NextCookie() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return s.seq
+}
+
+// RemoveCookie deletes every entry tagged with the cookie and reports
+// how many entries were removed.
+func (s *Switch) RemoveCookie(cookie uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.entries[:0]
+	removed := 0
+	for _, e := range s.entries {
+		if e.Cookie == cookie && cookie != 0 {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.entries = kept
+	return removed
+}
+
+// FlowCount returns the number of installed entries (including the
+// learning rule).
+func (s *Switch) FlowCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Misses returns how many packets fell through to the learning rule
+// from an unknown host (table-miss events sent to the controller).
+func (s *Switch) Misses() uint64 { return s.missCount.Load() }
+
+// Check implements netsim.Filter: find the highest-priority matching
+// entry and apply its action.
+func (s *Switch) Check(src, dst netsim.NodeID) netsim.Verdict {
+	s.mu.Lock()
+	if !s.macTable[src] {
+		// First packet from this host: the learning switch records
+		// its port; in OpenFlow terms this is a table-miss punt to
+		// the controller, which installs the learned forwarding.
+		s.macTable[src] = true
+		s.missCount.Add(1)
+	}
+	var hit *FlowEntry
+	for _, e := range s.entries {
+		if e.Match.covers(src, dst) {
+			hit = e
+			break
+		}
+	}
+	s.mu.Unlock()
+	if hit == nil {
+		return netsim.VerdictAccept
+	}
+	hit.packets.Add(1)
+	if hit.Action == DropAction {
+		return netsim.VerdictDrop
+	}
+	return netsim.VerdictAccept
+}
+
+// Dump renders the flow table like `ovs-ofctl dump-flows`.
+func (s *Switch) Dump() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b strings.Builder
+	for _, e := range s.entries {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package switchfab
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"neat/internal/netsim"
+)
+
+func TestDefaultLearningRuleForwards(t *testing.T) {
+	s := New()
+	if v := s.Check("a", "b"); v != netsim.VerdictAccept {
+		t.Fatal("learning rule must forward by default")
+	}
+	if s.FlowCount() != 1 {
+		t.Fatalf("FlowCount = %d, want 1 (learning rule)", s.FlowCount())
+	}
+}
+
+func TestHigherPriorityDropWins(t *testing.T) {
+	s := New()
+	cookie := s.NextCookie()
+	s.Install(PartitionPriority, Match{Src: "a", Dst: "b"}, DropAction, cookie)
+	if v := s.Check("a", "b"); v != netsim.VerdictDrop {
+		t.Fatal("partition rule must shadow the learning rule")
+	}
+	if v := s.Check("b", "a"); v != netsim.VerdictAccept {
+		t.Fatal("reverse direction must be unaffected")
+	}
+	if v := s.Check("a", "c"); v != netsim.VerdictAccept {
+		t.Fatal("other destinations must be unaffected")
+	}
+}
+
+func TestRemoveCookieRestoresConnectivity(t *testing.T) {
+	s := New()
+	c1 := s.NextCookie()
+	c2 := s.NextCookie()
+	s.Install(PartitionPriority, Match{Src: "a", Dst: "b"}, DropAction, c1)
+	s.Install(PartitionPriority, Match{Src: "b", Dst: "a"}, DropAction, c1)
+	s.Install(PartitionPriority, Match{Src: "a", Dst: "c"}, DropAction, c2)
+	if n := s.RemoveCookie(c1); n != 2 {
+		t.Fatalf("removed %d entries, want 2", n)
+	}
+	if v := s.Check("a", "b"); v != netsim.VerdictAccept {
+		t.Fatal("a->b should flow after heal")
+	}
+	if v := s.Check("a", "c"); v != netsim.VerdictDrop {
+		t.Fatal("unrelated partition must survive heal of another")
+	}
+}
+
+func TestRemoveCookieZeroRemovesNothing(t *testing.T) {
+	s := New()
+	if n := s.RemoveCookie(0); n != 0 {
+		t.Fatalf("cookie 0 (learning rule) must never be removed, got %d", n)
+	}
+	if s.FlowCount() != 1 {
+		t.Fatal("learning rule vanished")
+	}
+}
+
+func TestEntryPacketCounters(t *testing.T) {
+	s := New()
+	e := s.Install(PartitionPriority, Match{Src: "a", Dst: "b"}, DropAction, s.NextCookie())
+	for i := 0; i < 5; i++ {
+		s.Check("a", "b")
+	}
+	s.Check("b", "a")
+	if e.Packets() != 5 {
+		t.Fatalf("entry matched %d packets, want 5", e.Packets())
+	}
+}
+
+func TestTableMissLearning(t *testing.T) {
+	s := New()
+	s.Check("a", "b")
+	s.Check("a", "c") // a already learned
+	s.Check("b", "a")
+	if s.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2 (a and b each learned once)", s.Misses())
+	}
+}
+
+func TestDumpRendersEntries(t *testing.T) {
+	s := New()
+	s.Install(PartitionPriority, Match{Src: "s1", Dst: "s2"}, DropAction, s.NextCookie())
+	d := s.Dump()
+	for _, want := range []string{"priority=100", "nw_src=s1", "nw_dst=s2", "actions=drop", "priority=0"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump %q missing %q", d, want)
+		}
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	s := New()
+	s.Install(PartitionPriority, Match{Src: "a"}, DropAction, s.NextCookie())
+	if v := s.Check("a", "anything"); v != netsim.VerdictDrop {
+		t.Fatal("src-only match must drop all destinations")
+	}
+	if v := s.Check("b", "a"); v != netsim.VerdictAccept {
+		t.Fatal("other sources unaffected")
+	}
+}
+
+func TestInstallRemoveConservesFlowCount(t *testing.T) {
+	// Property: installing k entries under one cookie then removing the
+	// cookie always returns the table to exactly the learning rule.
+	f := func(k uint8) bool {
+		s := New()
+		cookie := s.NextCookie()
+		n := int(k%50) + 1
+		for i := 0; i < n; i++ {
+			s.Install(PartitionPriority, Match{Src: "x", Dst: netsim.NodeID(rune('a' + i%26))}, DropAction, cookie)
+		}
+		removed := s.RemoveCookie(cookie)
+		return removed == n && s.FlowCount() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package transport provides a request/response RPC layer over the
+// netsim fabric. Each node owns an Endpoint; requests are dispatched to
+// registered handlers serially (preserving per-node receive order, as a
+// TCP connection with a single service loop would), while responses are
+// matched to waiting callers directly so that a handler may itself
+// issue nested calls without deadlocking.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neat/internal/netsim"
+)
+
+// ErrTimeout is returned when the peer does not answer in time. A
+// partitioned or crashed peer is indistinguishable from a slow one,
+// which is precisely the ambiguity the studied systems mishandle.
+var ErrTimeout = errors.New("transport: request timed out")
+
+// ErrClosed is returned after the endpoint is closed.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Handler processes one request and returns the response body.
+type Handler func(from netsim.NodeID, body any) (any, error)
+
+// envelope is the wire format carried as the netsim packet payload.
+type envelope struct {
+	Kind    string
+	ID      uint64
+	IsReply bool
+	Body    any
+	Err     string
+}
+
+type pendingCall struct {
+	ch chan envelope
+}
+
+// Endpoint is one node's attachment to the RPC layer.
+type Endpoint struct {
+	id  netsim.NodeID
+	net *netsim.Network
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	pending  map[uint64]*pendingCall
+	closed   bool
+
+	seq   atomic.Uint64
+	inbox chan netsim.Packet
+	done  chan struct{}
+
+	// DefaultTimeout is used by Call when the caller passes 0.
+	DefaultTimeout time.Duration
+}
+
+// InboxDepth is the request queue length per endpoint. If the queue
+// fills (a node overwhelmed or hung), further requests are dropped,
+// matching a saturated accept queue.
+const InboxDepth = 1024
+
+// NewEndpoint registers id on the fabric and starts its dispatcher.
+func NewEndpoint(n *netsim.Network, id netsim.NodeID) *Endpoint {
+	e := &Endpoint{
+		id:             id,
+		net:            n,
+		handlers:       make(map[string]Handler),
+		pending:        make(map[uint64]*pendingCall),
+		inbox:          make(chan netsim.Packet, InboxDepth),
+		done:           make(chan struct{}),
+		DefaultTimeout: 250 * time.Millisecond,
+	}
+	n.Register(id, e.receive)
+	go e.dispatch()
+	return e
+}
+
+// ID returns the node this endpoint serves.
+func (e *Endpoint) ID() netsim.NodeID { return e.id }
+
+// Network returns the underlying fabric.
+func (e *Endpoint) Network() *netsim.Network { return e.net }
+
+// Handle registers the handler for a method name. Registering twice
+// replaces the handler; registering a nil handler removes it.
+func (e *Endpoint) Handle(kind string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h == nil {
+		delete(e.handlers, kind)
+		return
+	}
+	e.handlers[kind] = h
+}
+
+// Close detaches the endpoint from the fabric and fails waiting calls.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	pend := e.pending
+	e.pending = make(map[uint64]*pendingCall)
+	e.mu.Unlock()
+
+	e.net.Unregister(e.id)
+	close(e.done)
+	for _, p := range pend {
+		close(p.ch)
+	}
+}
+
+// receive is the netsim delivery handler. Replies are matched to
+// waiting calls inline; requests are queued for the dispatcher.
+func (e *Endpoint) receive(pkt netsim.Packet) {
+	env, ok := pkt.Payload.(envelope)
+	if !ok {
+		return
+	}
+	if env.IsReply {
+		e.mu.RLock()
+		p := e.pending[env.ID]
+		e.mu.RUnlock()
+		if p != nil {
+			select {
+			case p.ch <- env:
+			default:
+			}
+		}
+		return
+	}
+	select {
+	case e.inbox <- pkt:
+	default:
+		// Inbox full: drop, as an overloaded server would.
+	}
+}
+
+func (e *Endpoint) dispatch() {
+	for {
+		select {
+		case <-e.done:
+			return
+		case pkt := <-e.inbox:
+			e.serve(pkt)
+		}
+	}
+}
+
+func (e *Endpoint) serve(pkt netsim.Packet) {
+	env := pkt.Payload.(envelope)
+	e.mu.RLock()
+	h := e.handlers[env.Kind]
+	e.mu.RUnlock()
+
+	var (
+		respBody any
+		respErr  string
+	)
+	if h == nil {
+		respErr = fmt.Sprintf("no handler for %q", env.Kind)
+	} else {
+		body, err := h(pkt.Src, env.Body)
+		respBody = body
+		if err != nil {
+			respErr = err.Error()
+		}
+	}
+	if env.ID == 0 {
+		return // one-way notification
+	}
+	reply := envelope{Kind: env.Kind, ID: env.ID, IsReply: true, Body: respBody, Err: respErr}
+	_ = e.net.Send(e.id, pkt.Src, reply)
+}
+
+// Notify sends a one-way message; delivery is best effort.
+func (e *Endpoint) Notify(dst netsim.NodeID, kind string, body any) error {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return e.net.Send(e.id, dst, envelope{Kind: kind, Body: body})
+}
+
+// Call sends a request and waits for the response or a timeout. A zero
+// timeout uses DefaultTimeout.
+func (e *Endpoint) Call(dst netsim.NodeID, kind string, body any, timeout time.Duration) (any, error) {
+	if timeout == 0 {
+		timeout = e.DefaultTimeout
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := e.seq.Add(1)
+	p := &pendingCall{ch: make(chan envelope, 1)}
+	e.pending[id] = p
+	e.mu.Unlock()
+
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+	}()
+
+	env := envelope{Kind: kind, ID: id, Body: body}
+	if err := e.net.Send(e.id, dst, env); err != nil {
+		return nil, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-p.ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if resp.Err != "" {
+			return resp.Body, &RemoteError{Method: kind, Node: dst, Msg: resp.Err}
+		}
+		return resp.Body, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %s->%s %s after %v", ErrTimeout, e.id, dst, kind, timeout)
+	}
+}
+
+// RemoteError is an application-level error returned by the peer's
+// handler (as opposed to a transport failure).
+type RemoteError struct {
+	Method string
+	Node   netsim.NodeID
+	Msg    string
+}
+
+// Error implements the error interface.
+func (r *RemoteError) Error() string {
+	return fmt.Sprintf("remote error from %s (%s): %s", r.Node, r.Method, r.Msg)
+}
+
+// IsRemote reports whether err is an application-level RemoteError.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Broadcast sends a one-way message to every destination.
+func (e *Endpoint) Broadcast(dsts []netsim.NodeID, kind string, body any) {
+	for _, d := range dsts {
+		if d == e.id {
+			continue
+		}
+		_ = e.Notify(d, kind, body)
+	}
+}

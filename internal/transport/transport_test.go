@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neat/internal/netsim"
+)
+
+func pair(t *testing.T) (*netsim.Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	n := netsim.New(netsim.Options{})
+	a := NewEndpoint(n, "a")
+	b := NewEndpoint(n, "b")
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return n, a, b
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, a, b := pair(t)
+	b.Handle("echo", func(from netsim.NodeID, body any) (any, error) {
+		return fmt.Sprintf("%s said %v", from, body), nil
+	})
+	got, err := a.Call("b", "echo", "hi", time.Second)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if got != "a said hi" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	_, a, b := pair(t)
+	b.Handle("fail", func(netsim.NodeID, any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := a.Call("b", "fail", nil, time.Second)
+	if !IsRemote(err) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" || re.Node != "b" {
+		t.Fatalf("unexpected remote error: %+v", re)
+	}
+}
+
+func TestCallNoHandler(t *testing.T) {
+	_, a, _ := pair(t)
+	_, err := a.Call("b", "missing", nil, time.Second)
+	if !IsRemote(err) {
+		t.Fatalf("want remote no-handler error, got %v", err)
+	}
+}
+
+func TestCallTimeoutWhenPartitioned(t *testing.T) {
+	n, a, b := pair(t)
+	b.Handle("echo", func(netsim.NodeID, any) (any, error) { return "x", nil })
+	n.SetSwitch(netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		return netsim.VerdictDrop
+	}))
+	start := time.Now()
+	_, err := a.Call("b", "echo", nil, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("timed out too early")
+	}
+}
+
+func TestSimplexDropsReply(t *testing.T) {
+	// The request reaches b but b's reply is dropped: the caller times
+	// out even though the side effect happened. This is the request-
+	// routing failure mode of Finding 4 (Elasticsearch issue #9967).
+	n, a, b := pair(t)
+	var executed atomic.Bool
+	b.Handle("do", func(netsim.NodeID, any) (any, error) {
+		executed.Store(true)
+		return "done", nil
+	})
+	n.SetSwitch(netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		if src == "b" && dst == "a" {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	}))
+	_, err := a.Call("b", "do", nil, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if !executed.Load() {
+		t.Fatal("handler should have executed despite lost reply")
+	}
+}
+
+func TestNotifyOneWay(t *testing.T) {
+	_, a, b := pair(t)
+	var mu sync.Mutex
+	var got []any
+	b.Handle("note", func(_ netsim.NodeID, body any) (any, error) {
+		mu.Lock()
+		got = append(got, body)
+		mu.Unlock()
+		return nil, nil
+	})
+	for i := 0; i < 3; i++ {
+		if err := a.Notify("b", "note", i); err != nil {
+			t.Fatalf("notify: %v", err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d notifications, want 3", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRequestsServedInOrder(t *testing.T) {
+	_, a, b := pair(t)
+	var mu sync.Mutex
+	var order []int
+	b.Handle("seq", func(_ netsim.NodeID, body any) (any, error) {
+		mu.Lock()
+		order = append(order, body.(int))
+		mu.Unlock()
+		return nil, nil
+	})
+	for i := 0; i < 50; i++ {
+		if _, err := a.Call("b", "seq", i, time.Second); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; serial dispatch must preserve order", i, v)
+		}
+	}
+}
+
+func TestNestedCallFromHandler(t *testing.T) {
+	// b's handler calls c while serving a: replies must bypass the
+	// serial request queue or this deadlocks.
+	n := netsim.New(netsim.Options{})
+	a := NewEndpoint(n, "a")
+	b := NewEndpoint(n, "b")
+	c := NewEndpoint(n, "c")
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+	c.Handle("leaf", func(netsim.NodeID, any) (any, error) { return 7, nil })
+	b.Handle("mid", func(netsim.NodeID, any) (any, error) {
+		return b.Call("c", "leaf", nil, time.Second)
+	})
+	got, err := a.Call("b", "mid", nil, 2*time.Second)
+	if err != nil {
+		t.Fatalf("nested call: %v", err)
+	}
+	if got != 7 {
+		t.Fatalf("got %v, want 7", got)
+	}
+}
+
+func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
+	n, a, b := pair(t)
+	// Block replies so the call is pending when we close.
+	n.SetSwitch(netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		if src == "b" {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	}))
+	b.Handle("x", func(netsim.NodeID, any) (any, error) { return nil, nil })
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call("b", "x", nil, time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("pending call after close: %v, want ErrClosed", err)
+	}
+	if _, err := a.Call("b", "x", nil, time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("future call after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	a := NewEndpoint(n, "a")
+	defer a.Close()
+	var mu sync.Mutex
+	hits := map[netsim.NodeID]int{}
+	mk := func(id netsim.NodeID) *Endpoint {
+		e := NewEndpoint(n, id)
+		e.Handle("ping", func(netsim.NodeID, any) (any, error) {
+			mu.Lock()
+			hits[id]++
+			mu.Unlock()
+			return nil, nil
+		})
+		return e
+	}
+	b, c := mk("b"), mk("c")
+	defer b.Close()
+	defer c.Close()
+	a.Broadcast([]netsim.NodeID{"a", "b", "c"}, "ping", nil)
+	deadline := time.Now().Add(time.Second)
+	for {
+		mu.Lock()
+		ok := hits["b"] == 1 && hits["c"] == 1 && hits["a"] == 0
+		mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hits = %v, want b:1 c:1 (self excluded)", hits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConcurrentCallsMatchResponses(t *testing.T) {
+	_, a, b := pair(t)
+	b.Handle("id", func(_ netsim.NodeID, body any) (any, error) { return body, nil })
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := a.Call("b", "id", i, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != i {
+				errs <- fmt.Errorf("got %v want %d", got, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package neat is a Go implementation of NEAT, the network-partitioning
+// testing framework from "An Analysis of Network-Partitioning Failures
+// in Cloud Systems" (OSDI 2018), together with the study's failure
+// dataset and a family of simulated distributed systems that reproduce
+// the studied failures.
+//
+// The package re-exports the testing framework's public surface: the
+// test Engine, the Partitioner API (complete, partial, and simplex
+// partitions; heal), the ISystem lifecycle interface, and node/role
+// types. The simulated systems, the failure catalog (Tables 1-13), and
+// the executable failure scenarios (Table 15, Figures 2/3/5/6) live in
+// internal packages and are exercised through the example programs in
+// examples/, the tools in cmd/, and the benchmark harness in
+// bench_test.go.
+//
+// A minimal test looks like the paper's Listing 1:
+//
+//	eng := neat.NewEngine(neat.Options{})
+//	// declare nodes, deploy a system implementing neat.ISystem...
+//	p, _ := eng.Partial([]neat.NodeID{"s1", "client1"}, []neat.NodeID{"s2", "client2"})
+//	// drive clients on both sides, then:
+//	_ = eng.Heal(p)
+//	// verify invariants
+package neat
+
+import (
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// NodeID identifies a host on the simulated fabric.
+type NodeID = netsim.NodeID
+
+// Engine is NEAT's central test engine: it owns the fabric, deploys
+// systems, injects and heals partitions, crashes nodes, and records
+// the manifestation sequence.
+type Engine = core.Engine
+
+// Options configures an Engine.
+type Options = core.Options
+
+// Backend selects the partitioner implementation.
+type Backend = core.Backend
+
+// The two partitioner backends, mirroring the paper's OpenFlow and
+// iptables implementations.
+const (
+	SwitchBackend   = core.SwitchBackend
+	FirewallBackend = core.FirewallBackend
+)
+
+// Partition is a handle to an injected fault.
+type Partition = core.Partition
+
+// PartitionType is one of the paper's three fault classes.
+type PartitionType = core.PartitionType
+
+// The three network-partitioning fault types (Figure 1).
+const (
+	CompletePartition = core.CompletePartition
+	PartialPartition  = core.PartialPartition
+	SimplexPartition  = core.SimplexPartition
+)
+
+// ISystem is the lifecycle interface systems under test implement.
+type ISystem = core.ISystem
+
+// NodeStatus is a system node's externally visible state.
+type NodeStatus = core.NodeStatus
+
+// Node is a declared test participant.
+type Node = core.Node
+
+// Role classifies nodes (server, client, auxiliary service).
+type Role = core.Role
+
+// Node roles.
+const (
+	RoleServer  = core.RoleServer
+	RoleClient  = core.RoleClient
+	RoleService = core.RoleService
+)
+
+// Trace records a test's globally ordered manifestation sequence.
+type Trace = core.Trace
+
+// Event is one trace entry.
+type Event = core.Event
+
+// EventKind classifies trace events (Table 8 taxonomy).
+type EventKind = core.EventKind
+
+// NewEngine builds an engine with a fresh simulated network.
+func NewEngine(opts Options) *Engine { return core.NewEngine(opts) }
+
+// Rest returns the cluster nodes not in group — the paper's
+// Partitioner.rest helper.
+func Rest(cluster, group []NodeID) []NodeID { return core.Rest(cluster, group) }

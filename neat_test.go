@@ -1,0 +1,143 @@
+package neat_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"neat"
+	"neat/internal/netsim"
+)
+
+// toySystem is a minimal ISystem: a single counter server that loses
+// availability when partitioned from its client — used to exercise the
+// exported API surface end to end.
+type toySystem struct {
+	eng     *neat.Engine
+	mu      sync.Mutex
+	count   int
+	started bool
+}
+
+func (s *toySystem) Name() string { return "toy" }
+
+func (s *toySystem) Start() error {
+	s.eng.Network().Register("server", func(p netsim.Packet) {
+		s.mu.Lock()
+		s.count++
+		s.mu.Unlock()
+	})
+	s.started = true
+	return nil
+}
+
+func (s *toySystem) Stop() error { return nil }
+
+func (s *toySystem) Status() map[neat.NodeID]neat.NodeStatus {
+	return map[neat.NodeID]neat.NodeStatus{
+		"server": {Up: s.started, Role: "server"},
+	}
+}
+
+func (s *toySystem) received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	for _, backend := range []neat.Backend{neat.SwitchBackend, neat.FirewallBackend} {
+		eng := neat.NewEngine(neat.Options{Backend: backend})
+		eng.AddNode("server", neat.RoleServer)
+		eng.AddNode("client", neat.RoleClient)
+		eng.Network().Register("client", func(netsim.Packet) {})
+		sys := &toySystem{eng: eng}
+		if err := eng.Deploy(sys); err != nil {
+			t.Fatal(err)
+		}
+
+		send := func() { _ = eng.Network().Send("client", "server", "ping") }
+
+		send()
+		if sys.received() != 1 {
+			t.Fatal("healthy delivery failed")
+		}
+
+		p, err := eng.Complete([]neat.NodeID{"server"}, []neat.NodeID{"client"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Type != neat.CompletePartition {
+			t.Fatalf("partition type = %v", p.Type)
+		}
+		send()
+		if sys.received() != 1 {
+			t.Fatal("partition did not block delivery")
+		}
+		if err := eng.Heal(p); err != nil {
+			t.Fatal(err)
+		}
+		send()
+		if sys.received() != 2 {
+			t.Fatal("heal did not restore delivery")
+		}
+
+		// Crash / restart round trip.
+		eng.Crash("server")
+		send()
+		eng.Restart("server")
+		send()
+		if sys.received() != 3 {
+			t.Fatalf("received = %d, want 3 (crash suppressed one)", sys.received())
+		}
+
+		// Trace recorded the partition and heal.
+		evs := eng.Trace().Events()
+		if len(evs) < 4 {
+			t.Fatalf("trace too short: %v", evs)
+		}
+		eng.Shutdown()
+	}
+}
+
+func TestPublicRestHelper(t *testing.T) {
+	cluster := []neat.NodeID{"a", "b", "c", "d"}
+	rest := neat.Rest(cluster, []neat.NodeID{"b", "d"})
+	if len(rest) != 2 || rest[0] != "a" || rest[1] != "c" {
+		t.Fatalf("Rest = %v", rest)
+	}
+}
+
+func TestPublicSimplexAndPartial(t *testing.T) {
+	eng := neat.NewEngine(neat.Options{})
+	defer eng.Shutdown()
+	for _, id := range []neat.NodeID{"a", "b", "c"} {
+		eng.AddNode(id, neat.RoleServer)
+		eng.Network().Register(id, func(netsim.Packet) {})
+	}
+	if _, err := eng.Partial([]neat.NodeID{"a"}, []neat.NodeID{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	n := eng.Network()
+	if n.Reachable("a", "b") || !n.Reachable("a", "c") || !n.Reachable("b", "c") {
+		t.Fatal("partial partition semantics wrong through public API")
+	}
+	if err := eng.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Simplex([]neat.NodeID{"a"}, []neat.NodeID{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Reachable("a", "b") || n.Reachable("b", "a") {
+		t.Fatal("simplex partition semantics wrong through public API")
+	}
+}
+
+func TestWaitUntilThroughPublicAPI(t *testing.T) {
+	eng := neat.NewEngine(neat.Options{})
+	defer eng.Shutdown()
+	start := time.Now()
+	if !eng.WaitUntil(time.Second, func() bool { return time.Since(start) > 5*time.Millisecond }) {
+		t.Fatal("WaitUntil never satisfied")
+	}
+}
