@@ -1,175 +1,148 @@
-// Command neat-fuzz is the paper's future-work feature: automatically
-// generated client workloads combined with randomly injected network
-// partitions of all three types, hunting for consistency violations.
+// Command neat-fuzz is the paper's future-work feature grown into a
+// campaign engine: automatically generated client workloads combined
+// with randomly injected network partitions of all three types
+// (complete, partial, simplex), node crashes, and timed heals — run as
+// seeded, reproducible multi-fault schedules against every simulated
+// system, not just the kvstore.
 //
-// The fuzzer targets the kvstore substrate. Each round it injects a
-// random partition (complete, partial, or simplex, around a random
-// node), drives concurrent single-writer-per-key client workloads on
-// both sides, heals, lets the system converge, and then checks two
-// invariants:
+// Each round the engine generates a schedule from the round's seed,
+// deploys a fresh instance of the target on its own fabric, drives the
+// generated workload with faults injected and healed at their
+// scheduled operation indices, then heals everything and checks the
+// target's invariants (durability of acknowledged writes, no dirty
+// values, mutual exclusion, at-most-once delivery, replica agreement,
+// convergence — whichever the target defines).
 //
-//   - durability: the surviving value of each key is one this key's
-//     writer had acknowledged (catches lost acknowledged writes);
-//   - no dirty values: no key ever reads back a value whose write was
-//     reported failed and never acknowledged.
+// Under the flawed configurations the campaign reproduces the paper's
+// findings within a handful of rounds: the consolidation data loss of
+// the longest-log/latest-ts/lowest-id election modes, the
+// request-routing window of quorum elections (Finding 4, Elasticsearch
+// issue #9967), Ignite-style double locking, ActiveMQ/Kafka double
+// dequeues, and the Ceph silent-success divergence. The safe
+// configurations (raftkv, locksvc/sync, mqueue/safe, eventual/vector)
+// are expected to report zero violations.
 //
-// Under the flawed election modes (longest-log, latest-ts, lowest-id)
-// the fuzzer finds the paper's consolidation data-loss failures within
-// a handful of rounds. Notably it also finds violations under the
-// quorum mode: a simplex partition that drops acknowledgements but not
-// requests makes a write that was reported failed survive and become
-// readable — the request-routing failure class of Finding 4
-// (Elasticsearch issue #9967). Quorum elections alone do not close
-// that window.
+// Violations deduplicate by signature; each unique signature's failing
+// schedule is greedily shrunk to a minimal reproducer, and the whole
+// campaign is emitted as a JSON report for pipelines.
 //
 // Usage:
 //
-//	neat-fuzz [-rounds N] [-mode quorum|longest-log|latest-ts|lowest-id] [-seed S]
+//	neat-fuzz [-rounds N] [-seed S] [-target t1,t2|all] [-mode M]
+//	          [-shrink] [-json path|-] [-workers W] [-list]
+//	          [-expect-none]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
-	"time"
 
-	"neat/internal/core"
-	"neat/internal/election"
-	"neat/internal/kvstore"
-	"neat/internal/netsim"
+	"neat/internal/campaign"
+	"neat/internal/report"
 )
 
-var modes = map[string]election.Mode{
-	"quorum":      election.ModeQuorum,
-	"longest-log": election.ModeLongestLog,
-	"latest-ts":   election.ModeLatestTS,
-	"lowest-id":   election.ModeLowestID,
-}
-
 func main() {
-	rounds := flag.Int("rounds", 10, "fuzzing rounds")
-	modeName := flag.String("mode", "lowest-id", "election mode under test")
-	seed := flag.Int64("seed", 1, "random seed")
+	rounds := flag.Int("rounds", 10, "fuzzing rounds per target")
+	seed := flag.Int64("seed", 1, "campaign seed (derives every schedule seed)")
+	targetSpec := flag.String("target", "", "comma-separated targets, or 'all' (default: all)")
+	modeName := flag.String("mode", "", "legacy kvstore election mode; shorthand for -target kvstore/<mode>")
+	shrink := flag.Bool("shrink", true, "shrink each unique failing schedule to a minimal reproducer")
+	jsonPath := flag.String("json", "-", "write the JSON report to this file ('-' = stdout, '' = skip)")
+	workers := flag.Int("workers", 0, "concurrent rounds (0 = auto)")
+	list := flag.Bool("list", false, "list registered targets and exit")
 	expectNone := flag.Bool("expect-none", false, "exit nonzero if any violation is found")
 	flag.Parse()
 
-	mode, ok := modes[*modeName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+	if *list {
+		for _, name := range campaign.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	spec := *targetSpec
+	if *modeName != "" {
+		if spec != "" {
+			fmt.Fprintln(os.Stderr, "neat-fuzz: -mode and -target are mutually exclusive")
+			os.Exit(2)
+		}
+		spec = "kvstore/" + *modeName
+	}
+	targets, err := campaign.Select(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	totalViolations := 0
-	for round := 0; round < *rounds; round++ {
-		v := fuzzRound(rng, mode)
-		totalViolations += v
-		fmt.Printf("round %2d: %d violation(s)\n", round+1, v)
+
+	res := campaign.Run(campaign.Config{
+		Targets: targets,
+		Rounds:  *rounds,
+		Seed:    *seed,
+		Workers: *workers,
+		Shrink:  *shrink,
+		Log:     os.Stderr,
+	})
+
+	// With the JSON report on stdout, the human summary moves to
+	// stderr so `neat-fuzz | jq .` receives a parseable stream.
+	summaryTo := os.Stdout
+	if *jsonPath == "-" {
+		summaryTo = os.Stderr
 	}
-	fmt.Printf("\nmode=%s rounds=%d violations=%d\n", *modeName, *rounds, totalViolations)
-	if *expectNone && totalViolations > 0 {
+	printSummary(summaryTo, res)
+	if *jsonPath != "" {
+		if err := writeJSON(res.Report(), *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "json report:", err)
+			os.Exit(2)
+		}
+	}
+	// Round errors must fail the gate too: a campaign that could not
+	// deploy its targets has verified nothing.
+	if *expectNone && (res.TotalViolations() > 0 || res.Errors > 0) {
 		os.Exit(1)
 	}
 }
 
-func fuzzRound(rng *rand.Rand, mode election.Mode) int {
-	replicas := []netsim.NodeID{"s1", "s2", "s3"}
-	eng := core.NewEngine(core.Options{})
-	defer eng.Shutdown()
-	for _, id := range replicas {
-		eng.AddNode(id, core.RoleServer)
+func printSummary(w io.Writer, res *campaign.Result) {
+	rows := make([][]string, 0, len(res.Targets))
+	for _, name := range res.Targets {
+		st := res.Stats[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", st.Rounds),
+			fmt.Sprintf("%d", st.Violations),
+			fmt.Sprintf("%d", st.Unique),
+		})
 	}
-	eng.AddNode("c1", core.RoleClient)
-	eng.AddNode("c2", core.RoleClient)
-	cfg := kvstore.Config{
-		Replicas:               replicas,
-		ElectionMode:           mode,
-		WriteConcern:           kvstore.WriteMajority,
-		ApplyBeforeReplicate:   true,
-		StepDownOnLostMajority: true,
-		HeartbeatInterval:      10 * time.Millisecond,
-		ElectionTimeout:        40 * time.Millisecond,
-		LeaseMisses:            8,
-		RPCTimeout:             30 * time.Millisecond,
-	}
-	sys := kvstore.NewSystem(eng.Network(), cfg)
-	if err := eng.Deploy(sys); err != nil {
-		fmt.Fprintln(os.Stderr, "deploy:", err)
-		return 0
-	}
-	c1 := kvstore.NewClient(eng.Network(), "c1", replicas, 80*time.Millisecond)
-	c2 := kvstore.NewClient(eng.Network(), "c2", replicas, 80*time.Millisecond)
-	defer c1.Close()
-	defer c2.Close()
+	fmt.Fprintln(w)
+	fmt.Fprint(w, report.Render(
+		fmt.Sprintf("Campaign summary (seed=%d, %d rounds/target).", res.Seed, res.Rounds),
+		[]string{"Target", "Rounds", "Violations", "Unique"}, rows))
 
-	// Random partition around a random victim node.
-	victim := replicas[rng.Intn(len(replicas))]
-	rest := core.Rest(append(replicas, "c1", "c2"), []netsim.NodeID{victim, "c1"})
-	var err error
-	switch rng.Intn(3) {
-	case 0:
-		_, err = eng.Complete([]netsim.NodeID{victim, "c1"}, rest)
-	case 1:
-		_, err = eng.Partial([]netsim.NodeID{victim}, []netsim.NodeID{replicas[(indexOf(replicas, victim)+1)%3]})
-	default:
-		_, err = eng.Simplex([]netsim.NodeID{victim}, rest)
+	for _, f := range res.Findings {
+		fmt.Fprintf(w, "\nVIOLATION %s  (x%d, first in round %d)\n", f.Signature(), f.Count, f.Round)
+		fmt.Fprintf(w, "  %s\n", f.Detail)
+		fmt.Fprintf(w, "  schedule: %s\n", f.Schedule)
+		if f.Shrunk != nil {
+			fmt.Fprintf(w, "  shrunk:   %s\n", f.Shrunk)
+		}
 	}
+	fmt.Fprintf(w, "\ntotal violations=%d unique=%d errors=%d\n",
+		res.TotalViolations(), len(res.Findings), res.Errors)
+}
+
+func writeJSON(c report.Campaign, path string) error {
+	if path == "-" {
+		return c.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "inject:", err)
-		return 0
+		return err
 	}
-
-	// Single-writer-per-key workloads on both sides.
-	acked1 := drive(rng, c1, "k1", 8)
-	acked2 := drive(rng, c2, "k2", 8)
-
-	_ = eng.HealAll()
-	time.Sleep(300 * time.Millisecond) // convergence
-
-	violations := 0
-	violations += check(eng, c2, "k1", acked1)
-	violations += check(eng, c2, "k2", acked2)
-	return violations
-}
-
-// drive issues writes and returns the set of acknowledged values, in
-// order.
-func drive(rng *rand.Rand, cl *kvstore.Client, key string, n int) []string {
-	var acked []string
-	for i := 0; i < n; i++ {
-		val := fmt.Sprintf("%s-v%d-%d", key, i, rng.Intn(1000))
-		if err := cl.Put(key, val); err == nil {
-			acked = append(acked, val)
-		}
-		time.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
 	}
-	return acked
-}
-
-// check verifies the durability and no-dirty-value invariants.
-func check(eng *core.Engine, cl *kvstore.Client, key string, acked []string) int {
-	got, err := cl.Get(key)
-	if err != nil {
-		if len(acked) > 0 {
-			fmt.Printf("  VIOLATION %s: all %d acknowledged writes lost (%v)\n", key, len(acked), err)
-			return 1
-		}
-		return 0
-	}
-	for _, v := range acked {
-		if v == got {
-			return 0
-		}
-	}
-	fmt.Printf("  VIOLATION %s: read %q, never acknowledged (dirty or resurrected)\n", key, got)
-	return 1
-}
-
-func indexOf(ids []netsim.NodeID, id netsim.NodeID) int {
-	for i, x := range ids {
-		if x == id {
-			return i
-		}
-	}
-	return 0
+	return f.Close()
 }

@@ -1,0 +1,3 @@
+module neat
+
+go 1.24

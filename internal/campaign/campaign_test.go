@@ -1,0 +1,305 @@
+package campaign
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+func testTopology() Topology {
+	return Topology{
+		Servers:  ids("s", 3),
+		Services: []netsim.NodeID{"zk"},
+		Clients:  []netsim.NodeID{"c1", "c2"},
+	}
+}
+
+// TestGenerateDeterministic: equal seeds must generate equal
+// schedules; different seeds must (eventually) differ.
+func TestGenerateDeterministic(t *testing.T) {
+	topo := testTopology()
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(rand.New(rand.NewSource(seed)), topo)
+		b := Generate(rand.New(rand.NewSource(seed)), topo)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%v\n%v", seed, a, b)
+		}
+	}
+	a := Generate(rand.New(rand.NewSource(1)), topo)
+	differs := false
+	for seed := int64(2); seed < 12; seed++ {
+		if !reflect.DeepEqual(a, Generate(rand.New(rand.NewSource(seed)), topo)) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("10 different seeds all generated the schedule of seed 1")
+	}
+}
+
+// TestGenerateValid checks structural invariants over many seeds:
+// bounds on ops and fault counts, in-range fault indices, heals after
+// injections, and disjoint non-empty partition groups.
+func TestGenerateValid(t *testing.T) {
+	topo := testTopology()
+	for seed := int64(0); seed < 200; seed++ {
+		s := Generate(rand.New(rand.NewSource(seed)), topo)
+		if s.Ops < minOps || s.Ops > maxOps {
+			t.Fatalf("seed %d: ops %d out of range", seed, s.Ops)
+		}
+		if len(s.Faults) < 1 || len(s.Faults) > maxFaults {
+			t.Fatalf("seed %d: %d faults", seed, len(s.Faults))
+		}
+		for _, f := range s.Faults {
+			if f.At < 0 || f.At >= s.Ops {
+				t.Fatalf("seed %d: fault at %d with %d ops", seed, f.At, s.Ops)
+			}
+			if f.HealAt != -1 && (f.HealAt <= f.At || f.HealAt >= s.Ops) {
+				t.Fatalf("seed %d: heal %d for injection at %d (%d ops)", seed, f.HealAt, f.At, s.Ops)
+			}
+			if len(f.GroupA) == 0 {
+				t.Fatalf("seed %d: empty group A in %v", seed, f)
+			}
+			if f.Kind != FaultCrash {
+				if len(f.GroupB) == 0 {
+					t.Fatalf("seed %d: empty group B in %v", seed, f)
+				}
+				inA := map[netsim.NodeID]bool{}
+				for _, id := range f.GroupA {
+					inA[id] = true
+				}
+				for _, id := range f.GroupB {
+					if inA[id] {
+						t.Fatalf("seed %d: %s on both sides of %v", seed, id, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDedup: identical signatures collapse with summed counts and the
+// earliest round kept; distinct signatures survive.
+func TestDedup(t *testing.T) {
+	v1 := Violation{Target: "t", Invariant: "durability", Subject: "k1", Detail: "a"}
+	v2 := Violation{Target: "t", Invariant: "durability", Subject: "k1", Detail: "b (different detail, same signature)"}
+	v3 := Violation{Target: "t", Invariant: "durability", Subject: "k2"}
+	out := Dedup([]Finding{
+		{Violation: v1, Round: 5},
+		{Violation: v2, Round: 2},
+		{Violation: v3, Round: 7},
+	})
+	if len(out) != 2 {
+		t.Fatalf("got %d findings, want 2", len(out))
+	}
+	byKey := map[string]Finding{}
+	for _, f := range out {
+		byKey[f.Signature()] = f
+	}
+	f1 := byKey["t|durability|k1"]
+	if f1.Count != 2 {
+		t.Fatalf("k1 count = %d, want 2", f1.Count)
+	}
+	if f1.Round != 2 {
+		t.Fatalf("k1 kept round %d, want the earliest (2)", f1.Round)
+	}
+	if byKey["t|durability|k2"].Count != 1 {
+		t.Fatalf("k2 count = %d, want 1", byKey["t|durability|k2"].Count)
+	}
+}
+
+// fakeTarget is a deterministic target for runner/shrinker tests: it
+// violates its invariant iff, during some step, s1 cannot reach s2.
+// Reachability is a pure function of the injected faults, so runs are
+// exactly reproducible.
+type fakeTarget struct{}
+
+func (t *fakeTarget) Name() string { return "fake" }
+
+func (t *fakeTarget) Topology() Topology {
+	return Topology{Servers: ids("s", 3)}
+}
+
+func (t *fakeTarget) Deploy(eng *core.Engine) (Instance, error) {
+	in := &fakeInstance{eng: eng}
+	// Reachability is only defined for registered hosts, so attach an
+	// endpoint per server like a real system would.
+	for _, id := range t.Topology().Servers {
+		in.eps = append(in.eps, transport.NewEndpoint(eng.Network(), id))
+	}
+	return in, nil
+}
+
+type fakeInstance struct {
+	eng     *core.Engine
+	eps     []*transport.Endpoint
+	steps   int
+	blocked bool
+}
+
+func (in *fakeInstance) Step(ctx *StepCtx) {
+	in.steps++
+	if !in.eng.Network().Reachable("s1", "s2") {
+		in.blocked = true
+	}
+}
+
+func (in *fakeInstance) Check() []Violation {
+	if !in.blocked {
+		return nil
+	}
+	return []Violation{{Invariant: "fake-inv", Subject: "s1-s2", Detail: "link was cut"}}
+}
+
+func (in *fakeInstance) Close() {
+	for _, ep := range in.eps {
+		ep.Close()
+	}
+}
+
+// TestRunScheduleExecutes: the runner drives exactly Ops steps,
+// injects scheduled faults, and heals them for the check.
+func TestRunScheduleExecutes(t *testing.T) {
+	tgt := &fakeTarget{}
+	sched := Schedule{
+		Seed: 42,
+		Ops:  7,
+		Faults: []Fault{
+			{Kind: FaultPartial, At: 2, HealAt: 4,
+				GroupA: []netsim.NodeID{"s1"}, GroupB: []netsim.NodeID{"s2"}},
+		},
+	}
+	out := RunSchedule(tgt, sched)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(out.Violations) != 1 {
+		t.Fatalf("violations = %v, want the fake-inv violation", out.Violations)
+	}
+	if got := out.Violations[0].Signature(); got != "fake|fake-inv|s1-s2" {
+		t.Fatalf("signature = %q", got)
+	}
+	// A schedule whose partition does not touch the watched link must
+	// pass.
+	sched.Faults[0].GroupB = []netsim.NodeID{"s3"}
+	if out := RunSchedule(tgt, sched); len(out.Violations) != 0 {
+		t.Fatalf("unrelated partition produced %v", out.Violations)
+	}
+}
+
+// TestShrink: the shrinker must drop the irrelevant faults and
+// truncate the workload while the schedule keeps reproducing the
+// violation signature.
+func TestShrink(t *testing.T) {
+	tgt := &fakeTarget{}
+	sched := Schedule{
+		Seed: 7,
+		Ops:  12,
+		Faults: []Fault{
+			{Kind: FaultCrash, At: 1, HealAt: 3, GroupA: []netsim.NodeID{"s3"}},
+			{Kind: FaultComplete, At: 2, HealAt: -1,
+				GroupA: []netsim.NodeID{"s1"}, GroupB: []netsim.NodeID{"s2", "s3"}},
+			{Kind: FaultSimplex, At: 5, HealAt: 8,
+				GroupA: []netsim.NodeID{"s2"}, GroupB: []netsim.NodeID{"s3"}},
+		},
+	}
+	sig := "fake|fake-inv|s1-s2"
+	if !reproduces(tgt, sched, sig, 1) {
+		t.Fatal("original schedule does not fail; test setup broken")
+	}
+	shrunk, confirmed := Shrink(tgt, sched, sig, 1)
+	if !confirmed {
+		t.Fatal("deterministic violation reported as unconfirmed")
+	}
+	if len(shrunk.Faults) != 1 {
+		t.Fatalf("shrunk to %d faults, want 1: %v", len(shrunk.Faults), shrunk)
+	}
+	if shrunk.Faults[0].Kind != FaultComplete {
+		t.Fatalf("kept the wrong fault: %v", shrunk.Faults[0])
+	}
+	if shrunk.Ops >= sched.Ops {
+		t.Fatalf("ops not reduced: %d", shrunk.Ops)
+	}
+	if !reproduces(tgt, shrunk, sig, 1) {
+		t.Fatal("shrunk schedule no longer fails")
+	}
+}
+
+// TestRunDeterministicSchedules: two identical campaigns generate
+// identical per-round schedules and identical finding signatures.
+func TestRunDeterministicSchedules(t *testing.T) {
+	run := func() []string {
+		res := Run(Config{
+			Targets: []Target{&fakeTarget{}},
+			Rounds:  6,
+			Seed:    99,
+			Workers: 3,
+		})
+		var sigs []string
+		for _, f := range res.Findings {
+			sigs = append(sigs, f.Signature())
+		}
+		return sigs
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("campaign not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestSelect: target specs resolve, reject unknowns, and expand "all".
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 6 {
+		t.Fatalf("only %d registered targets; the campaign needs at least 6", len(all))
+	}
+	two, err := Select("kvstore/lowest-id, raftkv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name() != "kvstore/lowest-id" || two[1].Name() != "raftkv" {
+		t.Fatalf("bad selection: %v", two)
+	}
+	if _, err := Select("no-such-target"); err == nil || !strings.Contains(err.Error(), "unknown target") {
+		t.Fatalf("expected unknown-target error, got %v", err)
+	}
+}
+
+// TestReportShape: the JSON report carries targets, violations, and
+// shrunk schedules.
+func TestReportShape(t *testing.T) {
+	res := Run(Config{
+		Targets: []Target{&fakeTarget{}},
+		Rounds:  4,
+		Seed:    5,
+		Workers: 2,
+		Shrink:  true,
+	})
+	rep := res.Report()
+	if rep.Tool != "neat-fuzz" || rep.Seed != 5 || rep.RoundsPerTarget != 4 {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Targets) != 1 || rep.Targets[0].Name != "fake" || rep.Targets[0].Rounds != 4 {
+		t.Fatalf("bad targets: %+v", rep.Targets)
+	}
+	for _, v := range rep.Violations {
+		if v.Signature == "" || len(v.Schedule) == 0 {
+			t.Fatalf("violation missing schedule context: %+v", v)
+		}
+		if len(v.Shrunk) == 0 {
+			t.Fatalf("shrinking was requested but violation has no shrunk schedule: %+v", v)
+		}
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"neat/internal/election"
+	"neat/internal/eventual"
+)
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]Target)
+)
+
+// Register adds a target to the global registry. It panics on
+// duplicate names — targets are registered from init functions and a
+// collision is a programming error.
+func Register(t Target) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[t.Name()]; dup {
+		panic(fmt.Sprintf("campaign: duplicate target %q", t.Name()))
+	}
+	registry[t.Name()] = t
+}
+
+// Lookup returns the named target.
+func Lookup(name string) (Target, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	t, ok := registry[name]
+	return t, ok
+}
+
+// Names lists every registered target, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Select resolves a comma-separated target spec. Empty or "all" means
+// every registered target.
+func Select(spec string) ([]Target, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		var out []Target
+		for _, name := range Names() {
+			t, _ := Lookup(name)
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	var out []Target
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		t, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown target %q (known: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: empty target spec %q", spec)
+	}
+	return out, nil
+}
+
+func init() {
+	for _, m := range []struct {
+		suffix string
+		mode   election.Mode
+	}{
+		{"quorum", election.ModeQuorum},
+		{"longest-log", election.ModeLongestLog},
+		{"latest-ts", election.ModeLatestTS},
+		{"lowest-id", election.ModeLowestID},
+	} {
+		Register(&kvTarget{name: "kvstore/" + m.suffix, mode: m.mode})
+	}
+	Register(&raftTarget{})
+	Register(&lockTarget{name: "locksvc", syncBackups: false})
+	Register(&lockTarget{name: "locksvc/sync", syncBackups: true})
+	Register(&mqueueTarget{name: "mqueue", safe: false})
+	Register(&mqueueTarget{name: "mqueue/safe", safe: true})
+	Register(&objstoreTarget{})
+	Register(&eventualTarget{name: "eventual/lww", policy: eventual.LastWriterWins})
+	Register(&eventualTarget{name: "eventual/vector", policy: eventual.VectorCausality})
+}

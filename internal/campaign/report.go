@@ -1,0 +1,45 @@
+package campaign
+
+import "neat/internal/report"
+
+// Report converts the campaign result into the machine-readable
+// report form consumed by pipelines and emitted by cmd/neat-fuzz.
+func (r *Result) Report() report.Campaign {
+	out := report.Campaign{
+		Tool:            "neat-fuzz",
+		Seed:            r.Seed,
+		RoundsPerTarget: r.Rounds,
+		Errors:          r.Errors,
+		// A clean campaign must serialize as an empty violation list,
+		// not null, for JSON consumers.
+		Violations: []report.CampaignViolation{},
+	}
+	for _, name := range r.Targets {
+		st := r.Stats[name]
+		out.Targets = append(out.Targets, report.CampaignTarget{
+			Name:       name,
+			Rounds:     st.Rounds,
+			Violations: st.Violations,
+			Unique:     st.Unique,
+			Errors:     st.Errors,
+		})
+	}
+	for _, f := range r.Findings {
+		v := report.CampaignViolation{
+			Target:       f.Violation.Target,
+			Invariant:    f.Invariant,
+			Subject:      f.Subject,
+			Detail:       f.Detail,
+			Signature:    f.Signature(),
+			Count:        f.Count,
+			FirstRound:   f.Round,
+			ScheduleSeed: f.Schedule.Seed,
+			Schedule:     f.Schedule.Describe(),
+		}
+		if f.Shrunk != nil {
+			v.Shrunk = f.Shrunk.Describe()
+		}
+		out.Violations = append(out.Violations, v)
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+)
+
+// RoundOutcome is the result of executing one schedule against one
+// target.
+type RoundOutcome struct {
+	Target     string
+	Round      int
+	Schedule   Schedule
+	Violations []Violation
+	Err        error
+}
+
+// RunSchedule deploys a fresh instance of the target on its own
+// engine, executes the schedule's workload rounds with faults injected
+// and healed at their scheduled indices, then heals everything,
+// restarts crashed nodes, and checks the target's invariants.
+func RunSchedule(t Target, sched Schedule) RoundOutcome {
+	out := RoundOutcome{Target: t.Name(), Schedule: sched}
+	eng := core.NewEngine(core.Options{})
+	defer eng.Shutdown()
+	topo := t.Topology()
+	for _, id := range topo.Servers {
+		eng.AddNode(id, core.RoleServer)
+	}
+	for _, id := range topo.Services {
+		eng.AddNode(id, core.RoleService)
+	}
+	for _, id := range topo.Clients {
+		eng.AddNode(id, core.RoleClient)
+	}
+	inst, err := t.Deploy(eng)
+	if err != nil {
+		out.Err = fmt.Errorf("campaign: deploying %s: %w", t.Name(), err)
+		return out
+	}
+	defer inst.Close()
+
+	// The workload rng is derived from the schedule seed so a replay
+	// of the schedule replays the workload too.
+	rng := rand.New(rand.NewSource(sched.Seed ^ 0x6e6561742d66757a)) // "neat-fuz"
+	active := make([]*core.Partition, len(sched.Faults))
+	crashed := make([]bool, len(sched.Faults))
+	// downRef refcounts crashed nodes: two crash faults may share a
+	// victim, and healing one must not restart a node another fault
+	// still holds down.
+	downRef := make(map[netsim.NodeID]int)
+	activeCount := 0
+	heal := func(i int) {
+		f := sched.Faults[i]
+		if f.Kind == FaultCrash {
+			if crashed[i] {
+				v := f.GroupA[0]
+				if downRef[v]--; downRef[v] == 0 {
+					eng.Restart(v)
+				}
+				crashed[i] = false
+				activeCount--
+			}
+			return
+		}
+		if active[i] != nil {
+			_ = eng.Heal(active[i])
+			active[i] = nil
+			activeCount--
+		}
+	}
+	for op := 0; op < sched.Ops; op++ {
+		for i, f := range sched.Faults {
+			if f.HealAt == op {
+				heal(i)
+			}
+		}
+		for i, f := range sched.Faults {
+			if f.At != op {
+				continue
+			}
+			var err error
+			switch f.Kind {
+			case FaultComplete:
+				active[i], err = eng.Complete(f.GroupA, f.GroupB)
+			case FaultPartial:
+				active[i], err = eng.Partial(f.GroupA, f.GroupB)
+			case FaultSimplex:
+				active[i], err = eng.Simplex(f.GroupA, f.GroupB)
+			case FaultCrash:
+				v := f.GroupA[0]
+				if downRef[v] == 0 {
+					eng.Crash(v)
+				}
+				downRef[v]++
+				crashed[i] = true
+			}
+			if err != nil {
+				// A round whose faults never took effect must not be
+				// reported as a clean run of this schedule.
+				out.Err = fmt.Errorf("campaign: injecting %q: %w", f.String(), err)
+				return out
+			}
+			activeCount++
+		}
+		inst.Step(&StepCtx{Rng: rng, Op: op, ActiveFaults: activeCount})
+	}
+	_ = eng.HealAll()
+	for v, n := range downRef {
+		if n > 0 {
+			eng.Restart(v)
+		}
+	}
+	out.Violations = inst.Check()
+	for i := range out.Violations {
+		out.Violations[i].Target = t.Name()
+	}
+	return out
+}
+
+// scheduleSeed derives the deterministic schedule seed for one
+// (campaign seed, target, round) triple.
+func scheduleSeed(base int64, target string, round int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", base, target, round)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// TargetStats aggregates one target's campaign outcome.
+type TargetStats struct {
+	Rounds     int
+	Violations int
+	Unique     int
+	Errors     int
+}
+
+// Config configures a campaign.
+type Config struct {
+	// Targets are the systems to fuzz.
+	Targets []Target
+	// Rounds is how many schedules to run per target.
+	Rounds int
+	// Seed derives every schedule seed; equal seeds regenerate equal
+	// schedules.
+	Seed int64
+	// Workers bounds concurrent rounds; 0 means a default based on
+	// GOMAXPROCS (at least 2 — rounds spend most of their time in
+	// timing sleeps, so modest oversubscription helps wall-clock even
+	// on one CPU).
+	Workers int
+	// Shrink greedily minimizes one failing schedule per unique
+	// violation signature.
+	Shrink bool
+	// ShrinkAttempts is how many times a candidate schedule is run
+	// while shrinking before concluding it no longer reproduces
+	// (default 1).
+	ShrinkAttempts int
+	// Log, when set, receives one line per completed round.
+	Log io.Writer
+}
+
+// Result is the campaign outcome.
+type Result struct {
+	Seed     int64
+	Rounds   int
+	Targets  []string
+	Stats    map[string]*TargetStats
+	Findings []Finding
+	// Errors counts rounds that failed to deploy or execute.
+	Errors int
+}
+
+// TotalViolations sums every violation found, before deduplication.
+func (r *Result) TotalViolations() int {
+	n := 0
+	for _, s := range r.Stats {
+		n += s.Violations
+	}
+	return n
+}
+
+// Run executes a campaign: Rounds seeded schedules per target on a
+// worker pool, violations deduplicated by signature, and (optionally)
+// one greedy shrink per unique signature.
+func Run(cfg Config) *Result {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0) * 2
+		if cfg.Workers < 2 {
+			cfg.Workers = 2
+		}
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	res := &Result{
+		Seed:   cfg.Seed,
+		Rounds: cfg.Rounds,
+		Stats:  make(map[string]*TargetStats),
+	}
+	for _, t := range cfg.Targets {
+		res.Targets = append(res.Targets, t.Name())
+		res.Stats[t.Name()] = &TargetStats{}
+	}
+
+	type job struct {
+		target Target
+		round  int
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var found []Finding
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				seed := scheduleSeed(cfg.Seed, j.target.Name(), j.round)
+				gen := rand.New(rand.NewSource(seed))
+				sched := Generate(gen, j.target.Topology())
+				sched.Seed = seed
+				out := RunSchedule(j.target, sched)
+				out.Round = j.round
+				mu.Lock()
+				st := res.Stats[out.Target]
+				st.Rounds++
+				st.Violations += len(out.Violations)
+				if out.Err != nil {
+					st.Errors++
+					res.Errors++
+				}
+				for _, v := range out.Violations {
+					found = append(found, Finding{
+						Violation: v,
+						Round:     j.round,
+						Schedule:  sched,
+					})
+				}
+				if cfg.Log != nil {
+					fmt.Fprintf(cfg.Log, "round %3d  %-22s violations=%d%s\n",
+						j.round, out.Target, len(out.Violations), errSuffix(out.Err))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, t := range cfg.Targets {
+		for r := 0; r < cfg.Rounds; r++ {
+			jobs <- job{target: t, round: r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res.Findings = Dedup(found)
+	for _, f := range res.Findings {
+		if st, ok := res.Stats[f.Violation.Target]; ok {
+			st.Unique++
+		}
+	}
+	if cfg.Shrink {
+		res.shrinkAll(cfg)
+	}
+	return res
+}
+
+func errSuffix(err error) string {
+	if err == nil {
+		return ""
+	}
+	return "  error=" + err.Error()
+}
+
+// shrinkAll minimizes one schedule per unique finding, in parallel up
+// to the worker bound.
+func (r *Result) shrinkAll(cfg Config) {
+	byName := make(map[string]Target, len(cfg.Targets))
+	for _, t := range cfg.Targets {
+		byName[t.Name()] = t
+	}
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	var logMu sync.Mutex
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		t, ok := byName[f.Violation.Target]
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			shrunk, confirmed := Shrink(t, f.Schedule, f.Violation.Signature(), cfg.ShrinkAttempts)
+			// Only a schedule that actually re-reproduced the signature
+			// is reported as a minimal reproducer.
+			if confirmed {
+				f.Shrunk = &shrunk
+			}
+			if cfg.Log != nil {
+				logMu.Lock()
+				if confirmed {
+					fmt.Fprintf(cfg.Log, "shrunk %s: %d faults/%d ops -> %d faults/%d ops\n",
+						f.Violation.Signature(), len(f.Schedule.Faults), f.Schedule.Ops,
+						len(shrunk.Faults), shrunk.Ops)
+				} else {
+					fmt.Fprintf(cfg.Log, "shrink %s: violation did not re-reproduce; keeping the original schedule unconfirmed\n",
+						f.Violation.Signature())
+				}
+				logMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sortFindings(r.Findings)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Count != fs[j].Count {
+			return fs[i].Count > fs[j].Count
+		}
+		return fs[i].Signature() < fs[j].Signature()
+	})
+}
+
+// ids builds a node-ID slice "prefix1".."prefixN".
+func ids(prefix string, n int) []netsim.NodeID {
+	out := make([]netsim.NodeID, n)
+	for i := range out {
+		out[i] = netsim.NodeID(fmt.Sprintf("%s%d", prefix, i+1))
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"neat/internal/netsim"
+)
+
+// FaultKind enumerates the injectable faults: the paper's three
+// partition types plus node crashes.
+type FaultKind int
+
+const (
+	// FaultComplete is a complete partition covering the whole
+	// cluster (no packets cross between the sides).
+	FaultComplete FaultKind = iota
+	// FaultPartial isolates two groups from each other while both
+	// keep talking to the rest.
+	FaultPartial
+	// FaultSimplex drops one direction of traffic between two groups.
+	FaultSimplex
+	// FaultCrash power-offs one server (GroupA[0]); GroupB is unused.
+	FaultCrash
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultComplete:
+		return "complete"
+	case FaultPartial:
+		return "partial"
+	case FaultSimplex:
+		return "simplex"
+	default:
+		return "crash"
+	}
+}
+
+// Fault is one scheduled fault. It is injected just before operation
+// round At and healed (partition removed, crashed node restarted)
+// just before round HealAt; HealAt < 0 means it stays active until
+// the end of the schedule, when the runner heals everything.
+type Fault struct {
+	Kind   FaultKind
+	At     int
+	HealAt int
+	// GroupA/GroupB are the partition sides (for FaultSimplex packets
+	// flow GroupA->GroupB and the reverse is dropped). For FaultCrash
+	// only GroupA[0], the victim, is used.
+	GroupA []netsim.NodeID
+	GroupB []netsim.NodeID
+}
+
+// String renders one fault line, e.g.
+// "complete [s1 c1]|[s2 s3 c2] at=2 heal=5".
+func (f Fault) String() string {
+	heal := "end"
+	if f.HealAt >= 0 {
+		heal = fmt.Sprintf("%d", f.HealAt)
+	}
+	if f.Kind == FaultCrash {
+		return fmt.Sprintf("crash %s at=%d restart=%s", f.GroupA[0], f.At, heal)
+	}
+	return fmt.Sprintf("%s %s|%s at=%d heal=%s",
+		f.Kind, groupString(f.GroupA), groupString(f.GroupB), f.At, heal)
+}
+
+func groupString(g []netsim.NodeID) string {
+	parts := make([]string, len(g))
+	for i, id := range g {
+		parts[i] = string(id)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Schedule is a seeded, reproducible multi-fault plan: Ops workload
+// rounds with Faults injected and healed at fixed round indices. The
+// same Seed and topology always generate the same schedule, and the
+// Seed also drives the workload's randomness during execution.
+type Schedule struct {
+	Seed   int64
+	Ops    int
+	Faults []Fault
+}
+
+// Describe renders the schedule as one line per fault, prefixed with
+// the op-count line — the shape embedded in JSON reports.
+func (s Schedule) Describe() []string {
+	out := []string{fmt.Sprintf("ops=%d seed=%d", s.Ops, s.Seed)}
+	for _, f := range s.Faults {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+// String renders the schedule on one line.
+func (s Schedule) String() string { return strings.Join(s.Describe(), "; ") }
+
+// Generation bounds. Kept small so single rounds stay fast; campaigns
+// get their scenario diversity from round count, not round size.
+const (
+	minOps    = 5
+	maxOps    = 12
+	maxFaults = 3
+)
+
+// Generate produces a random schedule for the topology, drawn
+// entirely from rng so equal seeds yield equal schedules. Schedules
+// may contain up to maxFaults overlapping faults of all kinds with
+// timed heals.
+func Generate(rng *rand.Rand, topo Topology) Schedule {
+	ops := minOps + rng.Intn(maxOps-minOps+1)
+	n := 1 + rng.Intn(maxFaults)
+	sched := Schedule{Ops: ops}
+	for i := 0; i < n; i++ {
+		sched.Faults = append(sched.Faults, genFault(rng, topo, ops))
+	}
+	return sched
+}
+
+func genFault(rng *rand.Rand, topo Topology, ops int) Fault {
+	f := Fault{Kind: FaultKind(rng.Intn(4)), At: rng.Intn(ops)}
+	// Half the faults heal mid-run (the study's timed heals); the
+	// rest persist until the end-of-schedule HealAll.
+	f.HealAt = -1
+	if rng.Intn(2) == 0 {
+		h := f.At + 1 + rng.Intn(ops-f.At)
+		if h < ops {
+			f.HealAt = h
+		}
+	}
+	victim := topo.Servers[rng.Intn(len(topo.Servers))]
+	switch f.Kind {
+	case FaultComplete:
+		// Whole-cluster split: the victim server forms the minority;
+		// services and clients land on a random side each, so some
+		// rounds reproduce "client access to one side".
+		a := []netsim.NodeID{victim}
+		var b []netsim.NodeID
+		for _, id := range topo.Servers {
+			if id != victim {
+				b = append(b, id)
+			}
+		}
+		for _, id := range append(append([]netsim.NodeID{}, topo.Services...), topo.Clients...) {
+			if rng.Intn(2) == 0 {
+				a = append(a, id)
+			} else {
+				b = append(b, id)
+			}
+		}
+		if len(b) == 0 {
+			b = append(b, a[len(a)-1])
+			a = a[:len(a)-1]
+		}
+		f.GroupA, f.GroupB = a, b
+	case FaultPartial:
+		// Isolate the victim from a random nonempty subset of the
+		// other servers and services; everyone keeps talking to the
+		// rest (including all clients).
+		var others []netsim.NodeID
+		for _, id := range topo.Servers {
+			if id != victim {
+				others = append(others, id)
+			}
+		}
+		others = append(others, topo.Services...)
+		var b []netsim.NodeID
+		for _, id := range others {
+			if rng.Intn(2) == 0 {
+				b = append(b, id)
+			}
+		}
+		if len(b) == 0 {
+			b = append(b, others[rng.Intn(len(others))])
+		}
+		f.GroupA, f.GroupB = []netsim.NodeID{victim}, b
+	case FaultSimplex:
+		// One-way loss between the victim and the other servers —
+		// the direction decides whether requests or acknowledgements
+		// are dropped (the request-routing failure class).
+		var rest []netsim.NodeID
+		for _, id := range topo.Servers {
+			if id != victim {
+				rest = append(rest, id)
+			}
+		}
+		rest = append(rest, topo.Services...)
+		if rng.Intn(2) == 0 {
+			f.GroupA, f.GroupB = []netsim.NodeID{victim}, rest
+		} else {
+			f.GroupA, f.GroupB = rest, []netsim.NodeID{victim}
+		}
+	case FaultCrash:
+		f.GroupA = []netsim.NodeID{victim}
+	}
+	return f
+}

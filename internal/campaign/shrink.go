@@ -1,0 +1,89 @@
+package campaign
+
+// Shrink greedily minimizes a failing schedule while it keeps
+// reproducing a violation with the given signature: it repeatedly
+// tries dropping one fault, then truncating the operation count, and
+// keeps any reduction that still fails. attempts bounds how many times
+// each candidate is executed before concluding it no longer reproduces
+// (timing-sensitive failures sometimes need more than one run);
+// attempts <= 0 means 1.
+//
+// The second result reports whether the returned schedule reproduced
+// the signature during shrinking: a false means even the original
+// never failed again (a timing-flaky finding), so the result must not
+// be presented as a confirmed minimal reproducer.
+func Shrink(t Target, sched Schedule, signature string, attempts int) (Schedule, bool) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	cur := sched
+	confirmed := false
+	improved := true
+	for improved {
+		improved = false
+		// Pass 1: drop one fault at a time.
+		for i := 0; i < len(cur.Faults) && len(cur.Faults) > 1; i++ {
+			cand := cur
+			cand.Faults = append(append([]Fault{}, cur.Faults[:i]...), cur.Faults[i+1:]...)
+			if reproduces(t, cand, signature, attempts) {
+				cur = cand
+				confirmed = true
+				improved = true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		// Pass 2: truncate the tail of the workload. Faults that would
+		// start after the new end are dropped; heals are clamped to
+		// "end".
+		for _, ops := range []int{cur.Ops / 2, cur.Ops - 1} {
+			if ops < 1 || ops >= cur.Ops {
+				continue
+			}
+			cand := truncate(cur, ops)
+			if len(cand.Faults) == 0 {
+				continue
+			}
+			if reproduces(t, cand, signature, attempts) {
+				cur = cand
+				confirmed = true
+				improved = true
+				break
+			}
+		}
+	}
+	if !confirmed {
+		// No reduction ever failed; check whether at least the
+		// original still does.
+		confirmed = reproduces(t, cur, signature, attempts)
+	}
+	return cur, confirmed
+}
+
+func truncate(s Schedule, ops int) Schedule {
+	out := Schedule{Seed: s.Seed, Ops: ops}
+	for _, f := range s.Faults {
+		if f.At >= ops {
+			continue
+		}
+		if f.HealAt >= ops {
+			f.HealAt = -1
+		}
+		out.Faults = append(out.Faults, f)
+	}
+	return out
+}
+
+func reproduces(t Target, sched Schedule, signature string, attempts int) bool {
+	for i := 0; i < attempts; i++ {
+		out := RunSchedule(t, sched)
+		for _, v := range out.Violations {
+			if v.Signature() == signature {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/eventual"
+	"neat/internal/netsim"
+)
+
+// eventualTarget fuzzes the Dynamo-style eventually consistent store
+// under a consolidation policy. Two clients write the same key through
+// different coordinators; after the heal the replicas must converge,
+// and no acknowledged write that was concurrent with the surviving
+// one may be silently discarded. Last-writer-wins (the studied
+// default) fails that: it consolidates by wall-clock timestamp and
+// drops one side of every concurrent pair (the Jepsen Redis data
+// loss). Vector causality keeps concurrent writes as siblings — the
+// safe configuration.
+type eventualTarget struct {
+	name   string
+	policy eventual.ConsolidationPolicy
+}
+
+func (t *eventualTarget) Name() string { return t.name }
+
+func (t *eventualTarget) Topology() Topology {
+	return Topology{Servers: ids("e", 3), Clients: []netsim.NodeID{"c1", "c2"}}
+}
+
+func (t *eventualTarget) Deploy(eng *core.Engine) (Instance, error) {
+	cfg := eventual.Config{
+		Replicas:            t.Topology().Servers,
+		Policy:              t.policy,
+		AntiEntropyInterval: 15 * time.Millisecond,
+		RPCTimeout:          20 * time.Millisecond,
+	}
+	sys := eventual.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return nil, err
+	}
+	in := &eventualInstance{eng: eng, replicas: cfg.Replicas}
+	in.writers[0] = &eventualWriter{cl: eventual.NewClient(eng.Network(), "c1"), coord: "e1"}
+	in.writers[1] = &eventualWriter{cl: eventual.NewClient(eng.Network(), "c2"), coord: "e2"}
+	return in, nil
+}
+
+// eventualWriter is one client bound to its coordinator replica, the
+// way a partitioned application instance keeps talking to its side.
+type eventualWriter struct {
+	cl    *eventual.Client
+	coord netsim.NodeID
+	// last is the writer's last acknowledged value; ackFaulted records
+	// whether a fault was active when it was acknowledged.
+	last       string
+	ackFaulted bool
+	// seen accumulates every value this writer's coordinator ever
+	// exposed in a pre-write read. If the other writer's value shows
+	// up here, that value was incorporated into this side's causal
+	// history (even if later writes dominated it out of the sibling
+	// set), so consolidating it away is legitimate supersession, not
+	// concurrent data loss.
+	seen map[string]bool
+}
+
+const eventualKey = "ek"
+
+type eventualInstance struct {
+	eng      *core.Engine
+	replicas []netsim.NodeID
+	writers  [2]*eventualWriter
+}
+
+func (in *eventualInstance) Step(ctx *StepCtx) {
+	for i, w := range in.writers {
+		if w.seen == nil {
+			w.seen = make(map[string]bool)
+		}
+		pre, _ := w.cl.Get(w.coord, eventualKey)
+		for _, v := range pre {
+			w.seen[v] = true
+		}
+		val := fmt.Sprintf("c%d-op%d", i+1, ctx.Op)
+		if w.cl.Put(w.coord, eventualKey, val) == nil {
+			w.last = val
+			w.ackFaulted = ctx.ActiveFaults > 0
+		}
+	}
+	time.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+}
+
+func (in *eventualInstance) Check() []Violation {
+	// Anti-entropy must reconcile every replica onto one sibling set.
+	var final []string
+	converged := in.eng.WaitUntil(2*time.Second, func() bool {
+		sets := make([][]string, 0, len(in.replicas))
+		for _, rep := range in.replicas {
+			vals, err := in.writers[0].cl.Get(rep, eventualKey)
+			if err != nil && !eventual.IsNotFound(err) {
+				return false
+			}
+			sort.Strings(vals)
+			sets = append(sets, vals)
+		}
+		for _, s := range sets[1:] {
+			if strings.Join(s, ",") != strings.Join(sets[0], ",") {
+				return false
+			}
+		}
+		final = sets[0]
+		return true
+	})
+	if !converged {
+		return []Violation{{
+			Invariant: "convergence",
+			Subject:   eventualKey,
+			Detail:    "replicas never reconciled onto one sibling set after the heal",
+		}}
+	}
+
+	// Concurrency witness: the two last acknowledged writes are
+	// concurrent iff both were acknowledged while a fault was active
+	// and neither side's coordinator ever incorporated the other's
+	// value into its causal history. Concurrent acknowledged writes
+	// must both survive (as siblings); consolidation that drops one is
+	// the paper's acknowledged-write data loss.
+	w1, w2 := in.writers[0], in.writers[1]
+	if w1.last == "" || w2.last == "" || !w1.ackFaulted || !w2.ackFaulted {
+		return nil
+	}
+	if w1.seen[w2.last] || w2.seen[w1.last] {
+		return nil
+	}
+	var out []Violation
+	for _, w := range in.writers {
+		if !contains(final, w.last) {
+			out = append(out, Violation{
+				Invariant: "acked-write-survives",
+				Subject:   eventualKey,
+				Detail: fmt.Sprintf("acknowledged write %q was concurrent with the survivor yet consolidated away (final siblings %v)",
+					w.last, final),
+			})
+		}
+	}
+	return out
+}
+
+func (in *eventualInstance) Close() {
+	for _, w := range in.writers {
+		w.cl.Close()
+	}
+}
+
+func contains(vals []string, v string) bool {
+	for _, x := range vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

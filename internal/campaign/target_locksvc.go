@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/locksvc"
+	"neat/internal/netsim"
+)
+
+// lockTarget fuzzes the Ignite-style coordination toolkit. With
+// asynchronous view-based replication (the studied default) a
+// partition splits the membership views and both sides keep granting
+// from the full pre-partition state: double locking and duplicate
+// sequence numbers follow (Table 15). With SyncBackups every mutation
+// needs acknowledgements from the entire original replica set, so
+// operations fail during partitions instead of diverging — the safe
+// configuration.
+type lockTarget struct {
+	name        string
+	syncBackups bool
+}
+
+func (t *lockTarget) Name() string { return t.name }
+
+func (t *lockTarget) Topology() Topology {
+	return Topology{Servers: ids("l", 3), Clients: []netsim.NodeID{"c1", "c2"}}
+}
+
+const lockLeaseTTL = 60 * time.Millisecond
+
+func (t *lockTarget) Deploy(eng *core.Engine) (Instance, error) {
+	replicas := t.Topology().Servers
+	cfg := locksvc.Config{
+		Replicas:          replicas,
+		HeartbeatInterval: 10 * time.Millisecond,
+		MissesToSuspect:   3,
+		LeaseTTL:          lockLeaseTTL,
+		SyncBackups:       t.syncBackups,
+		RPCTimeout:        20 * time.Millisecond,
+	}
+	sys := locksvc.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return nil, err
+	}
+	in := &lockInstance{eng: eng}
+	in.clients[0] = locksvc.NewClient(eng.Network(), "c1", replicas, lockLeaseTTL)
+	in.clients[1] = locksvc.NewClient(eng.Network(), "c2", replicas, lockLeaseTTL)
+	return in, nil
+}
+
+// lockInstance drives two clients competing for one exclusive lock and
+// one shared sequence counter. Steps run in the engine's single global
+// order, so the instance can track which client believes it holds the
+// lock and judge mutual exclusion exactly.
+type lockInstance struct {
+	eng        *core.Engine
+	clients    [2]*locksvc.Client
+	holds      [2]bool
+	seqSeen    map[int64]int // sequence value -> client index that drew it
+	violations []Violation
+}
+
+func (in *lockInstance) Step(ctx *StepCtx) {
+	if in.seqSeen == nil {
+		in.seqSeen = make(map[int64]int)
+	}
+	for i, cl := range in.clients {
+		if in.holds[i] {
+			if ctx.Rng.Intn(2) == 0 {
+				err := cl.Unlock("L")
+				// An unavailable release is ambiguous: the coordinator
+				// applied it locally before replication failed, so the
+				// lock may genuinely be free. Treat it as released to
+				// avoid charging the safe configuration with phantom
+				// double grants.
+				if err == nil || locksvc.IsUnavailable(err) {
+					in.holds[i] = false
+				}
+			}
+		} else if cl.Lock("L") == nil {
+			if in.holds[1-i] {
+				in.violations = append(in.violations, Violation{
+					Invariant: "mutual-exclusion",
+					Subject:   "L",
+					Detail: fmt.Sprintf("both clients hold the exclusive lock at op %d (split views grant independently)",
+						ctx.Op),
+				})
+			}
+			in.holds[i] = true
+		}
+	}
+	for i, cl := range in.clients {
+		v, err := cl.IncrementAndGet("seq", 1)
+		switch {
+		case err == nil:
+			if other, dup := in.seqSeen[v]; dup {
+				in.violations = append(in.violations, Violation{
+					Invariant: "unique-sequence",
+					Subject:   "seq",
+					Detail: fmt.Sprintf("sequence value %d issued twice (first to c%d, again to c%d at op %d)",
+						v, other+1, i+1, ctx.Op),
+				})
+			} else {
+				in.seqSeen[v] = i
+			}
+		case locksvc.IsUnavailable(err):
+			// The cluster cannot replicate: a lease-respecting client
+			// must assume its renewals are equally unreliable and stop
+			// relying on its lock, exactly like a Chubby client whose
+			// lease lapsed. Without this, the legitimate lease handoff
+			// of the SyncBackups configuration would be misread as a
+			// double grant.
+			in.holds[i] = false
+		}
+	}
+	time.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
+}
+
+func (in *lockInstance) Check() []Violation { return in.violations }
+
+func (in *lockInstance) Close() {
+	for _, cl := range in.clients {
+		cl.Close()
+	}
+}

@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+	"neat/internal/objstore"
+)
+
+// objstoreTarget fuzzes the Ceph-style replicated object store. The
+// NEAT-discovered failure (tracker #24193) lives in the gap between
+// "applied" and "acknowledged": under a partition the primary applies
+// an operation, replicates to the reachable secondaries, then reports
+// a timeout — a silent success that leaves the replicas divergent.
+type objstoreTarget struct{}
+
+func (t *objstoreTarget) Name() string { return "objstore" }
+
+func (t *objstoreTarget) Topology() Topology {
+	return Topology{Servers: ids("o", 3), Clients: []netsim.NodeID{"c1"}}
+}
+
+func (t *objstoreTarget) Deploy(eng *core.Engine) (Instance, error) {
+	cfg := objstore.Config{OSDs: t.Topology().Servers, RPCTimeout: 20 * time.Millisecond}
+	sys := objstore.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return nil, err
+	}
+	return &objInstance{
+		eng:     eng,
+		osds:    cfg.OSDs,
+		cl:      objstore.NewClient(eng.Network(), "c1", cfg),
+		touched: make(map[string]bool),
+	}, nil
+}
+
+type objInstance struct {
+	eng     *core.Engine
+	osds    []netsim.NodeID
+	cl      *objstore.Client
+	touched map[string]bool
+	silent  []Violation
+}
+
+func (in *objInstance) Step(ctx *StepCtx) {
+	obj := fmt.Sprintf("obj%d", ctx.Op%3)
+	in.touched[obj] = true
+	var err error
+	var op string
+	if ctx.Rng.Intn(5) == 0 {
+		op = "delete"
+		err = in.cl.Delete(obj)
+	} else {
+		op = "write"
+		err = in.cl.Write(obj, fmt.Sprintf("%s-op%d", obj, ctx.Op))
+	}
+	// ErrTimeout is the primary's own verdict, returned after it
+	// already applied the operation: every occurrence is a silent
+	// success (client told "failed", operation happened).
+	if objstore.IsTimeout(err) {
+		in.silent = append(in.silent, Violation{
+			Invariant: "no-silent-success",
+			Subject:   obj,
+			Detail:    fmt.Sprintf("%s of %s reported a timeout after the primary applied it (op %d)", op, obj, ctx.Op),
+		})
+	}
+	time.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+}
+
+// Check reads every touched object from every OSD. The store has no
+// repair protocol, so any disagreement that survives the heal is
+// lasting damage (Finding 3).
+func (in *objInstance) Check() []Violation {
+	out := append([]Violation(nil), in.silent...)
+	for obj := range in.touched {
+		vals := make([]string, len(in.osds))
+		for i, osd := range in.osds {
+			v, err := in.cl.ReadFrom(osd, obj)
+			switch {
+			case err == nil:
+				vals[i] = v
+			case objstore.IsNotFound(err):
+				vals[i] = "(missing)"
+			default:
+				vals[i] = "(unreachable)"
+			}
+		}
+		diverged := false
+		for _, v := range vals[1:] {
+			if v != vals[0] {
+				diverged = true
+			}
+		}
+		if diverged {
+			out = append(out, Violation{
+				Invariant: "replica-agreement",
+				Subject:   obj,
+				Detail:    fmt.Sprintf("replicas diverged after heal: %v on %v", vals, in.osds),
+			})
+		}
+	}
+	return out
+}
+
+func (in *objInstance) Close() { in.cl.Close() }

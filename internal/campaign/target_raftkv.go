@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/netsim"
+	"neat/internal/raftkv"
+)
+
+// raftTarget fuzzes the proper-Raft group. Quorum elections plus
+// commit-before-ack make it the safe configuration: campaigns are
+// expected to find zero violations here, whatever the schedule.
+type raftTarget struct{}
+
+func (t *raftTarget) Name() string { return "raftkv" }
+
+func (t *raftTarget) Topology() Topology {
+	return Topology{Servers: ids("r", 3), Clients: []netsim.NodeID{"c1", "c2"}}
+}
+
+func (t *raftTarget) Deploy(eng *core.Engine) (Instance, error) {
+	peers := t.Topology().Servers
+	cfg := raftkv.Config{
+		Peers:              peers,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeoutMin: 40 * time.Millisecond,
+		ElectionTimeoutMax: 80 * time.Millisecond,
+		RPCTimeout:         20 * time.Millisecond,
+		CommitWait:         120 * time.Millisecond,
+	}
+	sys := raftkv.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return nil, err
+	}
+	c1 := raftkv.NewClient(eng.Network(), "c1", peers)
+	c2 := raftkv.NewClient(eng.Network(), "c2", peers)
+	c1.SetTimeout(150 * time.Millisecond)
+	c2.SetTimeout(150 * time.Millisecond)
+	sys.WaitForLeaderAmong(peers, 2*time.Second)
+	return &raftInstance{
+		eng: eng, sys: sys, peers: peers,
+		keys: []*raftKeyState{
+			{cl: c1, key: "rk1", lastAcked: -1},
+			{cl: c2, key: "rk2", lastAcked: -1},
+		},
+	}, nil
+}
+
+// raftKeyState tracks one single-writer key: every attempted value in
+// order, and the index of the last acknowledged one.
+type raftKeyState struct {
+	cl        *raftkv.Client
+	key       string
+	attempts  []string
+	lastAcked int
+}
+
+type raftInstance struct {
+	eng   *core.Engine
+	sys   *raftkv.System
+	peers []netsim.NodeID
+	keys  []*raftKeyState
+}
+
+func (in *raftInstance) Step(ctx *StepCtx) {
+	for _, ks := range in.keys {
+		val := fmt.Sprintf("%s-op%d-%d", ks.key, ctx.Op, ctx.Rng.Intn(1000))
+		ks.attempts = append(ks.attempts, val)
+		if ks.cl.Put(ks.key, val) == nil {
+			ks.lastAcked = len(ks.attempts) - 1
+		}
+	}
+	time.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+}
+
+// Check verifies linearizable durability: once the healed cluster has
+// a leader, each key must converge to an attempted value at least as
+// new as its last acknowledged write. A write that was reported failed
+// may legitimately commit later (its entry survived in a log), but an
+// acknowledged write must never roll back.
+func (in *raftInstance) Check() []Violation {
+	in.sys.WaitForLeaderAmong(in.peers, 3*time.Second)
+	var out []Violation
+	for _, ks := range in.keys {
+		if len(ks.attempts) == 0 {
+			continue
+		}
+		var lastObs string
+		ok := in.eng.WaitUntil(2*time.Second, func() bool {
+			got, err := ks.cl.Get(ks.key)
+			if err != nil {
+				if raftkv.IsNotFound(err) {
+					lastObs = "(not found)"
+					return ks.lastAcked < 0
+				}
+				lastObs = fmt.Sprintf("(error: %v)", err)
+				return false
+			}
+			lastObs = fmt.Sprintf("%q", got)
+			idx := indexOf(ks.attempts, got)
+			return idx >= 0 && idx >= ks.lastAcked
+		})
+		if !ok {
+			out = append(out, Violation{
+				Invariant: "durability",
+				Subject:   ks.key,
+				Detail: fmt.Sprintf("state never converged past acknowledged write #%d; last observed %s",
+					ks.lastAcked, lastObs),
+			})
+		}
+	}
+	return out
+}
+
+func (in *raftInstance) Close() {
+	for _, ks := range in.keys {
+		ks.cl.Close()
+	}
+}
+
+func indexOf(vals []string, v string) int {
+	for i, x := range vals {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -29,6 +29,14 @@ func NewClient(n *netsim.Network, id netsim.NodeID, peers []netsim.NodeID) *Clie
 // ID returns the client's node ID.
 func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
 
+// SetTimeout overrides the per-call timeout. Fuzzing harnesses lower
+// it so rounds spent against unreachable peers stay short.
+func (c *Client) SetTimeout(d time.Duration) {
+	if d > 0 {
+		c.timeout = d
+	}
+}
+
 // Close detaches the client.
 func (c *Client) Close() { c.ep.Close() }
 

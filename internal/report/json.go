@@ -1,0 +1,59 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Campaign is the machine-readable result of one fuzzing campaign —
+// the JSON counterpart of the text tables, so campaign runs become
+// comparable artifacts in a pipeline rather than one-off logs.
+type Campaign struct {
+	Tool            string              `json:"tool"`
+	Seed            int64               `json:"seed"`
+	RoundsPerTarget int                 `json:"rounds_per_target"`
+	Targets         []CampaignTarget    `json:"targets"`
+	Violations      []CampaignViolation `json:"violations"`
+	Errors          int                 `json:"errors,omitempty"`
+}
+
+// CampaignTarget is one target's aggregate outcome.
+type CampaignTarget struct {
+	Name       string `json:"name"`
+	Rounds     int    `json:"rounds"`
+	Violations int    `json:"violations"`
+	Unique     int    `json:"unique_signatures"`
+	Errors     int    `json:"errors,omitempty"`
+}
+
+// CampaignViolation is one deduplicated invariant breach with the
+// schedule that produced it and, when shrinking ran, the minimal
+// reproducer.
+type CampaignViolation struct {
+	Target       string   `json:"target"`
+	Invariant    string   `json:"invariant"`
+	Subject      string   `json:"subject"`
+	Detail       string   `json:"detail"`
+	Signature    string   `json:"signature"`
+	Count        int      `json:"count"`
+	FirstRound   int      `json:"first_round"`
+	ScheduleSeed int64    `json:"schedule_seed"`
+	Schedule     []string `json:"schedule"`
+	Shrunk       []string `json:"shrunk,omitempty"`
+}
+
+// JSON renders the campaign report as indented JSON.
+func (c Campaign) JSON() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// WriteJSON writes the campaign report to w with a trailing newline.
+func (c Campaign) WriteJSON(w io.Writer) error {
+	b, err := c.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

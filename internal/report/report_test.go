@@ -1,6 +1,8 @@
 package report
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -66,6 +68,44 @@ func TestFindingsLists(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("findings output missing %q", want)
 		}
+	}
+}
+
+func TestCampaignJSONRoundTrips(t *testing.T) {
+	c := Campaign{
+		Tool:            "neat-fuzz",
+		Seed:            1,
+		RoundsPerTarget: 20,
+		Targets: []CampaignTarget{
+			{Name: "kvstore/lowest-id", Rounds: 20, Violations: 7, Unique: 2},
+			{Name: "raftkv", Rounds: 20},
+		},
+		Violations: []CampaignViolation{{
+			Target:       "kvstore/lowest-id",
+			Invariant:    "durability",
+			Subject:      "k1",
+			Detail:       "all acknowledged writes lost",
+			Signature:    "kvstore/lowest-id|durability|k1",
+			Count:        7,
+			ScheduleSeed: 42,
+			Schedule:     []string{"ops=8 seed=42", "complete [s1 c1]|[s2 s3 c2] at=2 heal=end"},
+			Shrunk:       []string{"ops=4 seed=42", "complete [s1 c1]|[s2 s3 c2] at=2 heal=end"},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatal("JSON report must end with a newline")
+	}
+	var back Campaign
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Violations[0].Signature != c.Violations[0].Signature ||
+		len(back.Violations[0].Shrunk) != 2 || back.Targets[1].Name != "raftkv" {
+		t.Fatalf("round trip mangled the report: %+v", back)
 	}
 }
 
