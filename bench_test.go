@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"neat/internal/campaign"
 	"neat/internal/catalog"
 	"neat/internal/core"
 	"neat/internal/election"
@@ -358,4 +359,48 @@ func failoverOnce(mode election.Mode) error {
 		return fmt.Errorf("no failover under mode %v", mode)
 	}
 	return nil
+}
+
+// --- campaign clock benchmarks (the virtual-time perf trajectory) ---
+
+// benchCampaign runs one campaign round per registered target per
+// iteration and reports throughput as rounds/sec. The two variants
+// differ only in the clock driving each round: the wall clock, which
+// pays every election timeout and workload sleep in real time, or a
+// per-round simulated clock (internal/clock), which advances straight
+// to the next timer deadline whenever the round quiesces. Recorded
+// results live in BENCH_campaign.json.
+func benchCampaign(b *testing.B, virtual bool) {
+	targets, err := campaign.Select("all")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := campaign.Run(campaign.Config{
+			Targets:     targets,
+			Rounds:      1,
+			Seed:        int64(i) + 1,
+			Shrink:      false,
+			VirtualTime: virtual,
+		})
+		if res.Errors > 0 {
+			b.Fatalf("campaign reported %d round errors", res.Errors)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(targets))/b.Elapsed().Seconds(), "rounds/sec")
+}
+
+// BenchmarkCampaignSimClock fuzzes every target on virtual time.
+func BenchmarkCampaignSimClock(b *testing.B) { benchCampaign(b, true) }
+
+// BenchmarkCampaignRealClock is the wall-clock baseline. Skipped in
+// -short mode: a single iteration takes tens of seconds, all of it
+// spent sleeping.
+func BenchmarkCampaignRealClock(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-clock campaign baseline is wall-clock-bound; skipped in short mode")
+	}
+	benchCampaign(b, false)
 }

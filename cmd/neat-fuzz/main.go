@@ -26,11 +26,16 @@
 // schedule is greedily shrunk to a minimal reproducer, and the whole
 // campaign is emitted as a JSON report for pipelines.
 //
+// Rounds run on a per-round simulated clock by default (see
+// internal/clock): timing waits advance virtual time instead of
+// sleeping, so campaigns run at CPU speed and identical seeds yield
+// identical outcomes. Pass -realtime to fuzz against the wall clock.
+//
 // Usage:
 //
 //	neat-fuzz [-rounds N] [-seed S] [-target t1,t2|all] [-mode M]
 //	          [-shrink] [-json path|-] [-workers W] [-list]
-//	          [-expect-none]
+//	          [-expect-none] [-realtime]
 package main
 
 import (
@@ -53,6 +58,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent rounds (0 = auto)")
 	list := flag.Bool("list", false, "list registered targets and exit")
 	expectNone := flag.Bool("expect-none", false, "exit nonzero if any violation is found")
+	realtime := flag.Bool("realtime", false,
+		"run rounds on the real wall clock instead of the default per-round simulated clock (slower, but timing matches a live deployment)")
 	flag.Parse()
 
 	if *list {
@@ -76,12 +83,13 @@ func main() {
 	}
 
 	res := campaign.Run(campaign.Config{
-		Targets: targets,
-		Rounds:  *rounds,
-		Seed:    *seed,
-		Workers: *workers,
-		Shrink:  *shrink,
-		Log:     os.Stderr,
+		Targets:     targets,
+		Rounds:      *rounds,
+		Seed:        *seed,
+		Workers:     *workers,
+		Shrink:      *shrink,
+		VirtualTime: !*realtime,
+		Log:         os.Stderr,
 	})
 
 	// With the JSON report on stdout, the human summary moves to

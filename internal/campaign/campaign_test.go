@@ -210,7 +210,7 @@ func TestShrink(t *testing.T) {
 		},
 	}
 	sig := "fake|fake-inv|s1-s2"
-	if !reproduces(tgt, sched, sig, 1) {
+	if !reproduces(tgt, sched, sig, 1, false) {
 		t.Fatal("original schedule does not fail; test setup broken")
 	}
 	shrunk, confirmed := Shrink(tgt, sched, sig, 1)
@@ -226,7 +226,7 @@ func TestShrink(t *testing.T) {
 	if shrunk.Ops >= sched.Ops {
 		t.Fatalf("ops not reduced: %d", shrunk.Ops)
 	}
-	if !reproduces(tgt, shrunk, sig, 1) {
+	if !reproduces(tgt, shrunk, sig, 1, false) {
 		t.Fatal("shrunk schedule no longer fails")
 	}
 }

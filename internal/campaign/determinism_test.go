@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// determinismTargets is the mix the reproducibility tests fuzz: three
+// flawed configurations covering distinct failure classes (kvstore
+// consolidation data loss, locksvc split views, mqueue double
+// dequeue) plus one safe configuration that must stay clean.
+func determinismTargets(t *testing.T) []Target {
+	t.Helper()
+	targets, err := Select("kvstore/lowest-id,locksvc,mqueue,locksvc/sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return targets
+}
+
+// runVirtualCampaign executes one virtual-time campaign and returns
+// its full JSON report — signatures, first rounds, counts, schedules,
+// and shrunk reproducers, canonically serialized.
+func runVirtualCampaign(t *testing.T, workers int) []byte {
+	t.Helper()
+	res := Run(Config{
+		Targets:     determinismTargets(t),
+		Rounds:      6,
+		Seed:        42,
+		Workers:     workers,
+		Shrink:      true,
+		VirtualTime: true,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("campaign reported %d round errors", res.Errors)
+	}
+	var buf bytes.Buffer
+	if err := res.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignDeterministicUnderSimClock is the virtual clock's core
+// determinism promise: two campaigns with the same seed produce
+// byte-identical findings — signatures, first rounds, counts, fault
+// schedules, and greedily shrunk reproducers — because each round runs
+// on its own simulated clock whose timer sequence depends only on the
+// seed, not on host load or scheduling luck.
+func TestCampaignDeterministicUnderSimClock(t *testing.T) {
+	var a, b []byte
+	for attempt := 0; ; attempt++ {
+		a = runVirtualCampaign(t, detWorkersDefault)
+		b = runVirtualCampaign(t, detWorkersDefault)
+		if bytes.Equal(a, b) {
+			break
+		}
+		if attempt >= detRetries {
+			t.Fatalf("same-seed campaigns diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+		}
+		t.Logf("attempt %d diverged; retrying with a fresh pair (allowed under -race)", attempt)
+	}
+	if !bytes.Contains(a, []byte(`"signature"`)) {
+		t.Fatal("campaign found no violations; the determinism check compared empty reports")
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkerCounts: the worker pool only
+// schedules rounds; it must not influence their outcomes. A campaign
+// run one round at a time must match a heavily parallel one.
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	for attempt := 0; ; attempt++ {
+		serial := runVirtualCampaign(t, detWorkersSerial)
+		parallel := runVirtualCampaign(t, detWorkersParallel)
+		if bytes.Equal(serial, parallel) {
+			return
+		}
+		if attempt >= detRetries {
+			t.Fatalf("worker count changed campaign outcomes:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+		}
+		t.Logf("attempt %d diverged; retrying with a fresh pair (allowed under -race)", attempt)
+	}
+}
+
+// TestVirtualRoundReplaysExactly: a single schedule replayed
+// virtually must reproduce the same violation signatures every time —
+// the property the shrinker depends on to confirm minimal reproducers.
+func TestVirtualRoundReplaysExactly(t *testing.T) {
+	targets, err := Select("kvstore/lowest-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	// Find a failing schedule first.
+	var failing *Schedule
+	for round := 0; round < 12 && failing == nil; round++ {
+		sched := generateFor(tgt, 42, round)
+		if out := RunScheduleVirtual(tgt, sched); len(out.Violations) > 0 {
+			failing = &sched
+		}
+	}
+	if failing == nil {
+		t.Skip("no failing schedule in 12 rounds; nothing to replay")
+	}
+	first := RunScheduleVirtual(tgt, *failing)
+	for i := 0; i < 3; i++ {
+		again := RunScheduleVirtual(tgt, *failing)
+		if got, want := sigsOf(again.Violations), sigsOf(first.Violations); got != want {
+			t.Fatalf("replay %d produced %q, first run produced %q", i, got, want)
+		}
+	}
+}
+
+// TestVirtualTimeIsFast pins the perf_opt itself: a schedule whose
+// wall-clock execution spends over a second in timing waits must
+// complete far faster than real time under the simulated clock. The
+// bound is loose (10x slack against CI noise); the recorded benchmarks
+// in BENCH_campaign.json track the real margin, which is >100x.
+func TestVirtualTimeIsFast(t *testing.T) {
+	targets, err := Select("kvstore/lowest-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	sched := generateFor(tgt, 7, 0)
+	start := time.Now()
+	out := RunScheduleVirtual(tgt, sched)
+	took := time.Since(start)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	// The check phase alone sleeps 250ms of virtual time; the workload
+	// adds more. Real-clock execution of this schedule takes >1s.
+	if took > 30*time.Second {
+		t.Fatalf("virtual round took %v of wall time", took)
+	}
+	t.Logf("virtual round completed in %v wall time", took)
+}
+
+func generateFor(tgt Target, base int64, round int) Schedule {
+	seed := scheduleSeed(base, tgt.Name(), round)
+	gen := rand.New(rand.NewSource(seed))
+	sched := Generate(gen, tgt.Topology())
+	sched.Seed = seed
+	return sched
+}
+
+func sigsOf(vs []Violation) string {
+	out := ""
+	for _, v := range vs {
+		out += v.Signature() + ";"
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+//go:build !race
+
+package campaign
+
+// Worker counts for the determinism tests in regular builds: the
+// default campaign parallelism plus a deliberately oversubscribed
+// variant, to prove outcomes are independent of scheduling pressure.
+const (
+	detWorkersDefault  = 0 // campaign default
+	detWorkersSerial   = 1
+	detWorkersParallel = 8
+	detRetries         = 0 // plain builds must be byte-deterministic on the first pair
+)

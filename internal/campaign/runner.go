@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"neat/internal/clock"
 	"neat/internal/core"
 	"neat/internal/netsim"
 )
@@ -26,10 +27,32 @@ type RoundOutcome struct {
 // RunSchedule deploys a fresh instance of the target on its own
 // engine, executes the schedule's workload rounds with faults injected
 // and healed at their scheduled indices, then heals everything,
-// restarts crashed nodes, and checks the target's invariants.
+// restarts crashed nodes, and checks the target's invariants. It runs
+// on the real wall clock; campaigns normally use RunScheduleVirtual.
 func RunSchedule(t Target, sched Schedule) RoundOutcome {
+	return runSchedule(t, sched, false)
+}
+
+// RunScheduleVirtual runs the schedule against a fresh simulated clock
+// owned by this round alone: timing waits (election timeouts,
+// heartbeat periods, workload pacing) complete at CPU speed, and the
+// round's timer sequence depends only on the schedule — not on how
+// loaded the host is — so identical seeds yield identical outcomes.
+// Each round getting its own clock keeps rounds independent and lets
+// them run concurrently.
+func RunScheduleVirtual(t Target, sched Schedule) RoundOutcome {
+	return runSchedule(t, sched, true)
+}
+
+func runSchedule(t Target, sched Schedule, virtual bool) RoundOutcome {
 	out := RoundOutcome{Target: t.Name(), Schedule: sched}
-	eng := core.NewEngine(core.Options{})
+	var opts core.Options
+	if virtual {
+		sim := clock.NewSim()
+		defer sim.Stop()
+		opts.Net.Clock = sim
+	}
+	eng := core.NewEngine(opts)
 	defer eng.Shutdown()
 	topo := t.Topology()
 	for _, id := range topo.Servers {
@@ -47,6 +70,14 @@ func RunSchedule(t Target, sched Schedule) RoundOutcome {
 		return out
 	}
 	defer inst.Close()
+	// The round's driving goroutine holds a scoped busy token for the
+	// workload and check phases: virtual time cannot overtake it while
+	// it computes between operations, yet the token is surrendered
+	// whenever it blocks in a clock wait (a workload sleep, an RPC
+	// timeout). Released before the deferred teardown so that Stop-time
+	// joins can still let time advance.
+	clock.AcquireScoped(eng.Clock())
+	defer clock.ReleaseScoped(eng.Clock())
 
 	// The workload rng is derived from the schedule seed so a replay
 	// of the schedule replays the workload too.
@@ -111,7 +142,7 @@ func RunSchedule(t Target, sched Schedule) RoundOutcome {
 			}
 			activeCount++
 		}
-		inst.Step(&StepCtx{Rng: rng, Op: op, ActiveFaults: activeCount})
+		inst.Step(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: op, ActiveFaults: activeCount})
 	}
 	_ = eng.HealAll()
 	for v, n := range downRef {
@@ -151,10 +182,18 @@ type Config struct {
 	// Seed derives every schedule seed; equal seeds regenerate equal
 	// schedules.
 	Seed int64
+	// VirtualTime runs every round (and every shrink re-execution) on
+	// its own fresh simulated clock, so timing waits complete at CPU
+	// speed instead of wall-clock speed and identical seeds yield
+	// identical outcomes. cmd/neat-fuzz enables this by default.
+	VirtualTime bool
 	// Workers bounds concurrent rounds; 0 means a default based on
-	// GOMAXPROCS (at least 2 — rounds spend most of their time in
-	// timing sleeps, so modest oversubscription helps wall-clock even
-	// on one CPU).
+	// GOMAXPROCS. Real-clock rounds spend most of their time in timing
+	// sleeps, so modest oversubscription helps wall-clock even on one
+	// CPU. Virtual-time rounds are mostly CPU-bound; their default is
+	// GOMAXPROCS*2 clamped to [8, 16] — the extra workers cover the
+	// brief settle waits each round's clock takes between advances.
+	// Outcomes are identical at any worker count.
 	Workers int
 	// Shrink greedily minimizes one failing schedule per unique
 	// violation signature.
@@ -195,13 +234,17 @@ func Run(cfg Config) *Result {
 		cfg.Rounds = 10
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0) * 2
-		if cfg.Workers < 2 {
-			cfg.Workers = 2
+		// Virtual-time rounds are mostly CPU-bound with brief settle
+		// waits between clock advances, so they take a higher floor and
+		// ceiling; real-clock rounds sleep most of the time, so a small
+		// pool suffices either way. Rounds stay deterministic regardless
+		// of the worker count: each runs on its own engine, clock, and
+		// seed-derived rng.
+		lo, hi := 2, 8
+		if cfg.VirtualTime {
+			lo, hi = 8, 16
 		}
-		if cfg.Workers > 8 {
-			cfg.Workers = 8
-		}
+		cfg.Workers = min(max(runtime.GOMAXPROCS(0)*2, lo), hi)
 	}
 	res := &Result{
 		Seed:   cfg.Seed,
@@ -230,7 +273,7 @@ func Run(cfg Config) *Result {
 				gen := rand.New(rand.NewSource(seed))
 				sched := Generate(gen, j.target.Topology())
 				sched.Seed = seed
-				out := RunSchedule(j.target, sched)
+				out := runSchedule(j.target, sched, cfg.VirtualTime)
 				out.Round = j.round
 				mu.Lock()
 				st := res.Stats[out.Target]
@@ -303,7 +346,7 @@ func (r *Result) shrinkAll(cfg Config) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			shrunk, confirmed := Shrink(t, f.Schedule, f.Violation.Signature(), cfg.ShrinkAttempts)
+			shrunk, confirmed := shrink(t, f.Schedule, f.Violation.Signature(), cfg.ShrinkAttempts, cfg.VirtualTime)
 			// Only a schedule that actually re-reproduced the signature
 			// is reported as a minimal reproducer.
 			if confirmed {

@@ -13,6 +13,10 @@ package campaign
 // never failed again (a timing-flaky finding), so the result must not
 // be presented as a confirmed minimal reproducer.
 func Shrink(t Target, sched Schedule, signature string, attempts int) (Schedule, bool) {
+	return shrink(t, sched, signature, attempts, false)
+}
+
+func shrink(t Target, sched Schedule, signature string, attempts int, virtual bool) (Schedule, bool) {
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -25,7 +29,7 @@ func Shrink(t Target, sched Schedule, signature string, attempts int) (Schedule,
 		for i := 0; i < len(cur.Faults) && len(cur.Faults) > 1; i++ {
 			cand := cur
 			cand.Faults = append(append([]Fault{}, cur.Faults[:i]...), cur.Faults[i+1:]...)
-			if reproduces(t, cand, signature, attempts) {
+			if reproduces(t, cand, signature, attempts, virtual) {
 				cur = cand
 				confirmed = true
 				improved = true
@@ -46,7 +50,7 @@ func Shrink(t Target, sched Schedule, signature string, attempts int) (Schedule,
 			if len(cand.Faults) == 0 {
 				continue
 			}
-			if reproduces(t, cand, signature, attempts) {
+			if reproduces(t, cand, signature, attempts, virtual) {
 				cur = cand
 				confirmed = true
 				improved = true
@@ -57,7 +61,7 @@ func Shrink(t Target, sched Schedule, signature string, attempts int) (Schedule,
 	if !confirmed {
 		// No reduction ever failed; check whether at least the
 		// original still does.
-		confirmed = reproduces(t, cur, signature, attempts)
+		confirmed = reproduces(t, cur, signature, attempts, virtual)
 	}
 	return cur, confirmed
 }
@@ -76,9 +80,9 @@ func truncate(s Schedule, ops int) Schedule {
 	return out
 }
 
-func reproduces(t Target, sched Schedule, signature string, attempts int) bool {
+func reproduces(t Target, sched Schedule, signature string, attempts int, virtual bool) bool {
 	for i := 0; i < attempts; i++ {
-		out := RunSchedule(t, sched)
+		out := runSchedule(t, sched, virtual)
 		for _, v := range out.Violations {
 			if v.Signature() == signature {
 				return true

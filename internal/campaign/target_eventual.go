@@ -89,7 +89,7 @@ func (in *eventualInstance) Step(ctx *StepCtx) {
 			w.ackFaulted = ctx.ActiveFaults > 0
 		}
 	}
-	time.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
 func (in *eventualInstance) Check() []Violation {

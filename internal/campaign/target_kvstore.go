@@ -71,13 +71,13 @@ func (in *kvInstance) Step(ctx *StepCtx) {
 	if in.c2.Put("k2", v2) == nil {
 		in.acked2 = append(in.acked2, v2)
 	}
-	time.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
 func (in *kvInstance) Check() []Violation {
 	// Let re-elections and post-heal consolidation settle before
 	// judging, as the seed fuzzer did.
-	time.Sleep(250 * time.Millisecond)
+	in.eng.Clock().Sleep(250 * time.Millisecond)
 	var out []Violation
 	out = append(out, in.checkKey("k1", in.acked1)...)
 	out = append(out, in.checkKey("k2", in.acked2)...)

@@ -115,7 +115,7 @@ func (in *lockInstance) Step(ctx *StepCtx) {
 			in.holds[i] = false
 		}
 	}
-	time.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
+	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
 }
 
 func (in *lockInstance) Check() []Violation { return in.violations }

@@ -91,13 +91,13 @@ func (in *mqueueInstance) Step(ctx *StepCtx) {
 	case mqueue.IsUnavailable(err):
 		in.ambiguousRecvs++
 	}
-	time.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
+	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
 }
 
 func (in *mqueueInstance) Check() []Violation {
 	// Let sessions re-establish and roles settle, then drain what is
 	// left through whichever broker now claims mastership.
-	time.Sleep(150 * time.Millisecond)
+	in.eng.Clock().Sleep(150 * time.Millisecond)
 	drained := in.drain(in.clients[1])
 	drained = in.drain(in.clients[0]) || drained
 
@@ -157,10 +157,10 @@ func (in *mqueueInstance) drain(cl *mqueue.Client) bool {
 		case mqueue.IsUnavailable(err):
 			in.ambiguousRecvs++
 			fails++
-			time.Sleep(20 * time.Millisecond)
+			in.eng.Clock().Sleep(20 * time.Millisecond)
 		default:
 			fails++
-			time.Sleep(20 * time.Millisecond)
+			in.eng.Clock().Sleep(20 * time.Millisecond)
 		}
 	}
 	return false

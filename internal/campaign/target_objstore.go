@@ -66,7 +66,7 @@ func (in *objInstance) Step(ctx *StepCtx) {
 			Detail:    fmt.Sprintf("%s of %s reported a timeout after the primary applied it (op %d)", op, obj, ctx.Op),
 		})
 	}
-	time.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
 // Check reads every touched object from every OSD. The store has no

@@ -72,7 +72,7 @@ func (in *raftInstance) Step(ctx *StepCtx) {
 			ks.lastAcked = len(ks.attempts) - 1
 		}
 	}
-	time.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
 // Check verifies linearizable durability: once the healed cluster has

@@ -1,0 +1,255 @@
+// Package clock abstracts time for the simulated systems so that a
+// whole fault-injection round can run against either the real wall
+// clock or a deterministic virtual clock.
+//
+// Campaign rounds spend almost all of their wall-clock time inside
+// timing waits — election timeouts, heartbeat tickers, workload pacing
+// sleeps. None of that waiting does work: the systems are in-memory and
+// every message is delivered in microseconds. The Sim clock removes the
+// waiting entirely, in the style of FoundationDB-style simulation
+// testing: timers live in a heap of virtual deadlines, and virtual time
+// jumps straight to the next deadline whenever the process has
+// quiesced, so a 250 ms election wait completes in microseconds of CPU
+// time. See sim.go for the quiescence rule.
+package clock
+
+import "time"
+
+// Clock is the time source every simulated component draws from. The
+// method set mirrors package time so call sites translate one-to-one
+// (time.Sleep -> clk.Sleep, time.NewTicker -> clk.NewTicker, ...).
+type Clock interface {
+	// Now returns the current (real or virtual) time.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d of this clock's time.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// AfterFunc runs fn after d. The returned timer's C() is nil, as
+	// with time.AfterFunc. Real runs fn on its own goroutine; Sim runs
+	// same-instant callbacks serially on its advancer, in creation
+	// order, so fn must be short and must not itself block on the
+	// clock: virtual time is frozen while a callback runs.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// NewTicker returns a ticker with period d (which must be > 0).
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer is a one-shot timer handle.
+type Timer interface {
+	// C is the delivery channel (nil for AfterFunc timers).
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Ticker is a repeating timer handle.
+type Ticker interface {
+	// C is the delivery channel. Ticks are dropped, never queued, when
+	// the receiver falls behind — time.Ticker semantics.
+	C() <-chan time.Time
+	// Stop cancels the ticker.
+	Stop()
+}
+
+// Busy is implemented by clocks that track outstanding work. A virtual
+// clock must not advance while a handed-off unit of work (a queued
+// packet, an unconsumed RPC reply) is still pending; Acquire marks such
+// a unit in flight and Release retires it. The Real clock does not
+// implement Busy — use the package-level helpers, which no-op for it.
+//
+// Two token flavours exist. Transfer tokens (Acquire/Release) are
+// unbound: one goroutine may acquire and another release, which is how
+// a handed-off message stays accounted across the handoff. Scoped
+// tokens (AcquireScoped/ReleaseScoped) bind to the calling goroutine
+// and are surrendered automatically while that goroutine blocks inside
+// one of the clock's own waits (Sleep, Idle), then restored on wake —
+// so a request handler can hold a scoped token for its whole execution,
+// keeping virtual time frozen while it computes, yet still block on a
+// virtual timeout without deadlocking the clock.
+type Busy interface {
+	Acquire()
+	Release()
+	AcquireScoped()
+	ReleaseScoped()
+	BecomeScoped()
+	Idle(fn func())
+}
+
+// Acquire marks a unit of work in flight on c, if c tracks work.
+func Acquire(c Clock) {
+	if b, ok := c.(Busy); ok {
+		b.Acquire()
+	}
+}
+
+// Release retires a unit of work on c, if c tracks work.
+func Release(c Clock) {
+	if b, ok := c.(Busy); ok {
+		b.Release()
+	}
+}
+
+// AcquireScoped marks the calling goroutine as doing work on c until
+// ReleaseScoped, if c tracks work. The token is surrendered while the
+// goroutine blocks in c's own waits.
+func AcquireScoped(c Clock) {
+	if b, ok := c.(Busy); ok {
+		b.AcquireScoped()
+	}
+}
+
+// ReleaseScoped retires one of the calling goroutine's scoped tokens.
+func ReleaseScoped(c Clock) {
+	if b, ok := c.(Busy); ok {
+		b.ReleaseScoped()
+	}
+}
+
+// BecomeScoped rebinds one previously Acquire'd transfer token to the
+// calling goroutine as a scoped token (a dispatcher claiming a queued
+// message it is about to process). The busy count is unchanged, so
+// there is no instant at which the work is unaccounted.
+func BecomeScoped(c Clock) {
+	if b, ok := c.(Busy); ok {
+		b.BecomeScoped()
+	}
+}
+
+// Idle runs fn with the calling goroutine's scoped tokens surrendered,
+// restoring them before returning. Wrap waits on anything the clock
+// cannot see — a WaitGroup join of RPC fan-out goroutines, a select on
+// a timer — so that virtual time can advance while fn blocks. For
+// clocks without work tracking fn just runs.
+func Idle(c Clock, fn func()) {
+	if b, ok := c.(Busy); ok {
+		b.Idle(fn)
+		return
+	}
+	fn()
+}
+
+// Gid returns an opaque identity for the calling goroutine, for use
+// with AcquireScopedAs: a receiver loop publishes its identity once,
+// and message producers then bind in-flight-work tokens to it.
+func Gid() uint64 { return gid() }
+
+// AcquireScopedAs binds one busy token to goroutine g's scope (rather
+// than the caller's): the token freezes virtual time like any scoped
+// token, is surrendered while g blocks in a clock wait, and is retired
+// when g calls ReleaseScoped. This is how the transport accounts
+// queued requests: the sender binds a token to the receiving
+// dispatcher, so queued work freezes time while the dispatcher can
+// run, yet never deadlocks the clock when the dispatcher parks inside
+// a handler waiting for a virtual timeout.
+func AcquireScopedAs(c Clock, g uint64) {
+	if s, ok := c.(*Sim); ok {
+		s.acquireScopedAs(g)
+	}
+}
+
+// ReleaseScopedAs revokes one token bound to g's scope (the sender's
+// undo when its enqueue fails).
+func ReleaseScopedAs(c Clock, g uint64) {
+	if s, ok := c.(*Sim); ok {
+		s.releaseScopedAs(g)
+	}
+}
+
+// Go runs fn on a new goroutine accounted as in-flight work on c from
+// the instant of the spawn: the spawner acquires a transfer token
+// before the goroutine exists, the goroutine rebinds it as its scoped
+// token, and retires it on return. Use for every goroutine that does
+// system work (RPC fan-out workers, background snapshot pulls) so a
+// virtual clock never advances across the gap between a spawn and the
+// goroutine's first observable action — the gap that would otherwise
+// let freshly spawned work land nondeterministically before or after
+// the next timer fires. For clocks without work tracking this is a
+// plain go statement.
+func Go(c Clock, fn func()) {
+	b, ok := c.(Busy)
+	if !ok {
+		go fn()
+		return
+	}
+	b.Acquire()
+	go func() {
+		b.BecomeScoped()
+		defer b.ReleaseScoped()
+		fn()
+	}()
+}
+
+// Real is the wall clock: every method is a thin wrapper over package
+// time. It is the zero-value default everywhere a Clock is optional.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, fn func()) Timer { return realTimer{time.AfterFunc(d, fn)} }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+// TickLoop runs body once per tick of tk until stop closes — the
+// standard service-loop shape (heartbeat senders, lease sweepers, role
+// pollers) expressed through the clock so a virtual implementation can
+// account for tick consumption precisely. On a Sim clock each
+// delivered tick hands the consumer a busy token for the duration of
+// body, so virtual time cannot advance between a tick firing and its
+// handler completing (or parking in a clock wait of its own); ticks
+// that fire while the consumer is busy are buffered or dropped exactly
+// like time.Ticker's. The caller keeps ownership of tk and should
+// still Stop it when the loop exits.
+func TickLoop(c Clock, tk Ticker, stop <-chan struct{}, body func()) {
+	if s, ok := c.(*Sim); ok {
+		s.tickLoop(tk, stop, body)
+		return
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tk.C():
+			body()
+		}
+	}
+}
+
+// NewWakeTimer returns a one-shot timer whose fire hands the receiving
+// goroutine a busy token (on clocks that track work): virtual time
+// cannot run further ahead between the fire and the receiver resuming.
+// The receiver MUST call Release(c) after receiving from C(); an
+// unconsumed fire's token is reclaimed by Stop, which callers should
+// always defer. The transport layer uses this for RPC timeouts so that
+// a caller waking from a timeout observes virtual time at its
+// deadline, not at whatever later instant the scheduler resumed it.
+func NewWakeTimer(c Clock, d time.Duration) Timer {
+	if s, ok := c.(*Sim); ok {
+		return s.newWakeTimer(d)
+	}
+	return c.NewTimer(d)
+}

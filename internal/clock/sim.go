@@ -1,0 +1,766 @@
+package clock
+
+import (
+	"container/heap"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sim is a deterministic virtual clock. Virtual time never flows on its
+// own: it jumps from one timer deadline to the next, and only when the
+// process has quiesced, so timed waits cost CPU time instead of wall
+// time.
+//
+// # Quiescence rule
+//
+// A background advancer goroutine moves time forward when, and only
+// when, both of these hold:
+//
+//  1. The busy count is zero. Busy counts tracked in-flight work:
+//     transfer tokens (Acquire/Release) for handed-off messages such
+//     as RPC replies, scoped tokens (AcquireScoped and friends) bound
+//     to working goroutines — request handlers, tick handlers, fan-out
+//     workers spawned through clock.Go, queued requests bound to their
+//     dispatcher — and wake grants attached to firing sleeps, wake
+//     timers, and AfterFunc callbacks. Scoped tokens are surrendered
+//     while their goroutine parks inside a clock wait (Sleep, Idle)
+//     and restored on resume, so a handler blocked on its own virtual
+//     timeout never freezes the clock it is waiting on.
+//  2. An activity counter — bumped by every clock interaction from any
+//     goroutine — stays unchanged across a settle window of scheduler
+//     yields. This catches the few stretches the tokens cannot see: a
+//     goroutine between a channel wake-up and its first clock call, a
+//     garbage-collection stall.
+//
+// When both hold, the advancer pops the single earliest timer
+// (creation order breaking deadline ties), sets virtual now to its
+// deadline, and fires it. Firing one timer per advance serializes
+// same-instant work into deterministic supersteps: each fired timer's
+// handler chain runs to quiescence before the next timer of the same
+// virtual instant fires. Goroutines blocked in Sleep or in a timer or
+// ticker wait wake, run, and the cycle repeats; a goroutine blocked on
+// something a timer will eventually resolve (an RPC timeout for a
+// partitioned peer, an election deadline) never waits more than a
+// settle window of real time.
+//
+// The settle window makes the rule robust rather than strict: a
+// goroutine that is runnable but does no clock-visible work for longer
+// than the window can be overtaken by virtual time, which manifests as
+// a spurious timeout — indistinguishable from a slow host, which the
+// systems under test must tolerate anyway.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers timerHeap
+	busy   int
+	// scoped counts tokens bound to each goroutine; parkDepth marks
+	// goroutines currently blocked inside one of the clock's own waits.
+	// A goroutine's scoped tokens count toward busy only while it is
+	// not parked: tokens arriving for a parked goroutine (queued
+	// requests binding to a handler that is off waiting on its own
+	// virtual timeout) must not freeze the clock the goroutine is
+	// waiting on.
+	scoped    map[uint64]int
+	parkDepth map[uint64]int
+	stopped   bool
+
+	activity atomic.Uint64
+	wakeCh   chan struct{}
+	doneCh   chan struct{}
+
+	// journal, when non-nil, records every fired timer (diagnostic).
+	journal []string
+	Journal bool
+}
+
+// simEpoch is the fixed virtual start time: runs of the same seed see
+// identical timestamps, which keeps timestamp-based tie-breaking (LWW
+// consolidation, lease expiries) reproducible.
+var simEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// The settle-window constants (settleYields, settlePasses, settleNap)
+// live in sim_settle.go and sim_settle_race.go: the race detector
+// slows every memory access by an order of magnitude, so race-enabled
+// builds need a wider window to observe the same quiescence.
+
+// stopFlush is how far Stop jumps virtual now forward, so that
+// deadline-polling loops (commit waits, lease checks) still in flight
+// observe an expired deadline and unwind promptly.
+const stopFlush = 1000 * time.Hour
+
+// NewSim creates a virtual clock starting at a fixed epoch and launches
+// its advancer. Call Stop when the run is over to fire every pending
+// timer and release the advancer goroutine.
+func NewSim() *Sim {
+	s := &Sim{
+		now:       simEpoch,
+		scoped:    make(map[uint64]int),
+		parkDepth: make(map[uint64]int),
+		wakeCh:    make(chan struct{}, 1),
+		doneCh:    make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.activity.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock. The calling goroutine's scoped tokens are
+// surrendered for the duration, and the wake-up carries a busy token
+// that the sleeper retires once it is running again, so virtual time
+// cannot skip ahead between a sleep firing and the sleeper resuming.
+func (s *Sim) Sleep(d time.Duration) {
+	s.activity.Add(1)
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	t := &simTimer{s: s, done: make(chan struct{})}
+	if !s.schedule(t, d) {
+		return // clock stopped: waits complete immediately
+	}
+	g := gid()
+	s.park(g)
+	<-t.done
+	// Restore our scoped tokens before retiring the wake grant, so
+	// there is no instant where the resuming sleeper is unaccounted.
+	s.unpark(g)
+	s.Release()
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time { return s.NewTimer(d).C() }
+
+// NewTimer implements Clock.
+func (s *Sim) NewTimer(d time.Duration) Timer {
+	s.activity.Add(1)
+	t := &simTimer{s: s, ch: make(chan time.Time, 1)}
+	if !s.schedule(t, d) {
+		t.ch <- s.Now() // clock stopped: fire immediately
+	}
+	return t
+}
+
+// AfterFunc implements Clock. fn runs with a busy token held, so
+// everything it hands off (a delivered packet, a queued request) is
+// registered before virtual time can move again. fn must not block on
+// the clock.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	s.activity.Add(1)
+	t := &simTimer{s: s, fn: fn}
+	if !s.schedule(t, d) {
+		go fn() // clock stopped: run immediately
+	}
+	return t
+}
+
+// NewTicker implements Clock.
+func (s *Sim) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	s.activity.Add(1)
+	t := &simTimer{s: s, ch: make(chan time.Time, 1), period: d}
+	s.schedule(t, d) // on a stopped clock the ticker simply never ticks
+	return simTicker{t}
+}
+
+// Acquire implements Busy.
+func (s *Sim) Acquire() {
+	s.activity.Add(1)
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+}
+
+// Release implements Busy.
+func (s *Sim) Release() {
+	s.activity.Add(1)
+	s.mu.Lock()
+	s.busy--
+	if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+		s.signalLocked()
+	}
+	s.mu.Unlock()
+}
+
+// AcquireScoped implements Busy: one busy token bound to the calling
+// goroutine, surrendered while it blocks in Sleep or Idle.
+func (s *Sim) AcquireScoped() {
+	s.acquireScopedAs(gid())
+}
+
+// ReleaseScoped implements Busy.
+func (s *Sim) ReleaseScoped() {
+	g := gid()
+	s.activity.Add(1)
+	s.mu.Lock()
+	if s.scoped[g] > 0 {
+		s.scoped[g]--
+		if s.scoped[g] == 0 {
+			delete(s.scoped, g)
+		}
+		if s.parkDepth[g] == 0 {
+			s.busy--
+			if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+				s.signalLocked()
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// BecomeScoped implements Busy: rebinds one transfer token to the
+// calling goroutine without the busy count ever dipping.
+func (s *Sim) BecomeScoped() {
+	g := gid()
+	s.activity.Add(1)
+	s.mu.Lock()
+	s.scoped[g]++
+	if s.parkDepth[g] > 0 {
+		// Rebinding into a parked scope: the transfer token stops
+		// counting until the goroutine resumes.
+		s.busy--
+		if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+			s.signalLocked()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// acquireScopedAs binds one busy token to goroutine g's scope. Tokens
+// bound to a parked goroutine do not count toward busy until it
+// resumes.
+func (s *Sim) acquireScopedAs(g uint64) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	s.scoped[g]++
+	if s.parkDepth[g] == 0 {
+		s.busy++
+	}
+	s.mu.Unlock()
+}
+
+// releaseScopedAs revokes one token from goroutine g's scope.
+func (s *Sim) releaseScopedAs(g uint64) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	if s.scoped[g] > 0 {
+		s.scoped[g]--
+		if s.scoped[g] == 0 {
+			delete(s.scoped, g)
+		}
+		if s.parkDepth[g] == 0 {
+			s.busy--
+			if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+				s.signalLocked()
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Idle implements Busy: fn runs with the goroutine's scoped tokens
+// surrendered so virtual time can advance while fn blocks on something
+// the clock cannot see (a WaitGroup join, a select on a timer).
+func (s *Sim) Idle(fn func()) {
+	g := gid()
+	s.park(g)
+	fn()
+	s.unpark(g)
+}
+
+// park marks goroutine g as blocked in a clock wait: its scoped tokens
+// (current and any bound to it while parked) stop counting toward
+// busy until unpark.
+func (s *Sim) park(g uint64) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	s.parkDepth[g]++
+	if s.parkDepth[g] == 1 && s.scoped[g] > 0 {
+		s.busy -= s.scoped[g]
+	}
+	if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+		s.signalLocked()
+	}
+	s.mu.Unlock()
+}
+
+// unpark reverses park, restoring g's scoped tokens to the busy count.
+func (s *Sim) unpark(g uint64) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	s.parkDepth[g]--
+	if s.parkDepth[g] == 0 {
+		delete(s.parkDepth, g)
+		s.busy += s.scoped[g]
+	}
+	s.mu.Unlock()
+}
+
+// Stop shuts the clock down: virtual now jumps far forward, every
+// pending timer fires at once (waking any goroutine still blocked in a
+// clock wait so teardown cannot hang), and the advancer exits. Timed
+// waits issued after Stop complete immediately.
+func (s *Sim) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.now = s.now.Add(stopFlush)
+	due := make([]*simTimer, 0, len(s.timers))
+	for len(s.timers) > 0 {
+		t := heap.Pop(&s.timers).(*simTimer)
+		t.period = 0
+		due = append(due, t)
+	}
+	now := s.now
+	s.mu.Unlock()
+	close(s.doneCh)
+	for _, t := range due {
+		switch {
+		case t.done != nil:
+			close(t.done)
+		case t.fn != nil:
+			go t.fn()
+		default:
+			select {
+			case t.ch <- now:
+			default:
+			}
+		}
+	}
+}
+
+// Elapsed returns how much virtual time has passed since the epoch
+// (excluding the Stop flush). It is a test and reporting helper.
+func (s *Sim) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.now.Sub(simEpoch)
+	if s.stopped {
+		d -= stopFlush
+	}
+	return d
+}
+
+// schedule arms t after d of virtual time, reporting false if the
+// clock is already stopped.
+func (s *Sim) schedule(t *simTimer, d time.Duration) bool {
+	// A timer that never reaches the heap must not look active to
+	// Stop(): the zero pos (0) would otherwise alias the heap root and
+	// make Stop call heap.Remove on an empty or unrelated heap.
+	t.pos = -1
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return false
+	}
+	t.when = s.now.Add(d)
+	t.seq = s.seq
+	s.seq++
+	heap.Push(&s.timers, t)
+	if s.busy == 0 {
+		s.signalLocked()
+	}
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Sim) signalLocked() {
+	select {
+	case s.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// run is the advancer loop: wait until something suggests the process
+// may be quiescent, confirm it, and advance.
+func (s *Sim) run() {
+	for {
+		select {
+		case <-s.doneCh:
+			return
+		case <-s.wakeCh:
+		}
+		for s.settle() && s.advanceOnce() {
+		}
+	}
+}
+
+// settle reports whether the process has quiesced with timers pending.
+// It returns false when there is nothing to do or work is provably in
+// flight; the caller then re-blocks until the next signal.
+func (s *Sim) settle() bool {
+	for {
+		select {
+		case <-s.doneCh:
+			return false
+		default:
+		}
+		s.mu.Lock()
+		ready := !s.stopped && s.busy == 0 && len(s.timers) > 0
+		s.mu.Unlock()
+		if !ready {
+			return false
+		}
+		before := s.activity.Load()
+		quiet := true
+		for pass := 0; pass < settlePasses && quiet; pass++ {
+			for i := 0; i < settleYields; i++ {
+				runtime.Gosched()
+			}
+			quiet = s.activity.Load() == before
+		}
+		if quiet && settleNap > 0 {
+			time.Sleep(settleNap)
+			quiet = s.activity.Load() == before
+		}
+		if !quiet {
+			continue
+		}
+		return true
+	}
+}
+
+// advanceOnce jumps virtual now to the earliest pending deadline and
+// fires exactly one timer — the earliest-created one due there. Firing
+// one timer per advance serializes same-instant work: each fired
+// timer's handler chain runs to quiescence (the caller re-settles
+// between advances) before the next timer of the same virtual instant
+// fires, so the relative order of, say, three replicas' heartbeat
+// broadcasts is the deterministic creation order rather than a
+// scheduler race. The busy token for a sleep wake-up or AfterFunc
+// callback is granted under the lock, before time can be observed past
+// the jump.
+func (s *Sim) advanceOnce() bool {
+	s.mu.Lock()
+	if s.stopped || s.busy != 0 || len(s.timers) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	t := heap.Pop(&s.timers).(*simTimer)
+	if t.when.After(s.now) {
+		s.now = t.when
+	}
+	if t.done != nil || t.fn != nil {
+		s.busy++
+	}
+	now := s.now
+	if s.Journal {
+		kind := "timer"
+		switch {
+		case t.done != nil:
+			kind = "sleep"
+		case t.fn != nil:
+			kind = "afterfunc"
+		case t.period > 0:
+			kind = "tick"
+		case t.wake:
+			kind = "wake"
+		}
+		s.journal = append(s.journal, kind+" seq="+strconv.FormatUint(t.seq, 10)+" at="+now.Sub(simEpoch).String())
+	}
+	s.activity.Add(1)
+	s.mu.Unlock()
+	t.deliver(now)
+	return true
+}
+
+// JournalLines returns the fired-timer journal (diagnostic).
+func (s *Sim) JournalLines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.journal...)
+}
+
+// simTimer is one heap entry. Exactly one of done (Sleep), fn
+// (AfterFunc), or ch (After/NewTimer/NewTicker) is set.
+type simTimer struct {
+	s    *Sim
+	when time.Time
+	seq  uint64
+	pos  int // heap index; -1 once fired or stopped
+
+	period time.Duration // ticker reschedule interval; 0 for one-shot
+	// waiting marks a consumer currently blocked in TickLoop: only then
+	// does a fire hand over a busy token with the tick (granted records
+	// the handover so an exiting consumer can return it). wake marks a
+	// one-shot timer from NewWakeTimer, which grants unconditionally.
+	waiting bool
+	granted bool
+	wake    bool
+	ch      chan time.Time
+	done    chan struct{}
+	fn      func()
+}
+
+// C implements Timer.
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+// Stop implements Timer.
+func (t *simTimer) Stop() bool {
+	s := t.s
+	s.activity.Add(1)
+	s.mu.Lock()
+	active := t.pos >= 0
+	if active {
+		heap.Remove(&s.timers, t.pos)
+	}
+	t.period = 0
+	if t.granted {
+		// Reclaim the token of a delivered-but-unconsumed tick, or
+		// one whose consumer received it but exited via its stop
+		// channel instead of BecomeScoped.
+		select {
+		case <-t.ch:
+			t.granted = false
+			s.busy--
+			if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+				s.signalLocked()
+			}
+		default:
+		}
+	}
+	s.mu.Unlock()
+	return active
+}
+
+// deliver fires the timer. It runs on the advancer goroutine (or on
+// Stop's caller) after the timer left the heap.
+func (t *simTimer) deliver(now time.Time) {
+	s := t.s
+	switch {
+	case t.done != nil:
+		close(t.done)
+	case t.fn != nil:
+		// Callbacks run serially on the advancer, in creation order, so
+		// same-instant deliveries (netsim's delayed packets) are
+		// deterministic. This is why they must not block on the clock.
+		t.fn()
+		s.Release()
+	default:
+		// t.period is mutated by Stop under s.mu, so it must be read
+		// under the lock here too (t.wake, t.done, and t.fn are
+		// immutable after creation).
+		s.mu.Lock()
+		if t.period > 0 {
+			// A tick delivered to a consumer blocked in TickLoop carries
+			// a busy token: virtual time stays frozen until the consumer
+			// rebinds it and finishes its tick handling. A consumer that
+			// is NOT waiting — it is off processing, possibly parked on
+			// its own RPC timeout — gets the tick buffered without a
+			// token (granting would freeze the very clock it is waiting
+			// on), or dropped if one is already buffered, time.Ticker
+			// style.
+			select {
+			case t.ch <- now:
+				if t.waiting {
+					s.busy++
+					t.granted = true
+					t.waiting = false
+				}
+			default:
+			}
+			if !s.stopped {
+				t.when = now.Add(t.period)
+				t.seq = s.seq
+				s.seq++
+				heap.Push(&s.timers, t)
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		if t.wake {
+			s.mu.Lock()
+			select {
+			case t.ch <- now:
+				s.busy++
+				t.granted = true
+			default:
+			}
+			s.mu.Unlock()
+			return
+		}
+		select {
+		case t.ch <- now:
+		default:
+		}
+	}
+}
+
+// simTicker adapts simTimer to the Ticker interface.
+type simTicker struct{ t *simTimer }
+
+func (st simTicker) C() <-chan time.Time { return st.t.ch }
+func (st simTicker) Stop()               { st.t.Stop() }
+
+// timerHeap orders timers by (deadline, creation sequence).
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.pos = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.pos = -1
+	*h = old[:n-1]
+	return t
+}
+
+// gid returns the calling goroutine's id, parsed from the first stack
+// line ("goroutine N [running]:"). The runtime offers no cheaper
+// public accessor; a 64-byte Stack call costs on the order of a
+// microsecond, which the scoped-token call sites amortize over whole
+// RPC executions.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Snapshot reports the clock's internal accounting — busy tokens,
+// scoped holders, pending timers, and virtual now — for tests and
+// stall diagnostics.
+func (s *Sim) Snapshot() (busy int, scoped map[uint64]int, timers int, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sc := make(map[uint64]int, len(s.scoped))
+	for g, n := range s.scoped {
+		sc[g] = n
+	}
+	return s.busy, sc, len(s.timers), s.now
+}
+
+// tickLoop is the Sim implementation behind clock.TickLoop. Each
+// iteration either claims an already-buffered tick under the clock
+// lock (acquiring a scoped token with no unprotected gap) or declares
+// itself waiting so the next fire hands a token over with the tick.
+func (s *Sim) tickLoop(tk Ticker, stop <-chan struct{}, body func()) {
+	st, ok := tk.(simTicker)
+	if !ok {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tk.C():
+				body()
+			}
+		}
+	}
+	t := st.t
+	g := gid()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		s.mu.Lock()
+		select {
+		case <-t.ch:
+			// A buffered tick from a fire that found us busy: claim it
+			// and a scoped token in one step.
+			t.granted = false
+			s.scoped[g]++
+			s.busy++
+		default:
+			t.waiting = true
+			s.mu.Unlock()
+			select {
+			case <-stop:
+				s.mu.Lock()
+				t.waiting = false
+				if t.granted {
+					// A fire handed us a token between the park and the
+					// stop: return it.
+					select {
+					case <-t.ch:
+						t.granted = false
+						s.busy--
+						if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+							s.signalLocked()
+						}
+					default:
+					}
+				}
+				s.mu.Unlock()
+				return
+			case <-t.ch:
+				s.mu.Lock()
+				if t.granted {
+					// Rebind the fire's transfer token as our scoped
+					// token; busy stays put.
+					t.granted = false
+					s.scoped[g]++
+				} else {
+					// Tick from a stopped clock's flush: no token came
+					// with it, take a scoped one so the release below
+					// balances.
+					s.scoped[g]++
+					s.busy++
+				}
+			}
+		}
+		s.mu.Unlock()
+		s.activity.Add(1)
+		body()
+		s.ReleaseScoped()
+	}
+}
+
+// newWakeTimer backs clock.NewWakeTimer: a one-shot timer that grants
+// a busy token on fire (reclaimed by Stop if never consumed).
+func (s *Sim) newWakeTimer(d time.Duration) Timer {
+	s.activity.Add(1)
+	t := &simTimer{s: s, ch: make(chan time.Time, 1), wake: true}
+	if !s.schedule(t, d) {
+		t.ch <- s.Now() // clock stopped: fire immediately, no token
+	}
+	return t
+}

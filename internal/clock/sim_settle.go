@@ -1,0 +1,19 @@
+//go:build !race
+
+package clock
+
+// Settle-window tuning. Before each advance the advancer runs
+// settlePasses independent windows of settleYields scheduler yields
+// each; quiescence requires the activity counter to stay unchanged
+// across every window. Yields are used instead of a timed nap because
+// time.Sleep granularity is around a millisecond on common kernels —
+// three orders of magnitude more than a yield — and each Gosched walks
+// the run queue, giving every runnable goroutine a chance to execute
+// (and bump the activity counter) before time moves. Larger values are
+// more conservative (fewer spurious timeouts) but put a floor under
+// how fast virtual time advances.
+const (
+	settleYields = 8
+	settlePasses = 3
+	settleNap    = 0
+)

@@ -1,0 +1,17 @@
+//go:build race
+
+package clock
+
+// Race-detector builds run every memory access through tsan, slowing
+// goroutines roughly an order of magnitude: work that fits inside a
+// few scheduler yields in a normal build can still be mid-flight
+// here, so race builds use a wider yield window. No timed nap: the
+// busy-token protocol accounts for every structured handoff (queued
+// requests, replies, tick and sleep wake-ups, spawned workers), and a
+// nap's real cost — about a millisecond at common kernel timer
+// resolution — would dominate -race wall time.
+const (
+	settleYields = 16
+	settlePasses = 6
+	settleNap    = 0
+)

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -123,10 +124,12 @@ func NewService(n *netsim.Network, id netsim.NodeID, opts Options) *Service {
 // ID returns the service's node ID.
 func (s *Service) ID() netsim.NodeID { return s.id }
 
-// Start launches the session sweeper.
+// Start launches the session sweeper. The ticker is created on the
+// caller for deterministic creation order.
 func (s *Service) Start() {
 	s.wg.Add(1)
-	go s.sweepLoop()
+	t := s.ep.Clock().NewTicker(s.opts.SweepInterval)
+	go s.sweepLoop(t)
 }
 
 // Stop halts the service.
@@ -143,22 +146,14 @@ func (s *Service) Stop() {
 	s.ep.Close()
 }
 
-func (s *Service) sweepLoop() {
+func (s *Service) sweepLoop(t clock.Ticker) {
 	defer s.wg.Done()
-	t := time.NewTicker(s.opts.SweepInterval)
 	defer t.Stop()
-	for {
-		select {
-		case <-s.stopCh:
-			return
-		case <-t.C:
-			s.expireSessions()
-		}
-	}
+	clock.TickLoop(s.ep.Clock(), t, s.stopCh, s.expireSessions)
 }
 
 func (s *Service) expireSessions() {
-	now := time.Now()
+	now := s.ep.Clock().Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for sess, last := range s.sessions {
@@ -177,7 +172,7 @@ func (s *Service) onPing(from netsim.NodeID, body any) (any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, live := s.sessions[msg.Session]; live {
-		s.sessions[msg.Session] = time.Now()
+		s.sessions[msg.Session] = s.ep.Clock().Now()
 	}
 	return nil, nil
 }
@@ -189,7 +184,7 @@ func (s *Service) onRegister(from netsim.NodeID, body any) (any, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sessions[msg.Session] = time.Now()
+	s.sessions[msg.Session] = s.ep.Clock().Now()
 	if e, exists := s.ephemeral[msg.Session]; exists && e.group == msg.Group {
 		return e.seq, nil // re-register keeps the original seniority
 	}
@@ -316,22 +311,17 @@ func NewSession(ep *transport.Endpoint, service netsim.NodeID, group string, pin
 		return nil, fmt.Errorf("coord: register: %w", err)
 	}
 	s.wg.Add(1)
-	go s.pingLoop(pingEvery)
+	t := ep.Clock().NewTicker(pingEvery)
+	go s.pingLoop(t)
 	return s, nil
 }
 
-func (s *Session) pingLoop(every time.Duration) {
+func (s *Session) pingLoop(t clock.Ticker) {
 	defer s.wg.Done()
-	t := time.NewTicker(every)
 	defer t.Stop()
-	for {
-		select {
-		case <-s.stopCh:
-			return
-		case <-t.C:
-			_ = s.ep.Notify(s.service, mPing, pingMsg{Session: s.ep.ID()})
-		}
-	}
+	clock.TickLoop(s.ep.Clock(), t, s.stopCh, func() {
+		_ = s.ep.Notify(s.service, mPing, pingMsg{Session: s.ep.ID()})
+	})
 }
 
 // Close stops the keepalive (the session will expire server-side).

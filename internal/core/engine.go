@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/firewall"
 	"neat/internal/netsim"
 	"neat/internal/switchfab"
@@ -43,6 +44,7 @@ type Options struct {
 // partitions, and crashes nodes.
 type Engine struct {
 	net   *netsim.Network
+	clk   clock.Clock
 	sw    *switchfab.Switch
 	fwset *firewall.Set
 	part  Partitioner
@@ -59,7 +61,7 @@ func NewEngine(opts Options) *Engine {
 	sw := switchfab.New()
 	n.SetSwitch(sw)
 	fwset := firewall.NewSet(n)
-	e := &Engine{net: n, sw: sw, fwset: fwset, trace: NewTrace()}
+	e := &Engine{net: n, clk: n.Clock(), sw: sw, fwset: fwset, trace: NewTrace()}
 	switch opts.Backend {
 	case FirewallBackend:
 		e.part = NewFirewallPartitioner(fwset)
@@ -71,6 +73,12 @@ func NewEngine(opts Options) *Engine {
 
 // Network exposes the fabric so systems can attach endpoints.
 func (e *Engine) Network() *netsim.Network { return e.net }
+
+// Clock returns the engine's time source (set through Options.Net.Clock;
+// the real wall clock by default). Test and workload code must sleep and
+// take deadlines from here so that a virtual-time engine never touches
+// the wall clock.
+func (e *Engine) Clock() clock.Clock { return e.clk }
 
 // Switch exposes the software switch (for flow-table inspection).
 func (e *Engine) Switch() *switchfab.Switch { return e.sw }
@@ -280,22 +288,24 @@ func (e *Engine) RebootCluster() {
 // sleeps: e.g. sleeping one leader-election period after a partition.
 func (e *Engine) Sleep(d time.Duration) {
 	e.trace.Record(EvSleep, d.String())
-	time.Sleep(d)
+	e.clk.Sleep(d)
 }
 
-// WaitUntil polls cond every millisecond until it returns true or the
-// timeout elapses, and reports whether the condition was met. It is
-// the bounded-wait alternative to a raw sleep.
+// WaitUntil polls cond every millisecond of engine time until it
+// returns true or the timeout elapses, and reports whether the
+// condition was met. It is the bounded-wait alternative to a raw
+// sleep; under a virtual clock each poll interval costs only an
+// advance of the simulated clock.
 func (e *Engine) WaitUntil(timeout time.Duration, cond func() bool) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := e.clk.Now().Add(timeout)
 	for {
 		if cond() {
 			return true
 		}
-		if time.Now().After(deadline) {
+		if e.clk.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(time.Millisecond)
+		e.clk.Sleep(time.Millisecond)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -161,11 +162,13 @@ func NewReplica(n *netsim.Network, id netsim.NodeID, cfg Config) *Replica {
 // ID returns the replica's node ID.
 func (r *Replica) ID() netsim.NodeID { return r.id }
 
-// Start launches anti-entropy and hint replay, if configured.
+// Start launches anti-entropy and hint replay, if configured. The
+// ticker is created on the caller for deterministic creation order.
 func (r *Replica) Start() {
 	if r.cfg.AntiEntropyInterval > 0 {
 		r.wg.Add(1)
-		go r.antiEntropyLoop()
+		t := r.ep.Clock().NewTicker(r.cfg.AntiEntropyInterval)
+		go r.antiEntropyLoop(t)
 	}
 }
 
@@ -194,7 +197,7 @@ func (r *Replica) peers() []netsim.NodeID {
 }
 
 func (r *Replica) nextTSLocked() int64 {
-	ts := time.Now().UnixNano()
+	ts := r.ep.Clock().Now().UnixNano()
 	if ts <= r.lastTS {
 		ts = r.lastTS + 1
 	}
@@ -216,12 +219,16 @@ func (r *Replica) reconcile(current, incoming []Version) []Version {
 }
 
 // reconcileLWW keeps exactly one version: the newest timestamp. No
-// replication-status check — the flaw.
+// replication-status check — the flaw. Timestamp ties break on
+// (coordinator, value), the way production LWW stores compare cell
+// values: without a total order, two replicas whose versions carry
+// equal timestamps (likely under a virtual clock, possible under NTP
+// skew) would each keep their own version and never converge.
 func reconcileLWW(current, incoming []Version) []Version {
 	var best Version
 	found := false
 	for _, v := range append(append([]Version(nil), current...), incoming...) {
-		if !found || v.TS > best.TS {
+		if !found || lwwLess(best, v) {
 			best = v
 			found = true
 		}
@@ -230,6 +237,17 @@ func reconcileLWW(current, incoming []Version) []Version {
 		return nil
 	}
 	return []Version{best}
+}
+
+// lwwLess reports whether b beats a under last-writer-wins.
+func lwwLess(a, b Version) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Val < b.Val
 }
 
 // reconcileVector drops versions causally dominated by another and
@@ -272,26 +290,36 @@ func (r *Replica) onPut(from netsim.NodeID, body any) (any, error) {
 	}
 	r.mu.Lock()
 	// Build the new version: advance past every sibling we know.
-	clock := NewVClock()
+	vc := NewVClock()
 	for _, v := range r.data[req.Key] {
-		clock = clock.Merge(v.Clock)
+		vc = vc.Merge(v.Clock)
 	}
-	clock = clock.Copy().Tick(r.id)
-	ver := Version{Val: req.Val, TS: r.nextTSLocked(), Clock: clock, Node: r.id}
+	vc = vc.Copy().Tick(r.id)
+	ver := Version{Val: req.Val, TS: r.nextTSLocked(), Clock: vc, Node: r.id}
 	r.data[req.Key] = r.reconcile(r.data[req.Key], []Version{ver})
 	msg := replMsg{Key: req.Key, Versions: []Version{ver}}
 	peers := r.peers()
+	// Register the replication goroutines while the lock still orders
+	// us against Stop: Add must never race a Wait on a zero counter.
+	spawn := !r.stopped
+	if spawn {
+		r.wg.Add(len(peers))
+	}
 	r.mu.Unlock()
 
 	// Asynchronous replication: the client is acknowledged regardless.
-	for _, p := range peers {
-		go func(p netsim.NodeID) {
-			if _, err := r.ep.Call(p, mRepl, msg, r.cfg.RPCTimeout); err != nil && r.cfg.HintedHandoff {
-				r.mu.Lock()
-				r.hints = append(r.hints, hint{peer: p, msg: msg})
-				r.mu.Unlock()
-			}
-		}(p)
+	if spawn {
+		for _, p := range peers {
+			p := p
+			clock.Go(r.ep.Clock(), func() {
+				defer r.wg.Done()
+				if _, err := r.ep.Call(p, mRepl, msg, r.cfg.RPCTimeout); err != nil && r.cfg.HintedHandoff {
+					r.mu.Lock()
+					r.hints = append(r.hints, hint{peer: p, msg: msg})
+					r.mu.Unlock()
+				}
+			})
+		}
 	}
 	return nil, nil
 }
@@ -338,25 +366,17 @@ func (r *Replica) onDigest(netsim.NodeID, any) (any, error) {
 
 // --- anti-entropy and hint replay ---
 
-func (r *Replica) antiEntropyLoop() {
+func (r *Replica) antiEntropyLoop(t clock.Ticker) {
 	defer r.wg.Done()
-	t := time.NewTicker(r.cfg.AntiEntropyInterval)
 	defer t.Stop()
 	i := 0
-	for {
-		select {
-		case <-r.stopCh:
-			return
-		case <-t.C:
-			peers := r.peers()
-			if len(peers) == 0 {
-				continue
-			}
+	clock.TickLoop(r.ep.Clock(), t, r.stopCh, func() {
+		if peers := r.peers(); len(peers) > 0 {
 			r.GossipWith(peers[i%len(peers)])
 			i++
 			r.replayHints()
 		}
-	}
+	})
 }
 
 // GossipWith pulls a peer's digest and merges it (one anti-entropy
@@ -426,7 +446,7 @@ func (r *Replica) SyncTo(peer netsim.NodeID) error {
 	sent := 0
 	for i, c := range chunks {
 		if r.cfg.SyncChunkDelay > 0 {
-			time.Sleep(r.cfg.SyncChunkDelay)
+			r.ep.Clock().Sleep(r.cfg.SyncChunkDelay)
 		}
 		if _, err := r.ep.Call(peer, mSyncChunk, syncChunkMsg{Key: c.k, Versions: c.vs, Index: i}, r.cfg.RPCTimeout); err != nil {
 			return err // transfer interrupted

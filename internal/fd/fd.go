@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -75,6 +76,7 @@ type peerState struct {
 // Detector tracks the health of a peer set.
 type Detector struct {
 	ep    *transport.Endpoint
+	clk   clock.Clock
 	opts  Options
 	peers []netsim.NodeID
 
@@ -97,12 +99,13 @@ func New(ep *transport.Endpoint, peers []netsim.NodeID, opts Options, l Listener
 	}
 	d := &Detector{
 		ep:       ep,
+		clk:      ep.Clock(),
 		opts:     opts,
 		states:   make(map[netsim.NodeID]*peerState),
 		listener: l,
 		stopCh:   make(chan struct{}),
 	}
-	now := time.Now()
+	now := ep.Clock().Now()
 	for _, p := range peers {
 		if p == ep.ID() {
 			continue
@@ -114,11 +117,16 @@ func New(ep *transport.Endpoint, peers []netsim.NodeID, opts Options, l Listener
 	return d
 }
 
-// Start launches the heartbeat sender and the monitor loop.
+// Start launches the heartbeat sender and the monitor loop. Tickers
+// are created here, on the caller, so their creation order — which is
+// also their same-instant firing order under a virtual clock — is the
+// deterministic deployment order rather than a goroutine-startup race.
 func (d *Detector) Start() {
 	d.wg.Add(2)
-	go d.sendLoop()
-	go d.checkLoop()
+	sendT := d.clk.NewTicker(d.opts.Interval)
+	checkT := d.clk.NewTicker(d.opts.Interval)
+	go d.sendLoop(sendT)
+	go d.checkLoop(checkT)
 }
 
 // Stop halts both loops. The detector cannot be restarted.
@@ -144,7 +152,7 @@ func (d *Detector) SuspectTimeout() time.Duration {
 }
 
 func (d *Detector) onHeartbeat(from netsim.NodeID, _ any) (any, error) {
-	now := time.Now()
+	now := d.clk.Now()
 	var ev *Event
 	d.mu.Lock()
 	ps, ok := d.states[from]
@@ -163,38 +171,24 @@ func (d *Detector) onHeartbeat(from netsim.NodeID, _ any) (any, error) {
 	return nil, nil
 }
 
-func (d *Detector) sendLoop() {
+func (d *Detector) sendLoop(t clock.Ticker) {
 	defer d.wg.Done()
-	t := time.NewTicker(d.opts.Interval)
 	defer t.Stop()
-	for {
-		select {
-		case <-d.stopCh:
-			return
-		case <-t.C:
-			for _, p := range d.peers {
-				_ = d.ep.Notify(p, heartbeatKind, nil)
-			}
+	clock.TickLoop(d.clk, t, d.stopCh, func() {
+		for _, p := range d.peers {
+			_ = d.ep.Notify(p, heartbeatKind, nil)
 		}
-	}
+	})
 }
 
-func (d *Detector) checkLoop() {
+func (d *Detector) checkLoop(t clock.Ticker) {
 	defer d.wg.Done()
-	t := time.NewTicker(d.opts.Interval)
 	defer t.Stop()
-	for {
-		select {
-		case <-d.stopCh:
-			return
-		case <-t.C:
-			d.sweep()
-		}
-	}
+	clock.TickLoop(d.clk, t, d.stopCh, d.sweep)
 }
 
 func (d *Detector) sweep() {
-	now := time.Now()
+	now := d.clk.Now()
 	cutoff := d.SuspectTimeout()
 	var events []Event
 	d.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/election"
 	"neat/internal/netsim"
 	"neat/internal/transport"
@@ -136,6 +137,7 @@ type Replica struct {
 	cfg Config
 	id  netsim.NodeID
 	ep  *transport.Endpoint
+	clk clock.Clock
 
 	mu              sync.Mutex
 	role            Role
@@ -151,6 +153,12 @@ type Replica struct {
 	syncing         bool
 	stopped         bool
 
+	// rng drives the election backoff jitter. It is seeded from the
+	// replica ID so identical deployments take identical backoffs —
+	// the global math/rand source would leak nondeterminism across
+	// concurrent campaign rounds.
+	rng *rand.Rand
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -159,12 +167,15 @@ type Replica struct {
 // fabric.
 func NewReplica(n *netsim.Network, id netsim.NodeID, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
+	ep := transport.NewEndpoint(n, id)
 	r := &Replica{
 		cfg:             cfg,
 		id:              id,
-		ep:              transport.NewEndpoint(n, id),
+		ep:              ep,
+		clk:             ep.Clock(),
 		data:            make(map[string]Entry),
-		lastLeaderHeard: time.Now(),
+		lastLeaderHeard: ep.Clock().Now(),
+		rng:             rand.New(rand.NewSource(int64(id.Hash()))),
 		stopCh:          make(chan struct{}),
 	}
 	r.ep.DefaultTimeout = cfg.RPCTimeout
@@ -182,10 +193,13 @@ func NewReplica(n *netsim.Network, id netsim.NodeID, cfg Config) *Replica {
 // ID returns the replica's node ID.
 func (r *Replica) ID() netsim.NodeID { return r.id }
 
-// Start launches the replica's tick loop.
+// Start launches the replica's tick loop. The ticker is created here,
+// on the caller, so creation (and same-instant firing) order follows
+// the deterministic deployment order.
 func (r *Replica) Start() {
 	r.wg.Add(1)
-	go r.tickLoop()
+	t := r.clk.NewTicker(r.cfg.HeartbeatInterval)
+	go r.tickLoop(t)
 }
 
 // Stop halts the replica and detaches it from the fabric.
@@ -261,7 +275,7 @@ func (r *Replica) peers() []netsim.NodeID {
 }
 
 func (r *Replica) nextTSLocked() int64 {
-	ts := time.Now().UnixNano()
+	ts := r.clk.Now().UnixNano()
 	if ts <= r.lastTS {
 		ts = r.lastTS + 1
 	}
@@ -278,26 +292,20 @@ func (r *Replica) applyLocked(op Op) {
 
 // --- tick loop: heartbeats (leader) and election timeout (follower) ---
 
-func (r *Replica) tickLoop() {
+func (r *Replica) tickLoop(t clock.Ticker) {
 	defer r.wg.Done()
-	t := time.NewTicker(r.cfg.HeartbeatInterval)
 	defer t.Stop()
-	for {
-		select {
-		case <-r.stopCh:
-			return
-		case <-t.C:
-			r.mu.Lock()
-			role := r.role
-			silent := time.Since(r.lastLeaderHeard)
-			r.mu.Unlock()
-			if role == Leader {
-				r.broadcastHeartbeats()
-			} else if silent > r.cfg.ElectionTimeout {
-				r.campaign()
-			}
+	clock.TickLoop(r.clk, t, r.stopCh, func() {
+		r.mu.Lock()
+		role := r.role
+		silent := r.clk.Now().Sub(r.lastLeaderHeard)
+		r.mu.Unlock()
+		if role == Leader {
+			r.broadcastHeartbeats()
+		} else if silent > r.cfg.ElectionTimeout {
+			r.campaign()
 		}
-	}
+	})
 }
 
 func (r *Replica) broadcastHeartbeats() {
@@ -314,8 +322,9 @@ func (r *Replica) broadcastHeartbeats() {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, p := range peers {
+		p := p
 		wg.Add(1)
-		go func(p netsim.NodeID) {
+		clock.Go(r.clk, func() {
 			defer wg.Done()
 			resp, err := r.ep.Call(p, mHB, msg, r.cfg.HeartbeatInterval)
 			if err != nil {
@@ -326,9 +335,9 @@ func (r *Replica) broadcastHeartbeats() {
 				acks++
 				mu.Unlock()
 			}
-		}(p)
+		})
 	}
-	wg.Wait()
+	clock.Idle(r.clk, wg.Wait)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -347,7 +356,7 @@ func (r *Replica) broadcastHeartbeats() {
 		r.role = Follower
 		r.leader = ""
 		r.leaseMissed = 0
-		r.lastLeaderHeard = time.Now() // full timeout before campaigning
+		r.lastLeaderHeard = r.clk.Now() // full timeout before campaigning
 	}
 }
 
@@ -365,7 +374,7 @@ func (r *Replica) campaign() {
 	// Randomized election backoff: restart the election timer with
 	// jitter so repeated failed campaigns do not livelock the cluster
 	// by deposing every new leader before it can announce itself.
-	r.lastLeaderHeard = time.Now().Add(time.Duration(rand.Int63n(int64(r.cfg.ElectionTimeout))))
+	r.lastLeaderHeard = r.clk.Now().Add(time.Duration(r.rng.Int63n(int64(r.cfg.ElectionTimeout))))
 	cand := r.candidateLocked()
 	peers := r.peers()
 	mode := r.cfg.ElectionMode
@@ -376,8 +385,9 @@ func (r *Replica) campaign() {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, p := range peers {
+		p := p
 		wg.Add(1)
-		go func(p netsim.NodeID) {
+		clock.Go(r.clk, func() {
 			defer wg.Done()
 			resp, err := r.ep.Call(p, mVote, voteReq{Cand: cand}, r.cfg.RPCTimeout)
 			if err != nil {
@@ -390,9 +400,9 @@ func (r *Replica) campaign() {
 				grants++
 			}
 			mu.Unlock()
-		}(p)
+		})
 	}
-	wg.Wait()
+	clock.Idle(r.clk, wg.Wait)
 
 	won := false
 	if mode.RequiresMajority() {
@@ -410,7 +420,7 @@ func (r *Replica) campaign() {
 	r.mu.Lock()
 	// Abort if the world changed while we were collecting votes.
 	if r.stopped || r.role == Leader || r.term != startTerm ||
-		(r.leader != "" && time.Since(r.lastLeaderHeard) < r.cfg.ElectionTimeout) {
+		(r.leader != "" && r.clk.Now().Sub(r.lastLeaderHeard) < r.cfg.ElectionTimeout) {
 		r.mu.Unlock()
 		return
 	}
@@ -444,10 +454,14 @@ func (r *Replica) onHeartbeat(from netsim.NodeID, body any) (any, error) {
 			if msg.Term > r.term {
 				r.term = msg.Term
 			}
-			r.lastLeaderHeard = time.Now()
-			if !r.syncing {
+			r.lastLeaderHeard = r.clk.Now()
+			if !r.syncing && !r.stopped {
 				r.syncing = true
-				go r.pullSnapshot(msg.Leader)
+				r.wg.Add(1)
+				clock.Go(r.clk, func() {
+					defer r.wg.Done()
+					r.pullSnapshot(msg.Leader)
+				})
 			}
 			r.mu.Unlock()
 			return hbResp{OK: true}, nil
@@ -462,13 +476,17 @@ func (r *Replica) onHeartbeat(from netsim.NodeID, body any) (any, error) {
 			r.term = msg.Term
 		}
 		r.leader = msg.Leader
-		r.lastLeaderHeard = time.Now()
+		r.lastLeaderHeard = r.clk.Now()
 		behind := msg.LogLen > len(r.log) || msg.LogTerm > r.lastLogTermLocked()
-		if behind && !r.syncing && !r.cfg.Arbiters[r.id] {
+		if behind && !r.syncing && !r.stopped && !r.cfg.Arbiters[r.id] {
 			// We are behind this leader — either fewer entries, or our
 			// tail was written in a stale term and must be truncated.
 			r.syncing = true
-			go r.pullSnapshot(msg.Leader)
+			r.wg.Add(1)
+			clock.Go(r.clk, func() {
+				defer r.wg.Done()
+				r.pullSnapshot(msg.Leader)
+			})
 		}
 	}
 	logLen := len(r.log)
@@ -500,7 +518,7 @@ func (r *Replica) onVote(from netsim.NodeID, body any) (any, error) {
 		Self:        r.candidateLocked(),
 		CurrentTerm: r.term,
 		VotedFor:    votedFor,
-		LeaderAlive: r.leader != "" && time.Since(r.lastLeaderHeard) < r.cfg.ElectionTimeout,
+		LeaderAlive: r.leader != "" && r.clk.Now().Sub(r.lastLeaderHeard) < r.cfg.ElectionTimeout,
 	}
 	granted := election.GrantVote(mode, voter, req.Cand)
 	if granted {
@@ -527,7 +545,7 @@ func (r *Replica) onAppend(from netsim.NodeID, body any) (any, error) {
 		}
 	}
 	r.leader = msg.Leader
-	r.lastLeaderHeard = time.Now()
+	r.lastLeaderHeard = r.clk.Now()
 	if r.cfg.Arbiters[r.id] {
 		// Arbiters acknowledge without storing: they exist only to
 		// vote, which is what makes the conflicting-criteria election
@@ -538,9 +556,13 @@ func (r *Replica) onAppend(from netsim.NodeID, body any) (any, error) {
 		if op.Seq != len(r.log)+1 {
 			// Log gap: we missed operations; a snapshot pull will
 			// reconcile us.
-			if !r.syncing {
+			if !r.syncing && !r.stopped {
 				r.syncing = true
-				go r.pullSnapshot(msg.Leader)
+				r.wg.Add(1)
+				clock.Go(r.clk, func() {
+					defer r.wg.Done()
+					r.pullSnapshot(msg.Leader)
+				})
 			}
 			return appendResp{OK: false}, nil
 		}
@@ -641,8 +663,9 @@ func (r *Replica) propose(op Op) error {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, p := range peers {
+		p := p
 		wg.Add(1)
-		go func(p netsim.NodeID) {
+		clock.Go(r.clk, func() {
 			defer wg.Done()
 			resp, err := r.ep.Call(p, mAppend, msg, r.cfg.RPCTimeout)
 			if err != nil {
@@ -653,9 +676,9 @@ func (r *Replica) propose(op Op) error {
 				acks++
 				mu.Unlock()
 			}
-		}(p)
+		})
 	}
-	wg.Wait()
+	clock.Idle(r.clk, wg.Wait)
 
 	need := r.cfg.Majority()
 	if r.cfg.WriteConcern == WriteAll {
@@ -726,8 +749,9 @@ func (r *Replica) confirmMajority() bool {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, p := range peers {
+		p := p
 		wg.Add(1)
-		go func(p netsim.NodeID) {
+		clock.Go(r.clk, func() {
 			defer wg.Done()
 			resp, err := r.ep.Call(p, mHB, msg, r.cfg.RPCTimeout)
 			if err != nil {
@@ -738,9 +762,9 @@ func (r *Replica) confirmMajority() bool {
 				acks++
 				mu.Unlock()
 			}
-		}(p)
+		})
 	}
-	wg.Wait()
+	clock.Idle(r.clk, wg.Wait)
 	return acks >= maj
 }
 

@@ -35,8 +35,11 @@ func (s *System) Start() error {
 	if s.started {
 		return nil
 	}
-	for _, r := range s.replicas {
-		r.Start()
+	// Boot in configured order: map iteration order would make the
+	// ticker registration (and thus virtual-time firing) order differ
+	// between otherwise identical runs.
+	for _, id := range s.cfg.Replicas {
+		s.replicas[id].Start()
 	}
 	if len(s.cfg.Replicas) > 0 {
 		s.replicas[s.cfg.Replicas[0]].BecomeLeader()
@@ -91,16 +94,20 @@ func (s *System) Leaders() []netsim.NodeID {
 }
 
 // WaitForLeaderAmong blocks until one of the given nodes claims
-// leadership, returning it, or "" on timeout.
+// leadership, returning it, or "" on timeout. The wait is clock-driven:
+// under a virtual clock each poll interval is a simulated-time advance,
+// so the loop is instant in wall-clock terms instead of busy-waiting
+// through real milliseconds.
 func (s *System) WaitForLeaderAmong(nodes []netsim.NodeID, timeout time.Duration) netsim.NodeID {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	clk := s.net.Clock()
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		for _, id := range nodes {
 			if r, ok := s.replicas[id]; ok && r.Status().Role == Leader {
 				return id
 			}
 		}
-		time.Sleep(time.Millisecond)
+		clk.Sleep(time.Millisecond)
 	}
 	return ""
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -36,7 +37,8 @@ func NewClient(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, le
 		stopCh:   make(chan struct{}),
 	}
 	c.wg.Add(1)
-	go c.renewLoop(leaseTTL / 3)
+	t := c.ep.Clock().NewTicker(leaseTTL / 3)
+	go c.renewLoop(t)
 	return c
 }
 
@@ -57,20 +59,14 @@ func (c *Client) Close() {
 	c.ep.Close()
 }
 
-func (c *Client) renewLoop(every time.Duration) {
+func (c *Client) renewLoop(t clock.Ticker) {
 	defer c.wg.Done()
-	t := time.NewTicker(every)
 	defer t.Stop()
-	for {
-		select {
-		case <-c.stopCh:
-			return
-		case <-t.C:
-			for _, rep := range c.replicas {
-				_ = c.ep.Notify(rep, mRenew, renewMsg{Client: c.ep.ID()})
-			}
+	clock.TickLoop(c.ep.Clock(), t, c.stopCh, func() {
+		for _, rep := range c.replicas {
+			_ = c.ep.Notify(rep, mRenew, renewMsg{Client: c.ep.ID()})
 		}
-	}
+	})
 }
 
 // do routes an operation to the coordinator reachable from this

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/fd"
 	"neat/internal/netsim"
 	"neat/internal/transport"
@@ -211,11 +212,13 @@ func NewReplica(n *netsim.Network, id netsim.NodeID, cfg Config) *Replica {
 // ID returns the replica's node ID.
 func (r *Replica) ID() netsim.NodeID { return r.id }
 
-// Start launches the failure detector and the lease sweeper.
+// Start launches the failure detector and the lease sweeper, creating
+// the sweep ticker on the caller for deterministic creation order.
 func (r *Replica) Start() {
 	r.det.Start()
 	r.wg.Add(1)
-	go r.sweepLoop()
+	t := r.ep.Clock().NewTicker(r.cfg.HeartbeatInterval)
+	go r.sweepLoop(t)
 }
 
 // Stop halts the replica.
@@ -287,22 +290,14 @@ func (r *Replica) Coordinator() netsim.NodeID {
 // sweepLoop reclaims permits and locks whose client lease expired —
 // "an unreachable client that is holding a semaphore is assumed to
 // have crashed; the system will reclaim the client's semaphore."
-func (r *Replica) sweepLoop() {
+func (r *Replica) sweepLoop(t clock.Ticker) {
 	defer r.wg.Done()
-	t := time.NewTicker(r.cfg.HeartbeatInterval)
 	defer t.Stop()
-	for {
-		select {
-		case <-r.stopCh:
-			return
-		case <-t.C:
-			r.sweepLeases()
-		}
-	}
+	clock.TickLoop(r.ep.Clock(), t, r.stopCh, r.sweepLeases)
 }
 
 func (r *Replica) sweepLeases() {
-	now := time.Now()
+	now := r.ep.Clock().Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, s := range r.sems {
@@ -332,7 +327,7 @@ func (r *Replica) onRenew(from netsim.NodeID, body any) (any, error) {
 	if !ok {
 		return nil, errors.New("bad renew")
 	}
-	exp := time.Now().Add(r.cfg.LeaseTTL)
+	exp := r.ep.Clock().Now().Add(r.cfg.LeaseTTL)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, s := range r.sems {
@@ -415,17 +410,18 @@ func (r *Replica) replicate(backups []netsim.NodeID, msg replMsg) int {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, b := range backups {
+		b := b
 		wg.Add(1)
-		go func(b netsim.NodeID) {
+		clock.Go(r.ep.Clock(), func() {
 			defer wg.Done()
 			if _, err := r.ep.Call(b, mRepl, msg, r.cfg.RPCTimeout); err == nil {
 				mu.Lock()
 				acked++
 				mu.Unlock()
 			}
-		}(b)
+		})
 	}
-	wg.Wait()
+	clock.Idle(r.ep.Clock(), wg.Wait)
 	return acked
 }
 
@@ -454,7 +450,7 @@ func (r *Replica) applyLocked(req opReq) (opResp, error) {
 			return opResp{}, ErrLockHeld
 		}
 		r.locks[req.Name] = req.Client
-		r.lockExp[req.Name] = time.Now().Add(r.cfg.LeaseTTL)
+		r.lockExp[req.Name] = r.ep.Clock().Now().Add(r.cfg.LeaseTTL)
 		return opResp{OK: true}, nil
 	case opLockRelease:
 		// Blind release: no check that the caller holds the lock. This
@@ -479,7 +475,7 @@ func (r *Replica) applyLocked(req opReq) (opResp, error) {
 		}
 		s.Permits -= req.Num
 		s.Holders[req.Client] += req.Num
-		s.Expiry[req.Client] = time.Now().Add(r.cfg.LeaseTTL)
+		s.Expiry[req.Client] = r.ep.Clock().Now().Add(r.cfg.LeaseTTL)
 		return opResp{OK: true, Num: s.Permits}, nil
 	case opSemRelease:
 		s, exists := r.sems[req.Name]

@@ -25,10 +25,12 @@ func NewSystem(n *netsim.Network, cfg Config) *System {
 // Name implements core.ISystem.
 func (s *System) Name() string { return "locksvc" }
 
-// Start implements core.ISystem.
+// Start implements core.ISystem. Replicas boot in configured order so
+// ticker registration (and virtual-time firing order) is identical
+// between runs of the same seed.
 func (s *System) Start() error {
-	for _, r := range s.replicas {
-		r.Start()
+	for _, id := range s.cfg.Replicas {
+		s.replicas[id].Start()
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/coord"
 	"neat/internal/netsim"
 	"neat/internal/transport"
@@ -168,7 +169,8 @@ func (b *Broker) Start() error {
 	b.mu.Unlock()
 	b.pollRole()
 	b.wg.Add(1)
-	go b.roleLoop()
+	t := b.ep.Clock().NewTicker(b.cfg.RolePoll)
+	go b.roleLoop(t)
 	return nil
 }
 
@@ -190,18 +192,10 @@ func (b *Broker) Stop() {
 	b.ep.Close()
 }
 
-func (b *Broker) roleLoop() {
+func (b *Broker) roleLoop(t clock.Ticker) {
 	defer b.wg.Done()
-	t := time.NewTicker(b.cfg.RolePoll)
 	defer t.Stop()
-	for {
-		select {
-		case <-b.stopCh:
-			return
-		case <-t.C:
-			b.pollRole()
-		}
-	}
+	clock.TickLoop(b.ep.Clock(), t, b.stopCh, b.pollRole)
 }
 
 // pollRole refreshes the broker's view of who is master. When the
@@ -307,17 +301,18 @@ func (b *Broker) replicate(msg replMsg) int {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, s := range b.slaves() {
+		s := s
 		wg.Add(1)
-		go func(s netsim.NodeID) {
+		clock.Go(b.ep.Clock(), func() {
 			defer wg.Done()
 			if _, err := b.ep.Call(s, mRepl, msg, b.cfg.RPCTimeout); err == nil {
 				mu.Lock()
 				acked++
 				mu.Unlock()
 			}
-		}(s)
+		})
 	}
-	wg.Wait()
+	clock.Idle(b.ep.Clock(), wg.Wait)
 	return acked
 }
 

@@ -21,12 +21,26 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"neat/internal/clock"
 )
 
 // NodeID identifies a host on the fabric. IDs play the role of IP
 // addresses: partition rules match on pairs of NodeIDs.
 type NodeID string
+
+// Hash returns a stable FNV-1a hash of the node ID. Systems use it to
+// seed per-node deterministic randomness (election backoff jitter,
+// randomized timeouts) so identical deployments behave identically.
+func (n NodeID) Hash() uint32 {
+	var h uint32 = 2166136261
+	for _, c := range []byte(n) {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
 
 // Packet is a single message in flight. Payload is opaque to the fabric.
 type Packet struct {
@@ -78,6 +92,12 @@ type Options struct {
 	// Seed seeds the fabric's private RNG (jitter, loss). Zero selects
 	// a fixed default so runs are reproducible.
 	Seed int64
+	// Clock is the time source for packet timestamps and delayed
+	// delivery. Everything attached to the fabric (transport endpoints
+	// and the systems built on them) draws its clock from here, so
+	// setting a clock.Sim makes the whole deployment run on virtual
+	// time. Nil means the real wall clock.
+	Clock clock.Clock
 }
 
 // Network is the fabric. It is safe for concurrent use.
@@ -88,15 +108,15 @@ type Network struct {
 	ingress  map[NodeID]Filter // per-host INPUT chain
 	switchFi Filter            // switch flow table
 	opts     Options
+	clk      clock.Clock
 	rng      *rand.Rand
 	rngMu    sync.Mutex
 	closed   bool
 
-	statsMu sync.Mutex
-	stats   Stats
+	stats statCounters
 }
 
-// Stats counts fabric-level packet outcomes.
+// Stats is a snapshot of fabric-level packet outcomes.
 type Stats struct {
 	Sent           uint64
 	Delivered      uint64
@@ -105,6 +125,19 @@ type Stats struct {
 	DroppedIngress uint64
 	DroppedRandom  uint64
 	DroppedDown    uint64 // destination host crashed or unregistered
+}
+
+// statCounters is the live form of Stats: lock-free atomics, because
+// Send is the fabric's hot path and previously took a stats mutex up
+// to three times per packet.
+type statCounters struct {
+	sent           atomic.Uint64
+	delivered      atomic.Uint64
+	droppedEgress  atomic.Uint64
+	droppedSwitch  atomic.Uint64
+	droppedIngress atomic.Uint64
+	droppedRandom  atomic.Uint64
+	droppedDown    atomic.Uint64
 }
 
 type host struct {
@@ -125,14 +158,24 @@ func New(opts Options) *Network {
 	if seed == 0 {
 		seed = 0x6e656174 // "neat"
 	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	return &Network{
 		hosts:   make(map[NodeID]*host),
 		egress:  make(map[NodeID]Filter),
 		ingress: make(map[NodeID]Filter),
 		opts:    opts,
+		clk:     clk,
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
+
+// Clock returns the fabric's time source. Components attached to the
+// fabric must take their timers and sleeps from here so that the whole
+// deployment follows one clock.
+func (n *Network) Clock() clock.Clock { return n.clk }
 
 // Register attaches a host to the fabric. Registering an existing ID
 // replaces its handler and marks the host up (modelling a process
@@ -221,15 +264,15 @@ func (n *Network) Close() {
 
 // Stats returns a snapshot of the fabric counters.
 func (n *Network) Stats() Stats {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	return n.stats
-}
-
-func (n *Network) bump(f func(*Stats)) {
-	n.statsMu.Lock()
-	f(&n.stats)
-	n.statsMu.Unlock()
+	return Stats{
+		Sent:           n.stats.sent.Load(),
+		Delivered:      n.stats.delivered.Load(),
+		DroppedEgress:  n.stats.droppedEgress.Load(),
+		DroppedSwitch:  n.stats.droppedSwitch.Load(),
+		DroppedIngress: n.stats.droppedIngress.Load(),
+		DroppedRandom:  n.stats.droppedRandom.Load(),
+		DroppedDown:    n.stats.droppedDown.Load(),
+	}
 }
 
 // Reachable reports whether a packet src->dst would currently be
@@ -280,25 +323,25 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 		n.mu.RUnlock()
 		return fmt.Errorf("netsim: host %s is down", src)
 	}
-	pkt := Packet{Src: src, Dst: dst, Payload: payload, SentAt: time.Now()}
-	n.bump(func(s *Stats) { s.Sent++ })
+	pkt := Packet{Src: src, Dst: dst, Payload: payload, SentAt: n.clk.Now()}
+	n.stats.sent.Add(1)
 
 	// Egress chain.
 	if f := n.egress[src]; f != nil && f.Check(src, dst) == VerdictDrop {
 		n.mu.RUnlock()
-		n.bump(func(s *Stats) { s.DroppedEgress++ })
+		n.stats.droppedEgress.Add(1)
 		return nil
 	}
 	// Switch.
 	if n.switchFi != nil && n.switchFi.Check(src, dst) == VerdictDrop {
 		n.mu.RUnlock()
-		n.bump(func(s *Stats) { s.DroppedSwitch++ })
+		n.stats.droppedSwitch.Add(1)
 		return nil
 	}
 	// Ingress chain.
 	if f := n.ingress[dst]; f != nil && f.Check(src, dst) == VerdictDrop {
 		n.mu.RUnlock()
-		n.bump(func(s *Stats) { s.DroppedIngress++ })
+		n.stats.droppedIngress.Add(1)
 		return nil
 	}
 	n.mu.RUnlock()
@@ -309,7 +352,7 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 		lost := n.rng.Float64() < n.opts.LossRate
 		n.rngMu.Unlock()
 		if lost {
-			n.bump(func(s *Stats) { s.DroppedRandom++ })
+			n.stats.droppedRandom.Add(1)
 			return nil
 		}
 	}
@@ -325,7 +368,7 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 		n.deliver(pkt)
 		return nil
 	}
-	time.AfterFunc(delay, func() { n.deliver(pkt) })
+	n.clk.AfterFunc(delay, func() { n.deliver(pkt) })
 	return nil
 }
 
@@ -338,9 +381,9 @@ func (n *Network) deliver(pkt Packet) {
 	}
 	n.mu.RUnlock()
 	if handler == nil {
-		n.bump(func(s *Stats) { s.DroppedDown++ })
+		n.stats.droppedDown.Add(1)
 		return
 	}
-	n.bump(func(s *Stats) { s.Delivered++ })
+	n.stats.delivered.Add(1)
 	handler(pkt)
 }

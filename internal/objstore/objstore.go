@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -146,17 +147,18 @@ func (o *OSD) replicate(msg replMsg) int {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, s := range o.secondaries() {
+		s := s
 		wg.Add(1)
-		go func(s netsim.NodeID) {
+		clock.Go(o.ep.Clock(), func() {
 			defer wg.Done()
 			if _, err := o.ep.Call(s, mRepl, msg, o.cfg.RPCTimeout); err == nil {
 				mu.Lock()
 				acked++
 				mu.Unlock()
 			}
-		}(s)
+		})
 	}
-	wg.Wait()
+	clock.Idle(o.ep.Clock(), wg.Wait)
 	return acked
 }
 

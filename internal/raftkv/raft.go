@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -197,6 +198,7 @@ type Node struct {
 	cfg Config
 	id  netsim.NodeID
 	ep  *transport.Endpoint
+	clk clock.Clock
 
 	mu               sync.Mutex
 	role             Role
@@ -222,13 +224,15 @@ type Node struct {
 // NewNode creates a Raft node, unstarted.
 func NewNode(n *netsim.Network, id netsim.NodeID, cfg Config) *Node {
 	cfg = cfg.withDefaults()
+	ep := transport.NewEndpoint(n, id)
 	nd := &Node{
 		cfg:    cfg,
 		id:     id,
-		ep:     transport.NewEndpoint(n, id),
+		ep:     ep,
+		clk:    ep.Clock(),
 		config: append([]netsim.NodeID(nil), cfg.Peers...),
 		data:   make(map[string]string),
-		rng:    rand.New(rand.NewSource(int64(hashID(id)))),
+		rng:    rand.New(rand.NewSource(int64(id.Hash()))),
 		stopCh: make(chan struct{}),
 	}
 	nd.ep.DefaultTimeout = cfg.RPCTimeout
@@ -243,21 +247,16 @@ func NewNode(n *netsim.Network, id netsim.NodeID, cfg Config) *Node {
 	return nd
 }
 
-func hashID(id netsim.NodeID) uint32 {
-	var h uint32 = 2166136261
-	for _, c := range []byte(id) {
-		h = (h ^ uint32(c)) * 16777619
-	}
-	return h
-}
-
 // ID returns the node's ID.
 func (nd *Node) ID() netsim.NodeID { return nd.id }
 
-// Start launches the tick loop.
+// Start launches the tick loop. The ticker is created here, on the
+// caller, so creation (and same-instant firing) order follows the
+// deterministic deployment order.
 func (nd *Node) Start() {
 	nd.wg.Add(1)
-	go nd.tickLoop()
+	t := nd.clk.NewTicker(nd.cfg.HeartbeatInterval / 2)
+	go nd.tickLoop(t)
 }
 
 // Stop halts the node.
@@ -343,35 +342,29 @@ func (nd *Node) peersLocked() []netsim.NodeID {
 func (nd *Node) resetElectionDeadlineLocked() {
 	span := nd.cfg.ElectionTimeoutMax - nd.cfg.ElectionTimeoutMin
 	d := nd.cfg.ElectionTimeoutMin + time.Duration(nd.rng.Int63n(int64(span)+1))
-	nd.electionDeadline = time.Now().Add(d)
+	nd.electionDeadline = nd.clk.Now().Add(d)
 }
 
 // --- tick loop ---
 
-func (nd *Node) tickLoop() {
+func (nd *Node) tickLoop(t clock.Ticker) {
 	defer nd.wg.Done()
-	t := time.NewTicker(nd.cfg.HeartbeatInterval / 2)
 	defer t.Stop()
-	for {
-		select {
-		case <-nd.stopCh:
+	clock.TickLoop(nd.clk, t, nd.stopCh, func() {
+		nd.mu.Lock()
+		role := nd.role
+		removed := nd.removed
+		expired := nd.clk.Now().After(nd.electionDeadline)
+		nd.mu.Unlock()
+		if removed {
 			return
-		case <-t.C:
-			nd.mu.Lock()
-			role := nd.role
-			removed := nd.removed
-			expired := time.Now().After(nd.electionDeadline)
-			nd.mu.Unlock()
-			if removed {
-				continue
-			}
-			if role == LeaderRole {
-				nd.broadcastAppend()
-			} else if expired {
-				nd.startElection()
-			}
 		}
-	}
+		if role == LeaderRole {
+			nd.broadcastAppend()
+		} else if expired {
+			nd.startElection()
+		}
+	})
 }
 
 // --- election ---
@@ -400,8 +393,9 @@ func (nd *Node) startElection() {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, p := range peers {
+		p := p
 		wg.Add(1)
-		go func(p netsim.NodeID) {
+		clock.Go(nd.clk, func() {
 			defer wg.Done()
 			resp, err := nd.ep.Call(p, mVote, req, nd.cfg.RPCTimeout)
 			if err != nil {
@@ -421,9 +415,9 @@ func (nd *Node) startElection() {
 				votes++
 				mu.Unlock()
 			}
-		}(p)
+		})
 	}
-	wg.Wait()
+	clock.Idle(nd.clk, wg.Wait)
 
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
@@ -459,7 +453,13 @@ func (nd *Node) becomeLeaderLocked() {
 	nd.log = append(nd.log, LogEntry{
 		Index: nd.lastIndexLocked() + 1, Term: nd.term, Kind: EntryNoop,
 	})
-	go nd.broadcastAppend()
+	if !nd.stopped {
+		nd.wg.Add(1)
+		clock.Go(nd.clk, func() {
+			defer nd.wg.Done()
+			nd.broadcastAppend()
+		})
+	}
 }
 
 func (nd *Node) onRequestVote(from netsim.NodeID, body any) (any, error) {
@@ -501,13 +501,14 @@ func (nd *Node) broadcastAppend() {
 	nd.mu.Unlock()
 	var wg sync.WaitGroup
 	for _, p := range peers {
+		p := p
 		wg.Add(1)
-		go func(p netsim.NodeID) {
+		clock.Go(nd.clk, func() {
 			defer wg.Done()
 			nd.replicateTo(p)
-		}(p)
+		})
 	}
-	wg.Wait()
+	clock.Idle(nd.clk, wg.Wait)
 	nd.advanceCommit()
 }
 
@@ -683,7 +684,7 @@ func (nd *Node) onPut(from netsim.NodeID, body any) (any, error) {
 	nd.mu.Unlock()
 
 	// Drive replication until the entry commits or the wait expires.
-	deadline := time.Now().Add(nd.cfg.CommitWait)
+	deadline := nd.clk.Now().Add(nd.cfg.CommitWait)
 	for {
 		nd.broadcastAppend()
 		nd.mu.Lock()
@@ -696,10 +697,10 @@ func (nd *Node) onPut(from netsim.NodeID, body any) (any, error) {
 		if !stillLeader {
 			return nil, &NotLeaderError{}
 		}
-		if time.Now().After(deadline) {
+		if nd.clk.Now().After(deadline) {
 			return nil, ErrNoQuorum
 		}
-		time.Sleep(nd.cfg.HeartbeatInterval / 2)
+		nd.clk.Sleep(nd.cfg.HeartbeatInterval / 2)
 	}
 }
 

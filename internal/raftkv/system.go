@@ -27,18 +27,20 @@ func NewSystem(n *netsim.Network, cfg Config) *System {
 // Name implements core.ISystem.
 func (s *System) Name() string { return "raftkv" }
 
-// Start implements core.ISystem.
+// Start implements core.ISystem. Nodes boot in configured order so
+// ticker registration (and virtual-time firing order) is identical
+// between runs of the same seed.
 func (s *System) Start() error {
-	for _, nd := range s.nodes {
-		nd.Start()
+	for _, id := range s.cfg.Peers {
+		s.nodes[id].Start()
 	}
 	return nil
 }
 
 // Stop implements core.ISystem.
 func (s *System) Stop() error {
-	for _, nd := range s.nodes {
-		nd.Stop()
+	for _, id := range s.cfg.Peers {
+		s.nodes[id].Stop()
 	}
 	return nil
 }
@@ -67,16 +69,19 @@ func (s *System) Leaders() []netsim.NodeID {
 }
 
 // WaitForLeaderAmong blocks until one of the given nodes leads,
-// returning it ("" on timeout).
+// returning it ("" on timeout). The wait is clock-driven so that under
+// a virtual clock the poll loop advances simulated time instead of
+// burning real milliseconds.
 func (s *System) WaitForLeaderAmong(nodes []netsim.NodeID, timeout time.Duration) netsim.NodeID {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	clk := s.net.Clock()
+	deadline := clk.Now().Add(timeout)
+	for clk.Now().Before(deadline) {
 		for _, id := range nodes {
 			if nd, ok := s.nodes[id]; ok && nd.Status().Role == LeaderRole {
 				return id
 			}
 		}
-		time.Sleep(time.Millisecond)
+		clk.Sleep(time.Millisecond)
 	}
 	return ""
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 )
 
@@ -44,6 +45,7 @@ type pendingCall struct {
 type Endpoint struct {
 	id  netsim.NodeID
 	net *netsim.Network
+	clk clock.Clock
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -53,6 +55,9 @@ type Endpoint struct {
 	seq   atomic.Uint64
 	inbox chan netsim.Packet
 	done  chan struct{}
+	// dispGid identifies the dispatcher goroutine: queued requests bind
+	// their busy tokens to its scope (see receive).
+	dispGid uint64
 
 	// DefaultTimeout is used by Call when the caller passes 0.
 	DefaultTimeout time.Duration
@@ -68,14 +73,20 @@ func NewEndpoint(n *netsim.Network, id netsim.NodeID) *Endpoint {
 	e := &Endpoint{
 		id:             id,
 		net:            n,
+		clk:            n.Clock(),
 		handlers:       make(map[string]Handler),
 		pending:        make(map[uint64]*pendingCall),
 		inbox:          make(chan netsim.Packet, InboxDepth),
 		done:           make(chan struct{}),
 		DefaultTimeout: 250 * time.Millisecond,
 	}
+	// The dispatcher publishes its goroutine identity before the
+	// endpoint goes on the fabric, so every received request can bind
+	// its token to the dispatcher's scope.
+	gidCh := make(chan uint64)
+	go e.dispatch(gidCh)
+	e.dispGid = <-gidCh
 	n.Register(id, e.receive)
-	go e.dispatch()
 	return e
 }
 
@@ -84,6 +95,11 @@ func (e *Endpoint) ID() netsim.NodeID { return e.id }
 
 // Network returns the underlying fabric.
 func (e *Endpoint) Network() *netsim.Network { return e.net }
+
+// Clock returns the fabric's time source. Systems built on an endpoint
+// take every ticker, sleep, and deadline from here, which is what lets
+// a campaign run a whole deployment on virtual time.
+func (e *Endpoint) Clock() clock.Clock { return e.clk }
 
 // Handle registers the handler for a method name. Registering twice
 // replaces the handler; registering a nil handler removes it.
@@ -107,6 +123,25 @@ func (e *Endpoint) Close() {
 	e.closed = true
 	pend := e.pending
 	e.pending = make(map[uint64]*pendingCall)
+	// Reclaim the busy tokens of requests still queued when the
+	// dispatcher exits: without this, a request that arrived just
+	// before teardown would hold its token forever and freeze the
+	// round's virtual clock (hanging any goroutine still parked on a
+	// virtual timeout). Safe against the dispatcher racing us: it
+	// either dequeued a packet (and releases after serving it) or we
+	// drain it here — the write lock excludes concurrent enqueuers.
+	for {
+		drained := false
+		select {
+		case <-e.inbox:
+			clock.ReleaseScopedAs(e.clk, e.dispGid)
+			drained = true
+		default:
+		}
+		if !drained {
+			break
+		}
+	}
 	e.mu.Unlock()
 
 	e.net.Unregister(e.id)
@@ -124,31 +159,67 @@ func (e *Endpoint) receive(pkt netsim.Packet) {
 		return
 	}
 	if env.IsReply {
+		// A delivered reply is a unit of in-flight work under a virtual
+		// clock: the busy token acquired here keeps virtual time from
+		// advancing (and spuriously firing the caller's timeout) until
+		// the waiting Call consumes the reply and releases it. The send
+		// stays under the read lock so that Call's cleanup — which
+		// deletes the pending entry and drains the channel under the
+		// write lock — can never miss a token.
 		e.mu.RLock()
-		p := e.pending[env.ID]
-		e.mu.RUnlock()
-		if p != nil {
+		if p := e.pending[env.ID]; p != nil {
+			clock.Acquire(e.clk)
 			select {
 			case p.ch <- env:
 			default:
+				clock.Release(e.clk)
 			}
 		}
+		e.mu.RUnlock()
 		return
 	}
+	// A queued request is in-flight work, accounted as a busy token
+	// bound to the dispatcher goroutine's scope: virtual time stays
+	// frozen while the request waits for, and is served by, a runnable
+	// dispatcher — but because the token lives in the dispatcher's
+	// scope, it is surrendered automatically whenever a handler parks
+	// in a clock wait of its own (a commit-wait sleep, a nested RPC
+	// timeout, a replication fan-out join) and restored when the
+	// handler resumes. Queued requests therefore cannot deadlock the
+	// clock; a request overtaken by virtual time while its server was
+	// parked is a request timing out against a busy server —
+	// realistic, and deterministic under the simulated clock.
+	//
+	// The enqueue stays under the read lock so that Close — which sets
+	// closed and drains leftover tokens under the write lock — can
+	// never miss one: a token enqueued here is either served and
+	// released by the dispatcher or reclaimed by Close's drain.
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return
+	}
+	clock.AcquireScopedAs(e.clk, e.dispGid)
 	select {
 	case e.inbox <- pkt:
 	default:
 		// Inbox full: drop, as an overloaded server would.
+		clock.ReleaseScopedAs(e.clk, e.dispGid)
 	}
+	e.mu.RUnlock()
 }
 
-func (e *Endpoint) dispatch() {
+func (e *Endpoint) dispatch(gidCh chan<- uint64) {
+	gidCh <- clock.Gid()
 	for {
 		select {
 		case <-e.done:
 			return
 		case pkt := <-e.inbox:
+			// Serve under the token the sender bound to this goroutine;
+			// retire it when the handler completes.
 			e.serve(pkt)
+			clock.ReleaseScoped(e.clk)
 		}
 	}
 }
@@ -209,6 +280,15 @@ func (e *Endpoint) Call(dst netsim.NodeID, kind string, body any, timeout time.D
 	defer func() {
 		e.mu.Lock()
 		delete(e.pending, id)
+		// Reclaim the busy token of a reply that arrived but was never
+		// consumed (the timeout won the select, or Close raced us).
+		select {
+		case _, delivered := <-p.ch:
+			if delivered {
+				clock.Release(e.clk)
+			}
+		default:
+		}
 		e.mu.Unlock()
 	}()
 
@@ -217,20 +297,41 @@ func (e *Endpoint) Call(dst netsim.NodeID, kind string, body any, timeout time.D
 		return nil, err
 	}
 
-	timer := time.NewTimer(timeout)
+	// A wake timer's fire carries a busy token (released on the timeout
+	// path below, reclaimed by the deferred Stop otherwise), so a caller
+	// waking from a timeout observes virtual time at its deadline — time
+	// cannot run further ahead while the scheduler resumes us.
+	timer := clock.NewWakeTimer(e.clk, timeout)
 	defer timer.Stop()
-	select {
-	case resp, ok := <-p.ch:
-		if !ok {
-			return nil, ErrClosed
+	// The select runs under clock.Idle: a caller holding scoped busy
+	// tokens (a handler issuing a nested call) surrenders them while
+	// blocked here, so the virtual clock can advance to this call's own
+	// timeout.
+	var (
+		resp      envelope
+		delivered bool
+		timedOut  bool
+	)
+	clock.Idle(e.clk, func() {
+		select {
+		case r, ok := <-p.ch:
+			resp, delivered = r, ok
+		case <-timer.C():
+			timedOut = true
 		}
-		if resp.Err != "" {
-			return resp.Body, &RemoteError{Method: kind, Node: dst, Msg: resp.Err}
-		}
-		return resp.Body, nil
-	case <-timer.C:
+	})
+	switch {
+	case timedOut:
+		clock.Release(e.clk)
 		return nil, fmt.Errorf("%w: %s->%s %s after %v", ErrTimeout, e.id, dst, kind, timeout)
+	case !delivered:
+		return nil, ErrClosed
 	}
+	clock.Release(e.clk)
+	if resp.Err != "" {
+		return resp.Body, &RemoteError{Method: kind, Node: dst, Msg: resp.Err}
+	}
+	return resp.Body, nil
 }
 
 // RemoteError is an application-level error returned by the peer's
