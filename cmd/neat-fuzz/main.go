@@ -31,11 +31,17 @@
 // sleeping, so campaigns run at CPU speed and identical seeds yield
 // identical outcomes. Pass -realtime to fuzz against the wall clock.
 //
+// Schedules draw from the full fault vocabulary by default: the
+// paper's three partition types, crashes, and the link-level chaos
+// faults (slow, loss, flaky, flap). Pass -faults to restrict the mix —
+// the presets classic (partitions + crashes) and chaos (link
+// degradations only), or a comma-separated list of kind names.
+//
 // Usage:
 //
 //	neat-fuzz [-rounds N] [-seed S] [-target t1,t2|all] [-mode M]
-//	          [-shrink] [-json path|-] [-workers W] [-list]
-//	          [-expect-none] [-realtime]
+//	          [-faults all|classic|chaos|k1,k2] [-shrink] [-json path|-]
+//	          [-workers W] [-list] [-expect-none] [-realtime]
 package main
 
 import (
@@ -53,6 +59,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed (derives every schedule seed)")
 	targetSpec := flag.String("target", "", "comma-separated targets, or 'all' (default: all)")
 	modeName := flag.String("mode", "", "legacy kvstore election mode; shorthand for -target kvstore/<mode>")
+	faultSpec := flag.String("faults", "all",
+		"fault kinds to generate: all, classic, chaos, or a comma-separated list (complete,partial,simplex,crash,slow,loss,flaky,flap)")
 	shrink := flag.Bool("shrink", true, "shrink each unique failing schedule to a minimal reproducer")
 	jsonPath := flag.String("json", "-", "write the JSON report to this file ('-' = stdout, '' = skip)")
 	workers := flag.Int("workers", 0, "concurrent rounds (0 = auto)")
@@ -81,12 +89,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	kinds, err := campaign.ParseFaultKinds(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	res := campaign.Run(campaign.Config{
 		Targets:     targets,
 		Rounds:      *rounds,
 		Seed:        *seed,
 		Workers:     *workers,
+		FaultKinds:  kinds,
 		Shrink:      *shrink,
 		VirtualTime: !*realtime,
 		Log:         os.Stderr,

@@ -303,3 +303,269 @@ func TestReportShape(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGenerateChaosParams: chaos faults must carry in-range magnitudes
+// and probabilities.
+func TestGenerateChaosParams(t *testing.T) {
+	topo := testTopology()
+	for seed := int64(0); seed < 300; seed++ {
+		s := Generate(rand.New(rand.NewSource(seed)), topo)
+		for _, f := range s.Faults {
+			switch f.Kind {
+			case FaultSlow:
+				if f.DelayMs < minSlowDelayMs || f.DelayMs > maxSlowDelayMs {
+					t.Fatalf("seed %d: slow delay %dms out of range", seed, f.DelayMs)
+				}
+			case FaultLoss:
+				if f.Rate < minLossRate || f.Rate > maxLossRate {
+					t.Fatalf("seed %d: loss rate %v out of range", seed, f.Rate)
+				}
+			case FaultFlaky:
+				if f.Rate < minFlakyRate || f.Rate > maxFlakyRate {
+					t.Fatalf("seed %d: flaky rate %v out of range", seed, f.Rate)
+				}
+				if f.DelayMs < minWindowMs || f.DelayMs > maxWindowMs {
+					t.Fatalf("seed %d: flaky window %dms out of range", seed, f.DelayMs)
+				}
+			case FaultFlap:
+				if f.DelayMs < minFlapMs || f.DelayMs > maxFlapMs {
+					t.Fatalf("seed %d: flap period %dms out of range", seed, f.DelayMs)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateCoversAllKinds: the default mix must eventually draw
+// every fault kind.
+func TestGenerateCoversAllKinds(t *testing.T) {
+	topo := testTopology()
+	seen := make(map[FaultKind]bool)
+	for seed := int64(0); seed < 400; seed++ {
+		for _, f := range Generate(rand.New(rand.NewSource(seed)), topo).Faults {
+			seen[f.Kind] = true
+		}
+	}
+	for _, k := range AllFaultKinds {
+		if !seen[k] {
+			t.Fatalf("kind %v never generated in 400 seeds", k)
+		}
+	}
+}
+
+// TestGenerateRestrictedKinds: Generate must draw only from the given
+// kind set.
+func TestGenerateRestrictedKinds(t *testing.T) {
+	topo := testTopology()
+	allowed := map[FaultKind]bool{FaultSlow: true, FaultLoss: true, FaultFlaky: true, FaultFlap: true}
+	for seed := int64(0); seed < 100; seed++ {
+		for _, f := range Generate(rand.New(rand.NewSource(seed)), topo, ChaosFaultKinds...).Faults {
+			if !allowed[f.Kind] {
+				t.Fatalf("seed %d: kind %v outside the chaos set", seed, f.Kind)
+			}
+		}
+	}
+}
+
+// TestGenerateEdgeTopologies is the complete-partition fixup bugfix:
+// degenerate topologies must still yield valid faults — both partition
+// sides nonempty and disjoint with the victim in GroupA, falling back
+// to a crash when the topology has no possible peer.
+func TestGenerateEdgeTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+	}{
+		{"single-server", Topology{Servers: ids("s", 1)}},
+		{"two-servers", Topology{Servers: ids("s", 2)}},
+		{"server-and-client", Topology{Servers: ids("s", 1), Clients: []netsim.NodeID{"c1"}}},
+		{"server-and-service", Topology{Servers: ids("s", 1), Services: []netsim.NodeID{"zk"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			soloNode := len(tc.topo.All()) == 1
+			for seed := int64(0); seed < 300; seed++ {
+				s := Generate(rand.New(rand.NewSource(seed)), tc.topo)
+				for _, f := range s.Faults {
+					if len(f.GroupA) == 0 {
+						t.Fatalf("seed %d: empty GroupA in %v", seed, f)
+					}
+					if soloNode && f.Kind != FaultCrash {
+						t.Fatalf("seed %d: single-node topology generated %v", seed, f)
+					}
+					if f.Kind == FaultCrash {
+						continue
+					}
+					if len(f.GroupB) == 0 {
+						t.Fatalf("seed %d: empty GroupB in %v", seed, f)
+					}
+					inA := map[netsim.NodeID]bool{}
+					for _, id := range f.GroupA {
+						inA[id] = true
+					}
+					for _, id := range f.GroupB {
+						if inA[id] {
+							t.Fatalf("seed %d: %s on both sides of %v", seed, id, f)
+						}
+					}
+					if f.Kind == FaultComplete || f.Kind == FaultFlap {
+						if !inA["s1"] && f.GroupA[0] != "s2" {
+							t.Fatalf("seed %d: victim not in GroupA of %v", seed, f)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFaultKindStrings is the mislabelling bugfix: every kind renders
+// its own name, and an out-of-range kind renders as faultkind(N)
+// rather than silently borrowing another kind's name.
+func TestFaultKindStrings(t *testing.T) {
+	want := map[FaultKind]string{
+		FaultComplete: "complete", FaultPartial: "partial",
+		FaultSimplex: "simplex", FaultCrash: "crash",
+		FaultSlow: "slow", FaultLoss: "loss",
+		FaultFlaky: "flaky", FaultFlap: "flap",
+	}
+	if len(want) != len(AllFaultKinds) {
+		t.Fatalf("test covers %d kinds, enum has %d", len(want), len(AllFaultKinds))
+	}
+	for k, name := range want {
+		if got := k.String(); got != name {
+			t.Fatalf("kind %d renders %q, want %q", int(k), got, name)
+		}
+	}
+	if got := FaultKind(99).String(); got != "faultkind(99)" {
+		t.Fatalf("out-of-range kind renders %q", got)
+	}
+	if got := FaultKind(-1).String(); got != "faultkind(-1)" {
+		t.Fatalf("negative kind renders %q", got)
+	}
+}
+
+// TestParseFaultKinds: presets resolve, lists resolve, junk errors.
+func TestParseFaultKinds(t *testing.T) {
+	all, err := ParseFaultKinds("all")
+	if err != nil || len(all) != len(AllFaultKinds) {
+		t.Fatalf("all -> %v, %v", all, err)
+	}
+	chaos, err := ParseFaultKinds("chaos")
+	if err != nil || len(chaos) != 4 || chaos[0] != FaultSlow {
+		t.Fatalf("chaos -> %v, %v", chaos, err)
+	}
+	classic, err := ParseFaultKinds("classic")
+	if err != nil || len(classic) != 4 || classic[0] != FaultComplete {
+		t.Fatalf("classic -> %v, %v", classic, err)
+	}
+	list, err := ParseFaultKinds("complete, flap")
+	if err != nil || len(list) != 2 || list[0] != FaultComplete || list[1] != FaultFlap {
+		t.Fatalf("list -> %v, %v", list, err)
+	}
+	if _, err := ParseFaultKinds("warp"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := ParseFaultKinds(" , "); err == nil {
+		t.Fatal("empty list must error")
+	}
+}
+
+// TestFaultStringsRenderParams: chaos fault lines must carry their
+// magnitudes so JSON reports are replayable by inspection.
+func TestFaultStringsRenderParams(t *testing.T) {
+	a, b := []netsim.NodeID{"s1"}, []netsim.NodeID{"s2"}
+	cases := []struct {
+		f    Fault
+		want string
+	}{
+		{Fault{Kind: FaultSlow, At: 1, HealAt: 3, GroupA: a, GroupB: b, DelayMs: 40},
+			"slow [s1]|[s2] delay=40ms at=1 heal=3"},
+		{Fault{Kind: FaultLoss, At: 0, HealAt: -1, GroupA: a, GroupB: b, Rate: 0.25},
+			"loss [s1]|[s2] rate=0.25 at=0 heal=end"},
+		{Fault{Kind: FaultFlaky, At: 2, HealAt: -1, GroupA: a, GroupB: b, Rate: 0.5, DelayMs: 10},
+			"flaky [s1]|[s2] rate=0.50 window=10ms at=2 heal=end"},
+		{Fault{Kind: FaultFlap, At: 4, HealAt: 6, GroupA: a, GroupB: b, DelayMs: 20},
+			"flap [s1]|[s2] period=20ms at=4 heal=6"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.String(); got != tc.want {
+			t.Fatalf("got %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestRunScheduleChaosKinds: the runner must inject, hold, and heal
+// every chaos kind. The fake target watches s1->s2 reachability: pure
+// link degradation never blocks it, while a flap's partitioned phase
+// does.
+func TestRunScheduleChaosKinds(t *testing.T) {
+	tgt := &fakeTarget{}
+	a, b := []netsim.NodeID{"s1"}, []netsim.NodeID{"s2"}
+	for _, f := range []Fault{
+		{Kind: FaultSlow, At: 1, HealAt: 3, GroupA: a, GroupB: b, DelayMs: 20},
+		{Kind: FaultLoss, At: 1, HealAt: -1, GroupA: a, GroupB: b, Rate: 0.5},
+		{Kind: FaultFlaky, At: 0, HealAt: -1, GroupA: a, GroupB: b, Rate: 0.4, DelayMs: 10},
+	} {
+		out := RunSchedule(tgt, Schedule{Seed: 3, Ops: 5, Faults: []Fault{f}})
+		if out.Err != nil {
+			t.Fatalf("%v: %v", f, out.Err)
+		}
+		if len(out.Violations) != 0 {
+			t.Fatalf("%v blocked the link: %v", f, out.Violations)
+		}
+	}
+	flap := Fault{Kind: FaultFlap, At: 1, HealAt: -1, GroupA: a, GroupB: b, DelayMs: 30}
+	out := RunSchedule(tgt, Schedule{Seed: 3, Ops: 5, Faults: []Fault{flap}})
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(out.Violations) != 1 {
+		t.Fatalf("flap's partitioned phase never observed: %v", out.Violations)
+	}
+}
+
+// alwaysTarget violates its invariant on every run, faults or none —
+// the workload-only failure shape.
+type alwaysTarget struct{}
+
+func (t *alwaysTarget) Name() string       { return "always" }
+func (t *alwaysTarget) Topology() Topology { return Topology{Servers: ids("s", 3)} }
+func (t *alwaysTarget) Deploy(eng *core.Engine) (Instance, error) {
+	return &alwaysInstance{}, nil
+}
+
+type alwaysInstance struct{}
+
+func (in *alwaysInstance) Step(*StepCtx) {}
+func (in *alwaysInstance) Check() []Violation {
+	return []Violation{{Invariant: "always", Subject: "x", Detail: "fires unconditionally"}}
+}
+func (in *alwaysInstance) Close() {}
+
+// TestShrinkToZeroFaults is the spurious-fault bugfix: a violation the
+// workload triggers with no faults at all must shrink to an empty
+// fault list instead of keeping one irrelevant fault in the "minimal"
+// reproducer.
+func TestShrinkToZeroFaults(t *testing.T) {
+	tgt := &alwaysTarget{}
+	sched := Schedule{
+		Seed: 11,
+		Ops:  8,
+		Faults: []Fault{
+			{Kind: FaultCrash, At: 1, HealAt: 3, GroupA: []netsim.NodeID{"s2"}},
+			{Kind: FaultPartial, At: 2, HealAt: -1,
+				GroupA: []netsim.NodeID{"s1"}, GroupB: []netsim.NodeID{"s3"}},
+		},
+	}
+	shrunk, confirmed := Shrink(tgt, sched, "always|always|x", 1)
+	if !confirmed {
+		t.Fatal("unconditional violation reported as unconfirmed")
+	}
+	if len(shrunk.Faults) != 0 {
+		t.Fatalf("kept %d spurious faults in the minimal reproducer: %v", len(shrunk.Faults), shrunk)
+	}
+	if shrunk.Ops >= sched.Ops {
+		t.Fatalf("ops not reduced: %d", shrunk.Ops)
+	}
+}

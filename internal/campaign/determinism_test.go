@@ -22,14 +22,16 @@ func determinismTargets(t *testing.T) []Target {
 
 // runVirtualCampaign executes one virtual-time campaign and returns
 // its full JSON report — signatures, first rounds, counts, schedules,
-// and shrunk reproducers, canonically serialized.
-func runVirtualCampaign(t *testing.T, workers int) []byte {
+// and shrunk reproducers, canonically serialized. The kinds restrict
+// fault generation (nil = the full default mix, chaos included).
+func runVirtualCampaign(t *testing.T, workers int, kinds ...FaultKind) []byte {
 	t.Helper()
 	res := Run(Config{
 		Targets:     determinismTargets(t),
 		Rounds:      6,
 		Seed:        42,
 		Workers:     workers,
+		FaultKinds:  kinds,
 		Shrink:      true,
 		VirtualTime: true,
 	})
@@ -64,6 +66,25 @@ func TestCampaignDeterministicUnderSimClock(t *testing.T) {
 	}
 	if !bytes.Contains(a, []byte(`"signature"`)) {
 		t.Fatal("campaign found no violations; the determinism check compared empty reports")
+	}
+}
+
+// TestCampaignDeterministicChaosOnly pins the chaos subsystem's
+// determinism in isolation: schedules drawn purely from the link-level
+// fault kinds (slow, loss, flaky, flap) must replay byte-identically,
+// which exercises the per-link decision streams, delayed AfterFunc
+// delivery, and flap toggling under the simulated clock.
+func TestCampaignDeterministicChaosOnly(t *testing.T) {
+	for attempt := 0; ; attempt++ {
+		a := runVirtualCampaign(t, detWorkersDefault, ChaosFaultKinds...)
+		b := runVirtualCampaign(t, detWorkersDefault, ChaosFaultKinds...)
+		if bytes.Equal(a, b) {
+			return
+		}
+		if attempt >= detRetries {
+			t.Fatalf("same-seed chaos campaigns diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+		}
+		t.Logf("attempt %d diverged; retrying with a fresh pair (allowed under -race)", attempt)
 	}
 }
 

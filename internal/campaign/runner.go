@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"neat/internal/clock"
 	"neat/internal/core"
@@ -126,6 +127,19 @@ func runSchedule(t Target, sched Schedule, virtual bool) RoundOutcome {
 				active[i], err = eng.Partial(f.GroupA, f.GroupB)
 			case FaultSimplex:
 				active[i], err = eng.Simplex(f.GroupA, f.GroupB)
+			case FaultSlow:
+				d := time.Duration(f.DelayMs) * time.Millisecond
+				active[i], err = eng.Slow(f.GroupA, f.GroupB, d, d/4)
+			case FaultLoss:
+				active[i], err = eng.Lossy(f.GroupA, f.GroupB, f.Rate)
+			case FaultFlaky:
+				active[i], err = eng.Flaky(f.GroupA, f.GroupB, netsim.Chaos{
+					Dup:           f.Rate,
+					Reorder:       f.Rate,
+					ReorderWindow: time.Duration(f.DelayMs) * time.Millisecond,
+				})
+			case FaultFlap:
+				active[i], err = eng.Flap(f.GroupA, f.GroupB, time.Duration(f.DelayMs)*time.Millisecond)
 			case FaultCrash:
 				v := f.GroupA[0]
 				if downRef[v] == 0 {
@@ -133,6 +147,8 @@ func runSchedule(t Target, sched Schedule, virtual bool) RoundOutcome {
 				}
 				downRef[v]++
 				crashed[i] = true
+			default:
+				err = fmt.Errorf("unknown fault kind %v", f.Kind)
 			}
 			if err != nil {
 				// A round whose faults never took effect must not be
@@ -182,6 +198,9 @@ type Config struct {
 	// Seed derives every schedule seed; equal seeds regenerate equal
 	// schedules.
 	Seed int64
+	// FaultKinds restricts which fault kinds Generate draws; nil or
+	// empty means AllFaultKinds. cmd/neat-fuzz sets it from -faults.
+	FaultKinds []FaultKind
 	// VirtualTime runs every round (and every shrink re-execution) on
 	// its own fresh simulated clock, so timing waits complete at CPU
 	// speed instead of wall-clock speed and identical seeds yield
@@ -271,7 +290,7 @@ func Run(cfg Config) *Result {
 			for j := range jobs {
 				seed := scheduleSeed(cfg.Seed, j.target.Name(), j.round)
 				gen := rand.New(rand.NewSource(seed))
-				sched := Generate(gen, j.target.Topology())
+				sched := Generate(gen, j.target.Topology(), cfg.FaultKinds...)
 				sched.Seed = seed
 				out := runSchedule(j.target, sched, cfg.VirtualTime)
 				out.Round = j.round

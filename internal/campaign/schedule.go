@@ -9,7 +9,9 @@ import (
 )
 
 // FaultKind enumerates the injectable faults: the paper's three
-// partition types plus node crashes.
+// partition types and node crashes, plus the link-level chaos faults
+// its failure reports implicate alongside clean splits — slow, lossy,
+// and flaky (duplicating/reordering) links and flapping partitions.
 type FaultKind int
 
 const (
@@ -23,9 +25,25 @@ const (
 	FaultSimplex
 	// FaultCrash power-offs one server (GroupA[0]); GroupB is unused.
 	FaultCrash
+	// FaultSlow adds DelayMs of one-way latency (plus jitter) to every
+	// link between the groups — the slow link that masquerades as a
+	// partition once timeouts expire.
+	FaultSlow
+	// FaultLoss drops packets between the groups with probability
+	// Rate, in both directions.
+	FaultLoss
+	// FaultFlaky duplicates and reorders packets between the groups,
+	// each with probability Rate, deferring reordered packets by up to
+	// DelayMs.
+	FaultFlaky
+	// FaultFlap repeatedly injects and heals a partition between the
+	// groups every DelayMs of schedule time, starting partitioned.
+	FaultFlap
 )
 
-// String names the fault kind.
+// String names the fault kind. The switch is exhaustive: an
+// out-of-range kind renders as "faultkind(N)" rather than silently
+// borrowing another kind's name and mislabelling reports.
 func (k FaultKind) String() string {
 	switch k {
 	case FaultComplete:
@@ -34,9 +52,70 @@ func (k FaultKind) String() string {
 		return "partial"
 	case FaultSimplex:
 		return "simplex"
-	default:
+	case FaultCrash:
 		return "crash"
+	case FaultSlow:
+		return "slow"
+	case FaultLoss:
+		return "loss"
+	case FaultFlaky:
+		return "flaky"
+	case FaultFlap:
+		return "flap"
+	default:
+		return fmt.Sprintf("faultkind(%d)", int(k))
 	}
+}
+
+// Fault-kind sets for Generate and the -faults flag of cmd/neat-fuzz.
+var (
+	// ClassicFaultKinds are the seed engine's four kinds: the paper's
+	// three partition types plus crashes.
+	ClassicFaultKinds = []FaultKind{FaultComplete, FaultPartial, FaultSimplex, FaultCrash}
+	// ChaosFaultKinds are the link-level degradations.
+	ChaosFaultKinds = []FaultKind{FaultSlow, FaultLoss, FaultFlaky, FaultFlap}
+	// AllFaultKinds is the default generation mix.
+	AllFaultKinds = append(append([]FaultKind{}, ClassicFaultKinds...), ChaosFaultKinds...)
+)
+
+// ParseFaultKinds resolves a -faults spec: the presets "all" (or
+// empty), "classic", and "chaos", or a comma-separated list of kind
+// names ("complete,slow,flap"). Duplicates are kept: they bias the
+// generator toward the repeated kind, which is occasionally useful.
+func ParseFaultKinds(spec string) ([]FaultKind, error) {
+	switch strings.TrimSpace(spec) {
+	case "", "all":
+		return append([]FaultKind{}, AllFaultKinds...), nil
+	case "classic":
+		return append([]FaultKind{}, ClassicFaultKinds...), nil
+	case "chaos":
+		return append([]FaultKind{}, ChaosFaultKinds...), nil
+	}
+	byName := make(map[string]FaultKind, len(AllFaultKinds))
+	for _, k := range AllFaultKinds {
+		byName[k.String()] = k
+	}
+	var out []FaultKind
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(AllFaultKinds))
+			for _, kk := range AllFaultKinds {
+				known = append(known, kk.String())
+			}
+			return nil, fmt.Errorf("campaign: unknown fault kind %q (known: %s, or the presets all/classic/chaos)",
+				name, strings.Join(known, ", "))
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: empty fault-kind spec %q", spec)
+	}
+	return out, nil
 }
 
 // Fault is one scheduled fault. It is injected just before operation
@@ -52,20 +131,41 @@ type Fault struct {
 	// only GroupA[0], the victim, is used.
 	GroupA []netsim.NodeID
 	GroupB []netsim.NodeID
+	// DelayMs is the chaos magnitude in milliseconds of schedule time:
+	// the added one-way link delay for FaultSlow, the reordering
+	// window for FaultFlaky, and the inject/heal half-period for
+	// FaultFlap. Zero for the other kinds.
+	DelayMs int
+	// Rate is the chaos probability: packet loss for FaultLoss, and
+	// the per-packet duplication and reordering probability for
+	// FaultFlaky. Zero for the other kinds.
+	Rate float64
 }
 
 // String renders one fault line, e.g.
-// "complete [s1 c1]|[s2 s3 c2] at=2 heal=5".
+// "complete [s1 c1]|[s2 s3 c2] at=2 heal=5" or
+// "loss [s1]|[s2 zk] rate=0.35 at=1 heal=end".
 func (f Fault) String() string {
 	heal := "end"
 	if f.HealAt >= 0 {
 		heal = fmt.Sprintf("%d", f.HealAt)
 	}
-	if f.Kind == FaultCrash {
-		return fmt.Sprintf("crash %s at=%d restart=%s", f.GroupA[0], f.At, heal)
+	groups := func() string {
+		return groupString(f.GroupA) + "|" + groupString(f.GroupB)
 	}
-	return fmt.Sprintf("%s %s|%s at=%d heal=%s",
-		f.Kind, groupString(f.GroupA), groupString(f.GroupB), f.At, heal)
+	switch f.Kind {
+	case FaultCrash:
+		return fmt.Sprintf("crash %s at=%d restart=%s", f.GroupA[0], f.At, heal)
+	case FaultSlow:
+		return fmt.Sprintf("slow %s delay=%dms at=%d heal=%s", groups(), f.DelayMs, f.At, heal)
+	case FaultLoss:
+		return fmt.Sprintf("loss %s rate=%.2f at=%d heal=%s", groups(), f.Rate, f.At, heal)
+	case FaultFlaky:
+		return fmt.Sprintf("flaky %s rate=%.2f window=%dms at=%d heal=%s", groups(), f.Rate, f.DelayMs, f.At, heal)
+	case FaultFlap:
+		return fmt.Sprintf("flap %s period=%dms at=%d heal=%s", groups(), f.DelayMs, f.At, heal)
+	}
+	return fmt.Sprintf("%s %s at=%d heal=%s", f.Kind, groups(), f.At, heal)
 }
 
 func groupString(g []netsim.NodeID) string {
@@ -107,22 +207,53 @@ const (
 	maxFaults = 3
 )
 
+// Chaos-fault magnitude bounds. Delays sit below the transport's
+// 250 ms RPC timeout so a slow link usually looks slow rather than
+// dead, but stacked overlays can push a round trip past it —
+// reproducing the "slow link masquerading as a partition" class.
+const (
+	minSlowDelayMs = 10
+	maxSlowDelayMs = 80
+	minLossRate    = 0.10
+	maxLossRate    = 0.60
+	minFlakyRate   = 0.15
+	maxFlakyRate   = 0.50
+	minWindowMs    = 5
+	maxWindowMs    = 40
+	minFlapMs      = 10
+	maxFlapMs      = 50
+)
+
 // Generate produces a random schedule for the topology, drawn
 // entirely from rng so equal seeds yield equal schedules. Schedules
-// may contain up to maxFaults overlapping faults of all kinds with
-// timed heals.
-func Generate(rng *rand.Rand, topo Topology) Schedule {
+// may contain up to maxFaults overlapping faults with timed heals,
+// drawn from the given kinds (defaulting to AllFaultKinds).
+func Generate(rng *rand.Rand, topo Topology, kinds ...FaultKind) Schedule {
+	if len(kinds) == 0 {
+		kinds = AllFaultKinds
+	}
 	ops := minOps + rng.Intn(maxOps-minOps+1)
 	n := 1 + rng.Intn(maxFaults)
 	sched := Schedule{Ops: ops}
 	for i := 0; i < n; i++ {
-		sched.Faults = append(sched.Faults, genFault(rng, topo, ops))
+		sched.Faults = append(sched.Faults, genFault(rng, topo, ops, kinds))
 	}
 	return sched
 }
 
-func genFault(rng *rand.Rand, topo Topology, ops int) Fault {
-	f := Fault{Kind: FaultKind(rng.Intn(4)), At: rng.Intn(ops)}
+// crash degrades a fault to a crash of its victim — the fallback for
+// edge topologies where the drawn kind needs a peer the topology does
+// not have (a single server with no services or clients).
+func (f Fault) crash(victim netsim.NodeID) Fault {
+	f.Kind = FaultCrash
+	f.GroupA = []netsim.NodeID{victim}
+	f.GroupB = nil
+	f.DelayMs, f.Rate = 0, 0
+	return f
+}
+
+func genFault(rng *rand.Rand, topo Topology, ops int, kinds []FaultKind) Fault {
+	f := Fault{Kind: kinds[rng.Intn(len(kinds))], At: rng.Intn(ops)}
 	// Half the faults heal mid-run (the study's timed heals); the
 	// rest persist until the end-of-schedule HealAll.
 	f.HealAt = -1
@@ -134,10 +265,11 @@ func genFault(rng *rand.Rand, topo Topology, ops int) Fault {
 	}
 	victim := topo.Servers[rng.Intn(len(topo.Servers))]
 	switch f.Kind {
-	case FaultComplete:
+	case FaultComplete, FaultFlap:
 		// Whole-cluster split: the victim server forms the minority;
 		// services and clients land on a random side each, so some
-		// rounds reproduce "client access to one side".
+		// rounds reproduce "client access to one side". A flap cycles
+		// the same split in and out.
 		a := []netsim.NodeID{victim}
 		var b []netsim.NodeID
 		for _, id := range topo.Servers {
@@ -153,10 +285,21 @@ func genFault(rng *rand.Rand, topo Topology, ops int) Fault {
 			}
 		}
 		if len(b) == 0 {
+			// No other servers and nothing drawn onto side B. Move a
+			// non-victim member of A across — a[0] is always the
+			// victim, so both sides end up nonempty with the victim
+			// still in GroupA. If the victim is the only node in the
+			// topology a partition is impossible; crash it instead.
+			if len(a) < 2 {
+				return f.crash(victim)
+			}
 			b = append(b, a[len(a)-1])
 			a = a[:len(a)-1]
 		}
 		f.GroupA, f.GroupB = a, b
+		if f.Kind == FaultFlap {
+			f.DelayMs = minFlapMs + rng.Intn(maxFlapMs-minFlapMs+1)
+		}
 	case FaultPartial:
 		// Isolate the victim from a random nonempty subset of the
 		// other servers and services; everyone keeps talking to the
@@ -168,6 +311,9 @@ func genFault(rng *rand.Rand, topo Topology, ops int) Fault {
 			}
 		}
 		others = append(others, topo.Services...)
+		if len(others) == 0 {
+			return f.crash(victim)
+		}
 		var b []netsim.NodeID
 		for _, id := range others {
 			if rng.Intn(2) == 0 {
@@ -189,10 +335,48 @@ func genFault(rng *rand.Rand, topo Topology, ops int) Fault {
 			}
 		}
 		rest = append(rest, topo.Services...)
+		if len(rest) == 0 {
+			return f.crash(victim)
+		}
 		if rng.Intn(2) == 0 {
 			f.GroupA, f.GroupB = []netsim.NodeID{victim}, rest
 		} else {
 			f.GroupA, f.GroupB = rest, []netsim.NodeID{victim}
+		}
+	case FaultSlow, FaultLoss, FaultFlaky:
+		// Degrade the links between the victim and a random nonempty
+		// subset of everyone else — including clients, so a lossy or
+		// slow client link reproduces retry storms and duplicated
+		// requests, not just server-to-server degradation.
+		var peers []netsim.NodeID
+		for _, id := range topo.Servers {
+			if id != victim {
+				peers = append(peers, id)
+			}
+		}
+		peers = append(peers, topo.Services...)
+		peers = append(peers, topo.Clients...)
+		if len(peers) == 0 {
+			return f.crash(victim)
+		}
+		var b []netsim.NodeID
+		for _, id := range peers {
+			if rng.Intn(2) == 0 {
+				b = append(b, id)
+			}
+		}
+		if len(b) == 0 {
+			b = append(b, peers[rng.Intn(len(peers))])
+		}
+		f.GroupA, f.GroupB = []netsim.NodeID{victim}, b
+		switch f.Kind {
+		case FaultSlow:
+			f.DelayMs = minSlowDelayMs + rng.Intn(maxSlowDelayMs-minSlowDelayMs+1)
+		case FaultLoss:
+			f.Rate = minLossRate + (maxLossRate-minLossRate)*rng.Float64()
+		case FaultFlaky:
+			f.Rate = minFlakyRate + (maxFlakyRate-minFlakyRate)*rng.Float64()
+			f.DelayMs = minWindowMs + rng.Intn(maxWindowMs-minWindowMs+1)
 		}
 	case FaultCrash:
 		f.GroupA = []netsim.NodeID{victim}

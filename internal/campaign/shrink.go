@@ -3,8 +3,11 @@ package campaign
 // Shrink greedily minimizes a failing schedule while it keeps
 // reproducing a violation with the given signature: it repeatedly
 // tries dropping one fault, then truncating the operation count, and
-// keeps any reduction that still fails. attempts bounds how many times
-// each candidate is executed before concluding it no longer reproduces
+// keeps any reduction that still fails. A schedule may shrink all the
+// way to zero faults — a violation the workload triggers on a healthy
+// network must not be pinned on a spurious fault in its "minimal"
+// reproducer. attempts bounds how many times each candidate is
+// executed before concluding it no longer reproduces
 // (timing-sensitive failures sometimes need more than one run);
 // attempts <= 0 means 1.
 //
@@ -25,8 +28,9 @@ func shrink(t Target, sched Schedule, signature string, attempts int, virtual bo
 	improved := true
 	for improved {
 		improved = false
-		// Pass 1: drop one fault at a time.
-		for i := 0; i < len(cur.Faults) && len(cur.Faults) > 1; i++ {
+		// Pass 1: drop one fault at a time (down to zero faults, for
+		// workload-only violations).
+		for i := 0; i < len(cur.Faults); i++ {
 			cand := cur
 			cand.Faults = append(append([]Fault{}, cur.Faults[:i]...), cur.Faults[i+1:]...)
 			if reproduces(t, cand, signature, attempts, virtual) {
@@ -47,9 +51,6 @@ func shrink(t Target, sched Schedule, signature string, attempts int, virtual bo
 				continue
 			}
 			cand := truncate(cur, ops)
-			if len(cand.Faults) == 0 {
-				continue
-			}
 			if reproduces(t, cand, signature, attempts, virtual) {
 				cur = cand
 				confirmed = true

@@ -53,17 +53,13 @@ func (t *eventualTarget) Deploy(eng *core.Engine) (Instance, error) {
 type eventualWriter struct {
 	cl    *eventual.Client
 	coord netsim.NodeID
-	// last is the writer's last acknowledged value; ackFaulted records
-	// whether a fault was active when it was acknowledged.
+	// last is the writer's last acknowledged value and lastClock the
+	// vector clock the coordinator returned with the acknowledgement
+	// (the write context); ackFaulted records whether a fault was
+	// active when it was acknowledged.
 	last       string
+	lastClock  eventual.VClock
 	ackFaulted bool
-	// seen accumulates every value this writer's coordinator ever
-	// exposed in a pre-write read. If the other writer's value shows
-	// up here, that value was incorporated into this side's causal
-	// history (even if later writes dominated it out of the sibling
-	// set), so consolidating it away is legitimate supersession, not
-	// concurrent data loss.
-	seen map[string]bool
 }
 
 const eventualKey = "ek"
@@ -76,16 +72,10 @@ type eventualInstance struct {
 
 func (in *eventualInstance) Step(ctx *StepCtx) {
 	for i, w := range in.writers {
-		if w.seen == nil {
-			w.seen = make(map[string]bool)
-		}
-		pre, _ := w.cl.Get(w.coord, eventualKey)
-		for _, v := range pre {
-			w.seen[v] = true
-		}
 		val := fmt.Sprintf("c%d-op%d", i+1, ctx.Op)
-		if w.cl.Put(w.coord, eventualKey, val) == nil {
+		if ver, err := w.cl.PutV(w.coord, eventualKey, val); err == nil {
 			w.last = val
+			w.lastClock = ver.Clock
 			w.ackFaulted = ctx.ActiveFaults > 0
 		}
 	}
@@ -94,19 +84,19 @@ func (in *eventualInstance) Step(ctx *StepCtx) {
 
 func (in *eventualInstance) Check() []Violation {
 	// Anti-entropy must reconcile every replica onto one sibling set.
-	var final []string
+	var final []eventual.Version
 	converged := in.eng.WaitUntil(2*time.Second, func() bool {
-		sets := make([][]string, 0, len(in.replicas))
+		sets := make([][]eventual.Version, 0, len(in.replicas))
 		for _, rep := range in.replicas {
-			vals, err := in.writers[0].cl.Get(rep, eventualKey)
+			vers, err := in.writers[0].cl.GetVersions(rep, eventualKey)
 			if err != nil && !eventual.IsNotFound(err) {
 				return false
 			}
-			sort.Strings(vals)
-			sets = append(sets, vals)
+			sort.Slice(vers, func(i, j int) bool { return vers[i].Val < vers[j].Val })
+			sets = append(sets, vers)
 		}
 		for _, s := range sets[1:] {
-			if strings.Join(s, ",") != strings.Join(sets[0], ",") {
+			if versionVals(s) != versionVals(sets[0]) {
 				return false
 			}
 		}
@@ -121,31 +111,55 @@ func (in *eventualInstance) Check() []Violation {
 		}}
 	}
 
-	// Concurrency witness: the two last acknowledged writes are
-	// concurrent iff both were acknowledged while a fault was active
-	// and neither side's coordinator ever incorporated the other's
-	// value into its causal history. Concurrent acknowledged writes
-	// must both survive (as siblings); consolidation that drops one is
-	// the paper's acknowledged-write data loss.
-	w1, w2 := in.writers[0], in.writers[1]
-	if w1.last == "" || w2.last == "" || !w1.ackFaulted || !w2.ackFaulted {
-		return nil
-	}
-	if w1.seen[w2.last] || w2.seen[w1.last] {
-		return nil
-	}
+	// Causality witness: a last acknowledged write that is missing
+	// from the final sibling set was legitimately superseded only if
+	// some survivor causally dominates it (its clock is After the
+	// acknowledged write's clock — the survivor incorporated it, even
+	// if no client-visible read ever exposed the incorporation: a
+	// timed-out Put that the coordinator applied anyway extends the
+	// same causal chain). A missing write that is concurrent with
+	// every survivor was consolidated away — the paper's
+	// acknowledged-write data loss. Vector causality never drops a
+	// non-dominated version; last-writer-wins does.
 	var out []Violation
 	for _, w := range in.writers {
-		if !contains(final, w.last) {
+		if w.last == "" || !w.ackFaulted || versionVal(final, w.last) {
+			continue
+		}
+		superseded := false
+		for _, v := range final {
+			if o := v.Clock.Compare(w.lastClock); o == eventual.After || o == eventual.Equal {
+				superseded = true
+				break
+			}
+		}
+		if !superseded {
 			out = append(out, Violation{
 				Invariant: "acked-write-survives",
 				Subject:   eventualKey,
-				Detail: fmt.Sprintf("acknowledged write %q was concurrent with the survivor yet consolidated away (final siblings %v)",
-					w.last, final),
+				Detail: fmt.Sprintf("acknowledged write %q was concurrent with every survivor yet consolidated away (final siblings %v)",
+					w.last, versionVals(final)),
 			})
 		}
 	}
 	return out
+}
+
+func versionVals(vs []eventual.Version) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.Val
+	}
+	return strings.Join(parts, ",")
+}
+
+func versionVal(vs []eventual.Version, val string) bool {
+	for _, v := range vs {
+		if v.Val == val {
+			return true
+		}
+	}
+	return false
 }
 
 func (in *eventualInstance) Close() {
@@ -154,11 +168,3 @@ func (in *eventualInstance) Close() {
 	}
 }
 
-func contains(vals []string, v string) bool {
-	for _, x := range vals {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}

@@ -58,7 +58,9 @@ func (r Role) String() string {
 }
 
 // PartitionType is one of the paper's three network-partitioning fault
-// classes (Figure 1).
+// classes (Figure 1), or one of the link-degradation faults the study's
+// failure reports implicate alongside clean splits: slow, lossy, and
+// flaky (duplicating/reordering) links, and flapping partitions.
 type PartitionType int
 
 const (
@@ -71,17 +73,41 @@ const (
 	// SimplexPartition lets traffic flow in one direction only
 	// (Figure 1.c).
 	SimplexPartition
+	// SlowPartition adds latency (and jitter) to every link between
+	// the groups without dropping anything — the slow link that
+	// masquerades as a partition once timeouts expire.
+	SlowPartition
+	// LossyPartition drops packets between the groups with a fixed
+	// probability in both directions.
+	LossyPartition
+	// FlakyPartition degrades the links with an arbitrary chaos mix
+	// (duplication, reordering, loss, delay).
+	FlakyPartition
+	// FlapPartition alternates between a live partition and a healed
+	// network on a fixed clock-driven cycle — the transient, flapping
+	// partitions the study singles out as especially damaging.
+	FlapPartition
 )
 
-// String returns the paper's name for the partition type.
+// String returns the name of the partition type.
 func (t PartitionType) String() string {
 	switch t {
+	case CompletePartition:
+		return "complete"
 	case PartialPartition:
 		return "partial"
 	case SimplexPartition:
 		return "simplex"
+	case SlowPartition:
+		return "slow"
+	case LossyPartition:
+		return "lossy"
+	case FlakyPartition:
+		return "flaky"
+	case FlapPartition:
+		return "flap"
 	default:
-		return "complete"
+		return fmt.Sprintf("partitiontype(%d)", int(t))
 	}
 }
 

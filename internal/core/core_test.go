@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 )
 
@@ -431,5 +432,168 @@ func TestVerifyPartitionDetectsTampering(t *testing.T) {
 	e.Switch().RemoveCookie(1)
 	if err := e.VerifyPartition(p); err == nil {
 		t.Fatal("verification should notice the missing drop rules")
+	}
+}
+
+// --- Link-chaos primitives (Slow, Lossy, Flaky, Flap) ---
+
+func TestChaosPrimitivesKeepLinksReachable(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b", "c")
+		slow, err := e.Slow([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, 10*time.Millisecond, 0)
+		if err != nil {
+			t.Fatalf("slow: %v", err)
+		}
+		lossy, err := e.Lossy([]netsim.NodeID{"a"}, []netsim.NodeID{"c"}, 0.5)
+		if err != nil {
+			t.Fatalf("lossy: %v", err)
+		}
+		flaky, err := e.Flaky([]netsim.NodeID{"b"}, []netsim.NodeID{"c"}, netsim.Chaos{Dup: 0.5, Reorder: 0.5, ReorderWindow: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("flaky: %v", err)
+		}
+		for _, p := range []*Partition{slow, lossy, flaky} {
+			if err := e.VerifyPartition(p); err != nil {
+				t.Fatalf("verify %s: %v", p.Type, err)
+			}
+		}
+		if n := e.Network().ActiveChaos(); n != 3 {
+			t.Fatalf("ActiveChaos = %d, want 3", n)
+		}
+		if err := e.Heal(slow); err != nil {
+			t.Fatalf("heal slow: %v", err)
+		}
+		if err := e.HealAll(); err != nil {
+			t.Fatalf("heal all: %v", err)
+		}
+		if n := e.Network().ActiveChaos(); n != 0 {
+			t.Fatalf("ActiveChaos after HealAll = %d, want 0", n)
+		}
+	})
+}
+
+func TestChaosPrimitivesValidateArguments(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b")
+	if _, err := e.Slow([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, 0, 0); err == nil {
+		t.Fatal("zero-delay slow fault should be rejected")
+	}
+	if _, err := e.Lossy([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, 1.5); err == nil {
+		t.Fatal("loss rate above 1 should be rejected")
+	}
+	if _, err := e.Lossy([]netsim.NodeID{"a"}, nil, 0.5); err == nil {
+		t.Fatal("empty group should be rejected")
+	}
+	if _, err := e.Flap([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, 0); err == nil {
+		t.Fatal("zero flap period should be rejected")
+	}
+}
+
+func TestLossyDropsApproximately(t *testing.T) {
+	eachBackend(t, func(t *testing.T, e *Engine) {
+		registerNodes(e, "a", "b")
+		if _, err := e.Lossy([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		n := e.Network()
+		before := n.Stats().Delivered
+		const total = 400
+		for i := 0; i < total; i++ {
+			if err := n.Send("a", "b", i); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		delivered := n.Stats().Delivered - before
+		if delivered < total/4 || delivered > 3*total/4 {
+			t.Fatalf("delivered %d of %d at loss 0.5, want roughly half", delivered, total)
+		}
+		if err := e.HealAll(); err != nil {
+			t.Fatal(err)
+		}
+		before = n.Stats().Delivered
+		for i := 0; i < 10; i++ {
+			_ = n.Send("a", "b", i)
+		}
+		if got := n.Stats().Delivered - before; got != 10 {
+			t.Fatalf("after heal delivered %d of 10", got)
+		}
+	})
+}
+
+// TestFlapAlternates drives a flapping partition on a simulated clock:
+// it must start partitioned, heal after one period, re-partition after
+// the next, and stay healed once the flap itself is healed.
+func TestFlapAlternates(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	e := NewEngine(Options{Net: netsim.Options{Clock: sim}})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b", "c")
+	const period = 50 * time.Millisecond
+	p, err := e.Flap([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.Network()
+	if n.Reachable("a", "b") || n.Reachable("b", "a") {
+		t.Fatal("flap must start in the partitioned phase")
+	}
+	if !n.Reachable("a", "c") {
+		t.Fatal("flap must not touch uninvolved links")
+	}
+	sim.Sleep(period + period/2) // t=75ms: one toggle (heal) behind us
+	if !n.Reachable("a", "b") || !n.Reachable("b", "a") {
+		t.Fatal("after one period the flap should be in the healed phase")
+	}
+	sim.Sleep(period) // t=125ms: second toggle (re-partition) behind us
+	if n.Reachable("a", "b") {
+		t.Fatal("after two periods the flap should be partitioned again")
+	}
+	if err := e.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Reachable("a", "b") || !n.Reachable("b", "a") {
+		t.Fatal("healing the flap must restore connectivity")
+	}
+	sim.Sleep(4 * period)
+	if !n.Reachable("a", "b") {
+		t.Fatal("a healed flap must never re-partition")
+	}
+	if err := e.Heal(p); err == nil {
+		t.Fatal("double heal should fail")
+	}
+}
+
+// TestHealAllStopsFlap: HealAll must stop the cycle, not merely heal
+// the current phase and let the timer reinstall it.
+func TestHealAllStopsFlap(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	e := NewEngine(Options{Net: netsim.Options{Clock: sim}})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b")
+	const period = 20 * time.Millisecond
+	if _, err := e.Flap([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, period); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	n := e.Network()
+	for i := 0; i < 4; i++ {
+		sim.Sleep(period)
+		if !n.Reachable("a", "b") {
+			t.Fatalf("flap re-partitioned %v after HealAll", time.Duration(i+1)*period)
+		}
+	}
+}
+
+func TestFlakyRejectsInertSpec(t *testing.T) {
+	e := NewEngine(Options{})
+	defer e.Shutdown()
+	registerNodes(e, "a", "b")
+	if _, err := e.Flaky([]netsim.NodeID{"a"}, []netsim.NodeID{"b"}, netsim.Chaos{}); err == nil {
+		t.Fatal("a zero-valued chaos spec must be rejected, not installed as a no-op fault")
 	}
 }

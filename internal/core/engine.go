@@ -53,6 +53,11 @@ type Engine struct {
 	nodes   []Node
 	systems []ISystem
 	trace   *Trace
+
+	// flaps tracks active flapping partitions so HealAll can stop
+	// their cycles before healing whatever phase they are in.
+	flapMu sync.Mutex
+	flaps  map[*Partition]*flapper
 }
 
 // NewEngine builds an engine with a fresh fabric.
@@ -61,12 +66,13 @@ func NewEngine(opts Options) *Engine {
 	sw := switchfab.New()
 	n.SetSwitch(sw)
 	fwset := firewall.NewSet(n)
-	e := &Engine{net: n, clk: n.Clock(), sw: sw, fwset: fwset, trace: NewTrace()}
+	e := &Engine{net: n, clk: n.Clock(), sw: sw, fwset: fwset, trace: NewTrace(),
+		flaps: make(map[*Partition]*flapper)}
 	switch opts.Backend {
 	case FirewallBackend:
-		e.part = NewFirewallPartitioner(fwset)
+		e.part = NewFirewallPartitioner(fwset, n)
 	default:
-		e.part = NewSwitchPartitioner(sw)
+		e.part = NewSwitchPartitioner(sw, n)
 	}
 	return e
 }
@@ -150,8 +156,20 @@ func (e *Engine) Deploy(sys ISystem) error {
 }
 
 // Shutdown stops every deployed system (in reverse deployment order)
-// and closes the fabric.
+// and closes the fabric. Flapping partitions are stopped first: their
+// cycles reschedule themselves on the engine clock, and a simulated
+// clock that is stopped later would otherwise run each rescheduled
+// toggle immediately, forever.
 func (e *Engine) Shutdown() {
+	e.flapMu.Lock()
+	flaps := make([]*Partition, 0, len(e.flaps))
+	for p := range e.flaps {
+		flaps = append(flaps, p)
+	}
+	e.flapMu.Unlock()
+	for _, p := range flaps {
+		_ = p.heal()
+	}
 	e.mu.Lock()
 	systems := append([]ISystem(nil), e.systems...)
 	e.mu.Unlock()
@@ -190,6 +208,129 @@ func (e *Engine) Simplex(src, dst []netsim.NodeID) (*Partition, error) {
 	return p, err
 }
 
+// Slow adds delay (plus up to jitter of random extra delay) to every
+// link between the two groups, in both directions.
+func (e *Engine) Slow(a, b []netsim.NodeID, delay, jitter time.Duration) (*Partition, error) {
+	p, err := e.part.Slow(a, b, delay, jitter)
+	if err == nil {
+		e.trace.Record(EvPartition, p.String())
+	}
+	return p, err
+}
+
+// Lossy drops packets between the two groups with probability rate,
+// in both directions.
+func (e *Engine) Lossy(a, b []netsim.NodeID, rate float64) (*Partition, error) {
+	p, err := e.part.Lossy(a, b, rate)
+	if err == nil {
+		e.trace.Record(EvPartition, p.String())
+	}
+	return p, err
+}
+
+// Flaky degrades every link between the two groups with the given
+// chaos mix (duplication, reordering, loss, delay), in both
+// directions.
+func (e *Engine) Flaky(a, b []netsim.NodeID, spec netsim.Chaos) (*Partition, error) {
+	p, err := e.part.Flaky(a, b, spec)
+	if err == nil {
+		e.trace.Record(EvPartition, p.String())
+	}
+	return p, err
+}
+
+// flapper drives one flapping partition: a clock-driven cycle that
+// alternately injects and heals a partial partition between two
+// groups. Toggles run inside clock callbacks, which on a simulated
+// clock fire serially on the advancer — installing or removing drop
+// rules is short and never blocks on the clock, as required there.
+type flapper struct {
+	part   Partitioner
+	clk    clock.Clock
+	a, b   []netsim.NodeID
+	period time.Duration
+
+	mu      sync.Mutex
+	inner   *Partition // non-nil while in the partitioned phase
+	timer   clock.Timer
+	stopped bool
+}
+
+func (fl *flapper) toggle() {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.stopped {
+		return
+	}
+	if fl.inner != nil {
+		_ = fl.part.Heal(fl.inner)
+		fl.inner = nil
+	} else {
+		// Reinstalling cannot fail: the groups were validated when the
+		// flap was created and never change.
+		fl.inner, _ = fl.part.Partial(fl.a, fl.b)
+	}
+	fl.timer = fl.clk.AfterFunc(fl.period, fl.toggle)
+}
+
+// stop ends the cycle and heals the partitioned phase if it is active.
+func (fl *flapper) stop() {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.stopped {
+		return
+	}
+	fl.stopped = true
+	if fl.timer != nil {
+		fl.timer.Stop()
+	}
+	if fl.inner != nil {
+		_ = fl.part.Heal(fl.inner)
+		fl.inner = nil
+	}
+}
+
+// Flap injects a flapping partition: a partial partition between the
+// two groups that is repeatedly healed and reinstalled every period of
+// engine time, starting in the partitioned phase. It models the
+// transient, recurring partitions the study reports as a major failure
+// trigger — each flap cycle re-runs the system's failover and
+// recovery paths, and packets crossing a heal window may be delivered,
+// duplicated, or reordered by concurrent chaos overlays. Healing the
+// returned Partition stops the cycle and removes whatever phase is
+// active.
+func (e *Engine) Flap(a, b []netsim.NodeID, period time.Duration) (*Partition, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("core: flap period must be positive, got %v", period)
+	}
+	inner, err := e.part.Partial(a, b)
+	if err != nil {
+		return nil, err
+	}
+	fl := &flapper{part: e.part, clk: e.clk, period: period,
+		a:     append([]netsim.NodeID(nil), a...),
+		b:     append([]netsim.NodeID(nil), b...),
+		inner: inner,
+	}
+	p := &Partition{Type: FlapPartition,
+		GroupA: append([]netsim.NodeID(nil), a...),
+		GroupB: append([]netsim.NodeID(nil), b...)}
+	p.undo = func() {
+		fl.stop()
+		e.flapMu.Lock()
+		delete(e.flaps, p)
+		e.flapMu.Unlock()
+	}
+	e.flapMu.Lock()
+	e.flaps[p] = fl
+	e.flapMu.Unlock()
+	fl.mu.Lock()
+	fl.timer = e.clk.AfterFunc(period, fl.toggle)
+	fl.mu.Unlock()
+	e.trace.Record(EvPartition, p.String())
+	return p, nil
+}
+
 // Heal removes the fault injected for p.
 func (e *Engine) Heal(p *Partition) error {
 	err := e.part.Heal(p)
@@ -199,8 +340,21 @@ func (e *Engine) Heal(p *Partition) error {
 	return err
 }
 
-// HealAll removes every active fault.
-func (e *Engine) HealAll() error { return e.part.HealAll() }
+// HealAll removes every active fault. Flapping partitions are stopped
+// first so a mid-cycle timer cannot reinstall a partition the backend
+// just removed.
+func (e *Engine) HealAll() error {
+	e.flapMu.Lock()
+	flaps := make([]*Partition, 0, len(e.flaps))
+	for p := range e.flaps {
+		flaps = append(flaps, p)
+	}
+	e.flapMu.Unlock()
+	for _, p := range flaps {
+		_ = p.heal()
+	}
+	return e.part.HealAll()
+}
 
 // VerifyPartition checks that the fabric actually honours an injected
 // (or healed) partition, pair by pair — the sanity check a NEAT test
@@ -208,6 +362,11 @@ func (e *Engine) HealAll() error { return e.part.HealAll() }
 // results.
 func (e *Engine) VerifyPartition(p *Partition) error {
 	healed := p.Healed()
+	if p.Type == FlapPartition && !healed {
+		// A live flap alternates between blocked and clear phases on
+		// its own clock; there is no static reachability to verify.
+		return nil
+	}
 	for _, a := range p.GroupA {
 		for _, b := range p.GroupB {
 			abBlocked := !e.net.Reachable(a, b)
@@ -216,6 +375,12 @@ func (e *Engine) VerifyPartition(p *Partition) error {
 			case healed:
 				if abBlocked || baBlocked {
 					return fmt.Errorf("core: healed partition still blocks %s<->%s", a, b)
+				}
+			case p.Type == SlowPartition, p.Type == LossyPartition, p.Type == FlakyPartition:
+				// Chaos overlays degrade links without installing drop
+				// rules; the pipeline must still pass both directions.
+				if abBlocked || baBlocked {
+					return fmt.Errorf("core: chaos overlay blocks %s<->%s", a, b)
 				}
 			case p.Type == SimplexPartition:
 				// Simplex(src=A, dst=B): A->B flows, B->A is dropped.

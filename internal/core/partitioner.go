@@ -3,15 +3,20 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"neat/internal/firewall"
 	"neat/internal/netsim"
 	"neat/internal/switchfab"
 )
 
-// Partitioner creates and heals network partitions. The two
+// Partitioner creates and heals network faults. The two
 // implementations mirror the paper's two backends: an OpenFlow-style
 // switch controller and an iptables-style host-firewall manipulator.
+// Both additionally inject link-level chaos faults (slow, lossy, and
+// flaky links) by programming netem-style overlays directly on the
+// fabric — the same qdisc either backend would drive in a real
+// deployment — so chaos composes with either drop-rule substrate.
 type Partitioner interface {
 	// Complete creates a complete partition between groupA and groupB:
 	// no packet crosses between the groups in either direction. The two
@@ -23,6 +28,18 @@ type Partitioner interface {
 	// Simplex creates a one-way partition: packets flow from groupSrc
 	// to groupDst, but not in the other direction.
 	Simplex(groupSrc, groupDst []netsim.NodeID) (*Partition, error)
+	// Slow adds delay (plus up to jitter of random extra delay) to
+	// every link between the groups, in both directions. Nothing is
+	// dropped: the groups merely look far away — or, once timeouts
+	// expire, dead.
+	Slow(groupA, groupB []netsim.NodeID, delay, jitter time.Duration) (*Partition, error)
+	// Lossy drops packets between the groups with the given
+	// probability, in both directions.
+	Lossy(groupA, groupB []netsim.NodeID, rate float64) (*Partition, error)
+	// Flaky degrades every link between the groups with an arbitrary
+	// chaos mix (duplication, reordering, loss, delay), in both
+	// directions.
+	Flaky(groupA, groupB []netsim.NodeID, spec netsim.Chaos) (*Partition, error)
 	// Heal removes the fault injected for p.
 	Heal(p *Partition) error
 	// HealAll removes every fault this partitioner has injected.
@@ -46,6 +63,96 @@ func validateGroups(a, b []netsim.NodeID) error {
 }
 
 // ---------------------------------------------------------------------
+// Shared chaos arm
+// ---------------------------------------------------------------------
+
+// chaosInjector is the link-chaos arm both backends share: it programs
+// per-link overlays on the fabric (the simulated counterpart of a
+// netem qdisc on each affected interface) and tracks them so Heal and
+// HealAll work uniformly across partitions and chaos faults.
+type chaosInjector struct {
+	net *netsim.Network
+
+	mu     sync.Mutex
+	active map[*Partition]uint64 // partition -> chaos rule id
+}
+
+func newChaosInjector(net *netsim.Network) chaosInjector {
+	return chaosInjector{net: net, active: make(map[*Partition]uint64)}
+}
+
+// crossPairs enumerates both directions of every (a, b) link.
+func crossPairs(a, b []netsim.NodeID) [][2]netsim.NodeID {
+	pairs := make([][2]netsim.NodeID, 0, 2*len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			pairs = append(pairs, [2]netsim.NodeID{x, y}, [2]netsim.NodeID{y, x})
+		}
+	}
+	return pairs
+}
+
+func (ci *chaosInjector) install(t PartitionType, a, b []netsim.NodeID, spec netsim.Chaos) (*Partition, error) {
+	if err := validateGroups(a, b); err != nil {
+		return nil, err
+	}
+	id := ci.net.AddChaos(crossPairs(a, b), spec)
+	p := &Partition{Type: t, GroupA: append([]netsim.NodeID(nil), a...), GroupB: append([]netsim.NodeID(nil), b...)}
+	p.undo = func() {
+		ci.net.RemoveChaos(id)
+		ci.mu.Lock()
+		delete(ci.active, p)
+		ci.mu.Unlock()
+	}
+	ci.mu.Lock()
+	ci.active[p] = id
+	ci.mu.Unlock()
+	return p, nil
+}
+
+func (ci *chaosInjector) slow(a, b []netsim.NodeID, delay, jitter time.Duration) (*Partition, error) {
+	if delay <= 0 && jitter <= 0 {
+		return nil, fmt.Errorf("core: slow fault needs a positive delay or jitter")
+	}
+	return ci.install(SlowPartition, a, b, netsim.Chaos{Delay: delay, Jitter: jitter})
+}
+
+func (ci *chaosInjector) lossy(a, b []netsim.NodeID, rate float64) (*Partition, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("core: loss rate %v outside (0, 1]", rate)
+	}
+	return ci.install(LossyPartition, a, b, netsim.Chaos{Loss: rate})
+}
+
+func (ci *chaosInjector) flaky(a, b []netsim.NodeID, spec netsim.Chaos) (*Partition, error) {
+	if !spec.Active() {
+		return nil, fmt.Errorf("core: flaky fault needs at least one nonzero chaos effect")
+	}
+	return ci.install(FlakyPartition, a, b, spec)
+}
+
+func (ci *chaosInjector) healAll() error {
+	ci.mu.Lock()
+	parts := make([]*Partition, 0, len(ci.active))
+	for p := range ci.active {
+		parts = append(parts, p)
+	}
+	ci.mu.Unlock()
+	for _, p := range parts {
+		if err := p.heal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ci *chaosInjector) count() int {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return len(ci.active)
+}
+
+// ---------------------------------------------------------------------
 // OpenFlow-style backend
 // ---------------------------------------------------------------------
 
@@ -53,15 +160,18 @@ func validateGroups(a, b []netsim.NodeID) error {
 // switch flow table at a priority above the learning-switch rule,
 // exactly as the paper's Floodlight controller module does.
 type SwitchPartitioner struct {
-	sw *switchfab.Switch
+	sw    *switchfab.Switch
+	chaos chaosInjector
 
 	mu     sync.Mutex
 	active map[*Partition]uint64 // partition -> flow cookie
 }
 
-// NewSwitchPartitioner creates the OpenFlow-style backend.
-func NewSwitchPartitioner(sw *switchfab.Switch) *SwitchPartitioner {
-	return &SwitchPartitioner{sw: sw, active: make(map[*Partition]uint64)}
+// NewSwitchPartitioner creates the OpenFlow-style backend. The fabric
+// is needed for the chaos primitives (Slow, Lossy, Flaky), which
+// program link overlays rather than flow-table drop rules.
+func NewSwitchPartitioner(sw *switchfab.Switch, net *netsim.Network) *SwitchPartitioner {
+	return &SwitchPartitioner{sw: sw, chaos: newChaosInjector(net), active: make(map[*Partition]uint64)}
 }
 
 func (sp *SwitchPartitioner) install(t PartitionType, a, b []netsim.NodeID, bidir bool) (*Partition, error) {
@@ -115,6 +225,21 @@ func (sp *SwitchPartitioner) Simplex(src, dst []netsim.NodeID) (*Partition, erro
 	return p, nil
 }
 
+// Slow implements Partitioner.
+func (sp *SwitchPartitioner) Slow(a, b []netsim.NodeID, delay, jitter time.Duration) (*Partition, error) {
+	return sp.chaos.slow(a, b, delay, jitter)
+}
+
+// Lossy implements Partitioner.
+func (sp *SwitchPartitioner) Lossy(a, b []netsim.NodeID, rate float64) (*Partition, error) {
+	return sp.chaos.lossy(a, b, rate)
+}
+
+// Flaky implements Partitioner.
+func (sp *SwitchPartitioner) Flaky(a, b []netsim.NodeID, spec netsim.Chaos) (*Partition, error) {
+	return sp.chaos.flaky(a, b, spec)
+}
+
 // Heal implements Partitioner.
 func (sp *SwitchPartitioner) Heal(p *Partition) error { return p.heal() }
 
@@ -131,14 +256,16 @@ func (sp *SwitchPartitioner) HealAll() error {
 			return err
 		}
 	}
-	return nil
+	return sp.chaos.healAll()
 }
 
-// ActivePartitions returns how many partitions are currently injected.
+// ActivePartitions returns how many faults (partitions and chaos
+// overlays) are currently injected.
 func (sp *SwitchPartitioner) ActivePartitions() int {
 	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	return len(sp.active)
+	n := len(sp.active)
+	sp.mu.Unlock()
+	return n + sp.chaos.count()
 }
 
 // ---------------------------------------------------------------------
@@ -150,16 +277,19 @@ func (sp *SwitchPartitioner) ActivePartitions() int {
 // so Heal removes exactly the rules of one partition. This mirrors the
 // paper's backend for deployments without an OpenFlow switch.
 type FirewallPartitioner struct {
-	set *firewall.Set
+	set   *firewall.Set
+	chaos chaosInjector
 
 	mu     sync.Mutex
 	seq    int
 	active map[*Partition]string // partition -> rule comment tag
 }
 
-// NewFirewallPartitioner creates the iptables-style backend.
-func NewFirewallPartitioner(set *firewall.Set) *FirewallPartitioner {
-	return &FirewallPartitioner{set: set, active: make(map[*Partition]string)}
+// NewFirewallPartitioner creates the iptables-style backend. The
+// fabric is needed for the chaos primitives (Slow, Lossy, Flaky),
+// which program link overlays rather than firewall DROP rules.
+func NewFirewallPartitioner(set *firewall.Set, net *netsim.Network) *FirewallPartitioner {
+	return &FirewallPartitioner{set: set, chaos: newChaosInjector(net), active: make(map[*Partition]string)}
 }
 
 func (fp *FirewallPartitioner) nextTag() string {
@@ -219,6 +349,21 @@ func (fp *FirewallPartitioner) Simplex(src, dst []netsim.NodeID) (*Partition, er
 	return fp.install(SimplexPartition, src, dst, false)
 }
 
+// Slow implements Partitioner.
+func (fp *FirewallPartitioner) Slow(a, b []netsim.NodeID, delay, jitter time.Duration) (*Partition, error) {
+	return fp.chaos.slow(a, b, delay, jitter)
+}
+
+// Lossy implements Partitioner.
+func (fp *FirewallPartitioner) Lossy(a, b []netsim.NodeID, rate float64) (*Partition, error) {
+	return fp.chaos.lossy(a, b, rate)
+}
+
+// Flaky implements Partitioner.
+func (fp *FirewallPartitioner) Flaky(a, b []netsim.NodeID, spec netsim.Chaos) (*Partition, error) {
+	return fp.chaos.flaky(a, b, spec)
+}
+
 // Heal implements Partitioner.
 func (fp *FirewallPartitioner) Heal(p *Partition) error { return p.heal() }
 
@@ -235,12 +380,14 @@ func (fp *FirewallPartitioner) HealAll() error {
 			return err
 		}
 	}
-	return nil
+	return fp.chaos.healAll()
 }
 
-// ActivePartitions returns how many partitions are currently injected.
+// ActivePartitions returns how many faults (partitions and chaos
+// overlays) are currently injected.
 func (fp *FirewallPartitioner) ActivePartitions() int {
 	fp.mu.Lock()
-	defer fp.mu.Unlock()
-	return len(fp.active)
+	n := len(fp.active)
+	fp.mu.Unlock()
+	return n + fp.chaos.count()
 }

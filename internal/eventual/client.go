@@ -30,8 +30,20 @@ func (c *Client) Close() { c.ep.Close() }
 // as soon as the coordinator applies it locally (asynchronous
 // replication — the availability choice).
 func (c *Client) Put(coordinator netsim.NodeID, key, val string) error {
-	_, err := c.ep.Call(coordinator, mPut, putReq{Key: key, Val: val}, c.timeout)
+	_, err := c.PutV(coordinator, key, val)
 	return err
+}
+
+// PutV writes like Put and additionally returns the version the
+// coordinator created — the write context, vector clock included,
+// that a Dynamo-style client receives with its acknowledgement.
+func (c *Client) PutV(coordinator netsim.NodeID, key, val string) (Version, error) {
+	resp, err := c.ep.Call(coordinator, mPut, putReq{Key: key, Val: val}, c.timeout)
+	if err != nil {
+		return Version{}, err
+	}
+	pr, _ := resp.(putResp)
+	return pr.Ver, nil
 }
 
 // Get reads the sibling values of key from the given coordinator. One
@@ -48,6 +60,17 @@ func (c *Client) Get(coordinator netsim.NodeID, key string) ([]string, error) {
 		out[i] = v.Val
 	}
 	return out, nil
+}
+
+// GetVersions reads the full sibling versions of key — values plus
+// vector clocks — from the given coordinator.
+func (c *Client) GetVersions(coordinator netsim.NodeID, key string) ([]Version, error) {
+	resp, err := c.ep.Call(coordinator, mGet, getReq{Key: key}, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	gr, _ := resp.(getResp)
+	return gr.Versions, nil
 }
 
 // IsNotFound reports whether err is a missing-key error.

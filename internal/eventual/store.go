@@ -54,6 +54,10 @@ const (
 
 type putReq struct{ Key, Val string }
 
+// putResp returns the version the coordinator created, vector clock
+// included — the write context a Dynamo-style client receives.
+type putResp struct{ Ver Version }
+
 type getReq struct{ Key string }
 
 // getResp carries all current siblings of a key.
@@ -321,7 +325,7 @@ func (r *Replica) onPut(from netsim.NodeID, body any) (any, error) {
 			})
 		}
 	}
-	return nil, nil
+	return putResp{Ver: ver}, nil
 }
 
 func (r *Replica) onRepl(from netsim.NodeID, body any) (any, error) {

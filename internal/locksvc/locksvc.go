@@ -287,6 +287,20 @@ func (r *Replica) Coordinator() netsim.NodeID {
 	return r.coordinatorLocked()
 }
 
+// viewCoversReplicaSetLocked reports whether this replica's view still
+// contains every member of the original replica set. Only then may a
+// SyncBackups coordinator serve: with the full set in view, every
+// replica's full view names the same lowest-ID coordinator, so two
+// coordinators can never exist at once.
+func (r *Replica) viewCoversReplicaSetLocked() bool {
+	for _, m := range r.cfg.Replicas {
+		if m != r.id && !r.view[m] {
+			return false
+		}
+	}
+	return true
+}
+
 // sweepLoop reclaims permits and locks whose client lease expired —
 // "an unreachable client that is holding a semaphore is assumed to
 // have crashed; the system will reclaim the client's semaphore."
@@ -360,6 +374,17 @@ func (r *Replica) onOp(from netsim.NodeID, body any) (any, error) {
 	if coord != r.id {
 		r.mu.Unlock()
 		return nil, &NotCoordinatorError{Coordinator: coord}
+	}
+	if r.cfg.SyncBackups && !r.viewCoversReplicaSetLocked() {
+		// Sync mode is the CP trade: a coordinator whose view has lost
+		// a member of the original replica set refuses to serve, before
+		// touching local state. Serving from a partial view would let a
+		// second coordinator exist — a client failing over around a
+		// slow or partitioned link reaches a replica whose divergent
+		// view names itself coordinator, and the two grant
+		// independently even though every backup acknowledges.
+		r.mu.Unlock()
+		return nil, ErrUnavailable
 	}
 	resp, err := r.applyLocked(req)
 	var backups []netsim.NodeID

@@ -58,7 +58,23 @@ type opResp struct {
 	Msg string
 }
 
-type replMsg struct{ Req opReq }
+// entry is one stored message with the identity its master assigned at
+// enqueue time. Replication, consumption, and tombstoning all work on
+// the ID, the way real brokers track message IDs and offsets.
+type entry struct {
+	ID  string
+	Msg string
+}
+
+// replMsg replicates one mutation. Entry carries the exact queue
+// entry concerned — the entry enqueued (opSend) or the entry the
+// master handed out (opRecv) — so slaves mutate by identity, never by
+// position: a slave whose queue has diverged in order must not drop an
+// innocent head.
+type replMsg struct {
+	Req   opReq
+	Entry entry
+}
 
 // NotMasterError redirects the client to the master the broker
 // believes in.
@@ -128,9 +144,15 @@ type Broker struct {
 	isMaster    bool
 	knownMaster netsim.NodeID
 	zkReachable bool
-	queues      map[string][]string
-	session     *coord.Session
-	stopped     bool
+	queues      map[string][]entry
+	// removed tombstones every entry ID this broker has consumed or
+	// seen consumed, so a replicated enqueue that arrives after (a
+	// reordered link) or around its own consumption cannot resurrect
+	// the message.
+	removed map[string]bool
+	enqSeq  uint64
+	session *coord.Session
+	stopped bool
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -143,7 +165,8 @@ func NewBroker(n *netsim.Network, id netsim.NodeID, cfg Config) *Broker {
 		cfg:         cfg,
 		id:          id,
 		ep:          transport.NewEndpoint(n, id),
-		queues:      make(map[string][]string),
+		queues:      make(map[string][]entry),
+		removed:     make(map[string]bool),
 		zkReachable: true,
 		stopCh:      make(chan struct{}),
 	}
@@ -266,33 +289,38 @@ func (b *Broker) onOp(from netsim.NodeID, body any) (any, error) {
 		b.mu.Unlock()
 		return nil, &NotMasterError{Master: master}
 	}
-	resp, err := b.applyLocked(req)
+	resp, ent, err := b.applyMasterLocked(req)
 	b.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	acked := b.replicate(replMsg{Req: req})
+	acked := b.replicate(replMsg{Req: req, Entry: ent})
 	if b.cfg.RequireReplicaAcks && acked < len(b.cfg.Brokers)-1 {
 		return nil, ErrUnavailable
 	}
 	return resp, nil
 }
 
-func (b *Broker) applyLocked(req opReq) (opResp, error) {
+// applyMasterLocked executes one client operation on the master,
+// returning the queue entry the mutation concerned for replication.
+func (b *Broker) applyMasterLocked(req opReq) (opResp, entry, error) {
 	switch req.Kind {
 	case opSend:
-		b.queues[req.Queue] = append(b.queues[req.Queue], req.Msg)
-		return opResp{}, nil
+		b.enqSeq++
+		ent := entry{ID: fmt.Sprintf("%s-%d", b.id, b.enqSeq), Msg: req.Msg}
+		b.queues[req.Queue] = append(b.queues[req.Queue], ent)
+		return opResp{}, ent, nil
 	case opRecv:
 		q := b.queues[req.Queue]
 		if len(q) == 0 {
-			return opResp{}, ErrEmpty
+			return opResp{}, entry{}, ErrEmpty
 		}
-		msg := q[0]
+		ent := q[0]
 		b.queues[req.Queue] = q[1:]
-		return opResp{Msg: msg}, nil
+		b.removed[ent.ID] = true
+		return opResp{Msg: ent.Msg}, ent, nil
 	default:
-		return opResp{}, fmt.Errorf("mqueue: unknown op %d", req.Kind)
+		return opResp{}, entry{}, fmt.Errorf("mqueue: unknown op %d", req.Kind)
 	}
 }
 
@@ -316,10 +344,13 @@ func (b *Broker) replicate(msg replMsg) int {
 	return acked
 }
 
-// onRepl applies a mutation replicated by the master. For a receive,
-// the slave drops the same head element the master handed out; if the
-// queues have diverged the slave drops its own head — silently, as the
-// studied systems do.
+// onRepl applies a mutation replicated by a master, by entry identity:
+// an enqueue inserts the master's entry (unless this broker already
+// holds or already consumed it — a link that reorders or redelivers
+// replication traffic must not resurrect or duplicate a message), and
+// a receive removes exactly the entry the master handed out, wherever
+// a diverged queue holds it. A receive whose entry has not arrived yet
+// leaves a tombstone so the late enqueue is swallowed on arrival.
 func (b *Broker) onRepl(from netsim.NodeID, body any) (any, error) {
 	msg, ok := body.(replMsg)
 	if !ok {
@@ -327,7 +358,27 @@ func (b *Broker) onRepl(from netsim.NodeID, body any) (any, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	_, _ = b.applyLocked(msg.Req)
+	switch msg.Req.Kind {
+	case opSend:
+		if b.removed[msg.Entry.ID] {
+			return nil, nil
+		}
+		for _, e := range b.queues[msg.Req.Queue] {
+			if e.ID == msg.Entry.ID {
+				return nil, nil
+			}
+		}
+		b.queues[msg.Req.Queue] = append(b.queues[msg.Req.Queue], msg.Entry)
+	case opRecv:
+		b.removed[msg.Entry.ID] = true
+		q := b.queues[msg.Req.Queue]
+		for i, e := range q {
+			if e.ID == msg.Entry.ID {
+				b.queues[msg.Req.Queue] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+	}
 	return nil, nil
 }
 
@@ -353,10 +404,40 @@ func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
 // Close detaches the client.
 func (c *Client) Close() { c.ep.Close() }
 
+// maybeExecutedError marks a failed operation that some broker may
+// nevertheless have applied: an attempt ended in a transport-level
+// failure (on a slow or lossy link the request can be fully executed
+// with only the reply lost — a silent success), or a master returned
+// ErrUnavailable after applying locally. Definitive refusals
+// (redirects, suspension, an empty queue) carry no such ambiguity.
+type maybeExecutedError struct{ err error }
+
+func (e *maybeExecutedError) Error() string { return e.err.Error() }
+func (e *maybeExecutedError) Unwrap() error { return e.err }
+
+// MaybeExecuted reports whether the failed operation may still have
+// been applied by a broker. Callers accounting for at-most-once or
+// durability must treat such failures as possibly-consuming.
+func MaybeExecuted(err error) bool {
+	var me *maybeExecutedError
+	return errors.As(err, &me)
+}
+
 func (c *Client) do(req opReq) (opResp, error) {
 	tried := make(map[netsim.NodeID]bool)
 	queue := append([]netsim.NodeID(nil), c.brokers...)
 	var lastErr error = errors.New("mqueue: no brokers")
+	// maybe records whether ANY attempt — not just the one whose error
+	// is returned — may have executed the operation, so a later
+	// broker's definitive refusal cannot mask an earlier attempt's
+	// silent success.
+	maybe := false
+	wrap := func(err error) error {
+		if maybe {
+			return &maybeExecutedError{err: err}
+		}
+		return err
+	}
 	for len(queue) > 0 {
 		node := queue[0]
 		queue = queue[1:]
@@ -377,10 +458,19 @@ func (c *Client) do(req opReq) (opResp, error) {
 			continue
 		}
 		if transport.IsRemote(err) {
-			return opResp{}, err
+			// Definitive application error from a master. Unavailable
+			// means the master applied locally before replication
+			// failed; everything else refused before applying.
+			if remoteIs(err, ErrUnavailable) {
+				maybe = true
+			}
+			return opResp{}, wrap(err)
 		}
+		// Transport failure: the request may have been executed with
+		// the reply lost.
+		maybe = true
 	}
-	return opResp{}, lastErr
+	return opResp{}, wrap(lastErr)
 }
 
 func redirectHint(err error) (netsim.NodeID, bool) {

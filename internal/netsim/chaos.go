@@ -1,0 +1,213 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Chaos describes a link-degradation overlay: the netem-style knobs —
+// added latency, jitter, loss, duplication, reordering — that the
+// study's failure reports repeatedly implicate alongside clean
+// partitions (slow links masquerading as dead ones, messages
+// duplicated or reordered while a partition flaps).
+//
+// A zero field disables that effect. Effects are evaluated per packet
+// in a fixed order: loss first (a lost packet consumes no further
+// decisions), then delay and jitter, then reordering, then
+// duplication.
+type Chaos struct {
+	// Delay is added to the one-way delivery latency of every
+	// matching packet.
+	Delay time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss drops matching packets with this probability.
+	Loss float64
+	// Dup delivers one extra copy of a matching packet with this
+	// probability. The copy takes its own reorder draw, so duplicated
+	// packets may also arrive out of order.
+	Dup float64
+	// Reorder defers a matching packet by an extra uniformly
+	// distributed delay in [0, ReorderWindow) with this probability,
+	// letting packets sent later arrive first.
+	Reorder float64
+	// ReorderWindow bounds the extra delay a reordered (or duplicated)
+	// packet receives.
+	ReorderWindow time.Duration
+	// Seed, when nonzero, seeds this overlay's decision stream.
+	// Zero derives a seed from the fabric seed and the rule id, which
+	// keeps runs reproducible without any configuration.
+	Seed int64
+}
+
+// Active reports whether the spec has any observable effect.
+func (c Chaos) Active() bool {
+	return c.Delay > 0 || c.Jitter > 0 || c.Loss > 0 || c.Dup > 0 || c.Reorder > 0
+}
+
+// linkKey identifies one directed link.
+type linkKey struct{ src, dst NodeID }
+
+// chaosRule is one installed overlay: a set of directed links plus the
+// Chaos spec applied to packets traversing them. Each (rule, link)
+// pair owns an independent decision stream — a counter hashed with the
+// rule seed and the link identity — so decisions on one link are
+// deterministic regardless of traffic interleaving on other links.
+type chaosRule struct {
+	id   uint64
+	spec Chaos
+	seed uint64
+
+	mu    sync.Mutex
+	pairs map[linkKey]bool
+	seq   map[linkKey]uint64
+}
+
+// next returns the per-link decision stream for the next packet on the
+// link, or false if the rule does not match the link.
+func (r *chaosRule) next(k linkKey) (decStream, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.pairs[k] {
+		return decStream{}, false
+	}
+	n := r.seq[k]
+	r.seq[k] = n + 1
+	base := r.seed ^ (uint64(k.src.Hash())<<32 | uint64(k.dst.Hash()))
+	return decStream{x: splitmix64(base + 0x9e3779b97f4a7c15*n)}, true
+}
+
+// splitmix64 is the SplitMix64 mixing function: a bijective avalanche
+// over uint64, the standard way to turn a counter into an independent
+// uniform stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// decStream yields a deterministic sequence of uniform draws for one
+// packet's chaos decisions.
+type decStream struct{ x uint64 }
+
+func (d *decStream) next() uint64 {
+	d.x = splitmix64(d.x)
+	return d.x
+}
+
+// unit returns a uniform float64 in [0, 1).
+func (d *decStream) unit() float64 {
+	return float64(d.next()>>11) / (1 << 53)
+}
+
+// durIn returns a uniform duration in [0, w); zero when w <= 0.
+func (d *decStream) durIn(w time.Duration) time.Duration {
+	if w <= 0 {
+		return 0
+	}
+	return time.Duration(d.unit() * float64(w))
+}
+
+// chaosEffect is the aggregate outcome of every matching overlay for
+// one packet.
+type chaosEffect struct {
+	drop  bool
+	delay time.Duration   // extra delay for the original packet
+	dups  []time.Duration // extra delay for each duplicate copy
+}
+
+// AddChaos installs a link-chaos overlay on the given directed links
+// and returns a rule id for RemoveChaos. Overlays compose: a packet
+// traversing a link matched by several rules suffers each rule's
+// effects in rule-id order (delays add, losses compound). Overlays are
+// orthogonal to partitions — a link can be both slow and, later,
+// partitioned — and are programmable at runtime like the filter
+// stages.
+func (n *Network) AddChaos(pairs [][2]NodeID, spec Chaos) uint64 {
+	r := &chaosRule{
+		spec:  spec,
+		pairs: make(map[linkKey]bool, len(pairs)),
+		seq:   make(map[linkKey]uint64),
+	}
+	for _, p := range pairs {
+		r.pairs[linkKey{src: p[0], dst: p[1]}] = true
+	}
+	n.chaosMu.Lock()
+	n.chaosSeq++
+	r.id = n.chaosSeq
+	if spec.Seed != 0 {
+		r.seed = splitmix64(uint64(spec.Seed))
+	} else {
+		r.seed = splitmix64(uint64(n.seed) ^ 0xc5a0c5a0c5a0c5a0 ^ r.id)
+	}
+	n.chaos = append(n.chaos, r)
+	n.chaosMu.Unlock()
+	return r.id
+}
+
+// RemoveChaos uninstalls the overlay with the given rule id, reporting
+// whether it was installed. Packets already in flight keep the delays
+// they were assigned at send time.
+func (n *Network) RemoveChaos(id uint64) bool {
+	n.chaosMu.Lock()
+	defer n.chaosMu.Unlock()
+	for i, r := range n.chaos {
+		if r.id == id {
+			n.chaos = append(n.chaos[:i], n.chaos[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ClearChaos removes every installed overlay.
+func (n *Network) ClearChaos() {
+	n.chaosMu.Lock()
+	n.chaos = nil
+	n.chaosMu.Unlock()
+}
+
+// ActiveChaos returns how many overlays are currently installed.
+func (n *Network) ActiveChaos() int {
+	n.chaosMu.RLock()
+	defer n.chaosMu.RUnlock()
+	return len(n.chaos)
+}
+
+// chaosFor evaluates every matching overlay for one packet. Only
+// packets that survived the filter pipeline consume decisions, so a
+// partitioned link's stream does not advance.
+func (n *Network) chaosFor(src, dst NodeID) chaosEffect {
+	n.chaosMu.RLock()
+	rules := n.chaos
+	var eff chaosEffect
+	k := linkKey{src: src, dst: dst}
+	for _, r := range rules {
+		d, ok := r.next(k)
+		if !ok {
+			continue
+		}
+		spec := r.spec
+		if spec.Loss > 0 && d.unit() < spec.Loss {
+			eff.drop = true
+			eff.dups = nil
+			break
+		}
+		eff.delay += spec.Delay
+		if spec.Jitter > 0 {
+			eff.delay += d.durIn(spec.Jitter)
+		}
+		if spec.Reorder > 0 && d.unit() < spec.Reorder {
+			eff.delay += d.durIn(spec.ReorderWindow)
+		}
+		if spec.Dup > 0 && d.unit() < spec.Dup {
+			// The copy inherits the delay accumulated so far plus its
+			// own reorder draw, so the two copies may split and land
+			// out of order.
+			eff.dups = append(eff.dups, eff.delay+d.durIn(spec.ReorderWindow))
+		}
+	}
+	n.chaosMu.RUnlock()
+	return eff
+}

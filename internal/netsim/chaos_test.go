@@ -1,0 +1,314 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"neat/internal/clock"
+)
+
+func pair(a, b NodeID) [][2]NodeID { return [][2]NodeID{{a, b}} }
+
+// TestChaosLossDeterministic: two fabrics with the same seed and the
+// same overlay must drop exactly the same packets of an identical send
+// sequence, because loss decisions come from a per-link counter
+// stream, not from call interleaving.
+func TestChaosLossDeterministic(t *testing.T) {
+	run := func() []bool {
+		n := New(Options{Seed: 7})
+		n.Register("a", func(Packet) {})
+		var mu sync.Mutex
+		got := make(map[int]bool)
+		n.Register("b", func(p Packet) {
+			mu.Lock()
+			got[p.Payload.(int)] = true
+			mu.Unlock()
+		})
+		n.AddChaos(pair("a", "b"), Chaos{Loss: 0.5})
+		const total = 200
+		out := make([]bool, total)
+		for i := 0; i < total; i++ {
+			if err := n.Send("a", "b", i); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range out {
+			out[i] = got[i]
+		}
+		return out
+	}
+	a, b := run(), run()
+	delivered := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d: delivered=%v in run 1, %v in run 2", i, a[i], b[i])
+		}
+		if a[i] {
+			delivered++
+		}
+	}
+	if delivered < 60 || delivered > 140 {
+		t.Fatalf("delivered %d of 200 at loss 0.5, want roughly half", delivered)
+	}
+}
+
+// TestChaosLossIndependentPerLink: traffic on an unrelated link must
+// not perturb another link's decision stream.
+func TestChaosLossIndependentPerLink(t *testing.T) {
+	run := func(noise int) []bool {
+		n := New(Options{Seed: 3})
+		for _, id := range []NodeID{"a", "b", "c"} {
+			n.Register(id, func(Packet) {})
+		}
+		var mu sync.Mutex
+		got := make(map[int]bool)
+		n.Register("b", func(p Packet) {
+			mu.Lock()
+			got[p.Payload.(int)] = true
+			mu.Unlock()
+		})
+		n.AddChaos([][2]NodeID{{"a", "b"}, {"a", "c"}}, Chaos{Loss: 0.5})
+		const total = 100
+		out := make([]bool, total)
+		for i := 0; i < total; i++ {
+			for j := 0; j < noise; j++ {
+				_ = n.Send("a", "c", j) // same rule, different link
+			}
+			_ = n.Send("a", "b", i)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range out {
+			out[i] = got[i]
+		}
+		return out
+	}
+	quiet, noisy := run(0), run(3)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("packet %d: cross-link traffic changed the a->b loss decision", i)
+		}
+	}
+}
+
+// TestChaosDupCount: Dup=1 must deliver exactly two copies of every
+// packet, and the Duplicated counter must match.
+func TestChaosDupCount(t *testing.T) {
+	n := New(Options{})
+	n.Register("a", func(Packet) {})
+	var mu sync.Mutex
+	count := make(map[int]int)
+	n.Register("b", func(p Packet) {
+		mu.Lock()
+		count[p.Payload.(int)]++
+		mu.Unlock()
+	})
+	n.AddChaos(pair("a", "b"), Chaos{Dup: 1})
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := n.Send("a", "b", i); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < total; i++ {
+		if count[i] != 2 {
+			t.Fatalf("packet %d delivered %d times, want exactly 2", i, count[i])
+		}
+	}
+	if s := n.Stats(); s.Duplicated != total || s.Delivered != 2*total {
+		t.Fatalf("stats %+v, want Duplicated=%d Delivered=%d", s, total, 2*total)
+	}
+}
+
+// TestChaosReorderWindow: with Reorder=1 every packet is deferred by
+// less than ReorderWindow of virtual time, and with distinct deferrals
+// the arrival order differs from the send order.
+func TestChaosReorderWindow(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	n := New(Options{Clock: sim, Seed: 11})
+	n.Register("a", func(Packet) {})
+	var mu sync.Mutex
+	var order []int
+	maxLatency := time.Duration(0)
+	n.Register("b", func(p Packet) {
+		mu.Lock()
+		if l := sim.Now().Sub(p.SentAt); l > maxLatency {
+			maxLatency = l
+		}
+		order = append(order, p.Payload.(int))
+		mu.Unlock()
+	})
+	const window = 40 * time.Millisecond
+	n.AddChaos(pair("a", "b"), Chaos{Reorder: 1, ReorderWindow: window})
+	const total = 30
+	for i := 0; i < total; i++ {
+		if err := n.Send("a", "b", i); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(order) == total
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d packets arrived", len(order), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if maxLatency >= window {
+		t.Fatalf("packet deferred by %v, window is %v", maxLatency, window)
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("30 packets with independent deferrals arrived in send order; reordering had no effect")
+	}
+}
+
+// TestChaosDelayAddsLatency: a Slow-style overlay must defer delivery
+// by at least its Delay of virtual time.
+func TestChaosDelayAddsLatency(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	n := New(Options{Clock: sim})
+	n.Register("a", func(Packet) {})
+	var mu sync.Mutex
+	var latency time.Duration
+	delivered := false
+	n.Register("b", func(p Packet) {
+		mu.Lock()
+		latency = sim.Now().Sub(p.SentAt)
+		delivered = true
+		mu.Unlock()
+	})
+	n.AddChaos(pair("a", "b"), Chaos{Delay: 25 * time.Millisecond})
+	if err := n.Send("a", "b", nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := delivered
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("packet never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if latency < 25*time.Millisecond {
+		t.Fatalf("delivered after %v of virtual time, want >= 25ms", latency)
+	}
+}
+
+// TestChaosRemoveRestoresLink: removing an overlay stops its effects;
+// overlays on the same link compose until then.
+func TestChaosRemoveRestoresLink(t *testing.T) {
+	n := New(Options{})
+	n.Register("a", func(Packet) {})
+	var count atomic32
+	n.Register("b", func(Packet) { count.add(1) })
+	id := n.AddChaos(pair("a", "b"), Chaos{Loss: 1})
+	for i := 0; i < 5; i++ {
+		_ = n.Send("a", "b", i)
+	}
+	if count.load() != 0 {
+		t.Fatal("loss=1 overlay let a packet through")
+	}
+	if !n.RemoveChaos(id) {
+		t.Fatal("RemoveChaos did not find the rule")
+	}
+	if n.RemoveChaos(id) {
+		t.Fatal("RemoveChaos removed a rule twice")
+	}
+	_ = n.Send("a", "b", 99)
+	if count.load() != 1 {
+		t.Fatal("link still degraded after RemoveChaos")
+	}
+	if s := n.Stats(); s.DroppedChaos != 5 {
+		t.Fatalf("DroppedChaos = %d, want 5", s.DroppedChaos)
+	}
+}
+
+// TestChaosOnlyMatchingDirection: overlays are directed; the reverse
+// link stays clean.
+func TestChaosOnlyMatchingDirection(t *testing.T) {
+	n := New(Options{})
+	var toA, toB atomic32
+	n.Register("a", func(Packet) { toA.add(1) })
+	n.Register("b", func(Packet) { toB.add(1) })
+	n.AddChaos(pair("a", "b"), Chaos{Loss: 1})
+	_ = n.Send("a", "b", nil)
+	_ = n.Send("b", "a", nil)
+	if toB.load() != 0 {
+		t.Fatal("a->b should be fully lossy")
+	}
+	if toA.load() != 1 {
+		t.Fatal("b->a should be unaffected")
+	}
+}
+
+// TestDeliverRechecksFilters is the delayed-packet bugfix: a packet
+// sent before a partition was installed must not land through the
+// active partition just because it was delayed in flight.
+func TestDeliverRechecksFilters(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	n := New(Options{Clock: sim, Latency: 10 * time.Millisecond})
+	n.Register("a", func(Packet) {})
+	var count atomic32
+	n.Register("b", func(Packet) { count.add(1) })
+	if err := n.Send("a", "b", "pre-partition"); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// The packet is in flight; partition the pair before it lands.
+	n.SetSwitch(FilterFunc(func(src, dst NodeID) Verdict {
+		if src == "a" && dst == "b" {
+			return VerdictDrop
+		}
+		return VerdictAccept
+	}))
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Stats().DroppedLate == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight packet neither delivered nor dropped late")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if count.load() != 0 {
+		t.Fatal("delayed packet was delivered through an active partition")
+	}
+	if s := n.Stats(); s.DroppedLate != 1 {
+		t.Fatalf("DroppedLate = %d, want 1", s.DroppedLate)
+	}
+}
+
+// atomic32 is a tiny helper to keep the tests dependency-free.
+type atomic32 struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (a *atomic32) add(d int) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic32) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -13,6 +13,12 @@
 // flow table, and the iptables-style backend appends DROP rules to the
 // host chains. Either way the fault is invisible to the application code
 // running on the hosts, exactly as in a real deployment.
+//
+// Orthogonal to the drop pipeline, per-link chaos overlays (see
+// chaos.go) degrade matching links netem-style — added latency and
+// jitter, probabilistic loss, duplication, and reordering — modelling
+// the partial and transient network conditions the study finds just as
+// damaging as clean splits.
 package netsim
 
 import (
@@ -109,21 +115,33 @@ type Network struct {
 	switchFi Filter            // switch flow table
 	opts     Options
 	clk      clock.Clock
+	seed     int64
 	rng      *rand.Rand
 	rngMu    sync.Mutex
 	closed   bool
 
+	// chaos holds the installed link-degradation overlays (see
+	// chaos.go) in rule-id order.
+	chaosMu  sync.RWMutex
+	chaos    []*chaosRule
+	chaosSeq uint64
+
 	stats statCounters
 }
 
-// Stats is a snapshot of fabric-level packet outcomes.
+// Stats is a snapshot of fabric-level packet outcomes. Conservation
+// holds on a quiescent fabric: Sent + Duplicated equals Delivered plus
+// the sum of every drop counter.
 type Stats struct {
 	Sent           uint64
 	Delivered      uint64
+	Duplicated     uint64 // extra copies created by duplication overlays
 	DroppedEgress  uint64
 	DroppedSwitch  uint64
 	DroppedIngress uint64
 	DroppedRandom  uint64
+	DroppedChaos   uint64 // dropped by a link-loss overlay
+	DroppedLate    uint64 // delayed packet hit a filter installed after send
 	DroppedDown    uint64 // destination host crashed or unregistered
 }
 
@@ -133,10 +151,13 @@ type Stats struct {
 type statCounters struct {
 	sent           atomic.Uint64
 	delivered      atomic.Uint64
+	duplicated     atomic.Uint64
 	droppedEgress  atomic.Uint64
 	droppedSwitch  atomic.Uint64
 	droppedIngress atomic.Uint64
 	droppedRandom  atomic.Uint64
+	droppedChaos   atomic.Uint64
+	droppedLate    atomic.Uint64
 	droppedDown    atomic.Uint64
 }
 
@@ -168,6 +189,7 @@ func New(opts Options) *Network {
 		ingress: make(map[NodeID]Filter),
 		opts:    opts,
 		clk:     clk,
+		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
@@ -267,10 +289,13 @@ func (n *Network) Stats() Stats {
 	return Stats{
 		Sent:           n.stats.sent.Load(),
 		Delivered:      n.stats.delivered.Load(),
+		Duplicated:     n.stats.duplicated.Load(),
 		DroppedEgress:  n.stats.droppedEgress.Load(),
 		DroppedSwitch:  n.stats.droppedSwitch.Load(),
 		DroppedIngress: n.stats.droppedIngress.Load(),
 		DroppedRandom:  n.stats.droppedRandom.Load(),
+		DroppedChaos:   n.stats.droppedChaos.Load(),
+		DroppedLate:    n.stats.droppedLate.Load(),
 		DroppedDown:    n.stats.droppedDown.Load(),
 	}
 }
@@ -346,6 +371,14 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 	}
 	n.mu.RUnlock()
 
+	// Link-chaos overlays: only packets that survived the filter
+	// pipeline consume per-link decisions.
+	eff := n.chaosFor(src, dst)
+	if eff.drop {
+		n.stats.droppedChaos.Add(1)
+		return nil
+	}
+
 	// Random loss.
 	if n.opts.LossRate > 0 {
 		n.rngMu.Lock()
@@ -364,16 +397,39 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 		n.rngMu.Unlock()
 	}
 
-	if delay == 0 {
-		n.deliver(pkt)
-		return nil
+	n.scheduleDeliver(pkt, delay+eff.delay)
+	for _, extra := range eff.dups {
+		n.stats.duplicated.Add(1)
+		n.scheduleDeliver(pkt, delay+extra)
 	}
-	n.clk.AfterFunc(delay, func() { n.deliver(pkt) })
 	return nil
 }
 
-func (n *Network) deliver(pkt Packet) {
+// scheduleDeliver hands the packet to the destination now (synchronous
+// fast path) or after d on the fabric clock. Only delayed packets
+// re-check the filter pipeline at delivery time — the synchronous path
+// was checked an instant ago in Send.
+func (n *Network) scheduleDeliver(pkt Packet, d time.Duration) {
+	if d == 0 {
+		n.deliver(pkt, false)
+		return
+	}
+	n.clk.AfterFunc(d, func() { n.deliver(pkt, true) })
+}
+
+func (n *Network) deliver(pkt Packet, recheck bool) {
 	n.mu.RLock()
+	// A packet that spent time in flight must face the rules in force
+	// when it arrives, not only the ones from when it was sent: a
+	// partition installed while the packet was delayed still stops it
+	// at the switch or the destination's INPUT chain. (The source's
+	// OUTPUT chain is not re-evaluated — the packet left that host
+	// long ago.)
+	if recheck && n.lateVerdictLocked(pkt.Src, pkt.Dst) == VerdictDrop {
+		n.mu.RUnlock()
+		n.stats.droppedLate.Add(1)
+		return
+	}
 	dh, ok := n.hosts[pkt.Dst]
 	var handler Handler
 	if ok && dh.up {
@@ -386,4 +442,16 @@ func (n *Network) deliver(pkt Packet) {
 	}
 	n.stats.delivered.Add(1)
 	handler(pkt)
+}
+
+// lateVerdictLocked re-evaluates the switch and destination-ingress
+// stages for a packet that was delayed in flight.
+func (n *Network) lateVerdictLocked(src, dst NodeID) Verdict {
+	if n.switchFi != nil && n.switchFi.Check(src, dst) == VerdictDrop {
+		return VerdictDrop
+	}
+	if f := n.ingress[dst]; f != nil && f.Check(src, dst) == VerdictDrop {
+		return VerdictDrop
+	}
+	return VerdictAccept
 }

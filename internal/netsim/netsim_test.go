@@ -223,8 +223,9 @@ func TestStatsConservation(t *testing.T) {
 		}
 		s := n.Stats()
 		accounted := s.Delivered + s.DroppedEgress + s.DroppedSwitch +
-			s.DroppedIngress + s.DroppedRandom + s.DroppedDown
-		return s.Sent == accounted
+			s.DroppedIngress + s.DroppedRandom + s.DroppedChaos +
+			s.DroppedLate + s.DroppedDown
+		return s.Sent+s.Duplicated == accounted
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -35,6 +35,43 @@ type envelope struct {
 	IsReply bool
 	Body    any
 	Err     string
+	// Seq is the sender's per-endpoint wire sequence number. The
+	// receiving endpoint uses it to absorb link-level duplicates, the
+	// way a TCP connection would: a chaos overlay that duplicates
+	// packets must not make an application see the same request (and
+	// execute its side effects) twice. Application-level duplication —
+	// a client retrying after a timeout — is untouched.
+	Seq uint64
+}
+
+// dedupWindowSize bounds how many recent sequence numbers are
+// remembered per peer. Reordering never spans anywhere near this many
+// in-flight packets on one link (the inbox itself holds only
+// InboxDepth requests).
+const dedupWindowSize = 1024
+
+// seqWindow is the receive-side half of the reliable connection: the
+// most recently seen sequence numbers from one peer, evicted FIFO.
+type seqWindow struct {
+	seen map[uint64]bool
+	ring [dedupWindowSize]uint64
+	n    int
+}
+
+// observe records seq and reports whether it is fresh (not a
+// duplicate).
+func (w *seqWindow) observe(seq uint64) bool {
+	if w.seen[seq] {
+		return false
+	}
+	i := w.n % dedupWindowSize
+	if w.n >= dedupWindowSize {
+		delete(w.seen, w.ring[i])
+	}
+	w.ring[i] = seq
+	w.n++
+	w.seen[seq] = true
+	return true
 }
 
 type pendingCall struct {
@@ -52,9 +89,12 @@ type Endpoint struct {
 	pending  map[uint64]*pendingCall
 	closed   bool
 
-	seq   atomic.Uint64
-	inbox chan netsim.Packet
-	done  chan struct{}
+	seq     atomic.Uint64
+	wireSeq atomic.Uint64
+	dedupMu sync.Mutex
+	dedup   map[netsim.NodeID]*seqWindow
+	inbox   chan netsim.Packet
+	done    chan struct{}
 	// dispGid identifies the dispatcher goroutine: queued requests bind
 	// their busy tokens to its scope (see receive).
 	dispGid uint64
@@ -76,6 +116,7 @@ func NewEndpoint(n *netsim.Network, id netsim.NodeID) *Endpoint {
 		clk:            n.Clock(),
 		handlers:       make(map[string]Handler),
 		pending:        make(map[uint64]*pendingCall),
+		dedup:          make(map[netsim.NodeID]*seqWindow),
 		inbox:          make(chan netsim.Packet, InboxDepth),
 		done:           make(chan struct{}),
 		DefaultTimeout: 250 * time.Millisecond,
@@ -151,11 +192,36 @@ func (e *Endpoint) Close() {
 	}
 }
 
+// send stamps the wire sequence number and puts the envelope on the
+// fabric.
+func (e *Endpoint) send(dst netsim.NodeID, env envelope) error {
+	env.Seq = e.wireSeq.Add(1)
+	return e.net.Send(e.id, dst, env)
+}
+
+// isDuplicate reports (and records) whether the peer's sequence number
+// was already seen.
+func (e *Endpoint) isDuplicate(src netsim.NodeID, seq uint64) bool {
+	e.dedupMu.Lock()
+	defer e.dedupMu.Unlock()
+	w := e.dedup[src]
+	if w == nil {
+		w = &seqWindow{seen: make(map[uint64]bool)}
+		e.dedup[src] = w
+	}
+	return !w.observe(seq)
+}
+
 // receive is the netsim delivery handler. Replies are matched to
 // waiting calls inline; requests are queued for the dispatcher.
 func (e *Endpoint) receive(pkt netsim.Packet) {
 	env, ok := pkt.Payload.(envelope)
 	if !ok {
+		return
+	}
+	// Link-level duplicates are absorbed here, as the receive side of
+	// a TCP connection would absorb a retransmitted segment.
+	if env.Seq != 0 && e.isDuplicate(pkt.Src, env.Seq) {
 		return
 	}
 	if env.IsReply {
@@ -247,7 +313,7 @@ func (e *Endpoint) serve(pkt netsim.Packet) {
 		return // one-way notification
 	}
 	reply := envelope{Kind: env.Kind, ID: env.ID, IsReply: true, Body: respBody, Err: respErr}
-	_ = e.net.Send(e.id, pkt.Src, reply)
+	_ = e.send(pkt.Src, reply)
 }
 
 // Notify sends a one-way message; delivery is best effort.
@@ -258,7 +324,7 @@ func (e *Endpoint) Notify(dst netsim.NodeID, kind string, body any) error {
 	if closed {
 		return ErrClosed
 	}
-	return e.net.Send(e.id, dst, envelope{Kind: kind, Body: body})
+	return e.send(dst, envelope{Kind: kind, Body: body})
 }
 
 // Call sends a request and waits for the response or a timeout. A zero
@@ -293,7 +359,7 @@ func (e *Endpoint) Call(dst netsim.NodeID, kind string, body any, timeout time.D
 	}()
 
 	env := envelope{Kind: kind, ID: id, Body: body}
-	if err := e.net.Send(e.id, dst, env); err != nil {
+	if err := e.send(dst, env); err != nil {
 		return nil, err
 	}
 

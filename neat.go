@@ -52,15 +52,26 @@ const (
 // Partition is a handle to an injected fault.
 type Partition = core.Partition
 
-// PartitionType is one of the paper's three fault classes.
+// PartitionType is one of the paper's three fault classes or a
+// link-level chaos fault.
 type PartitionType = core.PartitionType
 
-// The three network-partitioning fault types (Figure 1).
+// The three network-partitioning fault types (Figure 1) plus the
+// link-chaos faults (slow, lossy, and flaky links; flapping
+// partitions) injected through Engine.Slow/Lossy/Flaky/Flap.
 const (
 	CompletePartition = core.CompletePartition
 	PartialPartition  = core.PartialPartition
 	SimplexPartition  = core.SimplexPartition
+	SlowPartition     = core.SlowPartition
+	LossyPartition    = core.LossyPartition
+	FlakyPartition    = core.FlakyPartition
+	FlapPartition     = core.FlapPartition
 )
+
+// Chaos is a link-degradation spec for Engine.Flaky: added latency and
+// jitter, probabilistic loss, duplication, and reordering.
+type Chaos = netsim.Chaos
 
 // ISystem is the lifecycle interface systems under test implement.
 type ISystem = core.ISystem
