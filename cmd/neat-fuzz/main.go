@@ -37,11 +37,18 @@
 // the presets classic (partitions + crashes) and chaos (link
 // degradations only), or a comma-separated list of kind names.
 //
+// Every violation carries a witness trace: the minimal set of
+// recorded client operations — timed invocation/response pairs with
+// Ok/Failed/Ambiguous outcomes — that proves the breach (see
+// internal/history). Pass -trace to additionally embed the first
+// failing round's full operation history in the JSON report.
+//
 // Usage:
 //
 //	neat-fuzz [-rounds N] [-seed S] [-target t1,t2|all] [-mode M]
 //	          [-faults all|classic|chaos|k1,k2] [-shrink] [-json path|-]
 //	          [-workers W] [-list] [-expect-none] [-realtime]
+//	          [-trace] [-settle D]
 package main
 
 import (
@@ -68,6 +75,10 @@ func main() {
 	expectNone := flag.Bool("expect-none", false, "exit nonzero if any violation is found")
 	realtime := flag.Bool("realtime", false,
 		"run rounds on the real wall clock instead of the default per-round simulated clock (slower, but timing matches a live deployment)")
+	trace := flag.Bool("trace", false,
+		"embed each violation's full per-round operation history in the JSON report (witness traces are always included)")
+	settle := flag.Duration("settle", campaign.DefaultSettle,
+		"post-heal quiescence wait on the round's clock before the observation phase")
 	flag.Parse()
 
 	if *list {
@@ -103,6 +114,8 @@ func main() {
 		FaultKinds:  kinds,
 		Shrink:      *shrink,
 		VirtualTime: !*realtime,
+		Settle:      *settle,
+		Trace:       *trace,
 		Log:         os.Stderr,
 	})
 
@@ -148,6 +161,12 @@ func printSummary(w io.Writer, res *campaign.Result) {
 		fmt.Fprintf(w, "  schedule: %s\n", f.Schedule)
 		if f.Shrunk != nil {
 			fmt.Fprintf(w, "  shrunk:   %s\n", f.Shrunk)
+		}
+		if len(f.Violation.Trace) > 0 {
+			fmt.Fprintf(w, "  witness:\n")
+			for _, op := range f.Violation.Trace {
+				fmt.Fprintf(w, "    %s\n", op)
+			}
 		}
 	}
 	fmt.Fprintf(w, "\ntotal violations=%d unique=%d errors=%d\n",

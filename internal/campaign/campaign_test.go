@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"neat/internal/core"
+	"neat/internal/history"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -117,7 +118,9 @@ func TestDedup(t *testing.T) {
 // fakeTarget is a deterministic target for runner/shrinker tests: it
 // violates its invariant iff, during some step, s1 cannot reach s2.
 // Reachability is a pure function of the injected faults, so runs are
-// exactly reproducible.
+// exactly reproducible. Each step records a probe operation into the
+// shared history; the target's check judges the recorded probes —
+// exercising the same record-then-check path real targets use.
 type fakeTarget struct{}
 
 func (t *fakeTarget) Name() string { return "fake" }
@@ -126,8 +129,24 @@ func (t *fakeTarget) Topology() Topology {
 	return Topology{Servers: ids("s", 3)}
 }
 
-func (t *fakeTarget) Deploy(eng *core.Engine) (Instance, error) {
-	in := &fakeInstance{eng: eng}
+func (t *fakeTarget) Checks() []history.Check {
+	return []history.Check{func(h history.History) []history.Violation {
+		for _, op := range h {
+			if op.Kind == "probe" && op.Outcome == history.Failed {
+				return []history.Violation{{
+					Invariant: "fake-inv",
+					Subject:   "s1-s2",
+					Detail:    "link was cut",
+					Witness:   []history.Op{op},
+				}}
+			}
+		}
+		return nil
+	}}
+}
+
+func (t *fakeTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
+	in := &fakeInstance{eng: eng, rec: rec}
 	// Reachability is only defined for registered hosts, so attach an
 	// endpoint per server like a real system would.
 	for _, id := range t.Topology().Servers {
@@ -137,25 +156,23 @@ func (t *fakeTarget) Deploy(eng *core.Engine) (Instance, error) {
 }
 
 type fakeInstance struct {
-	eng     *core.Engine
-	eps     []*transport.Endpoint
-	steps   int
-	blocked bool
+	eng   *core.Engine
+	rec   *history.Recorder
+	eps   []*transport.Endpoint
+	steps int
 }
 
 func (in *fakeInstance) Step(ctx *StepCtx) {
 	in.steps++
-	if !in.eng.Network().Reachable("s1", "s2") {
-		in.blocked = true
+	ref := in.rec.Begin(history.Op{Client: "s1", Kind: "probe", Key: "s1-s2"})
+	if in.eng.Network().Reachable("s1", "s2") {
+		ref.End(history.Ok, "")
+	} else {
+		ref.End(history.Failed, "")
 	}
 }
 
-func (in *fakeInstance) Check() []Violation {
-	if !in.blocked {
-		return nil
-	}
-	return []Violation{{Invariant: "fake-inv", Subject: "s1-s2", Detail: "link was cut"}}
-}
+func (in *fakeInstance) Observe(*StepCtx) {}
 
 func (in *fakeInstance) Close() {
 	for _, ep := range in.eps {
@@ -210,7 +227,7 @@ func TestShrink(t *testing.T) {
 		},
 	}
 	sig := "fake|fake-inv|s1-s2"
-	if !reproduces(tgt, sched, sig, 1, false) {
+	if !reproduces(tgt, sched, sig, 1, runOpts{}) {
 		t.Fatal("original schedule does not fail; test setup broken")
 	}
 	shrunk, confirmed := Shrink(tgt, sched, sig, 1)
@@ -226,7 +243,7 @@ func TestShrink(t *testing.T) {
 	if shrunk.Ops >= sched.Ops {
 		t.Fatalf("ops not reduced: %d", shrunk.Ops)
 	}
-	if !reproduces(tgt, shrunk, sig, 1, false) {
+	if !reproduces(tgt, shrunk, sig, 1, runOpts{}) {
 		t.Fatal("shrunk schedule no longer fails")
 	}
 }
@@ -531,17 +548,23 @@ type alwaysTarget struct{}
 
 func (t *alwaysTarget) Name() string       { return "always" }
 func (t *alwaysTarget) Topology() Topology { return Topology{Servers: ids("s", 3)} }
-func (t *alwaysTarget) Deploy(eng *core.Engine) (Instance, error) {
-	return &alwaysInstance{}, nil
+func (t *alwaysTarget) Checks() []history.Check {
+	return []history.Check{func(h history.History) []history.Violation {
+		return []history.Violation{{Invariant: "always", Subject: "x", Detail: "fires unconditionally", Witness: h}}
+	}}
+}
+func (t *alwaysTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
+	return &alwaysInstance{rec: rec}, nil
 }
 
-type alwaysInstance struct{}
+type alwaysInstance struct{ rec *history.Recorder }
 
-func (in *alwaysInstance) Step(*StepCtx) {}
-func (in *alwaysInstance) Check() []Violation {
-	return []Violation{{Invariant: "always", Subject: "x", Detail: "fires unconditionally"}}
+func (in *alwaysInstance) Step(*StepCtx) {
+	ref := in.rec.Begin(history.Op{Client: "s1", Kind: "noop", Key: "x"})
+	ref.End(history.Ok, "")
 }
-func (in *alwaysInstance) Close() {}
+func (in *alwaysInstance) Observe(*StepCtx) {}
+func (in *alwaysInstance) Close()           {}
 
 // TestShrinkToZeroFaults is the spurious-fault bugfix: a violation the
 // workload triggers with no faults at all must shrink to an empty

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -22,8 +23,10 @@ func determinismTargets(t *testing.T) []Target {
 
 // runVirtualCampaign executes one virtual-time campaign and returns
 // its full JSON report — signatures, first rounds, counts, schedules,
-// and shrunk reproducers, canonically serialized. The kinds restrict
-// fault generation (nil = the full default mix, chaos included).
+// shrunk reproducers, witness traces, and (Trace on) the full
+// recorded operation histories with their virtual-clock timestamps,
+// canonically serialized. The kinds restrict fault generation (nil =
+// the full default mix, chaos included).
 func runVirtualCampaign(t *testing.T, workers int, kinds ...FaultKind) []byte {
 	t.Helper()
 	res := Run(Config{
@@ -33,6 +36,7 @@ func runVirtualCampaign(t *testing.T, workers int, kinds ...FaultKind) []byte {
 		Workers:     workers,
 		FaultKinds:  kinds,
 		Shrink:      true,
+		Trace:       true,
 		VirtualTime: true,
 	})
 	if res.Errors > 0 {
@@ -158,6 +162,36 @@ func TestVirtualTimeIsFast(t *testing.T) {
 		t.Fatalf("virtual round took %v of wall time", took)
 	}
 	t.Logf("virtual round completed in %v wall time", took)
+}
+
+// TestHistoryDeterministicAcrossRuns: the recorded operation history
+// itself — indices, outcomes, payloads, and virtual-clock timestamps
+// — must be byte-identical across same-seed runs; witness traces
+// inherit that.
+func TestHistoryDeterministicAcrossRuns(t *testing.T) {
+	targets, err := Select("kvstore/lowest-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	sched := generateFor(tgt, 42, 0)
+	first := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if len(first.History) == 0 {
+		t.Fatal("round recorded no operations")
+	}
+	for i := 0; i < 3; i++ {
+		again := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
+		if !reflect.DeepEqual(first.History, again.History) {
+			t.Fatalf("replay %d recorded a different history:\n%v\nvs\n%v", i, first.History, again.History)
+		}
+		if !reflect.DeepEqual(first.Violations, again.Violations) {
+			t.Fatalf("replay %d produced different violations (traces included):\n%v\nvs\n%v",
+				i, first.Violations, again.Violations)
+		}
+	}
 }
 
 func generateFor(tgt Target, base int64, round int) Schedule {

@@ -1,6 +1,32 @@
 package campaign
 
-import "neat/internal/report"
+import (
+	"neat/internal/history"
+	"neat/internal/report"
+)
+
+// traceOps converts recorded operations into their report form.
+func traceOps(ops []history.Op) []report.TraceOp {
+	out := make([]report.TraceOp, len(ops))
+	for i, op := range ops {
+		out[i] = report.TraceOp{
+			Index:    op.Index,
+			Client:   op.Client,
+			Kind:     op.Kind,
+			Key:      op.Key,
+			Node:     op.Node,
+			Input:    op.Input,
+			Output:   op.Output,
+			Outcome:  op.Outcome.String(),
+			Note:     op.Note,
+			Aux:      op.Aux,
+			Faults:   op.Faults,
+			InvokeNs: op.Invoke.Nanoseconds(),
+			ReturnNs: op.Return.Nanoseconds(),
+		}
+	}
+	return out
+}
 
 // Report converts the campaign result into the machine-readable
 // report form consumed by pipelines and emitted by cmd/neat-fuzz.
@@ -35,9 +61,13 @@ func (r *Result) Report() report.Campaign {
 			FirstRound:   f.Round,
 			ScheduleSeed: f.Schedule.Seed,
 			Schedule:     f.Schedule.Describe(),
+			Trace:        traceOps(f.Violation.Trace),
 		}
 		if f.Shrunk != nil {
 			v.Shrunk = f.Shrunk.Describe()
+		}
+		if len(f.History) > 0 {
+			v.History = traceOps(f.History)
 		}
 		out.Violations = append(out.Violations, v)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"neat/internal/clock"
 	"neat/internal/core"
+	"neat/internal/history"
 	"neat/internal/netsim"
 )
 
@@ -22,16 +23,42 @@ type RoundOutcome struct {
 	Round      int
 	Schedule   Schedule
 	Violations []Violation
-	Err        error
+	// History is the round's full recorded operation history,
+	// retained only when the round ran with tracing on.
+	History history.History
+	Err     error
+}
+
+// DefaultSettle is the runner's post-heal quiescence wait: how long
+// the round's clock runs after the last fault heals before the
+// observation phase reads the settled state. One clock-driven wait,
+// uniform across targets, replaces the per-target settle sleeps the
+// embedded checkers used to carry; Config.Settle tunes it.
+const DefaultSettle = 250 * time.Millisecond
+
+// runOpts bundles the execution knobs a single round runs under.
+type runOpts struct {
+	virtual bool
+	settle  time.Duration
+	trace   bool
+}
+
+func (o runOpts) withDefaults() runOpts {
+	if o.settle <= 0 {
+		o.settle = DefaultSettle
+	}
+	return o
 }
 
 // RunSchedule deploys a fresh instance of the target on its own
 // engine, executes the schedule's workload rounds with faults injected
 // and healed at their scheduled indices, then heals everything,
-// restarts crashed nodes, and checks the target's invariants. It runs
-// on the real wall clock; campaigns normally use RunScheduleVirtual.
+// restarts crashed nodes, waits out the quiescence settle, runs the
+// observation phase, and judges the recorded history with the
+// target's checkers. It runs on the real wall clock; campaigns
+// normally use RunScheduleVirtual.
 func RunSchedule(t Target, sched Schedule) RoundOutcome {
-	return runSchedule(t, sched, false)
+	return runSchedule(t, sched, runOpts{})
 }
 
 // RunScheduleVirtual runs the schedule against a fresh simulated clock
@@ -42,18 +69,19 @@ func RunSchedule(t Target, sched Schedule) RoundOutcome {
 // Each round getting its own clock keeps rounds independent and lets
 // them run concurrently.
 func RunScheduleVirtual(t Target, sched Schedule) RoundOutcome {
-	return runSchedule(t, sched, true)
+	return runSchedule(t, sched, runOpts{virtual: true})
 }
 
-func runSchedule(t Target, sched Schedule, virtual bool) RoundOutcome {
+func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
+	opts = opts.withDefaults()
 	out := RoundOutcome{Target: t.Name(), Schedule: sched}
-	var opts core.Options
-	if virtual {
+	var engOpts core.Options
+	if opts.virtual {
 		sim := clock.NewSim()
 		defer sim.Stop()
-		opts.Net.Clock = sim
+		engOpts.Net.Clock = sim
 	}
-	eng := core.NewEngine(opts)
+	eng := core.NewEngine(engOpts)
 	defer eng.Shutdown()
 	topo := t.Topology()
 	for _, id := range topo.Servers {
@@ -65,7 +93,8 @@ func runSchedule(t Target, sched Schedule, virtual bool) RoundOutcome {
 	for _, id := range topo.Clients {
 		eng.AddNode(id, core.RoleClient)
 	}
-	inst, err := t.Deploy(eng)
+	rec := history.NewRecorder(eng.Clock())
+	inst, err := t.Deploy(eng, rec)
 	if err != nil {
 		out.Err = fmt.Errorf("campaign: deploying %s: %w", t.Name(), err)
 		return out
@@ -158,6 +187,7 @@ func runSchedule(t Target, sched Schedule, virtual bool) RoundOutcome {
 			}
 			activeCount++
 		}
+		rec.SetFaults(activeCount)
 		inst.Step(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: op, ActiveFaults: activeCount})
 	}
 	_ = eng.HealAll()
@@ -166,9 +196,26 @@ func runSchedule(t Target, sched Schedule, virtual bool) RoundOutcome {
 			eng.Restart(v)
 		}
 	}
-	out.Violations = inst.Check()
-	for i := range out.Violations {
-		out.Violations[i].Target = t.Name()
+	rec.SetFaults(0)
+	// Quiescence: one clock-driven settle, uniform across targets, so
+	// re-elections, session re-establishment, and post-heal
+	// consolidation complete before the settled state is observed.
+	eng.Clock().Sleep(opts.settle)
+	inst.Observe(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: -1})
+	h := rec.History()
+	for _, check := range t.Checks() {
+		for _, v := range check(h) {
+			out.Violations = append(out.Violations, Violation{
+				Target:    t.Name(),
+				Invariant: v.Invariant,
+				Subject:   v.Subject,
+				Detail:    v.Detail,
+				Trace:     v.Witness,
+			})
+		}
+	}
+	if opts.trace {
+		out.History = h
 	}
 	return out
 }
@@ -221,6 +268,14 @@ type Config struct {
 	// while shrinking before concluding it no longer reproduces
 	// (default 1).
 	ShrinkAttempts int
+	// Settle is the post-heal quiescence wait on the round's clock
+	// before the observation phase; 0 means DefaultSettle. Uniform
+	// across targets and virtually free under VirtualTime.
+	Settle time.Duration
+	// Trace retains every finding's full recorded operation history
+	// (the witness trace is always kept). cmd/neat-fuzz sets it from
+	// -trace.
+	Trace bool
 	// Log, when set, receives one line per completed round.
 	Log io.Writer
 }
@@ -275,6 +330,7 @@ func Run(cfg Config) *Result {
 		res.Stats[t.Name()] = &TargetStats{}
 	}
 
+	opts := runOpts{virtual: cfg.VirtualTime, settle: cfg.Settle, trace: cfg.Trace}
 	type job struct {
 		target Target
 		round  int
@@ -292,7 +348,7 @@ func Run(cfg Config) *Result {
 				gen := rand.New(rand.NewSource(seed))
 				sched := Generate(gen, j.target.Topology(), cfg.FaultKinds...)
 				sched.Seed = seed
-				out := runSchedule(j.target, sched, cfg.VirtualTime)
+				out := runSchedule(j.target, sched, opts)
 				out.Round = j.round
 				mu.Lock()
 				st := res.Stats[out.Target]
@@ -307,6 +363,7 @@ func Run(cfg Config) *Result {
 						Violation: v,
 						Round:     j.round,
 						Schedule:  sched,
+						History:   out.History,
 					})
 				}
 				if cfg.Log != nil {
@@ -365,7 +422,8 @@ func (r *Result) shrinkAll(cfg Config) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			shrunk, confirmed := shrink(t, f.Schedule, f.Violation.Signature(), cfg.ShrinkAttempts, cfg.VirtualTime)
+			shrunk, confirmed := shrink(t, f.Schedule, f.Violation.Signature(), cfg.ShrinkAttempts,
+				runOpts{virtual: cfg.VirtualTime, settle: cfg.Settle})
 			// Only a schedule that actually re-reproduced the signature
 			// is reported as a minimal reproducer.
 			if confirmed {

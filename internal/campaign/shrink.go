@@ -16,10 +16,10 @@ package campaign
 // never failed again (a timing-flaky finding), so the result must not
 // be presented as a confirmed minimal reproducer.
 func Shrink(t Target, sched Schedule, signature string, attempts int) (Schedule, bool) {
-	return shrink(t, sched, signature, attempts, false)
+	return shrink(t, sched, signature, attempts, runOpts{})
 }
 
-func shrink(t Target, sched Schedule, signature string, attempts int, virtual bool) (Schedule, bool) {
+func shrink(t Target, sched Schedule, signature string, attempts int, opts runOpts) (Schedule, bool) {
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -33,7 +33,7 @@ func shrink(t Target, sched Schedule, signature string, attempts int, virtual bo
 		for i := 0; i < len(cur.Faults); i++ {
 			cand := cur
 			cand.Faults = append(append([]Fault{}, cur.Faults[:i]...), cur.Faults[i+1:]...)
-			if reproduces(t, cand, signature, attempts, virtual) {
+			if reproduces(t, cand, signature, attempts, opts) {
 				cur = cand
 				confirmed = true
 				improved = true
@@ -51,7 +51,7 @@ func shrink(t Target, sched Schedule, signature string, attempts int, virtual bo
 				continue
 			}
 			cand := truncate(cur, ops)
-			if reproduces(t, cand, signature, attempts, virtual) {
+			if reproduces(t, cand, signature, attempts, opts) {
 				cur = cand
 				confirmed = true
 				improved = true
@@ -62,7 +62,7 @@ func shrink(t Target, sched Schedule, signature string, attempts int, virtual bo
 	if !confirmed {
 		// No reduction ever failed; check whether at least the
 		// original still does.
-		confirmed = reproduces(t, cur, signature, attempts, virtual)
+		confirmed = reproduces(t, cur, signature, attempts, opts)
 	}
 	return cur, confirmed
 }
@@ -81,9 +81,9 @@ func truncate(s Schedule, ops int) Schedule {
 	return out
 }
 
-func reproduces(t Target, sched Schedule, signature string, attempts int, virtual bool) bool {
+func reproduces(t Target, sched Schedule, signature string, attempts int, opts runOpts) bool {
 	for i := 0; i < attempts; i++ {
-		out := runSchedule(t, sched, virtual)
+		out := runSchedule(t, sched, opts)
 		for _, v := range out.Violations {
 			if v.Signature() == signature {
 				return true

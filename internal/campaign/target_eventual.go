@@ -8,6 +8,7 @@ import (
 
 	"neat/internal/core"
 	"neat/internal/eventual"
+	"neat/internal/history"
 	"neat/internal/netsim"
 )
 
@@ -20,6 +21,12 @@ import (
 // drops one side of every concurrent pair (the Jepsen Redis data
 // loss). Vector causality keeps concurrent writes as siblings — the
 // safe configuration.
+//
+// The instance records writes with the vector clock each
+// acknowledgement carried and final per-replica sibling sets; the
+// generic convergence checker, parameterized by vector-clock
+// supersession, judges reconciliation and acknowledged-write
+// survival.
 type eventualTarget struct {
 	name   string
 	policy eventual.ConsolidationPolicy
@@ -31,7 +38,36 @@ func (t *eventualTarget) Topology() Topology {
 	return Topology{Servers: ids("e", 3), Clients: []netsim.NodeID{"c1", "c2"}}
 }
 
-func (t *eventualTarget) Deploy(eng *core.Engine) (Instance, error) {
+func (t *eventualTarget) Checks() []history.Check {
+	return []history.Check{
+		history.Convergence(history.ConvergeSpec{
+			ReadKind:          "versions",
+			DisagreeInvariant: "convergence",
+			WriteKind:         "put",
+			OnlyFaulted:       true,
+			Supersedes:        vclockSupersedes,
+		}),
+	}
+}
+
+// vclockSupersedes parameterizes the convergence checker with the
+// store's causality: a survivor legitimately supersedes a missing
+// acknowledged write iff its clock is causally at or after the
+// write's acknowledgement clock — the survivor incorporated it, even
+// if no client-visible read ever exposed the incorporation (a
+// timed-out Put the coordinator applied anyway extends the same
+// causal chain). A survivor concurrent with the write does not.
+func vclockSupersedes(survivorAux, ackedAux string) bool {
+	sc, err1 := eventual.ParseVClock(survivorAux)
+	ac, err2 := eventual.ParseVClock(ackedAux)
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	o := sc.Compare(ac)
+	return o == eventual.After || o == eventual.Equal
+}
+
+func (t *eventualTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
 	cfg := eventual.Config{
 		Replicas:            t.Topology().Servers,
 		Policy:              t.policy,
@@ -42,30 +78,25 @@ func (t *eventualTarget) Deploy(eng *core.Engine) (Instance, error) {
 	if err := eng.Deploy(sys); err != nil {
 		return nil, err
 	}
-	in := &eventualInstance{eng: eng, replicas: cfg.Replicas}
-	in.writers[0] = &eventualWriter{cl: eventual.NewClient(eng.Network(), "c1"), coord: "e1"}
-	in.writers[1] = &eventualWriter{cl: eventual.NewClient(eng.Network(), "c2"), coord: "e2"}
+	in := &eventualInstance{eng: eng, rec: rec, replicas: cfg.Replicas}
+	in.writers[0] = &eventualWriter{cl: eventual.NewClient(eng.Network(), "c1"), client: "c1", coord: "e1"}
+	in.writers[1] = &eventualWriter{cl: eventual.NewClient(eng.Network(), "c2"), client: "c2", coord: "e2"}
 	return in, nil
 }
 
 // eventualWriter is one client bound to its coordinator replica, the
 // way a partitioned application instance keeps talking to its side.
 type eventualWriter struct {
-	cl    *eventual.Client
-	coord netsim.NodeID
-	// last is the writer's last acknowledged value and lastClock the
-	// vector clock the coordinator returned with the acknowledgement
-	// (the write context); ackFaulted records whether a fault was
-	// active when it was acknowledged.
-	last       string
-	lastClock  eventual.VClock
-	ackFaulted bool
+	cl     *eventual.Client
+	client string
+	coord  netsim.NodeID
 }
 
 const eventualKey = "ek"
 
 type eventualInstance struct {
 	eng      *core.Engine
+	rec      *history.Recorder
 	replicas []netsim.NodeID
 	writers  [2]*eventualWriter
 }
@@ -73,79 +104,63 @@ type eventualInstance struct {
 func (in *eventualInstance) Step(ctx *StepCtx) {
 	for i, w := range in.writers {
 		val := fmt.Sprintf("c%d-op%d", i+1, ctx.Op)
-		if ver, err := w.cl.PutV(w.coord, eventualKey, val); err == nil {
-			w.last = val
-			w.lastClock = ver.Clock
-			w.ackFaulted = ctx.ActiveFaults > 0
+		ref := in.rec.Begin(history.Op{Client: w.client, Kind: "put", Key: eventualKey, Input: val})
+		ver, err := w.cl.PutV(w.coord, eventualKey, val)
+		ref.End(history.OutcomeOf(err, eventual.MaybeExecuted(err)), "")
+		if err == nil {
+			// The acknowledgement's vector clock is the write context;
+			// the convergence checker compares survivors against it.
+			ref.SetAux(ver.Clock.String())
 		}
 	}
 	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
-func (in *eventualInstance) Check() []Violation {
-	// Anti-entropy must reconcile every replica onto one sibling set.
-	var final []eventual.Version
-	converged := in.eng.WaitUntil(2*time.Second, func() bool {
-		sets := make([][]eventual.Version, 0, len(in.replicas))
-		for _, rep := range in.replicas {
-			vers, err := in.writers[0].cl.GetVersions(rep, eventualKey)
-			if err != nil && !eventual.IsNotFound(err) {
+// Observe waits for anti-entropy to reconcile every replica onto one
+// sibling set (bounded), then records each replica's final sibling
+// set — values and their vector clocks — into the history.
+func (in *eventualInstance) Observe(*StepCtx) {
+	read := func(rep netsim.NodeID) ([]eventual.Version, error) {
+		vers, err := in.writers[0].cl.GetVersions(rep, eventualKey)
+		if err != nil && eventual.IsNotFound(err) {
+			return nil, nil
+		}
+		sort.Slice(vers, func(i, j int) bool { return vers[i].Val < vers[j].Val })
+		return vers, err
+	}
+	in.eng.WaitUntil(2*time.Second, func() bool {
+		var first string
+		for i, rep := range in.replicas {
+			vers, err := read(rep)
+			if err != nil {
 				return false
 			}
-			sort.Slice(vers, func(i, j int) bool { return vers[i].Val < vers[j].Val })
-			sets = append(sets, vers)
-		}
-		for _, s := range sets[1:] {
-			if versionVals(s) != versionVals(sets[0]) {
+			joined := joinVersionVals(vers)
+			if i == 0 {
+				first = joined
+			} else if joined != first {
 				return false
 			}
 		}
-		final = sets[0]
 		return true
 	})
-	if !converged {
-		return []Violation{{
-			Invariant: "convergence",
-			Subject:   eventualKey,
-			Detail:    "replicas never reconciled onto one sibling set after the heal",
-		}}
-	}
-
-	// Causality witness: a last acknowledged write that is missing
-	// from the final sibling set was legitimately superseded only if
-	// some survivor causally dominates it (its clock is After the
-	// acknowledged write's clock — the survivor incorporated it, even
-	// if no client-visible read ever exposed the incorporation: a
-	// timed-out Put that the coordinator applied anyway extends the
-	// same causal chain). A missing write that is concurrent with
-	// every survivor was consolidated away — the paper's
-	// acknowledged-write data loss. Vector causality never drops a
-	// non-dominated version; last-writer-wins does.
-	var out []Violation
-	for _, w := range in.writers {
-		if w.last == "" || !w.ackFaulted || versionVal(final, w.last) {
+	for _, rep := range in.replicas {
+		ref := in.rec.Begin(history.Op{Client: "c1", Kind: "versions", Key: eventualKey, Node: string(rep)})
+		vers, err := read(rep)
+		if err != nil {
+			ref.End(history.Failed, "")
 			continue
 		}
-		superseded := false
-		for _, v := range final {
-			if o := v.Clock.Compare(w.lastClock); o == eventual.After || o == eventual.Equal {
-				superseded = true
-				break
-			}
+		clocks := make([]string, len(vers))
+		for i, v := range vers {
+			clocks[i] = v.Clock.String()
 		}
-		if !superseded {
-			out = append(out, Violation{
-				Invariant: "acked-write-survives",
-				Subject:   eventualKey,
-				Detail: fmt.Sprintf("acknowledged write %q was concurrent with every survivor yet consolidated away (final siblings %v)",
-					w.last, versionVals(final)),
-			})
-		}
+		ref.End(history.Ok, joinVersionVals(vers))
+		ref.SetAux(strings.Join(clocks, ";"))
 	}
-	return out
 }
 
-func versionVals(vs []eventual.Version) string {
+func joinVersionVals(vs []eventual.Version) string {
 	parts := make([]string, len(vs))
 	for i, v := range vs {
 		parts[i] = v.Val
@@ -153,18 +168,8 @@ func versionVals(vs []eventual.Version) string {
 	return strings.Join(parts, ",")
 }
 
-func versionVal(vs []eventual.Version, val string) bool {
-	for _, v := range vs {
-		if v.Val == val {
-			return true
-		}
-	}
-	return false
-}
-
 func (in *eventualInstance) Close() {
 	for _, w := range in.writers {
 		w.cl.Close()
 	}
 }
-

@@ -6,6 +6,7 @@ import (
 
 	"neat/internal/core"
 	"neat/internal/election"
+	"neat/internal/history"
 	"neat/internal/kvstore"
 	"neat/internal/netsim"
 )
@@ -17,6 +18,12 @@ import (
 // simplex partition that drops acknowledgements but not requests makes
 // a write that was reported failed survive and become readable
 // (Finding 4, Elasticsearch issue #9967).
+//
+// The workload records single-writer-per-key register histories with
+// concurrent cross-client reads; the generic register linearizability
+// checker then reports consolidation data loss as "durability" and
+// the silent-writes checker reports the request-routing class as
+// "silent-success".
 type kvTarget struct {
 	name string
 	mode election.Mode
@@ -28,7 +35,14 @@ func (t *kvTarget) Topology() Topology {
 	return Topology{Servers: ids("s", 3), Clients: []netsim.NodeID{"c1", "c2"}}
 }
 
-func (t *kvTarget) Deploy(eng *core.Engine) (Instance, error) {
+func (t *kvTarget) Checks() []history.Check {
+	return []history.Check{
+		history.Registers(history.RegisterSpec{}),
+		history.SilentWrites(history.SilentSpec{}),
+	}
+}
+
+func (t *kvTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
 	replicas := t.Topology().Servers
 	cfg := kvstore.Config{
 		Replicas:               replicas,
@@ -47,74 +61,66 @@ func (t *kvTarget) Deploy(eng *core.Engine) (Instance, error) {
 	}
 	return &kvInstance{
 		eng: eng,
+		rec: rec,
 		c1:  kvstore.NewClient(eng.Network(), "c1", replicas, 80*time.Millisecond),
 		c2:  kvstore.NewClient(eng.Network(), "c2", replicas, 80*time.Millisecond),
 	}, nil
 }
 
 // kvInstance drives single-writer-per-key workloads from two clients,
-// so every surviving value can be judged against that key's
-// acknowledgement history.
+// with each client also reading the other's key, so the recorded
+// history holds concurrent registers the linearizability checker can
+// judge.
 type kvInstance struct {
 	eng    *core.Engine
+	rec    *history.Recorder
 	c1, c2 *kvstore.Client
-	acked1 []string
-	acked2 []string
+}
+
+func (in *kvInstance) put(cl *kvstore.Client, client, key, val string) {
+	ref := in.rec.Begin(history.Op{Client: client, Kind: "put", Key: key, Input: val})
+	err := cl.Put(key, val)
+	ref.End(history.OutcomeOf(err, kvstore.MaybeExecuted(err)), "")
+}
+
+func (in *kvInstance) get(cl *kvstore.Client, client, key string) {
+	ref := in.rec.Begin(history.Op{Client: client, Kind: "get", Key: key})
+	got, err := cl.Get(key)
+	switch {
+	case err == nil:
+		ref.End(history.Ok, got)
+	case kvstore.IsNotFound(err):
+		ref.EndNote(history.Ok, "", "missing")
+	default:
+		ref.End(history.OutcomeOf(err, kvstore.MaybeExecuted(err)), "")
+	}
 }
 
 func (in *kvInstance) Step(ctx *StepCtx) {
-	v1 := fmt.Sprintf("k1-op%d-%d", ctx.Op, ctx.Rng.Intn(1000))
-	if in.c1.Put("k1", v1) == nil {
-		in.acked1 = append(in.acked1, v1)
-	}
-	v2 := fmt.Sprintf("k2-op%d-%d", ctx.Op, ctx.Rng.Intn(1000))
-	if in.c2.Put("k2", v2) == nil {
-		in.acked2 = append(in.acked2, v2)
+	in.put(in.c1, "c1", "k1", fmt.Sprintf("k1-op%d-%d", ctx.Op, ctx.Rng.Intn(1000)))
+	in.put(in.c2, "c2", "k2", fmt.Sprintf("k2-op%d-%d", ctx.Op, ctx.Rng.Intn(1000)))
+	// Cross-client reads make dirty and stale values observable while
+	// the fault is still active — the paper's dirty-read condition —
+	// instead of only at the final settled read.
+	if ctx.Op%2 == 0 {
+		in.get(in.c2, "c2", "k1")
+	} else {
+		in.get(in.c1, "c1", "k2")
 	}
 	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
-func (in *kvInstance) Check() []Violation {
-	// Let re-elections and post-heal consolidation settle before
-	// judging, as the seed fuzzer did.
-	in.eng.Clock().Sleep(250 * time.Millisecond)
-	var out []Violation
-	out = append(out, in.checkKey("k1", in.acked1)...)
-	out = append(out, in.checkKey("k2", in.acked2)...)
-	return out
-}
-
-// checkKey verifies the two invariants of the seed fuzzer: the
-// surviving value of a key must be one its writer had acknowledged
-// (no dirty or resurrected values), and acknowledged writes must not
-// vanish entirely.
-func (in *kvInstance) checkKey(key string, acked []string) []Violation {
-	var got string
-	var err error
-	in.eng.WaitUntil(time.Second, func() bool {
-		got, err = in.c2.Get(key)
-		return err == nil || kvstore.IsNotFound(err)
-	})
-	if err != nil {
-		if len(acked) > 0 {
-			return []Violation{{
-				Invariant: "durability",
-				Subject:   key,
-				Detail:    fmt.Sprintf("all %d acknowledged writes lost (%v)", len(acked), err),
-			}}
-		}
-		return nil
+// Observe reads each key's settled value into the history. The final
+// reads, judged against the recorded writes by the register checker,
+// subsume the seed fuzzer's embedded acked-list bookkeeping.
+func (in *kvInstance) Observe(*StepCtx) {
+	for _, key := range []string{"k1", "k2"} {
+		in.eng.WaitUntil(time.Second, func() bool {
+			_, err := in.c2.Get(key)
+			return err == nil || kvstore.IsNotFound(err)
+		})
+		in.get(in.c2, "c2", key)
 	}
-	for _, v := range acked {
-		if v == got {
-			return nil
-		}
-	}
-	return []Violation{{
-		Invariant: "no-dirty-value",
-		Subject:   key,
-		Detail:    fmt.Sprintf("read %q, never acknowledged (dirty or resurrected)", got),
-	}}
 }
 
 func (in *kvInstance) Close() {

@@ -2,9 +2,11 @@ package campaign
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"neat/internal/core"
+	"neat/internal/history"
 	"neat/internal/locksvc"
 	"neat/internal/netsim"
 )
@@ -17,6 +19,12 @@ import (
 // needs acknowledgements from the entire original replica set, so
 // operations fail during partitions instead of diverging — the safe
 // configuration.
+//
+// The instance records lock/unlock/increment operations; the generic
+// mutual-exclusion checker replays them with lease semantics (an
+// ambiguous outcome abandons the client's holds, so SyncBackups lease
+// handoffs are not misread as double grants), and the unique-outputs
+// checker reports duplicate sequence values.
 type lockTarget struct {
 	name        string
 	syncBackups bool
@@ -28,9 +36,16 @@ func (t *lockTarget) Topology() Topology {
 	return Topology{Servers: ids("l", 3), Clients: []netsim.NodeID{"c1", "c2"}}
 }
 
+func (t *lockTarget) Checks() []history.Check {
+	return []history.Check{
+		history.MutualExclusion(history.MutexSpec{}),
+		history.UniqueOutputs("incr", "unique-sequence"),
+	}
+}
+
 const lockLeaseTTL = 60 * time.Millisecond
 
-func (t *lockTarget) Deploy(eng *core.Engine) (Instance, error) {
+func (t *lockTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
 	replicas := t.Topology().Servers
 	cfg := locksvc.Config{
 		Replicas:          replicas,
@@ -44,81 +59,71 @@ func (t *lockTarget) Deploy(eng *core.Engine) (Instance, error) {
 	if err := eng.Deploy(sys); err != nil {
 		return nil, err
 	}
-	in := &lockInstance{eng: eng}
+	in := &lockInstance{rec: rec}
 	in.clients[0] = locksvc.NewClient(eng.Network(), "c1", replicas, lockLeaseTTL)
 	in.clients[1] = locksvc.NewClient(eng.Network(), "c2", replicas, lockLeaseTTL)
 	return in, nil
 }
 
-// lockInstance drives two clients competing for one exclusive lock and
-// one shared sequence counter. Steps run in the engine's single global
-// order, so the instance can track which client believes it holds the
-// lock and judge mutual exclusion exactly.
+// lockInstance drives two clients competing for one exclusive lock
+// and one shared sequence counter. holds is each client's *belief*
+// about the lock — it drives the workload (hold a while, then
+// release); judging which beliefs were simultaneously justified is
+// the mutual-exclusion checker's job, over the recorded history.
 type lockInstance struct {
-	eng        *core.Engine
-	clients    [2]*locksvc.Client
-	holds      [2]bool
-	seqSeen    map[int64]int // sequence value -> client index that drew it
-	violations []Violation
+	rec     *history.Recorder
+	clients [2]*locksvc.Client
+	holds   [2]bool
 }
 
 func (in *lockInstance) Step(ctx *StepCtx) {
-	if in.seqSeen == nil {
-		in.seqSeen = make(map[int64]int)
-	}
 	for i, cl := range in.clients {
+		client := fmt.Sprintf("c%d", i+1)
 		if in.holds[i] {
 			if ctx.Rng.Intn(2) == 0 {
+				ref := in.rec.Begin(history.Op{Client: client, Kind: "unlock", Key: "L"})
 				err := cl.Unlock("L")
-				// An unavailable release is ambiguous: the coordinator
-				// applied it locally before replication failed, so the
-				// lock may genuinely be free. Treat it as released to
-				// avoid charging the safe configuration with phantom
-				// double grants.
-				if err == nil || locksvc.IsUnavailable(err) {
+				ref.End(history.OutcomeOf(err, locksvc.MaybeExecuted(err)), "")
+				// A released or ambiguously-released lock cannot be
+				// relied on either way; the client stops assuming it
+				// holds.
+				if err == nil || locksvc.MaybeExecuted(err) {
 					in.holds[i] = false
 				}
 			}
-		} else if cl.Lock("L") == nil {
-			if in.holds[1-i] {
-				in.violations = append(in.violations, Violation{
-					Invariant: "mutual-exclusion",
-					Subject:   "L",
-					Detail: fmt.Sprintf("both clients hold the exclusive lock at op %d (split views grant independently)",
-						ctx.Op),
-				})
+		} else {
+			ref := in.rec.Begin(history.Op{Client: client, Kind: "lock", Key: "L"})
+			err := cl.Lock("L")
+			ref.End(history.OutcomeOf(err, locksvc.MaybeExecuted(err)), "")
+			if err == nil {
+				in.holds[i] = true
 			}
-			in.holds[i] = true
 		}
 	}
 	for i, cl := range in.clients {
+		client := fmt.Sprintf("c%d", i+1)
+		ref := in.rec.Begin(history.Op{Client: client, Kind: "incr", Key: "seq"})
 		v, err := cl.IncrementAndGet("seq", 1)
 		switch {
 		case err == nil:
-			if other, dup := in.seqSeen[v]; dup {
-				in.violations = append(in.violations, Violation{
-					Invariant: "unique-sequence",
-					Subject:   "seq",
-					Detail: fmt.Sprintf("sequence value %d issued twice (first to c%d, again to c%d at op %d)",
-						v, other+1, i+1, ctx.Op),
-				})
-			} else {
-				in.seqSeen[v] = i
-			}
-		case locksvc.IsUnavailable(err):
-			// The cluster cannot replicate: a lease-respecting client
-			// must assume its renewals are equally unreliable and stop
+			ref.End(history.Ok, strconv.FormatInt(v, 10))
+		default:
+			ref.End(history.OutcomeOf(err, locksvc.MaybeExecuted(err)), "")
+			// The cluster is not answering reliably: a lease-respecting
+			// client must assume its renewals fare no better and stop
 			// relying on its lock, exactly like a Chubby client whose
-			// lease lapsed. Without this, the legitimate lease handoff
-			// of the SyncBackups configuration would be misread as a
-			// double grant.
-			in.holds[i] = false
+			// lease lapsed. The checker applies the same rule.
+			if locksvc.MaybeExecuted(err) {
+				in.holds[i] = false
+			}
 		}
 	}
 	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
 }
 
-func (in *lockInstance) Check() []Violation { return in.violations }
+// Observe records nothing: the lock invariants are judged entirely
+// from the in-round history.
+func (in *lockInstance) Observe(*StepCtx) {}
 
 func (in *lockInstance) Close() {
 	for _, cl := range in.clients {

@@ -2,11 +2,11 @@ package campaign
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"neat/internal/coord"
 	"neat/internal/core"
+	"neat/internal/history"
 	"neat/internal/mqueue"
 	"neat/internal/netsim"
 )
@@ -17,6 +17,11 @@ import (
 // AMQ-6978) and lost acknowledged messages under partitions. The safe
 // variant applies both fixes — StepDownOnZKLoss (KAFKA-6173) and
 // RequireReplicaAcks — trading availability for correctness.
+//
+// The instance records send/receive operations (transport-timeout
+// receives as Ambiguous — each may have consumed a message invisibly,
+// a silent success); the generic queue checker judges at-most-once,
+// durability of acknowledged sends, and phantom deliveries.
 type mqueueTarget struct {
 	name string
 	safe bool
@@ -32,7 +37,17 @@ func (t *mqueueTarget) Topology() Topology {
 	}
 }
 
-func (t *mqueueTarget) Deploy(eng *core.Engine) (Instance, error) {
+func (t *mqueueTarget) Checks() []history.Check {
+	// CheckOrder stays off: the broker's contract permits inversions —
+	// an ambiguous receive may tombstone a message on a master whose
+	// replication then fails, and the message is legitimately
+	// redelivered after the heal, behind messages the other side
+	// already served (verified on mqueue/safe, seed 7). At-most-once
+	// and durability are the queue's real invariants here.
+	return []history.Check{history.Queue(history.QueueSpec{})}
+}
+
+func (t *mqueueTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
 	cfg := mqueue.Config{
 		Brokers:            t.Topology().Servers,
 		ZK:                 "zk",
@@ -49,34 +64,51 @@ func (t *mqueueTarget) Deploy(eng *core.Engine) (Instance, error) {
 	}
 	return &mqueueInstance{
 		eng: eng,
+		rec: rec,
 		clients: [2]*mqueue.Client{
 			mqueue.NewClient(eng.Network(), "c1", cfg.Brokers),
 			mqueue.NewClient(eng.Network(), "c2", cfg.Brokers),
 		},
-		received: make(map[string]int),
 	}, nil
 }
 
 // mqueueInstance sends uniquely numbered messages from one client and
-// receives from both, checking at-most-once delivery and durability of
-// acknowledged sends.
+// receives from both; every operation lands in the shared history.
 type mqueueInstance struct {
 	eng     *core.Engine
+	rec     *history.Recorder
 	clients [2]*mqueue.Client
+	// observing flips when the post-heal observation phase starts:
+	// only then is an empty-queue answer recorded as the checker's
+	// authoritative "empty" marker. A mid-round empty can come from a
+	// stale master that never saw the backlog — treating it as a drain
+	// would let the durability check judge an unreachable (not lost)
+	// backlog.
+	observing bool
+}
 
-	ackedSent []string
-	received  map[string]int
-	// ambiguousRecvs counts receives that failed in a way that may
-	// still have consumed a message invisibly (mqueue.MaybeExecuted):
-	// ErrUnavailable (the master dequeued locally before replication
-	// failed) and transport timeouts against any attempted broker (on
-	// a slow or lossy link the request may have been fully executed
-	// with only the reply lost — a silent success). Definitive
-	// refusals (redirect exhaustion, suspended brokers) consume
-	// nothing and are not counted, so the forgiveness window stays as
-	// tight as the ambiguity is real. Durability accounting forgives
-	// that many missing messages.
-	ambiguousRecvs int
+// recv drives one receive and records what the client learned: a
+// message, an authoritative "queue empty" answer (observation phase
+// only), an ambiguous failure that may have consumed a message
+// invisibly (mqueue.MaybeExecuted: ErrUnavailable after a local
+// dequeue, or a transport timeout with only the reply lost — a silent
+// success), or a definitive refusal.
+func (in *mqueueInstance) recv(cl *mqueue.Client, client string) (string, error) {
+	ref := in.rec.Begin(history.Op{Client: client, Kind: "recv", Key: "q"})
+	m, err := cl.Recv("q")
+	switch {
+	case err == nil:
+		ref.End(history.Ok, m)
+	case mqueue.IsEmpty(err):
+		if in.observing {
+			ref.EndNote(history.Ok, "", "empty")
+		} else {
+			ref.End(history.Ok, "")
+		}
+	default:
+		ref.End(history.OutcomeOf(err, mqueue.MaybeExecuted(err)), "")
+	}
+	return m, err
 }
 
 func (in *mqueueInstance) Step(ctx *StepCtx) {
@@ -86,92 +118,43 @@ func (in *mqueueInstance) Step(ctx *StepCtx) {
 	// and lost-message failures need to manifest.
 	for _, suffix := range []string{"a", "b"} {
 		msg := fmt.Sprintf("m%03d%s", ctx.Op, suffix)
-		if in.clients[0].Send("q", msg) == nil {
-			in.ackedSent = append(in.ackedSent, msg)
-		}
+		ref := in.rec.Begin(history.Op{Client: "c1", Kind: "send", Key: "q", Input: msg})
+		err := in.clients[0].Send("q", msg)
+		ref.End(history.OutcomeOf(err, mqueue.MaybeExecuted(err)), "")
 	}
-	m, err := in.clients[ctx.Op%2].Recv("q")
-	switch {
-	case err == nil:
-		in.received[m]++
-	case mqueue.MaybeExecuted(err):
-		in.ambiguousRecvs++
-	}
+	in.recv(in.clients[ctx.Op%2], fmt.Sprintf("c%d", ctx.Op%2+1))
 	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
 }
 
-func (in *mqueueInstance) Check() []Violation {
-	// Let sessions re-establish and roles settle, then drain what is
-	// left through whichever broker now claims mastership.
-	in.eng.Clock().Sleep(150 * time.Millisecond)
-	drained := in.drain(in.clients[1])
-	drained = in.drain(in.clients[0]) || drained
-
-	var out []Violation
-	var dupes []string
-	for m, n := range in.received {
-		if n > 1 {
-			dupes = append(dupes, fmt.Sprintf("%s x%d", m, n))
-		}
-	}
-	if len(dupes) > 0 {
-		sort.Strings(dupes)
-		out = append(out, Violation{
-			Invariant: "at-most-once",
-			Subject:   "q",
-			Detail:    fmt.Sprintf("messages delivered more than once: %v", dupes),
-		})
-	}
-	// Durability is only judged when a drain completed: an expired
-	// coordination session is never re-established in this model, so a
-	// round can end with every broker masterless — the backlog is then
-	// unreachable but not lost, and the safe configuration is allowed
-	// to trade availability for correctness.
-	if !drained {
-		return out
-	}
-	var missing []string
-	for _, m := range in.ackedSent {
-		if in.received[m] == 0 {
-			missing = append(missing, m)
-		}
-	}
-	if len(missing) > in.ambiguousRecvs {
-		out = append(out, Violation{
-			Invariant: "durability",
-			Subject:   "q",
-			Detail: fmt.Sprintf("acknowledged messages never delivered: %v (%d ambiguous receives)",
-				missing, in.ambiguousRecvs),
-		})
-	}
-	return out
+// Observe drains what is left through whichever broker now claims
+// mastership, from both clients. The drain's authoritative "queue
+// empty" answer — recorded after the last send — is what licenses the
+// checker to judge durability: an expired coordination session is
+// never re-established in this model, so a round can end with every
+// broker masterless, and the backlog is then unreachable but not
+// lost.
+func (in *mqueueInstance) Observe(*StepCtx) {
+	in.observing = true
+	in.drain(in.clients[1], "c2")
+	in.drain(in.clients[0], "c1")
 }
 
 // drain consumes the queue until the serving broker reports it empty,
-// bounding retries against transient post-heal unavailability. It
-// reports whether it reached the authoritative "queue empty" answer.
-func (in *mqueueInstance) drain(cl *mqueue.Client) bool {
+// bounding retries against transient post-heal unavailability.
+func (in *mqueueInstance) drain(cl *mqueue.Client, client string) {
 	fails := 0
 	for i := 0; i < 100 && fails < 3; i++ {
-		m, err := cl.Recv("q")
-		if err != nil && mqueue.MaybeExecuted(err) {
-			// Some attempt may have consumed a message invisibly (see
-			// ambiguousRecvs) — even when the final answer below is an
-			// authoritative "empty".
-			in.ambiguousRecvs++
-		}
+		_, err := in.recv(cl, client)
 		switch {
 		case err == nil:
-			in.received[m]++
 			fails = 0
 		case mqueue.IsEmpty(err):
-			return true
+			return
 		default:
 			fails++
 			in.eng.Clock().Sleep(20 * time.Millisecond)
 		}
 	}
-	return false
 }
 
 func (in *mqueueInstance) Close() {

@@ -2,9 +2,11 @@ package campaign
 
 import (
 	"fmt"
+
 	"time"
 
 	"neat/internal/core"
+	"neat/internal/history"
 	"neat/internal/netsim"
 	"neat/internal/objstore"
 )
@@ -14,6 +16,12 @@ import (
 // "applied" and "acknowledged": under a partition the primary applies
 // an operation, replicates to the reachable secondaries, then reports
 // a timeout — a silent success that leaves the replicas divergent.
+//
+// The instance records writes/deletes (the primary's lying timeout as
+// Ambiguous with the "applied" marker — its own admission) and final
+// per-replica reads; the generic convergence checker reports lasting
+// divergence as "replica-agreement" and the silent-writes checker the
+// admissions as "silent-success".
 type objstoreTarget struct{}
 
 func (t *objstoreTarget) Name() string { return "objstore" }
@@ -22,86 +30,91 @@ func (t *objstoreTarget) Topology() Topology {
 	return Topology{Servers: ids("o", 3), Clients: []netsim.NodeID{"c1"}}
 }
 
-func (t *objstoreTarget) Deploy(eng *core.Engine) (Instance, error) {
+func (t *objstoreTarget) Checks() []history.Check {
+	return []history.Check{
+		history.Convergence(history.ConvergeSpec{
+			ReadKind:          "read",
+			DisagreeInvariant: "replica-agreement",
+		}),
+		history.SilentWrites(history.SilentSpec{
+			WriteKind:   "write",
+			ReadKind:    "read",
+			AppliedNote: "applied",
+		}),
+		// Deletes lie the same way writes do; the primary's "applied"
+		// admission flags them even though absence cannot be matched
+		// against later reads.
+		history.SilentWrites(history.SilentSpec{
+			WriteKind:   "del",
+			ReadKind:    "read",
+			AppliedNote: "applied",
+		}),
+	}
+}
+
+func (t *objstoreTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
 	cfg := objstore.Config{OSDs: t.Topology().Servers, RPCTimeout: 20 * time.Millisecond}
 	sys := objstore.NewSystem(eng.Network(), cfg)
 	if err := eng.Deploy(sys); err != nil {
 		return nil, err
 	}
 	return &objInstance{
-		eng:     eng,
-		osds:    cfg.OSDs,
-		cl:      objstore.NewClient(eng.Network(), "c1", cfg),
-		touched: make(map[string]bool),
+		rec:  rec,
+		osds: cfg.OSDs,
+		cl:   objstore.NewClient(eng.Network(), "c1", cfg),
 	}, nil
 }
 
 type objInstance struct {
-	eng     *core.Engine
-	osds    []netsim.NodeID
-	cl      *objstore.Client
-	touched map[string]bool
-	silent  []Violation
+	rec  *history.Recorder
+	osds []netsim.NodeID
+	cl   *objstore.Client
 }
 
 func (in *objInstance) Step(ctx *StepCtx) {
 	obj := fmt.Sprintf("obj%d", ctx.Op%3)
-	in.touched[obj] = true
-	var err error
-	var op string
 	if ctx.Rng.Intn(5) == 0 {
-		op = "delete"
-		err = in.cl.Delete(obj)
+		ref := in.rec.Begin(history.Op{Client: "c1", Kind: "del", Key: obj})
+		err := in.cl.Delete(obj)
+		ref.EndNote(history.OutcomeOf(err, objstore.MaybeExecuted(err)), "", appliedNote(err))
 	} else {
-		op = "write"
-		err = in.cl.Write(obj, fmt.Sprintf("%s-op%d", obj, ctx.Op))
-	}
-	// ErrTimeout is the primary's own verdict, returned after it
-	// already applied the operation: every occurrence is a silent
-	// success (client told "failed", operation happened).
-	if objstore.IsTimeout(err) {
-		in.silent = append(in.silent, Violation{
-			Invariant: "no-silent-success",
-			Subject:   obj,
-			Detail:    fmt.Sprintf("%s of %s reported a timeout after the primary applied it (op %d)", op, obj, ctx.Op),
-		})
+		val := fmt.Sprintf("%s-op%d", obj, ctx.Op)
+		ref := in.rec.Begin(history.Op{Client: "c1", Kind: "write", Key: obj, Input: val})
+		err := in.cl.Write(obj, val)
+		ref.EndNote(history.OutcomeOf(err, objstore.MaybeExecuted(err)), "", appliedNote(err))
 	}
 	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
-// Check reads every touched object from every OSD. The store has no
-// repair protocol, so any disagreement that survives the heal is
-// lasting damage (Finding 3).
-func (in *objInstance) Check() []Violation {
-	out := append([]Violation(nil), in.silent...)
-	for obj := range in.touched {
-		vals := make([]string, len(in.osds))
-		for i, osd := range in.osds {
+// appliedNote marks the primary's own timeout verdict: it is returned
+// after the primary already applied the operation, so every
+// occurrence is an admitted silent success, visible later or not.
+func appliedNote(err error) string {
+	if objstore.IsTimeout(err) {
+		return "applied"
+	}
+	return ""
+}
+
+// Observe reads every touched object from every OSD into the history.
+// The store has no repair protocol, so any disagreement that survives
+// the heal is lasting damage (Finding 3).
+func (in *objInstance) Observe(*StepCtx) {
+	touched := in.rec.History().Keys("write", "del")
+	for _, obj := range touched {
+		for _, osd := range in.osds {
+			ref := in.rec.Begin(history.Op{Client: "c1", Kind: "read", Key: obj, Node: string(osd)})
 			v, err := in.cl.ReadFrom(osd, obj)
 			switch {
 			case err == nil:
-				vals[i] = v
+				ref.End(history.Ok, v)
 			case objstore.IsNotFound(err):
-				vals[i] = "(missing)"
+				ref.EndNote(history.Ok, "", "missing")
 			default:
-				vals[i] = "(unreachable)"
+				ref.End(history.OutcomeOf(err, false), "")
 			}
-		}
-		diverged := false
-		for _, v := range vals[1:] {
-			if v != vals[0] {
-				diverged = true
-			}
-		}
-		if diverged {
-			out = append(out, Violation{
-				Invariant: "replica-agreement",
-				Subject:   obj,
-				Detail:    fmt.Sprintf("replicas diverged after heal: %v on %v", vals, in.osds),
-			})
 		}
 	}
-	return out
 }
 
 func (in *objInstance) Close() { in.cl.Close() }

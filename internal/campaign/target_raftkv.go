@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"neat/internal/core"
+	"neat/internal/history"
 	"neat/internal/netsim"
 	"neat/internal/raftkv"
 )
@@ -12,6 +13,13 @@ import (
 // raftTarget fuzzes the proper-Raft group. Quorum elections plus
 // commit-before-ack make it the safe configuration: campaigns are
 // expected to find zero violations here, whatever the schedule.
+//
+// Writes that time out or fail commit are recorded as Ambiguous —
+// Raft legitimately commits such entries after the heal — so the
+// register linearizability checker accepts their late appearance
+// while still requiring every acknowledged write to survive. The
+// silent-writes checker deliberately does not run here: late commit
+// of an ambiguous write is Raft's contract, not a lie.
 type raftTarget struct{}
 
 func (t *raftTarget) Name() string { return "raftkv" }
@@ -20,7 +28,11 @@ func (t *raftTarget) Topology() Topology {
 	return Topology{Servers: ids("r", 3), Clients: []netsim.NodeID{"c1", "c2"}}
 }
 
-func (t *raftTarget) Deploy(eng *core.Engine) (Instance, error) {
+func (t *raftTarget) Checks() []history.Check {
+	return []history.Check{history.Registers(history.RegisterSpec{})}
+}
+
+func (t *raftTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
 	peers := t.Topology().Servers
 	cfg := raftkv.Config{
 		Peers:              peers,
@@ -40,18 +52,21 @@ func (t *raftTarget) Deploy(eng *core.Engine) (Instance, error) {
 	c2.SetTimeout(150 * time.Millisecond)
 	sys.WaitForLeaderAmong(peers, 2*time.Second)
 	return &raftInstance{
-		eng: eng, sys: sys, peers: peers,
+		eng: eng, rec: rec, sys: sys, peers: peers,
 		keys: []*raftKeyState{
-			{cl: c1, key: "rk1", lastAcked: -1},
-			{cl: c2, key: "rk2", lastAcked: -1},
+			{cl: c1, client: "c1", key: "rk1", lastAcked: -1},
+			{cl: c2, client: "c2", key: "rk2", lastAcked: -1},
 		},
 	}, nil
 }
 
 // raftKeyState tracks one single-writer key: every attempted value in
-// order, and the index of the last acknowledged one.
+// order and the index of the last acknowledged one — observation
+// state that tells Observe when the healed cluster has converged, not
+// checking logic.
 type raftKeyState struct {
 	cl        *raftkv.Client
+	client    string
 	key       string
 	attempts  []string
 	lastAcked int
@@ -59,6 +74,7 @@ type raftKeyState struct {
 
 type raftInstance struct {
 	eng   *core.Engine
+	rec   *history.Recorder
 	sys   *raftkv.System
 	peers []netsim.NodeID
 	keys  []*raftKeyState
@@ -68,50 +84,46 @@ func (in *raftInstance) Step(ctx *StepCtx) {
 	for _, ks := range in.keys {
 		val := fmt.Sprintf("%s-op%d-%d", ks.key, ctx.Op, ctx.Rng.Intn(1000))
 		ks.attempts = append(ks.attempts, val)
-		if ks.cl.Put(ks.key, val) == nil {
+		ref := in.rec.Begin(history.Op{Client: ks.client, Kind: "put", Key: ks.key, Input: val})
+		err := ks.cl.Put(ks.key, val)
+		if err == nil {
 			ks.lastAcked = len(ks.attempts) - 1
 		}
+		ref.End(history.OutcomeOf(err, raftkv.MaybeExecuted(err)), "")
 	}
 	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
 }
 
-// Check verifies linearizable durability: once the healed cluster has
-// a leader, each key must converge to an attempted value at least as
-// new as its last acknowledged write. A write that was reported failed
-// may legitimately commit later (its entry survived in a log), but an
-// acknowledged write must never roll back.
-func (in *raftInstance) Check() []Violation {
+// Observe waits for the healed cluster to elect a leader and for each
+// key to converge to a state at least as new as its last acknowledged
+// write, then records one final read per key. If the state never
+// converges the stale read is recorded as observed, and the register
+// checker reports the durability breach.
+func (in *raftInstance) Observe(*StepCtx) {
 	in.sys.WaitForLeaderAmong(in.peers, 3*time.Second)
-	var out []Violation
 	for _, ks := range in.keys {
 		if len(ks.attempts) == 0 {
 			continue
 		}
-		var lastObs string
-		ok := in.eng.WaitUntil(2*time.Second, func() bool {
+		in.eng.WaitUntil(2*time.Second, func() bool {
 			got, err := ks.cl.Get(ks.key)
 			if err != nil {
-				if raftkv.IsNotFound(err) {
-					lastObs = "(not found)"
-					return ks.lastAcked < 0
-				}
-				lastObs = fmt.Sprintf("(error: %v)", err)
-				return false
+				return raftkv.IsNotFound(err) && ks.lastAcked < 0
 			}
-			lastObs = fmt.Sprintf("%q", got)
 			idx := indexOf(ks.attempts, got)
 			return idx >= 0 && idx >= ks.lastAcked
 		})
-		if !ok {
-			out = append(out, Violation{
-				Invariant: "durability",
-				Subject:   ks.key,
-				Detail: fmt.Sprintf("state never converged past acknowledged write #%d; last observed %s",
-					ks.lastAcked, lastObs),
-			})
+		ref := in.rec.Begin(history.Op{Client: ks.client, Kind: "get", Key: ks.key})
+		got, err := ks.cl.Get(ks.key)
+		switch {
+		case err == nil:
+			ref.End(history.Ok, got)
+		case raftkv.IsNotFound(err):
+			ref.EndNote(history.Ok, "", "missing")
+		default:
+			ref.End(history.OutcomeOf(err, raftkv.MaybeExecuted(err)), "")
 		}
 	}
-	return out
 }
 
 func (in *raftInstance) Close() {

@@ -81,3 +81,11 @@ func IsNotFound(err error) bool {
 	var re *transport.RemoteError
 	return errors.As(err, &re) && re.Msg == ErrNotFound.Error()
 }
+
+// MaybeExecuted reports whether a failed operation may nevertheless
+// have been applied: client calls go straight to one coordinator, so
+// any transport-level failure means the coordinator may have accepted
+// the write with only the acknowledgement lost.
+func MaybeExecuted(err error) bool {
+	return err != nil && !transport.IsRemote(err)
+}

@@ -19,6 +19,7 @@ package eventual
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"neat/internal/netsim"
@@ -121,4 +122,30 @@ func (v VClock) String() string {
 		parts[i] = fmt.Sprintf("%s:%d", id, v[id])
 	}
 	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ParseVClock is the inverse of String: it rebuilds a clock from its
+// deterministic rendering, so a clock that traveled through a
+// recorded operation history can be compared again.
+func ParseVClock(s string) (VClock, error) {
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("eventual: malformed vclock %q", s)
+	}
+	out := NewVClock()
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		i := strings.LastIndexByte(part, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("eventual: malformed vclock entry %q", part)
+		}
+		n, err := strconv.ParseUint(part[i+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("eventual: malformed vclock count %q: %w", part, err)
+		}
+		out[netsim.NodeID(part[:i])] = n
+	}
+	return out, nil
 }

@@ -1,0 +1,176 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConvergeSpec parameterizes the eventual-convergence checker.
+type ConvergeSpec struct {
+	// ReadKind is the final per-replica observation ("read" for a
+	// single value, "versions" for a sibling set): Node names the
+	// replica, Output the canonical observed state (sibling values
+	// joined with ValSep), Aux the matching per-sibling auxiliary
+	// payloads (vector clocks) joined with AuxSep.
+	ReadKind string
+	// DisagreeInvariant names the breach when replicas end divergent
+	// ("convergence" for anti-entropy stores, "replica-agreement" for
+	// replicated object stores).
+	DisagreeInvariant string
+	// WriteKind, when non-empty, enables the acknowledged-write
+	// supersession check over operations of this kind.
+	WriteKind string
+	// OnlyFaulted restricts the supersession check to writes
+	// acknowledged while faults were active — the paper's condition
+	// for consolidation data loss.
+	OnlyFaulted bool
+	// Supersedes reports whether a surviving version's auxiliary
+	// payload causally dominates (or equals) an acknowledged write's.
+	// Parameterizing by vector-clock supersession keeps the checker
+	// generic: last-writer-wins stores simply fail it for concurrent
+	// pairs. nil disables the supersession check.
+	Supersedes func(survivorAux, ackedAux string) bool
+	// ValSep and AuxSep split Output and Aux into siblings
+	// (default "," and ";").
+	ValSep, AuxSep string
+}
+
+func (s *ConvergeSpec) defaults() {
+	if s.ReadKind == "" {
+		s.ReadKind = "versions"
+	}
+	if s.DisagreeInvariant == "" {
+		s.DisagreeInvariant = "convergence"
+	}
+	if s.ValSep == "" {
+		s.ValSep = ","
+	}
+	if s.AuxSep == "" {
+		s.AuxSep = ";"
+	}
+}
+
+// Convergence returns the eventual-consistency check: after the heal,
+// the last observation of every replica must agree on each key's
+// state, and no write acknowledged during a fault may be silently
+// consolidated away — it must either survive in the final state or be
+// causally superseded by a survivor (per spec.Supersedes). A write
+// that is concurrent with every survivor yet missing is the paper's
+// acknowledged-write data loss.
+func Convergence(spec ConvergeSpec) Check {
+	spec.defaults()
+	return func(h History) []Violation {
+		var out []Violation
+		kinds := []string{spec.ReadKind}
+		if spec.WriteKind != "" {
+			kinds = append(kinds, spec.WriteKind)
+		}
+		for _, key := range h.Keys(kinds...) {
+			out = append(out, checkConvergence(spec, key, h.ForKey(key))...)
+		}
+		return out
+	}
+}
+
+func checkConvergence(spec ConvergeSpec, key string, h History) []Violation {
+	// The last Ok observation per replica is its final state.
+	finals := make(map[string]Op)
+	var nodes []string
+	for _, op := range h {
+		if op.Kind != spec.ReadKind || op.Outcome != Ok || op.Node == "" {
+			continue
+		}
+		if _, seen := finals[op.Node]; !seen {
+			nodes = append(nodes, op.Node)
+		}
+		finals[op.Node] = op
+	}
+	sort.Strings(nodes)
+	if len(nodes) == 0 {
+		return nil
+	}
+
+	var out []Violation
+	agreed := true
+	first := finals[nodes[0]]
+	for _, n := range nodes[1:] {
+		if finals[n].Output != first.Output {
+			agreed = false
+			break
+		}
+	}
+	if !agreed {
+		parts := make([]string, len(nodes))
+		wops := make([]Op, 0, len(nodes))
+		for i, n := range nodes {
+			parts[i] = fmt.Sprintf("%s=%q", n, finals[n].Output)
+			wops = append(wops, finals[n])
+		}
+		out = append(out, Violation{
+			Invariant: spec.DisagreeInvariant,
+			Subject:   key,
+			Detail:    fmt.Sprintf("replicas diverged after the heal: %s", strings.Join(parts, " ")),
+			Witness:   witness(wops...),
+		})
+		return out
+	}
+
+	if spec.WriteKind == "" || spec.Supersedes == nil {
+		return out
+	}
+	survivors := splitSep(first.Output, spec.ValSep)
+	survivorAux := splitSep(first.Aux, spec.AuxSep)
+	inFinal := make(map[string]bool, len(survivors))
+	for _, v := range survivors {
+		inFinal[v] = true
+	}
+
+	// The last acknowledged write per client is the one its issuer
+	// relies on surviving.
+	lastAcked := make(map[string]Op)
+	var clients []string
+	for _, op := range h {
+		if op.Kind != spec.WriteKind || op.Outcome != Ok {
+			continue
+		}
+		if spec.OnlyFaulted && op.Faults == 0 {
+			continue
+		}
+		if _, seen := lastAcked[op.Client]; !seen {
+			clients = append(clients, op.Client)
+		}
+		lastAcked[op.Client] = op
+	}
+	sort.Strings(clients)
+	for _, c := range clients {
+		w := lastAcked[c]
+		if inFinal[w.Input] {
+			continue
+		}
+		superseded := false
+		for _, aux := range survivorAux {
+			if spec.Supersedes(aux, w.Aux) {
+				superseded = true
+				break
+			}
+		}
+		if !superseded {
+			out = append(out, Violation{
+				Invariant: "acked-write-survives",
+				Subject:   key,
+				Detail: fmt.Sprintf("acknowledged write %q (by %s, #%d) was concurrent with every survivor yet consolidated away (final state %q)",
+					w.Input, w.Client, w.Index, first.Output),
+				Witness: witness(w, first),
+			})
+		}
+	}
+	return out
+}
+
+func splitSep(s, sep string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, sep)
+}

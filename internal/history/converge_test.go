@@ -1,0 +1,139 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// supersedesByPrefix is a toy supersession order for tests: survivor
+// aux "dominates:x,y" supersedes acked aux "x" or "y".
+func supersedesByPrefix(survivorAux, ackedAux string) bool {
+	const mark = "dominates:"
+	if !strings.HasPrefix(survivorAux, mark) {
+		return false
+	}
+	for _, a := range strings.Split(survivorAux[len(mark):], "+") {
+		if a == ackedAux {
+			return true
+		}
+	}
+	return false
+}
+
+func versionsRead(i int, node, vals, aux string) Op {
+	return Op{Index: i, Kind: "versions", Client: "c1", Key: "ek", Node: node,
+		Output: vals, Aux: aux, Outcome: Ok, Invoke: ms(2 * i), Return: ms(2*i + 1)}
+}
+
+func faultedPut(i int, client, val, aux string) Op {
+	return Op{Index: i, Kind: "put", Client: client, Key: "ek", Input: val, Aux: aux,
+		Outcome: Ok, Faults: 1, Invoke: ms(2 * i), Return: ms(2*i + 1)}
+}
+
+func convergeSpec() ConvergeSpec {
+	return ConvergeSpec{
+		ReadKind:          "versions",
+		DisagreeInvariant: "convergence",
+		WriteKind:         "put",
+		OnlyFaulted:       true,
+		Supersedes:        supersedesByPrefix,
+	}
+}
+
+// TestConvergenceAgreedAndSuperseded: the golden known-good history —
+// replicas agree, and the missing acknowledged write is causally
+// dominated by a survivor.
+func TestConvergenceAgreedAndSuperseded(t *testing.T) {
+	h := History{
+		faultedPut(0, "c1", "v1", "a"),
+		versionsRead(1, "e1", "v2", "dominates:a"),
+		versionsRead(2, "e2", "v2", "dominates:a"),
+	}
+	wantNone(t, Convergence(convergeSpec())(h))
+}
+
+// TestConvergenceDiverged: the known-violating history — replicas
+// never reconciled onto one sibling set.
+func TestConvergenceDiverged(t *testing.T) {
+	h := History{
+		faultedPut(0, "c1", "v1", "a"),
+		versionsRead(1, "e1", "v1", "a"),
+		versionsRead(2, "e2", "v2", "b"),
+	}
+	v := wantOne(t, Convergence(convergeSpec())(h), "convergence", "ek")
+	if len(v.Witness) != 2 {
+		t.Fatalf("divergence witness should name the disagreeing reads, got %v", v.Witness)
+	}
+}
+
+// TestConvergenceConsolidatedAway: replicas agree, but the surviving
+// version is concurrent with the missing acknowledged write — the
+// last-writer-wins data loss.
+func TestConvergenceConsolidatedAway(t *testing.T) {
+	h := History{
+		faultedPut(0, "c1", "v1", "a"),
+		faultedPut(1, "c2", "v2", "b"),
+		versionsRead(2, "e1", "v2", "b"),
+		versionsRead(3, "e2", "v2", "b"),
+	}
+	// c1's v1 is missing and "b" does not dominate "a": data loss.
+	// c2's v2 survives.
+	wantOne(t, Convergence(convergeSpec())(h), "acked-write-survives", "ek")
+}
+
+// TestConvergenceSurvivingSiblings: vector causality keeps both
+// concurrent writes as siblings — nothing is lost.
+func TestConvergenceSurvivingSiblings(t *testing.T) {
+	h := History{
+		faultedPut(0, "c1", "v1", "a"),
+		faultedPut(1, "c2", "v2", "b"),
+		versionsRead(2, "e1", "v1,v2", "a;b"),
+		versionsRead(3, "e2", "v1,v2", "a;b"),
+	}
+	wantNone(t, Convergence(convergeSpec())(h))
+}
+
+// TestConvergenceUnfaultedWritesNotJudged: with OnlyFaulted, a write
+// acknowledged on a healthy network and later superseded by a
+// subsequent write is outside the check's scope.
+func TestConvergenceUnfaultedWritesNotJudged(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "put", Client: "c1", Key: "ek", Input: "v1", Aux: "a",
+			Outcome: Ok, Invoke: ms(0), Return: ms(1)},
+		versionsRead(1, "e1", "v2", "b"),
+		versionsRead(2, "e2", "v2", "b"),
+	}
+	wantNone(t, Convergence(convergeSpec())(h))
+}
+
+// TestConvergenceLastReadPerNodeWins: only each replica's final
+// observation counts — earlier divergent polls are superseded.
+func TestConvergenceLastReadPerNodeWins(t *testing.T) {
+	h := History{
+		versionsRead(0, "e1", "v1", "a"),
+		versionsRead(1, "e2", "v2", "b"),
+		versionsRead(2, "e1", "v2", "b"),
+		// e1's second read agrees with e2's only read.
+		versionsRead(3, "e2", "v2", "b"),
+	}
+	wantNone(t, Convergence(convergeSpec())(h))
+}
+
+// TestReplicaAgreementSingleValues: the objstore shape — per-replica
+// single-value reads with no supersession semantics.
+func TestReplicaAgreementSingleValues(t *testing.T) {
+	spec := ConvergeSpec{ReadKind: "read", DisagreeInvariant: "replica-agreement"}
+	agree := History{
+		{Index: 0, Kind: "read", Client: "c1", Key: "obj1", Node: "o1", Output: "x", Outcome: Ok, Invoke: ms(0), Return: ms(1)},
+		{Index: 1, Kind: "read", Client: "c1", Key: "obj1", Node: "o2", Output: "x", Outcome: Ok, Invoke: ms(2), Return: ms(3)},
+	}
+	wantNone(t, Convergence(spec)(agree))
+
+	diverged := History{
+		agree[0],
+		{Index: 1, Kind: "read", Client: "c1", Key: "obj1", Node: "o2", Outcome: Ok, Note: "missing", Invoke: ms(2), Return: ms(3)},
+		// An unreachable replica contributes nothing.
+		{Index: 2, Kind: "read", Client: "c1", Key: "obj1", Node: "o3", Outcome: Failed, Invoke: ms(4), Return: ms(5)},
+	}
+	wantOne(t, Convergence(spec)(diverged), "replica-agreement", "obj1")
+}

@@ -1,0 +1,230 @@
+// Package history is the shared operation-history layer of the
+// campaign engine: every client operation a target drives is recorded
+// as a timed invocation/response pair with an explicit outcome, and
+// invariants are judged afterwards by generic checkers — pure
+// functions over the recorded history — instead of per-target ad-hoc
+// bookkeeping.
+//
+// The paper's central observation motivates the split: most
+// partition-induced failures are silent data-integrity violations
+// (lost updates, dirty reads, double grants) that are only catchable
+// when the harness knows exactly what every client observed, when it
+// observed it, and whether a failed operation might nevertheless have
+// been applied. Recording that once, in one format, lets every target
+// share the same checkers and lets every violation carry a witness
+// trace — the minimal set of operations that proves the breach.
+//
+// The pieces:
+//
+//   - Op: one client operation — invocation/response offsets on the
+//     round's (virtual) clock, an Ok | Failed | Ambiguous outcome, and
+//     the operation's subject key and payloads.
+//   - Recorder: the per-round, concurrency-safe collector targets
+//     record into. Indices are assigned in invocation order, so a
+//     deterministic workload yields a byte-identical history.
+//   - Check: a pure function History -> []Violation. The generic
+//     checkers (Registers, SilentWrites, MutualExclusion,
+//     UniqueOutputs, Queue, Convergence) live in this package;
+//     targets select and parameterize the ones that match their
+//     semantics.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Outcome classifies what the client learned from one operation.
+type Outcome uint8
+
+const (
+	// Ok: the operation was acknowledged; its effect definitely took
+	// place within the invocation window.
+	Ok Outcome = iota
+	// Failed: the operation was definitively refused before being
+	// applied; its effect must never be observed.
+	Failed
+	// Ambiguous: the operation failed in a way that may still have
+	// been applied — a transport timeout with the request possibly
+	// executed and only the reply lost, or a coordinator that applied
+	// locally before replication failed. The paper's "silent success"
+	// window lives entirely inside this outcome.
+	Ambiguous
+)
+
+// String renders the outcome for reports.
+func (o Outcome) String() string {
+	switch o {
+	case Ok:
+		return "ok"
+	case Failed:
+		return "failed"
+	case Ambiguous:
+		return "ambiguous"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// OutcomeOf classifies a client call result: nil is Ok; an error the
+// client knows may still have been applied (its package's
+// MaybeExecuted predicate) is Ambiguous; everything else is a
+// definitive refusal.
+func OutcomeOf(err error, maybeExecuted bool) Outcome {
+	switch {
+	case err == nil:
+		return Ok
+	case maybeExecuted:
+		return Ambiguous
+	default:
+		return Failed
+	}
+}
+
+// NoReturn is the Return offset of an operation whose response was
+// never recorded; checkers treat its effect window as open-ended.
+const NoReturn = time.Duration(-1)
+
+// Op is one recorded client operation.
+type Op struct {
+	// Index is the zero-based invocation order within the round; it is
+	// the operation's identity in witness traces.
+	Index int
+	// Client is the stable label of the issuing client ("c1").
+	Client string
+	// Kind is the operation verb ("put", "get", "lock", "send", ...).
+	Kind string
+	// Key is the subject object (a key, lock, queue, or object name).
+	Key string
+	// Node, when set, is the specific replica the operation addressed
+	// (per-replica observation reads).
+	Node string
+	// Input is the written value / argument, if any.
+	Input string
+	// Output is the returned value, for Ok operations that read.
+	Output string
+	// Outcome classifies the response.
+	Outcome Outcome
+	// Note is a small, deterministic marker checkers key off
+	// ("missing", "empty", "applied").
+	Note string
+	// Aux is an auxiliary payload (e.g. the vector clock returned with
+	// a Dynamo-style acknowledgement).
+	Aux string
+	// Faults is how many schedule faults were active at invocation.
+	Faults int
+	// Invoke and Return are offsets from the round's start on the
+	// round's clock. Under virtual time they are deterministic.
+	Invoke time.Duration
+	// Return is NoReturn when no response was recorded.
+	Return time.Duration
+}
+
+// String renders the op compactly for logs and witness listings.
+func (op Op) String() string {
+	s := fmt.Sprintf("#%d %s %s(%s)", op.Index, op.Client, op.Kind, op.Key)
+	if op.Node != "" {
+		s += "@" + op.Node
+	}
+	if op.Input != "" {
+		s += fmt.Sprintf(" in=%q", op.Input)
+	}
+	if op.Output != "" {
+		s += fmt.Sprintf(" out=%q", op.Output)
+	}
+	s += " -> " + op.Outcome.String()
+	if op.Note != "" {
+		s += "/" + op.Note
+	}
+	if op.Return == NoReturn {
+		s += fmt.Sprintf(" @[%v,?]", op.Invoke)
+	} else {
+		s += fmt.Sprintf(" @[%v,%v]", op.Invoke, op.Return)
+	}
+	if op.Faults > 0 {
+		s += fmt.Sprintf(" faults=%d", op.Faults)
+	}
+	return s
+}
+
+// History is a round's recorded operations, in invocation order.
+type History []Op
+
+// Keys returns the sorted distinct keys of operations matching one of
+// the given kinds (all operations when no kind is given).
+func (h History) Keys(kinds ...string) []string {
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, op := range h {
+		if len(want) > 0 && !want[op.Kind] {
+			continue
+		}
+		if !seen[op.Key] {
+			seen[op.Key] = true
+			out = append(out, op.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForKey returns the sub-history of one key, order preserved.
+func (h History) ForKey(key string) History {
+	var out History
+	for _, op := range h {
+		if op.Key == key {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Filter returns the operations matching pred, order preserved.
+func (h History) Filter(pred func(Op) bool) History {
+	var out History
+	for _, op := range h {
+		if pred(op) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Violation is one invariant breach a checker proved from the
+// history. Subject must be stable across runs (a key, lock, or queue
+// name) so identical failures deduplicate by signature upstream.
+type Violation struct {
+	// Invariant names the broken property ("durability",
+	// "mutual-exclusion", "at-most-once", ...).
+	Invariant string
+	// Subject is the object the violation concerns.
+	Subject string
+	// Detail is the human-readable specifics.
+	Detail string
+	// Witness is the minimal set of operations that proves the
+	// violation, in invocation order.
+	Witness []Op
+}
+
+// Check is a generic checker: a pure function over a recorded
+// history. Checkers must be deterministic — equal histories yield
+// equal violations in equal order.
+type Check func(History) []Violation
+
+// witness assembles a deduplicated, index-sorted witness list.
+func witness(ops ...Op) []Op {
+	seen := make(map[int]bool, len(ops))
+	out := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if !seen[op.Index] {
+			seen[op.Index] = true
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

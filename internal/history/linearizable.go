@@ -1,0 +1,290 @@
+package history
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// RegisterSpec parameterizes the register linearizability checker.
+// Zero values select the canonical kinds.
+type RegisterSpec struct {
+	// WriteKind sets the register to Input ("put").
+	WriteKind string
+	// DeleteKind sets the register to absent ("del").
+	DeleteKind string
+	// ReadKind observes the register ("get"); an Ok read with
+	// MissingNote observed absence.
+	ReadKind string
+	// MissingNote marks an Ok read that found no value ("missing").
+	MissingNote string
+}
+
+func (s *RegisterSpec) defaults() {
+	if s.WriteKind == "" {
+		s.WriteKind = "put"
+	}
+	if s.DeleteKind == "" {
+		s.DeleteKind = "del"
+	}
+	if s.ReadKind == "" {
+		s.ReadKind = "get"
+	}
+	if s.MissingNote == "" {
+		s.MissingNote = "missing"
+	}
+}
+
+// Registers returns the key-partitioned register linearizability
+// check: each key is an independent register, judged by a Wing & Gong
+// search over the permutations of its operations that respect
+// real-time order, with memoized visited-state deduplication so the
+// search stays fast at campaign throughput.
+//
+// Outcome semantics:
+//
+//   - Ok writes took effect somewhere inside their invocation window
+//     and must be explainable by every read.
+//   - Failed writes never took effect; a read observing one is a
+//     "dirty-read" violation (the value escaped a definitive refusal).
+//   - Ambiguous writes may have taken effect at any point at or after
+//     their invocation — or never. The search treats them as optional
+//     with an open-ended window. (A visible ambiguous write is not a
+//     linearizability violation; SilentWrites reports those.)
+//   - Only Ok reads constrain the search; failed reads observed
+//     nothing.
+//
+// A history that cannot be linearized yields a "durability" violation
+// per offending read: an acknowledged write was lost, rolled back, or
+// reordered out of existence. Every violation carries a witness trace.
+func Registers(spec RegisterSpec) Check {
+	spec.defaults()
+	return func(h History) []Violation {
+		var out []Violation
+		for _, key := range h.Keys(spec.WriteKind, spec.DeleteKind, spec.ReadKind) {
+			out = append(out, checkRegister(spec, key, h.ForKey(key))...)
+		}
+		return out
+	}
+}
+
+// regItem is one searchable event of a register's history.
+type regItem struct {
+	op       Op
+	read     bool
+	val      string // written or observed value
+	absent   bool   // delete-write or missing-read
+	optional bool   // ambiguous write: may never take effect
+	inv, ret time.Duration
+}
+
+const infDur = time.Duration(math.MaxInt64)
+
+func checkRegister(spec RegisterSpec, key string, h History) []Violation {
+	var writes []regItem
+	var reads []regItem
+	// failedWrites maps a definitively refused value to its op, for
+	// dirty-read witnesses.
+	failedWrites := make(map[string]Op)
+	for _, op := range h {
+		switch op.Kind {
+		case spec.WriteKind, spec.DeleteKind:
+			it := regItem{op: op, val: op.Input, absent: op.Kind == spec.DeleteKind, inv: op.Invoke, ret: op.Return}
+			switch op.Outcome {
+			case Ok:
+				writes = append(writes, it)
+			case Ambiguous:
+				it.optional = true
+				it.ret = infDur
+				writes = append(writes, it)
+			default:
+				if !it.absent {
+					failedWrites[op.Input] = op
+				}
+			}
+		case spec.ReadKind:
+			if op.Outcome != Ok {
+				continue
+			}
+			it := regItem{op: op, read: true, val: op.Output, absent: op.Note == spec.MissingNote, inv: op.Invoke, ret: op.Return}
+			reads = append(reads, it)
+		}
+	}
+	var out []Violation
+
+	// Dirty pass: a read observing a value no Ok or Ambiguous write
+	// ever wrote cannot be linearized at all — either the value leaked
+	// out of a definitively failed write or it was fabricated. Judged
+	// first and removed so the search below only arbitrates ordering.
+	written := make(map[string]bool)
+	for _, w := range writes {
+		if !w.absent {
+			written[w.val] = true
+		}
+	}
+	clean := reads[:0:0]
+	for _, r := range reads {
+		if r.absent || written[r.val] {
+			clean = append(clean, r)
+			continue
+		}
+		wops := []Op{r.op}
+		detail := fmt.Sprintf("read %q, a value no acknowledged or ambiguous write produced", r.val)
+		if w, ok := failedWrites[r.val]; ok {
+			wops = append(wops, w)
+			detail = fmt.Sprintf("read %q, written by op #%d that was definitively refused (%s)", r.val, w.Index, w.Outcome)
+		}
+		out = append(out, Violation{
+			Invariant: "dirty-read",
+			Subject:   key,
+			Detail:    detail,
+			Witness:   witness(wops...),
+		})
+	}
+	reads = clean
+
+	// Linearizability search. When the full history fails, the first
+	// read (in invocation order) whose inclusion breaks it is the
+	// offender: an acknowledged write it should have observed was
+	// lost or rolled back. Offenders are reported and excluded, then
+	// the search continues, so several independent stale reads each
+	// get a violation.
+	if linearizable(writes, reads) {
+		return out
+	}
+	var kept []regItem
+	for _, r := range reads {
+		if linearizable(writes, append(kept[:len(kept):len(kept)], r)) {
+			kept = append(kept, r)
+			continue
+		}
+		out = append(out, staleReadViolation(key, writes, r))
+	}
+	return out
+}
+
+// staleReadViolation describes a read that cannot be reconciled with
+// the acknowledged writes: the freshest write that completed before
+// the read began should have been visible (or superseded by a newer
+// value), yet the read observed older or absent state.
+func staleReadViolation(key string, writes []regItem, r regItem) Violation {
+	wops := []Op{r.op}
+	// The newest acknowledged write that returned before the read
+	// began: its effect was guaranteed stable when the read started.
+	var newest *regItem
+	for i := range writes {
+		w := &writes[i]
+		if w.optional || w.ret > r.inv {
+			continue
+		}
+		if newest == nil || w.op.Index > newest.op.Index {
+			newest = w
+		}
+	}
+	observed := fmt.Sprintf("%q", r.val)
+	if r.absent {
+		observed = "no value"
+	}
+	detail := fmt.Sprintf("read observed %s, which cannot be linearized against the acknowledged writes", observed)
+	if newest != nil {
+		wops = append(wops, newest.op)
+		detail = fmt.Sprintf("read observed %s after write %q (#%d) was acknowledged — the write was lost or rolled back",
+			observed, newest.val, newest.op.Index)
+	}
+	// The write that produced the stale value, when identifiable.
+	for i := range writes {
+		if !r.absent && writes[i].val == r.val {
+			wops = append(wops, writes[i].op)
+			break
+		}
+	}
+	return Violation{Invariant: "durability", Subject: key, Detail: detail, Witness: witness(wops...)}
+}
+
+// linearizable runs the Wing & Gong membership search: is there a
+// total order of the items, respecting real-time precedence, under
+// which every read observes the latest preceding write? Ambiguous
+// (optional) writes may be omitted — "never applied" is a legal
+// explanation for them. Visited states are memoized on the
+// (linearized-set, register-value) pair, which collapses the
+// exponential search to the number of distinct reachable states.
+func linearizable(writes, reads []regItem) bool {
+	items := make([]regItem, 0, len(writes)+len(reads))
+	items = append(items, writes...)
+	items = append(items, reads...)
+	n := len(items)
+	if n == 0 {
+		return true
+	}
+	words := (n + 63) / 64
+	type state struct {
+		mask []uint64
+		val  string
+		abs  bool
+	}
+	full := func(mask []uint64) bool {
+		for i := 0; i < n; i++ {
+			if mask[i/64]&(1<<(i%64)) == 0 && !items[i].optional {
+				return false
+			}
+		}
+		return true
+	}
+	keyOf := func(s state) string {
+		b := make([]byte, 0, words*8+len(s.val)+2)
+		for _, w := range s.mask {
+			for i := 0; i < 8; i++ {
+				b = append(b, byte(w>>(8*i)))
+			}
+		}
+		if s.abs {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0, '|')
+			b = append(b, s.val...)
+		}
+		return string(b)
+	}
+	visited := make(map[string]bool)
+	var dfs func(s state) bool
+	dfs = func(s state) bool {
+		if full(s.mask) {
+			return true
+		}
+		k := keyOf(s)
+		if visited[k] {
+			return false
+		}
+		visited[k] = true
+		// An item may be linearized next only if no pending item
+		// returned before it was invoked (real-time precedence).
+		minRet := infDur
+		for i := 0; i < n; i++ {
+			if s.mask[i/64]&(1<<(i%64)) == 0 && items[i].ret < minRet {
+				minRet = items[i].ret
+			}
+		}
+		for i := 0; i < n; i++ {
+			if s.mask[i/64]&(1<<(i%64)) != 0 {
+				continue
+			}
+			it := &items[i]
+			if it.inv > minRet {
+				continue
+			}
+			if it.read && (it.absent != s.abs || (!it.absent && it.val != s.val)) {
+				continue
+			}
+			next := state{mask: append([]uint64(nil), s.mask...), val: s.val, abs: s.abs}
+			next.mask[i/64] |= 1 << (i % 64)
+			if !it.read {
+				next.val, next.abs = it.val, it.absent
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(state{mask: make([]uint64, words), abs: true})
+}

@@ -1,0 +1,297 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// ms builds a duration in milliseconds for compact history literals.
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// seqOps builds a sequential (non-overlapping) history out of
+// (kind, client, key, in, out, outcome) tuples: op i occupies
+// [2i ms, 2i+1 ms].
+func seqOps(specs ...[6]string) History {
+	h := make(History, len(specs))
+	for i, s := range specs {
+		outcome := Ok
+		switch s[5] {
+		case "failed":
+			outcome = Failed
+		case "ambiguous":
+			outcome = Ambiguous
+		}
+		h[i] = Op{
+			Index: i, Kind: s[0], Client: s[1], Key: s[2],
+			Input: s[3], Output: s[4], Outcome: outcome,
+			Invoke: ms(2 * i), Return: ms(2*i + 1),
+		}
+	}
+	return h
+}
+
+func sigs(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Invariant + "|" + v.Subject
+	}
+	return out
+}
+
+func wantNone(t *testing.T, vs []Violation) {
+	t.Helper()
+	if len(vs) != 0 {
+		t.Fatalf("expected a clean history, got %v", sigs(vs))
+	}
+}
+
+func wantOne(t *testing.T, vs []Violation, invariant, subject string) Violation {
+	t.Helper()
+	if len(vs) != 1 {
+		t.Fatalf("expected exactly [%s|%s], got %v", invariant, subject, sigs(vs))
+	}
+	if vs[0].Invariant != invariant || vs[0].Subject != subject {
+		t.Fatalf("expected %s|%s, got %s|%s: %s", invariant, subject, vs[0].Invariant, vs[0].Subject, vs[0].Detail)
+	}
+	if len(vs[0].Witness) == 0 {
+		t.Fatalf("violation %s|%s carries no witness trace", invariant, subject)
+	}
+	return vs[0]
+}
+
+// TestRegistersLinearizableSequential: the golden known-good history —
+// sequential writes acknowledged in order, each read returning the
+// latest acknowledged value.
+func TestRegistersLinearizableSequential(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ok"},
+		[6]string{"get", "c2", "k", "", "v1", "ok"},
+		[6]string{"put", "c1", "k", "v2", "", "ok"},
+		[6]string{"get", "c2", "k", "", "v2", "ok"},
+	)
+	wantNone(t, Registers(RegisterSpec{})(h))
+}
+
+// TestRegistersStaleRead: the golden known-violating register history
+// — a read observing a value an acknowledged newer write should have
+// replaced. The consolidation data-loss class.
+func TestRegistersStaleRead(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ok"},
+		[6]string{"put", "c1", "k", "v2", "", "ok"},
+		[6]string{"get", "c2", "k", "", "v1", "ok"},
+	)
+	v := wantOne(t, Registers(RegisterSpec{})(h), "durability", "k")
+	if len(v.Witness) < 2 {
+		t.Fatalf("stale read witness should name the read and the lost write, got %v", v.Witness)
+	}
+}
+
+// TestRegistersLostEntirely: every acknowledged write vanished — the
+// read finds no value at all.
+func TestRegistersLostEntirely(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ok"},
+	)
+	read := Op{Index: 1, Kind: "get", Client: "c2", Key: "k", Outcome: Ok, Note: "missing",
+		Invoke: ms(10), Return: ms(11)}
+	wantOne(t, Registers(RegisterSpec{})(append(h, read)), "durability", "k")
+}
+
+// TestRegistersDirtyRead: a read returning a value whose write was
+// definitively refused.
+func TestRegistersDirtyRead(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ok"},
+		[6]string{"put", "c1", "k", "v2", "", "failed"},
+		[6]string{"get", "c2", "k", "", "v2", "ok"},
+	)
+	v := wantOne(t, Registers(RegisterSpec{})(h), "dirty-read", "k")
+	if len(v.Witness) != 2 {
+		t.Fatalf("dirty read witness should name the read and the refused write, got %v", v.Witness)
+	}
+}
+
+// TestRegistersAmbiguousWriteMayApply: a write that timed out may
+// legitimately be applied — reading it back is not a linearizability
+// violation (SilentWrites reports it separately).
+func TestRegistersAmbiguousWriteMayApply(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ok"},
+		[6]string{"put", "c1", "k", "v2", "", "ambiguous"},
+		[6]string{"get", "c2", "k", "", "v2", "ok"},
+	)
+	wantNone(t, Registers(RegisterSpec{})(h))
+}
+
+// TestRegistersAmbiguousWriteMayNeverApply: an ambiguous write that
+// never shows up is equally fine.
+func TestRegistersAmbiguousWriteMayNeverApply(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ok"},
+		[6]string{"put", "c1", "k", "v2", "", "ambiguous"},
+		[6]string{"get", "c2", "k", "", "v1", "ok"},
+	)
+	wantNone(t, Registers(RegisterSpec{})(h))
+}
+
+// TestRegistersAmbiguousAppliesLate: an ambiguous write's window is
+// open-ended — it may apply after later acknowledged writes (Raft
+// committing a timed-out proposal post-heal).
+func TestRegistersAmbiguousAppliesLate(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ambiguous"},
+		[6]string{"put", "c1", "k", "v2", "", "ok"},
+		[6]string{"get", "c2", "k", "", "v1", "ok"},
+	)
+	wantNone(t, Registers(RegisterSpec{})(h))
+}
+
+// TestRegistersConcurrentReads: two overlapping reads during one
+// write may legally observe either side of it, in either order, as
+// long as both values existed. Exercises the search rather than the
+// fast paths.
+func TestRegistersConcurrentReads(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "put", Client: "c1", Key: "k", Input: "v1", Outcome: Ok, Invoke: ms(0), Return: ms(1)},
+		// A long write overlapping both reads.
+		{Index: 1, Kind: "put", Client: "c1", Key: "k", Input: "v2", Outcome: Ok, Invoke: ms(2), Return: ms(10)},
+		// Concurrent reads: one sees the new value, the other the old —
+		// legal while the reads also overlap each other.
+		{Index: 2, Kind: "get", Client: "c2", Key: "k", Output: "v2", Outcome: Ok, Invoke: ms(3), Return: ms(5)},
+		{Index: 3, Kind: "get", Client: "c3", Key: "k", Output: "v1", Outcome: Ok, Invoke: ms(4), Return: ms(9)},
+	}
+	wantNone(t, Registers(RegisterSpec{})(h))
+
+	// The same observations with the reads sequential (v2 read returns
+	// before the v1 read starts) violate real-time order: the register
+	// went backwards.
+	hSeq := History{
+		h[0], h[1],
+		{Index: 2, Kind: "get", Client: "c2", Key: "k", Output: "v2", Outcome: Ok, Invoke: ms(3), Return: ms(5)},
+		{Index: 3, Kind: "get", Client: "c3", Key: "k", Output: "v1", Outcome: Ok, Invoke: ms(6), Return: ms(9)},
+	}
+	wantOne(t, Registers(RegisterSpec{})(hSeq), "durability", "k")
+
+	// But once the write has returned, observing the old value again is
+	// a violation.
+	h2 := History{
+		h[0], h[1],
+		{Index: 2, Kind: "get", Client: "c2", Key: "k", Output: "v1", Outcome: Ok, Invoke: ms(11), Return: ms(12)},
+	}
+	wantOne(t, Registers(RegisterSpec{})(h2), "durability", "k")
+}
+
+// TestRegistersDelete: deletes are writes of absence.
+func TestRegistersDelete(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "put", Client: "c1", Key: "k", Input: "v1", Outcome: Ok, Invoke: ms(0), Return: ms(1)},
+		{Index: 1, Kind: "del", Client: "c1", Key: "k", Outcome: Ok, Invoke: ms(2), Return: ms(3)},
+		{Index: 2, Kind: "get", Client: "c2", Key: "k", Outcome: Ok, Note: "missing", Invoke: ms(4), Return: ms(5)},
+	}
+	wantNone(t, Registers(RegisterSpec{})(h))
+
+	// Reading the deleted value back after the delete returned is a
+	// durability violation (resurrection).
+	h2 := History{
+		h[0], h[1],
+		{Index: 2, Kind: "get", Client: "c2", Key: "k", Output: "v1", Outcome: Ok, Invoke: ms(4), Return: ms(5)},
+	}
+	wantOne(t, Registers(RegisterSpec{})(h2), "durability", "k")
+}
+
+// TestRegistersKeyPartitioned: keys are independent registers; a
+// violation on one key must not implicate the other.
+func TestRegistersKeyPartitioned(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "a", "a1", "", "ok"},
+		[6]string{"put", "c2", "b", "b1", "", "ok"},
+		[6]string{"put", "c1", "a", "a2", "", "ok"},
+		[6]string{"get", "c1", "a", "", "a1", "ok"},
+		[6]string{"get", "c2", "b", "", "b1", "ok"},
+	)
+	wantOne(t, Registers(RegisterSpec{})(h), "durability", "a")
+}
+
+// TestRegistersMultipleStaleReads: each offending read yields its own
+// violation; the checker keeps judging past the first.
+func TestRegistersMultipleStaleReads(t *testing.T) {
+	h := seqOps(
+		[6]string{"put", "c1", "k", "v1", "", "ok"},
+		[6]string{"put", "c1", "k", "v2", "", "ok"},
+		[6]string{"get", "c2", "k", "", "v1", "ok"},
+		[6]string{"get", "c2", "k", "", "v1", "ok"},
+	)
+	vs := Registers(RegisterSpec{})(h)
+	if len(vs) != 2 {
+		t.Fatalf("expected 2 stale-read violations, got %v", sigs(vs))
+	}
+}
+
+// synthHistory builds a register history with nClients writers and
+// one reader issuing interleaved, overlapping operations — the shape
+// and size of a campaign round — for benchmarks and the throughput
+// smoke test. All operations are linearizable, which is the expensive
+// case: the search must prove exhaustion-free success.
+func synthHistory(keys, opsPerKey int) History {
+	var h History
+	idx := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%d", k)
+		last := ""
+		for i := 0; i < opsPerKey; i++ {
+			val := fmt.Sprintf("%s-v%d", key, i)
+			base := time.Duration(idx) * time.Millisecond
+			h = append(h, Op{
+				Index: idx, Kind: "put", Client: "c1", Key: key, Input: val,
+				Outcome: Ok, Invoke: base, Return: base + ms(2),
+			})
+			idx++
+			// A concurrent read overlapping the write: may see either
+			// value.
+			out := val
+			if i%2 == 0 && last != "" {
+				out = last
+			}
+			h = append(h, Op{
+				Index: idx, Kind: "get", Client: "c2", Key: key, Output: out,
+				Outcome: Ok, Invoke: base + ms(1), Return: base + ms(2),
+			})
+			idx++
+			last = val
+		}
+	}
+	return h
+}
+
+// TestLinearizabilityThroughputSmoke bounds the checker's cost at
+// campaign shape: a full round's history must check in well under a
+// second, or the shared layer would throttle the 43x sim-clock
+// speedup.
+func TestLinearizabilityThroughputSmoke(t *testing.T) {
+	h := synthHistory(4, 40)
+	check := Registers(RegisterSpec{})
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		wantNone(t, check(h))
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("50 checks of a %d-op history took %v; the checker is too slow for campaign throughput", len(h), took)
+	}
+}
+
+// BenchmarkLinearizability measures the Wing & Gong search with
+// memoized state dedup over a campaign-round-sized register history.
+func BenchmarkLinearizability(b *testing.B) {
+	h := synthHistory(4, 40)
+	check := Registers(RegisterSpec{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := check(h); len(vs) != 0 {
+			b.Fatalf("benchmark history must be clean, got %v", sigs(vs))
+		}
+	}
+	b.ReportMetric(float64(len(h))*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}

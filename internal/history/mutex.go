@@ -1,0 +1,128 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// MutexSpec parameterizes the mutual-exclusion / lease checker.
+type MutexSpec struct {
+	// LockKind acquires the named lock ("lock").
+	LockKind string
+	// UnlockKind releases it ("unlock").
+	UnlockKind string
+}
+
+func (s *MutexSpec) defaults() {
+	if s.LockKind == "" {
+		s.LockKind = "lock"
+	}
+	if s.UnlockKind == "" {
+		s.UnlockKind = "unlock"
+	}
+}
+
+// MutualExclusion returns the lock-service check: at no point may two
+// clients hold the same exclusive lock. Holds are replayed from the
+// history in invocation order with lease semantics:
+//
+//   - An Ok lock grants the hold; granting while another client still
+//     holds is the violation.
+//   - An Ok or Ambiguous unlock releases the hold (an unlock the
+//     coordinator may have applied cannot be relied on either way, and
+//     a correct client stops assuming it holds).
+//   - Any Ambiguous operation by a client abandons all its holds: a
+//     client whose requests are timing out must assume its lease
+//     renewals fare no better — the Chubby rule — so a subsequent
+//     grant to another client is a legitimate lease handoff, not a
+//     double grant.
+func MutualExclusion(spec MutexSpec) Check {
+	spec.defaults()
+	return func(h History) []Violation {
+		var out []Violation
+		// holders: lock name -> client -> granting op.
+		holders := make(map[string]map[string]Op)
+		for _, op := range h {
+			if op.Outcome == Ambiguous {
+				for _, m := range holders {
+					delete(m, op.Client)
+				}
+				continue
+			}
+			switch op.Kind {
+			case spec.LockKind:
+				if op.Outcome != Ok {
+					continue
+				}
+				m := holders[op.Key]
+				if m == nil {
+					m = make(map[string]Op)
+					holders[op.Key] = m
+				}
+				others := make([]string, 0, len(m))
+				for other := range m {
+					if other != op.Client {
+						others = append(others, other)
+					}
+				}
+				sort.Strings(others)
+				for _, other := range others {
+					grant := m[other]
+					out = append(out, Violation{
+						Invariant: "mutual-exclusion",
+						Subject:   op.Key,
+						Detail: fmt.Sprintf("lock %q granted to %s (#%d) while %s still held it (granted #%d)",
+							op.Key, op.Client, op.Index, other, grant.Index),
+						Witness: witness(grant, op),
+					})
+				}
+				m[op.Client] = op
+			case spec.UnlockKind:
+				if op.Outcome != Ok {
+					continue
+				}
+				if m := holders[op.Key]; m != nil {
+					delete(m, op.Client)
+				}
+			}
+		}
+		return out
+	}
+}
+
+// UniqueOutputs returns the duplicate-issue check for counter-like
+// services: every Ok operation of the given kind must return a value
+// no other operation received — a sequence number or ticket issued
+// twice (split coordination views granting from the same state) is
+// the violation. The invariant parameter names the breach in reports
+// ("unique-sequence").
+func UniqueOutputs(kind, invariant string) Check {
+	return func(h History) []Violation {
+		var out []Violation
+		// seen: key -> output -> first op that drew it.
+		seen := make(map[string]map[string]Op)
+		for _, op := range h {
+			if op.Kind != kind || op.Outcome != Ok {
+				continue
+			}
+			m := seen[op.Key]
+			if m == nil {
+				m = make(map[string]Op)
+				seen[op.Key] = m
+			}
+			if first, dup := m[op.Output]; dup {
+				out = append(out, Violation{
+					Invariant: invariant,
+					Subject:   op.Key,
+					Detail: fmt.Sprintf("value %s issued twice (first to %s #%d, again to %s #%d)",
+						strconv.Quote(op.Output), first.Client, first.Index, op.Client, op.Index),
+					Witness: witness(first, op),
+				})
+				continue
+			}
+			m[op.Output] = op
+		}
+		return out
+	}
+}

@@ -1,0 +1,101 @@
+package history
+
+import "testing"
+
+// lockHist builds a sequential lock-service history out of
+// (kind, client, outcome) triples on lock "L".
+func lockHist(specs ...[3]string) History {
+	h := make(History, len(specs))
+	for i, s := range specs {
+		outcome := Ok
+		switch s[2] {
+		case "failed":
+			outcome = Failed
+		case "ambiguous":
+			outcome = Ambiguous
+		}
+		key := "L"
+		if s[0] == "incr" {
+			key = "seq"
+		}
+		h[i] = Op{Index: i, Kind: s[0], Client: s[1], Key: key, Outcome: outcome,
+			Invoke: ms(2 * i), Return: ms(2*i + 1)}
+	}
+	return h
+}
+
+// TestMutexCleanHandoff: the golden known-good history — strict
+// alternation through explicit unlocks.
+func TestMutexCleanHandoff(t *testing.T) {
+	h := lockHist(
+		[3]string{"lock", "c1", "ok"},
+		[3]string{"lock", "c2", "failed"},
+		[3]string{"unlock", "c1", "ok"},
+		[3]string{"lock", "c2", "ok"},
+		[3]string{"unlock", "c2", "ok"},
+	)
+	wantNone(t, MutualExclusion(MutexSpec{})(h))
+}
+
+// TestMutexDoubleGrant: the golden known-violating history — both
+// clients hold the lock at once (split views granting independently).
+func TestMutexDoubleGrant(t *testing.T) {
+	h := lockHist(
+		[3]string{"lock", "c1", "ok"},
+		[3]string{"lock", "c2", "ok"},
+	)
+	v := wantOne(t, MutualExclusion(MutexSpec{})(h), "mutual-exclusion", "L")
+	if len(v.Witness) != 2 {
+		t.Fatalf("double grant witness should name both grants, got %v", v.Witness)
+	}
+}
+
+// TestMutexAmbiguousUnlockReleases: an unlock the coordinator may
+// have applied releases the hold — a subsequent grant is a handoff,
+// not a double grant.
+func TestMutexAmbiguousUnlockReleases(t *testing.T) {
+	h := lockHist(
+		[3]string{"lock", "c1", "ok"},
+		[3]string{"unlock", "c1", "ambiguous"},
+		[3]string{"lock", "c2", "ok"},
+	)
+	wantNone(t, MutualExclusion(MutexSpec{})(h))
+}
+
+// TestMutexLeaseDoubt: any ambiguous operation by the holder abandons
+// its holds (the Chubby rule): a later grant to the other client is a
+// legitimate lease handoff.
+func TestMutexLeaseDoubt(t *testing.T) {
+	h := lockHist(
+		[3]string{"lock", "c1", "ok"},
+		[3]string{"incr", "c1", "ambiguous"},
+		[3]string{"lock", "c2", "ok"},
+	)
+	wantNone(t, MutualExclusion(MutexSpec{})(h))
+}
+
+// TestMutexFailedUnlockStillHeld: a definitively refused unlock does
+// not release — a grant to the other client is still a double grant.
+func TestMutexFailedUnlockStillHeld(t *testing.T) {
+	h := lockHist(
+		[3]string{"lock", "c1", "ok"},
+		[3]string{"unlock", "c1", "failed"},
+		[3]string{"lock", "c2", "ok"},
+	)
+	wantOne(t, MutualExclusion(MutexSpec{})(h), "mutual-exclusion", "L")
+}
+
+// TestUniqueOutputs: the duplicate-sequence history — the same value
+// issued to both clients.
+func TestUniqueOutputs(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "incr", Client: "c1", Key: "seq", Output: "7", Outcome: Ok, Invoke: ms(0), Return: ms(1)},
+		{Index: 1, Kind: "incr", Client: "c2", Key: "seq", Output: "8", Outcome: Ok, Invoke: ms(2), Return: ms(3)},
+		{Index: 2, Kind: "incr", Client: "c2", Key: "seq", Output: "7", Outcome: Ok, Invoke: ms(4), Return: ms(5)},
+	}
+	v := wantOne(t, UniqueOutputs("incr", "unique-sequence")(h), "unique-sequence", "seq")
+	if len(v.Witness) != 2 {
+		t.Fatalf("duplicate witness should name both draws, got %v", v.Witness)
+	}
+	wantNone(t, UniqueOutputs("incr", "unique-sequence")(h[:2]))
+}

@@ -1,0 +1,204 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// QueueSpec parameterizes the exactly-once FIFO queue checker.
+type QueueSpec struct {
+	// SendKind enqueues Input ("send").
+	SendKind string
+	// RecvKind dequeues into Output ("recv"); an Ok receive with
+	// EmptyNote is the broker's authoritative "queue empty" answer.
+	RecvKind string
+	// EmptyNote marks an authoritative empty receive ("empty").
+	EmptyNote string
+	// CheckOrder additionally verifies single-producer FIFO: messages
+	// must be delivered in send order (gaps from ambiguous consumption
+	// are legal, inversions are not).
+	CheckOrder bool
+}
+
+func (s *QueueSpec) defaults() {
+	if s.SendKind == "" {
+		s.SendKind = "send"
+	}
+	if s.RecvKind == "" {
+		s.RecvKind = "recv"
+	}
+	if s.EmptyNote == "" {
+		s.EmptyNote = "empty"
+	}
+}
+
+// Queue returns the exactly-once FIFO check over send/receive
+// histories:
+//
+//   - at-most-once: no message may be delivered twice (Listing 2's
+//     double dequeue).
+//   - durability: every acknowledged send must be delivered — judged
+//     only when the history ends with an authoritative "queue empty"
+//     answer issued after the last send (the backlog was reachable and
+//     fully drained), and forgiving one missing message per Ambiguous
+//     receive, each of which may have consumed a message invisibly.
+//   - phantom-delivery: a delivered message that no acknowledged or
+//     ambiguous send produced.
+//   - fifo-order (optional): deliveries must not invert send order.
+func Queue(spec QueueSpec) Check {
+	spec.defaults()
+	return func(h History) []Violation {
+		var out []Violation
+		for _, key := range h.Keys(spec.SendKind, spec.RecvKind) {
+			out = append(out, checkQueue(spec, key, h.ForKey(key))...)
+		}
+		return out
+	}
+}
+
+func checkQueue(spec QueueSpec, key string, h History) []Violation {
+	var ackedOrder []string // Ok-sent messages, send order
+	acked := make(map[string]Op)
+	maybeSent := make(map[string]Op) // Ambiguous sends
+	var delivered []Op               // Ok receives of a message
+	byMsg := make(map[string][]Op)
+	ambiguousRecvs := 0
+	// lastSendIndex is the index of the final send attempt overall: an
+	// authoritative empty only counts as a drain when it came after
+	// every send, so a transient in-round empty cannot license
+	// durability judgment.
+	lastSendIndex := -1
+	for _, op := range h {
+		if op.Kind == spec.SendKind && op.Outcome != Failed {
+			lastSendIndex = op.Index
+		}
+	}
+	drainedAt := -1 // index of an authoritative empty after the last send
+	for _, op := range h {
+		switch op.Kind {
+		case spec.SendKind:
+			switch op.Outcome {
+			case Ok:
+				if _, dup := acked[op.Input]; !dup {
+					ackedOrder = append(ackedOrder, op.Input)
+					acked[op.Input] = op
+				}
+			case Ambiguous:
+				if _, dup := maybeSent[op.Input]; !dup {
+					maybeSent[op.Input] = op
+				}
+			}
+		case spec.RecvKind:
+			switch {
+			case op.Outcome == Ok && op.Note == spec.EmptyNote:
+				if op.Index > lastSendIndex && drainedAt < 0 {
+					drainedAt = op.Index
+				}
+			case op.Outcome == Ok && op.Output != "":
+				delivered = append(delivered, op)
+				byMsg[op.Output] = append(byMsg[op.Output], op)
+			case op.Outcome == Ambiguous:
+				ambiguousRecvs++
+			}
+		}
+	}
+
+	var out []Violation
+
+	// At-most-once: collect every duplicated message into one
+	// violation, as one broker flaw typically duplicates several.
+	var dupes []string
+	var dupWitness []Op
+	for msg, ops := range byMsg {
+		if len(ops) > 1 {
+			dupes = append(dupes, fmt.Sprintf("%s x%d", msg, len(ops)))
+			dupWitness = append(dupWitness, ops[0], ops[1])
+		}
+	}
+	if len(dupes) > 0 {
+		sort.Strings(dupes)
+		out = append(out, Violation{
+			Invariant: "at-most-once",
+			Subject:   key,
+			Detail:    fmt.Sprintf("messages delivered more than once: %v", dupes),
+			Witness:   witness(dupWitness...),
+		})
+	}
+
+	// Phantom deliveries: a message from nowhere.
+	for _, d := range delivered {
+		if _, ok := acked[d.Output]; ok {
+			continue
+		}
+		if _, ok := maybeSent[d.Output]; ok {
+			continue
+		}
+		out = append(out, Violation{
+			Invariant: "phantom-delivery",
+			Subject:   key,
+			Detail:    fmt.Sprintf("message %q delivered but never sent by an acknowledged or ambiguous send", d.Output),
+			Witness:   witness(d),
+		})
+	}
+
+	// FIFO order: deliveries of acknowledged messages must not invert
+	// send order. Gaps are legal — an Ambiguous receive may have
+	// consumed the skipped message invisibly — but observing message j
+	// and later message i < j means two replicas served the same
+	// backlog independently.
+	if spec.CheckOrder {
+		pos := make(map[string]int, len(ackedOrder))
+		for i, m := range ackedOrder {
+			pos[m] = i
+		}
+		best := -1
+		var bestOp Op
+		for _, d := range delivered {
+			p, ok := pos[d.Output]
+			if !ok {
+				continue
+			}
+			if p < best {
+				out = append(out, Violation{
+					Invariant: "fifo-order",
+					Subject:   key,
+					Detail: fmt.Sprintf("message %q delivered after later-sent %q (send order inverted)",
+						d.Output, bestOp.Output),
+					Witness: witness(acked[d.Output], acked[bestOp.Output], bestOp, d),
+				})
+				break
+			}
+			if p > best {
+				best, bestOp = p, d
+			}
+		}
+	}
+
+	// Durability: only when the broker authoritatively answered
+	// "empty" after the last send — an unreachable backlog is not a
+	// lost one, and a safe configuration may trade availability for
+	// correctness.
+	if drainedAt >= 0 {
+		var missing []string
+		var missWitness []Op
+		for _, m := range ackedOrder {
+			if len(byMsg[m]) == 0 {
+				missing = append(missing, m)
+				if len(missWitness) < 8 {
+					missWitness = append(missWitness, acked[m])
+				}
+			}
+		}
+		if len(missing) > ambiguousRecvs {
+			out = append(out, Violation{
+				Invariant: "durability",
+				Subject:   key,
+				Detail: fmt.Sprintf("acknowledged messages never delivered: [%s] (%d ambiguous receives forgiven)",
+					strings.Join(missing, " "), ambiguousRecvs),
+				Witness: witness(missWitness...),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package history
+
+import "testing"
+
+// qOp builds one queue op on "q".
+func qOp(i int, kind, client, msg string, outcome Outcome, note string) Op {
+	op := Op{Index: i, Kind: kind, Client: client, Key: "q", Outcome: outcome, Note: note,
+		Invoke: ms(2 * i), Return: ms(2*i + 1)}
+	if kind == "send" {
+		op.Input = msg
+	} else {
+		op.Output = msg
+	}
+	return op
+}
+
+// TestQueueExactlyOnce: the golden known-good history — every
+// acknowledged send delivered exactly once, then an authoritative
+// empty.
+func TestQueueExactlyOnce(t *testing.T) {
+	h := History{
+		qOp(0, "send", "c1", "m1", Ok, ""),
+		qOp(1, "send", "c1", "m2", Ok, ""),
+		qOp(2, "recv", "c2", "m1", Ok, ""),
+		qOp(3, "recv", "c1", "m2", Ok, ""),
+		qOp(4, "recv", "c2", "", Ok, "empty"),
+	}
+	wantNone(t, Queue(QueueSpec{})(h))
+}
+
+// TestQueueDoubleDelivery: the double-dequeue history (Listing 2) —
+// both sides of a partition served the same message.
+func TestQueueDoubleDelivery(t *testing.T) {
+	h := History{
+		qOp(0, "send", "c1", "m1", Ok, ""),
+		qOp(1, "recv", "c1", "m1", Ok, ""),
+		qOp(2, "recv", "c2", "m1", Ok, ""),
+		qOp(3, "recv", "c2", "", Ok, "empty"),
+	}
+	v := wantOne(t, Queue(QueueSpec{})(h), "at-most-once", "q")
+	if len(v.Witness) != 2 {
+		t.Fatalf("double delivery witness should name both receives, got %v", v.Witness)
+	}
+}
+
+// TestQueueLostMessage: an acknowledged send never delivered although
+// the broker authoritatively drained to empty.
+func TestQueueLostMessage(t *testing.T) {
+	h := History{
+		qOp(0, "send", "c1", "m1", Ok, ""),
+		qOp(1, "send", "c1", "m2", Ok, ""),
+		qOp(2, "recv", "c2", "m2", Ok, ""),
+		qOp(3, "recv", "c2", "", Ok, "empty"),
+	}
+	wantOne(t, Queue(QueueSpec{})(h), "durability", "q")
+}
+
+// TestQueueAmbiguousRecvForgives: a transport-timeout receive may
+// have consumed the missing message invisibly — no durability claim.
+func TestQueueAmbiguousRecvForgives(t *testing.T) {
+	h := History{
+		qOp(0, "send", "c1", "m1", Ok, ""),
+		qOp(1, "send", "c1", "m2", Ok, ""),
+		qOp(2, "recv", "c2", "", Ambiguous, ""),
+		qOp(3, "recv", "c2", "m2", Ok, ""),
+		qOp(4, "recv", "c2", "", Ok, "empty"),
+	}
+	wantNone(t, Queue(QueueSpec{})(h))
+}
+
+// TestQueueUndrainedNotJudged: without an authoritative empty answer
+// after the last send, an unreachable backlog is not a lost one.
+func TestQueueUndrainedNotJudged(t *testing.T) {
+	h := History{
+		// A step-phase empty (before the last send) must not count as a
+		// drain.
+		qOp(0, "recv", "c2", "", Ok, "empty"),
+		qOp(1, "send", "c1", "m1", Ok, ""),
+		qOp(2, "send", "c1", "m2", Ok, ""),
+		qOp(3, "recv", "c2", "", Failed, ""),
+	}
+	wantNone(t, Queue(QueueSpec{})(h))
+}
+
+// TestQueuePhantomDelivery: a delivered message no acknowledged or
+// ambiguous send produced.
+func TestQueuePhantomDelivery(t *testing.T) {
+	h := History{
+		qOp(0, "send", "c1", "m1", Failed, ""),
+		qOp(1, "recv", "c2", "m1", Ok, ""),
+	}
+	wantOne(t, Queue(QueueSpec{})(h), "phantom-delivery", "q")
+
+	// The same delivery after an ambiguous send is legitimate.
+	h[0].Outcome = Ambiguous
+	wantNone(t, Queue(QueueSpec{})(h))
+}
+
+// TestQueueReordered: with order checking on, an inversion of send
+// order is a violation; gaps alone are not.
+func TestQueueReordered(t *testing.T) {
+	gap := History{
+		qOp(0, "send", "c1", "m1", Ok, ""),
+		qOp(1, "send", "c1", "m2", Ok, ""),
+		qOp(2, "send", "c1", "m3", Ok, ""),
+		qOp(3, "recv", "c2", "", Ambiguous, ""), // may have eaten m1
+		qOp(4, "recv", "c2", "m2", Ok, ""),
+		qOp(5, "recv", "c2", "m3", Ok, ""),
+		qOp(6, "recv", "c2", "", Ok, "empty"),
+	}
+	wantNone(t, Queue(QueueSpec{CheckOrder: true})(gap))
+
+	inverted := History{
+		qOp(0, "send", "c1", "m1", Ok, ""),
+		qOp(1, "send", "c1", "m2", Ok, ""),
+		qOp(2, "recv", "c2", "m2", Ok, ""),
+		qOp(3, "recv", "c2", "m1", Ok, ""),
+		qOp(4, "recv", "c2", "", Ok, "empty"),
+	}
+	v := wantOne(t, Queue(QueueSpec{CheckOrder: true})(inverted), "fifo-order", "q")
+	if len(v.Witness) != 4 {
+		t.Fatalf("inversion witness should name both sends and both receives, got %v", v.Witness)
+	}
+	// Order checking off: the same history is clean.
+	wantNone(t, Queue(QueueSpec{})(inverted))
+}

@@ -1,0 +1,107 @@
+package history
+
+import (
+	"sync"
+	"time"
+
+	"neat/internal/clock"
+)
+
+// Recorder collects one round's operations. It is concurrency-safe:
+// indices are assigned under a lock in Begin order, and timestamps
+// come from the round's clock, so a deterministic workload on a
+// virtual clock records a byte-identical history at any worker count.
+type Recorder struct {
+	mu     sync.Mutex
+	clk    clock.Clock
+	base   time.Time
+	ops    []Op
+	faults int
+}
+
+// NewRecorder starts a recorder; offsets are measured from now on clk.
+func NewRecorder(clk clock.Clock) *Recorder {
+	return &Recorder{clk: clk, base: clk.Now()}
+}
+
+// now is called with r.mu held.
+func (r *Recorder) now() time.Duration { return r.clk.Now().Sub(r.base) }
+
+// SetFaults updates the active-fault count stamped onto subsequently
+// begun operations. The campaign runner calls it as faults inject and
+// heal.
+func (r *Recorder) SetFaults(n int) {
+	r.mu.Lock()
+	r.faults = n
+	r.mu.Unlock()
+}
+
+// OpRef is a handle to an in-flight operation.
+type OpRef struct {
+	r   *Recorder
+	idx int
+}
+
+// Begin records the invocation of op: the caller fills Client, Kind,
+// Key and optionally Node/Input/Aux; the recorder stamps Index,
+// Faults, and the invocation time. Until End is called the operation
+// stands as Ambiguous with no recorded response — exactly what an
+// in-flight request is.
+func (r *Recorder) Begin(op Op) OpRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op.Index = len(r.ops)
+	op.Faults = r.faults
+	op.Invoke = r.now()
+	op.Return = NoReturn
+	op.Outcome = Ambiguous
+	r.ops = append(r.ops, op)
+	return OpRef{r: r, idx: op.Index}
+}
+
+// End records the response: outcome, returned output, and the return
+// time.
+func (ref OpRef) End(outcome Outcome, output string) {
+	ref.EndNote(outcome, output, "")
+}
+
+// EndNote is End with a deterministic marker note attached.
+func (ref OpRef) EndNote(outcome Outcome, output, note string) {
+	r := ref.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &r.ops[ref.idx]
+	op.Outcome = outcome
+	op.Output = output
+	if note != "" {
+		op.Note = note
+	}
+	op.Return = r.now()
+}
+
+// SetAux attaches an auxiliary payload (e.g. the vector clock an
+// acknowledgement carried) to the operation.
+func (ref OpRef) SetAux(aux string) {
+	r := ref.r
+	r.mu.Lock()
+	r.ops[ref.idx].Aux = aux
+	r.mu.Unlock()
+}
+
+// Len reports how many operations have begun.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// History returns a copy of the recorded operations in invocation
+// order. Operations still in flight appear as Ambiguous with
+// Return == NoReturn.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(History, len(r.ops))
+	copy(out, r.ops)
+	return out
+}

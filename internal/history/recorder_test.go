@@ -1,0 +1,101 @@
+package history
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"neat/internal/clock"
+)
+
+// TestRecorderOrdering: indices follow Begin order, timestamps come
+// from the clock, and fault counts stamp the ops begun while set.
+func TestRecorderOrdering(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	clock.AcquireScoped(sim)
+	defer clock.ReleaseScoped(sim)
+
+	rec := NewRecorder(sim)
+	a := rec.Begin(Op{Client: "c1", Kind: "put", Key: "k", Input: "v1"})
+	sim.Sleep(5 * time.Millisecond)
+	a.End(Ok, "")
+	rec.SetFaults(2)
+	b := rec.Begin(Op{Client: "c2", Kind: "get", Key: "k"})
+	sim.Sleep(3 * time.Millisecond)
+	b.EndNote(Ok, "v1", "fresh")
+	rec.SetFaults(0)
+	c := rec.Begin(Op{Client: "c1", Kind: "put", Key: "k", Input: "v2"})
+	_ = c // never completed: stays ambiguous with no response
+
+	h := rec.History()
+	if len(h) != 3 {
+		t.Fatalf("recorded %d ops, want 3", len(h))
+	}
+	if h[0].Index != 0 || h[1].Index != 1 || h[2].Index != 2 {
+		t.Fatalf("indices not in begin order: %v", h)
+	}
+	if h[0].Outcome != Ok || h[0].Invoke != 0 || h[0].Return != 5*time.Millisecond {
+		t.Fatalf("op 0 mis-stamped: %+v", h[0])
+	}
+	if h[1].Faults != 2 || h[1].Note != "fresh" || h[1].Output != "v1" {
+		t.Fatalf("op 1 mis-stamped: %+v", h[1])
+	}
+	if h[1].Invoke != 5*time.Millisecond || h[1].Return != 8*time.Millisecond {
+		t.Fatalf("op 1 window wrong: %+v", h[1])
+	}
+	if h[2].Outcome != Ambiguous || h[2].Return != NoReturn || h[2].Faults != 0 {
+		t.Fatalf("in-flight op must stand as ambiguous with no response: %+v", h[2])
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines —
+// meaningful under -race — and checks that indices stay unique and
+// dense.
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(clock.Real{})
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				ref := rec.Begin(Op{Client: "c", Kind: "put", Key: "k"})
+				rec.SetFaults(i % 3)
+				ref.End(Ok, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := rec.History()
+	if len(h) != workers*each {
+		t.Fatalf("recorded %d ops, want %d", len(h), workers*each)
+	}
+	for i, op := range h {
+		if op.Index != i {
+			t.Fatalf("index %d at position %d", op.Index, i)
+		}
+		if op.Return == NoReturn {
+			t.Fatalf("op %d never completed", i)
+		}
+	}
+}
+
+// TestOutcomeOf pins the uniform classification rule.
+func TestOutcomeOf(t *testing.T) {
+	if got := OutcomeOf(nil, false); got != Ok {
+		t.Fatalf("nil error = %v, want ok", got)
+	}
+	err := errFake("boom")
+	if got := OutcomeOf(err, true); got != Ambiguous {
+		t.Fatalf("maybe-executed error = %v, want ambiguous", got)
+	}
+	if got := OutcomeOf(err, false); got != Failed {
+		t.Fatalf("definitive error = %v, want failed", got)
+	}
+}
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }

@@ -1,0 +1,78 @@
+package history
+
+import "fmt"
+
+// SilentSpec parameterizes the silent-success detector.
+type SilentSpec struct {
+	// WriteKind is the mutation verb to watch ("put").
+	WriteKind string
+	// ReadKind is the observation verb ("get").
+	ReadKind string
+	// AppliedNote, when non-empty, marks a failed operation the system
+	// itself admitted applying (e.g. a storage primary that returns a
+	// timeout after committing locally). Such operations are silent
+	// successes by the system's own testimony, visible later or not.
+	AppliedNote string
+}
+
+func (s *SilentSpec) defaults() {
+	if s.WriteKind == "" {
+		s.WriteKind = "put"
+	}
+	if s.ReadKind == "" {
+		s.ReadKind = "get"
+	}
+}
+
+// SilentWrites returns the silent-success check — the paper's
+// failed-but-applied finding: a write the client was told had failed
+// whose effect is nevertheless observed by a later read. Only
+// Ambiguous writes can be silent successes (a definitively refused
+// write that becomes visible is a dirty read, reported by Registers);
+// the violation is the system resolving the ambiguity toward
+// "applied" after answering "failed".
+func SilentWrites(spec SilentSpec) Check {
+	spec.defaults()
+	return func(h History) []Violation {
+		var out []Violation
+		for _, w := range h {
+			if w.Kind != spec.WriteKind || w.Outcome == Ok {
+				continue
+			}
+			if spec.AppliedNote != "" && w.Note == spec.AppliedNote {
+				out = append(out, Violation{
+					Invariant: "silent-success",
+					Subject:   w.Key,
+					Detail: fmt.Sprintf("%s %q reported %s after the system applied it (its own admission)",
+						w.Kind, w.Input, w.Outcome),
+					Witness: witness(w),
+				})
+				continue
+			}
+			if w.Outcome != Ambiguous {
+				continue
+			}
+			// Visibility matching needs a value that identifies this
+			// write; absence (a delete's "input") matches too much.
+			if w.Input == "" {
+				continue
+			}
+			for _, r := range h {
+				if r.Index <= w.Index || r.Kind != spec.ReadKind || r.Outcome != Ok || r.Key != w.Key {
+					continue
+				}
+				if r.Output == w.Input {
+					out = append(out, Violation{
+						Invariant: "silent-success",
+						Subject:   w.Key,
+						Detail: fmt.Sprintf("write %q reported failure (timeout) yet was applied and later read back",
+							w.Input),
+						Witness: witness(w, r),
+					})
+					break
+				}
+			}
+		}
+		return out
+	}
+}

@@ -37,6 +37,19 @@ func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
 // Close detaches the client.
 func (c *Client) Close() { c.ep.Close() }
 
+// MaybeExecuted reports whether the failed operation may still have
+// been applied: some attempt failed at the transport level (on a
+// slow, lossy, or simplex-partitioned link the request can be fully
+// executed with only the acknowledgement lost — the paper's
+// request-routing silent success, Finding 4), or the leader reported
+// a failed write concern after applying the write locally
+// (ApplyBeforeReplicate, the Elasticsearch semantics the paper
+// studied). Callers accounting for durability must treat such
+// failures as possibly-applied, not as definitive refusals.
+func MaybeExecuted(err error) bool {
+	return transport.MaybeExecuted(err) || IsWriteFailed(err)
+}
+
 // do runs an operation against the current leader, following one
 // redirect per replica and skipping unreachable replicas. It returns
 // the first successful result, or the last error seen.
@@ -48,6 +61,16 @@ func (c *Client) do(method string, body any) (any, error) {
 	}
 	order = append(order, c.replicas...)
 
+	// maybe records whether ANY attempt — not just the one whose error
+	// is returned — failed at the transport level and may have been
+	// executed with only the reply lost.
+	maybe := false
+	wrap := func(err error) error {
+		if maybe {
+			return transport.MarkMaybeExecuted(err)
+		}
+		return err
+	}
 	var lastErr error = errors.New("kvstore: no replicas")
 	for _, node := range order {
 		if tried[node] {
@@ -69,6 +92,9 @@ func (c *Client) do(method string, body any) (any, error) {
 					c.lastLeader = nle.Leader
 					return resp, nil
 				}
+				if !transport.IsRemote(err2) {
+					maybe = true
+				}
 				lastErr = err2
 			}
 			continue
@@ -76,11 +102,13 @@ func (c *Client) do(method string, body any) (any, error) {
 		if transport.IsRemote(err) {
 			// Application-level failure from the leader (write concern
 			// not met, key missing): definitive, do not retry elsewhere.
-			return resp, err
+			return resp, wrap(err)
 		}
-		// Timeout: replica unreachable from this client; try the next.
+		// Transport failure: the replica may have executed the request
+		// with only the reply lost; try the next.
+		maybe = true
 	}
-	return nil, lastErr
+	return nil, wrap(lastErr)
 }
 
 // remoteNotLeader decodes a NotLeaderError that traveled as a remote

@@ -71,9 +71,27 @@ func (c *Client) renewLoop(t clock.Ticker) {
 
 // do routes an operation to the coordinator reachable from this
 // client, following redirects.
+// MaybeExecuted reports whether the failed operation may still have
+// taken effect: an attempt failed at the transport level (request
+// possibly executed, reply lost), or the coordinator answered
+// Unavailable after mutating its local state. A lease-respecting
+// client must treat such failures as doubt about everything it holds:
+// if its requests are not reliably answered, neither are its lease
+// renewals.
+func MaybeExecuted(err error) bool {
+	return transport.MaybeExecuted(err) || IsUnavailable(err)
+}
+
 func (c *Client) do(req opReq) (opResp, error) {
 	req.Client = c.ep.ID()
 	tried := make(map[netsim.NodeID]bool)
+	maybe := false
+	wrap := func(err error) error {
+		if maybe {
+			return transport.MarkMaybeExecuted(err)
+		}
+		return err
+	}
 	var lastErr error = errors.New("locksvc: no replicas")
 	queue := append([]netsim.NodeID(nil), c.replicas...)
 	for len(queue) > 0 {
@@ -97,10 +115,13 @@ func (c *Client) do(req opReq) (opResp, error) {
 		}
 		if transport.IsRemote(err) {
 			// Definitive application error from a coordinator.
-			return opResp{}, err
+			return opResp{}, wrap(err)
 		}
+		// Transport failure: the coordinator may have executed the
+		// request with only the reply lost.
+		maybe = true
 	}
-	return opResp{}, lastErr
+	return opResp{}, wrap(lastErr)
 }
 
 func redirectHint(err error) (netsim.NodeID, bool) {

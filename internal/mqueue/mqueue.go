@@ -404,23 +404,16 @@ func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
 // Close detaches the client.
 func (c *Client) Close() { c.ep.Close() }
 
-// maybeExecutedError marks a failed operation that some broker may
-// nevertheless have applied: an attempt ended in a transport-level
+// MaybeExecuted reports whether the failed operation may still have
+// been applied by a broker: an attempt ended in a transport-level
 // failure (on a slow or lossy link the request can be fully executed
 // with only the reply lost — a silent success), or a master returned
 // ErrUnavailable after applying locally. Definitive refusals
 // (redirects, suspension, an empty queue) carry no such ambiguity.
-type maybeExecutedError struct{ err error }
-
-func (e *maybeExecutedError) Error() string { return e.err.Error() }
-func (e *maybeExecutedError) Unwrap() error { return e.err }
-
-// MaybeExecuted reports whether the failed operation may still have
-// been applied by a broker. Callers accounting for at-most-once or
-// durability must treat such failures as possibly-consuming.
+// Callers accounting for at-most-once or durability must treat such
+// failures as possibly-consuming.
 func MaybeExecuted(err error) bool {
-	var me *maybeExecutedError
-	return errors.As(err, &me)
+	return transport.MaybeExecuted(err)
 }
 
 func (c *Client) do(req opReq) (opResp, error) {
@@ -434,7 +427,7 @@ func (c *Client) do(req opReq) (opResp, error) {
 	maybe := false
 	wrap := func(err error) error {
 		if maybe {
-			return &maybeExecutedError{err: err}
+			return transport.MarkMaybeExecuted(err)
 		}
 		return err
 	}

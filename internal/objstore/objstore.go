@@ -252,6 +252,15 @@ func IsTimeout(err error) bool {
 	return errors.As(err, &re) && re.Msg == ErrTimeout.Error()
 }
 
+// MaybeExecuted reports whether a failed operation may nevertheless
+// have been applied: the primary's own timeout verdict comes after it
+// already applied the operation locally (the lying timeout, tracker
+// #24193), and a transport-level failure may have reached the primary
+// with only the reply lost.
+func MaybeExecuted(err error) bool {
+	return err != nil && (IsTimeout(err) || !transport.IsRemote(err))
+}
+
 // IsNotFound reports whether err is a missing object.
 func IsNotFound(err error) bool {
 	if errors.Is(err, ErrNotFound) {

@@ -40,9 +40,29 @@ func (c *Client) SetTimeout(d time.Duration) {
 // Close detaches the client.
 func (c *Client) Close() { c.ep.Close() }
 
+// MaybeExecuted reports whether the failed operation may still take
+// effect: a transport-level failure may have reached a leader that
+// appended the entry, and a no-quorum answer means the leader
+// appended it to its own log before giving up on commit — in both
+// cases the entry can survive and commit later. Only pure redirect
+// exhaustion ("not leader" everywhere) guarantees nothing was
+// appended.
+func MaybeExecuted(err error) bool {
+	return transport.MaybeExecuted(err) || IsNoQuorum(err)
+}
+
 func (c *Client) do(method string, body any) (any, error) {
 	tried := make(map[netsim.NodeID]bool)
 	queue := append([]netsim.NodeID(nil), c.peers...)
+	// maybe records whether any attempt failed at the transport level:
+	// a leader may have appended the entry with only the reply lost.
+	maybe := false
+	wrap := func(err error) error {
+		if maybe {
+			return transport.MarkMaybeExecuted(err)
+		}
+		return err
+	}
 	var lastErr error = errors.New("raftkv: no peers")
 	for len(queue) > 0 {
 		node := queue[0]
@@ -63,10 +83,15 @@ func (c *Client) do(method string, body any) (any, error) {
 			continue
 		}
 		if IsNotFound(err) || IsNoQuorum(err) {
-			return nil, err // definitive answers from a leader
+			return nil, wrap(err) // definitive answers from a leader
+		}
+		if !transport.IsRemote(err) {
+			// Transport failure: the peer may have executed the request
+			// with only the reply lost.
+			maybe = true
 		}
 	}
-	return nil, lastErr
+	return nil, wrap(lastErr)
 }
 
 func redirectHint(err error) (netsim.NodeID, bool) {

@@ -695,7 +695,12 @@ func (nd *Node) onPut(from netsim.NodeID, body any) (any, error) {
 			return nil, nil
 		}
 		if !stillLeader {
-			return nil, &NotLeaderError{}
+			// The entry was appended before the step-down: it may
+			// survive in a log and legitimately commit later, so the
+			// refusal must not claim the write definitively did not
+			// happen. NoQuorum is the honest answer ("commit unknown"),
+			// and clients classify it as maybe-executed.
+			return nil, ErrNoQuorum
 		}
 		if nd.clk.Now().After(deadline) {
 			return nil, ErrNoQuorum

@@ -27,8 +27,9 @@ type CampaignTarget struct {
 }
 
 // CampaignViolation is one deduplicated invariant breach with the
-// schedule that produced it and, when shrinking ran, the minimal
-// reproducer.
+// schedule that produced it, a witness trace — the minimal set of
+// recorded client operations proving the breach — and, when shrinking
+// ran, the minimal reproducer.
 type CampaignViolation struct {
 	Target       string   `json:"target"`
 	Invariant    string   `json:"invariant"`
@@ -40,6 +41,33 @@ type CampaignViolation struct {
 	ScheduleSeed int64    `json:"schedule_seed"`
 	Schedule     []string `json:"schedule"`
 	Shrunk       []string `json:"shrunk,omitempty"`
+	// Trace is the witness: the operations that prove the violation,
+	// in invocation order.
+	Trace []TraceOp `json:"trace"`
+	// History is the first failing round's full operation history,
+	// present only when the campaign ran with tracing on.
+	History []TraceOp `json:"history,omitempty"`
+}
+
+// TraceOp is one recorded client operation as it appears in reports.
+// Timestamps are offsets from the round's start on the round's clock,
+// in nanoseconds; under virtual time they are deterministic, so
+// same-seed reports stay byte-identical. A return offset of -1 means
+// no response was recorded.
+type TraceOp struct {
+	Index    int    `json:"i"`
+	Client   string `json:"client"`
+	Kind     string `json:"kind"`
+	Key      string `json:"key,omitempty"`
+	Node     string `json:"node,omitempty"`
+	Input    string `json:"in,omitempty"`
+	Output   string `json:"out,omitempty"`
+	Outcome  string `json:"outcome"`
+	Note     string `json:"note,omitempty"`
+	Aux      string `json:"aux,omitempty"`
+	Faults   int    `json:"faults,omitempty"`
+	InvokeNs int64  `json:"invoke_ns"`
+	ReturnNs int64  `json:"return_ns"`
 }
 
 // JSON renders the campaign report as indented JSON.

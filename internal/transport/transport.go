@@ -419,6 +419,34 @@ func IsRemote(err error) bool {
 	return errors.As(err, &re)
 }
 
+// maybeExecutedError marks a failed operation some peer may
+// nevertheless have applied — typically a transport-level failure
+// where the request can have been fully executed with only the reply
+// lost. Client packages share this one marker so the ambiguity
+// classification that feeds the history checkers cannot drift between
+// systems.
+type maybeExecutedError struct{ err error }
+
+func (e *maybeExecutedError) Error() string { return e.err.Error() }
+func (e *maybeExecutedError) Unwrap() error { return e.err }
+
+// MarkMaybeExecuted wraps err so that MaybeExecuted reports true for
+// it (and for anything that later wraps it). nil stays nil.
+func MarkMaybeExecuted(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &maybeExecutedError{err: err}
+}
+
+// MaybeExecuted reports whether the failed operation was marked as
+// possibly applied. Callers accounting for durability or at-most-once
+// must treat such failures as ambiguous, not as definitive refusals.
+func MaybeExecuted(err error) bool {
+	var me *maybeExecutedError
+	return errors.As(err, &me)
+}
+
 // Broadcast sends a one-way message to every destination.
 func (e *Endpoint) Broadcast(dsts []netsim.NodeID, kind string, body any) {
 	for _, d := range dsts {
