@@ -18,9 +18,14 @@
 // the longest-log/latest-ts/lowest-id election modes, the
 // request-routing window of quorum elections (Finding 4, Elasticsearch
 // issue #9967), Ignite-style double locking, ActiveMQ/Kafka double
-// dequeues, and the Ceph silent-success divergence. The safe
-// configurations (raftkv, locksvc/sync, mqueue/safe, eventual/vector)
-// are expected to report zero violations.
+// dequeues, the Ceph silent-success divergence, and the data-plane
+// failures that dominate the study's catalog — HDFS-1384/HDFS-577
+// scheduling onto provably unreachable DataNodes, MooseFS #131/#132
+// client-visible namespace inconsistency, MAPREDUCE-4819 double job
+// completion, and DKron #379's misleading FAILED status. The safe
+// configurations (raftkv, locksvc/sync, mqueue/safe, eventual/vector,
+// dfs/safe, mapred/safe, jobsched/safe) are expected to report zero
+// violations.
 //
 // Violations deduplicate by signature; each unique signature's failing
 // schedule is greedily shrunk to a minimal reproducer, and the whole

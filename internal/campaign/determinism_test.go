@@ -8,13 +8,15 @@ import (
 	"time"
 )
 
-// determinismTargets is the mix the reproducibility tests fuzz: three
-// flawed configurations covering distinct failure classes (kvstore
-// consolidation data loss, locksvc split views, mqueue double
-// dequeue) plus one safe configuration that must stay clean.
+// determinismTargets is the mix the reproducibility tests fuzz: flawed
+// configurations covering distinct failure classes (kvstore
+// consolidation data loss, locksvc split views, mqueue double dequeue,
+// the dfs placement/namespace failures, mapred double execution,
+// jobsched misleading status) plus one safe configuration that must
+// stay clean.
 func determinismTargets(t *testing.T) []Target {
 	t.Helper()
-	targets, err := Select("kvstore/lowest-id,locksvc,mqueue,locksvc/sync")
+	targets, err := Select("kvstore/lowest-id,locksvc,mqueue,locksvc/sync,dfs,mapred,jobsched")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,30 +169,37 @@ func TestVirtualTimeIsFast(t *testing.T) {
 // TestHistoryDeterministicAcrossRuns: the recorded operation history
 // itself — indices, outcomes, payloads, and virtual-clock timestamps
 // — must be byte-identical across same-seed runs; witness traces
-// inherit that.
+// inherit that. Runs over the kvstore baseline and the three
+// data-plane targets, whose multi-step pipelines (placement retries,
+// AppMaster attempts, dispatch fan-outs) are the most
+// timing-sensitive recorders in the registry.
 func TestHistoryDeterministicAcrossRuns(t *testing.T) {
-	targets, err := Select("kvstore/lowest-id")
-	if err != nil {
-		t.Fatal(err)
-	}
-	tgt := targets[0]
-	sched := generateFor(tgt, 42, 0)
-	first := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
-	if first.Err != nil {
-		t.Fatal(first.Err)
-	}
-	if len(first.History) == 0 {
-		t.Fatal("round recorded no operations")
-	}
-	for i := 0; i < 3; i++ {
-		again := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
-		if !reflect.DeepEqual(first.History, again.History) {
-			t.Fatalf("replay %d recorded a different history:\n%v\nvs\n%v", i, first.History, again.History)
-		}
-		if !reflect.DeepEqual(first.Violations, again.Violations) {
-			t.Fatalf("replay %d produced different violations (traces included):\n%v\nvs\n%v",
-				i, first.Violations, again.Violations)
-		}
+	for _, name := range []string{"kvstore/lowest-id", "dfs", "mapred", "jobsched"} {
+		t.Run(name, func(t *testing.T) {
+			targets, err := Select(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tgt := targets[0]
+			sched := generateFor(tgt, 42, 0)
+			first := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
+			if first.Err != nil {
+				t.Fatal(first.Err)
+			}
+			if len(first.History) == 0 {
+				t.Fatal("round recorded no operations")
+			}
+			for i := 0; i < 3; i++ {
+				again := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
+				if !reflect.DeepEqual(first.History, again.History) {
+					t.Fatalf("replay %d recorded a different history:\n%v\nvs\n%v", i, first.History, again.History)
+				}
+				if !reflect.DeepEqual(first.Violations, again.Violations) {
+					t.Fatalf("replay %d produced different violations (traces included):\n%v\nvs\n%v",
+						i, first.Violations, again.Violations)
+				}
+			}
+		})
 	}
 }
 

@@ -98,4 +98,14 @@ func init() {
 	Register(&objstoreTarget{})
 	Register(&eventualTarget{name: "eventual/lww", policy: eventual.LastWriterWins})
 	Register(&eventualTarget{name: "eventual/vector", policy: eventual.VectorCausality})
+	// The paper's data-plane systems: the flawed configurations
+	// reproduce HDFS-1384/HDFS-577/MooseFS #131-#132, MAPREDUCE-4819,
+	// and DKron #379; the /safe variants carry each system's fix and
+	// are expected to stay zero-violation.
+	Register(&dfsTarget{name: "dfs", safe: false})
+	Register(&dfsTarget{name: "dfs/safe", safe: true})
+	Register(&mapredTarget{name: "mapred", safe: false})
+	Register(&mapredTarget{name: "mapred/safe", safe: true})
+	Register(&jobschedTarget{name: "jobsched", safe: false})
+	Register(&jobschedTarget{name: "jobsched/safe", safe: true})
 }

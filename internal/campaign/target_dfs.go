@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/dfs"
+	"neat/internal/history"
+	"neat/internal/netsim"
+)
+
+// dfsTarget fuzzes the HDFS/MooseFS-style distributed file system —
+// the data-plane archetype that dominates the paper's failure catalog.
+// The flawed configuration reproduces three studied failures:
+//
+//   - HDFS-1384: rack-aware placement keeps re-offering nodes from the
+//     rack the client already reported unreachable, down to re-offering
+//     the excluded nodes themselves (unreachable-scheduling).
+//   - HDFS-577: a simplex partition lets a DataNode heartbeat out while
+//     receiving nothing; the NameNode keeps it "healthy" and keeps
+//     placing work on it, which ends in the same provable re-offer
+//     (unreachable-scheduling).
+//   - MooseFS #131/#132: with single-replica placement a partial
+//     partition between the client and the chunk holder makes the file
+//     system look inconsistent — metadata says the file exists, reads
+//     fail (namespace-inconsistency).
+//
+// The instance records the logical write/read register history (judged
+// by the generic Registers checker for read-your-writes/durability)
+// plus the pipeline's alloc/store steps (judged by the Tasks checker).
+// The safe variant turns on CrossRackRetry — placement then respects
+// exclusions, so HDFS-1384/577 cannot manifest — and, because
+// exclusion-respecting placement makes an unreachable sole replica a
+// transient availability loss rather than the flawed allocator
+// pinning every write to it, does not judge the single-replica
+// namespace rule.
+type dfsTarget struct {
+	name string
+	safe bool
+}
+
+func (t *dfsTarget) Name() string { return t.name }
+
+func (t *dfsTarget) Topology() Topology {
+	return Topology{
+		Servers: []netsim.NodeID{"nn", "d1", "d2", "d3", "d4"},
+		Clients: []netsim.NodeID{"c1"},
+	}
+}
+
+func (t *dfsTarget) Checks() []history.Check {
+	spec := history.TasksSpec{
+		SubmitKind:   "write",
+		ScheduleKind: "alloc",
+		ReadKind:     "read",
+	}
+	if !t.safe {
+		spec.MetaNote = "meta-exists"
+	}
+	return []history.Check{
+		history.Registers(history.RegisterSpec{WriteKind: "write", ReadKind: "read"}),
+		history.Tasks(spec),
+	}
+}
+
+func (t *dfsTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
+	cfg := dfs.Config{
+		NameNode: "nn",
+		Racks: map[netsim.NodeID]string{
+			"d1": "rack0", "d2": "rack0",
+			"d3": "rack1", "d4": "rack1",
+		},
+		CrossRackRetry:    t.safe,
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatMisses:   3,
+		RPCTimeout:        20 * time.Millisecond,
+	}
+	sys := dfs.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return nil, err
+	}
+	return &dfsInstance{
+		eng: eng,
+		rec: rec,
+		cl:  dfs.NewClient(eng.Network(), "c1", cfg),
+	}, nil
+}
+
+// dfsInstance drives a single pipeline-writing client over a small
+// fixed file set (one logical register per file; unique values per
+// write) and reads files back both mid-round and after the heal.
+type dfsInstance struct {
+	eng *core.Engine
+	rec *history.Recorder
+	cl  *dfs.Client
+}
+
+const dfsFiles = 3
+
+// write drives one recorded pipeline write: the logical register op
+// plus each placement/store step, so the Tasks checker can prove an
+// exclusion-violating re-offer and the Registers checker can judge
+// what the acknowledgement promised.
+func (in *dfsInstance) write(file, data string) {
+	wref := in.rec.Begin(history.Op{Client: "c1", Kind: "write", Key: file, Input: data})
+	ver := in.cl.NewVersion()
+	var excluded []netsim.NodeID
+	for attempt := 0; attempt < dfs.MaxPlacementRetries; attempt++ {
+		aref := in.rec.Begin(history.Op{Client: "c1", Kind: "alloc", Key: file, Input: joinIDs(excluded)})
+		node, err := in.cl.Allocate(file, excluded)
+		if err != nil {
+			aref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
+			// Nothing stored, nothing committed: the write's effect can
+			// never become visible.
+			wref.End(history.Failed, "")
+			return
+		}
+		aref.SetNode(string(node))
+		aref.End(history.Ok, string(node))
+		sref := in.rec.Begin(history.Op{Client: "c1", Kind: "store", Key: file, Node: string(node), Input: data})
+		if err := in.cl.Store(node, file, ver, data); err != nil {
+			// The store may have landed with only the reply lost, but
+			// the version stays uncommitted and therefore invisible.
+			sref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
+			excluded = append(excluded, node)
+			continue
+		}
+		sref.End(history.Ok, "")
+		if err := in.cl.Commit(file, node, ver); err != nil {
+			// The partial pipeline write: commit may have been applied
+			// with only the reply lost — ambiguous, never definitive.
+			wref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
+			return
+		}
+		wref.End(history.Ok, "")
+		return
+	}
+	// HDFS-1384's give-up: five placements, no commit, effect invisible.
+	wref.End(history.Failed, "")
+}
+
+func (in *dfsInstance) read(file string) {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "read", Key: file})
+	v, err := in.cl.Read(file)
+	switch {
+	case err == nil:
+		ref.End(history.Ok, v)
+	case dfs.IsUnreachable(err):
+		// Metadata listed replicas; no replica served. A definitive
+		// failure carrying the namespace's own assertion of existence.
+		ref.EndNote(history.Failed, "", "meta-exists")
+	case dfs.IsNotFound(err):
+		// The namespace's authoritative "no such file".
+		ref.EndNote(history.Ok, "", "missing")
+	default:
+		ref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
+	}
+}
+
+func (in *dfsInstance) Step(ctx *StepCtx) {
+	file := fmt.Sprintf("f%d", ctx.Op%dfsFiles)
+	in.write(file, fmt.Sprintf("%s-op%d", file, ctx.Op))
+	in.read(fmt.Sprintf("f%d", ctx.Rng.Intn(dfsFiles)))
+	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
+}
+
+// Observe reads every file's settled value after the heal. With all
+// partitions healed and crashed nodes restarted, an acknowledged write
+// must be readable — the Registers checker judges the reads against
+// the recorded acknowledgements.
+func (in *dfsInstance) Observe(*StepCtx) {
+	for _, file := range in.rec.History().Keys("write") {
+		in.eng.WaitUntil(time.Second, func() bool {
+			_, err := in.cl.Read(file)
+			return err == nil || dfs.IsNotFound(err)
+		})
+		in.read(file)
+	}
+}
+
+func (in *dfsInstance) Close() { in.cl.Close() }
+
+func joinIDs(ids []netsim.NodeID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ",")
+}

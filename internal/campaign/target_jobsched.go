@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/history"
+	"neat/internal/jobsched"
+	"neat/internal/netsim"
+)
+
+// jobschedTarget fuzzes the DKron-style job scheduler. The studied
+// flaw (DKron issue #379): the leader judges a job by acknowledgement
+// count, so a partial partition that separates it from its agents —
+// but not from the central status store — makes it record FAILED for a
+// job that genuinely ran (on the leader itself, which is an agent
+// too). The user is told the task failed when it executed; a manual
+// retry then doubles the work.
+//
+// The instance records each triggered run (the leader's definitive
+// FAILED verdict as a Failed outcome — that is the claim the checker
+// holds it to), retries "failed" jobs the way the misled user would,
+// and after the heal reads every node's per-job execution tally. The
+// generic Tasks checker reports a tally above the acknowledged
+// submissions as exactly-once (the misleading status, or the doubled
+// retry) and an acked job with all-zero tallies as lost-ack. The safe
+// variant turns on TruthfulStatus: the recorded status reflects
+// whether the job actually executed, so the user is never misled into
+// retrying.
+type jobschedTarget struct {
+	name string
+	safe bool
+}
+
+func (t *jobschedTarget) Name() string { return t.name }
+
+func (t *jobschedTarget) Topology() Topology {
+	return Topology{
+		Servers:  []netsim.NodeID{"s1", "s2", "s3"},
+		Services: []netsim.NodeID{"store"},
+		Clients:  []netsim.NodeID{"c1"},
+	}
+}
+
+func (t *jobschedTarget) Checks() []history.Check {
+	return []history.Check{history.Tasks(history.TasksSpec{SubmitKind: "run"})}
+}
+
+func (t *jobschedTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
+	cfg := jobsched.Config{
+		Nodes:          t.Topology().Servers,
+		Store:          "store",
+		TruthfulStatus: t.safe,
+		RPCTimeout:     20 * time.Millisecond,
+	}
+	sys := jobsched.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return nil, err
+	}
+	return &jobschedInstance{
+		eng:   eng,
+		rec:   rec,
+		nodes: cfg.Nodes,
+		cl:    jobsched.NewClient(eng.Network(), "c1", cfg),
+	}, nil
+}
+
+type jobschedInstance struct {
+	eng   *core.Engine
+	rec   *history.Recorder
+	nodes []netsim.NodeID
+	cl    *jobsched.Client
+	jobs  []string
+	retry []string
+}
+
+// run triggers one job and records what the user learned: an
+// acknowledged success, the leader's definitive FAILED verdict, or a
+// transport-level loss that may have executed anyway.
+func (in *jobschedInstance) run(job string) {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "run", Key: job})
+	status, err := in.cl.Run(job)
+	switch {
+	case err == nil && status == jobsched.StatusSucceeded:
+		ref.End(history.Ok, status)
+	case jobsched.MaybeExecuted(err):
+		ref.End(history.Ambiguous, "")
+	default:
+		// The leader's explicit verdict: the job failed. The checker
+		// holds the system to that claim.
+		ref.End(history.Failed, status)
+		in.retry = append(in.retry, job)
+	}
+}
+
+func (in *jobschedInstance) Step(ctx *StepCtx) {
+	if len(in.retry) > 0 && ctx.Rng.Intn(2) == 0 {
+		// The misled user reruns a job the system swore had failed.
+		job := in.retry[0]
+		in.retry = in.retry[1:]
+		in.run(job)
+	} else if ctx.Op%3 == 0 {
+		job := fmt.Sprintf("job%02d", ctx.Op)
+		in.jobs = append(in.jobs, job)
+		in.run(job)
+	}
+	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
+}
+
+// Observe reads each node's execution tally for every triggered job
+// into the history — the per-node evidence the exactly-once and
+// lost-ack rules judge.
+func (in *jobschedInstance) Observe(*StepCtx) {
+	for _, job := range in.jobs {
+		for _, node := range in.nodes {
+			ref := in.rec.Begin(history.Op{Client: "c1", Kind: "exec", Key: job, Node: string(node)})
+			n, err := in.cl.ExecutionsOn(node, job)
+			if err != nil {
+				ref.End(history.OutcomeOf(err, jobsched.MaybeExecuted(err)), "")
+				continue
+			}
+			ref.EndNote(history.Ok, strconv.Itoa(n), "count")
+		}
+	}
+}
+
+func (in *jobschedInstance) Close() { in.cl.Close() }

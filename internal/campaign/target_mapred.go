@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"neat/internal/core"
+	"neat/internal/history"
+	"neat/internal/mapred"
+	"neat/internal/netsim"
+)
+
+// mapredTarget fuzzes the MapReduce control plane of Figure 3. The
+// studied flaw (MAPREDUCE-4819): the AppMaster tells the user "done"
+// BEFORE reporting completion to the ResourceManager, so a partial
+// partition that isolates the AM from the RM — while both still reach
+// the workers and the user — makes the RM start a second attempt whose
+// completion the user also receives: the job output is delivered
+// twice, with no client interaction after the partition at all.
+//
+// The instance records job submissions, the completion notifications
+// the user received, and the RM's authoritative completion tally; the
+// generic Tasks checker reports a job finishing twice as
+// dup-execution and an acknowledged job that never ran as lost-ack.
+// The safe variant turns on FencedCompletion: the AM commits
+// completion at the RM first (which fences stale attempts) and stays
+// silent when refused, so at most one "done" ever reaches the user.
+type mapredTarget struct {
+	name string
+	safe bool
+}
+
+func (t *mapredTarget) Name() string { return t.name }
+
+func (t *mapredTarget) Topology() Topology {
+	return Topology{
+		Servers: []netsim.NodeID{"rm", "w1", "w2", "w3"},
+		Clients: []netsim.NodeID{"user"},
+	}
+}
+
+func (t *mapredTarget) Checks() []history.Check {
+	return []history.Check{history.Tasks(history.TasksSpec{})}
+}
+
+func (t *mapredTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
+	cfg := mapred.Config{
+		RM:      "rm",
+		Workers: []netsim.NodeID{"w1", "w2", "w3"},
+		// Six missed heartbeats before a restart: transient scheduling
+		// noise must not fake a dead AppMaster, only real partitions.
+		AMHeartbeat:      10 * time.Millisecond,
+		AMMisses:         6,
+		TaskDuration:     20 * time.Millisecond,
+		RPCTimeout:       20 * time.Millisecond,
+		FencedCompletion: t.safe,
+	}
+	sys := mapred.NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		return nil, err
+	}
+	return &mapredInstance{
+		eng: eng,
+		rec: rec,
+		cl:  mapred.NewClient(eng.Network(), "user", cfg),
+	}, nil
+}
+
+// mapredInstance submits a few small jobs over the round and, after
+// the heal, waits for the control plane to finish and records what the
+// user and the RM each believe happened.
+type mapredInstance struct {
+	eng  *core.Engine
+	rec  *history.Recorder
+	cl   *mapred.Client
+	jobs []string
+}
+
+func (in *mapredInstance) Step(ctx *StepCtx) {
+	if ctx.Op%4 == 0 {
+		job := fmt.Sprintf("j%02d", ctx.Op)
+		ref := in.rec.Begin(history.Op{Client: "user", Kind: "submit", Key: job})
+		err := in.cl.Submit(job, 1+ctx.Rng.Intn(3))
+		ref.End(history.OutcomeOf(err, mapred.MaybeExecuted(err)), "")
+		in.jobs = append(in.jobs, job)
+	}
+	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
+}
+
+// Observe waits for every submitted job to complete at the RM (the
+// post-heal monitor keeps restarting AppMasters until one reports in),
+// then records the RM's completion tally and each completion
+// notification the user received. Judgment belongs to the Tasks
+// checker.
+func (in *mapredInstance) Observe(*StepCtx) {
+	for _, job := range in.jobs {
+		job := job
+		in.eng.WaitUntil(3*time.Second, func() bool {
+			st, err := in.cl.JobStatus(job)
+			if err != nil {
+				// Unknown job: an ambiguous submission that never
+				// registered. Nothing will ever complete it.
+				return true
+			}
+			return st.Completed
+		})
+		ref := in.rec.Begin(history.Op{Client: "user", Kind: "exec", Key: job, Node: "rm"})
+		st, err := in.cl.JobStatus(job)
+		switch {
+		case err == nil && st.Completed:
+			ref.EndNote(history.Ok, "1", "count")
+		case err == nil:
+			ref.EndNote(history.Ok, "0", "count")
+		default:
+			// Unknown job (an ambiguous submission that never
+			// registered) or an unreachable RM: a non-Ok tally is not
+			// execution evidence either way, and the checker skips it.
+			ref.EndNote(history.OutcomeOf(err, mapred.MaybeExecuted(err)), "0", "count")
+		}
+	}
+	for _, r := range in.cl.Results() {
+		if !r.Final {
+			continue
+		}
+		ref := in.rec.Begin(history.Op{Client: "user", Kind: "exec", Key: r.JobID})
+		ref.EndNote(history.Ok, fmt.Sprintf("attempt%d", r.Attempt), "final")
+	}
+}
+
+func (in *mapredInstance) Close() { in.cl.Close() }

@@ -19,10 +19,13 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -46,15 +49,36 @@ type allocateReq struct {
 type commitReq struct {
 	File string
 	Node netsim.NodeID
+	// Ver is the client-assigned write version. Commits install the
+	// version's replica set atomically: a newer version replaces the
+	// older one's locations, and a stale commit arriving late (a delayed
+	// or retried packet) is ignored, so a reordered pipeline cannot
+	// resurrect overwritten locations.
+	Ver uint64
 }
 
 type locationsReq struct{ File string }
 
+// locationsResp carries the committed replica set and the version the
+// reader must fetch, so reads can never observe the staged chunks of an
+// uncommitted (possibly failed) pipeline write.
+type locationsResp struct {
+	Nodes []netsim.NodeID
+	Ver   uint64
+}
+
 type hbMsg struct{ Node netsim.NodeID }
 
-type storeReq struct{ File, Data string }
+type storeReq struct {
+	File string
+	Ver  uint64
+	Data string
+}
 
-type fetchReq struct{ File string }
+type fetchReq struct {
+	File string
+	Ver  uint64
+}
 
 // ErrNoDataNodes is returned when allocation cannot find a candidate.
 var ErrNoDataNodes = errors.New("dfs: no datanode available")
@@ -115,14 +139,22 @@ func (c Config) DataNodes() []netsim.NodeID {
 // NameNode
 // ---------------------------------------------------------------------
 
+// fileEntry is one committed file: the replica set of its newest
+// committed version.
+type fileEntry struct {
+	ver   uint64
+	nodes []netsim.NodeID
+}
+
 // NameNode is the metadata server.
 type NameNode struct {
 	cfg Config
 	ep  *transport.Endpoint
+	clk clock.Clock
 
 	mu        sync.Mutex
 	lastHeard map[netsim.NodeID]time.Time
-	files     map[string][]netsim.NodeID // file -> committed replica nodes
+	files     map[string]*fileEntry // file -> newest committed version
 	stopped   bool
 
 	stopCh chan struct{}
@@ -135,11 +167,12 @@ func NewNameNode(n *netsim.Network, cfg Config) *NameNode {
 	nn := &NameNode{
 		cfg:       cfg,
 		ep:        transport.NewEndpoint(n, cfg.NameNode),
+		clk:       n.Clock(),
 		lastHeard: make(map[netsim.NodeID]time.Time),
-		files:     make(map[string][]netsim.NodeID),
+		files:     make(map[string]*fileEntry),
 		stopCh:    make(chan struct{}),
 	}
-	now := time.Now()
+	now := nn.clk.Now()
 	for id := range cfg.Racks {
 		nn.lastHeard[id] = now
 	}
@@ -171,7 +204,7 @@ func (nn *NameNode) Stop() {
 
 func (nn *NameNode) healthyLocked() []netsim.NodeID {
 	cutoff := time.Duration(nn.cfg.HeartbeatMisses) * nn.cfg.HeartbeatInterval
-	now := time.Now()
+	now := nn.clk.Now()
 	var out []netsim.NodeID
 	for _, id := range nn.cfg.DataNodes() {
 		if now.Sub(nn.lastHeard[id]) <= cutoff {
@@ -197,7 +230,7 @@ func (nn *NameNode) onHeartbeat(from netsim.NodeID, body any) (any, error) {
 	}
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	nn.lastHeard[msg.Node] = time.Now()
+	nn.lastHeard[msg.Node] = nn.clk.Now()
 	return nil, nil
 }
 
@@ -267,7 +300,15 @@ func (nn *NameNode) onCommit(from netsim.NodeID, body any) (any, error) {
 	}
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	nn.files[req.File] = append(nn.files[req.File], req.Node)
+	e := nn.files[req.File]
+	switch {
+	case e == nil || req.Ver > e.ver:
+		nn.files[req.File] = &fileEntry{ver: req.Ver, nodes: []netsim.NodeID{req.Node}}
+	case req.Ver == e.ver:
+		e.nodes = append(e.nodes, req.Node)
+	default:
+		// Stale commit (delayed packet of an older write): ignore.
+	}
 	return nil, nil
 }
 
@@ -278,11 +319,11 @@ func (nn *NameNode) onLocations(from netsim.NodeID, body any) (any, error) {
 	}
 	nn.mu.Lock()
 	defer nn.mu.Unlock()
-	locs, exists := nn.files[req.File]
+	e, exists := nn.files[req.File]
 	if !exists {
 		return nil, ErrNotFound
 	}
-	return append([]netsim.NodeID(nil), locs...), nil
+	return locationsResp{Nodes: append([]netsim.NodeID(nil), e.nodes...), Ver: e.ver}, nil
 }
 
 func (nn *NameNode) onHealth(netsim.NodeID, any) (any, error) {
@@ -326,10 +367,13 @@ func NewDataNode(n *netsim.Network, id netsim.NodeID, cfg Config) *DataNode {
 // ID returns the DataNode's node ID.
 func (dn *DataNode) ID() netsim.NodeID { return dn.id }
 
-// Start launches the heartbeat loop.
+// Start launches the heartbeat loop. The ticker is created here, on
+// the deploying goroutine, so that under a virtual clock the timer
+// creation order follows deployment order (the determinism rule).
 func (dn *DataNode) Start() {
 	dn.wg.Add(1)
-	go dn.heartbeatLoop()
+	t := dn.ep.Clock().NewTicker(dn.cfg.HeartbeatInterval)
+	go dn.heartbeatLoop(t)
 }
 
 // Stop halts the DataNode.
@@ -346,19 +390,19 @@ func (dn *DataNode) Stop() {
 	dn.ep.Close()
 }
 
-func (dn *DataNode) heartbeatLoop() {
+func (dn *DataNode) heartbeatLoop(t clock.Ticker) {
 	defer dn.wg.Done()
-	t := time.NewTicker(dn.cfg.HeartbeatInterval)
 	defer t.Stop()
-	for {
-		select {
-		case <-dn.stopCh:
-			return
-		case <-t.C:
-			_ = dn.ep.Notify(dn.cfg.NameNode, mHeartbeat, hbMsg{Node: dn.id})
-		}
-	}
+	clock.TickLoop(dn.ep.Clock(), t, dn.stopCh, func() {
+		_ = dn.ep.Notify(dn.cfg.NameNode, mHeartbeat, hbMsg{Node: dn.id})
+	})
 }
+
+// chunkKey names one stored chunk version. Chunks are immutable once
+// written — a pipeline write stages its data under its own version, so
+// readers of the committed version can never observe the bytes of an
+// uncommitted (possibly abandoned) write.
+func chunkKey(file string, ver uint64) string { return fmt.Sprintf("%s#%d", file, ver) }
 
 func (dn *DataNode) onStore(from netsim.NodeID, body any) (any, error) {
 	req, ok := body.(storeReq)
@@ -367,7 +411,7 @@ func (dn *DataNode) onStore(from netsim.NodeID, body any) (any, error) {
 	}
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	dn.chunks[req.File] = req.Data
+	dn.chunks[chunkKey(req.File, req.Ver)] = req.Data
 	return nil, nil
 }
 
@@ -378,19 +422,25 @@ func (dn *DataNode) onFetch(from netsim.NodeID, body any) (any, error) {
 	}
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	data, exists := dn.chunks[req.File]
+	data, exists := dn.chunks[chunkKey(req.File, req.Ver)]
 	if !exists {
 		return nil, ErrNotFound
 	}
 	return data, nil
 }
 
-// HasChunk reports whether the DataNode stores the file (for tests).
+// HasChunk reports whether the DataNode stores any version of the file
+// (for tests).
 func (dn *DataNode) HasChunk(file string) bool {
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	_, ok := dn.chunks[file]
-	return ok
+	prefix := file + "#"
+	for key := range dn.chunks {
+		if strings.HasPrefix(key, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------
@@ -404,7 +454,8 @@ type Client struct {
 	timeout time.Duration
 
 	mu       sync.Mutex
-	attempts int // placement attempts used by the last Write
+	attempts int    // placement attempts used by the last Write
+	ver      uint64 // monotonically increasing write version
 }
 
 // NewClient attaches a DFS client.
@@ -427,11 +478,76 @@ func (c *Client) LastWriteAttempts() int {
 	return c.attempts
 }
 
+// NewVersion assigns the next write version. A pipeline write stages
+// and commits under one version, so stale or abandoned pipelines can
+// never shadow a newer committed write. The low bits carry a salt
+// derived from the client's node ID so distinct clients' counters do
+// not mint equal versions — concurrent writers produce distinct
+// versions whose order the NameNode resolves, rather than a merged
+// replica set with divergent data.
+func (c *Client) NewVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ver++
+	h := fnv.New32a()
+	h.Write([]byte(c.ep.ID()))
+	return c.ver<<16 | uint64(h.Sum32()&0xffff)
+}
+
+// Allocate asks the NameNode for a DataNode to place a chunk on,
+// reporting the nodes the client already found unreachable.
+func (c *Client) Allocate(file string, excluded []netsim.NodeID) (netsim.NodeID, error) {
+	resp, err := c.ep.Call(c.cfg.NameNode, mAllocate, allocateReq{File: file, Excluded: excluded}, c.timeout)
+	if err != nil {
+		return "", err
+	}
+	node, _ := resp.(netsim.NodeID)
+	return node, nil
+}
+
+// Store pushes one version of a chunk to a DataNode.
+func (c *Client) Store(node netsim.NodeID, file string, ver uint64, data string) error {
+	_, err := c.ep.Call(node, mStore, storeReq{File: file, Ver: ver, Data: data}, c.timeout)
+	return err
+}
+
+// Commit records the stored replica at the NameNode, making the
+// version readable. A transport failure is marked maybe-executed: the
+// commit can have been applied with only the reply lost — the partial
+// pipeline write whose ambiguity the history checkers account for.
+func (c *Client) Commit(file string, node netsim.NodeID, ver uint64) error {
+	if _, err := c.ep.Call(c.cfg.NameNode, mCommit, commitReq{File: file, Node: node, Ver: ver}, c.timeout); err != nil {
+		return transport.MarkMaybeExecuted(fmt.Errorf("dfs: commit: %w", err))
+	}
+	return nil
+}
+
+// Locations resolves the committed replica set and version of a file.
+func (c *Client) Locations(file string) ([]netsim.NodeID, uint64, error) {
+	resp, err := c.ep.Call(c.cfg.NameNode, mLocations, locationsReq{File: file}, c.timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	lr, _ := resp.(locationsResp)
+	return lr.Nodes, lr.Ver, nil
+}
+
+// Fetch reads one version of a chunk from a DataNode.
+func (c *Client) Fetch(node netsim.NodeID, file string, ver uint64) (string, error) {
+	data, err := c.ep.Call(node, mFetch, fetchReq{File: file, Ver: ver}, c.timeout)
+	if err != nil {
+		return "", err
+	}
+	s, _ := data.(string)
+	return s, nil
+}
+
 // Write stores a file: ask the NameNode for a DataNode, push the
 // chunk, report failures, retry with exclusions up to the budget.
 func (c *Client) Write(file, data string) error {
 	var excluded []netsim.NodeID
 	attempts := 0
+	ver := c.NewVersion()
 	defer func() {
 		c.mu.Lock()
 		c.attempts = attempts
@@ -439,42 +555,41 @@ func (c *Client) Write(file, data string) error {
 	}()
 	for attempts < MaxPlacementRetries {
 		attempts++
-		resp, err := c.ep.Call(c.cfg.NameNode, mAllocate, allocateReq{File: file, Excluded: excluded}, c.timeout)
+		node, err := c.Allocate(file, excluded)
 		if err != nil {
 			return fmt.Errorf("dfs: allocate: %w", err)
 		}
-		node, _ := resp.(netsim.NodeID)
-		if _, err := c.ep.Call(node, mStore, storeReq{File: file, Data: data}, c.timeout); err != nil {
+		if err := c.Store(node, file, ver, data); err != nil {
 			// Unreachable DataNode: exclude it and ask again.
 			excluded = append(excluded, node)
 			continue
 		}
-		if _, err := c.ep.Call(c.cfg.NameNode, mCommit, commitReq{File: file, Node: node}, c.timeout); err != nil {
-			return fmt.Errorf("dfs: commit: %w", err)
-		}
-		return nil
+		return c.Commit(file, node, ver)
 	}
 	return ErrWriteFailed
 }
 
+// ErrUnreachable is returned by Read when the namespace lists the file
+// but no replica could serve its data — the client-visible
+// inconsistency of MooseFS #131/#132.
+var ErrUnreachable = errors.New("dfs: all replicas unreachable")
+
 // Read fetches a file by resolving its locations at the NameNode and
 // trying each replica.
 func (c *Client) Read(file string) (string, error) {
-	resp, err := c.ep.Call(c.cfg.NameNode, mLocations, locationsReq{File: file}, c.timeout)
+	locs, ver, err := c.Locations(file)
 	if err != nil {
 		return "", err
 	}
-	locs, _ := resp.([]netsim.NodeID)
 	var lastErr error = ErrNotFound
 	for _, node := range locs {
-		data, err := c.ep.Call(node, mFetch, fetchReq{File: file}, c.timeout)
+		data, err := c.Fetch(node, file, ver)
 		if err == nil {
-			s, _ := data.(string)
-			return s, nil
+			return data, nil
 		}
 		lastErr = err
 	}
-	return "", fmt.Errorf("dfs: all replicas unreachable: %w", lastErr)
+	return "", fmt.Errorf("%w: %w", ErrUnreachable, lastErr)
 }
 
 // Health asks the NameNode which DataNodes it believes are alive.
@@ -495,3 +610,28 @@ func IsWriteFailed(err error) bool {
 	var re *transport.RemoteError
 	return errors.As(err, &re) && re.Msg == ErrWriteFailed.Error()
 }
+
+// IsNotFound reports whether err is the namespace's authoritative
+// "no such file" answer (locally or from the NameNode).
+func IsNotFound(err error) bool {
+	if errors.Is(err, ErrUnreachable) {
+		// Replicas were listed; whatever the last fetch said, the
+		// namespace asserted existence.
+		return false
+	}
+	if errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == ErrNotFound.Error()
+}
+
+// IsUnreachable reports whether err is the metadata-says-exists but
+// data-unreachable read failure (MooseFS #131/#132).
+func IsUnreachable(err error) bool { return errors.Is(err, ErrUnreachable) }
+
+// MaybeExecuted reports whether a failed operation may nevertheless
+// have been applied: any transport-level attempt (the request can have
+// executed with only the reply lost), including the partial pipeline
+// commit Write marks explicitly.
+func MaybeExecuted(err error) bool { return transport.MaybeExecuted(err) }

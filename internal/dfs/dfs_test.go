@@ -171,6 +171,69 @@ func TestMooseFSClientSeesInconsistentState(t *testing.T) {
 	}
 }
 
+// TestVersionedOverwriteReadsLatest: rewriting a file replaces its
+// committed locations; reads always return the newest committed
+// version even when the replica set moved.
+func TestVersionedOverwriteReadsLatest(t *testing.T) {
+	f := deploy(t, testConfig())
+	if err := f.cl.Write("f1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cl.Write("f1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.cl.Read("f1")
+	if err != nil || got != "v2" {
+		t.Fatalf("read = %q, %v; want the newest committed version", got, err)
+	}
+}
+
+// TestStaleCommitIgnored: a commit carrying an older version than the
+// committed one (a delayed packet of an overwritten write) must not
+// replace the newer locations.
+func TestStaleCommitIgnored(t *testing.T) {
+	f := deploy(t, testConfig())
+	v1 := f.cl.NewVersion()
+	v2 := f.cl.NewVersion()
+	if err := f.cl.Store("d3", "f1", v2, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cl.Commit("f1", "d3", v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cl.Store("d1", "f1", v1, "old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cl.Commit("f1", "d1", v1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.cl.Read("f1")
+	if err != nil || got != "new" {
+		t.Fatalf("read = %q, %v; the stale commit must be ignored", got, err)
+	}
+}
+
+// TestReadErrorClassification: a missing file is the namespace's
+// authoritative answer; a listed file with no reachable replica is the
+// MooseFS-style inconsistency, distinguishable by the client.
+func TestReadErrorClassification(t *testing.T) {
+	f := deploy(t, testConfig())
+	if _, err := f.cl.Read("ghost"); !IsNotFound(err) || IsUnreachable(err) {
+		t.Fatalf("missing file: err = %v; want IsNotFound and not IsUnreachable", err)
+	}
+	if err := f.cl.Write("f1", "data"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"cl"}, []netsim.NodeID{"d1"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.cl.Read("f1")
+	if !IsUnreachable(err) || IsNotFound(err) {
+		t.Fatalf("unreachable replica: err = %v; want IsUnreachable and not IsNotFound", err)
+	}
+}
+
 func TestCrashedDataNodeLeavesHealthyList(t *testing.T) {
 	f := deploy(t, testConfig())
 	f.eng.Crash("d1")

@@ -88,6 +88,16 @@ func (ref OpRef) SetAux(aux string) {
 	r.mu.Unlock()
 }
 
+// SetNode records the replica the operation ended up addressing, for
+// operations whose target is only known from the response (a placement
+// answer naming the chosen node).
+func (ref OpRef) SetNode(node string) {
+	r := ref.r
+	r.mu.Lock()
+	r.ops[ref.idx].Node = node
+	r.mu.Unlock()
+}
+
 // Len reports how many operations have begun.
 func (r *Recorder) Len() int {
 	r.mu.Lock()

@@ -1,0 +1,285 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TasksSpec parameterizes the data-plane task/job execution checker —
+// the invariants of the paper's HDFS, MooseFS, MapReduce, and job
+// scheduler failures.
+type TasksSpec struct {
+	// SubmitKind is the client's acknowledged unit-of-work request
+	// ("submit", "run" — or "write" for a file system, whose pipeline
+	// write is its submission).
+	SubmitKind string
+	// ExecKind marks observed execution evidence ("exec"): a completion
+	// notification (FinalNote) or a per-node execution tally
+	// (CountNote).
+	ExecKind string
+	// FinalNote marks an ExecKind op that is one job-completion
+	// notification delivered to the client ("final"). More than one per
+	// job is the MAPREDUCE-4819 double execution.
+	FinalNote string
+	// CountNote marks an ExecKind op whose Output is the per-node
+	// execution tally the client read from the node named by Op.Node
+	// ("count").
+	CountNote string
+	// ScheduleKind, when non-empty, enables the HDFS-577/HDFS-1384
+	// placement rule: an op of this kind is the system's placement
+	// answer — Node the chosen node, Input the comma-separated list of
+	// nodes the client had already reported unreachable. Offering a
+	// node from its own exclusion list is scheduling work onto a node
+	// the system was told nobody can use.
+	ScheduleKind string
+	// ReadKind is the observation verb the MetaNote rule inspects
+	// ("read").
+	ReadKind string
+	// MetaNote, when non-empty, enables the MooseFS #131/#132 rule: a
+	// definitively failed ReadKind op carrying this note observed a
+	// namespace that asserts the file exists while no replica serves
+	// its data — the client-visible inconsistent state.
+	MetaNote string
+}
+
+func (s *TasksSpec) defaults() {
+	if s.SubmitKind == "" {
+		s.SubmitKind = "submit"
+	}
+	if s.ExecKind == "" {
+		s.ExecKind = "exec"
+	}
+	if s.FinalNote == "" {
+		s.FinalNote = "final"
+	}
+	if s.CountNote == "" {
+		s.CountNote = "count"
+	}
+	if s.ReadKind == "" {
+		s.ReadKind = "read"
+	}
+}
+
+// Tasks returns the exactly-once task/job execution check over
+// submit/execute histories:
+//
+//   - dup-execution: a job's completion was delivered to the client
+//     more than once (two AppMaster attempts both finishing —
+//     MAPREDUCE-4819 / Figure 3).
+//   - exactly-once: a node executed a job more times than the client's
+//     acknowledged-or-ambiguous submissions license — a definitively
+//     "failed" job that ran (DKron #379's misleading status), or a
+//     user retry doubling work the system had already done.
+//   - lost-ack: an acknowledged submission with execution evidence
+//     recorded and every piece of it empty — the job was accepted and
+//     then never ran anywhere.
+//   - unreachable-scheduling (ScheduleKind set): the system placed
+//     work on a node listed in the very exclusion list the client sent
+//     with the request (HDFS-1384's same-rack re-offer, HDFS-577's
+//     simplex-dead node).
+//   - namespace-inconsistency (MetaNote set): the namespace asserts a
+//     file exists while no listed replica serves it (MooseFS
+//     #131/#132).
+func Tasks(spec TasksSpec) Check {
+	spec.defaults()
+	return func(h History) []Violation {
+		var out []Violation
+		for _, key := range h.Keys(spec.SubmitKind, spec.ExecKind) {
+			out = append(out, checkTaskKey(spec, key, h.ForKey(key))...)
+		}
+		if spec.ScheduleKind != "" {
+			out = append(out, checkUnreachableScheduling(spec, h)...)
+		}
+		if spec.MetaNote != "" {
+			out = append(out, checkNamespace(spec, h)...)
+		}
+		return out
+	}
+}
+
+func checkTaskKey(spec TasksSpec, key string, h History) []Violation {
+	var submits []Op
+	allowed := 0 // submissions that may legitimately have executed
+	okSubmits := 0
+	var finals []Op
+	var counts []Op
+	executedAnywhere := false
+	for _, op := range h {
+		switch op.Kind {
+		case spec.SubmitKind:
+			submits = append(submits, op)
+			if op.Outcome != Failed {
+				allowed++
+			}
+			if op.Outcome == Ok {
+				okSubmits++
+			}
+		case spec.ExecKind:
+			if op.Outcome != Ok {
+				continue
+			}
+			switch op.Note {
+			case spec.FinalNote:
+				finals = append(finals, op)
+				executedAnywhere = true
+			case spec.CountNote:
+				counts = append(counts, op)
+				if n, err := strconv.Atoi(op.Output); err == nil && n > 0 {
+					executedAnywhere = true
+				}
+			}
+		}
+	}
+	if len(submits) == 0 {
+		return nil
+	}
+
+	var out []Violation
+
+	// Completion delivered more than once: the user was told "done"
+	// twice — double execution with duplicated output (Figure 3).
+	if len(finals) > 1 {
+		w := finals
+		if len(submits) > 0 {
+			w = append([]Op{submits[0]}, w...)
+		}
+		out = append(out, Violation{
+			Invariant: "dup-execution",
+			Subject:   key,
+			Detail: fmt.Sprintf("job completion reported to the client %d times (attempts %s) — the job executed more than once",
+				len(finals), finalAttempts(finals)),
+			Witness: witness(w...),
+		})
+	}
+
+	// Per-node tallies above the licensed submission count: either a
+	// "failed" submission actually ran (the misleading status the user
+	// will retry) or a retry doubled already-done work.
+	for _, c := range counts {
+		n, err := strconv.Atoi(c.Output)
+		if err != nil || n <= allowed {
+			continue
+		}
+		w := append(append([]Op{}, submits...), c)
+		out = append(out, Violation{
+			Invariant: "exactly-once",
+			Subject:   key,
+			Detail: fmt.Sprintf("node %s executed the job %d time(s) but only %d submission(s) were acknowledged or ambiguous — a definitively failed submission ran, or acknowledged work was re-executed",
+				c.Node, n, allowed),
+			Witness: witness(w...),
+		})
+	}
+
+	// An acknowledged submission for which every piece of recorded
+	// execution evidence is empty: the ack was a lie, the job is gone.
+	// Judged only when evidence WAS recorded (finals or tallies) — an
+	// unobserved job is unobserved, not lost.
+	if okSubmits > 0 && !executedAnywhere && len(finals)+len(counts) > 0 {
+		var firstOk Op
+		for _, s := range submits {
+			if s.Outcome == Ok {
+				firstOk = s
+				break
+			}
+		}
+		w := []Op{firstOk}
+		for i, c := range counts {
+			if i >= 6 {
+				break
+			}
+			w = append(w, c)
+		}
+		out = append(out, Violation{
+			Invariant: "lost-ack",
+			Subject:   key,
+			Detail: fmt.Sprintf("submission was acknowledged but no execution evidence exists on any node (%d tally reads, %d completion notifications)",
+				len(counts), len(finals)),
+			Witness: witness(w...),
+		})
+	}
+	return out
+}
+
+func finalAttempts(finals []Op) string {
+	parts := make([]string, len(finals))
+	for i, f := range finals {
+		parts[i] = f.Output
+	}
+	return strings.Join(parts, ",")
+}
+
+// checkUnreachableScheduling flags placement answers naming a node the
+// requester itself had excluded as unreachable: one violation per
+// offending node (the node, not the request's key, is the stable
+// subject).
+func checkUnreachableScheduling(spec TasksSpec, h History) []Violation {
+	var out []Violation
+	flagged := make(map[string]bool)
+	for _, op := range h {
+		if op.Kind != spec.ScheduleKind || op.Outcome != Ok || op.Node == "" || op.Input == "" {
+			continue
+		}
+		excluded := false
+		for _, ex := range strings.Split(op.Input, ",") {
+			if strings.TrimSpace(ex) == op.Node {
+				excluded = true
+				break
+			}
+		}
+		if !excluded || flagged[op.Node] {
+			continue
+		}
+		flagged[op.Node] = true
+		// The failed attempt that earned the node its exclusion, as
+		// witness context.
+		w := []Op{op}
+		for _, prior := range h {
+			if prior.Index < op.Index && prior.Node == op.Node && prior.Outcome != Ok {
+				w = append(w, prior)
+			}
+		}
+		if len(w) > 3 {
+			w = append(w[:1], w[len(w)-2:]...)
+		}
+		out = append(out, Violation{
+			Invariant: "unreachable-scheduling",
+			Subject:   op.Node,
+			Detail: fmt.Sprintf("placement for %q re-offered node %s from the request's own exclusion list [%s] — work scheduled onto a node the system was told is unreachable",
+				op.Key, op.Node, op.Input),
+			Witness: witness(w...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subject < out[j].Subject })
+	return out
+}
+
+// checkNamespace flags the MooseFS client-visible inconsistency: the
+// namespace lists replicas for a file, yet the read definitively
+// failed to fetch the data from any of them. One violation per file,
+// witnessed by the read and the committed write it orphans.
+func checkNamespace(spec TasksSpec, h History) []Violation {
+	var out []Violation
+	flagged := make(map[string]bool)
+	for _, op := range h {
+		if op.Kind != spec.ReadKind || op.Note != spec.MetaNote || op.Outcome != Failed || flagged[op.Key] {
+			continue
+		}
+		flagged[op.Key] = true
+		w := []Op{op}
+		for _, prior := range h {
+			if prior.Index < op.Index && prior.Key == op.Key && prior.Kind == spec.SubmitKind && prior.Outcome == Ok {
+				w = []Op{prior, op}
+			}
+		}
+		out = append(out, Violation{
+			Invariant: "namespace-inconsistency",
+			Subject:   op.Key,
+			Detail: fmt.Sprintf("namespace asserts %q exists but no listed replica serves its data — the file system looks inconsistent to the client",
+				op.Key),
+			Witness: witness(w...),
+		})
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// tasksHistory builds a history with sequential indices from op
+// templates, as the recorder would.
+func tasksHistory(ops ...Op) History {
+	h := make(History, len(ops))
+	for i, op := range ops {
+		op.Index = i
+		if op.Return == 0 {
+			op.Return = op.Invoke
+		}
+		h[i] = op
+	}
+	return h
+}
+
+func tasksViolations(t *testing.T, spec TasksSpec, h History, want int) []Violation {
+	t.Helper()
+	vs := Tasks(spec)(h)
+	if len(vs) != want {
+		t.Fatalf("got %d violations, want %d: %v", len(vs), want, vs)
+	}
+	for _, v := range vs {
+		if len(v.Witness) == 0 {
+			t.Fatalf("violation %s(%s) has no witness trace", v.Invariant, v.Subject)
+		}
+	}
+	return vs
+}
+
+// TestTasksExactlyOnceClean: one acknowledged job, one completion, one
+// execution per node — nothing to report.
+func TestTasksExactlyOnceClean(t *testing.T) {
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "submit", Key: "j1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Note: "final", Output: "attempt1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Node: "s1", Note: "count", Output: "1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Node: "s2", Note: "count", Output: "1", Outcome: Ok},
+	)
+	tasksViolations(t, TasksSpec{}, h, 0)
+}
+
+// TestTasksDupExecution: the Figure 3 / MAPREDUCE-4819 shape — two
+// completion notifications for one submission.
+func TestTasksDupExecution(t *testing.T) {
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "submit", Key: "j1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Note: "final", Output: "attempt1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Note: "final", Output: "attempt2", Outcome: Ok},
+	)
+	vs := tasksViolations(t, TasksSpec{}, h, 1)
+	if vs[0].Invariant != "dup-execution" || vs[0].Subject != "j1" {
+		t.Fatalf("got %s(%s)", vs[0].Invariant, vs[0].Subject)
+	}
+	if !strings.Contains(vs[0].Detail, "attempt1,attempt2") {
+		t.Fatalf("detail does not name the attempts: %s", vs[0].Detail)
+	}
+}
+
+// TestTasksMisleadingStatus: the DKron #379 shape — the client was
+// told the job definitively failed, yet a node executed it.
+func TestTasksMisleadingStatus(t *testing.T) {
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "submit", Key: "backup", Outcome: Failed},
+		Op{Client: "c1", Kind: "exec", Key: "backup", Node: "s1", Note: "count", Output: "1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "backup", Node: "s2", Note: "count", Output: "0", Outcome: Ok},
+	)
+	vs := tasksViolations(t, TasksSpec{}, h, 1)
+	if vs[0].Invariant != "exactly-once" || vs[0].Subject != "backup" {
+		t.Fatalf("got %s(%s)", vs[0].Invariant, vs[0].Subject)
+	}
+}
+
+// TestTasksRetryDoublesWork: a failed-then-retried job that executed
+// twice on a node exceeds the single acknowledged submission.
+func TestTasksRetryDoublesWork(t *testing.T) {
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "submit", Key: "backup", Outcome: Failed},
+		Op{Client: "c1", Kind: "submit", Key: "backup", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "backup", Node: "s1", Note: "count", Output: "2", Outcome: Ok},
+	)
+	vs := tasksViolations(t, TasksSpec{}, h, 1)
+	if vs[0].Invariant != "exactly-once" {
+		t.Fatalf("got %s", vs[0].Invariant)
+	}
+}
+
+// TestTasksAmbiguousSubmitForgiven: an ambiguous submission may have
+// executed — a matching tally is not a violation.
+func TestTasksAmbiguousSubmitForgiven(t *testing.T) {
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "submit", Key: "j1", Outcome: Ambiguous},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Node: "s1", Note: "count", Output: "1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Note: "final", Output: "attempt1", Outcome: Ok},
+	)
+	tasksViolations(t, TasksSpec{}, h, 0)
+}
+
+// TestTasksLostAck: an acknowledged submission with evidence reads on
+// every node, all empty — the acked job never ran.
+func TestTasksLostAck(t *testing.T) {
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "submit", Key: "j1", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Node: "s1", Note: "count", Output: "0", Outcome: Ok},
+		Op{Client: "c1", Kind: "exec", Key: "j1", Node: "s2", Note: "count", Output: "0", Outcome: Ok},
+	)
+	vs := tasksViolations(t, TasksSpec{}, h, 1)
+	if vs[0].Invariant != "lost-ack" || vs[0].Subject != "j1" {
+		t.Fatalf("got %s(%s)", vs[0].Invariant, vs[0].Subject)
+	}
+}
+
+// TestTasksLostAckNeedsEvidence: without any recorded execution
+// evidence the checker must stay silent — unobserved is not lost.
+func TestTasksLostAckNeedsEvidence(t *testing.T) {
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "submit", Key: "j1", Outcome: Ok},
+	)
+	tasksViolations(t, TasksSpec{}, h, 0)
+}
+
+// TestTasksUnreachableScheduling: the HDFS-577/HDFS-1384 shape — the
+// placement answer re-offers a node from the request's own exclusion
+// list.
+func TestTasksUnreachableScheduling(t *testing.T) {
+	spec := TasksSpec{SubmitKind: "write", ScheduleKind: "alloc"}
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "alloc", Key: "f1", Node: "d1", Outcome: Ok},
+		Op{Client: "c1", Kind: "store", Key: "f1", Node: "d1", Outcome: Failed},
+		Op{Client: "c1", Kind: "alloc", Key: "f1", Node: "d2", Input: "d1", Outcome: Ok},
+		Op{Client: "c1", Kind: "store", Key: "f1", Node: "d2", Outcome: Failed},
+		Op{Client: "c1", Kind: "alloc", Key: "f1", Node: "d1", Input: "d1,d2", Outcome: Ok},
+	)
+	vs := tasksViolations(t, spec, h, 1)
+	if vs[0].Invariant != "unreachable-scheduling" || vs[0].Subject != "d1" {
+		t.Fatalf("got %s(%s)", vs[0].Invariant, vs[0].Subject)
+	}
+	// The witness carries the re-offer and failed-attempt context.
+	sawAlloc, sawStore := false, false
+	for _, op := range vs[0].Witness {
+		if op.Kind == "alloc" && op.Index == 4 {
+			sawAlloc = true
+		}
+		if op.Kind == "store" && op.Node == "d1" {
+			sawStore = true
+		}
+	}
+	if !sawAlloc || !sawStore {
+		t.Fatalf("witness lacks the re-offer or the failed attempt: %v", vs[0].Witness)
+	}
+}
+
+// TestTasksUnreachableSchedulingCleanPlacement: exclusion-respecting
+// placement never fires the rule, whatever failed around it.
+func TestTasksUnreachableSchedulingCleanPlacement(t *testing.T) {
+	spec := TasksSpec{SubmitKind: "write", ScheduleKind: "alloc"}
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "alloc", Key: "f1", Node: "d1", Outcome: Ok},
+		Op{Client: "c1", Kind: "store", Key: "f1", Node: "d1", Outcome: Failed},
+		Op{Client: "c1", Kind: "alloc", Key: "f1", Node: "d3", Input: "d1", Outcome: Ok},
+		Op{Client: "c1", Kind: "store", Key: "f1", Node: "d3", Outcome: Ok},
+	)
+	tasksViolations(t, spec, h, 0)
+}
+
+// TestTasksNamespaceInconsistency: the MooseFS #131/#132 shape — the
+// namespace says the file exists, no replica serves it.
+func TestTasksNamespaceInconsistency(t *testing.T) {
+	spec := TasksSpec{SubmitKind: "write", MetaNote: "meta-exists"}
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "write", Key: "f1", Input: "data", Outcome: Ok},
+		Op{Client: "c1", Kind: "read", Key: "f1", Note: "meta-exists", Outcome: Failed},
+		Op{Client: "c1", Kind: "read", Key: "f1", Note: "meta-exists", Outcome: Failed}, // dedup: one per file
+	)
+	vs := tasksViolations(t, spec, h, 1)
+	if vs[0].Invariant != "namespace-inconsistency" || vs[0].Subject != "f1" {
+		t.Fatalf("got %s(%s)", vs[0].Invariant, vs[0].Subject)
+	}
+	if len(vs[0].Witness) != 2 {
+		t.Fatalf("witness should pair the committed write with the failed read: %v", vs[0].Witness)
+	}
+}
+
+// TestTasksDeterministic: equal histories yield equal violations in
+// equal order — the property campaign dedup and shrinking rely on.
+func TestTasksDeterministic(t *testing.T) {
+	spec := TasksSpec{SubmitKind: "write", ScheduleKind: "alloc", MetaNote: "meta-exists"}
+	h := tasksHistory(
+		Op{Client: "c1", Kind: "write", Key: "f1", Outcome: Ok},
+		Op{Client: "c1", Kind: "alloc", Key: "f1", Node: "d2", Input: "d2,d1", Outcome: Ok},
+		Op{Client: "c1", Kind: "alloc", Key: "f2", Node: "d1", Input: "d1", Outcome: Ok},
+		Op{Client: "c1", Kind: "read", Key: "f1", Note: "meta-exists", Outcome: Failed},
+	)
+	first := Tasks(spec)(h)
+	if len(first) != 3 {
+		t.Fatalf("got %d violations, want 3 (two nodes, one namespace): %v", len(first), first)
+	}
+	// Node subjects sort deterministically.
+	if first[0].Subject != "d1" || first[1].Subject != "d2" {
+		t.Fatalf("unreachable-scheduling subjects out of order: %v", first)
+	}
+	for i := 0; i < 5; i++ {
+		again := Tasks(spec)(h)
+		for j := range again {
+			if again[j].Detail != first[j].Detail || again[j].Subject != first[j].Subject {
+				t.Fatalf("run %d diverged at %d: %v vs %v", i, j, again[j], first[j])
+			}
+		}
+	}
+}

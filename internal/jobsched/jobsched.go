@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/coord"
 	"neat/internal/netsim"
 	"neat/internal/transport"
@@ -25,13 +26,16 @@ import (
 
 // RPC method names.
 const (
-	mRunJob  = "job.run"
-	mExecute = "job.execute"
+	mRunJob    = "job.run"
+	mExecute   = "job.execute"
+	mExecCount = "job.execCount"
 )
 
 type runReq struct{ Job string }
 
 type executeReq struct{ Job string }
+
+type execCountReq struct{ Job string }
 
 // StatusSucceeded and StatusFailed are the status strings recorded in
 // the central store.
@@ -52,6 +56,14 @@ type Config struct {
 	// QuorumAcks is how many agent acknowledgements the leader wants
 	// before declaring an execution successful.
 	QuorumAcks int
+	// TruthfulStatus is the fix for DKron issue #379's misleading
+	// status: the recorded outcome reflects whether the job actually
+	// executed (any confirmed execution, the leader's own included)
+	// rather than whether an ack quorum was reached. The user is never
+	// told "failed" about a job that ran, so a manual retry cannot
+	// double-execute it. Off by default — the studied flaw judges by
+	// ack count alone.
+	TruthfulStatus bool
 	// RPCTimeout bounds dispatch calls.
 	RPCTimeout time.Duration
 }
@@ -84,6 +96,7 @@ func NewNode(n *netsim.Network, id netsim.NodeID, cfg Config) *Node {
 	nd.ep.DefaultTimeout = cfg.RPCTimeout
 	nd.ep.Handle(mRunJob, nd.onRunJob)
 	nd.ep.Handle(mExecute, nd.onExecute)
+	nd.ep.Handle(mExecCount, nd.onExecCount)
 	return nd
 }
 
@@ -113,6 +126,14 @@ func (nd *Node) onExecute(from netsim.NodeID, body any) (any, error) {
 	return "ok", nil
 }
 
+func (nd *Node) onExecCount(from netsim.NodeID, body any) (any, error) {
+	req, ok := body.(execCountReq)
+	if !ok {
+		return nil, errors.New("bad execCount")
+	}
+	return nd.Executions(req.Job), nil
+}
+
 // onRunJob is the leader's dispatch path: execute on every member
 // (including itself), then record the outcome in the central store.
 // The outcome is judged by acknowledgement count — not by whether the
@@ -128,21 +149,47 @@ func (nd *Node) onRunJob(from netsim.NodeID, body any) (any, error) {
 	acks := 0
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	clk := nd.ep.Clock()
 	for _, member := range nd.cfg.Nodes {
+		if member == nd.id {
+			// The leader is an agent too and executes in-process — it
+			// cannot RPC itself (the request would queue behind this
+			// very handler), and its own execution is first-hand
+			// knowledge, not an acknowledgement that can be lost.
+			nd.mu.Lock()
+			nd.executions[req.Job]++
+			nd.mu.Unlock()
+			acks++
+			continue
+		}
+		member := member
 		wg.Add(1)
-		go func(member netsim.NodeID) {
+		// clock.Go accounts each dispatch worker as in-flight work, so a
+		// virtual clock cannot advance across the spawn gap; the join
+		// runs under clock.Idle so the workers' RPC timeouts can fire.
+		clock.Go(clk, func() {
 			defer wg.Done()
 			if _, err := nd.ep.Call(member, mExecute, executeReq{Job: req.Job}, nd.cfg.RPCTimeout); err == nil {
 				mu.Lock()
 				acks++
 				mu.Unlock()
 			}
-		}(member)
+		})
 	}
-	wg.Wait()
+	clock.Idle(clk, wg.Wait)
 
 	status := StatusSucceeded
-	if acks < nd.cfg.QuorumAcks {
+	if nd.cfg.TruthfulStatus {
+		// The fix: the status records what actually happened — failed
+		// only if the job verifiably ran nowhere. While the leader
+		// co-hosts an agent that branch is unreachable (its own
+		// in-process execution is always evidence), which is the point:
+		// the user is never told "failed" about work that was done, and
+		// never retries it into double execution.
+		if acks == 0 {
+			status = StatusFailed
+		}
+	} else if acks < nd.cfg.QuorumAcks {
 		status = StatusFailed
 	}
 	// Record in the central store — reachable even when the agents
@@ -173,14 +220,35 @@ func (c *Client) ID() netsim.NodeID { return c.ep.ID() }
 func (c *Client) Close() { c.ep.Close() }
 
 // Run triggers a job on the leader and returns the status the leader
-// reported.
+// reported. A transport-level failure is marked maybe-executed: the
+// leader can have dispatched (and run) the job with only the reply
+// lost.
 func (c *Client) Run(job string) (string, error) {
 	resp, err := c.ep.Call(c.cfg.Nodes[0], mRunJob, runReq{Job: job}, c.timeout)
 	s, _ := resp.(string)
+	if err != nil && !transport.IsRemote(err) {
+		return s, transport.MarkMaybeExecuted(err)
+	}
 	return s, err
+}
+
+// ExecutionsOn asks one scheduler member how many times it executed a
+// job — the per-node observation the exactly-once checker judges.
+func (c *Client) ExecutionsOn(node netsim.NodeID, job string) (int, error) {
+	resp, err := c.ep.Call(node, mExecCount, execCountReq{Job: job}, c.timeout)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := resp.(int)
+	return n, nil
 }
 
 // RecordedStatus reads the job status from the central store.
 func (c *Client) RecordedStatus(job string) (string, error) {
 	return coord.Get(c.ep, c.cfg.Store, "/jobs/"+job, c.timeout)
 }
+
+// MaybeExecuted reports whether a failed operation may nevertheless
+// have been applied — the ambiguity classification the history
+// checkers consume.
+func MaybeExecuted(err error) bool { return transport.MaybeExecuted(err) }

@@ -107,6 +107,48 @@ func TestUserRetryCausesDoubleExecution(t *testing.T) {
 	}
 }
 
+// TestTruthfulStatusUnderPartition is the safe-mode control for DKron
+// #379: same partial partition, but the status records what actually
+// happened — the job ran on the leader, so the user is told it
+// succeeded and has no reason to retry it into double execution.
+func TestTruthfulStatusUnderPartition(t *testing.T) {
+	eng := core.NewEngine(core.Options{})
+	cfg := testConfig()
+	cfg.TruthfulStatus = true
+	for _, id := range schedIDs {
+		eng.AddNode(id, core.RoleServer)
+	}
+	eng.AddNode("store", core.RoleService)
+	eng.AddNode("cl", core.RoleClient)
+	sys := NewSystem(eng.Network(), cfg)
+	if err := eng.Deploy(sys); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	cl := NewClient(eng.Network(), "cl", cfg)
+	t.Cleanup(func() {
+		cl.Close()
+		eng.Shutdown()
+	})
+	if _, err := eng.Partial(
+		[]netsim.NodeID{"s1"}, []netsim.NodeID{"s2", "s3"}); err != nil {
+		t.Fatal(err)
+	}
+	status, err := cl.Run("backup")
+	if err != nil || status != StatusSucceeded {
+		t.Fatalf("run = %q, %v; truthful status must report the execution that happened", status, err)
+	}
+	if n := sys.Node("s1").Executions("backup"); n != 1 {
+		t.Fatalf("leader executed %d times, want 1", n)
+	}
+	rec, err := cl.RecordedStatus("backup")
+	if err != nil || rec != StatusSucceeded {
+		t.Fatalf("recorded = %q, %v; the store must not call a job that ran FAILED", rec, err)
+	}
+	if n, err := cl.ExecutionsOn("s1", "backup"); err != nil || n != 1 {
+		t.Fatalf("ExecutionsOn(s1) = %d, %v", n, err)
+	}
+}
+
 func TestNonLeaderRejectsRun(t *testing.T) {
 	f := deploy(t)
 	if _, err := f.cl.ep.Call("s2", mRunJob, runReq{Job: "x"}, time.Second); err == nil {

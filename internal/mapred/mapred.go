@@ -17,9 +17,11 @@ package mapred
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"neat/internal/clock"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -98,6 +100,13 @@ type Config struct {
 	TaskDuration time.Duration
 	// RPCTimeout bounds control-plane calls.
 	RPCTimeout time.Duration
+	// FencedCompletion is the fix for MAPREDUCE-4819's user-visible
+	// double execution: the AppMaster reports completion to the
+	// ResourceManager FIRST — which fences stale attempts and rejects a
+	// second completion — and notifies the user only if the RM accepted
+	// it. Off by default: the studied flaw tells the user "done" before
+	// (and regardless of) the RM.
+	FencedCompletion bool
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +143,7 @@ type rmJob struct {
 type ResourceManager struct {
 	cfg Config
 	ep  *transport.Endpoint
+	clk clock.Clock
 
 	mu      sync.Mutex
 	jobs    map[string]*rmJob
@@ -150,6 +160,7 @@ func NewResourceManager(n *netsim.Network, cfg Config) *ResourceManager {
 	rm := &ResourceManager{
 		cfg:    cfg,
 		ep:     transport.NewEndpoint(n, cfg.RM),
+		clk:    n.Clock(),
 		jobs:   make(map[string]*rmJob),
 		stopCh: make(chan struct{}),
 	}
@@ -161,10 +172,13 @@ func NewResourceManager(n *netsim.Network, cfg Config) *ResourceManager {
 	return rm
 }
 
-// Start launches the AppMaster liveness monitor.
+// Start launches the AppMaster liveness monitor. The ticker is
+// created here, on the deploying goroutine, so timer creation order
+// follows deployment order under a virtual clock.
 func (rm *ResourceManager) Start() {
 	rm.wg.Add(1)
-	go rm.monitorLoop()
+	t := rm.ep.Clock().NewTicker(rm.cfg.AMHeartbeat)
+	go rm.monitorLoop(t)
 }
 
 // Stop halts the RM.
@@ -193,19 +207,21 @@ func (rm *ResourceManager) onSubmit(from netsim.NodeID, body any) (any, error) {
 	}
 	j := &rmJob{
 		jobID: req.JobID, tasks: req.Tasks, client: req.Client,
-		attempt: 1, lastBeat: time.Now(),
+		attempt: 1, lastBeat: rm.clk.Now(),
 	}
 	rm.jobs[req.JobID] = j
 	am := rm.pickWorkerLocked()
 	j.amNode = am
 	rm.mu.Unlock()
 
-	// Start the AppMaster (Figure 3.a step 2).
-	if _, err := rm.ep.Call(am, mStartAM, startAMReq{
+	// Start the AppMaster (Figure 3.a step 2). Submission is accepted
+	// regardless: the job is registered, and if this first launch fails
+	// the liveness monitor will start a fresh attempt — so an
+	// acknowledged submission always runs, and the acknowledgement
+	// never lies about a job that will execute anyway.
+	_, _ = rm.ep.Call(am, mStartAM, startAMReq{
 		JobID: req.JobID, Attempt: 1, Tasks: req.Tasks, Client: req.Client,
-	}, rm.cfg.RPCTimeout); err != nil {
-		return nil, fmt.Errorf("mapred: starting AM on %s: %w", am, err)
-	}
+	}, rm.cfg.RPCTimeout)
 	return nil, nil
 }
 
@@ -223,7 +239,7 @@ func (rm *ResourceManager) onAMBeat(from netsim.NodeID, body any) (any, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	if j, exists := rm.jobs[msg.JobID]; exists && j.attempt == msg.Attempt {
-		j.lastBeat = time.Now()
+		j.lastBeat = rm.clk.Now()
 	}
 	return nil, nil
 }
@@ -235,9 +251,23 @@ func (rm *ResourceManager) onComplete(from netsim.NodeID, body any) (any, error)
 	}
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	if j, exists := rm.jobs[msg.JobID]; exists {
-		j.completed = true
+	j, exists := rm.jobs[msg.JobID]
+	if !exists {
+		return nil, fmt.Errorf("mapred: unknown job %s", msg.JobID)
 	}
+	if rm.cfg.FencedCompletion {
+		// Fencing: only the current attempt may complete the job, and
+		// only once. A superseded attempt (its heartbeats were lost, a
+		// replacement was started) learns here that it must not tell
+		// the user anything.
+		if j.completed {
+			return nil, fmt.Errorf("mapred: job %s already completed", msg.JobID)
+		}
+		if j.attempt != msg.Attempt {
+			return nil, fmt.Errorf("mapred: job %s attempt %d superseded by %d", msg.JobID, msg.Attempt, j.attempt)
+		}
+	}
+	j.completed = true
 	return nil, nil
 }
 
@@ -258,18 +288,10 @@ func (rm *ResourceManager) onJobStatus(from netsim.NodeID, body any) (any, error
 // monitorLoop restarts AppMasters whose heartbeats stopped. An
 // unreachable AppMaster is indistinguishable from a dead one — the
 // assumption Figure 3 exploits.
-func (rm *ResourceManager) monitorLoop() {
+func (rm *ResourceManager) monitorLoop(t clock.Ticker) {
 	defer rm.wg.Done()
-	t := time.NewTicker(rm.cfg.AMHeartbeat)
 	defer t.Stop()
-	for {
-		select {
-		case <-rm.stopCh:
-			return
-		case <-t.C:
-			rm.checkAMs()
-		}
-	}
+	clock.TickLoop(rm.ep.Clock(), t, rm.stopCh, rm.checkAMs)
 }
 
 func (rm *ResourceManager) checkAMs() {
@@ -280,14 +302,23 @@ func (rm *ResourceManager) checkAMs() {
 		am  netsim.NodeID
 	}
 	var restarts []restart
+	now := rm.clk.Now()
 	rm.mu.Lock()
-	for _, j := range rm.jobs {
-		if j.completed || time.Since(j.lastBeat) <= cutoff {
+	// Sorted iteration: map order must not decide which job gets the
+	// next worker, or same-seed campaigns diverge.
+	jobIDs := make([]string, 0, len(rm.jobs))
+	for id := range rm.jobs {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Strings(jobIDs)
+	for _, id := range jobIDs {
+		j := rm.jobs[id]
+		if j.completed || now.Sub(j.lastBeat) <= cutoff {
 			continue
 		}
 		// The AM looks dead: start a new attempt on the next worker.
 		j.attempt++
-		j.lastBeat = time.Now()
+		j.lastBeat = now
 		j.amNode = rm.pickWorkerLocked()
 		restarts = append(restarts, restart{
 			job: j,
@@ -329,12 +360,15 @@ func NewWorker(n *netsim.Network, id netsim.NodeID, cfg Config) *Worker {
 // ID returns the worker's node ID.
 func (w *Worker) ID() netsim.NodeID { return w.id }
 
-// Stop halts the worker after in-flight AppMasters finish.
+// Stop halts the worker after in-flight AppMasters finish. The join
+// runs under clock.Idle so a virtual clock can keep advancing while
+// AppMasters parked in clock waits (task durations, RPC timeouts)
+// run to completion.
 func (w *Worker) Stop() {
 	w.mu.Lock()
 	w.stopped = true
 	w.mu.Unlock()
-	w.wg.Wait()
+	clock.Idle(w.ep.Clock(), w.wg.Wait)
 	w.ep.Close()
 }
 
@@ -350,7 +384,10 @@ func (w *Worker) onStartAM(from netsim.NodeID, body any) (any, error) {
 	}
 	w.wg.Add(1)
 	w.mu.Unlock()
-	go w.runAppMaster(req)
+	// clock.Go accounts the AppMaster goroutine as in-flight work from
+	// the instant of the spawn, so a virtual clock cannot advance past
+	// the gap between this handler returning and the AM's first action.
+	clock.Go(w.ep.Clock(), func() { w.runAppMaster(req) })
 	return nil, nil
 }
 
@@ -360,21 +397,21 @@ func (w *Worker) onStartAM(from netsim.NodeID, body any) (any, error) {
 // — when it can reach the RM.
 func (w *Worker) runAppMaster(req startAMReq) {
 	defer w.wg.Done()
+	clk := w.ep.Clock()
 	stopBeat := make(chan struct{})
 	var beatWG sync.WaitGroup
 	beatWG.Add(1)
+	t := clk.NewTicker(w.cfg.AMHeartbeat)
+	// A plain goroutine, not clock.Go: a service loop parked in
+	// TickLoop must hold no busy token of its own (tick consumption is
+	// accounted by TickLoop itself), or the virtual clock could never
+	// advance.
 	go func() {
 		defer beatWG.Done()
-		t := time.NewTicker(w.cfg.AMHeartbeat)
 		defer t.Stop()
-		for {
-			select {
-			case <-stopBeat:
-				return
-			case <-t.C:
-				_ = w.ep.Notify(w.cfg.RM, mAMBeat, amBeatMsg{JobID: req.JobID, Attempt: req.Attempt})
-			}
-		}
+		clock.TickLoop(clk, t, stopBeat, func() {
+			_ = w.ep.Notify(w.cfg.RM, mAMBeat, amBeatMsg{JobID: req.JobID, Attempt: req.Attempt})
+		})
 	}()
 
 	// Run every task in a container, spreading over the workers.
@@ -401,14 +438,24 @@ func (w *Worker) runAppMaster(req startAMReq) {
 		})
 	}
 
-	// Report final status to the client FIRST, then to the RM. This
-	// ordering is MAPREDUCE-4819's flaw: if the RM is unreachable, the
-	// user has already been told the job finished — and the RM will
-	// rerun it anyway.
-	_ = w.ep.Notify(req.Client, mResult, Result{JobID: req.JobID, Attempt: req.Attempt, Final: true})
-	_, _ = w.ep.Call(w.cfg.RM, mComplete, completeMsg{JobID: req.JobID, Attempt: req.Attempt}, w.cfg.RPCTimeout)
+	if w.cfg.FencedCompletion {
+		// The fix: commit completion at the RM first. The RM fences —
+		// only the current attempt, only once — so a superseded or
+		// duplicate attempt is refused and must stay silent. Only an
+		// accepted completion is reported to the user.
+		if _, err := w.ep.Call(w.cfg.RM, mComplete, completeMsg{JobID: req.JobID, Attempt: req.Attempt}, w.cfg.RPCTimeout); err == nil {
+			_ = w.ep.Notify(req.Client, mResult, Result{JobID: req.JobID, Attempt: req.Attempt, Final: true})
+		}
+	} else {
+		// Report final status to the client FIRST, then to the RM. This
+		// ordering is MAPREDUCE-4819's flaw: if the RM is unreachable,
+		// the user has already been told the job finished — and the RM
+		// will rerun it anyway.
+		_ = w.ep.Notify(req.Client, mResult, Result{JobID: req.JobID, Attempt: req.Attempt, Final: true})
+		_, _ = w.ep.Call(w.cfg.RM, mComplete, completeMsg{JobID: req.JobID, Attempt: req.Attempt}, w.cfg.RPCTimeout)
+	}
 	close(stopBeat)
-	beatWG.Wait()
+	clock.Idle(clk, beatWG.Wait)
 }
 
 func (w *Worker) onRunContainer(from netsim.NodeID, body any) (any, error) {
@@ -416,7 +463,10 @@ func (w *Worker) onRunContainer(from netsim.NodeID, body any) (any, error) {
 	if !ok {
 		return nil, errors.New("bad container request")
 	}
-	time.Sleep(w.cfg.TaskDuration)
+	// The container's work time comes from the clock, so a virtual
+	// round pays CPU microseconds, not wall-clock milliseconds, per
+	// task.
+	w.ep.Clock().Sleep(w.cfg.TaskDuration)
 	return fmt.Sprintf("%s/t%d", req.JobID, req.Task), nil
 }
 
@@ -458,13 +508,23 @@ func (c *Client) onResult(from netsim.NodeID, body any) (any, error) {
 }
 
 // Submit sends a job with the given task count to the ResourceManager
-// (Figure 3.a step 1).
+// (Figure 3.a step 1). A transport-level failure is marked
+// maybe-executed: the RM can have accepted the job with only the reply
+// lost, and the job will then run without the user ever being told.
 func (c *Client) Submit(jobID string, tasks int) error {
 	_, err := c.ep.Call(c.cfg.RM, mSubmit, submitReq{
 		JobID: jobID, Tasks: tasks, Client: c.ep.ID(),
 	}, 0)
+	if err != nil && !transport.IsRemote(err) {
+		return transport.MarkMaybeExecuted(err)
+	}
 	return err
 }
+
+// MaybeExecuted reports whether a failed operation may nevertheless
+// have been applied — the ambiguity classification the history
+// checkers consume.
+func MaybeExecuted(err error) bool { return transport.MaybeExecuted(err) }
 
 // Results returns the results received so far.
 func (c *Client) Results() []Result {

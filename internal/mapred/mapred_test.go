@@ -147,6 +147,37 @@ func TestCrashDrivenAMRestartIsLegitimate(t *testing.T) {
 	}
 }
 
+// TestFencedCompletionSingleFinal is the safe-mode control for
+// Figure 3: same partial partition, but the AM commits completion at
+// the RM before telling the user, and the RM fences stale attempts —
+// the user hears "done" exactly once.
+func TestFencedCompletionSingleFinal(t *testing.T) {
+	cfg := testConfig()
+	cfg.FencedCompletion = true
+	f := deploy(t, cfg)
+	if err := f.cl.Submit("job1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.eng.Partial(
+		[]netsim.NodeID{"w1"}, []netsim.NodeID{"rm"}); err != nil {
+		t.Fatal(err)
+	}
+	// The second attempt completes; the isolated first attempt cannot
+	// commit at the RM and must stay silent.
+	ok := f.eng.WaitUntil(3*time.Second, func() bool {
+		st, err := f.cl.JobStatus("job1")
+		return err == nil && st.Completed && f.cl.FinalNotifications("job1") >= 1
+	})
+	if !ok {
+		t.Fatal("job never completed")
+	}
+	// Give any wrongly-emitted duplicate time to arrive before counting.
+	f.eng.Sleep(100 * time.Millisecond)
+	if n := f.cl.FinalNotifications("job1"); n != 1 {
+		t.Fatalf("final notifications = %d, want exactly 1 under fencing", n)
+	}
+}
+
 func TestDuplicateSubmitRejected(t *testing.T) {
 	f := deploy(t, testConfig())
 	if err := f.cl.Submit("job1", 1); err != nil {

@@ -252,7 +252,9 @@ func LWWLosesAcknowledgedWrite() error {
 	if err := c1.Put("e1", "k", "first"); err != nil {
 		return err
 	}
-	time.Sleep(2 * time.Millisecond)
+	// Clock-driven separation between the two writes so "second" gets
+	// the later LWW timestamp — engine time, not a bare wall sleep.
+	eng.Sleep(2 * time.Millisecond)
 	if err := c2.Put("e2", "k", "second"); err != nil {
 		return err
 	}
@@ -468,12 +470,13 @@ func MooseFSClientHang() error {
 	if _, err := f.eng.Partial([]netsim.NodeID{"cl"}, []netsim.NodeID{"d1"}); err != nil {
 		return err
 	}
-	start := time.Now()
+	clk := f.eng.Clock()
+	start := clk.Now()
 	_, err := f.cl.Read("f1")
 	if err == nil {
 		return notReproduced("read succeeded")
 	}
-	if time.Since(start) < 50*time.Millisecond {
+	if clk.Now().Sub(start) < 50*time.Millisecond {
 		return notReproduced("read failed fast; expected it to block on the dead replica")
 	}
 	return nil
