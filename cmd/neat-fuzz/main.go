@@ -37,10 +37,15 @@
 // identical outcomes. Pass -realtime to fuzz against the wall clock.
 //
 // Schedules draw from the full fault vocabulary by default: the
-// paper's three partition types, crashes, and the link-level chaos
-// faults (slow, loss, flaky, flap). Pass -faults to restrict the mix —
-// the presets classic (partitions + crashes) and chaos (link
-// degradations only), or a comma-separated list of kind names.
+// paper's three partition types, crashes, the link-level chaos faults
+// (slow, loss, flaky, flap), and the gray-failure kinds — per-node
+// clock skew with drift, GC-style process pauses that freeze a node
+// and resume it stale, lying disks that lose or tear acknowledged
+// writes (targets that declare DiskNodes), and crashes with a
+// scheduled mid-round restart. Pass -faults to restrict the mix — the
+// presets classic (partitions + crashes), chaos (link degradations
+// only), and gray (skew, pause, disk, restart), or a comma-separated
+// list of kind names.
 //
 // Every violation carries a witness trace: the minimal set of
 // recorded client operations — timed invocation/response pairs with
@@ -51,9 +56,9 @@
 // Usage:
 //
 //	neat-fuzz [-rounds N] [-seed S] [-target t1,t2|all] [-mode M]
-//	          [-faults all|classic|chaos|k1,k2] [-shrink] [-json path|-]
-//	          [-workers W] [-list] [-expect-none] [-realtime]
-//	          [-trace] [-settle D]
+//	          [-faults all|classic|chaos|gray|k1,k2] [-shrink]
+//	          [-json path|-] [-workers W] [-list] [-list-safe]
+//	          [-expect-none] [-realtime] [-trace] [-settle D]
 package main
 
 import (
@@ -72,11 +77,13 @@ func main() {
 	targetSpec := flag.String("target", "", "comma-separated targets, or 'all' (default: all)")
 	modeName := flag.String("mode", "", "legacy kvstore election mode; shorthand for -target kvstore/<mode>")
 	faultSpec := flag.String("faults", "all",
-		"fault kinds to generate: all, classic, chaos, or a comma-separated list (complete,partial,simplex,crash,slow,loss,flaky,flap)")
+		"fault kinds to generate: all, classic, chaos, gray, or a comma-separated list (complete,partial,simplex,crash,slow,loss,flaky,flap,skew,pause,disk,restart)")
 	shrink := flag.Bool("shrink", true, "shrink each unique failing schedule to a minimal reproducer")
 	jsonPath := flag.String("json", "-", "write the JSON report to this file ('-' = stdout, '' = skip)")
 	workers := flag.Int("workers", 0, "concurrent rounds (0 = auto)")
 	list := flag.Bool("list", false, "list registered targets and exit")
+	listSafe := flag.Bool("list-safe", false,
+		"list the targets whose configurations are expected violation-free (the CI safe gate set) and exit")
 	expectNone := flag.Bool("expect-none", false, "exit nonzero if any violation is found")
 	realtime := flag.Bool("realtime", false,
 		"run rounds on the real wall clock instead of the default per-round simulated clock (slower, but timing matches a live deployment)")
@@ -88,6 +95,12 @@ func main() {
 
 	if *list {
 		for _, name := range campaign.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listSafe {
+		for _, name := range campaign.SafeNames() {
 			fmt.Println(name)
 		}
 		return

@@ -67,7 +67,7 @@ func TestGenerateValid(t *testing.T) {
 			if len(f.GroupA) == 0 {
 				t.Fatalf("seed %d: empty group A in %v", seed, f)
 			}
-			if f.Kind != FaultCrash {
+			if !f.Kind.SingleVictim() {
 				if len(f.GroupB) == 0 {
 					t.Fatalf("seed %d: empty group B in %v", seed, f)
 				}
@@ -357,6 +357,8 @@ func TestGenerateChaosParams(t *testing.T) {
 // every fault kind.
 func TestGenerateCoversAllKinds(t *testing.T) {
 	topo := testTopology()
+	// Disk faults need disk-bearing nodes or they degrade to crashes.
+	topo.DiskNodes = topo.Servers
 	seen := make(map[FaultKind]bool)
 	for seed := int64(0); seed < 400; seed++ {
 		for _, f := range Generate(rand.New(rand.NewSource(seed)), topo).Faults {
@@ -407,10 +409,10 @@ func TestGenerateEdgeTopologies(t *testing.T) {
 					if len(f.GroupA) == 0 {
 						t.Fatalf("seed %d: empty GroupA in %v", seed, f)
 					}
-					if soloNode && f.Kind != FaultCrash {
+					if soloNode && !f.Kind.SingleVictim() {
 						t.Fatalf("seed %d: single-node topology generated %v", seed, f)
 					}
-					if f.Kind == FaultCrash {
+					if f.Kind.SingleVictim() {
 						continue
 					}
 					if len(f.GroupB) == 0 {
@@ -445,6 +447,8 @@ func TestFaultKindStrings(t *testing.T) {
 		FaultSimplex: "simplex", FaultCrash: "crash",
 		FaultSlow: "slow", FaultLoss: "loss",
 		FaultFlaky: "flaky", FaultFlap: "flap",
+		FaultSkew: "skew", FaultPause: "pause",
+		FaultDisk: "disk", FaultRestart: "restart",
 	}
 	if len(want) != len(AllFaultKinds) {
 		t.Fatalf("test covers %d kinds, enum has %d", len(want), len(AllFaultKinds))
@@ -504,6 +508,14 @@ func TestFaultStringsRenderParams(t *testing.T) {
 			"flaky [s1]|[s2] rate=0.50 window=10ms at=2 heal=end"},
 		{Fault{Kind: FaultFlap, At: 4, HealAt: 6, GroupA: a, GroupB: b, DelayMs: 20},
 			"flap [s1]|[s2] period=20ms at=4 heal=6"},
+		{Fault{Kind: FaultSkew, At: 1, HealAt: 5, GroupA: a, DelayMs: -15, Rate: 1.25},
+			"skew s1 offset=-15ms rate=1.25 at=1 heal=5"},
+		{Fault{Kind: FaultPause, At: 2, HealAt: 7, GroupA: a},
+			"pause s1 at=2 resume=7"},
+		{Fault{Kind: FaultDisk, At: 0, HealAt: -1, GroupA: a, Mode: DiskModeTorn},
+			"disk s1 mode=torn at=0 heal=end"},
+		{Fault{Kind: FaultRestart, At: 3, HealAt: -1, GroupA: a, DelayMs: 40},
+			"restart s1 after=40ms at=3"},
 	}
 	for _, tc := range cases {
 		if got := tc.f.String(); got != tc.want {

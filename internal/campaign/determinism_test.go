@@ -94,6 +94,28 @@ func TestCampaignDeterministicChaosOnly(t *testing.T) {
 	}
 }
 
+// TestCampaignDeterministicGrayOnly pins the gray-failure subsystem's
+// determinism in isolation: schedules drawn purely from the gray kinds
+// (skew, pause, disk, restart) must replay byte-identically, which
+// exercises per-node clock views (skew retiming, suspended timers),
+// the pause queue flush order, lying-disk modes, and the mid-round
+// restart callbacks under the simulated clock — across worker counts,
+// so restart timers firing on the advancer cannot leak cross-round
+// nondeterminism.
+func TestCampaignDeterministicGrayOnly(t *testing.T) {
+	for attempt := 0; ; attempt++ {
+		a := runVirtualCampaign(t, detWorkersSerial, GrayFaultKinds...)
+		b := runVirtualCampaign(t, detWorkersParallel, GrayFaultKinds...)
+		if bytes.Equal(a, b) {
+			return
+		}
+		if attempt >= detRetries {
+			t.Fatalf("same-seed gray campaigns diverged:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+		}
+		t.Logf("attempt %d diverged; retrying with a fresh pair (allowed under -race)", attempt)
+	}
+}
+
 // TestCampaignDeterministicAcrossWorkerCounts: the worker pool only
 // schedules rounds; it must not influence their outcomes. A campaign
 // run one round at a time must match a heavily parallel one.

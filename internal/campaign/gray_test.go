@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// grayGenerate builds a schedule for tgt drawn only from the given
+// kinds, seeded like a campaign round.
+func grayGenerate(tgt Target, base int64, round int, kinds ...FaultKind) Schedule {
+	seed := scheduleSeed(base, tgt.Name(), round)
+	gen := rand.New(rand.NewSource(seed))
+	sched := Generate(gen, tgt.Topology(), kinds...)
+	sched.Seed = seed
+	return sched
+}
+
+// selectOne resolves a single registry target by name.
+func selectOne(t *testing.T, name string) Target {
+	t.Helper()
+	targets, err := Select(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return targets[0]
+}
+
+// TestParseFaultKindsRoundTrip: every kind's rendered name must parse
+// back to itself — the -faults flag and the JSON reports share this
+// vocabulary — and the gray preset must resolve to exactly the gray
+// kinds.
+func TestParseFaultKindsRoundTrip(t *testing.T) {
+	for _, k := range AllFaultKinds {
+		got, err := ParseFaultKinds(k.String())
+		if err != nil || len(got) != 1 || got[0] != k {
+			t.Fatalf("%v round-trips to %v, %v", k, got, err)
+		}
+	}
+	gray, err := ParseFaultKinds("gray")
+	if err != nil || len(gray) != len(GrayFaultKinds) {
+		t.Fatalf("gray -> %v, %v", gray, err)
+	}
+	for i, k := range GrayFaultKinds {
+		if gray[i] != k {
+			t.Fatalf("gray preset = %v, want %v", gray, GrayFaultKinds)
+		}
+	}
+	if len(AllFaultKinds) != len(ClassicFaultKinds)+len(ChaosFaultKinds)+len(GrayFaultKinds) {
+		t.Fatal("AllFaultKinds does not cover the three presets exactly")
+	}
+}
+
+// TestGenerateGrayParams: gray faults must carry in-range magnitudes
+// and respect their victim pools — skew on servers/services, pause
+// anywhere a process runs, disk only on declared DiskNodes (one per
+// schedule), restart on servers with a bounded recovery delay and no
+// scheduled heal.
+func TestGenerateGrayParams(t *testing.T) {
+	topo := testTopology()
+	topo.DiskNodes = topo.Servers
+	diskable := make(map[string]bool)
+	for _, id := range topo.DiskNodes {
+		diskable[string(id)] = true
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		s := Generate(rand.New(rand.NewSource(seed)), topo, GrayFaultKinds...)
+		disks := 0
+		for _, f := range s.Faults {
+			if len(f.GroupA) != 1 || len(f.GroupB) != 0 {
+				t.Fatalf("seed %d: gray fault %v is not single-victim", seed, f)
+			}
+			switch f.Kind {
+			case FaultSkew:
+				if off := f.DelayMs; off < -maxSkewOffMs || off > maxSkewOffMs ||
+					(off > -minSkewOffMs && off < minSkewOffMs) {
+					t.Fatalf("seed %d: skew offset %dms out of range", seed, f.DelayMs)
+				}
+				if f.Rate < minSkewRate || f.Rate > maxSkewRate {
+					t.Fatalf("seed %d: skew rate %v out of range", seed, f.Rate)
+				}
+			case FaultPause:
+				// Any process can stall; no magnitude to check.
+			case FaultDisk:
+				disks++
+				if !diskable[string(f.GroupA[0])] {
+					t.Fatalf("seed %d: disk fault on %s, not a DiskNode", seed, f.GroupA[0])
+				}
+				if f.Mode != DiskModeLost && f.Mode != DiskModeTorn {
+					t.Fatalf("seed %d: disk mode %q", seed, f.Mode)
+				}
+			case FaultRestart:
+				if f.DelayMs < minRestartMs || f.DelayMs > maxRestartMs {
+					t.Fatalf("seed %d: restart delay %dms out of range", seed, f.DelayMs)
+				}
+				if f.HealAt != -1 {
+					t.Fatalf("seed %d: restart fault carries a heal index %d", seed, f.HealAt)
+				}
+			case FaultCrash:
+				// The one-disk-per-schedule rule degrades a second disk
+				// draw to a plain crash.
+			default:
+				t.Fatalf("seed %d: non-gray kind %v from a gray-only draw", seed, f.Kind)
+			}
+		}
+		if disks > 1 {
+			t.Fatalf("seed %d: %d disk faults in one schedule, want at most 1", seed, disks)
+		}
+	}
+	// Without declared DiskNodes the disk kind degrades to a crash
+	// rather than inventing a victim.
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(rand.New(rand.NewSource(seed)), testTopology(), FaultDisk)
+		for _, f := range s.Faults {
+			if f.Kind != FaultCrash {
+				t.Fatalf("seed %d: disk fault %v on a diskless topology", seed, f)
+			}
+		}
+	}
+}
+
+// findGrayViolation scans seeded rounds of kind-restricted schedules
+// until the target produces a violation whose invariant matches want.
+func findGrayViolation(t *testing.T, tgt Target, want string, rounds int, kinds ...FaultKind) (Schedule, Violation) {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		sched := grayGenerate(tgt, 7, round, kinds...)
+		for _, v := range RunScheduleVirtual(tgt, sched).Violations {
+			if strings.Contains(v.Invariant, want) {
+				return sched, v
+			}
+		}
+	}
+	t.Fatalf("%s produced no %s violation in %d rounds", tgt.Name(), want, rounds)
+	return Schedule{}, Violation{}
+}
+
+// TestGrayPauseSplitBrainLocksvc is the paused-lock-holder golden
+// case: pause-only schedules against the flawed lock service freeze a
+// coordinator mid-round, its heartbeats stop, the survivors fail over,
+// and the resumed zombie serves from stale state — duplicate sequence
+// values with no partition ever installed. The shrunk reproducer must
+// keep failing.
+func TestGrayPauseSplitBrainLocksvc(t *testing.T) {
+	tgt := selectOne(t, "locksvc")
+	sched, v := findGrayViolation(t, tgt, "unique-sequence", 40, FaultPause)
+	sig := v.Signature()
+	shrunk, confirmed := shrink(tgt, sched, sig, 2, runOpts{virtual: true})
+	if !confirmed {
+		t.Fatalf("gray violation %s did not survive shrinking", sig)
+	}
+	if len(shrunk.Faults) > len(sched.Faults) || shrunk.Ops > sched.Ops {
+		t.Fatalf("shrink grew the schedule: %v -> %v", sched, shrunk)
+	}
+	if !reproduces(tgt, shrunk, sig, 2, runOpts{virtual: true}) {
+		t.Fatal("shrunk gray schedule no longer fails")
+	}
+}
+
+// TestGrayDiskFaultDirtyReadDFS is the torn-replica golden case: a
+// disk-only schedule against the flawed (checksum-free) file system
+// serves truncated bytes as a successful read — the dirty-read class.
+func TestGrayDiskFaultDirtyReadDFS(t *testing.T) {
+	findGrayViolation(t, selectOne(t, "dfs"), "dirty-read", 40, FaultDisk)
+}
+
+// TestGraySafeTargetsClean: the hardened variants must hold their
+// invariants under the gray vocabulary — skew-tolerant lease renewal,
+// fenced releases, freshness-fenced masters, checksummed replicas.
+// (CI runs the full 6-seed safe gate; this is the in-tree smoke.)
+func TestGraySafeTargetsClean(t *testing.T) {
+	for _, name := range []string{"locksvc/sync", "mqueue/safe", "dfs/safe"} {
+		t.Run(name, func(t *testing.T) {
+			tgt := selectOne(t, name)
+			for round := 0; round < 8; round++ {
+				sched := grayGenerate(tgt, 7, round, GrayFaultKinds...)
+				out := RunScheduleVirtual(tgt, sched)
+				if out.Err != nil {
+					t.Fatalf("round %d: %v", round, out.Err)
+				}
+				if len(out.Violations) > 0 {
+					t.Fatalf("round %d (%s) violated: %v", round, sched, out.Violations)
+				}
+			}
+		})
+	}
+}

@@ -47,6 +47,29 @@ func Names() []string {
 	return out
 }
 
+// SafeTarget is implemented by targets whose configuration carries the
+// studied system's fix: a safe target is expected to stay
+// zero-violation under every fault kind, and CI gates on exactly that
+// set (cmd/neat-fuzz -list-safe).
+type SafeTarget interface {
+	Safe() bool
+}
+
+// SafeNames lists the registered targets that declare themselves safe,
+// sorted — the generated safe-gate list.
+func SafeNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name, t := range registry {
+		if s, ok := t.(SafeTarget); ok && s.Safe() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Select resolves a comma-separated target spec. Empty or "all" means
 // every registered target.
 func Select(spec string) ([]Target, error) {

@@ -114,6 +114,15 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	rng := rand.New(rand.NewSource(sched.Seed ^ 0x6e6561742d66757a)) // "neat-fuz"
 	active := make([]*core.Partition, len(sched.Faults))
 	crashed := make([]bool, len(sched.Faults))
+	paused := make([]bool, len(sched.Faults))
+	skewed := make([]bool, len(sched.Faults))
+	diskOn := make([]bool, len(sched.Faults))
+	// Restart-fault recovery bookkeeping. The recovery callback runs on
+	// the clock's advancer (only while this goroutine is parked in a
+	// clock wait), but downMu keeps the shared state honest anyway.
+	restartTimers := make([]clock.Timer, len(sched.Faults))
+	restartDone := make([]bool, len(sched.Faults))
+	var downMu sync.Mutex
 	// downRef refcounts crashed nodes: two crash faults may share a
 	// victim, and healing one must not restart a node another fault
 	// still holds down.
@@ -121,15 +130,55 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	activeCount := 0
 	heal := func(i int) {
 		f := sched.Faults[i]
-		if f.Kind == FaultCrash {
+		switch f.Kind {
+		case FaultCrash:
 			if crashed[i] {
 				v := f.GroupA[0]
+				downMu.Lock()
 				if downRef[v]--; downRef[v] == 0 {
 					eng.Restart(v)
 				}
+				downMu.Unlock()
 				crashed[i] = false
 				activeCount--
 			}
+			return
+		case FaultPause:
+			if paused[i] {
+				eng.Resume(f.GroupA[0])
+				paused[i] = false
+				activeCount--
+			}
+			return
+		case FaultSkew:
+			if skewed[i] {
+				eng.ClearSkew(f.GroupA[0])
+				skewed[i] = false
+				activeCount--
+			}
+			return
+		case FaultDisk:
+			if diskOn[i] {
+				inst.(DiskFaulter).SetDiskFault(f.GroupA[0], "")
+				diskOn[i] = false
+				activeCount--
+			}
+			return
+		case FaultRestart:
+			// Force the recovery now if its timer has not fired yet.
+			v := f.GroupA[0]
+			downMu.Lock()
+			if !restartDone[i] {
+				restartDone[i] = true
+				if tm := restartTimers[i]; tm != nil {
+					tm.Stop()
+				}
+				if downRef[v]--; downRef[v] == 0 {
+					eng.Restart(v)
+				}
+				activeCount--
+			}
+			downMu.Unlock()
 			return
 		}
 		if active[i] != nil {
@@ -171,11 +220,44 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 				active[i], err = eng.Flap(f.GroupA, f.GroupB, time.Duration(f.DelayMs)*time.Millisecond)
 			case FaultCrash:
 				v := f.GroupA[0]
+				downMu.Lock()
 				if downRef[v] == 0 {
 					eng.Crash(v)
 				}
 				downRef[v]++
+				downMu.Unlock()
 				crashed[i] = true
+			case FaultSkew:
+				eng.Skew(f.GroupA[0], time.Duration(f.DelayMs)*time.Millisecond, f.Rate)
+				skewed[i] = true
+			case FaultPause:
+				eng.Pause(f.GroupA[0])
+				paused[i] = true
+			case FaultDisk:
+				df, ok := inst.(DiskFaulter)
+				if !ok {
+					err = fmt.Errorf("target declares DiskNodes but its instance lacks SetDiskFault")
+					break
+				}
+				df.SetDiskFault(f.GroupA[0], f.Mode)
+				diskOn[i] = true
+			case FaultRestart:
+				v := f.GroupA[0]
+				downMu.Lock()
+				if downRef[v] == 0 {
+					eng.Crash(v)
+				}
+				downRef[v]++
+				downMu.Unlock()
+				idx := i
+				restartTimers[i] = eng.RestartAt(v, time.Duration(f.DelayMs)*time.Millisecond, func() {
+					downMu.Lock()
+					if !restartDone[idx] {
+						restartDone[idx] = true
+						downRef[v]--
+					}
+					downMu.Unlock()
+				})
 			default:
 				err = fmt.Errorf("unknown fault kind %v", f.Kind)
 			}
@@ -188,20 +270,57 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 			activeCount++
 		}
 		rec.SetFaults(activeCount)
-		inst.Step(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: op, ActiveFaults: activeCount})
+		inst.Step(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: op, ActiveFaults: activeCount, Paused: eng.IsPaused})
+	}
+	// End-of-schedule heal: resume frozen nodes, clear skews, disarm
+	// lying disks, and cancel pending recovery timers (their victims
+	// are revived with the crashed nodes below), so the observation
+	// phase reads a fault-free fabric. Corruption already written by a
+	// disk fault stays — that is the failure under test.
+	for i, f := range sched.Faults {
+		switch f.Kind {
+		case FaultPause:
+			if paused[i] {
+				eng.Resume(f.GroupA[0])
+				paused[i] = false
+			}
+		case FaultSkew:
+			if skewed[i] {
+				eng.ClearSkew(f.GroupA[0])
+				skewed[i] = false
+			}
+		case FaultDisk:
+			if diskOn[i] {
+				inst.(DiskFaulter).SetDiskFault(f.GroupA[0], "")
+				diskOn[i] = false
+			}
+		case FaultRestart:
+			downMu.Lock()
+			if !restartDone[i] {
+				restartDone[i] = true
+				if tm := restartTimers[i]; tm != nil {
+					tm.Stop()
+				}
+				// downRef stays counted; the revive loop below restarts
+				// every node still held down.
+			}
+			downMu.Unlock()
+		}
 	}
 	_ = eng.HealAll()
+	downMu.Lock()
 	for v, n := range downRef {
 		if n > 0 {
 			eng.Restart(v)
 		}
 	}
+	downMu.Unlock()
 	rec.SetFaults(0)
 	// Quiescence: one clock-driven settle, uniform across targets, so
 	// re-elections, session re-establishment, and post-heal
 	// consolidation complete before the settled state is observed.
 	eng.Clock().Sleep(opts.settle)
-	inst.Observe(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: -1})
+	inst.Observe(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: -1, Paused: eng.IsPaused})
 	h := rec.History()
 	for _, check := range t.Checks() {
 		for _, v := range check(h) {

@@ -39,6 +39,24 @@ const (
 	// FaultFlap repeatedly injects and heals a partition between the
 	// groups every DelayMs of schedule time, starting partitioned.
 	FaultFlap
+	// FaultSkew skews GroupA[0]'s clock: its view of time jumps by
+	// DelayMs milliseconds (signed) and then drifts at Rate versus the
+	// cluster. Leases expire early, timestamps disagree, timeouts
+	// misfire — the gray failure behind "the lock was still mine".
+	FaultSkew
+	// FaultPause freezes GroupA[0] as a GC stall or VM migration
+	// would: its timers stop and inbound packets queue (links stay up,
+	// nothing is dropped); on heal the node resumes with stale state
+	// and a burst of deferred work.
+	FaultPause
+	// FaultDisk makes GroupA[0]'s disk lie: writes are acknowledged
+	// but the bytes are lost (Mode "lost") or torn (Mode "torn").
+	// Data-plane only — the victim comes from Topology.DiskNodes.
+	FaultDisk
+	// FaultRestart crashes GroupA[0] and brings it back after DelayMs
+	// of clock time, mid-round — the recovery restart that replays
+	// stale state into a cluster that has moved on.
+	FaultRestart
 )
 
 // String names the fault kind. The switch is exhaustive: an
@@ -62,9 +80,28 @@ func (k FaultKind) String() string {
 		return "flaky"
 	case FaultFlap:
 		return "flap"
+	case FaultSkew:
+		return "skew"
+	case FaultPause:
+		return "pause"
+	case FaultDisk:
+		return "disk"
+	case FaultRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("faultkind(%d)", int(k))
 	}
+}
+
+// SingleVictim reports whether the kind targets one node (GroupA[0])
+// with no peer group: crashes, clock skews, process pauses, disk
+// faults, and recovery restarts.
+func (k FaultKind) SingleVictim() bool {
+	switch k {
+	case FaultCrash, FaultSkew, FaultPause, FaultDisk, FaultRestart:
+		return true
+	}
+	return false
 }
 
 // Fault-kind sets for Generate and the -faults flag of cmd/neat-fuzz.
@@ -74,14 +111,19 @@ var (
 	ClassicFaultKinds = []FaultKind{FaultComplete, FaultPartial, FaultSimplex, FaultCrash}
 	// ChaosFaultKinds are the link-level degradations.
 	ChaosFaultKinds = []FaultKind{FaultSlow, FaultLoss, FaultFlaky, FaultFlap}
+	// GrayFaultKinds are the gray failures: nodes that are neither up
+	// nor down — skewed clocks, frozen processes, lying disks, and
+	// mid-round recovery restarts.
+	GrayFaultKinds = []FaultKind{FaultSkew, FaultPause, FaultDisk, FaultRestart}
 	// AllFaultKinds is the default generation mix.
-	AllFaultKinds = append(append([]FaultKind{}, ClassicFaultKinds...), ChaosFaultKinds...)
+	AllFaultKinds = append(append(append([]FaultKind{},
+		ClassicFaultKinds...), ChaosFaultKinds...), GrayFaultKinds...)
 )
 
 // ParseFaultKinds resolves a -faults spec: the presets "all" (or
-// empty), "classic", and "chaos", or a comma-separated list of kind
-// names ("complete,slow,flap"). Duplicates are kept: they bias the
-// generator toward the repeated kind, which is occasionally useful.
+// empty), "classic", "chaos", and "gray", or a comma-separated list of
+// kind names ("complete,slow,pause"). Duplicates are kept: they bias
+// the generator toward the repeated kind, which is occasionally useful.
 func ParseFaultKinds(spec string) ([]FaultKind, error) {
 	switch strings.TrimSpace(spec) {
 	case "", "all":
@@ -90,6 +132,8 @@ func ParseFaultKinds(spec string) ([]FaultKind, error) {
 		return append([]FaultKind{}, ClassicFaultKinds...), nil
 	case "chaos":
 		return append([]FaultKind{}, ChaosFaultKinds...), nil
+	case "gray":
+		return append([]FaultKind{}, GrayFaultKinds...), nil
 	}
 	byName := make(map[string]FaultKind, len(AllFaultKinds))
 	for _, k := range AllFaultKinds {
@@ -107,7 +151,7 @@ func ParseFaultKinds(spec string) ([]FaultKind, error) {
 			for _, kk := range AllFaultKinds {
 				known = append(known, kk.String())
 			}
-			return nil, fmt.Errorf("campaign: unknown fault kind %q (known: %s, or the presets all/classic/chaos)",
+			return nil, fmt.Errorf("campaign: unknown fault kind %q (known: %s, or the presets all/classic/chaos/gray)",
 				name, strings.Join(known, ", "))
 		}
 		out = append(out, k)
@@ -131,15 +175,21 @@ type Fault struct {
 	// only GroupA[0], the victim, is used.
 	GroupA []netsim.NodeID
 	GroupB []netsim.NodeID
-	// DelayMs is the chaos magnitude in milliseconds of schedule time:
-	// the added one-way link delay for FaultSlow, the reordering
-	// window for FaultFlaky, and the inject/heal half-period for
-	// FaultFlap. Zero for the other kinds.
+	// DelayMs is the magnitude in milliseconds of schedule time: the
+	// added one-way link delay for FaultSlow, the reordering window
+	// for FaultFlaky, the inject/heal half-period for FaultFlap, the
+	// signed clock jump for FaultSkew, and the recovery delay for
+	// FaultRestart. Zero for the other kinds.
 	DelayMs int
-	// Rate is the chaos probability: packet loss for FaultLoss, and
-	// the per-packet duplication and reordering probability for
-	// FaultFlaky. Zero for the other kinds.
+	// Rate is the kind's ratio: packet loss for FaultLoss, per-packet
+	// duplication/reordering probability for FaultFlaky, and the
+	// drift rate (1 = no drift) for FaultSkew. Zero for the other
+	// kinds.
 	Rate float64
+	// Mode is the FaultDisk failure mode: "lost" (write acked, bytes
+	// never stored) or "torn" (write acked, bytes truncated). Empty
+	// for the other kinds.
+	Mode string
 }
 
 // String renders one fault line, e.g.
@@ -164,6 +214,14 @@ func (f Fault) String() string {
 		return fmt.Sprintf("flaky %s rate=%.2f window=%dms at=%d heal=%s", groups(), f.Rate, f.DelayMs, f.At, heal)
 	case FaultFlap:
 		return fmt.Sprintf("flap %s period=%dms at=%d heal=%s", groups(), f.DelayMs, f.At, heal)
+	case FaultSkew:
+		return fmt.Sprintf("skew %s offset=%+dms rate=%.2f at=%d heal=%s", f.GroupA[0], f.DelayMs, f.Rate, f.At, heal)
+	case FaultPause:
+		return fmt.Sprintf("pause %s at=%d resume=%s", f.GroupA[0], f.At, heal)
+	case FaultDisk:
+		return fmt.Sprintf("disk %s mode=%s at=%d heal=%s", f.GroupA[0], f.Mode, f.At, heal)
+	case FaultRestart:
+		return fmt.Sprintf("restart %s after=%dms at=%d", f.GroupA[0], f.DelayMs, f.At)
 	}
 	return fmt.Sprintf("%s %s at=%d heal=%s", f.Kind, groups(), f.At, heal)
 }
@@ -224,6 +282,28 @@ const (
 	maxFlapMs      = 50
 )
 
+// Gray-fault magnitude bounds. Skew jumps stay small against the
+// transport's timeouts but large against lease renewal margins, so a
+// skewed node keeps working while its leases quietly expire early; the
+// drift band brackets 1 from both sides. Restart delays keep the
+// victim down long enough to miss real work but bring it back within
+// the same round.
+const (
+	minSkewOffMs = 5
+	maxSkewOffMs = 25
+	minSkewRate  = 0.80
+	maxSkewRate  = 1.25
+	minRestartMs = 10
+	maxRestartMs = 50
+)
+
+// FaultDisk modes. Targets translate these to their storage layer's
+// fault injection (internal/dfs uses the same names).
+const (
+	DiskModeLost = "lost"
+	DiskModeTorn = "torn"
+)
+
 // Generate produces a random schedule for the topology, drawn
 // entirely from rng so equal seeds yield equal schedules. Schedules
 // may contain up to maxFaults overlapping faults with timed heals,
@@ -235,24 +315,29 @@ func Generate(rng *rand.Rand, topo Topology, kinds ...FaultKind) Schedule {
 	ops := minOps + rng.Intn(maxOps-minOps+1)
 	n := 1 + rng.Intn(maxFaults)
 	sched := Schedule{Ops: ops}
+	// At most one disk fault per schedule: a second lying disk mostly
+	// drowns the first's signal (every replica torn is a different,
+	// less interesting failure than one bad replica among good ones).
+	diskUsed := false
 	for i := 0; i < n; i++ {
-		sched.Faults = append(sched.Faults, genFault(rng, topo, ops, kinds))
+		sched.Faults = append(sched.Faults, genFault(rng, topo, ops, kinds, &diskUsed))
 	}
 	return sched
 }
 
 // crash degrades a fault to a crash of its victim — the fallback for
 // edge topologies where the drawn kind needs a peer the topology does
-// not have (a single server with no services or clients).
+// not have (a single server with no services or clients, or a disk
+// fault against a target that declares no disk-bearing nodes).
 func (f Fault) crash(victim netsim.NodeID) Fault {
 	f.Kind = FaultCrash
 	f.GroupA = []netsim.NodeID{victim}
 	f.GroupB = nil
-	f.DelayMs, f.Rate = 0, 0
+	f.DelayMs, f.Rate, f.Mode = 0, 0, ""
 	return f
 }
 
-func genFault(rng *rand.Rand, topo Topology, ops int, kinds []FaultKind) Fault {
+func genFault(rng *rand.Rand, topo Topology, ops int, kinds []FaultKind, diskUsed *bool) Fault {
 	f := Fault{Kind: kinds[rng.Intn(len(kinds))], At: rng.Intn(ops)}
 	// Half the faults heal mid-run (the study's timed heals); the
 	// rest persist until the end-of-schedule HealAll.
@@ -380,6 +465,38 @@ func genFault(rng *rand.Rand, topo Topology, ops int, kinds []FaultKind) Fault {
 		}
 	case FaultCrash:
 		f.GroupA = []netsim.NodeID{victim}
+	case FaultSkew:
+		// Skew a server or service clock: the node keeps serving while
+		// its view of time disagrees with everyone else's.
+		pool := append(append([]netsim.NodeID{}, topo.Servers...), topo.Services...)
+		v := pool[rng.Intn(len(pool))]
+		off := minSkewOffMs + rng.Intn(maxSkewOffMs-minSkewOffMs+1)
+		if rng.Intn(2) == 0 {
+			off = -off
+		}
+		f.GroupA = []netsim.NodeID{v}
+		f.DelayMs = off
+		f.Rate = minSkewRate + (maxSkewRate-minSkewRate)*rng.Float64()
+	case FaultPause:
+		// Freeze a server or a client: a paused client is the classic
+		// GC-stalled lock holder, a paused server the stalled primary.
+		pool := append(append([]netsim.NodeID{}, topo.Servers...), topo.Clients...)
+		f.GroupA = []netsim.NodeID{pool[rng.Intn(len(pool))]}
+	case FaultDisk:
+		if len(topo.DiskNodes) == 0 || *diskUsed {
+			return f.crash(victim)
+		}
+		*diskUsed = true
+		f.GroupA = []netsim.NodeID{topo.DiskNodes[rng.Intn(len(topo.DiskNodes))]}
+		if rng.Intn(2) == 0 {
+			f.Mode = DiskModeLost
+		} else {
+			f.Mode = DiskModeTorn
+		}
+	case FaultRestart:
+		f.GroupA = []netsim.NodeID{victim}
+		f.HealAt = -1 // the scheduled recovery is the heal
+		f.DelayMs = minRestartMs + rng.Intn(maxRestartMs-minRestartMs+1)
 	}
 	return f
 }

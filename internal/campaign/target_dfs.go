@@ -43,10 +43,15 @@ type dfsTarget struct {
 
 func (t *dfsTarget) Name() string { return t.name }
 
+// Safe marks the replicated + checksummed variant for the CI safe
+// gate.
+func (t *dfsTarget) Safe() bool { return t.safe }
+
 func (t *dfsTarget) Topology() Topology {
 	return Topology{
-		Servers: []netsim.NodeID{"nn", "d1", "d2", "d3", "d4"},
-		Clients: []netsim.NodeID{"c1"},
+		Servers:   []netsim.NodeID{"nn", "d1", "d2", "d3", "d4"},
+		Clients:   []netsim.NodeID{"c1"},
+		DiskNodes: []netsim.NodeID{"d1", "d2", "d3", "d4"},
 	}
 }
 
@@ -77,14 +82,23 @@ func (t *dfsTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, e
 		HeartbeatMisses:   3,
 		RPCTimeout:        20 * time.Millisecond,
 	}
+	// The safe variant survives a lying disk the way HDFS does: two
+	// replicas per write, end-to-end checksums verified at read, and
+	// read-repair of the replica the checksum condemns.
+	if t.safe {
+		cfg.ReplicaCount = 2
+		cfg.VerifyChecksums = true
+	}
 	sys := dfs.NewSystem(eng.Network(), cfg)
 	if err := eng.Deploy(sys); err != nil {
 		return nil, err
 	}
 	return &dfsInstance{
-		eng: eng,
-		rec: rec,
-		cl:  dfs.NewClient(eng.Network(), "c1", cfg),
+		eng:      eng,
+		rec:      rec,
+		sys:      sys,
+		replicas: max(cfg.ReplicaCount, 1),
+		cl:       dfs.NewClient(eng.Network(), "c1", cfg),
 	}, nil
 }
 
@@ -92,9 +106,20 @@ func (t *dfsTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, e
 // fixed file set (one logical register per file; unique values per
 // write) and reads files back both mid-round and after the heal.
 type dfsInstance struct {
-	eng *core.Engine
-	rec *history.Recorder
-	cl  *dfs.Client
+	eng      *core.Engine
+	rec      *history.Recorder
+	sys      *dfs.System
+	replicas int
+	cl       *dfs.Client
+}
+
+// SetDiskFault arms (or with mode "" disarms) a DataNode's lying-disk
+// mode for the runner's FaultDisk — the campaign's mode names are the
+// dfs layer's own.
+func (in *dfsInstance) SetDiskFault(node netsim.NodeID, mode string) {
+	if dn := in.sys.DataNode(node); dn != nil {
+		dn.SetDiskFault(mode)
+	}
 }
 
 const dfsFiles = 3
@@ -107,14 +132,21 @@ func (in *dfsInstance) write(file, data string) {
 	wref := in.rec.Begin(history.Op{Client: "c1", Kind: "write", Key: file, Input: data})
 	ver := in.cl.NewVersion()
 	var excluded []netsim.NodeID
-	for attempt := 0; attempt < dfs.MaxPlacementRetries; attempt++ {
+	committed := 0
+	for attempt := 0; attempt < dfs.MaxPlacementRetries && committed < in.replicas; attempt++ {
 		aref := in.rec.Begin(history.Op{Client: "c1", Kind: "alloc", Key: file, Input: joinIDs(excluded)})
 		node, err := in.cl.Allocate(file, excluded)
 		if err != nil {
 			aref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
-			// Nothing stored, nothing committed: the write's effect can
-			// never become visible.
-			wref.End(history.Failed, "")
+			if committed > 0 {
+				// Short of the replica goal but committed somewhere:
+				// visible now, yet one lying disk from gone.
+				wref.End(history.Ambiguous, "")
+			} else {
+				// Nothing stored, nothing committed: the write's effect
+				// can never become visible.
+				wref.End(history.Failed, "")
+			}
 			return
 		}
 		aref.SetNode(string(node))
@@ -129,16 +161,28 @@ func (in *dfsInstance) write(file, data string) {
 		}
 		sref.End(history.Ok, "")
 		if err := in.cl.Commit(file, node, ver); err != nil {
+			if committed > 0 {
+				wref.End(history.Ambiguous, "")
+				return
+			}
 			// The partial pipeline write: commit may have been applied
 			// with only the reply lost — ambiguous, never definitive.
 			wref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
 			return
 		}
-		wref.End(history.Ok, "")
-		return
+		committed++
+		excluded = append(excluded, node)
 	}
-	// HDFS-1384's give-up: five placements, no commit, effect invisible.
-	wref.End(history.Failed, "")
+	switch {
+	case committed >= in.replicas:
+		wref.End(history.Ok, "")
+	case committed > 0:
+		wref.End(history.Ambiguous, "")
+	default:
+		// HDFS-1384's give-up: five placements, no commit, effect
+		// invisible.
+		wref.End(history.Failed, "")
+	}
 }
 
 func (in *dfsInstance) read(file string) {
@@ -160,9 +204,11 @@ func (in *dfsInstance) read(file string) {
 }
 
 func (in *dfsInstance) Step(ctx *StepCtx) {
-	file := fmt.Sprintf("f%d", ctx.Op%dfsFiles)
-	in.write(file, fmt.Sprintf("%s-op%d", file, ctx.Op))
-	in.read(fmt.Sprintf("f%d", ctx.Rng.Intn(dfsFiles)))
+	if !ctx.IsPaused(in.cl.ID()) {
+		file := fmt.Sprintf("f%d", ctx.Op%dfsFiles)
+		in.write(file, fmt.Sprintf("%s-op%d", file, ctx.Op))
+		in.read(fmt.Sprintf("f%d", ctx.Rng.Intn(dfsFiles)))
+	}
 	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
 }
 

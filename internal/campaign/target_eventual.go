@@ -34,6 +34,9 @@ type eventualTarget struct {
 
 func (t *eventualTarget) Name() string { return t.name }
 
+// Safe marks the vector-causality variant for the CI safe gate.
+func (t *eventualTarget) Safe() bool { return t.policy == eventual.VectorCausality }
+
 func (t *eventualTarget) Topology() Topology {
 	return Topology{Servers: ids("e", 3), Clients: []netsim.NodeID{"c1", "c2"}}
 }
@@ -103,6 +106,9 @@ type eventualInstance struct {
 
 func (in *eventualInstance) Step(ctx *StepCtx) {
 	for i, w := range in.writers {
+		if ctx.IsPaused(w.cl.ID()) {
+			continue
+		}
 		val := fmt.Sprintf("c%d-op%d", i+1, ctx.Op)
 		ref := in.rec.Begin(history.Op{Client: w.client, Kind: "put", Key: eventualKey, Input: val})
 		ver, err := w.cl.PutV(w.coord, eventualKey, val)

@@ -36,6 +36,9 @@ type jobschedTarget struct {
 
 func (t *jobschedTarget) Name() string { return t.name }
 
+// Safe marks the fixed variant for the CI safe gate.
+func (t *jobschedTarget) Safe() bool { return t.safe }
+
 func (t *jobschedTarget) Topology() Topology {
 	return Topology{
 		Servers:  []netsim.NodeID{"s1", "s2", "s3"},
@@ -96,6 +99,10 @@ func (in *jobschedInstance) run(job string) {
 }
 
 func (in *jobschedInstance) Step(ctx *StepCtx) {
+	if ctx.IsPaused(in.cl.ID()) {
+		ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
+		return
+	}
 	if len(in.retry) > 0 && ctx.Rng.Intn(2) == 0 {
 		// The misled user reruns a job the system swore had failed.
 		job := in.retry[0]

@@ -97,14 +97,22 @@ func (in *kvInstance) get(cl *kvstore.Client, client, key string) {
 }
 
 func (in *kvInstance) Step(ctx *StepCtx) {
-	in.put(in.c1, "c1", "k1", fmt.Sprintf("k1-op%d-%d", ctx.Op, ctx.Rng.Intn(1000)))
-	in.put(in.c2, "c2", "k2", fmt.Sprintf("k2-op%d-%d", ctx.Op, ctx.Rng.Intn(1000)))
+	// A client frozen by a FaultPause issues nothing until it resumes.
+	p1, p2 := ctx.IsPaused(in.c1.ID()), ctx.IsPaused(in.c2.ID())
+	if !p1 {
+		in.put(in.c1, "c1", "k1", fmt.Sprintf("k1-op%d-%d", ctx.Op, ctx.Rng.Intn(1000)))
+	}
+	if !p2 {
+		in.put(in.c2, "c2", "k2", fmt.Sprintf("k2-op%d-%d", ctx.Op, ctx.Rng.Intn(1000)))
+	}
 	// Cross-client reads make dirty and stale values observable while
 	// the fault is still active — the paper's dirty-read condition —
 	// instead of only at the final settled read.
 	if ctx.Op%2 == 0 {
-		in.get(in.c2, "c2", "k1")
-	} else {
+		if !p2 {
+			in.get(in.c2, "c2", "k1")
+		}
+	} else if !p1 {
 		in.get(in.c1, "c1", "k2")
 	}
 	ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)

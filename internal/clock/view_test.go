@@ -1,0 +1,147 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNodeViewSkewMapping pins the view arithmetic: SetSkew jumps the
+// view by the offset and scales its flow by the rate; ClearSkew keeps
+// the accumulated offset but returns to true rate.
+func TestNodeViewSkewMapping(t *testing.T) {
+	s := NewSim()
+	defer s.Stop()
+	v := NewNodeView(s)
+	base := v.Now()
+	if !base.Equal(s.Now()) {
+		t.Fatalf("identity view reads %v, sim reads %v", base, s.Now())
+	}
+	v.SetSkew(10*time.Millisecond, 2.0)
+	if got := v.Now().Sub(base); got != 10*time.Millisecond {
+		t.Fatalf("offset jump moved the view by %v, want 10ms", got)
+	}
+	s.Sleep(20 * time.Millisecond)
+	if got := v.Now().Sub(base); got != 50*time.Millisecond {
+		t.Fatalf("after 20ms of inner time at rate 2 the view is +%v, want +50ms", got)
+	}
+	if got := v.Rate(); got != 2.0 {
+		t.Fatalf("Rate() = %v, want 2", got)
+	}
+	v.ClearSkew()
+	mark := v.Now()
+	if mark.Sub(base) != 50*time.Millisecond {
+		t.Fatalf("ClearSkew jumped the view to +%v, want the residual +50ms kept", mark.Sub(base))
+	}
+	s.Sleep(20 * time.Millisecond)
+	if got := v.Now().Sub(mark); got != 20*time.Millisecond {
+		t.Fatalf("cleared view advanced %v over 20ms of inner time, want 20ms", got)
+	}
+}
+
+// TestNodeViewSkewRetimesTimers: a pending timer's remaining view time
+// is rescaled when the skew changes — at rate 4, a deadline 40ms of
+// view time away arrives after only 10ms of cluster time.
+func TestNodeViewSkewRetimesTimers(t *testing.T) {
+	s := NewSim()
+	defer s.Stop()
+	v := NewNodeView(s)
+	var fired atomic.Bool
+	v.AfterFunc(40*time.Millisecond, func() { fired.Store(true) })
+	v.SetSkew(0, 4.0)
+	s.Sleep(11 * time.Millisecond)
+	if !fired.Load() {
+		t.Fatal("rate-4 skew did not pull the 40ms deadline into 10ms of inner time")
+	}
+}
+
+// TestNodeViewSkewJumpExpiresTimers: a forward jump past a pending
+// deadline fires it promptly — the lease sweep that expires early on a
+// node whose clock leapt ahead.
+func TestNodeViewSkewJumpExpiresTimers(t *testing.T) {
+	s := NewSim()
+	defer s.Stop()
+	v := NewNodeView(s)
+	var fired atomic.Bool
+	v.AfterFunc(20*time.Millisecond, func() { fired.Store(true) })
+	v.SetSkew(30*time.Millisecond, 1)
+	waitUntil(t, func() bool { return fired.Load() })
+}
+
+// TestNodeViewPauseFreezesTimers: a paused view's armed timers do not
+// fire no matter how far the shared clock advances; Resume delivers the
+// expired deadline immediately after.
+func TestNodeViewPauseFreezesTimers(t *testing.T) {
+	s := NewSim()
+	defer s.Stop()
+	v := NewNodeView(s)
+	var fired atomic.Bool
+	v.AfterFunc(10*time.Millisecond, func() { fired.Store(true) })
+	v.Pause()
+	if !v.Paused() {
+		t.Fatal("Paused() = false after Pause")
+	}
+	s.Sleep(50 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("timer fired while its view was paused")
+	}
+	v.Resume()
+	if v.Paused() {
+		t.Fatal("Paused() = true after Resume")
+	}
+	waitUntil(t, func() bool { return fired.Load() })
+}
+
+// TestNodeViewArmWhilePaused: timers created during the pause start
+// suspended with the rest of the node, and re-arm on Resume.
+func TestNodeViewArmWhilePaused(t *testing.T) {
+	s := NewSim()
+	defer s.Stop()
+	v := NewNodeView(s)
+	v.Pause()
+	tm := v.NewTimer(10 * time.Millisecond)
+	s.Sleep(50 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer armed under a pause fired before Resume")
+	default:
+	}
+	v.Resume()
+	select {
+	case <-tm.C():
+	case <-time.After(10 * time.Second):
+		t.Fatal("resumed timer never fired")
+	}
+}
+
+// TestNodeViewStopDrainsSuspended: stopping the shared clock releases
+// timers frozen behind a pause, so teardown cannot hang on a node that
+// was never resumed.
+func TestNodeViewStopDrainsSuspended(t *testing.T) {
+	s := NewSim()
+	v := NewNodeView(s)
+	v.Pause()
+	tm := v.NewTimer(time.Hour)
+	s.Stop()
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop left a suspended timer armed")
+	}
+}
+
+// TestNodeViewNowAdvancesWhilePaused: a frozen process's clock keeps
+// running — only its threads stop — so code checking freshness after
+// the stall must see the lost time.
+func TestNodeViewNowAdvancesWhilePaused(t *testing.T) {
+	s := NewSim()
+	defer s.Stop()
+	v := NewNodeView(s)
+	v.Pause()
+	before := v.Now()
+	s.Sleep(30 * time.Millisecond)
+	if got := v.Now().Sub(before); got != 30*time.Millisecond {
+		t.Fatalf("paused view's Now moved %v over a 30ms inner advance, want 30ms", got)
+	}
+	v.Resume()
+}

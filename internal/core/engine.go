@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,6 +59,12 @@ type Engine struct {
 	// their cycles before healing whatever phase they are in.
 	flapMu sync.Mutex
 	flaps  map[*Partition]*flapper
+
+	// paused tracks pause-frozen nodes so Shutdown can resume them:
+	// stopping a system with its timers suspended and its packets
+	// queued would hang teardown.
+	pausedMu sync.Mutex
+	paused   map[netsim.NodeID]bool
 }
 
 // NewEngine builds an engine with a fresh fabric.
@@ -170,6 +177,7 @@ func (e *Engine) Shutdown() {
 	for _, p := range flaps {
 		_ = p.heal()
 	}
+	e.resumeAll()
 	e.mu.Lock()
 	systems := append([]ISystem(nil), e.systems...)
 	e.mu.Unlock()
@@ -431,6 +439,100 @@ func (e *Engine) RestartGroup(ids []netsim.NodeID) {
 		e.net.Restart(id)
 	}
 	e.trace.Record(EvRestart, fmt.Sprintf("group %v", ids))
+}
+
+// RestartAt schedules a recovery restart of a crashed node after d of
+// engine time, returning the timer so the caller can cancel it. Unlike
+// Restart it fires mid-round, between whatever operations happen to
+// straddle the deadline, exercising the system's recovery path while
+// the workload is still running. onRestart, if non-nil, runs after the
+// node is back up — inside a clock callback on simulated time, so it
+// must be short and must not block on the clock.
+func (e *Engine) RestartAt(id netsim.NodeID, d time.Duration, onRestart func()) clock.Timer {
+	return e.clk.AfterFunc(d, func() {
+		e.net.Restart(id)
+		e.trace.Record(EvRestart, string(id)+" (scheduled recovery)")
+		if onRestart != nil {
+			onRestart()
+		}
+	})
+}
+
+// Pause freezes a node's process — the GC stall / VM suspend model.
+// The node's timers stop firing and arriving packets queue behind it
+// (links stay up: peers see silence, not resets), while in-flight
+// handler work completes. Distinct from Crash: state survives, and on
+// Resume the node continues from where it froze, typically with a
+// stale view of the cluster.
+func (e *Engine) Pause(id netsim.NodeID) {
+	e.net.Pause(id)
+	if v := e.net.NodeView(id); v != nil {
+		v.Pause()
+	}
+	e.pausedMu.Lock()
+	if e.paused == nil {
+		e.paused = make(map[netsim.NodeID]bool)
+	}
+	e.paused[id] = true
+	e.pausedMu.Unlock()
+	e.trace.Record(EvPause, string(id))
+}
+
+// Resume unfreezes a paused node: queued packets flush in arrival
+// order, then frozen timers re-arm (deadlines that passed during the
+// pause fire immediately — the coalesced catch-up burst after a stall).
+func (e *Engine) Resume(id netsim.NodeID) {
+	e.net.Resume(id)
+	if v := e.net.NodeView(id); v != nil {
+		v.Resume()
+	}
+	e.pausedMu.Lock()
+	delete(e.paused, id)
+	e.pausedMu.Unlock()
+	e.trace.Record(EvResume, string(id))
+}
+
+// IsPaused reports whether the node is currently pause-frozen.
+func (e *Engine) IsPaused(id netsim.NodeID) bool {
+	return e.net.Paused(id)
+}
+
+// resumeAll unfreezes every node still paused — teardown safety, so a
+// round that errored out mid-pause cannot hang Shutdown on suspended
+// timers or leave queued packets unaccounted.
+func (e *Engine) resumeAll() {
+	e.pausedMu.Lock()
+	ids := make([]netsim.NodeID, 0, len(e.paused))
+	for id := range e.paused {
+		ids = append(ids, id)
+	}
+	e.pausedMu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e.Resume(id)
+	}
+}
+
+// Skew bends one node's clock: its view of now jumps by offset and
+// then drifts at rate relative to the rest of the cluster, so lease
+// expiries and heartbeat deadlines on that node fire early or late
+// while every other node keeps true time. No-op on a real clock (there
+// is no per-node virtual view to bend).
+func (e *Engine) Skew(id netsim.NodeID, offset time.Duration, rate float64) {
+	if v := e.net.NodeView(id); v != nil {
+		v.SetSkew(offset, rate)
+	}
+	e.trace.Record(EvSkew, fmt.Sprintf("%s offset=%v rate=%.2f", id, offset, rate))
+}
+
+// ClearSkew heals a skew fault: the node's clock returns to true rate.
+// The offset it accumulated stays (clocks do not jump backwards); it
+// cancels out of any duration computed from two readings of the view.
+func (e *Engine) ClearSkew(id netsim.NodeID) {
+	if v := e.net.NodeView(id); v != nil {
+		v.ClearSkew()
+	}
+	e.trace.Record(EvSkew, string(id)+" cleared")
 }
 
 // RebootCluster crashes and immediately restarts every declared node —

@@ -41,6 +41,16 @@ const (
 	EvDeploy
 	// EvCheck is a verification step.
 	EvCheck
+	// EvPause freezes a node's process (GC-stall model): timers and
+	// packet consumption stop while its links stay up.
+	EvPause
+	// EvResume unfreezes a paused node.
+	EvResume
+	// EvSkew bends one node's clock by an offset and drift rate (or
+	// clears the drift when the fault heals).
+	EvSkew
+	// EvDisk injects (or clears) a disk fault on one node's local store.
+	EvDisk
 )
 
 var eventNames = map[EventKind]string{
@@ -58,6 +68,10 @@ var eventNames = map[EventKind]string{
 	EvSleep:       "sleep",
 	EvDeploy:      "deploy",
 	EvCheck:       "check",
+	EvPause:       "pause",
+	EvResume:      "resume",
+	EvSkew:        "skew",
+	EvDisk:        "disk",
 }
 
 // String returns the event-kind name used in reports.

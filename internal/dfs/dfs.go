@@ -73,6 +73,20 @@ type storeReq struct {
 	File string
 	Ver  uint64
 	Data string
+	// Sum is the client-computed end-to-end checksum of Data. It is
+	// stored verbatim beside whatever bytes actually hit the disk, so a
+	// torn write (bytes truncated after the ack) is detectable by any
+	// reader that bothers to verify — HDFS's client-side block
+	// checksum.
+	Sum uint32
+}
+
+// fetchResp returns the stored bytes with the checksum recorded at
+// store time. A torn replica returns truncated bytes under the original
+// checksum; only checksum-verifying clients notice.
+type fetchResp struct {
+	Data string
+	Sum  uint32
 }
 
 type fetchReq struct {
@@ -90,9 +104,20 @@ var ErrNotFound = errors.New("dfs: file not found")
 // retries — the HDFS-1384 give-up-after-five behaviour.
 var ErrWriteFailed = errors.New("dfs: write failed after placement retries")
 
+// ErrCorrupt is returned when a fetched chunk fails checksum
+// verification — the client-visible face of a torn disk write.
+var ErrCorrupt = errors.New("dfs: chunk checksum mismatch")
+
 // MaxPlacementRetries is HDFS's pipeline-recovery retry budget ("the
 // process repeats five times before the client gives up").
 const MaxPlacementRetries = 5
+
+// checksum is the end-to-end chunk checksum (FNV-1a over the bytes).
+func checksum(data string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(data))
+	return h.Sum32()
+}
 
 // Config configures the file system.
 type Config struct {
@@ -110,6 +135,17 @@ type Config struct {
 	HeartbeatMisses int
 	// RPCTimeout bounds data-path calls.
 	RPCTimeout time.Duration
+	// ReplicaCount is how many DataNodes a Write must commit to before
+	// acknowledging. The default 1 is the flawed single-replica
+	// pipeline: one torn or lost disk loses the acknowledged data. The
+	// safe variant sets 2, so a durability claim survives any single
+	// disk fault.
+	ReplicaCount int
+	// VerifyChecksums makes reads verify each replica's end-to-end
+	// checksum, skip corrupt replicas, and read-repair them from a good
+	// copy — the hardening that turns a torn disk write from a silent
+	// dirty read into a recovered replica.
+	VerifyChecksums bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +157,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RPCTimeout == 0 {
 		c.RPCTimeout = 30 * time.Millisecond
+	}
+	if c.ReplicaCount == 0 {
+		c.ReplicaCount = 1
 	}
 	return c
 }
@@ -167,7 +206,7 @@ func NewNameNode(n *netsim.Network, cfg Config) *NameNode {
 	nn := &NameNode{
 		cfg:       cfg,
 		ep:        transport.NewEndpoint(n, cfg.NameNode),
-		clk:       n.Clock(),
+		clk:       n.ClockFor(cfg.NameNode),
 		lastHeard: make(map[netsim.NodeID]time.Time),
 		files:     make(map[string]*fileEntry),
 		stopCh:    make(chan struct{}),
@@ -334,15 +373,35 @@ func (nn *NameNode) onHealth(netsim.NodeID, any) (any, error) {
 // DataNode
 // ---------------------------------------------------------------------
 
+// chunkData is one stored chunk version: the bytes that actually made
+// it to disk plus the checksum recorded from the writer's request.
+// Under a torn-write fault the two disagree.
+type chunkData struct {
+	data string
+	sum  uint32
+}
+
+// Disk-fault modes for SetDiskFault.
+const (
+	// DiskLost acks stores without persisting anything: the bytes are
+	// simply gone at read time (a write-back cache that never flushed).
+	DiskLost = "lost"
+	// DiskTorn acks stores but truncates the bytes, keeping the
+	// writer's checksum — a partial sector write behind a successful
+	// ack.
+	DiskTorn = "torn"
+)
+
 // DataNode stores chunks and heartbeats the NameNode.
 type DataNode struct {
 	cfg Config
 	id  netsim.NodeID
 	ep  *transport.Endpoint
 
-	mu      sync.Mutex
-	chunks  map[string]string
-	stopped bool
+	mu       sync.Mutex
+	chunks   map[string]chunkData
+	diskMode string // "", DiskLost, or DiskTorn
+	stopped  bool
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -355,7 +414,7 @@ func NewDataNode(n *netsim.Network, id netsim.NodeID, cfg Config) *DataNode {
 		cfg:    cfg,
 		id:     id,
 		ep:     transport.NewEndpoint(n, id),
-		chunks: make(map[string]string),
+		chunks: make(map[string]chunkData),
 		stopCh: make(chan struct{}),
 	}
 	dn.ep.DefaultTimeout = cfg.RPCTimeout
@@ -404,6 +463,17 @@ func (dn *DataNode) heartbeatLoop(t clock.Ticker) {
 // uncommitted (possibly abandoned) write.
 func chunkKey(file string, ver uint64) string { return fmt.Sprintf("%s#%d", file, ver) }
 
+// SetDiskFault installs (mode DiskLost or DiskTorn) or clears (mode "")
+// a disk fault: subsequent stores ack as usual, but the bytes are lost
+// or torn. The fault is invisible at store time — exactly the
+// acknowledged-then-gone write the paper's durability findings hinge
+// on — and only surfaces when a reader fetches the chunk.
+func (dn *DataNode) SetDiskFault(mode string) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	dn.diskMode = mode
+}
+
 func (dn *DataNode) onStore(from netsim.NodeID, body any) (any, error) {
 	req, ok := body.(storeReq)
 	if !ok {
@@ -411,7 +481,15 @@ func (dn *DataNode) onStore(from netsim.NodeID, body any) (any, error) {
 	}
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	dn.chunks[chunkKey(req.File, req.Ver)] = req.Data
+	switch dn.diskMode {
+	case DiskLost:
+		// Ack without persisting: the chunk never reaches disk.
+	case DiskTorn:
+		dn.chunks[chunkKey(req.File, req.Ver)] = chunkData{
+			data: req.Data[:len(req.Data)/2], sum: req.Sum}
+	default:
+		dn.chunks[chunkKey(req.File, req.Ver)] = chunkData{data: req.Data, sum: req.Sum}
+	}
 	return nil, nil
 }
 
@@ -422,11 +500,11 @@ func (dn *DataNode) onFetch(from netsim.NodeID, body any) (any, error) {
 	}
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	data, exists := dn.chunks[chunkKey(req.File, req.Ver)]
+	c, exists := dn.chunks[chunkKey(req.File, req.Ver)]
 	if !exists {
 		return nil, ErrNotFound
 	}
-	return data, nil
+	return fetchResp{Data: c.data, Sum: c.sum}, nil
 }
 
 // HasChunk reports whether the DataNode stores any version of the file
@@ -505,9 +583,11 @@ func (c *Client) Allocate(file string, excluded []netsim.NodeID) (netsim.NodeID,
 	return node, nil
 }
 
-// Store pushes one version of a chunk to a DataNode.
+// Store pushes one version of a chunk to a DataNode, stamped with its
+// end-to-end checksum.
 func (c *Client) Store(node netsim.NodeID, file string, ver uint64, data string) error {
-	_, err := c.ep.Call(node, mStore, storeReq{File: file, Ver: ver, Data: data}, c.timeout)
+	_, err := c.ep.Call(node, mStore,
+		storeReq{File: file, Ver: ver, Data: data, Sum: checksum(data)}, c.timeout)
 	return err
 }
 
@@ -532,18 +612,29 @@ func (c *Client) Locations(file string) ([]netsim.NodeID, uint64, error) {
 	return lr.Nodes, lr.Ver, nil
 }
 
-// Fetch reads one version of a chunk from a DataNode.
+// Fetch reads one version of a chunk from a DataNode. When the client
+// verifies checksums, a replica whose stored bytes do not match the
+// checksum recorded at store time returns ErrCorrupt instead of the
+// torn data.
 func (c *Client) Fetch(node netsim.NodeID, file string, ver uint64) (string, error) {
-	data, err := c.ep.Call(node, mFetch, fetchReq{File: file, Ver: ver}, c.timeout)
+	resp, err := c.ep.Call(node, mFetch, fetchReq{File: file, Ver: ver}, c.timeout)
 	if err != nil {
 		return "", err
 	}
-	s, _ := data.(string)
-	return s, nil
+	fr, _ := resp.(fetchResp)
+	if c.cfg.VerifyChecksums && checksum(fr.Data) != fr.Sum {
+		return "", fmt.Errorf("%w: node %s file %s", ErrCorrupt, node, file)
+	}
+	return fr.Data, nil
 }
 
 // Write stores a file: ask the NameNode for a DataNode, push the
 // chunk, report failures, retry with exclusions up to the budget.
+// With ReplicaCount > 1 the pipeline repeats until that many distinct
+// replicas are stored and committed; an acknowledgment then means the
+// data survives any single replica's disk. A write that committed some
+// but not all of its replicas is reported ambiguous, not successful —
+// the data may be readable, but the durability contract was not met.
 func (c *Client) Write(file, data string) error {
 	var excluded []netsim.NodeID
 	attempts := 0
@@ -553,20 +644,43 @@ func (c *Client) Write(file, data string) error {
 		c.attempts = attempts
 		c.mu.Unlock()
 	}()
-	for attempts < MaxPlacementRetries {
+	committed := 0
+	var allocErr error
+	for attempts < MaxPlacementRetries && committed < c.cfg.ReplicaCount {
 		attempts++
 		node, err := c.Allocate(file, excluded)
 		if err != nil {
-			return fmt.Errorf("dfs: allocate: %w", err)
+			allocErr = fmt.Errorf("dfs: allocate: %w", err)
+			break
 		}
 		if err := c.Store(node, file, ver, data); err != nil {
 			// Unreachable DataNode: exclude it and ask again.
 			excluded = append(excluded, node)
 			continue
 		}
-		return c.Commit(file, node, ver)
+		if err := c.Commit(file, node, ver); err != nil {
+			// The commit may have been applied with only the reply
+			// lost: the write as a whole is ambiguous.
+			return err
+		}
+		committed++
+		// A placed replica is excluded from further allocation so the
+		// remaining replicas land on distinct nodes (distinct racks,
+		// under the cross-rack policy).
+		excluded = append(excluded, node)
 	}
-	return ErrWriteFailed
+	switch {
+	case committed >= c.cfg.ReplicaCount:
+		return nil
+	case committed > 0:
+		// Partially replicated: readable, but not durably placed.
+		return transport.MarkMaybeExecuted(
+			fmt.Errorf("dfs: %w (committed %d of %d replicas)", ErrWriteFailed, committed, c.cfg.ReplicaCount))
+	case allocErr != nil:
+		return allocErr
+	default:
+		return ErrWriteFailed
+	}
 }
 
 // ErrUnreachable is returned by Read when the namespace lists the file
@@ -575,18 +689,28 @@ func (c *Client) Write(file, data string) error {
 var ErrUnreachable = errors.New("dfs: all replicas unreachable")
 
 // Read fetches a file by resolving its locations at the NameNode and
-// trying each replica.
+// trying each replica. A checksum-verifying client skips corrupt and
+// missing replicas and, once a good copy is found, read-repairs the bad
+// ones from it — so one torn disk degrades a replica only until the
+// next read touches it.
 func (c *Client) Read(file string) (string, error) {
 	locs, ver, err := c.Locations(file)
 	if err != nil {
 		return "", err
 	}
 	var lastErr error = ErrNotFound
+	var bad []netsim.NodeID
 	for _, node := range locs {
 		data, err := c.Fetch(node, file, ver)
 		if err == nil {
+			if c.cfg.VerifyChecksums {
+				for _, b := range bad {
+					_ = c.Store(b, file, ver, data) // best-effort repair
+				}
+			}
 			return data, nil
 		}
+		bad = append(bad, node)
 		lastErr = err
 	}
 	return "", fmt.Errorf("%w: %w", ErrUnreachable, lastErr)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // MutexSpec parameterizes the mutual-exclusion / lease checker.
@@ -12,6 +13,17 @@ type MutexSpec struct {
 	LockKind string
 	// UnlockKind releases it ("unlock").
 	UnlockKind string
+	// LeaseTTL, when positive, gives holds lease semantics against
+	// silence itself: a holder whose last recorded invocation is more
+	// than LeaseTTL before a competing grant is treated as expired and
+	// released silently, not double-granted. This is what makes a
+	// paused (GC-stalled) holder checkable — the service legitimately
+	// reclaims its lease and grants the lock onward, and only a grant
+	// while the holder was recently active (or a later blind release by
+	// the stale holder corrupting the new grant) counts as a breach.
+	// Zero keeps the strict rule: holds last until unlocked or
+	// abandoned by ambiguity.
+	LeaseTTL time.Duration
 }
 
 func (s *MutexSpec) defaults() {
@@ -37,13 +49,20 @@ func (s *MutexSpec) defaults() {
 //     renewals fare no better — the Chubby rule — so a subsequent
 //     grant to another client is a legitimate lease handoff, not a
 //     double grant.
+//   - With LeaseTTL set, a holder silent (no invocation of any kind)
+//     for longer than the TTL before a competing grant has expired:
+//     its hold is released silently rather than flagged.
 func MutualExclusion(spec MutexSpec) Check {
 	spec.defaults()
 	return func(h History) []Violation {
 		var out []Violation
 		// holders: lock name -> client -> granting op.
 		holders := make(map[string]map[string]Op)
+		// lastAct: client -> invocation time of its latest op, the
+		// checker's proxy for liveness under LeaseTTL.
+		lastAct := make(map[string]time.Duration)
 		for _, op := range h {
+			lastAct[op.Client] = op.Invoke
 			if op.Outcome == Ambiguous {
 				for _, m := range holders {
 					delete(m, op.Client)
@@ -62,9 +81,17 @@ func MutualExclusion(spec MutexSpec) Check {
 				}
 				others := make([]string, 0, len(m))
 				for other := range m {
-					if other != op.Client {
-						others = append(others, other)
+					if other == op.Client {
+						continue
 					}
+					if spec.LeaseTTL > 0 && op.Invoke-lastAct[other] > spec.LeaseTTL {
+						// Expired: the holder went dark past its lease
+						// (paused, crashed, wedged). The service
+						// reclaiming it is correct behavior.
+						delete(m, other)
+						continue
+					}
+					others = append(others, other)
 				}
 				sort.Strings(others)
 				for _, other := range others {

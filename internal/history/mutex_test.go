@@ -1,6 +1,9 @@
 package history
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // lockHist builds a sequential lock-service history out of
 // (kind, client, outcome) triples on lock "L".
@@ -98,4 +101,55 @@ func TestUniqueOutputs(t *testing.T) {
 		t.Fatalf("duplicate witness should name both draws, got %v", v.Witness)
 	}
 	wantNone(t, UniqueOutputs("incr", "unique-sequence")(h[:2]))
+}
+
+// timedOp builds one lock-service op with an explicit invocation time,
+// for the lease-semantics tests where the gaps are the point.
+func timedOp(idx int, kind, client, key string, outcome Outcome, at int) Op {
+	return Op{Index: idx, Kind: kind, Client: client, Key: key, Outcome: outcome,
+		Invoke: ms(at), Return: ms(at + 1)}
+}
+
+// TestMutexLeaseExpiredHolderReclaimed: under LeaseTTL, a holder
+// silent past the TTL has expired — the service granting the lock
+// onward is correct, not a double grant. The strict spec (no TTL)
+// still flags the same history.
+func TestMutexLeaseExpiredHolderReclaimed(t *testing.T) {
+	h := History{
+		timedOp(0, "lock", "c1", "L", Ok, 0),
+		timedOp(1, "lock", "c2", "L", Ok, 100),
+	}
+	ttl := 60 * time.Millisecond
+	wantNone(t, MutualExclusion(MutexSpec{LeaseTTL: ttl})(h))
+	wantOne(t, MutualExclusion(MutexSpec{})(h), "mutual-exclusion", "L")
+}
+
+// TestMutexLeaseFreshHolderStillFlagged: any recorded activity
+// refreshes the holder's liveness — a grant against a holder active
+// within the TTL is a real double grant, lease semantics or not.
+func TestMutexLeaseFreshHolderStillFlagged(t *testing.T) {
+	h := History{
+		timedOp(0, "lock", "c1", "L", Ok, 0),
+		timedOp(1, "incr", "c1", "seq", Ok, 80),
+		timedOp(2, "lock", "c2", "L", Ok, 100),
+	}
+	wantOne(t, MutualExclusion(MutexSpec{LeaseTTL: 60 * time.Millisecond})(h), "mutual-exclusion", "L")
+}
+
+// TestMutexLeaseStaleBlindReleaseCorruptsNewGrant: the resumed
+// zombie's signature breach. c1's lease is reclaimed and regranted to
+// c2 while c1 is frozen (silent past the TTL — no violation); c1 then
+// wakes, blindly releases the lock it no longer holds, and relocks —
+// while c2, recently active, still holds it. That grant is flagged.
+func TestMutexLeaseStaleBlindReleaseCorruptsNewGrant(t *testing.T) {
+	h := History{
+		timedOp(0, "lock", "c1", "L", Ok, 0),
+		timedOp(1, "lock", "c2", "L", Ok, 100),
+		timedOp(2, "unlock", "c1", "L", Ok, 110),
+		timedOp(3, "lock", "c1", "L", Ok, 120),
+	}
+	v := wantOne(t, MutualExclusion(MutexSpec{LeaseTTL: 60 * time.Millisecond})(h), "mutual-exclusion", "L")
+	if len(v.Witness) != 2 {
+		t.Fatalf("witness should pair c2's grant with c1's regrant, got %v", v.Witness)
+	}
 }

@@ -25,10 +25,22 @@ type Client struct {
 	wg      sync.WaitGroup
 }
 
-// NewClient attaches a client and starts its lease renewer.
+// NewClient attaches a client and starts its lease renewer at the
+// default TTL/3 cadence.
 func NewClient(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, leaseTTL time.Duration) *Client {
+	return NewClientWithRenew(n, id, replicas, leaseTTL, 0)
+}
+
+// NewClientWithRenew attaches a client renewing every renewEvery (0
+// means leaseTTL/3). A skew-tolerant deployment renews well inside the
+// TTL — at TTL/6 a lease survives a clock jumping tens of milliseconds
+// ahead on the server, where the TTL/3 default leaves no margin.
+func NewClientWithRenew(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, leaseTTL, renewEvery time.Duration) *Client {
 	if leaseTTL == 0 {
 		leaseTTL = 60 * time.Millisecond
+	}
+	if renewEvery == 0 {
+		renewEvery = leaseTTL / 3
 	}
 	c := &Client{
 		ep:       transport.NewEndpoint(n, id),
@@ -37,7 +49,7 @@ func NewClient(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, le
 		stopCh:   make(chan struct{}),
 	}
 	c.wg.Add(1)
-	t := c.ep.Clock().NewTicker(leaseTTL / 3)
+	t := c.ep.Clock().NewTicker(renewEvery)
 	go c.renewLoop(t)
 	return c
 }
@@ -215,6 +227,11 @@ func IsCASFailed(err error) bool { return remoteIs(err, ErrCASFailed) }
 
 // IsUnavailable reports whether err is the SyncBackups unavailability.
 func IsUnavailable(err error) bool { return remoteIs(err, ErrUnavailable) }
+
+// IsNotHolder reports whether err is a fenced release bouncing off a
+// lock or permit the caller no longer holds. A definitive answer: the
+// caller's grant is gone, and its belief of holding should be dropped.
+func IsNotHolder(err error) bool { return remoteIs(err, ErrNotHolder) }
 
 // IsEmpty reports whether err is an empty-queue pop.
 func IsEmpty(err error) bool { return remoteIs(err, ErrEmpty) }

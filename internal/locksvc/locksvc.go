@@ -50,6 +50,14 @@ type Config struct {
 	// safe-but-unavailable configuration: operations fail during a
 	// partition instead of diverging.
 	SyncBackups bool
+	// ValidateRelease makes releases fenced: a lock release from a
+	// non-holder and a semaphore release beyond the client's held
+	// permits fail with ErrNotHolder instead of blindly mutating state.
+	// This is the hardening against the paused-holder scenario: a
+	// client that froze past its lease TTL finds its lock reclaimed and
+	// regranted, and its stale release must bounce off the new holder
+	// rather than silently unlock someone else's critical section.
+	ValidateRelease bool
 	// RPCTimeout bounds one replication round trip.
 	RPCTimeout time.Duration
 }
@@ -142,6 +150,11 @@ var ErrNoPermits = errors.New("locksvc: no permits available")
 
 // ErrCASFailed is returned when compare-and-set sees a different value.
 var ErrCASFailed = errors.New("locksvc: compare-and-set failed")
+
+// ErrNotHolder is returned by fenced (ValidateRelease) configurations
+// when a client releases a lock or permits it does not hold — typically
+// a process that stalled past its lease TTL and lost its grant.
+var ErrNotHolder = errors.New("locksvc: caller does not hold the lock")
 
 // ErrEmpty is returned when popping an empty queue.
 var ErrEmpty = errors.New("locksvc: queue empty")
@@ -478,9 +491,19 @@ func (r *Replica) applyLocked(req opReq) (opResp, error) {
 		r.lockExp[req.Name] = r.ep.Clock().Now().Add(r.cfg.LeaseTTL)
 		return opResp{OK: true}, nil
 	case opLockRelease:
-		// Blind release: no check that the caller holds the lock. This
-		// is the broken-locks flaw — a reclaimed lock released late
-		// silently unlocks someone else's critical section.
+		if r.cfg.ValidateRelease {
+			// Fenced release: only the recorded holder may unlock. A
+			// paused client whose lease was reclaimed (and whose lock
+			// was regranted) gets ErrNotHolder instead of silently
+			// unlocking the new holder's critical section.
+			if holder, held := r.locks[req.Name]; !held || holder != req.Client {
+				return opResp{}, ErrNotHolder
+			}
+		}
+		// Blind release otherwise: no check that the caller holds the
+		// lock. This is the broken-locks flaw — a reclaimed lock
+		// released late silently unlocks someone else's critical
+		// section.
 		delete(r.locks, req.Name)
 		delete(r.lockExp, req.Name)
 		return opResp{OK: true}, nil
@@ -507,10 +530,16 @@ func (r *Replica) applyLocked(req opReq) (opResp, error) {
 		if !exists {
 			return opResp{}, ErrNoPermits
 		}
-		// Blind increment: the release is not validated against the
-		// holder table, so a late release after a lease reclaim pushes
-		// the permit count past Max — the corrupted semaphore NEAT
-		// reported against Ignite.
+		if r.cfg.ValidateRelease && s.Holders[req.Client] < req.Num {
+			// Fenced: a release beyond the client's recorded holdings
+			// (its permits were lease-reclaimed while it was stalled)
+			// bounces instead of corrupting the permit count.
+			return opResp{}, ErrNotHolder
+		}
+		// Blind increment otherwise: the release is not validated
+		// against the holder table, so a late release after a lease
+		// reclaim pushes the permit count past Max — the corrupted
+		// semaphore NEAT reported against Ignite.
 		s.Permits += req.Num
 		if s.Holders[req.Client] > 0 {
 			s.Holders[req.Client] -= req.Num

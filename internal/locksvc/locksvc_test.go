@@ -431,3 +431,27 @@ func TestLockLeaseReclaimedFromPartitionedClient(t *testing.T) {
 		t.Fatal("lock never reclaimed from the partitioned holder")
 	}
 }
+
+// TestValidateReleaseFencesStaleRelease: with fenced releases, an
+// unlock from a client that does not hold the lock bounces with
+// ErrNotHolder instead of silently deleting the real holder's grant —
+// the defense against a resumed zombie blindly releasing a lock that
+// was reclaimed and regranted while it was frozen.
+func TestValidateReleaseFencesStaleRelease(t *testing.T) {
+	cfg := testConfig()
+	cfg.ValidateRelease = true
+	f := deploy(t, cfg)
+	if err := f.c1.Lock("L"); err != nil {
+		t.Fatalf("c1 lock: %v", err)
+	}
+	if err := f.c2.Unlock("L"); !IsNotHolder(err) {
+		t.Fatalf("stale unlock = %v, want ErrNotHolder", err)
+	}
+	// The fenced release must not have corrupted c1's grant.
+	if err := f.c2.Lock("L"); err == nil {
+		t.Fatal("c2 acquired a lock c1 still holds after its fenced release")
+	}
+	if err := f.c1.Unlock("L"); err != nil {
+		t.Fatalf("real holder's unlock: %v", err)
+	}
+}

@@ -144,7 +144,14 @@ type Broker struct {
 	isMaster    bool
 	knownMaster netsim.NodeID
 	zkReachable bool
-	queues      map[string][]entry
+	// lastRole is when (on this broker's clock) the master role was
+	// last confirmed against the coordination service. A
+	// StepDownOnZKLoss master only serves while this is fresh: a broker
+	// that froze in a GC stall wakes with an old confirmation and must
+	// re-validate before touching a queue, because its session may have
+	// expired and the role moved while it was out.
+	lastRole time.Time
+	queues   map[string][]entry
 	// removed tombstones every entry ID this broker has consumed or
 	// seen consumed, so a replicated enqueue that arrives after (a
 	// reordered link) or around its own consumption cannot resurrect
@@ -238,7 +245,14 @@ func (b *Broker) pollRole() {
 	b.zkReachable = true
 	b.isMaster = leader == b.id
 	b.knownMaster = leader
+	b.lastRole = b.ep.Clock().Now()
 }
+
+// roleFresh is how many role-poll periods old a master's last
+// confirmation may be before a StepDownOnZKLoss broker refuses to
+// serve. Four periods tolerate a busy poll loop and moderate clock
+// drift while still fencing a broker that lost real time to a stall.
+const roleFresh = 4
 
 // IsMaster reports whether the broker currently believes it is master.
 func (b *Broker) IsMaster() bool {
@@ -288,6 +302,18 @@ func (b *Broker) onOp(from netsim.NodeID, body any) (any, error) {
 		master := b.knownMaster
 		b.mu.Unlock()
 		return nil, &NotMasterError{Master: master}
+	}
+	if b.cfg.StepDownOnZKLoss {
+		// Freshness fence: a master serves only on a recently confirmed
+		// role. A broker resuming from a process pause sees its clock
+		// far past lastRole (time kept flowing while its poll loop was
+		// frozen) and bounces queued requests until the next successful
+		// poll re-confirms — the zombie-master window that produces
+		// double dequeues on the flawed configuration.
+		if now := b.ep.Clock().Now(); now.Sub(b.lastRole) > roleFresh*b.cfg.RolePoll {
+			b.mu.Unlock()
+			return nil, ErrNotServing
+		}
 	}
 	resp, ent, err := b.applyMasterLocked(req)
 	b.mu.Unlock()

@@ -126,6 +126,11 @@ type Network struct {
 	chaos    []*chaosRule
 	chaosSeq uint64
 
+	// views holds the lazily created per-node clock views (skew and
+	// pause targets). Only populated when the fabric clock is a Sim.
+	viewsMu sync.Mutex
+	views   map[NodeID]*clock.NodeView
+
 	stats statCounters
 }
 
@@ -165,6 +170,14 @@ type host struct {
 	id      NodeID
 	handler Handler
 	up      bool
+	// paused models a frozen (GC-stalled) process: the host is up and
+	// its links pass traffic, but the process is not consuming, so
+	// arriving packets queue in pauseQ instead of being handled — the
+	// kernel's socket buffers filling behind a stalled process. Resume
+	// flushes the queue in arrival order; Crash discards it (a dead
+	// process's socket buffers die with it).
+	paused bool
+	pauseQ []Packet
 }
 
 // ErrUnknownHost is returned when sending from an unregistered host.
@@ -198,6 +211,40 @@ func New(opts Options) *Network {
 // fabric must take their timers and sleeps from here so that the whole
 // deployment follows one clock.
 func (n *Network) Clock() clock.Clock { return n.clk }
+
+// ClockFor returns the clock a specific node should run on: a per-node
+// NodeView of the fabric's Sim clock, created on first use, so clock
+// skew and process pauses can be injected against that node alone. On a
+// real (or otherwise non-Sim) clock it falls back to the shared fabric
+// clock — skew faults then have no node-local clock to bend and
+// degrade to no-ops.
+func (n *Network) ClockFor(id NodeID) clock.Clock {
+	v := n.NodeView(id)
+	if v == nil {
+		return n.clk
+	}
+	return v
+}
+
+// NodeView returns id's per-node clock view, or nil when the fabric is
+// not running on a Sim clock.
+func (n *Network) NodeView(id NodeID) *clock.NodeView {
+	s, ok := n.clk.(*clock.Sim)
+	if !ok {
+		return nil
+	}
+	n.viewsMu.Lock()
+	defer n.viewsMu.Unlock()
+	if n.views == nil {
+		n.views = make(map[NodeID]*clock.NodeView)
+	}
+	v, ok := n.views[id]
+	if !ok {
+		v = clock.NewNodeView(s)
+		n.views[id] = v
+	}
+	return v
+}
 
 // Register attaches a host to the fabric. Registering an existing ID
 // replaces its handler and marks the host up (modelling a process
@@ -239,13 +286,60 @@ func (n *Network) SetSwitch(f Filter) {
 
 // Crash marks a host down: its handler stops receiving packets but the
 // host stays registered, so a later Restart resumes delivery. Packets
-// from a crashed host are also suppressed.
+// from a crashed host are also suppressed. Packets queued behind a
+// pause are discarded — a dead process's socket buffers die with it.
 func (n *Network) Crash(id NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if h, ok := n.hosts[id]; ok {
 		h.up = false
+		if dropped := len(h.pauseQ); dropped > 0 {
+			n.stats.droppedDown.Add(uint64(dropped))
+		}
+		h.paused = false
+		h.pauseQ = nil
 	}
+}
+
+// Pause freezes a host's packet consumption: arriving packets queue
+// (they are NOT dropped — the links are healthy, the process is just
+// not reading) until Resume. Pausing a host does not stop packets it
+// sends: in-flight handler work on a freezing process still completes,
+// as real threads mid-write do when a VM is suspended.
+func (n *Network) Pause(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[id]; ok && h.up {
+		h.paused = true
+	}
+}
+
+// Resume unfreezes a paused host and flushes its queued packets in
+// arrival order, re-checking the filter pipeline for each — a partition
+// installed during the pause still stops a queued packet. The flush
+// runs synchronously on the caller, so resume-order is deterministic.
+func (n *Network) Resume(id NodeID) {
+	n.mu.Lock()
+	h, ok := n.hosts[id]
+	if !ok || !h.paused {
+		n.mu.Unlock()
+		return
+	}
+	h.paused = false
+	q := h.pauseQ
+	h.pauseQ = nil
+	n.mu.Unlock()
+	for _, pkt := range q {
+		n.deliver(pkt, true)
+	}
+}
+
+// Paused reports whether the host is currently pause-frozen.
+func (n *Network) Paused(id NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[id]
+	return ok && h.paused
 }
 
 // Restart marks a crashed host up again.
@@ -432,13 +526,33 @@ func (n *Network) deliver(pkt Packet, recheck bool) {
 	}
 	dh, ok := n.hosts[pkt.Dst]
 	var handler Handler
+	paused := false
 	if ok && dh.up {
 		handler = dh.handler
+		paused = dh.paused
 	}
 	n.mu.RUnlock()
 	if handler == nil {
 		n.stats.droppedDown.Add(1)
 		return
+	}
+	if paused {
+		// The destination process is frozen: queue behind it rather
+		// than drop. Upgrade to the write lock and re-check — the host
+		// may have resumed (or crashed) in the window.
+		n.mu.Lock()
+		dh, ok = n.hosts[pkt.Dst]
+		if ok && dh.up && dh.paused {
+			dh.pauseQ = append(dh.pauseQ, pkt)
+			n.mu.Unlock()
+			return
+		}
+		if !ok || !dh.up {
+			n.mu.Unlock()
+			n.stats.droppedDown.Add(1)
+			return
+		}
+		n.mu.Unlock()
 	}
 	n.stats.delivered.Add(1)
 	handler(pkt)

@@ -243,3 +243,98 @@ func TestReRegisterReplacesHandler(t *testing.T) {
 		t.Fatalf("first=%d second=%d, want 0/1", first.Load(), second.Load())
 	}
 }
+
+// TestPauseQueuesAndResumeFlushes: a paused host's arriving packets
+// queue (links stay healthy — nothing is dropped) and Resume hands
+// them to the handler in arrival order.
+func TestPauseQueuesAndResumeFlushes(t *testing.T) {
+	n := New(Options{})
+	h, got, mu := collector()
+	n.Register("a", func(Packet) {})
+	n.Register("b", h)
+	n.Pause("b")
+	if !n.Paused("b") {
+		t.Fatal("Paused(b) = false after Pause")
+	}
+	for i := 1; i <= 3; i++ {
+		if err := n.Send("a", "b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	if len(*got) != 0 {
+		t.Fatalf("paused host handled %v", *got)
+	}
+	mu.Unlock()
+	n.Resume("b")
+	if n.Paused("b") {
+		t.Fatal("Paused(b) = true after Resume")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 3 {
+		t.Fatalf("flush delivered %d packets, want 3", len(*got))
+	}
+	for i, p := range *got {
+		if p.Payload != i+1 {
+			t.Fatalf("flush out of order: %v", *got)
+		}
+	}
+}
+
+// TestPauseFlushRechecksFilters: a partition installed during the
+// pause still stops a queued packet at flush time — the queue models
+// socket buffers, not a bypass around the network.
+func TestPauseFlushRechecksFilters(t *testing.T) {
+	n := New(Options{})
+	h, got, mu := collector()
+	n.Register("a", func(Packet) {})
+	n.Register("b", h)
+	n.Pause("b")
+	if err := n.Send("a", "b", 1); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	n.SetIngress("b", FilterFunc(func(src, dst NodeID) Verdict { return VerdictDrop }))
+	n.Resume("b")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 0 {
+		t.Fatalf("flush bypassed the ingress filter: %v", *got)
+	}
+	if s := n.Stats(); s.DroppedLate != 1 {
+		t.Fatalf("DroppedLate = %d, want the flushed packet counted late-dropped", s.DroppedLate)
+	}
+}
+
+// TestCrashDiscardsPauseQueue: a dead process's socket buffers die
+// with it — crashing a paused host drops its queue, and a restart
+// starts clean.
+func TestCrashDiscardsPauseQueue(t *testing.T) {
+	n := New(Options{})
+	h, got, mu := collector()
+	n.Register("a", func(Packet) {})
+	n.Register("b", h)
+	n.Pause("b")
+	if err := n.Send("a", "b", 1); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := n.Send("a", "b", 2); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	n.Crash("b")
+	if n.Paused("b") {
+		t.Fatal("crash left the host marked paused")
+	}
+	if s := n.Stats(); s.DroppedDown != 2 {
+		t.Fatalf("DroppedDown = %d, want the 2 discarded queued packets", s.DroppedDown)
+	}
+	n.Restart("b")
+	if err := n.Send("a", "b", 3); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 1 || (*got)[0].Payload != 3 {
+		t.Fatalf("after restart got %v, want only payload 3", *got)
+	}
+}

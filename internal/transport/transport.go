@@ -113,7 +113,7 @@ func NewEndpoint(n *netsim.Network, id netsim.NodeID) *Endpoint {
 	e := &Endpoint{
 		id:             id,
 		net:            n,
-		clk:            n.Clock(),
+		clk:            n.ClockFor(id),
 		handlers:       make(map[string]Handler),
 		pending:        make(map[uint64]*pendingCall),
 		dedup:          make(map[netsim.NodeID]*seqWindow),
