@@ -55,10 +55,23 @@
 //
 // Usage:
 //
+// After every round's heal the engine validates recovery: still-down
+// victims are forced back up, and a deterministic probe workload is
+// driven inside the -rto window (default 1s of round time). A target
+// that never answers is reported as stuck-after-heal, a node or key
+// that never answers while the rest do as degraded-after-heal, and an
+// acknowledged write the probes prove authoritatively gone as
+// data-loss-after-heal — the paper's "failures persist after the
+// partition heals" turned into checked invariants. Pass -probe=false
+// to skip the phase, -rto to change the window.
+//
+// Usage:
+//
 //	neat-fuzz [-rounds N] [-seed S] [-target t1,t2|all] [-mode M]
 //	          [-faults all|classic|chaos|gray|k1,k2] [-shrink]
 //	          [-json path|-] [-workers W] [-list] [-list-safe]
 //	          [-expect-none] [-realtime] [-trace] [-settle D]
+//	          [-rto D] [-probe=false]
 package main
 
 import (
@@ -66,6 +79,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"neat/internal/campaign"
 	"neat/internal/report"
@@ -91,6 +105,10 @@ func main() {
 		"embed each violation's full per-round operation history in the JSON report (witness traces are always included)")
 	settle := flag.Duration("settle", campaign.DefaultSettle,
 		"post-heal quiescence wait on the round's clock before the observation phase")
+	rto := flag.Duration("rto", campaign.DefaultRTO,
+		"recovery-time objective: how long, on the round's clock, the post-heal probe phase gives the target to come back")
+	probe := flag.Bool("probe", true,
+		"run the post-heal recovery-validation phase (probe workload inside the RTO window)")
 	flag.Parse()
 
 	if *list {
@@ -133,6 +151,8 @@ func main() {
 		Shrink:      *shrink,
 		VirtualTime: !*realtime,
 		Settle:      *settle,
+		RTO:         *rto,
+		NoProbe:     !*probe,
 		Trace:       *trace,
 		Log:         os.Stderr,
 	})
@@ -158,20 +178,37 @@ func main() {
 }
 
 func printSummary(w io.Writer, res *campaign.Result) {
+	probed := false
+	for _, st := range res.Stats {
+		if st.ProbedRounds > 0 {
+			probed = true
+			break
+		}
+	}
 	rows := make([][]string, 0, len(res.Targets))
 	for _, name := range res.Targets {
 		st := res.Stats[name]
-		rows = append(rows, []string{
+		row := []string{
 			name,
 			fmt.Sprintf("%d", st.Rounds),
 			fmt.Sprintf("%d", st.Violations),
 			fmt.Sprintf("%d", st.Unique),
-		})
+		}
+		if probed {
+			row = append(row,
+				fmt.Sprintf("%d/%d", st.RecoveredRounds, st.ProbedRounds),
+				maxRecovery(st))
+		}
+		rows = append(rows, row)
+	}
+	header := []string{"Target", "Rounds", "Violations", "Unique"}
+	if probed {
+		header = append(header, "Recovered", "MaxRTT")
 	}
 	fmt.Fprintln(w)
 	fmt.Fprint(w, report.Render(
 		fmt.Sprintf("Campaign summary (seed=%d, %d rounds/target).", res.Seed, res.Rounds),
-		[]string{"Target", "Rounds", "Violations", "Unique"}, rows))
+		header, rows))
 
 	for _, f := range res.Findings {
 		fmt.Fprintf(w, "\nVIOLATION %s  (x%d, first in round %d)\n", f.Signature(), f.Count, f.Round)
@@ -189,6 +226,15 @@ func printSummary(w io.Writer, res *campaign.Result) {
 	}
 	fmt.Fprintf(w, "\ntotal violations=%d unique=%d errors=%d\n",
 		res.TotalViolations(), len(res.Findings), res.Errors)
+}
+
+// maxRecovery renders a target's slowest confirmed recovery (round
+// time from probe start); "-" when no round confirmed one.
+func maxRecovery(st *campaign.TargetStats) string {
+	if st.RecoveredRounds == 0 {
+		return "-"
+	}
+	return time.Duration(st.MaxRecoveryNs).Round(time.Millisecond).String()
 }
 
 func writeJSON(c report.Campaign, path string) error {

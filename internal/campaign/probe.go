@@ -1,0 +1,35 @@
+package campaign
+
+import (
+	"time"
+
+	"neat/internal/resilience"
+)
+
+// probePolicy is the shared retry policy probe operations run under:
+// one quick in-pass retry with decorrelated-jitter backoff, budgeted
+// well under one probe interval so a wedged service can never stall a
+// pass. Attempts stay low because the pass loop itself is the outer
+// retry — an op that keeps failing is re-driven next pass anyway, and
+// every extra attempt against a down service burns an RPC timeout on
+// the round's critical path. Ambiguous outcomes are retried too —
+// probes touch dedicated probe objects or read, so a duplicated
+// effect cannot violate any main-phase invariant.
+var probePolicy = resilience.Policy{
+	Base:           2 * time.Millisecond,
+	Cap:            20 * time.Millisecond,
+	MaxAttempts:    2,
+	Budget:         60 * time.Millisecond,
+	RetryAmbiguous: true,
+}
+
+// probeDo runs one probe operation under probePolicy on the round's
+// clock and reports the extra attempts into the round's recovery
+// metrics. classify may be nil (retry every failure); probes typically
+// classify authoritative answers — a not-found, an unknown-job — as
+// Fatal so a definitive response is never retried into the budget.
+func probeDo(ctx *StepCtx, classify resilience.Classifier, fn func() error) error {
+	res := resilience.Do(ctx.Clock, ctx.Rng, probePolicy, classify, func(int) error { return fn() })
+	ctx.Retried(res.Attempts - 1)
+	return res.Err
+}

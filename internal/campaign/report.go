@@ -13,6 +13,7 @@ func traceOps(ops []history.Op) []report.TraceOp {
 			Index:    op.Index,
 			Client:   op.Client,
 			Kind:     op.Kind,
+			Phase:    op.Phase,
 			Key:      op.Key,
 			Node:     op.Node,
 			Input:    op.Input,
@@ -48,6 +49,13 @@ func (r *Result) Report() report.Campaign {
 			Violations: st.Violations,
 			Unique:     st.Unique,
 			Errors:     st.Errors,
+
+			ProbedRounds:    st.ProbedRounds,
+			RecoveredRounds: st.RecoveredRounds,
+			ProbeOps:        st.ProbeOps,
+			ProbeRetries:    st.ProbeRetries,
+			MaxRecoveryNs:   st.MaxRecoveryNs,
+			RecoveryNs:      st.RecoveryNs,
 		})
 	}
 	for _, f := range r.Findings {

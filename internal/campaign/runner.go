@@ -26,7 +26,29 @@ type RoundOutcome struct {
 	// History is the round's full recorded operation history,
 	// retained only when the round ran with tracing on.
 	History history.History
-	Err     error
+	// Recovery summarizes the post-heal recovery-validation phase; nil
+	// when probing was disabled.
+	Recovery *RecoveryStats
+	Err      error
+}
+
+// RecoveryStats summarizes one round's recovery-validation phase.
+type RecoveryStats struct {
+	// Recovered reports whether the prober confirmed full recovery
+	// inside the RTO window.
+	Recovered bool
+	// RecoveryTime is the offset from probe start at which the prober
+	// first confirmed full recovery; -1 when it never did (or the
+	// target has no Prober).
+	RecoveryTime time.Duration
+	// Passes counts probe passes driven; Ops counts the operations
+	// they recorded; Retries counts resilience-layer retry attempts
+	// they spent.
+	Passes, Ops, Retries int
+	// FirstOk maps each probed group (key, or key@node) to the offset
+	// from probe start of its first successful probe operation; groups
+	// that never succeeded are absent.
+	FirstOk map[string]time.Duration
 }
 
 // DefaultSettle is the runner's post-heal quiescence wait: how long
@@ -36,16 +58,46 @@ type RoundOutcome struct {
 // embedded checkers used to carry; Config.Settle tunes it.
 const DefaultSettle = 250 * time.Millisecond
 
+// DefaultRTO is the default recovery-time objective: how long, on the
+// round's clock, the post-heal probe phase gives the system to come
+// back before the Recovery checker's violation classes apply. Virtual
+// time makes the window essentially free when the target recovers on
+// the first probe pass.
+const DefaultRTO = time.Second
+
+// DefaultRoundTimeout is the per-round wall-clock watchdog: a round
+// that has not completed within it is abandoned as an engine-error
+// finding (its goroutine is leaked) and the campaign keeps going. It
+// is far above any healthy round — virtual rounds complete in
+// milliseconds, real-clock rounds in seconds.
+const DefaultRoundTimeout = 2 * time.Minute
+
 // runOpts bundles the execution knobs a single round runs under.
 type runOpts struct {
 	virtual bool
 	settle  time.Duration
 	trace   bool
+	// noProbe disables the post-heal recovery-validation phase. Probe
+	// on is the zero value: replays and shrinks must preserve the
+	// probe phase or recovery violations could never re-reproduce.
+	noProbe bool
+	// rto bounds the probe phase on the round's clock; 0 means
+	// DefaultRTO.
+	rto time.Duration
+	// watchdog is the per-round wall-clock bound; 0 means
+	// DefaultRoundTimeout, negative disables the watchdog.
+	watchdog time.Duration
 }
 
 func (o runOpts) withDefaults() runOpts {
 	if o.settle <= 0 {
 		o.settle = DefaultSettle
+	}
+	if o.rto <= 0 {
+		o.rto = DefaultRTO
+	}
+	if o.watchdog == 0 {
+		o.watchdog = DefaultRoundTimeout
 	}
 	return o
 }
@@ -72,8 +124,62 @@ func RunScheduleVirtual(t Target, sched Schedule) RoundOutcome {
 	return runSchedule(t, sched, runOpts{virtual: true})
 }
 
+// runSchedule hardens one round's execution: the round body runs on
+// its own goroutine under a wall-clock watchdog, and a panicking or
+// wedged round becomes an "engine-error" finding instead of killing
+// or hanging the campaign. A wedged round's goroutine (and engine) is
+// leaked deliberately — joining it is what the watchdog exists to
+// avoid.
 func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	opts = opts.withDefaults()
+	done := make(chan RoundOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// The body's own defers (engine shutdown, clock stop)
+				// already ran during unwinding; report the round as an
+				// engine error carrying the stack.
+				buf := make([]byte, 64<<10)
+				n := runtime.Stack(buf, false)
+				o := RoundOutcome{Target: t.Name(), Schedule: sched}
+				o.Err = fmt.Errorf("campaign: round panicked: %v", r)
+				o.Violations = []Violation{{
+					Target:    t.Name(),
+					Invariant: "engine-error",
+					Subject:   "panic",
+					Detail:    fmt.Sprintf("round panicked: %v\n%s", r, buf[:n]),
+				}}
+				done <- o
+			}
+		}()
+		done <- runScheduleBody(t, sched, opts)
+	}()
+	var timeoutC <-chan time.Time
+	if opts.watchdog > 0 {
+		tm := time.NewTimer(opts.watchdog)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
+	select {
+	case o := <-done:
+		return o
+	case <-timeoutC:
+		buf := make([]byte, 256<<10)
+		n := runtime.Stack(buf, true)
+		out := RoundOutcome{Target: t.Name(), Schedule: sched}
+		out.Err = fmt.Errorf("campaign: round wedged: exceeded the %v wall-clock watchdog", opts.watchdog)
+		out.Violations = []Violation{{
+			Target:    t.Name(),
+			Invariant: "engine-error",
+			Subject:   "watchdog",
+			Detail: fmt.Sprintf("round made no progress within the %v wall-clock watchdog; goroutine dump:\n%s",
+				opts.watchdog, buf[:n]),
+		}}
+		return out
+	}
+}
+
+func runScheduleBody(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	out := RoundOutcome{Target: t.Name(), Schedule: sched}
 	var engOpts core.Options
 	if opts.virtual {
@@ -125,9 +231,22 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	var downMu sync.Mutex
 	// downRef refcounts crashed nodes: two crash faults may share a
 	// victim, and healing one must not restart a node another fault
-	// still holds down.
+	// still holds down. activeCount is guarded by downMu too, because a
+	// restart fault ends on the clock's advancer goroutine when its
+	// timer fires — the count must drop there, or every later
+	// operation would be stamped with a fault that is already over.
 	downRef := make(map[netsim.NodeID]int)
 	activeCount := 0
+	addActive := func(d int) {
+		downMu.Lock()
+		activeCount += d
+		downMu.Unlock()
+	}
+	curActive := func() int {
+		downMu.Lock()
+		defer downMu.Unlock()
+		return activeCount
+	}
 	heal := func(i int) {
 		f := sched.Faults[i]
 		switch f.Kind {
@@ -135,33 +254,33 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 			if crashed[i] {
 				v := f.GroupA[0]
 				downMu.Lock()
+				activeCount--
 				if downRef[v]--; downRef[v] == 0 {
 					eng.Restart(v)
 				}
 				downMu.Unlock()
 				crashed[i] = false
-				activeCount--
 			}
 			return
 		case FaultPause:
 			if paused[i] {
 				eng.Resume(f.GroupA[0])
 				paused[i] = false
-				activeCount--
+				addActive(-1)
 			}
 			return
 		case FaultSkew:
 			if skewed[i] {
 				eng.ClearSkew(f.GroupA[0])
 				skewed[i] = false
-				activeCount--
+				addActive(-1)
 			}
 			return
 		case FaultDisk:
 			if diskOn[i] {
 				inst.(DiskFaulter).SetDiskFault(f.GroupA[0], "")
 				diskOn[i] = false
-				activeCount--
+				addActive(-1)
 			}
 			return
 		case FaultRestart:
@@ -173,10 +292,10 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 				if tm := restartTimers[i]; tm != nil {
 					tm.Stop()
 				}
+				activeCount--
 				if downRef[v]--; downRef[v] == 0 {
 					eng.Restart(v)
 				}
-				activeCount--
 			}
 			downMu.Unlock()
 			return
@@ -184,7 +303,7 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 		if active[i] != nil {
 			_ = eng.Heal(active[i])
 			active[i] = nil
-			activeCount--
+			addActive(-1)
 		}
 	}
 	for op := 0; op < sched.Ops; op++ {
@@ -250,11 +369,18 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 				downRef[v]++
 				downMu.Unlock()
 				idx := i
-				restartTimers[i] = eng.RestartAt(v, time.Duration(f.DelayMs)*time.Millisecond, func() {
+				// The scheduled recovery ends the fault on the round's
+				// clock: the active count drops, and the victim restarts
+				// only if no other fault still holds it down — a crash
+				// fault sharing the victim must keep it dark.
+				restartTimers[i] = eng.Clock().AfterFunc(time.Duration(f.DelayMs)*time.Millisecond, func() {
 					downMu.Lock()
 					if !restartDone[idx] {
 						restartDone[idx] = true
-						downRef[v]--
+						activeCount--
+						if downRef[v]--; downRef[v] == 0 {
+							eng.Restart(v)
+						}
 					}
 					downMu.Unlock()
 				})
@@ -267,10 +393,11 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 				out.Err = fmt.Errorf("campaign: injecting %q: %w", f.String(), err)
 				return out
 			}
-			activeCount++
+			addActive(1)
 		}
-		rec.SetFaults(activeCount)
-		inst.Step(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: op, ActiveFaults: activeCount, Paused: eng.IsPaused})
+		n := curActive()
+		rec.SetFaults(n)
+		inst.Step(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: op, ActiveFaults: n, Paused: eng.IsPaused})
 	}
 	// End-of-schedule heal: resume frozen nodes, clear skews, disarm
 	// lying disks, and cancel pending recovery timers (their victims
@@ -301,18 +428,30 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 				if tm := restartTimers[i]; tm != nil {
 					tm.Stop()
 				}
-				// downRef stays counted; the revive loop below restarts
-				// every node still held down.
+				activeCount--
+				// downRef stays counted; the forced-restart loop below
+				// revives every node still held down.
 			}
 			downMu.Unlock()
 		}
 	}
 	_ = eng.HealAll()
+	// Force every still-down victim back up, in sorted order for
+	// determinism — crash faults that never healed and restart faults
+	// whose timer never fired — so the recovery-validation phase
+	// measures real post-heal recovery rather than a permanently dark
+	// node.
 	downMu.Lock()
+	victims := make([]netsim.NodeID, 0, len(downRef))
 	for v, n := range downRef {
 		if n > 0 {
-			eng.Restart(v)
+			victims = append(victims, v)
 		}
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a] < victims[b] })
+	for _, v := range victims {
+		eng.Restart(v)
+		downRef[v] = 0
 	}
 	downMu.Unlock()
 	rec.SetFaults(0)
@@ -320,6 +459,9 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	// re-elections, session re-establishment, and post-heal
 	// consolidation complete before the settled state is observed.
 	eng.Clock().Sleep(opts.settle)
+	if !opts.noProbe {
+		out.Recovery = runProbe(inst, rec, eng, rng, sched, opts)
+	}
 	inst.Observe(&StepCtx{Rng: rng, Clock: eng.Clock(), Op: -1, Paused: eng.IsPaused})
 	h := rec.History()
 	for _, check := range t.Checks() {
@@ -339,6 +481,72 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	return out
 }
 
+// runProbe drives the recovery-validation phase: with every fault
+// healed and every victim back up, probe passes run on the round's
+// clock inside the RTO window — a Prober instance's deterministic
+// probe workload, or a generic fallback that keeps re-running the
+// workload slice with continuing op indices. Probe operations are
+// recorded under history.PhaseProbe, which is all the Recovery
+// checker judges; a Prober that confirms full recovery ends the phase
+// early.
+func runProbe(inst Instance, rec *history.Recorder, eng *core.Engine, rng *rand.Rand, sched Schedule, opts runOpts) *RecoveryStats {
+	stats := &RecoveryStats{RecoveryTime: -1, FirstOk: map[string]time.Duration{}}
+	clk := eng.Clock()
+	prober, hasProber := inst.(Prober)
+	start := clk.Now()
+	// Probe pacing: up to 8 passes across the RTO window, the first
+	// immediately — a healthy target recovers on pass one and pays
+	// almost nothing.
+	interval := opts.rto / 8
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	rec.SetPhase(history.PhaseProbe)
+	for pass := 0; ; pass++ {
+		ctx := &StepCtx{
+			Rng: rng, Clock: clk, Op: sched.Ops + pass,
+			Paused: eng.IsPaused, Probe: true, retries: &stats.Retries,
+		}
+		before := rec.Len()
+		recovered := false
+		if hasProber {
+			recovered = prober.Probe(ctx)
+		} else {
+			inst.Step(ctx)
+		}
+		stats.Passes++
+		stats.Ops += rec.Len() - before
+		if recovered {
+			stats.Recovered = true
+			stats.RecoveryTime = clk.Now().Sub(start)
+			break
+		}
+		if clk.Now().Sub(start)+interval >= opts.rto {
+			break
+		}
+		clk.Sleep(interval)
+	}
+	rec.SetPhase(history.PhaseMain)
+	// Per-group first-success offsets, for the report's recovery_ns.
+	probes := rec.History().Filter(func(op history.Op) bool { return op.Phase == history.PhaseProbe })
+	if len(probes) > 0 {
+		base := probes[0].Invoke
+		for _, op := range probes {
+			if op.Outcome != history.Ok {
+				continue
+			}
+			g := op.Key
+			if op.Node != "" {
+				g = op.Key + "@" + op.Node
+			}
+			if _, seen := stats.FirstOk[g]; !seen {
+				stats.FirstOk[g] = op.Invoke - base
+			}
+		}
+	}
+	return stats
+}
+
 // scheduleSeed derives the deterministic schedule seed for one
 // (campaign seed, target, round) triple.
 func scheduleSeed(base int64, target string, round int) int64 {
@@ -353,6 +561,22 @@ type TargetStats struct {
 	Violations int
 	Unique     int
 	Errors     int
+	// ProbedRounds counts rounds whose recovery-validation phase ran;
+	// RecoveredRounds how many of those confirmed full recovery within
+	// the RTO window.
+	ProbedRounds    int
+	RecoveredRounds int
+	// ProbeOps and ProbeRetries total the recorded probe operations
+	// and the resilience-layer retry attempts they spent.
+	ProbeOps     int
+	ProbeRetries int
+	// MaxRecoveryNs is the slowest confirmed full recovery (virtual
+	// nanoseconds from probe start).
+	MaxRecoveryNs int64
+	// RecoveryNs is the worst-case per-group recovery time (virtual
+	// nanoseconds from probe start to the group's first successful
+	// probe), across the target's rounds.
+	RecoveryNs map[string]int64
 }
 
 // Config configures a campaign.
@@ -391,6 +615,20 @@ type Config struct {
 	// before the observation phase; 0 means DefaultSettle. Uniform
 	// across targets and virtually free under VirtualTime.
 	Settle time.Duration
+	// RTO is the recovery-time objective: how long, on the round's
+	// clock, the post-heal probe phase gives the system to come back
+	// before the Recovery checker's stuck/degraded/data-loss classes
+	// apply; 0 means DefaultRTO. cmd/neat-fuzz sets it from -rto.
+	RTO time.Duration
+	// NoProbe disables the recovery-validation phase entirely; the
+	// campaign then judges only in-window safety, as before the phase
+	// existed. cmd/neat-fuzz sets it from -probe=false.
+	NoProbe bool
+	// RoundTimeout is the per-round wall-clock watchdog: a round
+	// exceeding it is abandoned as an engine-error finding and the
+	// campaign keeps going; 0 means DefaultRoundTimeout, negative
+	// disables the watchdog.
+	RoundTimeout time.Duration
 	// Trace retains every finding's full recorded operation history
 	// (the witness trace is always kept). cmd/neat-fuzz sets it from
 	// -trace.
@@ -449,7 +687,10 @@ func Run(cfg Config) *Result {
 		res.Stats[t.Name()] = &TargetStats{}
 	}
 
-	opts := runOpts{virtual: cfg.VirtualTime, settle: cfg.Settle, trace: cfg.Trace}
+	opts := runOpts{
+		virtual: cfg.VirtualTime, settle: cfg.Settle, trace: cfg.Trace,
+		noProbe: cfg.NoProbe, rto: cfg.RTO, watchdog: cfg.RoundTimeout,
+	}
 	type job struct {
 		target Target
 		round  int
@@ -477,6 +718,25 @@ func Run(cfg Config) *Result {
 					st.Errors++
 					res.Errors++
 				}
+				if rcv := out.Recovery; rcv != nil {
+					st.ProbedRounds++
+					st.ProbeOps += rcv.Ops
+					st.ProbeRetries += rcv.Retries
+					if rcv.Recovered {
+						st.RecoveredRounds++
+						if ns := rcv.RecoveryTime.Nanoseconds(); ns > st.MaxRecoveryNs {
+							st.MaxRecoveryNs = ns
+						}
+					}
+					for g, d := range rcv.FirstOk {
+						if st.RecoveryNs == nil {
+							st.RecoveryNs = make(map[string]int64)
+						}
+						if ns := d.Nanoseconds(); ns > st.RecoveryNs[g] {
+							st.RecoveryNs[g] = ns
+						}
+					}
+				}
 				for _, v := range out.Violations {
 					found = append(found, Finding{
 						Violation: v,
@@ -486,8 +746,8 @@ func Run(cfg Config) *Result {
 					})
 				}
 				if cfg.Log != nil {
-					fmt.Fprintf(cfg.Log, "round %3d  %-22s violations=%d%s\n",
-						j.round, out.Target, len(out.Violations), errSuffix(out.Err))
+					fmt.Fprintf(cfg.Log, "round %3d  %-22s violations=%d%s%s\n",
+						j.round, out.Target, len(out.Violations), recoverySuffix(out.Recovery), errSuffix(out.Err))
 				}
 				mu.Unlock()
 			}
@@ -520,6 +780,17 @@ func errSuffix(err error) string {
 	return "  error=" + err.Error()
 }
 
+func recoverySuffix(rcv *RecoveryStats) string {
+	switch {
+	case rcv == nil:
+		return ""
+	case rcv.Recovered:
+		return fmt.Sprintf("  recovery=%v", rcv.RecoveryTime)
+	default:
+		return "  recovery=unconfirmed"
+	}
+}
+
 // shrinkAll minimizes one schedule per unique finding, in parallel up
 // to the worker bound.
 func (r *Result) shrinkAll(cfg Config) {
@@ -536,13 +807,23 @@ func (r *Result) shrinkAll(cfg Config) {
 		if !ok {
 			continue
 		}
+		if f.Violation.Invariant == "engine-error" {
+			// Re-running a wedged or panicking round would cost a
+			// watchdog timeout per shrink attempt; the schedule itself
+			// is the reproducer.
+			continue
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// The shrink re-runs carry the round options — including the
+			// probe phase and its RTO — or recovery violations could
+			// never re-reproduce during minimization.
 			shrunk, confirmed := shrink(t, f.Schedule, f.Violation.Signature(), cfg.ShrinkAttempts,
-				runOpts{virtual: cfg.VirtualTime, settle: cfg.Settle})
+				runOpts{virtual: cfg.VirtualTime, settle: cfg.Settle,
+					noProbe: cfg.NoProbe, rto: cfg.RTO, watchdog: cfg.RoundTimeout})
 			// Only a schedule that actually re-reproduced the signature
 			// is reported as a minimal reproducer.
 			if confirmed {

@@ -9,6 +9,7 @@ import (
 	"neat/internal/dfs"
 	"neat/internal/history"
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 )
 
 // dfsTarget fuzzes the HDFS/MooseFS-style distributed file system —
@@ -64,9 +65,20 @@ func (t *dfsTarget) Checks() []history.Check {
 	if !t.safe {
 		spec.MetaNote = "meta-exists"
 	}
+	// The recovery data-loss rule mirrors the Tasks namespace rule: only
+	// the flawed variant claims metadata authority over unreadable bytes
+	// (MooseFS #131), so only there is a definitive meta-exists read
+	// after the heal data-loss evidence. The safe variant's replicated,
+	// checksummed files can exhaust their fault budget to a lying disk —
+	// a definitive failure, but not a namespace lie.
+	rspec := history.RecoverySpec{WriteKind: "write", ReadKind: "probe-read"}
+	if !t.safe {
+		rspec.MetaNote = "meta-exists"
+	}
 	return []history.Check{
 		history.Registers(history.RegisterSpec{WriteKind: "write", ReadKind: "read"}),
 		history.Tasks(spec),
+		history.Recovery(rspec),
 	}
 }
 
@@ -223,6 +235,78 @@ func (in *dfsInstance) Observe(*StepCtx) {
 			return err == nil || dfs.IsNotFound(err)
 		})
 		in.read(file)
+	}
+}
+
+// dfsProbeFile is the dedicated probe file: probe pipeline writes land
+// here, never on the workload's register files.
+const dfsProbeFile = "pf"
+
+// Probe validates recovery: one pipeline write of the dedicated probe
+// file plus probe reads of it and every workload file. The re-reads
+// feed the Recovery checker's data-loss rule — on the flawed variant,
+// metadata asserting a file exists whose bytes every post-heal read
+// definitively fails to produce is data loss, not a transient.
+func (in *dfsInstance) Probe(ctx *StepCtx) bool {
+	ok := in.probeWrite(ctx, fmt.Sprintf("pf-op%d", ctx.Op))
+	for i := 0; i < dfsFiles; i++ {
+		ok = in.probeRead(ctx, fmt.Sprintf("f%d", i)) && ok
+	}
+	ok = in.probeRead(ctx, dfsProbeFile) && ok
+	return ok
+}
+
+// probeWrite records one retried single-replica pipeline write — the
+// liveness payload. One committed replica proves the alloc/store/commit
+// path alive; replica fan-out is the workload's business.
+func (in *dfsInstance) probeWrite(ctx *StepCtx, data string) bool {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-write", Key: dfsProbeFile, Input: data})
+	err := probeDo(ctx, nil, func() error {
+		ver := in.cl.NewVersion()
+		node, err := in.cl.Allocate(dfsProbeFile, nil)
+		if err != nil {
+			return err
+		}
+		if err := in.cl.Store(node, dfsProbeFile, ver, data); err != nil {
+			return err
+		}
+		return in.cl.Commit(dfsProbeFile, node, ver)
+	})
+	ref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
+	return err == nil
+}
+
+// probeRead records one retried probe read with the same outcome
+// classification as the workload's read. Every definitive answer —
+// the value, an authoritative not-found, or the meta-exists failure —
+// reports the service alive; what the answer means is the checker's
+// business.
+func (in *dfsInstance) probeRead(ctx *StepCtx, file string) bool {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-read", Key: file})
+	var got string
+	err := probeDo(ctx, func(err error) resilience.Class {
+		if dfs.IsNotFound(err) || dfs.IsUnreachable(err) {
+			return resilience.Fatal
+		}
+		return resilience.Retryable
+	}, func() error {
+		v, err := in.cl.Read(file)
+		got = v
+		return err
+	})
+	switch {
+	case err == nil:
+		ref.End(history.Ok, got)
+		return true
+	case dfs.IsUnreachable(err):
+		ref.EndNote(history.Failed, "", "meta-exists")
+		return true
+	case dfs.IsNotFound(err):
+		ref.EndNote(history.Ok, "", "missing")
+		return true
+	default:
+		ref.End(history.OutcomeOf(err, dfs.MaybeExecuted(err)), "")
+		return false
 	}
 }
 

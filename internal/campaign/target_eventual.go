@@ -10,6 +10,7 @@ import (
 	"neat/internal/eventual"
 	"neat/internal/history"
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 )
 
 // eventualTarget fuzzes the Dynamo-style eventually consistent store
@@ -50,6 +51,10 @@ func (t *eventualTarget) Checks() []history.Check {
 			OnlyFaulted:       true,
 			Supersedes:        vclockSupersedes,
 		}),
+		// Post-heal liveness: a write on the dedicated probe key plus a
+		// per-replica read of it. Convergence of the workload key is the
+		// Convergence checker's business.
+		history.Recovery(history.RecoverySpec{}),
 	}
 }
 
@@ -172,6 +177,53 @@ func joinVersionVals(vs []eventual.Version) string {
 		parts[i] = v.Val
 	}
 	return strings.Join(parts, ",")
+}
+
+// eventualProbeKey is the dedicated probe register, separate from the
+// contended workload key.
+const eventualProbeKey = "pe"
+
+// Probe validates recovery: one write of the dedicated probe key
+// through c1's coordinator, then a read of it from every replica. A
+// replica that has not yet anti-entropied the key answers not-found —
+// definitive, and counted as alive.
+func (in *eventualInstance) Probe(ctx *StepCtx) bool {
+	w := in.writers[0]
+	val := fmt.Sprintf("probe-op%d", ctx.Op)
+	ref := in.rec.Begin(history.Op{Client: w.client, Kind: "probe-put", Key: eventualProbeKey, Input: val})
+	err := probeDo(ctx, nil, func() error {
+		_, err := w.cl.PutV(w.coord, eventualProbeKey, val)
+		return err
+	})
+	ref.End(history.OutcomeOf(err, eventual.MaybeExecuted(err)), "")
+	ok := err == nil
+	for _, rep := range in.replicas {
+		rref := in.rec.Begin(history.Op{Client: w.client, Kind: "probe-versions", Key: eventualProbeKey, Node: string(rep)})
+		var got string
+		verr := probeDo(ctx, func(err error) resilience.Class {
+			if eventual.IsNotFound(err) {
+				return resilience.Fatal
+			}
+			return resilience.Retryable
+		}, func() error {
+			vers, err := w.cl.GetVersions(rep, eventualProbeKey)
+			if err == nil {
+				sort.Slice(vers, func(i, j int) bool { return vers[i].Val < vers[j].Val })
+				got = joinVersionVals(vers)
+			}
+			return err
+		})
+		switch {
+		case verr == nil:
+			rref.End(history.Ok, got)
+		case eventual.IsNotFound(verr):
+			rref.EndNote(history.Ok, "", "missing")
+		default:
+			rref.End(history.OutcomeOf(verr, eventual.MaybeExecuted(verr)), "")
+			ok = false
+		}
+	}
+	return ok
 }
 
 func (in *eventualInstance) Close() {

@@ -48,7 +48,13 @@ func (t *jobschedTarget) Topology() Topology {
 }
 
 func (t *jobschedTarget) Checks() []history.Check {
-	return []history.Check{history.Tasks(history.TasksSpec{SubmitKind: "run"})}
+	return []history.Check{
+		history.Tasks(history.TasksSpec{SubmitKind: "run"}),
+		// Post-heal liveness: one dedicated probe job per pass plus
+		// per-node tally reads. No data-loss rule — executions are
+		// judged by the Tasks checker.
+		history.Recovery(history.RecoverySpec{}),
+	}
 }
 
 func (t *jobschedTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
@@ -131,6 +137,51 @@ func (in *jobschedInstance) Observe(*StepCtx) {
 			ref.EndNote(history.Ok, strconv.Itoa(n), "count")
 		}
 	}
+}
+
+// jobschedProbeKey is the stable probe-group key; each pass's unique
+// probe job rides in Input so violation subjects stay stable.
+const jobschedProbeKey = "pj"
+
+// Probe validates recovery: trigger one dedicated probe job (never
+// tallied by Observe, so the Tasks checker stays blind to it) and read
+// every node's execution tally for it. The pass confirms recovery when
+// the run succeeded and every node answered.
+func (in *jobschedInstance) Probe(ctx *StepCtx) bool {
+	job := fmt.Sprintf("pj%02d", ctx.Op)
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-run", Key: jobschedProbeKey, Input: job})
+	var status string
+	err := probeDo(ctx, nil, func() error {
+		s, err := in.cl.Run(job)
+		status = s
+		return err
+	})
+	ok := false
+	switch {
+	case err == nil && status == jobsched.StatusSucceeded:
+		ref.End(history.Ok, status)
+		ok = true
+	case err == nil:
+		ref.End(history.Failed, status)
+	default:
+		ref.End(history.OutcomeOf(err, jobsched.MaybeExecuted(err)), "")
+	}
+	for _, node := range in.nodes {
+		eref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-exec", Key: jobschedProbeKey, Node: string(node)})
+		var n int
+		err := probeDo(ctx, nil, func() error {
+			v, err := in.cl.ExecutionsOn(node, job)
+			n = v
+			return err
+		})
+		if err != nil {
+			eref.End(history.OutcomeOf(err, jobsched.MaybeExecuted(err)), "")
+			ok = false
+			continue
+		}
+		eref.End(history.Ok, strconv.Itoa(n))
+	}
+	return ok
 }
 
 func (in *jobschedInstance) Close() { in.cl.Close() }

@@ -9,6 +9,7 @@ import (
 	"neat/internal/history"
 	"neat/internal/kvstore"
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 )
 
 // kvTarget fuzzes the primary/backup kvstore under one election mode.
@@ -39,6 +40,12 @@ func (t *kvTarget) Checks() []history.Check {
 	return []history.Check{
 		history.Registers(history.RegisterSpec{}),
 		history.SilentWrites(history.SilentSpec{}),
+		// Post-heal liveness plus the data-loss rule over the probe
+		// phase's re-reads: an acknowledged workload write whose key
+		// every probe read proves authoritatively absent is
+		// data-loss-after-heal (a flawed mode consolidating onto a side
+		// that never saw the key).
+		history.Recovery(history.RecoverySpec{WriteKind: "put", ReadKind: "probe-get"}),
 	}
 }
 
@@ -62,9 +69,20 @@ func (t *kvTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, er
 	return &kvInstance{
 		eng: eng,
 		rec: rec,
-		c1:  kvstore.NewClient(eng.Network(), "c1", replicas, 80*time.Millisecond),
-		c2:  kvstore.NewClient(eng.Network(), "c2", replicas, 80*time.Millisecond),
+		c1:  kvstore.NewClientWithRetry(eng.Network(), "c1", replicas, 80*time.Millisecond, kvRetryPolicy),
+		c2:  kvstore.NewClientWithRetry(eng.Network(), "c2", replicas, 80*time.Millisecond, kvRetryPolicy),
 	}, nil
+}
+
+// kvRetryPolicy is the workload clients' sweep retry: one backed-off
+// second sweep on a definitively-refused operation (a leaderless
+// window an election is about to close). Ambiguous failures are NOT
+// retried — the silent-success window is a studied behaviour the
+// checkers must keep seeing, not one for the client to paper over.
+var kvRetryPolicy = resilience.Policy{
+	Base:        2 * time.Millisecond,
+	Cap:         16 * time.Millisecond,
+	MaxAttempts: 2,
 }
 
 // kvInstance drives single-writer-per-key workloads from two clients,
@@ -128,6 +146,59 @@ func (in *kvInstance) Observe(*StepCtx) {
 			return err == nil || kvstore.IsNotFound(err)
 		})
 		in.get(in.c2, "c2", key)
+	}
+}
+
+// kvProbeKey is the dedicated probe register: liveness round-trips
+// land here, never on the workload's contended keys.
+const kvProbeKey = "pk"
+
+// Probe validates recovery: a put/get round-trip on the dedicated
+// probe key, plus re-reads of both workload keys whose authoritative
+// absence would prove an acknowledged write gone (the Recovery
+// checker's data-loss rule).
+func (in *kvInstance) Probe(ctx *StepCtx) bool {
+	ok := in.probePut(ctx, fmt.Sprintf("pk-op%d", ctx.Op))
+	ok = in.probeGet(ctx, kvProbeKey) && ok
+	for _, key := range []string{"k1", "k2"} {
+		ok = in.probeGet(ctx, key) && ok
+	}
+	return ok
+}
+
+func (in *kvInstance) probePut(ctx *StepCtx, val string) bool {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-put", Key: kvProbeKey, Input: val})
+	err := probeDo(ctx, nil, func() error { return in.c1.Put(kvProbeKey, val) })
+	ref.End(history.OutcomeOf(err, kvstore.MaybeExecuted(err)), "")
+	return err == nil
+}
+
+// probeGet records one retried probe read; any definitive answer — a
+// value or the store's authoritative not-found — reports the service
+// alive.
+func (in *kvInstance) probeGet(ctx *StepCtx, key string) bool {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-get", Key: key})
+	var got string
+	err := probeDo(ctx, func(err error) resilience.Class {
+		if kvstore.IsNotFound(err) {
+			return resilience.Fatal
+		}
+		return resilience.Retryable
+	}, func() error {
+		v, err := in.c1.Get(key)
+		got = v
+		return err
+	})
+	switch {
+	case err == nil:
+		ref.End(history.Ok, got)
+		return true
+	case kvstore.IsNotFound(err):
+		ref.EndNote(history.Ok, "", "missing")
+		return true
+	default:
+		ref.End(history.OutcomeOf(err, kvstore.MaybeExecuted(err)), "")
+		return false
 	}
 }
 

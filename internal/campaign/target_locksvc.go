@@ -9,6 +9,7 @@ import (
 	"neat/internal/history"
 	"neat/internal/locksvc"
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 )
 
 // lockTarget fuzzes the Ignite-style coordination toolkit. With
@@ -49,6 +50,9 @@ func (t *lockTarget) Checks() []history.Check {
 		// grant — are flagged.
 		history.MutualExclusion(history.MutexSpec{LeaseTTL: lockLeaseTTL}),
 		history.UniqueOutputs("incr", "unique-sequence"),
+		// Post-heal liveness over the dedicated probe lock. No
+		// data-loss rule: a lock service protects exclusion, not data.
+		history.Recovery(history.RecoverySpec{}),
 	}
 }
 
@@ -66,6 +70,12 @@ func (t *lockTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, 
 		// reclaimed while it was frozen gets ErrNotHolder instead of
 		// silently deleting the next holder's grant.
 		ValidateRelease: t.syncBackups,
+		// The safe variant also re-admits evicted members once their
+		// heartbeats resume. Without it the split views persist after
+		// the heal — SyncBackups then refuses every mutation forever
+		// (the recovery probes report the flawed variant's permanent
+		// unavailability as stuck-after-heal).
+		RejoinAfterHeal: t.syncBackups,
 		RPCTimeout:      20 * time.Millisecond,
 	}
 	sys := locksvc.NewSystem(eng.Network(), cfg)
@@ -153,6 +163,34 @@ func (in *lockInstance) Step(ctx *StepCtx) {
 // Observe records nothing: the lock invariants are judged entirely
 // from the in-round history.
 func (in *lockInstance) Observe(*StepCtx) {}
+
+// lockProbeKey is the dedicated probe lock — never the workload's "L",
+// which may be legitimately held when the round's schedule ends.
+const lockProbeKey = "PL"
+
+// Probe validates recovery with a lock/unlock round-trip on the
+// dedicated probe lock through c1. Grants are reentrant per client,
+// so a previous pass's ambiguously-acquired grant (kept alive by the
+// client's renewal) cannot wedge later passes.
+func (in *lockInstance) Probe(ctx *StepCtx) bool {
+	ok := in.probeOp(ctx, "probe-lock", func() error { return in.clients[0].Lock(lockProbeKey) })
+	ok = in.probeOp(ctx, "probe-unlock", func() error { return in.clients[0].Unlock(lockProbeKey) }) && ok
+	return ok
+}
+
+func (in *lockInstance) probeOp(ctx *StepCtx, kind string, fn func() error) bool {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: kind, Key: lockProbeKey})
+	err := probeDo(ctx, func(err error) resilience.Class {
+		if locksvc.MaybeExecuted(err) {
+			return resilience.Retryable
+		}
+		// A definitive refusal (fenced ErrNotHolder, a held lock) is
+		// the service answering; retrying cannot change it.
+		return resilience.Fatal
+	}, fn)
+	ref.End(history.OutcomeOf(err, locksvc.MaybeExecuted(err)), "")
+	return err == nil
+}
 
 func (in *lockInstance) Close() {
 	for _, cl := range in.clients {

@@ -8,6 +8,7 @@ import (
 	"neat/internal/history"
 	"neat/internal/mapred"
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 )
 
 // mapredTarget fuzzes the MapReduce control plane of Figure 3. The
@@ -43,7 +44,13 @@ func (t *mapredTarget) Topology() Topology {
 }
 
 func (t *mapredTarget) Checks() []history.Check {
-	return []history.Check{history.Tasks(history.TasksSpec{})}
+	return []history.Check{
+		history.Tasks(history.TasksSpec{}),
+		// Post-heal liveness plus data-loss over the probe status
+		// queries: an acknowledged submission the RM no longer knows —
+		// and never completes — is the user's work gone.
+		history.Recovery(history.RecoverySpec{WriteKind: "submit", ReadKind: "probe-status"}),
+	}
 }
 
 func (t *mapredTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
@@ -128,6 +135,46 @@ func (in *mapredInstance) Observe(*StepCtx) {
 		ref := in.rec.Begin(history.Op{Client: "user", Kind: "exec", Key: r.JobID})
 		ref.EndNote(history.Ok, fmt.Sprintf("attempt%d", r.Attempt), "final")
 	}
+}
+
+// Probe validates recovery by asking the RM for every submitted job's
+// status. A definitive "unknown job" is recorded as an authoritative
+// absence (the data-loss rule's evidence); a pass confirms recovery
+// once every query gets a definitive answer and every still-known job
+// has completed — the post-heal monitor is expected to finish the
+// round's work inside the RTO. A round that submitted nothing has
+// nothing to probe.
+func (in *mapredInstance) Probe(ctx *StepCtx) bool {
+	ok := true
+	for _, job := range in.jobs {
+		job := job
+		ref := in.rec.Begin(history.Op{Client: "user", Kind: "probe-status", Key: job, Node: "rm"})
+		var st mapred.JobState
+		err := probeDo(ctx, func(err error) resilience.Class {
+			if mapred.MaybeExecuted(err) {
+				return resilience.Retryable
+			}
+			// The RM answered: an unknown job will stay unknown.
+			return resilience.Fatal
+		}, func() error {
+			s, err := in.cl.JobStatus(job)
+			st = s
+			return err
+		})
+		switch {
+		case err == nil && st.Completed:
+			ref.End(history.Ok, "completed")
+		case err == nil:
+			ref.End(history.Ok, "running")
+			ok = false
+		case !mapred.MaybeExecuted(err):
+			ref.EndNote(history.Ok, "", "missing")
+		default:
+			ref.End(history.Ambiguous, "")
+			ok = false
+		}
+	}
+	return ok
 }
 
 func (in *mapredInstance) Close() { in.cl.Close() }

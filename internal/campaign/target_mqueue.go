@@ -9,6 +9,7 @@ import (
 	"neat/internal/history"
 	"neat/internal/mqueue"
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 )
 
 // mqueueTarget fuzzes the ZooKeeper-coordinated broker group. The
@@ -47,7 +48,15 @@ func (t *mqueueTarget) Checks() []history.Check {
 	// redelivered after the heal, behind messages the other side
 	// already served (verified on mqueue/safe, seed 7). At-most-once
 	// and durability are the queue's real invariants here.
-	return []history.Check{history.Queue(history.QueueSpec{})}
+	return []history.Check{
+		history.Queue(history.QueueSpec{}),
+		// Post-heal liveness over the dedicated probe queue. The flawed
+		// variant's expired coordination sessions are never
+		// re-established, so a round can end permanently masterless —
+		// the paper's "failure persists after the partition heals",
+		// reported as stuck-after-heal.
+		history.Recovery(history.RecoverySpec{}),
+	}
 }
 
 func (t *mqueueTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
@@ -58,6 +67,12 @@ func (t *mqueueTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance
 		RolePoll:           10 * time.Millisecond,
 		RequireReplicaAcks: t.safe,
 		StepDownOnZKLoss:   t.safe,
+		// The safe variant re-establishes expired coordination sessions
+		// (the real ZooKeeper client's behaviour). Without it a round
+		// whose faults outlive every session TTL ends permanently
+		// masterless — the flawed variant keeps that studied behaviour
+		// and the probes report it as stuck-after-heal.
+		ReestablishSession: t.safe,
 		RPCTimeout:         20 * time.Millisecond,
 	}
 	sys := mqueue.NewSystem(eng.Network(), cfg,
@@ -136,8 +151,8 @@ func (in *mqueueInstance) Step(ctx *StepCtx) {
 // Observe drains what is left through whichever broker now claims
 // mastership, from both clients. The drain's authoritative "queue
 // empty" answer — recorded after the last send — is what licenses the
-// checker to judge durability: an expired coordination session is
-// never re-established in this model, so a round can end with every
+// checker to judge durability: the flawed variant never re-establishes
+// an expired coordination session, so its rounds can end with every
 // broker masterless, and the backlog is then unreachable but not
 // lost.
 func (in *mqueueInstance) Observe(*StepCtx) {
@@ -162,6 +177,44 @@ func (in *mqueueInstance) drain(cl *mqueue.Client, client string) {
 			in.eng.Clock().Sleep(20 * time.Millisecond)
 		}
 	}
+}
+
+// mqProbeQueue is the dedicated probe queue: probe traffic must not
+// consume the workload backlog Observe's drain will judge.
+const mqProbeQueue = "pq"
+
+// Probe validates recovery with a send/receive round-trip on the
+// dedicated probe queue through c1. With every broker masterless
+// (the flawed variant's permanently-expired sessions) both operations
+// keep failing and the round ends stuck-after-heal.
+func (in *mqueueInstance) Probe(ctx *StepCtx) bool {
+	cl := in.clients[0]
+	msg := fmt.Sprintf("p%03d", ctx.Op)
+	sref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-send", Key: mqProbeQueue, Input: msg})
+	serr := probeDo(ctx, nil, func() error { return cl.Send(mqProbeQueue, msg) })
+	sref.End(history.OutcomeOf(serr, mqueue.MaybeExecuted(serr)), "")
+
+	rref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-recv", Key: mqProbeQueue})
+	var got string
+	rerr := probeDo(ctx, func(err error) resilience.Class {
+		if mqueue.IsEmpty(err) {
+			return resilience.Fatal
+		}
+		return resilience.Retryable
+	}, func() error {
+		m, err := cl.Recv(mqProbeQueue)
+		got = m
+		return err
+	})
+	switch {
+	case rerr == nil:
+		rref.End(history.Ok, got)
+	case mqueue.IsEmpty(rerr):
+		rref.End(history.Ok, "")
+	default:
+		rref.End(history.OutcomeOf(rerr, mqueue.MaybeExecuted(rerr)), "")
+	}
+	return serr == nil && (rerr == nil || mqueue.IsEmpty(rerr))
 }
 
 func (in *mqueueInstance) Close() {

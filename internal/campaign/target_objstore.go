@@ -9,6 +9,7 @@ import (
 	"neat/internal/history"
 	"neat/internal/netsim"
 	"neat/internal/objstore"
+	"neat/internal/resilience"
 )
 
 // objstoreTarget fuzzes the Ceph-style replicated object store. The
@@ -49,6 +50,10 @@ func (t *objstoreTarget) Checks() []history.Check {
 			ReadKind:    "read",
 			AppliedNote: "applied",
 		}),
+		// Post-heal liveness over the dedicated probe object. No
+		// data-loss rule: acknowledged deletes make authoritative
+		// absence legitimate here.
+		history.Recovery(history.RecoverySpec{}),
 	}
 }
 
@@ -119,6 +124,46 @@ func (in *objInstance) Observe(*StepCtx) {
 			}
 		}
 	}
+}
+
+// objProbeKey is the dedicated probe object, outside the workload's
+// obj0..obj2 rotation.
+const objProbeKey = "pobj"
+
+// Probe validates recovery: one write of the dedicated probe object
+// plus a read of it from every OSD. The store has no repair protocol,
+// but a post-heal write replicates to every reachable secondary, so a
+// healthy round answers from all three.
+func (in *objInstance) Probe(ctx *StepCtx) bool {
+	val := fmt.Sprintf("pobj-op%d", ctx.Op)
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-write", Key: objProbeKey, Input: val})
+	err := probeDo(ctx, nil, func() error { return in.cl.Write(objProbeKey, val) })
+	ref.End(history.OutcomeOf(err, objstore.MaybeExecuted(err)), "")
+	ok := err == nil
+	for _, osd := range in.osds {
+		rref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-read", Key: objProbeKey, Node: string(osd)})
+		var got string
+		rerr := probeDo(ctx, func(err error) resilience.Class {
+			if objstore.IsNotFound(err) {
+				return resilience.Fatal
+			}
+			return resilience.Retryable
+		}, func() error {
+			v, err := in.cl.ReadFrom(osd, objProbeKey)
+			got = v
+			return err
+		})
+		switch {
+		case rerr == nil:
+			rref.End(history.Ok, got)
+		case objstore.IsNotFound(rerr):
+			rref.EndNote(history.Ok, "", "missing")
+		default:
+			rref.End(history.OutcomeOf(rerr, false), "")
+			ok = false
+		}
+	}
+	return ok
 }
 
 func (in *objInstance) Close() { in.cl.Close() }

@@ -8,6 +8,7 @@ import (
 	"neat/internal/history"
 	"neat/internal/netsim"
 	"neat/internal/raftkv"
+	"neat/internal/resilience"
 )
 
 // raftTarget fuzzes the proper-Raft group. Quorum elections plus
@@ -33,7 +34,13 @@ func (t *raftTarget) Topology() Topology {
 }
 
 func (t *raftTarget) Checks() []history.Check {
-	return []history.Check{history.Registers(history.RegisterSpec{})}
+	return []history.Check{
+		history.Registers(history.RegisterSpec{}),
+		// Post-heal liveness plus data-loss over the probe re-reads: a
+		// committed (acknowledged) write can never be authoritatively
+		// absent once the healed cluster answers again.
+		history.Recovery(history.RecoverySpec{WriteKind: "put", ReadKind: "probe-get"}),
+	}
 }
 
 func (t *raftTarget) Deploy(eng *core.Engine, rec *history.Recorder) (Instance, error) {
@@ -130,6 +137,50 @@ func (in *raftInstance) Observe(*StepCtx) {
 		default:
 			ref.End(history.OutcomeOf(err, raftkv.MaybeExecuted(err)), "")
 		}
+	}
+}
+
+// Probe validates recovery: one put on a dedicated probe key through
+// c1, then re-reads of the probe key and both workload keys. Early
+// probe passes legitimately time out while the healed cluster is
+// still electing; a pass confirms recovery only when every operation
+// got a definitive answer and the put was acknowledged.
+func (in *raftInstance) Probe(ctx *StepCtx) bool {
+	cl := in.keys[0].cl
+	val := fmt.Sprintf("pk-op%d", ctx.Op)
+	pref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-put", Key: "pk", Input: val})
+	err := probeDo(ctx, nil, func() error { return cl.Put("pk", val) })
+	pref.End(history.OutcomeOf(err, raftkv.MaybeExecuted(err)), "")
+	ok := err == nil
+	for _, key := range []string{"pk", "rk1", "rk2"} {
+		ok = in.probeGet(ctx, cl, key) && ok
+	}
+	return ok
+}
+
+func (in *raftInstance) probeGet(ctx *StepCtx, cl *raftkv.Client, key string) bool {
+	ref := in.rec.Begin(history.Op{Client: "c1", Kind: "probe-get", Key: key})
+	var got string
+	err := probeDo(ctx, func(err error) resilience.Class {
+		if raftkv.IsNotFound(err) {
+			return resilience.Fatal
+		}
+		return resilience.Retryable
+	}, func() error {
+		v, err := cl.Get(key)
+		got = v
+		return err
+	})
+	switch {
+	case err == nil:
+		ref.End(history.Ok, got)
+		return true
+	case raftkv.IsNotFound(err):
+		ref.EndNote(history.Ok, "", "missing")
+		return true
+	default:
+		ref.End(history.OutcomeOf(err, raftkv.MaybeExecuted(err)), "")
+		return false
 	}
 }
 

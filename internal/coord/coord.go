@@ -295,6 +295,11 @@ type Session struct {
 	ep      *transport.Endpoint
 	service netsim.NodeID
 	group   string
+	// reestablish switches the keepalive from pings to re-registration
+	// (the ZooKeeper-client model: a new session is negotiated after an
+	// expiry). Plain pings are the studied default — the service
+	// ignores them once the session expired, so the expiry is permanent.
+	reestablish bool
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -305,7 +310,24 @@ type Session struct {
 // and starts the keepalive pinger. pingEvery should be well under the
 // service's SessionTTL.
 func NewSession(ep *transport.Endpoint, service netsim.NodeID, group string, pingEvery time.Duration) (*Session, error) {
-	s := &Session{ep: ep, service: service, group: group, stopCh: make(chan struct{})}
+	return newSession(ep, service, group, pingEvery, false)
+}
+
+// NewReestablishingSession is NewSession with a ZooKeeper-client-style
+// keepalive: every beat re-registers instead of pinging. A live
+// session's re-registration refreshes the TTL and keeps its seniority;
+// an expired one transparently negotiates a fresh registration with a
+// new sequence — the member rejoins at the back of the election queue.
+// An outage longer than the TTL therefore costs the session its
+// seniority, never its membership.
+func NewReestablishingSession(ep *transport.Endpoint, service netsim.NodeID, group string, pingEvery time.Duration) (*Session, error) {
+	return newSession(ep, service, group, pingEvery, true)
+}
+
+// newSession registers and starts the keepalive loop; reestablish must
+// be fixed before the loop goroutine launches.
+func newSession(ep *transport.Endpoint, service netsim.NodeID, group string, pingEvery time.Duration, reestablish bool) (*Session, error) {
+	s := &Session{ep: ep, service: service, group: group, reestablish: reestablish, stopCh: make(chan struct{})}
 	_, err := ep.Call(service, mRegister, registerMsg{Session: ep.ID(), Group: group}, 0)
 	if err != nil {
 		return nil, fmt.Errorf("coord: register: %w", err)
@@ -320,7 +342,11 @@ func (s *Session) pingLoop(t clock.Ticker) {
 	defer s.wg.Done()
 	defer t.Stop()
 	clock.TickLoop(s.ep.Clock(), t, s.stopCh, func() {
-		_ = s.ep.Notify(s.service, mPing, pingMsg{Session: s.ep.ID()})
+		if s.reestablish {
+			_, _ = s.ep.Call(s.service, mRegister, registerMsg{Session: s.ep.ID(), Group: s.group}, 0)
+		} else {
+			_ = s.ep.Notify(s.service, mPing, pingMsg{Session: s.ep.ID()})
+		}
 	})
 }
 
@@ -328,6 +354,19 @@ func (s *Session) pingLoop(t clock.Ticker) {
 func (s *Session) Close() {
 	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.wg.Wait()
+}
+
+// IsNoLeader reports whether err is the service's authoritative
+// "group has no live members" answer — distinct from a transport
+// failure: the service was reached and said nobody leads. A caller
+// holding an ephemeral registration can conclude its own session has
+// expired (a live session would put the caller itself in the group).
+func IsNoLeader(err error) bool {
+	if errors.Is(err, ErrNoLeader) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && re.Msg == ErrNoLeader.Error()
 }
 
 // Leader asks the service who currently leads the group.

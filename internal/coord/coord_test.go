@@ -156,3 +156,55 @@ func TestPingKeepsSessionAlive(t *testing.T) {
 
 // svcNet extracts the fabric a service endpoint is attached to.
 func svcNet(s *Service) *netsim.Network { return s.ep.Network() }
+
+// TestReestablishingSessionSurvivesExpiry: an outage longer than the
+// TTL expires the session; the re-establishing keepalive's register
+// beats bring it back (with fresh seniority) once the service is
+// reachable again, while a plain ping keepalive stays dead forever.
+func TestReestablishingSessionSurvivesExpiry(t *testing.T) {
+	n, svc := service(t, Options{SessionTTL: 40 * time.Millisecond, SweepInterval: 5 * time.Millisecond})
+	a := endpoint(t, n, "a")
+	b := endpoint(t, n, "b")
+	sa, err := NewReestablishingSession(a, "zk", "g", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := NewSession(b, "zk", "g", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	// Cut both off from zk until every session has expired.
+	n.SetSwitch(netsim.FilterFunc(func(src, dst netsim.NodeID) netsim.Verdict {
+		if dst == "zk" || src == "zk" {
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictAccept
+	}))
+	deadline := time.Now().Add(2 * time.Second)
+	for len(svc.LiveSessions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions never expired; live=%v", svc.LiveSessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Heal. Only a (re-establishing) comes back; b's pings are ignored.
+	n.SetSwitch(nil)
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if live := svc.LiveSessions(); len(live) == 1 && live[0] == "a" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live sessions = %v, want exactly [a] back", svc.LiveSessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	leader, err := Leader(a, "zk", "g", time.Second)
+	if err != nil || leader != "a" {
+		t.Fatalf("leader = %s, %v; want the re-established a", leader, err)
+	}
+}

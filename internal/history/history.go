@@ -85,6 +85,16 @@ func OutcomeOf(err error, maybeExecuted bool) Outcome {
 // never recorded; checkers treat its effect window as open-ended.
 const NoReturn = time.Duration(-1)
 
+// Phase tags for Op.Phase.
+const (
+	// PhaseMain is the default phase: the fault-window workload and
+	// the post-heal observation reads.
+	PhaseMain = ""
+	// PhaseProbe marks operations of the recovery-validation probe the
+	// runner drives after the heal, inside the RTO window.
+	PhaseProbe = "probe"
+)
+
 // Op is one recorded client operation.
 type Op struct {
 	// Index is the zero-based invocation order within the round; it is
@@ -113,6 +123,12 @@ type Op struct {
 	Aux string
 	// Faults is how many schedule faults were active at invocation.
 	Faults int
+	// Phase tags which execution phase recorded the operation: ""
+	// (PhaseMain) for the fault-window workload and the observation
+	// reads, PhaseProbe for the post-heal recovery-validation probes.
+	// The Recovery checker judges only probe-phase operations; every
+	// other checker sees phases alike.
+	Phase string
 	// Invoke and Return are offsets from the round's start on the
 	// round's clock. Under virtual time they are deterministic.
 	Invoke time.Duration
@@ -143,6 +159,9 @@ func (op Op) String() string {
 	}
 	if op.Faults > 0 {
 		s += fmt.Sprintf(" faults=%d", op.Faults)
+	}
+	if op.Phase != "" {
+		s += " phase=" + op.Phase
 	}
 	return s
 }

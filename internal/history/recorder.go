@@ -17,6 +17,7 @@ type Recorder struct {
 	base   time.Time
 	ops    []Op
 	faults int
+	phase  string
 }
 
 // NewRecorder starts a recorder; offsets are measured from now on clk.
@@ -36,6 +37,15 @@ func (r *Recorder) SetFaults(n int) {
 	r.mu.Unlock()
 }
 
+// SetPhase changes the phase tag stamped onto subsequently begun
+// operations. The campaign runner sets PhaseProbe for the post-heal
+// recovery-validation window and restores PhaseMain afterwards.
+func (r *Recorder) SetPhase(phase string) {
+	r.mu.Lock()
+	r.phase = phase
+	r.mu.Unlock()
+}
+
 // OpRef is a handle to an in-flight operation.
 type OpRef struct {
 	r   *Recorder
@@ -52,6 +62,9 @@ func (r *Recorder) Begin(op Op) OpRef {
 	defer r.mu.Unlock()
 	op.Index = len(r.ops)
 	op.Faults = r.faults
+	if op.Phase == "" {
+		op.Phase = r.phase
+	}
 	op.Invoke = r.now()
 	op.Return = NoReturn
 	op.Outcome = Ambiguous

@@ -1,0 +1,182 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RecoverySpec parameterizes the Recovery checker.
+//
+// The checker judges only the probe phase — the operations the runner
+// drives after every fault has healed, inside the configured RTO
+// window (the runner bounds the probe phase to the RTO on the round's
+// clock, so "never within the probe phase" is exactly "not within the
+// RTO"). Three violation classes come out of it, matching the paper's
+// finding that most partition-induced failures persist after the
+// partition heals:
+//
+//   - stuck-after-heal: the system as a whole never came back — not a
+//     single probe operation succeeded within the RTO.
+//   - degraded-after-heal: the system partially came back — some
+//     probed node or key never produced any definitive response (every
+//     attempt timed out or hung), while the rest of the probes got
+//     answers. A definitive refusal counts as the service answering:
+//     degradation here is about liveness, not correctness.
+//   - data-loss-after-heal: the system came back but an acknowledged
+//     main-phase write is authoritatively gone — every probe read of
+//     its key either reports the configured "missing" note (the
+//     namespace's own "no such object") or fails with the MetaNote
+//     marker (metadata asserts existence, the bytes are unreadable),
+//     and no probe read ever returned the value.
+type RecoverySpec struct {
+	// WriteKind is the main-phase write verb whose acknowledged
+	// operations the data-loss rule protects ("put", "write", "submit").
+	// Empty disables the data-loss rule.
+	WriteKind string
+	// ReadKind is the probe-phase read verb the data-loss rule consults
+	// ("probe-get", "probe-read", "probe-status").
+	ReadKind string
+	// MissingNote is the note a probe read records for an authoritative
+	// absence (default "missing").
+	MissingNote string
+	// MetaNote, when set, is the note of a definitive read failure that
+	// itself asserts metadata existence (the dfs "meta-exists" marker);
+	// such a read is data-loss evidence too: the namespace says the
+	// object exists and its bytes are gone.
+	MetaNote string
+}
+
+// Recovery returns the post-heal recovery checker for spec.
+func Recovery(spec RecoverySpec) Check {
+	if spec.MissingNote == "" {
+		spec.MissingNote = "missing"
+	}
+	return func(h History) []Violation {
+		probes := h.Filter(func(op Op) bool { return op.Phase == PhaseProbe })
+		if len(probes) == 0 {
+			return nil
+		}
+		// Stuck: nothing ever succeeded. One violation for the whole
+		// round; per-group reports would be noise on top of it.
+		anyOk := false
+		for _, op := range probes {
+			if op.Outcome == Ok {
+				anyOk = true
+				break
+			}
+		}
+		if !anyOk {
+			return []Violation{{
+				Invariant: "stuck-after-heal",
+				Subject:   "probe",
+				Detail: fmt.Sprintf("no probe operation succeeded within the RTO window after every fault healed (%d probes, first %v, last %v)",
+					len(probes), probes[0].Invoke, probes[len(probes)-1].Invoke),
+				Witness: probeWitness(probes),
+			}}
+		}
+
+		var out []Violation
+		lost := map[string]bool{}
+		// Data loss: an acked main-phase write whose key the probes can
+		// only prove absent.
+		if spec.WriteKind != "" && spec.ReadKind != "" {
+			out = append(out, recoveryDataLoss(h, probes, spec, lost)...)
+		}
+		// Degraded: a probed group that never produced any definitive
+		// response while the rest of the system answered. Keys already
+		// reported as data loss are excluded — their probes did answer.
+		groups := map[string][]Op{}
+		var order []string
+		for _, op := range probes {
+			g := op.Key
+			if op.Node != "" {
+				g = op.Key + "@" + op.Node
+			}
+			if _, seen := groups[g]; !seen {
+				order = append(order, g)
+			}
+			groups[g] = append(groups[g], op)
+		}
+		sort.Strings(order)
+		for _, g := range order {
+			ops := groups[g]
+			if lost[ops[0].Key] {
+				continue
+			}
+			answered := false
+			for _, op := range ops {
+				if op.Outcome == Ok || op.Outcome == Failed {
+					answered = true
+					break
+				}
+			}
+			if !answered {
+				out = append(out, Violation{
+					Invariant: "degraded-after-heal",
+					Subject:   g,
+					Detail: fmt.Sprintf("probes of %s never got a definitive response within the RTO window (%d attempts, all ambiguous) while other probes succeeded",
+						g, len(ops)),
+					Witness: probeWitness(ops),
+				})
+			}
+		}
+		return out
+	}
+}
+
+// recoveryDataLoss applies the data-loss rule and records the keys it
+// flagged into lost.
+func recoveryDataLoss(h History, probes History, spec RecoverySpec, lost map[string]bool) []Violation {
+	var out []Violation
+	for _, key := range h.Keys(spec.WriteKind) {
+		var lastAcked *Op
+		for i := range h {
+			op := h[i]
+			if op.Phase == PhaseMain && op.Kind == spec.WriteKind && op.Key == key && op.Outcome == Ok {
+				lastAcked = &h[i]
+			}
+		}
+		if lastAcked == nil {
+			continue
+		}
+		var reads History
+		sawValue, sawAbsent := false, false
+		for _, op := range probes {
+			if op.Kind != spec.ReadKind || op.Key != key {
+				continue
+			}
+			reads = append(reads, op)
+			switch {
+			case op.Outcome == Ok && op.Note == spec.MissingNote:
+				sawAbsent = true
+			case spec.MetaNote != "" && op.Outcome == Failed && op.Note == spec.MetaNote:
+				sawAbsent = true
+			case op.Outcome == Ok:
+				sawValue = true
+			}
+		}
+		if sawAbsent && !sawValue {
+			out = append(out, Violation{
+				Invariant: "data-loss-after-heal",
+				Subject:   key,
+				Detail: fmt.Sprintf("write %q was acknowledged before the heal, but every post-heal probe read of %s proves the value gone (%d reads, none returned it)",
+					lastAcked.Input, key, len(reads)),
+				Witness: witness(append(History{*lastAcked}, probeWitness(reads)...)...),
+			})
+			lost[key] = true
+		}
+	}
+	return out
+}
+
+// probeWitness caps a witness to the probes that tell the story: the
+// first few attempts and the last one.
+func probeWitness(ops History) []Op {
+	const maxWitness = 6
+	if len(ops) <= maxWitness {
+		return witness(ops...)
+	}
+	keep := append(History{}, ops[:maxWitness-1]...)
+	keep = append(keep, ops[len(ops)-1])
+	return witness(keep...)
+}

@@ -1,0 +1,156 @@
+package history
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// rop builds one probe-phase op for the golden recovery cases.
+func rop(idx int, kind, key, node string, outcome Outcome, note string, at time.Duration) Op {
+	return Op{Index: idx, Client: "c1", Kind: kind, Key: key, Node: node,
+		Outcome: outcome, Note: note, Phase: PhaseProbe, Invoke: at, Return: at + time.Millisecond}
+}
+
+// TestRecoveryFastRecovery: probes succeed — a clean round, no
+// violations.
+func TestRecoveryFastRecovery(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "put", Key: "k1", Input: "v1", Outcome: Ok},
+		rop(1, "probe-put", "pk", "", Ok, "", 10*time.Millisecond),
+		rop(2, "probe-get", "k1", "", Ok, "", 11*time.Millisecond),
+	}
+	check := Recovery(RecoverySpec{WriteKind: "put", ReadKind: "probe-get"})
+	if vs := check(h); len(vs) != 0 {
+		t.Fatalf("clean recovery flagged: %v", sigs(vs))
+	}
+}
+
+// TestRecoveryNoProbesNoJudgement: a history without a probe phase
+// (probing disabled, or nothing to probe) yields no violations.
+func TestRecoveryNoProbesNoJudgement(t *testing.T) {
+	h := History{{Index: 0, Kind: "put", Key: "k1", Outcome: Ok}}
+	if vs := Recovery(RecoverySpec{})(h); len(vs) != 0 {
+		t.Fatalf("probe-free history flagged: %v", sigs(vs))
+	}
+}
+
+// TestRecoveryStuck: not a single probe succeeded — one
+// stuck-after-heal violation for the round, with a witness, and no
+// per-group noise on top.
+func TestRecoveryStuck(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "send", Key: "q", Input: "m1", Outcome: Ok},
+	}
+	for i := 0; i < 8; i++ {
+		h = append(h, rop(1+i, "probe-send", "pq", "", Failed, "", time.Duration(10+i)*time.Millisecond))
+	}
+	vs := Recovery(RecoverySpec{})(h)
+	if len(vs) != 1 || vs[0].Invariant != "stuck-after-heal" {
+		t.Fatalf("got %v, want exactly one stuck-after-heal", sigs(vs))
+	}
+	if len(vs[0].Witness) == 0 || len(vs[0].Witness) > 6 {
+		t.Fatalf("witness has %d ops, want 1..6", len(vs[0].Witness))
+	}
+	// The witness must bracket the window: first and last probe.
+	if vs[0].Witness[0].Index != 1 || vs[0].Witness[len(vs[0].Witness)-1].Index != 8 {
+		t.Fatalf("witness %v does not bracket the probe window", vs[0].Witness)
+	}
+}
+
+// TestRecoveryDegradedOneNode: probes of one node never get any
+// definitive response while the others answer — degraded-after-heal
+// for exactly that group. Definitive refusals count as the service
+// answering.
+func TestRecoveryDegradedOneNode(t *testing.T) {
+	h := History{
+		rop(0, "probe-get", "k", "n1", Ok, "", 10*time.Millisecond),
+		rop(1, "probe-get", "k", "n2", Ambiguous, "", 10*time.Millisecond),
+		rop(2, "probe-get", "k", "n3", Failed, "", 10*time.Millisecond),
+		rop(3, "probe-get", "k", "n1", Ok, "", 20*time.Millisecond),
+		rop(4, "probe-get", "k", "n2", Ambiguous, "", 20*time.Millisecond),
+		rop(5, "probe-get", "k", "n3", Ok, "", 20*time.Millisecond),
+	}
+	vs := Recovery(RecoverySpec{})(h)
+	if len(vs) != 1 || vs[0].Invariant != "degraded-after-heal" || vs[0].Subject != "k@n2" {
+		t.Fatalf("got %v, want degraded-after-heal(k@n2)", sigs(vs))
+	}
+	for _, op := range vs[0].Witness {
+		if op.Node != "n2" {
+			t.Fatalf("witness leaked another group's op: %v", op)
+		}
+	}
+}
+
+// TestRecoveryDataLoss: an acknowledged pre-heal write whose key every
+// probe read proves absent — data-loss-after-heal with the acked write
+// in the witness; the key is not additionally reported as degraded.
+func TestRecoveryDataLoss(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "put", Key: "k1", Input: "v9", Outcome: Ok},
+		rop(1, "probe-put", "pk", "", Ok, "", 10*time.Millisecond),
+		rop(2, "probe-get", "k1", "", Ok, "missing", 11*time.Millisecond),
+		rop(3, "probe-get", "k1", "", Ok, "missing", 20*time.Millisecond),
+	}
+	vs := Recovery(RecoverySpec{WriteKind: "put", ReadKind: "probe-get"})(h)
+	if len(vs) != 1 || vs[0].Invariant != "data-loss-after-heal" || vs[0].Subject != "k1" {
+		t.Fatalf("got %v, want data-loss-after-heal(k1)", sigs(vs))
+	}
+	if vs[0].Witness[0].Index != 0 {
+		t.Fatalf("witness %v must lead with the acknowledged write", vs[0].Witness)
+	}
+	if !strings.Contains(vs[0].Detail, `"v9"`) {
+		t.Fatalf("detail %q does not name the lost write", vs[0].Detail)
+	}
+}
+
+// TestRecoveryDataLossMetaNote: the dfs shape — metadata asserts the
+// file exists, every read of its bytes definitively fails. With the
+// MetaNote configured that is data loss, not degradation.
+func TestRecoveryDataLossMetaNote(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "write", Key: "f0", Input: "f0-op3", Outcome: Ok},
+		rop(1, "probe-write", "pf", "", Ok, "", 10*time.Millisecond),
+		rop(2, "probe-read", "f0", "", Failed, "meta-exists", 11*time.Millisecond),
+		rop(3, "probe-read", "f0", "", Failed, "meta-exists", 20*time.Millisecond),
+	}
+	spec := RecoverySpec{WriteKind: "write", ReadKind: "probe-read", MetaNote: "meta-exists"}
+	vs := Recovery(spec)(h)
+	if len(vs) != 1 || vs[0].Invariant != "data-loss-after-heal" || vs[0].Subject != "f0" {
+		t.Fatalf("got %v, want data-loss-after-heal(f0)", sigs(vs))
+	}
+	// Without the MetaNote the same history is merely a definitive
+	// failure: the service answered, the spec claims no metadata
+	// authority — no violation at all.
+	spec.MetaNote = ""
+	if vs := Recovery(spec)(h); len(vs) != 0 {
+		t.Fatalf("MetaNote-free spec flagged: %v", sigs(vs))
+	}
+}
+
+// TestRecoveryValueReadForgivesAbsence: one probe read returning the
+// value clears the key — a transiently stale "missing" before
+// convergence is not data loss.
+func TestRecoveryValueReadForgivesAbsence(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "put", Key: "k1", Input: "v1", Outcome: Ok},
+		rop(1, "probe-get", "k1", "", Ok, "missing", 10*time.Millisecond),
+		rop(2, "probe-get", "k1", "", Ok, "", 30*time.Millisecond),
+	}
+	if vs := Recovery(RecoverySpec{WriteKind: "put", ReadKind: "probe-get"})(h); len(vs) != 0 {
+		t.Fatalf("recovered key flagged: %v", sigs(vs))
+	}
+}
+
+// TestRecoveryUnackedWriteNotProtected: an Ambiguous write carries no
+// durability promise — its absence after the heal is not data loss.
+func TestRecoveryUnackedWriteNotProtected(t *testing.T) {
+	h := History{
+		{Index: 0, Kind: "put", Key: "k1", Input: "v1", Outcome: Ambiguous},
+		rop(1, "probe-put", "pk", "", Ok, "", 10*time.Millisecond),
+		rop(2, "probe-get", "k1", "", Ok, "missing", 11*time.Millisecond),
+	}
+	if vs := Recovery(RecoverySpec{WriteKind: "put", ReadKind: "probe-get"})(h); len(vs) != 0 {
+		t.Fatalf("unacked write's absence flagged: %v", sigs(vs))
+	}
+}

@@ -2,9 +2,12 @@ package kvstore
 
 import (
 	"errors"
+	"hash/fnv"
+	"math/rand"
 	"time"
 
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 	"neat/internal/transport"
 )
 
@@ -15,6 +18,11 @@ type Client struct {
 	ep       *transport.Endpoint
 	replicas []netsim.NodeID
 	timeout  time.Duration
+	// pol governs sweep retries (zero: one sweep, the historical
+	// behaviour); rng seeds the backoff so retry timing is
+	// deterministic per client identity.
+	pol resilience.Policy
+	rng *rand.Rand
 
 	lastLeader netsim.NodeID
 }
@@ -24,11 +32,26 @@ func NewClient(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, ti
 	if timeout == 0 {
 		timeout = 100 * time.Millisecond
 	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
 	return &Client{
 		ep:       transport.NewEndpoint(n, id),
 		replicas: replicas,
 		timeout:  timeout,
+		rng:      rand.New(rand.NewSource(int64(h.Sum64()))),
 	}
+}
+
+// NewClientWithRetry attaches a client whose operations retry failed
+// replica sweeps under pol — the shared resilience layer's jittered
+// backoff instead of an ad-hoc loop. Every client operation is
+// idempotent (puts and deletes carry their full intended state), so
+// pol.RetryAmbiguous is safe here. The zero policy keeps the
+// historical single-sweep behaviour.
+func NewClientWithRetry(n *netsim.Network, id netsim.NodeID, replicas []netsim.NodeID, timeout time.Duration, pol resilience.Policy) *Client {
+	c := NewClient(n, id, replicas, timeout)
+	c.pol = pol
+	return c
 }
 
 // ID returns the client's node ID.
@@ -50,10 +73,42 @@ func MaybeExecuted(err error) bool {
 	return transport.MaybeExecuted(err) || IsWriteFailed(err)
 }
 
-// do runs an operation against the current leader, following one
-// redirect per replica and skipping unreachable replicas. It returns
-// the first successful result, or the last error seen.
+// do runs an operation against the current leader, retrying whole
+// replica sweeps under the client's resilience policy (one sweep when
+// the policy is zero).
 func (c *Client) do(method string, body any) (any, error) {
+	var resp any
+	res := resilience.Do(c.ep.Clock(), c.rng, c.pol, classifySweep, func(int) error {
+		r, err := c.sweep(method, body)
+		resp = r
+		return err
+	})
+	return resp, res.Err
+}
+
+// classifySweep maps one sweep's failure for the retry layer: a
+// possibly-applied failure is Ambiguous (retried only under
+// RetryAmbiguous), a leaderless refusal is Retryable (a new term may
+// seat a leader inside the backoff), and any other definitive
+// application error is Fatal — retrying cannot change the answer.
+func classifySweep(err error) resilience.Class {
+	if MaybeExecuted(err) {
+		return resilience.Ambiguous
+	}
+	if transport.IsRemote(err) {
+		var nle *NotLeaderError
+		if remoteNotLeader(err, &nle) {
+			return resilience.Retryable
+		}
+		return resilience.Fatal
+	}
+	return resilience.Retryable
+}
+
+// sweep tries an operation once against the current leader, following
+// one redirect per replica and skipping unreachable replicas. It
+// returns the first successful result, or the last error seen.
+func (c *Client) sweep(method string, body any) (any, error) {
 	tried := make(map[netsim.NodeID]bool)
 	order := make([]netsim.NodeID, 0, len(c.replicas)+1)
 	if c.lastLeader != "" {

@@ -2,12 +2,15 @@ package locksvc
 
 import (
 	"errors"
+	"hash/fnv"
+	"math/rand"
 	"strings"
 	"sync"
 	"time"
 
 	"neat/internal/clock"
 	"neat/internal/netsim"
+	"neat/internal/resilience"
 	"neat/internal/transport"
 )
 
@@ -18,6 +21,11 @@ type Client struct {
 	ep       *transport.Endpoint
 	replicas []netsim.NodeID
 	timeout  time.Duration
+	// renewTO bounds one renewal call; rng seeds its backoff. Both
+	// live on the client so renewal timing stays deterministic per
+	// client identity.
+	renewTO time.Duration
+	rng     *rand.Rand
 
 	mu      sync.Mutex
 	stopped bool
@@ -42,10 +50,14 @@ func NewClientWithRenew(n *netsim.Network, id netsim.NodeID, replicas []netsim.N
 	if renewEvery == 0 {
 		renewEvery = leaseTTL / 3
 	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
 	c := &Client{
 		ep:       transport.NewEndpoint(n, id),
 		replicas: replicas,
 		timeout:  100 * time.Millisecond,
+		renewTO:  renewEvery,
+		rng:      rand.New(rand.NewSource(int64(h.Sum64()))),
 		stopCh:   make(chan struct{}),
 	}
 	c.wg.Add(1)
@@ -71,12 +83,32 @@ func (c *Client) Close() {
 	c.ep.Close()
 }
 
+// renewPolicy bounds one renewal per replica per beat: one quick
+// in-beat retry with jittered backoff, then give up until the next
+// beat. Renewals are idempotent, so every failure class is worth the
+// retry.
+var renewPolicy = resilience.Policy{
+	Base:           time.Millisecond,
+	Cap:            4 * time.Millisecond,
+	MaxAttempts:    2,
+	RetryAmbiguous: true,
+}
+
+// renewLoop keeps the client's leases alive. Renewals are
+// acknowledged calls (not fire-and-forget notifies): a renewal lost on
+// a lossy link gets one in-beat retry instead of waiting a full
+// period, which is the margin that keeps a lease alive when the TTL
+// budget is already eaten by skew or scheduling pauses.
 func (c *Client) renewLoop(t clock.Ticker) {
 	defer c.wg.Done()
 	defer t.Stop()
 	clock.TickLoop(c.ep.Clock(), t, c.stopCh, func() {
 		for _, rep := range c.replicas {
-			_ = c.ep.Notify(rep, mRenew, renewMsg{Client: c.ep.ID()})
+			rep := rep
+			resilience.Do(c.ep.Clock(), c.rng, renewPolicy, nil, func(int) error {
+				_, err := c.ep.Call(rep, mRenew, renewMsg{Client: c.ep.ID()}, c.renewTO)
+				return err
+			})
 		}
 	})
 }

@@ -117,6 +117,13 @@ type Config struct {
 	// disconnected from ZK"). Off by default, as in the studied
 	// systems.
 	StepDownOnZKLoss bool
+	// ReestablishSession gives brokers ZooKeeper-client-style
+	// keepalives: an expired coordination session is transparently
+	// re-registered (with fresh, junior seniority) once the service is
+	// reachable again. Off by default — the studied deployments leave
+	// an expired session dead, so an outage longer than the TTL can
+	// end with every broker permanently masterless.
+	ReestablishSession bool
 	// RPCTimeout bounds replication and coordination calls.
 	RPCTimeout time.Duration
 }
@@ -190,7 +197,11 @@ func (b *Broker) ID() netsim.NodeID { return b.id }
 // Start registers with the coordination service and begins polling
 // for the master role.
 func (b *Broker) Start() error {
-	sess, err := coord.NewSession(b.ep, b.cfg.ZK, Group, b.cfg.SessionPing)
+	newSession := coord.NewSession
+	if b.cfg.ReestablishSession {
+		newSession = coord.NewReestablishingSession
+	}
+	sess, err := newSession(b.ep, b.cfg.ZK, Group, b.cfg.SessionPing)
 	if err != nil {
 		return fmt.Errorf("mqueue: broker %s: %w", b.id, err)
 	}
@@ -235,6 +246,21 @@ func (b *Broker) pollRole() {
 	leader, err := coord.Leader(b.ep, b.cfg.ZK, Group, b.cfg.RPCTimeout)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if coord.IsNoLeader(err) {
+		// The service answered: the group is empty, so this broker's
+		// own session has expired — a live session would put the broker
+		// itself in the group. Even the flawed configuration demotes
+		// here: the studied behaviour is serving while *disconnected*
+		// from the coordination service, not serving against its
+		// acknowledged expiry notice (ZooKeeper clients see a definitive
+		// SessionExpired). Without ReestablishSession nobody ever
+		// registers again, so a round whose faults outlived every
+		// session TTL ends permanently masterless.
+		b.zkReachable = true
+		b.isMaster = false
+		b.knownMaster = ""
+		return
+	}
 	if err != nil {
 		b.zkReachable = false
 		if b.cfg.StepDownOnZKLoss {

@@ -258,3 +258,75 @@ func TestSlaveRedirectsToMaster(t *testing.T) {
 		t.Fatalf("recv = %q, %v", got, err)
 	}
 }
+
+// TestExpiredSessionsLeaveGroupMasterless: an outage that cuts every
+// broker from ZooKeeper for longer than the session TTL expires all
+// three sessions. After the heal the service authoritatively answers
+// "no leader" — even flawed brokers demote against that expiry notice
+// (the studied flaw is serving while disconnected, not against a
+// definitive SessionExpired), and with no session re-establishment the
+// group stays permanently masterless: the paper's failure that
+// persists after the partition heals.
+func TestExpiredSessionsLeaveGroupMasterless(t *testing.T) {
+	f := deploy(t, testConfig())
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"zk"},
+		[]netsim.NodeID{"b1", "b2", "b3", "c1", "c2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return len(f.sys.ZK().LiveSessions()) == 0
+	})
+	if !ok {
+		t.Fatalf("sessions never expired: %v", f.sys.ZK().LiveSessions())
+	}
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	// Every broker polls a reachable ZK, learns the group is empty, and
+	// steps down for good.
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		return len(f.sys.Masters()) == 0
+	})
+	if !ok {
+		t.Fatalf("masters after heal = %v, want none", f.sys.Masters())
+	}
+	if err := f.c1.Send("q", "m"); err == nil {
+		t.Fatal("send succeeded against a masterless group")
+	}
+}
+
+// TestReestablishingSessionsRecoverMaster: the same full outage with
+// ReestablishSession on — expired sessions transparently re-register
+// once ZooKeeper is reachable again, a master is re-elected, and
+// client operations resume.
+func TestReestablishingSessionsRecoverMaster(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReestablishSession = true
+	f := deploy(t, cfg)
+	p, err := f.eng.Complete(
+		[]netsim.NodeID{"zk"},
+		[]netsim.NodeID{"b1", "b2", "b3", "c1", "c2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := f.eng.WaitUntil(2*time.Second, func() bool {
+		return len(f.sys.ZK().LiveSessions()) == 0
+	})
+	if !ok {
+		t.Fatalf("sessions never expired: %v", f.sys.ZK().LiveSessions())
+	}
+	if err := f.eng.Heal(p); err != nil {
+		t.Fatal(err)
+	}
+	ok = f.eng.WaitUntil(2*time.Second, func() bool {
+		if len(f.sys.Masters()) != 1 {
+			return false
+		}
+		return f.c1.Send("q", "m") == nil
+	})
+	if !ok {
+		t.Fatalf("group never recovered a serving master; masters=%v", f.sys.Masters())
+	}
+}

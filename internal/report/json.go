@@ -17,13 +17,25 @@ type Campaign struct {
 	Errors          int                 `json:"errors,omitempty"`
 }
 
-// CampaignTarget is one target's aggregate outcome.
+// CampaignTarget is one target's aggregate outcome. The recovery
+// fields summarize the post-heal recovery-validation phase: how many
+// rounds probed and confirmed recovery inside the RTO window, the
+// probe traffic spent doing so, and the worst observed recovery times
+// (virtual nanoseconds from probe start) — overall and per probed
+// group. All are zero/absent when the campaign ran with probing off.
 type CampaignTarget struct {
 	Name       string `json:"name"`
 	Rounds     int    `json:"rounds"`
 	Violations int    `json:"violations"`
 	Unique     int    `json:"unique_signatures"`
 	Errors     int    `json:"errors,omitempty"`
+
+	ProbedRounds    int              `json:"probed_rounds,omitempty"`
+	RecoveredRounds int              `json:"recovered_rounds,omitempty"`
+	ProbeOps        int              `json:"probe_ops,omitempty"`
+	ProbeRetries    int              `json:"probe_retries,omitempty"`
+	MaxRecoveryNs   int64            `json:"max_recovery_ns,omitempty"`
+	RecoveryNs      map[string]int64 `json:"recovery_ns,omitempty"`
 }
 
 // CampaignViolation is one deduplicated invariant breach with the
@@ -58,6 +70,7 @@ type TraceOp struct {
 	Index    int    `json:"i"`
 	Client   string `json:"client"`
 	Kind     string `json:"kind"`
+	Phase    string `json:"phase,omitempty"`
 	Key      string `json:"key,omitempty"`
 	Node     string `json:"node,omitempty"`
 	Input    string `json:"in,omitempty"`

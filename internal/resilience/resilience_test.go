@@ -1,0 +1,183 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"neat/internal/clock"
+)
+
+// TestBackoffDecorrelatedJitterBounds: every delay stays within
+// [Base, Cap], and the sequence is capped once it grows there.
+func TestBackoffDecorrelatedJitterBounds(t *testing.T) {
+	pol := Policy{Base: 2 * time.Millisecond, Cap: 20 * time.Millisecond}
+	bo := NewBackoff(pol, rand.New(rand.NewSource(7)))
+	prev := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		d := bo.Next()
+		if d < pol.Base || d > pol.Cap {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, pol.Base, pol.Cap)
+		}
+		if i > 0 && prev < pol.Cap {
+			hi := 3 * prev
+			if hi > pol.Cap {
+				hi = pol.Cap
+			}
+			if d > hi {
+				t.Fatalf("delay %d = %v exceeds decorrelated bound 3*prev=%v (cap %v)", i, d, 3*prev, pol.Cap)
+			}
+		}
+		prev = d
+	}
+}
+
+// TestBackoffDeterministic: equal seeds produce equal delay sequences
+// — the property that keeps retry timing inside the round's
+// deterministic replay.
+func TestBackoffDeterministic(t *testing.T) {
+	pol := Policy{Base: time.Millisecond, Cap: 32 * time.Millisecond}
+	a := NewBackoff(pol, rand.New(rand.NewSource(42)))
+	b := NewBackoff(pol, rand.New(rand.NewSource(42)))
+	for i := 0; i < 100; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("sequences diverged at %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestDoRetriesUntilSuccess: retryable failures back off and retry;
+// the virtual clock advances by exactly the backoff sequence, at CPU
+// speed.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	start := sim.Now()
+	calls := 0
+	res := Do(sim, rand.New(rand.NewSource(1)),
+		Policy{Base: 2 * time.Millisecond, Cap: 10 * time.Millisecond, MaxAttempts: 10},
+		nil,
+		func(attempt int) error {
+			if attempt != calls {
+				t.Fatalf("attempt %d delivered as %d", calls, attempt)
+			}
+			calls++
+			if calls < 4 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if res.Err != nil || res.Attempts != 4 {
+		t.Fatalf("got attempts=%d err=%v, want 4 attempts and success", res.Attempts, res.Err)
+	}
+	if took := sim.Now().Sub(start); took <= 0 || took > 30*time.Millisecond {
+		t.Fatalf("virtual time consumed %v, want three backoffs within (0, 30ms]", took)
+	}
+}
+
+// TestDoDeterministicUnderSim: same seed, same failing callable →
+// same attempt count and same virtual-time consumption.
+func TestDoDeterministicUnderSim(t *testing.T) {
+	run := func() (int, time.Duration) {
+		sim := clock.NewSim()
+		defer sim.Stop()
+		start := sim.Now()
+		res := Do(sim, rand.New(rand.NewSource(9)),
+			Policy{Base: time.Millisecond, Cap: 8 * time.Millisecond, MaxAttempts: 7},
+			nil,
+			func(int) error { return errors.New("always") })
+		return res.Attempts, sim.Now().Sub(start)
+	}
+	a1, t1 := run()
+	a2, t2 := run()
+	if a1 != a2 || t1 != t2 {
+		t.Fatalf("replays diverged: (%d, %v) vs (%d, %v)", a1, t1, a2, t2)
+	}
+	if a1 != 7 {
+		t.Fatalf("got %d attempts, want MaxAttempts=7", a1)
+	}
+}
+
+// TestDoClassification: Fatal stops immediately; Ambiguous stops
+// unless the policy opts in; Retryable keeps going.
+func TestDoClassification(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	fatal := errors.New("fatal")
+	ambig := errors.New("maybe")
+	classify := func(err error) Class {
+		switch err {
+		case fatal:
+			return Fatal
+		case ambig:
+			return Ambiguous
+		}
+		return Retryable
+	}
+	pol := Policy{Base: time.Millisecond, MaxAttempts: 5}
+
+	if res := Do(sim, rand.New(rand.NewSource(1)), pol, classify, func(int) error { return fatal }); res.Attempts != 1 || res.Class != Fatal {
+		t.Fatalf("fatal: got attempts=%d class=%v", res.Attempts, res.Class)
+	}
+	if res := Do(sim, rand.New(rand.NewSource(1)), pol, classify, func(int) error { return ambig }); res.Attempts != 1 || res.Class != Ambiguous {
+		t.Fatalf("ambiguous without opt-in: got attempts=%d class=%v", res.Attempts, res.Class)
+	}
+	pol.RetryAmbiguous = true
+	if res := Do(sim, rand.New(rand.NewSource(1)), pol, classify, func(int) error { return ambig }); res.Attempts != 5 {
+		t.Fatalf("ambiguous with opt-in: got attempts=%d, want 5", res.Attempts)
+	}
+}
+
+// TestDoBudget: the deadline budget bounds total virtual time — a
+// backoff that would overrun it is not taken.
+func TestDoBudget(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	start := sim.Now()
+	res := Do(sim, rand.New(rand.NewSource(3)),
+		Policy{Base: 4 * time.Millisecond, Cap: 8 * time.Millisecond, Budget: 20 * time.Millisecond},
+		nil,
+		func(int) error { return errors.New("always") })
+	if res.Err == nil {
+		t.Fatal("want failure")
+	}
+	if took := sim.Now().Sub(start); took >= 20*time.Millisecond {
+		t.Fatalf("budgeted operation consumed %v, want < 20ms", took)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("got %d attempts, want at least one retry inside the budget", res.Attempts)
+	}
+}
+
+// TestDoZeroPolicySingleAttempt: the zero policy means exactly one
+// attempt — adopting the layer must not change a client that never
+// retried.
+func TestDoZeroPolicySingleAttempt(t *testing.T) {
+	sim := clock.NewSim()
+	defer sim.Stop()
+	res := Do(sim, rand.New(rand.NewSource(1)), Policy{}, nil, func(int) error { return errors.New("no") })
+	if res.Attempts != 1 {
+		t.Fatalf("zero policy ran %d attempts, want 1", res.Attempts)
+	}
+}
+
+// TestKeySourceStableAcrossRetries: keys are deterministic per client
+// and reused verbatim by every retry of the same logical operation.
+func TestKeySourceStableAcrossRetries(t *testing.T) {
+	ks := NewKeySource("c1")
+	k1 := ks.Next()
+	k2 := ks.Next()
+	if k1 != "c1-1" || k2 != "c1-2" {
+		t.Fatalf("got %q, %q", k1, k2)
+	}
+	sim := clock.NewSim()
+	defer sim.Stop()
+	key := ks.Next()
+	seen := map[string]int{}
+	Do(sim, rand.New(rand.NewSource(1)), Policy{Base: time.Millisecond, MaxAttempts: 3}, nil,
+		func(int) error { seen[key]++; return errors.New("retry") })
+	if len(seen) != 1 || seen[key] != 3 {
+		t.Fatalf("retries used keys %v, want the single key %q on all 3 attempts", seen, key)
+	}
+}
