@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"neat/internal/campaign"
+)
+
+// fakeResult builds a Result whose Stats (and per-group recovery
+// times) live in multi-key maps — the shapes where nondeterministic
+// map iteration would leak straight into the rendered summary.
+func fakeResult() *campaign.Result {
+	return &campaign.Result{
+		Seed:    42,
+		Rounds:  5,
+		Targets: []string{"alpha", "bravo", "charlie"},
+		Stats: map[string]*campaign.TargetStats{
+			"alpha": {
+				Rounds: 5, Violations: 2, Unique: 1,
+				ProbedRounds: 5, RecoveredRounds: 4, ProbeOps: 40, ProbeRetries: 3,
+				MaxRecoveryNs: 1_500_000,
+				RecoveryNs: map[string]int64{
+					"g0": 1_500_000, "g1": 900_000, "g2": 400_000, "g3": 1_100_000,
+				},
+			},
+			"bravo": {
+				Rounds: 5, Violations: 0, Unique: 0,
+				ProbedRounds: 5, RecoveredRounds: 5, ProbeOps: 35,
+				MaxRecoveryNs: 700_000,
+				RecoveryNs:    map[string]int64{"g0": 700_000, "g1": 650_000},
+			},
+			"charlie": {Rounds: 5, Violations: 1, Unique: 1, Errors: 1},
+		},
+		Findings: []campaign.Finding{
+			{
+				Violation: campaign.Violation{
+					Target: "alpha", Invariant: "read-your-writes",
+					Subject: "k1", Detail: "stale read after heal",
+				},
+				Round: 3, Count: 2,
+				Schedule: campaign.Schedule{Seed: 7, Ops: 4},
+			},
+		},
+		Errors: 1,
+	}
+}
+
+// TestSummaryOutputStable renders the text summary repeatedly and
+// requires byte-identical output: the tables walk res.Targets (a
+// slice), never a map, so ordering cannot depend on the run.
+func TestSummaryOutputStable(t *testing.T) {
+	res := fakeResult()
+	var first []byte
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		printSummary(&buf, res)
+		if first == nil {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("summary rendering differs between runs:\n--- first ---\n%s\n--- run %d ---\n%s",
+				first, i, buf.Bytes())
+		}
+	}
+}
+
+// TestJSONReportStable does the same for the JSON artifact, whose
+// recovery_ns objects are real maps — encoding/json must (and does)
+// emit their keys sorted.
+func TestJSONReportStable(t *testing.T) {
+	res := fakeResult()
+	var first []byte
+	for i := 0; i < 50; i++ {
+		b, err := res.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+			continue
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatalf("JSON report differs between runs:\n--- first ---\n%s\n--- run %d ---\n%s", first, i, b)
+		}
+	}
+}

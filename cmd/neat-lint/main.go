@@ -1,0 +1,161 @@
+// Command neat-lint is the determinism-contract gate: a multichecker
+// over internal/lint's analyzers, run repo-wide in CI so the
+// invariants every same-seed replay rests on are machine-checked
+// instead of grep-and-vigilance checked.
+//
+// The suite (see internal/lint for each contract):
+//
+//	realclock     no wall-clock reads/waits outside internal/clock
+//	unseededrand  randomness flows from the seeded schedule
+//	mapiter       no map-iteration order leaking into output/findings
+//	goaccount     goroutines accounted to the virtual clock's tokens
+//	ambiguity     transport Call errors classified, never swallowed
+//
+// Intentional exceptions are `//neat:allow <analyzer> -- <reason>`
+// (or //neat:allow-file) escape comments; every escape in force is
+// printed in the audit summary so exceptions stay reviewed. Stale
+// escapes (suppressing nothing) are reported when the full suite
+// runs.
+//
+// Usage:
+//
+//	neat-lint [-run a,b,...] [-vet] [-list] [-q] [packages ...]
+//
+// Packages default to ./... . Exit status: 0 clean, 1 diagnostics
+// found, 2 usage/load errors. With -vet, `go vet` runs over the same
+// patterns and its findings fail the gate too — one consolidated
+// lint invocation for CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"neat/internal/lint"
+)
+
+func main() {
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	vet := flag.Bool("vet", false, "also run `go vet` over the same packages and merge its verdict")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	quiet := flag.Bool("q", false, "suppress the escape audit summary")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	full := true
+	if *runNames != "" {
+		var ok bool
+		analyzers, ok = lint.ByName(strings.Split(*runNames, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "neat-lint: unknown analyzer in -run=%s\n", *runNames)
+			os.Exit(2)
+		}
+		full = len(analyzers) == len(lint.All())
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neat-lint:", err)
+		os.Exit(2)
+	}
+	if err := lint.FirstTypeError(pkgs); err != nil {
+		fmt.Fprintf(os.Stderr, "neat-lint: packages do not type-check:\n%v\n", err)
+		os.Exit(2)
+	}
+
+	diags, escapes, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neat-lint:", err)
+		os.Exit(2)
+	}
+
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s: %s\n", relPath(wd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+
+	if !*quiet {
+		printAudit(wd, escapes, full)
+	}
+
+	failed := len(diags) > 0
+	if *vet && !runVet(patterns) {
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printAudit renders the escape audit: every //neat:allow in force,
+// with its reason and how many diagnostics it suppressed. Stale
+// escapes are only called out when the full suite ran — under -run a
+// subset, an escape for an unselected analyzer is legitimately idle.
+func printAudit(wd string, escapes []*lint.Escape, full bool) {
+	if len(escapes) == 0 {
+		fmt.Println("neat-lint: no escapes in force")
+		return
+	}
+	used, stale := 0, 0
+	for _, e := range escapes {
+		if e.Used > 0 {
+			used++
+		} else {
+			stale++
+		}
+	}
+	fmt.Printf("neat-lint: %d escape(s) in force (%d active, %d idle):\n", len(escapes), used, stale)
+	for _, e := range escapes {
+		scope := ""
+		if e.FileWide {
+			scope = " [file]"
+		}
+		staleNote := ""
+		if e.Used == 0 && full {
+			staleNote = "  (suppresses nothing — consider removing)"
+		}
+		fmt.Printf("  %s:%d:%s %s x%d -- %s%s\n",
+			relPath(wd, e.Pos.Filename), e.Pos.Line, scope,
+			strings.Join(e.Analyzers, ","), e.Used, e.Reason, staleNote)
+	}
+}
+
+// runVet shells out to `go vet`, streaming its output; vet findings
+// fail the consolidated gate.
+func runVet(patterns []string) bool {
+	cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neat-lint: go vet failed")
+		return false
+	}
+	return true
+}
+
+func relPath(wd, path string) string {
+	if wd == "" {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

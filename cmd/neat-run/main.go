@@ -58,6 +58,7 @@ func main() {
 	results := make([]outcome, len(scens))
 	sem := make(chan struct{}, *parallel)
 	var wg sync.WaitGroup
+	//neat:allow realclock -- CLI wall-clock timing for the run report
 	start := time.Now()
 	for i, s := range scens {
 		wg.Add(1)
@@ -65,6 +66,7 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			//neat:allow realclock -- CLI wall-clock timing for the run report
 			t0 := time.Now()
 			err := s.Run()
 			results[i] = outcome{s: s, err: err, dur: time.Since(t0)}

@@ -11,6 +11,8 @@
 // Run with: go run ./examples/activemq
 package main
 
+//neat:allow-file realclock -- examples run on the real clock by design
+
 import (
 	"fmt"
 	"log"

@@ -12,9 +12,12 @@
 // Run with: go run ./examples/mapreduce
 package main
 
+//neat:allow-file realclock -- examples run on the real clock by design
+
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"neat/internal/core"
@@ -63,8 +66,14 @@ func main() {
 
 	fmt.Printf("\nthe job finished %d times\n", user.FinalNotifications("job1"))
 	fmt.Println("task results delivered to the user:")
-	for task, n := range user.TaskExecutions("job1") {
-		fmt.Printf("  task %d: %d result(s)\n", task, n)
+	execs := user.TaskExecutions("job1")
+	tasks := make([]int, 0, len(execs))
+	for task := range execs {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	for _, task := range tasks {
+		fmt.Printf("  task %d: %d result(s)\n", task, execs[task])
 	}
 	st, err := user.JobStatus("job1")
 	if err == nil {

@@ -6,6 +6,8 @@
 // Run with: go run ./examples/quickstart
 package main
 
+//neat:allow-file realclock -- examples run on the real clock by design
+
 import (
 	"fmt"
 	"log"

@@ -9,6 +9,8 @@
 // Run with: go run ./examples/semaphore
 package main
 
+//neat:allow-file realclock -- examples run on the real clock by design
+
 import (
 	"fmt"
 	"log"

@@ -174,6 +174,7 @@ func TestVirtualTimeIsFast(t *testing.T) {
 	}
 	tgt := targets[0]
 	sched := generateFor(tgt, 7, 0)
+	//neat:allow realclock -- asserts the virtual-time run finishes fast on the wall clock
 	start := time.Now()
 	out := RunScheduleVirtual(tgt, sched)
 	took := time.Since(start)

@@ -33,6 +33,7 @@ func (in *wedgeInstance) Close()           {}
 // wall-clock bound instead of hanging the campaign.
 func TestWatchdogAbandonsWedgedRound(t *testing.T) {
 	sched := Schedule{Seed: 1, Ops: 3}
+	//neat:allow realclock -- measures the wall-clock watchdog actually firing
 	start := time.Now()
 	out := runSchedule(&wedgeTarget{}, sched, runOpts{virtual: true, watchdog: 300 * time.Millisecond})
 	if elapsed := time.Since(start); elapsed > 10*time.Second {

@@ -133,6 +133,7 @@ func RunScheduleVirtual(t Target, sched Schedule) RoundOutcome {
 func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	opts = opts.withDefaults()
 	done := make(chan RoundOutcome, 1)
+	//neat:allow goaccount -- driver-side round isolation: this goroutine hosts the round's engine, it does not run inside one
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -156,6 +157,7 @@ func runSchedule(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	}()
 	var timeoutC <-chan time.Time
 	if opts.watchdog > 0 {
+		//neat:allow realclock -- the watchdog must run on the wall clock: a wedged round's virtual clock never advances
 		tm := time.NewTimer(opts.watchdog)
 		defer tm.Stop()
 		timeoutC = tm.C
@@ -701,6 +703,7 @@ func Run(cfg Config) *Result {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
+		//neat:allow goaccount -- campaign worker pool: drivers run rounds, each round owns its own virtual clock
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
@@ -815,6 +818,7 @@ func (r *Result) shrinkAll(cfg Config) {
 		}
 		wg.Add(1)
 		sem <- struct{}{}
+		//neat:allow goaccount -- shrink worker pool: driver-side re-runs, outside any simulated clock
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()

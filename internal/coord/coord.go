@@ -343,6 +343,7 @@ func (s *Session) pingLoop(t clock.Ticker) {
 	defer t.Stop()
 	clock.TickLoop(s.ep.Clock(), t, s.stopCh, func() {
 		if s.reestablish {
+			//neat:allow ambiguity -- fire-and-forget re-register: the next tick retries and the service dedups by session
 			_, _ = s.ep.Call(s.service, mRegister, registerMsg{Session: s.ep.ID(), Group: s.group}, 0)
 		} else {
 			_ = s.ep.Notify(s.service, mPing, pingMsg{Session: s.ep.ID()})

@@ -1,5 +1,7 @@
 package coord
 
+//neat:allow-file realclock -- real-deadline liveness polls waiting on session expiry
+
 import (
 	"testing"
 	"time"

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"neat/internal/netsim"
 )
@@ -118,9 +119,31 @@ type Partition struct {
 	GroupA []netsim.NodeID
 	GroupB []netsim.NodeID
 
+	seq    uint64
 	mu     sync.Mutex
 	healed bool
 	undo   func()
+}
+
+// partitionSeq stamps each injected partition with its installation
+// order, giving bulk heals a replay-stable order to walk.
+var partitionSeq atomic.Uint64
+
+// newPartition builds a sequence-stamped handle for an injected fault.
+func newPartition(t PartitionType, a, b []netsim.NodeID) *Partition {
+	return &Partition{
+		Type:   t,
+		GroupA: append([]netsim.NodeID(nil), a...),
+		GroupB: append([]netsim.NodeID(nil), b...),
+		seq:    partitionSeq.Add(1),
+	}
+}
+
+// sortPartitions orders a bulk-heal set by installation order. The
+// sets live in maps keyed by handle, so without this the heal order —
+// and with it the fabric's event order — would vary run to run.
+func sortPartitions(ps []*Partition) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].seq < ps[j].seq })
 }
 
 // Healed reports whether the partition has been healed.

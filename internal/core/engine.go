@@ -73,7 +73,7 @@ func NewEngine(opts Options) *Engine {
 	sw := switchfab.New()
 	n.SetSwitch(sw)
 	fwset := firewall.NewSet(n)
-	e := &Engine{net: n, clk: n.Clock(), sw: sw, fwset: fwset, trace: NewTrace(),
+	e := &Engine{net: n, clk: n.Clock(), sw: sw, fwset: fwset, trace: NewTrace(n.Clock()),
 		flaps: make(map[*Partition]*flapper)}
 	switch opts.Backend {
 	case FirewallBackend:
@@ -174,6 +174,7 @@ func (e *Engine) Shutdown() {
 		flaps = append(flaps, p)
 	}
 	e.flapMu.Unlock()
+	sortPartitions(flaps)
 	for _, p := range flaps {
 		_ = p.heal()
 	}
@@ -320,9 +321,7 @@ func (e *Engine) Flap(a, b []netsim.NodeID, period time.Duration) (*Partition, e
 		b:     append([]netsim.NodeID(nil), b...),
 		inner: inner,
 	}
-	p := &Partition{Type: FlapPartition,
-		GroupA: append([]netsim.NodeID(nil), a...),
-		GroupB: append([]netsim.NodeID(nil), b...)}
+	p := newPartition(FlapPartition, a, b)
 	p.undo = func() {
 		fl.stop()
 		e.flapMu.Lock()
@@ -358,6 +357,7 @@ func (e *Engine) HealAll() error {
 		flaps = append(flaps, p)
 	}
 	e.flapMu.Unlock()
+	sortPartitions(flaps)
 	for _, p := range flaps {
 		_ = p.heal()
 	}

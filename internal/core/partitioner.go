@@ -97,7 +97,7 @@ func (ci *chaosInjector) install(t PartitionType, a, b []netsim.NodeID, spec net
 		return nil, err
 	}
 	id := ci.net.AddChaos(crossPairs(a, b), spec)
-	p := &Partition{Type: t, GroupA: append([]netsim.NodeID(nil), a...), GroupB: append([]netsim.NodeID(nil), b...)}
+	p := newPartition(t, a, b)
 	p.undo = func() {
 		ci.net.RemoveChaos(id)
 		ci.mu.Lock()
@@ -138,6 +138,7 @@ func (ci *chaosInjector) healAll() error {
 		parts = append(parts, p)
 	}
 	ci.mu.Unlock()
+	sortPartitions(parts)
 	for _, p := range parts {
 		if err := p.heal(); err != nil {
 			return err
@@ -189,7 +190,7 @@ func (sp *SwitchPartitioner) install(t PartitionType, a, b []netsim.NodeID, bidi
 			}
 		}
 	}
-	p := &Partition{Type: t, GroupA: append([]netsim.NodeID(nil), a...), GroupB: append([]netsim.NodeID(nil), b...)}
+	p := newPartition(t, a, b)
 	p.undo = func() {
 		sp.sw.RemoveCookie(cookie)
 		sp.mu.Lock()
@@ -251,6 +252,7 @@ func (sp *SwitchPartitioner) HealAll() error {
 		parts = append(parts, p)
 	}
 	sp.mu.Unlock()
+	sortPartitions(parts)
 	for _, p := range parts {
 		if err := p.heal(); err != nil {
 			return err
@@ -320,7 +322,7 @@ func (fp *FirewallPartitioner) install(t PartitionType, a, b []netsim.NodeID, bi
 			}
 		}
 	}
-	p := &Partition{Type: t, GroupA: append([]netsim.NodeID(nil), a...), GroupB: append([]netsim.NodeID(nil), b...)}
+	p := newPartition(t, a, b)
 	p.undo = func() {
 		fp.set.DeleteByComment(tag)
 		fp.mu.Lock()
@@ -375,6 +377,7 @@ func (fp *FirewallPartitioner) HealAll() error {
 		parts = append(parts, p)
 	}
 	fp.mu.Unlock()
+	sortPartitions(parts)
 	for _, p := range parts {
 		if err := p.heal(); err != nil {
 			return err

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"neat/internal/clock"
 )
 
 // EventKind classifies trace events using the taxonomy of Table 8 (the
@@ -112,11 +114,14 @@ func (e Event) String() string {
 // It is what makes the study's Tables 7-9 measurable on live runs.
 type Trace struct {
 	mu     sync.Mutex
+	clk    clock.Clock
 	events []Event
 }
 
-// NewTrace creates an empty trace.
-func NewTrace() *Trace { return &Trace{} }
+// NewTrace creates an empty trace that timestamps events from clk, so
+// traces of virtual-time runs carry virtual timestamps and replay
+// byte-identically.
+func NewTrace(clk clock.Clock) *Trace { return &Trace{clk: clk} }
 
 // Record appends an event.
 func (t *Trace) Record(kind EventKind, detail string) {
@@ -124,7 +129,7 @@ func (t *Trace) Record(kind EventKind, detail string) {
 	defer t.mu.Unlock()
 	t.events = append(t.events, Event{
 		Seq:    len(t.events) + 1,
-		At:     time.Now(),
+		At:     t.clk.Now(),
 		Kind:   kind,
 		Detail: detail,
 	})

@@ -2,6 +2,7 @@ package eventual
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -317,6 +318,7 @@ func (r *Replica) onPut(from netsim.NodeID, body any) (any, error) {
 			p := p
 			clock.Go(r.ep.Clock(), func() {
 				defer r.wg.Done()
+				//neat:allow ambiguity -- modeled async replication: a maybe-executed replicate re-sends via hints; version merges are idempotent
 				if _, err := r.ep.Call(p, mRepl, msg, r.cfg.RPCTimeout); err != nil && r.cfg.HintedHandoff {
 					r.mu.Lock()
 					r.hints = append(r.hints, hint{peer: p, msg: msg})
@@ -386,6 +388,7 @@ func (r *Replica) antiEntropyLoop(t clock.Ticker) {
 // GossipWith pulls a peer's digest and merges it (one anti-entropy
 // round, callable explicitly from tests).
 func (r *Replica) GossipWith(peer netsim.NodeID) {
+	//neat:allow ambiguity -- read-only digest pull: a missed gossip round is retried on the next tick
 	resp, err := r.ep.Call(peer, mDigest, nil, r.cfg.RPCTimeout)
 	if err != nil {
 		return
@@ -409,6 +412,7 @@ func (r *Replica) replayHints() {
 	r.mu.Unlock()
 	var failed []hint
 	for _, h := range pending {
+		//neat:allow ambiguity -- hint replay is an idempotent version merge; failures simply re-queue
 		if _, err := r.ep.Call(h.peer, mRepl, h.msg, r.cfg.RPCTimeout); err != nil {
 			failed = append(failed, h)
 		}
@@ -443,6 +447,9 @@ func (r *Replica) SyncTo(peer netsim.NodeID) error {
 		chunks = append(chunks, kv{k, append([]Version(nil), vs...)})
 	}
 	r.mu.Unlock()
+	// Transfer in key order: the store is a map, and chunk order is
+	// visible on the wire (and in any interrupted partial sync).
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].k < chunks[j].k })
 
 	if _, err := r.ep.Call(peer, mSyncBegin, syncBeginMsg{Total: len(chunks)}, r.cfg.RPCTimeout); err != nil {
 		return err

@@ -95,6 +95,7 @@ func TestLWWLosesAcknowledgedWrite(t *testing.T) {
 	if err := f.c1.Put("e1", "k", "first"); err != nil {
 		t.Fatal(err)
 	}
+	//neat:allow realclock -- LWW needs two distinct real timestamps here
 	time.Sleep(2 * time.Millisecond) // ensure distinct wall-clock order
 	if err := f.c2.Put("e2", "k", "second"); err != nil {
 		t.Fatal(err)

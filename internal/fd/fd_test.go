@@ -1,5 +1,7 @@
 package fd
 
+//neat:allow-file realclock -- real-deadline liveness polls waiting on detector verdicts
+
 import (
 	"sync"
 	"testing"

@@ -272,6 +272,7 @@ func synthHistory(keys, opsPerKey int) History {
 func TestLinearizabilityThroughputSmoke(t *testing.T) {
 	h := synthHistory(4, 40)
 	check := Registers(RegisterSpec{})
+	//neat:allow realclock -- throughput smoke: times the checker on the wall clock
 	start := time.Now()
 	for i := 0; i < 50; i++ {
 		wantNone(t, check(h))

@@ -110,14 +110,18 @@ func checkQueue(spec QueueSpec, key string, h History) []Violation {
 	// violation, as one broker flaw typically duplicates several.
 	var dupes []string
 	var dupWitness []Op
-	for msg, ops := range byMsg {
-		if len(ops) > 1 {
+	msgs := make([]string, 0, len(byMsg))
+	for msg := range byMsg {
+		msgs = append(msgs, msg)
+	}
+	sort.Strings(msgs)
+	for _, msg := range msgs {
+		if ops := byMsg[msg]; len(ops) > 1 {
 			dupes = append(dupes, fmt.Sprintf("%s x%d", msg, len(ops)))
 			dupWitness = append(dupWitness, ops[0], ops[1])
 		}
 	}
 	if len(dupes) > 0 {
-		sort.Strings(dupes)
 		out = append(out, Violation{
 			Invariant: "at-most-once",
 			Subject:   key,

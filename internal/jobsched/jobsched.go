@@ -169,6 +169,7 @@ func (nd *Node) onRunJob(from netsim.NodeID, body any) (any, error) {
 		// runs under clock.Idle so the workers' RPC timeouts can fire.
 		clock.Go(clk, func() {
 			defer wg.Done()
+			//neat:allow ambiguity -- modeled DKron dispatch: only acked executes count; the maybe-executed gap is the reproduced double-run
 			if _, err := nd.ep.Call(member, mExecute, executeReq{Job: req.Job}, nd.cfg.RPCTimeout); err == nil {
 				mu.Lock()
 				acks++

@@ -1,0 +1,31 @@
+package lint
+
+// All returns the determinism-contract analyzer suite, in reporting
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Ambiguity,
+		GoAccount,
+		MapIter,
+		RealClock,
+		UnseededRand,
+	}
+}
+
+// ByName resolves analyzer names ("realclock,mapiter"); unknown names
+// return nil, false.
+func ByName(names []string) ([]*Analyzer, bool) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An Escape is one audited exception to the determinism contract: a
+// `//neat:allow` comment that suppresses diagnostics on its line (or
+// the line below it), or a `//neat:allow-file` comment that covers its
+// whole file. Every escape carries a mandatory reason and is reported
+// in the lint summary, so exceptions stay visible instead of rotting
+// silently.
+//
+//	//neat:allow realclock -- wall-clock watchdog, outside the sim
+//	//neat:allow-file realclock -- real-deadline liveness polls
+//
+// Several analyzers may share one escape, comma-separated:
+//
+//	//neat:allow realclock,goaccount -- driver-side worker pool
+type Escape struct {
+	// Analyzers are the analyzer names the escape covers.
+	Analyzers []string
+	// Pos locates the escape comment.
+	Pos token.Position
+	// Reason is the mandatory justification after the `--` separator.
+	Reason string
+	// FileWide is true for //neat:allow-file.
+	FileWide bool
+	// Used counts the diagnostics this escape suppressed in the run.
+	Used int
+}
+
+func (e *Escape) covers(name string) bool {
+	for _, a := range e.Analyzers {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	allowPrefix     = "neat:allow "
+	allowFilePrefix = "neat:allow-file "
+)
+
+// parseEscapes extracts the escape comments of one file. Malformed
+// escapes (missing reason or analyzer list) become diagnostics — an
+// unexplained exception is itself a contract violation.
+func parseEscapes(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []*Escape {
+	var out []*Escape
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			var fileWide bool
+			var body string
+			switch {
+			case strings.HasPrefix(text, allowFilePrefix):
+				fileWide, body = true, strings.TrimPrefix(text, allowFilePrefix)
+			case strings.HasPrefix(text, allowPrefix):
+				body = strings.TrimPrefix(text, allowPrefix)
+			case text == "neat:allow" || text == "neat:allow-file":
+				report(Diagnostic{
+					Analyzer: "escape",
+					Pos:      fset.Position(c.Pos()),
+					Message:  "escape comment names no analyzer: //neat:allow <analyzer> -- <reason>",
+				})
+				continue
+			default:
+				continue
+			}
+			names, reason, ok := splitEscape(body)
+			if !ok || len(names) == 0 {
+				report(Diagnostic{
+					Analyzer: "escape",
+					Pos:      fset.Position(c.Pos()),
+					Message:  "escape comment needs a reason: //neat:allow <analyzer> -- <reason>",
+				})
+				continue
+			}
+			out = append(out, &Escape{
+				Analyzers: names,
+				Pos:       fset.Position(c.Pos()),
+				Reason:    reason,
+				FileWide:  fileWide,
+			})
+		}
+	}
+	return out
+}
+
+// splitEscape separates "name1,name2 -- reason" into its parts. Both
+// the ASCII "--" and the em dash "—" separate names from reason.
+func splitEscape(body string) (names []string, reason string, ok bool) {
+	sep := -1
+	sepLen := 0
+	for _, s := range []string{" -- ", " — ", "\t--\t", "--"} {
+		if i := strings.Index(body, s); i >= 0 && (sep < 0 || i < sep) {
+			sep, sepLen = i, len(s)
+		}
+	}
+	if i := strings.Index(body, "—"); i >= 0 && (sep < 0 || i < sep) {
+		sep, sepLen = i, len("—")
+	}
+	if sep < 0 {
+		return nil, "", false
+	}
+	reason = strings.TrimSpace(body[sep+sepLen:])
+	if reason == "" {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(body[:sep], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, reason, true
+}
+
+// filterEscapes splits raw diagnostics into the kept set and the
+// escape audit. A line escape covers diagnostics on its own line and
+// on the line directly below it (comment-above style); a file escape
+// covers its whole file.
+func filterEscapes(pkg *Package, raw []Diagnostic) ([]Diagnostic, []*Escape) {
+	type fileEscapes struct {
+		byLine   map[int][]*Escape
+		fileWide []*Escape
+	}
+	perFile := map[string]*fileEscapes{}
+	var all []*Escape
+	var kept []Diagnostic
+	report := func(d Diagnostic) { kept = append(kept, d) }
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		fe := &fileEscapes{byLine: map[int][]*Escape{}}
+		for _, e := range parseEscapes(pkg.Fset, f, report) {
+			all = append(all, e)
+			if e.FileWide {
+				fe.fileWide = append(fe.fileWide, e)
+				continue
+			}
+			fe.byLine[e.Pos.Line] = append(fe.byLine[e.Pos.Line], e)
+		}
+		perFile[name] = fe
+	}
+	for _, d := range raw {
+		fe := perFile[d.Pos.Filename]
+		if fe == nil {
+			kept = append(kept, d)
+			continue
+		}
+		var match *Escape
+		for _, e := range append(fe.byLine[d.Pos.Line], fe.byLine[d.Pos.Line-1]...) {
+			if e.covers(d.Analyzer) {
+				match = e
+				break
+			}
+		}
+		if match == nil {
+			for _, e := range fe.fileWide {
+				if e.covers(d.Analyzer) {
+					match = e
+					break
+				}
+			}
+		}
+		if match == nil {
+			kept = append(kept, d)
+			continue
+		}
+		match.Used++
+	}
+	return kept, all
+}

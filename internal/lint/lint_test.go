@@ -1,0 +1,162 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"neat/internal/lint"
+	"neat/internal/lint/linttest"
+)
+
+func TestRealClock(t *testing.T) {
+	linttest.Run(t, "testdata/src/realclock", lint.RealClock)
+}
+
+func TestUnseededRand(t *testing.T) {
+	linttest.Run(t, "testdata/src/unseededrand", lint.UnseededRand)
+}
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata/src/mapiter", lint.MapIter)
+}
+
+func TestGoAccount(t *testing.T) {
+	linttest.Run(t, "testdata/src/goaccount", lint.GoAccount)
+}
+
+func TestGoAccountOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/goaccount_noclock", lint.GoAccount)
+}
+
+func TestAmbiguity(t *testing.T) {
+	linttest.Run(t, "testdata/src/ambiguity", lint.Ambiguity)
+}
+
+func TestEscapes(t *testing.T) {
+	linttest.Run(t, "testdata/src/escapes", lint.RealClock)
+}
+
+// TestEscapeAudit checks the bookkeeping behind the audit summary:
+// use counts on honored escapes, and idle escapes surfacing as such.
+func TestEscapeAudit(t *testing.T) {
+	abs, err := filepath.Abs("testdata/src/escapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader("")
+	pkg, err := loader.LoadDir(abs, "fixture/escapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, escapes, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.RealClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLine := map[int]*lint.Escape{}
+	fileWide := 0
+	for _, e := range escapes {
+		if e.FileWide {
+			fileWide++
+			if e.Used != 2 {
+				t.Errorf("file-wide escape suppressed %d diagnostics, want 2", e.Used)
+			}
+			continue
+		}
+		byLine[e.Pos.Line] = e
+	}
+	if fileWide != 1 {
+		t.Fatalf("got %d file-wide escapes, want 1", fileWide)
+	}
+	var active, idle int
+	for _, e := range byLine {
+		if e.Reason == "" {
+			t.Errorf("escape at line %d has empty reason", e.Pos.Line)
+		}
+		if e.Used > 0 {
+			active++
+		} else {
+			idle++
+		}
+	}
+	if active != 3 {
+		t.Errorf("got %d active line escapes, want 3 (above-line, same-line, em-dash)", active)
+	}
+	if idle != 1 {
+		t.Errorf("got %d idle line escapes, want 1 (the wrong-analyzer escape)", idle)
+	}
+}
+
+// TestBadPkgFiresAll loads the CI smoke fixture and checks that every
+// analyzer in the suite reports at least one diagnostic — the gate
+// demonstrably fires for each contract.
+func TestBadPkgFiresAll(t *testing.T) {
+	abs, err := filepath.Abs("testdata/src/badpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader("")
+	pkg, err := loader.LoadDir(abs, "fixture/badpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.FirstTypeError([]*lint.Package{pkg}); err != nil {
+		t.Fatalf("badpkg must compile cleanly:\n%v", err)
+	}
+	diags, _, err := lint.Run([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, a := range lint.All() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s reported nothing on badpkg", a.Name)
+		}
+	}
+}
+
+// TestByName covers the -run flag's resolution.
+func TestByName(t *testing.T) {
+	as, ok := lint.ByName([]string{"realclock", "mapiter"})
+	if !ok || len(as) != 2 || as[0].Name != "realclock" || as[1].Name != "mapiter" {
+		t.Errorf("ByName(realclock,mapiter) = %v, %v", as, ok)
+	}
+	if _, ok := lint.ByName([]string{"nosuch"}); ok {
+		t.Error("ByName accepted an unknown analyzer name")
+	}
+}
+
+// TestRepoLintClean is the dogfood gate: the entire module must be
+// lint-clean under the full suite. This is the same check CI's lint
+// job runs via cmd/neat-lint.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := lint.NewLoader(moduleRoot(t))
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.FirstTypeError(pkgs); err != nil {
+		t.Fatalf("module does not type-check:\n%v", err)
+	}
+	diags, _, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}

@@ -1,0 +1,133 @@
+// Package linttest runs lint analyzers over golden fixture packages,
+// in the shape of golang.org/x/tools/go/analysis/analysistest: fixture
+// sources carry `// want "regexp"` comments on the lines where
+// diagnostics are expected, escapes are honored exactly as in the real
+// driver, and both missing and surplus diagnostics fail the test.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"neat/internal/lint"
+)
+
+// wantRE matches one expected-diagnostic clause — double-quoted or
+// backtick-quoted; several may share a line: // want "first" `second`
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// Run loads the fixture package at dir (relative to the test's
+// working directory, conventionally testdata/src/<name>) and checks
+// the analyzers' filtered diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(moduleRoot(t))
+	pkg, err := loader.LoadDir(abs, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if err := lint.FirstTypeError([]*lint.Package{pkg}); err != nil {
+		t.Fatalf("fixture %s does not type-check:\n%v", dir, err)
+	}
+	diags, _, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", rel(t, d.Pos.Filename), fmt.Sprintf("%d: %s: %s", d.Pos.Line, d.Analyzer, d.Message))
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", rel(t, k.file), k.line, re)
+			}
+		}
+	}
+}
+
+// moduleRoot locates the repo root so fixture imports of in-module
+// packages ("neat/internal/clock") resolve regardless of test cwd.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("linttest: no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+func rel(t *testing.T, path string) string {
+	t.Helper()
+	wd, err := filepath.Abs(".")
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil {
+		return r
+	}
+	return path
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, parsed, and type-checked unit of analysis.
+// In-package test files are checked together with the package proper;
+// an external test package (package foo_test) becomes its own Package
+// with Path "<importpath>_test".
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems. Analyzer results for
+	// a package with type errors are best-effort; the driver surfaces
+	// these as hard failures so the gate never silently under-checks.
+	TypeErrors []error
+}
+
+// A Loader resolves, parses, and type-checks packages using only the
+// go command and the standard library: package metadata comes from
+// `go list`, and imports are satisfied from the build cache's export
+// data (`go list -export`) — no network, no third-party modules.
+type Loader struct {
+	// Dir is the working directory for go commands (any directory
+	// inside the module). Empty means the current directory.
+	Dir string
+
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: map[string]string{},
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// listPkg is the subset of `go list -json` fields the loader reads.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	Standard     bool
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// goList runs `go list -e -json=...` with args and decodes the stream.
+func (l *Loader) goList(args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// harvestExports records every export-data file in the listing. Test
+// variants ("p [p.test]") are skipped: analysis type-checks test files
+// from source, and the bracketed variants would shadow the base
+// package's export data.
+func (l *Loader) harvestExports(pkgs []listPkg) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export == "" || p.ForTest != "" || strings.Contains(p.ImportPath, " [") {
+			continue
+		}
+		if _, ok := l.exports[p.ImportPath]; !ok {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// lookup satisfies go/importer's export-data lookup: resolve the
+// import path to its build-cache export file, shelling out to go list
+// for paths the bulk listing did not cover.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		pkgs, err := l.goList("-export", "-json=ImportPath,Export,Standard,ForTest", path)
+		if err != nil {
+			return nil, err
+		}
+		l.harvestExports(pkgs)
+		l.mu.Lock()
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Load resolves patterns ("./...", explicit directories) into parsed,
+// type-checked packages ready for analysis.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One bulk listing warms the export map with every dependency —
+	// including test-only dependencies — so type-checking never shells
+	// out per import.
+	deps, err := l.goList(append([]string{"-deps", "-test", "-export",
+		"-json=ImportPath,Export,Standard,ForTest"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l.harvestExports(deps)
+	roots, err := l.goList(append([]string{
+		"-json=ImportPath,Dir,Standard,GoFiles,TestGoFiles,XTestGoFiles,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range roots {
+		if p.Standard || p.ImportPath == "" {
+			continue
+		}
+		if p.Error != nil && len(p.GoFiles) == 0 {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, append(p.GoFiles, p.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		if len(p.XTestGoFiles) > 0 {
+			xt, err := l.check(p.ImportPath+"_test", p.Dir, p.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir loads the single package rooted at dir (every .go file,
+// including in-package _test.go files) under the given import path —
+// the fixture-loading entry point used by linttest, where the
+// directory is not part of the module's package graph.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.check(path, dir, files)
+}
+
+// check parses and type-checks one package's files.
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	pkg := &Package{
+		Path: path,
+		Dir:  dir,
+		Fset: l.fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// FirstTypeError summarizes type-check failures across packages, nil
+// when every package checked cleanly.
+func FirstTypeError(pkgs []*Package) error {
+	var msgs []string
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			msgs = append(msgs, fmt.Sprintf("%s: %v", p.Path, e))
+			if len(msgs) >= 10 {
+				msgs = append(msgs, "...")
+				return errors.New(strings.Join(msgs, "\n"))
+			}
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return errors.New(strings.Join(msgs, "\n"))
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter reports range loops over maps whose bodies are
+// order-sensitive: appending to a slice declared outside the loop,
+// writing output (fmt printing, Write* methods), or sending on a
+// channel. Go randomizes map iteration order per run, so any of these
+// leaks nondeterminism straight into findings, reports, and replayed
+// histories — the classic replay-divergence source. The sanctioned
+// idiom is collect-keys/sort/iterate: an append that is later passed
+// to a sort call in the same function is recognized and allowed.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "forbid order-sensitive bodies (appends to outer slices, output writes, channel sends) in " +
+		"range-over-map loops unless the collected slice is sorted afterwards",
+	Run: runMapIter,
+}
+
+// sortCallNames are the package-level sort entry points that establish
+// a deterministic order over a collected slice.
+var sortCallNames = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	// Any slices.Sort* variant counts (Sort, SortFunc, SortStableFunc).
+	"slices": nil,
+}
+
+// writeMethodNames are io-ish methods whose call inside a map range
+// emits output in iteration order.
+var writeMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapIter(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(p, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges examines the range statements whose innermost
+// enclosing function body is funcBody; nested function literals are
+// visited on their own pass.
+func checkMapRanges(p *Pass, funcBody *ast.BlockStmt) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok && m != n {
+				return false
+			}
+			rs, ok := m.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				checkMapRangeBody(p, rs, funcBody)
+			}
+			return true
+		})
+	}
+	walk(funcBody)
+}
+
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch sink := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(rs.For,
+				"range over map sends on a channel in iteration order; map order is random per run — iterate sorted keys instead")
+			return true
+		case *ast.CallExpr:
+			switch fun := sink.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name != "append" || len(sink.Args) == 0 {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				obj := exprObject(p, sink.Args[0])
+				if obj == nil {
+					return true
+				}
+				// A slice declared inside the loop body cannot outlive an
+				// iteration, so its order cannot leak.
+				if obj.Pos() >= rs.Body.Pos() && obj.Pos() < rs.Body.End() {
+					return true
+				}
+				if sortedAfter(p, funcBody, rs, obj) {
+					return true
+				}
+				p.Reportf(rs.For,
+					"range over map appends to %q in iteration order and %q is never sorted afterwards; map order is random per run — sort the collected slice or iterate sorted keys",
+					obj.Name(), obj.Name())
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if pkg := p.PkgNameOf(fun.X); pkg == "fmt" &&
+					(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+					p.Reportf(rs.For,
+						"range over map writes output (fmt.%s) in iteration order; map order is random per run — iterate sorted keys instead", name)
+					return true
+				}
+				if writeMethodNames[name] && p.Info.Selections[fun] != nil {
+					p.Reportf(rs.For,
+						"range over map writes output (%s) in iteration order; map order is random per run — iterate sorted keys instead", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprObject resolves the variable (or field) an expression names.
+func exprObject(p *Pass, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// sortedAfter reports whether, lexically after the range loop in the
+// same function body, obj is passed to a sort call — the second half
+// of the collect/sort/iterate idiom.
+func sortedAfter(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			pkg := p.PkgNameOf(fun.X)
+			names, isSortPkg := sortCallNames[pkg]
+			if !isSortPkg {
+				return true
+			}
+			if names != nil && !names[fun.Sel.Name] {
+				return true
+			}
+			if pkg == "slices" && !strings.HasPrefix(fun.Sel.Name, "Sort") {
+				return true
+			}
+		case *ast.Ident:
+			// A local helper named sortX (sortPartitions, sortKeys)
+			// counts: the name is the idiom's declaration of intent.
+			if !strings.HasPrefix(fun.Name, "sort") && !strings.HasPrefix(fun.Name, "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if argReferences(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func argReferences(p *Pass, arg ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

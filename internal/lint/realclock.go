@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// clockPkgPath is the one package allowed to touch the wall clock: it
+// is the abstraction everything else draws time from.
+const clockPkgPath = "neat/internal/clock"
+
+// realClockFuncs are the package time entry points that read or wait
+// on the wall clock. Pure value constructors (time.Duration,
+// time.Date, time.Unix) are fine — they involve no clock.
+var realClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// RealClock reports direct wall-clock use outside internal/clock. A
+// single time.Now in a simulated system desynchronizes every same-seed
+// replay (PR 5 fixed exactly this across three subsystems); time must
+// flow from clock.Clock so the Sim clock can substitute virtual time.
+// Benchmark bodies in _test.go files are exempt — they measure the
+// wall clock on purpose; everything else carries an audited
+// //neat:allow escape or gets fixed.
+var RealClock = &Analyzer{
+	Name: "realclock",
+	Doc: "forbid time.Now/Sleep/After/Tick/NewTimer/NewTicker/AfterFunc outside internal/clock; " +
+		"simulated components draw time from clock.Clock",
+	Run: runRealClock,
+}
+
+func runRealClock(p *Pass) error {
+	if p.PkgPath == clockPkgPath || p.PkgPath == clockPkgPath+"_test" {
+		return nil
+	}
+	for _, f := range p.Files {
+		benchmarks := benchmarkRanges(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !realClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if p.PkgNameOf(sel.X) != "time" {
+				return true
+			}
+			for _, r := range benchmarks {
+				if call.Pos() >= r[0] && call.Pos() < r[1] {
+					return true
+				}
+			}
+			p.Reportf(call.Pos(),
+				"time.%s outside internal/clock: draw time from clock.Clock (ep.Clock(), eng.Clock()) so virtual-time runs stay deterministic",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// benchmarkRanges returns the position ranges of Benchmark* function
+// bodies in a test file — the one test context where wall-clock reads
+// are the point.
+func benchmarkRanges(p *Pass, f *ast.File) [][2]token.Pos {
+	if !p.IsTestFile(f) {
+		return nil
+	}
+	var out [][2]token.Pos
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Recv != nil {
+			continue
+		}
+		if strings.HasPrefix(fd.Name.Name, "Benchmark") {
+			out = append(out, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Fixture for the ambiguity analyzer: Endpoint.Call's error is the
+// carrier of the silent-success window; dropping it, blanking it, or
+// merely nil-checking it is flagged. Propagating or classifying it is
+// the sanctioned shape. Type-checks against the real transport
+// package — the multi-package case.
+package ambiguityfix
+
+import (
+	"fmt"
+	"time"
+
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+func drop(ep *transport.Endpoint) {
+	ep.Call("n1", "ping", nil, time.Second) // want "outcome discarded"
+}
+
+func dropAsync(ep *transport.Endpoint) {
+	go ep.Call("n1", "ping", nil, time.Second) // want "outcome discarded"
+}
+
+func blank(ep *transport.Endpoint) any {
+	r, _ := ep.Call("n1", "ping", nil, time.Second) // want "error discarded"
+	return r
+}
+
+func nilOnly(ep *transport.Endpoint) string {
+	r, err := ep.Call("n1", "ping", nil, time.Second) // want `error "err" is nil-checked but never classified`
+	if err != nil {
+		return "failed"
+	}
+	return fmt.Sprint(r)
+}
+
+func propagated(ep *transport.Endpoint) (any, error) {
+	return ep.Call("n1", "ping", nil, time.Second)
+}
+
+func rethrown(ep *transport.Endpoint) error {
+	_, err := ep.Call("n1", "ping", nil, time.Second)
+	if err != nil {
+		return fmt.Errorf("ping: %w", err)
+	}
+	return nil
+}
+
+func classified(ep *transport.Endpoint, dst netsim.NodeID) bool {
+	_, err := ep.Call(dst, "ping", nil, time.Second)
+	return transport.MaybeExecuted(err)
+}
+
+func escaped(ep *transport.Endpoint) {
+	//neat:allow ambiguity -- fixture: fire-and-forget probe, outcome irrelevant
+	ep.Call("n1", "ping", nil, time.Second)
+}

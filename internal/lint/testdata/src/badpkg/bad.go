@@ -1,0 +1,44 @@
+// Package badpkg deliberately violates every determinism-contract
+// analyzer. It compiles cleanly — CI's lint-smoke step runs neat-lint
+// against it and asserts the gate fires, so a silently broken checker
+// cannot pass for a clean repo.
+package badpkg
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"neat/internal/clock"
+	"neat/internal/netsim"
+	"neat/internal/transport"
+)
+
+type noisy struct {
+	clk clock.Clock
+}
+
+// realclock: wall-clock read outside internal/clock.
+func Wall() time.Time { return time.Now() }
+
+// unseededrand: draws from the process-global source.
+func Roll() int { return rand.Intn(6) }
+
+// mapiter: iteration order leaks into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// goaccount: bare spawn in a clock-importing package.
+func (n *noisy) Spawn() {
+	go fmt.Println("unaccounted")
+}
+
+// ambiguity: the silent-success window is dropped on the floor.
+func Fire(ep *transport.Endpoint, dst netsim.NodeID) {
+	ep.Call(dst, "ping", nil, time.Second)
+}

@@ -1,0 +1,28 @@
+// Fixture for the escape-comment convention: line escapes cover their
+// own line and the line below, file escapes (see b.go) cover a whole
+// file, and a malformed escape — no reason — is itself a diagnostic
+// and suppresses nothing.
+package escapesfix
+
+import "time"
+
+//neat:allow realclock -- fixture: covers the declaration below
+var t0 = time.Now()
+
+func sameLine() time.Time {
+	return time.Now() //neat:allow realclock -- fixture: same-line escape
+}
+
+func emDash() time.Time {
+	return time.Now() //neat:allow realclock — fixture: em-dash separator
+}
+
+func malformed() {
+	//neat:allow realclock // want "escape comment needs a reason"
+	time.Sleep(1) // want "time.Sleep outside internal/clock"
+}
+
+func uncovered() time.Time {
+	//neat:allow mapiter -- fixture: names the wrong analyzer
+	return time.Now() // want "time.Now outside internal/clock"
+}

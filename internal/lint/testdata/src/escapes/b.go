@@ -1,0 +1,8 @@
+//neat:allow-file realclock -- fixture: whole file is wall-clock territory
+package escapesfix
+
+import "time"
+
+func wallOne() time.Time { return time.Now() }
+
+func wallTwo() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,58 @@
+// Fixture for the goaccount analyzer: bare go statements in a
+// clock-importing package are flagged unless the spawned body engages
+// the busy-token scheme (clock.Go, clock.TickLoop, scoped tokens).
+// This fixture type-checks against the real neat/internal/clock
+// package — the multi-package case.
+package goaccountfix
+
+import (
+	"neat/internal/clock"
+)
+
+type svc struct {
+	clk  clock.Clock
+	stop chan struct{}
+}
+
+// tickLoop engages TickLoop, so launching it with a bare go statement
+// is the repo's sanctioned service-loop idiom.
+func (s *svc) tickLoop(tk clock.Ticker) {
+	clock.TickLoop(s.clk, tk, s.stop, func() {})
+}
+
+// plainLoop never touches the token scheme.
+func (s *svc) plainLoop() {
+	for range s.stop {
+	}
+}
+
+func (s *svc) Start() {
+	tk := s.clk.NewTicker(1)
+	go s.tickLoop(tk)
+	go s.plainLoop() // want "bare go statement in a clock-participating package"
+	go func() {      // want "bare go statement in a clock-participating package"
+		<-s.stop
+	}()
+	go func() {
+		clock.TickLoop(s.clk, tk, s.stop, func() {})
+	}()
+	clock.Go(s.clk, func() {})
+	clock.Idle(s.clk, func() { <-s.stop })
+}
+
+// A spawned body doing scoped-token accounting (the dispatcher idiom)
+// is accounted by construction.
+func (s *svc) dispatch() {
+	gid := clock.Gid()
+	_ = gid
+	clock.ReleaseScoped(s.clk)
+}
+
+func (s *svc) StartDispatcher() {
+	go s.dispatch()
+}
+
+func (s *svc) Escaped() {
+	//neat:allow goaccount -- fixture: deliberate unaccounted helper
+	go s.plainLoop()
+}

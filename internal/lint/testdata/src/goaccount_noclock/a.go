@@ -1,0 +1,10 @@
+// Fixture for the goaccount analyzer's scope rule: a package that
+// does not import neat/internal/clock never participates in virtual
+// time, so its bare go statements are out of scope — no diagnostics.
+package goaccountnoclock
+
+func work(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

@@ -1,0 +1,123 @@
+// Fixture for the mapiter analyzer: order-sensitive bodies inside
+// range-over-map loops are flagged; the collect/sort/iterate idiom and
+// order-independent bodies are not.
+package mapiterfix
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to "out" in iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func keysSlicesSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortNodes(xs []string) { sort.Strings(xs) }
+
+func keysHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortNodes(out)
+	return out
+}
+
+func prints(m map[string]int) {
+	for k, v := range m { // want `writes output \(fmt.Printf\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func builds(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `writes output \(WriteString\)`
+		b.WriteString(k)
+	}
+}
+
+func sends(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+func sums(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func copies(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+func innerSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// A nested function literal is its own scope: the append inside it
+// targets a slice declared outside the map range, so it is flagged
+// there, not suppressed by the outer function's structure.
+func closure(m map[string]int) func() []string {
+	var out []string
+	collect := func() {
+		for k := range m { // want `appends to "out" in iteration order`
+			out = append(out, k)
+		}
+	}
+	collect()
+	return func() []string { return out }
+}

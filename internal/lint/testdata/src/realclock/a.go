@@ -1,0 +1,41 @@
+// Fixture for the realclock analyzer: every package time entry point
+// that reads or waits on the wall clock is flagged; pure value
+// constructors and Duration arithmetic are not.
+package realclockfix
+
+import (
+	"time"
+
+	tt "time"
+)
+
+func now() time.Time { return time.Now() } // want "time.Now outside internal/clock"
+
+func sleep() { time.Sleep(time.Millisecond) } // want "time.Sleep outside internal/clock"
+
+func after() <-chan time.Time { return time.After(1) } // want "time.After outside internal/clock"
+
+func tick() <-chan time.Time { return time.Tick(1) } // want "time.Tick outside internal/clock"
+
+func timer() *time.Timer { return time.NewTimer(1) } // want "time.NewTimer outside internal/clock"
+
+func ticker() *time.Ticker { return time.NewTicker(1) } // want "time.NewTicker outside internal/clock"
+
+func afterFunc() *time.Timer { return time.AfterFunc(1, func() {}) } // want "time.AfterFunc outside internal/clock"
+
+// The analyzer resolves the package through the type checker, so a
+// renamed import does not evade it.
+func renamed() tt.Time { return tt.Now() } // want "time.Now outside internal/clock"
+
+func durationsFine() time.Duration { return 5 * time.Second }
+
+func dateFine() time.Time { return time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+func escapedSameLine() time.Time {
+	return time.Now() //neat:allow realclock -- fixture: audited same-line exception
+}
+
+func escapedLineAbove() time.Time {
+	//neat:allow realclock -- fixture: audited comment-above exception
+	return time.Now()
+}

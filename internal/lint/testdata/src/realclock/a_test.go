@@ -1,0 +1,21 @@
+package realclockfix
+
+import (
+	"testing"
+	"time"
+)
+
+// Benchmark bodies measure the wall clock on purpose — exempt.
+func BenchmarkFine(b *testing.B) {
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+	_ = start
+}
+
+// Everything else in a test file is still flagged; deliberate
+// real-clock tests carry a //neat:allow-file escape instead.
+func TestFlagged(t *testing.T) {
+	time.Sleep(time.Millisecond) // want "time.Sleep outside internal/clock"
+}

@@ -1,0 +1,31 @@
+// Fixture for the unseededrand analyzer: global math/rand calls,
+// wall-clock seeds, and crypto/rand imports are flagged; explicitly
+// seeded sources are the sanctioned shape.
+package unseededrandfix
+
+import (
+	crand "crypto/rand" // want "crypto/rand in deterministic code"
+	mrand "math/rand"
+	r2 "math/rand/v2"
+	"time"
+)
+
+var _ = crand.Reader
+
+func global() int { return mrand.Intn(10) } // want "global math/rand.Intn"
+
+func globalV2() int { return r2.IntN(10) } // want "global math/rand/v2.IntN"
+
+func wallSeed() *mrand.Rand {
+	return mrand.New(mrand.NewSource(time.Now().UnixNano())) // want "math/rand.NewSource seeded from the wall clock"
+}
+
+func seededFine(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed))
+}
+
+func seededV2Fine(a, b uint64) *r2.Rand {
+	return r2.New(r2.NewPCG(a, b))
+}
+
+func derivedFine(rng *mrand.Rand) int { return rng.Intn(10) }

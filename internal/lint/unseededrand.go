@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// randPkgs are the math/rand variants whose process-global top-level
+// functions share one unseeded (or wall-clock-seeded) source.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// seededConstructors are the math/rand entry points that build an
+// explicit source — the sanctioned shape, provided the seed is not the
+// wall clock.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// UnseededRand reports randomness that does not flow from the seeded
+// schedule: global math/rand top-level calls (rand.Intn and friends
+// share a process-wide source, so concurrent rounds perturb each
+// other's streams), sources seeded from the wall clock, and any
+// crypto/rand import — cryptographic randomness is unreproducible by
+// design and has no place in a deterministic simulation. Test files
+// are exempt: their randomness never feeds a campaign round.
+var UnseededRand = &Analyzer{
+	Name: "unseededrand",
+	Doc: "forbid global math/rand functions, wall-clock-seeded sources, and crypto/rand in " +
+		"deterministic code; randomness flows from the seeded schedule",
+	Run: runUnseededRand,
+}
+
+func runUnseededRand(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "crypto/rand" {
+				p.Reportf(imp.Pos(),
+					"crypto/rand in deterministic code: unreproducible by design; randomness must flow from the seeded schedule")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := p.PkgNameOf(sel.X)
+			if !randPkgs[pkg] {
+				return true
+			}
+			name := sel.Sel.Name
+			if !seededConstructors[name] {
+				p.Reportf(call.Pos(),
+					"global %s.%s draws from the process-wide source: build a seeded *rand.Rand (rand.New(rand.NewSource(seed))) from the schedule instead",
+					pkg, name)
+				return true
+			}
+			// A constructor is fine unless its seed is the wall clock —
+			// rand.NewSource(time.Now().UnixNano()) is the classic
+			// nondeterminism-by-default idiom. Nested constructor calls
+			// (rand.New(rand.NewSource(...))) report once, at the inner
+			// call that actually takes the seed.
+			for _, arg := range call.Args {
+				if wallClockExpr(p, arg) {
+					p.Reportf(call.Pos(),
+						"%s.%s seeded from the wall clock: every run gets a different stream; seed from the schedule instead",
+						pkg, name)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wallClockExpr reports whether expr contains a call into package
+// time that reads the wall clock. Nested rand constructor calls are
+// not descended into — rand.New(rand.NewSource(time.Now())) reports
+// once, at the NewSource that actually takes the seed.
+func wallClockExpr(p *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				seededConstructors[sel.Sel.Name] && randPkgs[p.PkgNameOf(sel.X)] {
+				return false
+			}
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if realClockFuncs[sel.Sel.Name] && p.PkgNameOf(sel.X) == "time" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -440,6 +440,8 @@ func (r *Replica) viewOthersLocked() []netsim.NodeID {
 			out = append(out, m)
 		}
 	}
+	// The view is a map; broadcasts must walk it in a stable order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -452,6 +454,7 @@ func (r *Replica) replicate(backups []netsim.NodeID, msg replMsg) int {
 		wg.Add(1)
 		clock.Go(r.ep.Clock(), func() {
 			defer wg.Done()
+			//neat:allow ambiguity -- modeled lock replication counts only acked backups; replays are idempotent per token
 			if _, err := r.ep.Call(b, mRepl, msg, r.cfg.RPCTimeout); err == nil {
 				mu.Lock()
 				acked++

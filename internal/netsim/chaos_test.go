@@ -1,5 +1,7 @@
 package netsim
 
+//neat:allow-file realclock -- real-deadline liveness polls under injected chaos
+
 import (
 	"sync"
 	"testing"

@@ -1,5 +1,7 @@
 package netsim
 
+//neat:allow-file realclock -- real-deadline liveness polls on fabric delivery
+
 import (
 	"sync"
 	"sync/atomic"

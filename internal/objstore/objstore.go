@@ -151,6 +151,7 @@ func (o *OSD) replicate(msg replMsg) int {
 		wg.Add(1)
 		clock.Go(o.ep.Clock(), func() {
 			defer wg.Done()
+			//neat:allow ambiguity -- modeled replication counts only acked secondaries; ambiguity surfaces as the studied divergence
 			if _, err := o.ep.Call(s, mRepl, msg, o.cfg.RPCTimeout); err == nil {
 				mu.Lock()
 				acked++

@@ -397,6 +397,7 @@ func (nd *Node) startElection() {
 		wg.Add(1)
 		clock.Go(nd.clk, func() {
 			defer wg.Done()
+			//neat:allow ambiguity -- votes are term-guarded and idempotent; a lost grant is a missing ack
 			resp, err := nd.ep.Call(p, mVote, req, nd.cfg.RPCTimeout)
 			if err != nil {
 				return
@@ -538,6 +539,7 @@ func (nd *Node) replicateTo(peer netsim.NodeID) {
 	}
 	nd.mu.Unlock()
 
+	//neat:allow ambiguity -- a timed-out AppendEntries is retried by the next heartbeat; appends are idempotent by (term, index)
 	resp, err := nd.ep.Call(peer, mAppend, req, nd.cfg.RPCTimeout)
 	if err != nil {
 		return
@@ -772,9 +774,11 @@ func (nd *Node) onAdminConfig(from netsim.NodeID, body any) (any, error) {
 		// hear about the change — the crux of the failure.
 		relay := removeMsg{NewConfig: msg.NewConfig, Relay: true}
 		for _, p := range removed {
+			//neat:allow ambiguity -- best-effort config relay: nodes behind the partition missing it is the crux of the failure
 			_, _ = nd.ep.Call(p, mRemove, relay, nd.cfg.RPCTimeout)
 		}
 		for _, p := range members {
+			//neat:allow ambiguity -- best-effort config relay: nodes behind the partition missing it is the crux of the failure
 			_, _ = nd.ep.Call(p, mConfig, relay, nd.cfg.RPCTimeout)
 		}
 	}

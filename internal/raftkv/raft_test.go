@@ -1,5 +1,7 @@
 package raftkv
 
+//neat:allow-file realclock -- real-deadline liveness polls waiting for leader election
+
 import (
 	"testing"
 	"time"

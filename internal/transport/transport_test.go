@@ -1,5 +1,7 @@
 package transport
 
+//neat:allow-file realclock -- real-deadline liveness polls on RPC delivery and timeouts
+
 import (
 	"errors"
 	"fmt"

@@ -136,6 +136,7 @@ func TestPublicSimplexAndPartial(t *testing.T) {
 func TestWaitUntilThroughPublicAPI(t *testing.T) {
 	eng := neat.NewEngine(neat.Options{})
 	defer eng.Shutdown()
+	//neat:allow realclock -- exercises WaitUntil against the real clock through the public API
 	start := time.Now()
 	if !eng.WaitUntil(time.Second, func() bool { return time.Since(start) > 5*time.Millisecond }) {
 		t.Fatal("WaitUntil never satisfied")
