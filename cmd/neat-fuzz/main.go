@@ -53,8 +53,6 @@
 // internal/history). Pass -trace to additionally embed the first
 // failing round's full operation history in the JSON report.
 //
-// Usage:
-//
 // After every round's heal the engine validates recovery: still-down
 // victims are forced back up, and a deterministic probe workload is
 // driven inside the -rto window (default 1s of round time). A target
@@ -65,13 +63,27 @@
 // partition heals" turned into checked invariants. Pass -probe=false
 // to skip the phase, -rto to change the window.
 //
+// Pass -mutate for coverage-guided search: every round emits a
+// deterministic coverage signature (history shape, violation classes,
+// log2-bucketed fabric packet counters, recovery verdict), schedules
+// that reach novel signatures join a per-target corpus, and later
+// rounds are mostly derived by seeded mutation of corpus entries —
+// perturbed fault timings and magnitudes, swapped victims, one fault
+// added or removed, two schedules spliced — instead of fresh random
+// generation. Pass -corpus to persist the corpus as JSON between
+// campaigns; the file is loaded if it exists and rewritten afterwards,
+// so long-running fault searches resume where they left off. Equal
+// seeds still yield byte-identical campaigns at any worker count.
+// -cpuprofile and -memprofile write pprof profiles of the campaign.
+//
 // Usage:
 //
 //	neat-fuzz [-rounds N] [-seed S] [-target t1,t2|all] [-mode M]
 //	          [-faults all|classic|chaos|gray|k1,k2] [-shrink]
 //	          [-json path|-] [-workers W] [-list] [-list-safe]
 //	          [-expect-none] [-realtime] [-trace] [-settle D]
-//	          [-rto D] [-probe=false]
+//	          [-rto D] [-probe=false] [-mutate] [-corpus path]
+//	          [-cpuprofile path] [-memprofile path]
 package main
 
 import (
@@ -79,6 +91,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"neat/internal/campaign"
@@ -109,6 +123,12 @@ func main() {
 		"recovery-time objective: how long, on the round's clock, the post-heal probe phase gives the target to come back")
 	probe := flag.Bool("probe", true,
 		"run the post-heal recovery-validation phase (probe workload inside the RTO window)")
+	mutate := flag.Bool("mutate", false,
+		"coverage-guided search: derive most schedules by seeded mutation of the coverage corpus instead of fresh random generation")
+	corpusPath := flag.String("corpus", "",
+		"coverage corpus JSON file: loaded if it exists, rewritten with this campaign's novel schedules afterwards")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile, taken after the campaign, to this file")
 	flag.Parse()
 
 	if *list {
@@ -141,6 +161,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	corpus := loadCorpus(*corpusPath)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+	}
 
 	res := campaign.Run(campaign.Config{
 		Targets:     targets,
@@ -154,8 +188,26 @@ func main() {
 		RTO:         *rto,
 		NoProbe:     !*probe,
 		Trace:       *trace,
+		Mutate:      *mutate,
+		Corpus:      corpus,
 		Log:         os.Stderr,
 	})
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(2)
+		}
+	}
+	if *corpusPath != "" {
+		if err := saveCorpus(res.Corpus, *corpusPath); err != nil {
+			fmt.Fprintln(os.Stderr, "corpus:", err)
+			os.Exit(2)
+		}
+	}
 
 	// With the JSON report on stdout, the human summary moves to
 	// stderr so `neat-fuzz | jq .` receives a parseable stream.
@@ -226,6 +278,15 @@ func printSummary(w io.Writer, res *campaign.Result) {
 	}
 	fmt.Fprintf(w, "\ntotal violations=%d unique=%d errors=%d\n",
 		res.TotalViolations(), len(res.Findings), res.Errors)
+	if res.Mutate && res.Corpus != nil {
+		mutated, novel := 0, 0
+		for _, st := range res.Stats {
+			mutated += st.MutatedRounds
+			novel += st.CorpusNew
+		}
+		fmt.Fprintf(w, "coverage: corpus=%d entries (+%d this run), mutated rounds=%d\n",
+			res.Corpus.Len(), novel, mutated)
+	}
 }
 
 // maxRecovery renders a target's slowest confirmed recovery (round
@@ -235,6 +296,58 @@ func maxRecovery(st *campaign.TargetStats) string {
 		return "-"
 	}
 	return time.Duration(st.MaxRecoveryNs).Round(time.Millisecond).String()
+}
+
+// loadCorpus reads the corpus file when one is configured and exists;
+// a missing file just starts the corpus empty (it is written at the
+// end), but an unreadable or malformed one is fatal — silently fuzzing
+// without the corpus the user asked for would waste the campaign.
+func loadCorpus(path string) *campaign.Corpus {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corpus:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	c, err := campaign.ReadCorpus(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return c
+}
+
+func saveCorpus(c *campaign.Corpus, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// One GC first so the profile reflects live objects, not whatever
+	// garbage the campaign left behind.
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(c report.Campaign, path string) error {

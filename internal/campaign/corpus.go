@@ -1,0 +1,233 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"neat/internal/coverage"
+	"neat/internal/netsim"
+)
+
+// Corpus is the per-target seed pool of the coverage-guided search:
+// every schedule that produced a coverage signature not seen before
+// for its target. In mutate mode the runner derives most new rounds
+// by mutating corpus entries; the JSON form lets a campaign export
+// what it learned and a later campaign resume from it.
+//
+// Entries are deduplicated by (target, signature) — re-running a
+// schedule that reaches an already-seen state adds nothing — and kept
+// in insertion order, which the runner makes deterministic by
+// applying additions at generation barriers in (target, round) order.
+type Corpus struct {
+	mu      sync.Mutex
+	entries []CorpusEntry
+	seen    map[string]*coverage.Set // per target
+	perTgt  map[string][]Schedule    // decoded schedules, insertion order
+}
+
+// CorpusEntry is one stored schedule in its serialized form.
+type CorpusEntry struct {
+	Target    string        `json:"target"`
+	Signature string        `json:"signature"`
+	Seed      int64         `json:"seed"`
+	Ops       int           `json:"ops"`
+	Faults    []corpusFault `json:"faults"`
+}
+
+// corpusFault is the JSON form of one Fault. Kind travels by name so
+// corpus files survive enum renumbering; HealAt keeps its -1
+// open-until-end sentinel explicitly.
+type corpusFault struct {
+	Kind    string   `json:"kind"`
+	At      int      `json:"at"`
+	HealAt  int      `json:"heal_at"`
+	GroupA  []string `json:"group_a,omitempty"`
+	GroupB  []string `json:"group_b,omitempty"`
+	DelayMs int      `json:"delay_ms,omitempty"`
+	Rate    float64  `json:"rate,omitempty"`
+	Mode    string   `json:"mode,omitempty"`
+}
+
+// corpusFile is the on-disk envelope.
+type corpusFile struct {
+	Tool    string        `json:"tool"`
+	Entries []CorpusEntry `json:"entries"`
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		seen:   make(map[string]*coverage.Set),
+		perTgt: make(map[string][]Schedule),
+	}
+}
+
+// Add records sched under target if sig is novel for that target and
+// reports whether it was added.
+func (c *Corpus) Add(target string, sig coverage.Signature, sched Schedule) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.seen[target]
+	if set == nil {
+		set = &coverage.Set{}
+		c.seen[target] = set
+	}
+	if !set.Add(sig) {
+		return false
+	}
+	c.entries = append(c.entries, encodeEntry(target, sig, sched))
+	c.perTgt[target] = append(c.perTgt[target], cloneSchedule(sched))
+	return true
+}
+
+// ForTarget returns the target's schedules in insertion order. The
+// slice is a snapshot: mutating it, or Adding afterwards, does not
+// affect the other.
+func (c *Corpus) ForTarget(target string) []Schedule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pool := c.perTgt[target]
+	out := make([]Schedule, len(pool))
+	copy(out, pool)
+	return out
+}
+
+// Len is the total number of stored entries across targets.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// LenTarget is the number of stored entries for one target.
+func (c *Corpus) LenTarget(target string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.perTgt[target])
+}
+
+// WriteJSON serializes the corpus, entries in insertion order, with a
+// trailing newline. The output is byte-stable for equal corpora.
+func (c *Corpus) WriteJSON(w io.Writer) error {
+	c.mu.Lock()
+	entries := make([]CorpusEntry, len(c.entries))
+	copy(entries, c.entries)
+	c.mu.Unlock()
+	b, err := json.MarshalIndent(corpusFile{Tool: "neat-fuzz", Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadCorpus loads a corpus written by WriteJSON. Entries whose
+// signature is a duplicate for their target are dropped, so merging a
+// file into itself is a no-op.
+func ReadCorpus(r io.Reader) (*Corpus, error) {
+	var file corpusFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("campaign: reading corpus: %w", err)
+	}
+	c := NewCorpus()
+	for i, e := range file.Entries {
+		sig, err := coverage.Parse(e.Signature)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: corpus entry %d: %w", i, err)
+		}
+		sched, err := decodeEntry(e)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: corpus entry %d: %w", i, err)
+		}
+		c.Add(e.Target, sig, sched)
+	}
+	return c, nil
+}
+
+func encodeEntry(target string, sig coverage.Signature, sched Schedule) CorpusEntry {
+	e := CorpusEntry{
+		Target:    target,
+		Signature: sig.String(),
+		Seed:      sched.Seed,
+		Ops:       sched.Ops,
+		Faults:    make([]corpusFault, len(sched.Faults)),
+	}
+	for i, f := range sched.Faults {
+		e.Faults[i] = corpusFault{
+			Kind:    f.Kind.String(),
+			At:      f.At,
+			HealAt:  f.HealAt,
+			GroupA:  nodeStrings(f.GroupA),
+			GroupB:  nodeStrings(f.GroupB),
+			DelayMs: f.DelayMs,
+			Rate:    f.Rate,
+			Mode:    f.Mode,
+		}
+	}
+	return e
+}
+
+func decodeEntry(e CorpusEntry) (Schedule, error) {
+	sched := Schedule{Seed: e.Seed, Ops: e.Ops}
+	if sched.Ops <= 0 {
+		return sched, fmt.Errorf("non-positive ops %d", e.Ops)
+	}
+	for _, cf := range e.Faults {
+		kind, err := ParseFaultKind(cf.Kind)
+		if err != nil {
+			return sched, err
+		}
+		sched.Faults = append(sched.Faults, Fault{
+			Kind:    kind,
+			At:      cf.At,
+			HealAt:  cf.HealAt,
+			GroupA:  nodeIDs(cf.GroupA),
+			GroupB:  nodeIDs(cf.GroupB),
+			DelayMs: cf.DelayMs,
+			Rate:    cf.Rate,
+			Mode:    cf.Mode,
+		})
+	}
+	return sched, nil
+}
+
+func nodeStrings(g []netsim.NodeID) []string {
+	if len(g) == 0 {
+		return nil
+	}
+	out := make([]string, len(g))
+	for i, id := range g {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func nodeIDs(g []string) []netsim.NodeID {
+	if len(g) == 0 {
+		return nil
+	}
+	out := make([]netsim.NodeID, len(g))
+	for i, s := range g {
+		out[i] = netsim.NodeID(s)
+	}
+	return out
+}
+
+// cloneSchedule deep-copies a schedule so corpus entries and mutation
+// parents never share fault slices with live rounds.
+func cloneSchedule(s Schedule) Schedule {
+	out := Schedule{Seed: s.Seed, Ops: s.Ops}
+	if len(s.Faults) > 0 {
+		out.Faults = make([]Fault, len(s.Faults))
+		copy(out.Faults, s.Faults)
+		for i := range out.Faults {
+			out.Faults[i].GroupA = append([]netsim.NodeID(nil), out.Faults[i].GroupA...)
+			out.Faults[i].GroupB = append([]netsim.NodeID(nil), out.Faults[i].GroupB...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"neat/internal/coverage"
+)
+
+// corpusTestEntries builds a corpus with entries spanning several
+// targets and fault kinds.
+func corpusTestEntries(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus()
+	rng := rand.New(rand.NewSource(11))
+	for _, name := range []string{"dfs", "mqueue"} {
+		targets, err := Select(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := targets[0].Topology()
+		for i := 0; i < 5; i++ {
+			sched := Generate(rng, topo)
+			sched.Seed = rng.Int63()
+			if !c.Add(name, coverage.Signature(rng.Uint64()), sched) {
+				t.Fatalf("fresh signature for %s entry %d reported as duplicate", name, i)
+			}
+		}
+	}
+	return c
+}
+
+// TestCorpusJSONRoundTrip: write → read → write must be byte-identical
+// and reproduce the decoded schedules exactly — a resumed campaign
+// mutates precisely what the previous one saved.
+func TestCorpusJSONRoundTrip(t *testing.T) {
+	c := corpusTestEntries(t)
+	var first bytes.Buffer
+	if err := c.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCorpus(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip changed the corpus:\n--- written ---\n%s\n--- reloaded ---\n%s", first.Bytes(), second.Bytes())
+	}
+	for _, name := range []string{"dfs", "mqueue"} {
+		if got, want := loaded.ForTarget(name), c.ForTarget(name); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s schedules changed across the round trip:\n%v\nvs\n%v", name, got, want)
+		}
+	}
+	if got, want := loaded.Len(), c.Len(); got != want {
+		t.Fatalf("entry count changed across the round trip: %d vs %d", got, want)
+	}
+}
+
+// TestCorpusDedup: a signature already stored for a target adds
+// nothing; the same signature under another target is still novel.
+func TestCorpusDedup(t *testing.T) {
+	c := NewCorpus()
+	sched := Schedule{Ops: 6, Faults: []Fault{{Kind: FaultCrash, At: 1, HealAt: -1, GroupA: nodeIDs([]string{"n1"})}}}
+	if !c.Add("a", 7, sched) {
+		t.Fatal("first add rejected")
+	}
+	if c.Add("a", 7, sched) {
+		t.Fatal("duplicate (target, signature) accepted")
+	}
+	if !c.Add("b", 7, sched) {
+		t.Fatal("same signature under a different target rejected")
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := c.LenTarget("a"); got != 1 {
+		t.Fatalf("LenTarget(a) = %d, want 1", got)
+	}
+}
+
+// TestCorpusSelfMergeIsNoOp: re-reading a file into a campaign that
+// already holds its entries must add nothing — resuming twice from the
+// same corpus file cannot inflate it.
+func TestCorpusSelfMergeIsNoOp(t *testing.T) {
+	c := corpusTestEntries(t)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Len()
+	loaded, err := ReadCorpus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range loaded.entries {
+		sig, err := coverage.Parse(e.Signature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := decodeEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Add(e.Target, sig, sched) {
+			t.Fatalf("re-adding stored entry %q/%s was accepted as novel", e.Target, e.Signature)
+		}
+	}
+	if got := c.Len(); got != before {
+		t.Fatalf("self-merge grew the corpus: %d -> %d", before, got)
+	}
+}
+
+// TestReadCorpusRejectsMalformed: a corrupt corpus must fail loudly —
+// silently fuzzing without the requested seeds would waste a campaign.
+func TestReadCorpusRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{"tool": "neat-fuzz", "entries": [`,
+		"bad signature": `{"entries": [{"target": "a", "signature": "zz", "ops": 5, "faults": []}]}`,
+		"bad kind":      `{"entries": [{"target": "a", "signature": "0000000000000007", "ops": 5, "faults": [{"kind": "nope", "at": 0, "heal_at": -1}]}]}`,
+		"bad ops":       `{"entries": [{"target": "a", "signature": "0000000000000007", "ops": 0, "faults": []}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadCorpus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadCorpus accepted malformed input", name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"sort"
+
+	"neat/internal/coverage"
+	"neat/internal/history"
+	"neat/internal/netsim"
+)
+
+// roundCoverage computes the round's deterministic coverage signature
+// from everything the round exhibited:
+//
+//   - the recorded history's shape — client, kind, key, node, outcome,
+//     note, phase, and whether faults were active per operation, but
+//     NOT timestamps or payload values, so two rounds that drove the
+//     same operation pattern hash identically even when virtual
+//     timings differ;
+//   - the violation classes triggered, as sorted dedup signatures;
+//   - the fabric's packet-outcome counters, log2-bucketed per event
+//     class (delivered/dropped/duplicated/late/down), so order-of-
+//     magnitude changes register and noise-level ones do not;
+//   - the recovery-phase verdict: whether the prober confirmed
+//     recovery, how many passes it took, and which probed groups ever
+//     succeeded.
+//
+// Everything folded is already deterministically ordered (history by
+// index, violations sorted here, stats in struct order, probe groups
+// sorted here), so the signature is byte-stable across runs, hosts,
+// and worker counts.
+func roundCoverage(out *RoundOutcome, h history.History) coverage.Signature {
+	hs := coverage.NewHasher()
+	hs.WriteInt(int64(len(h)))
+	for _, op := range h {
+		hs.WriteString(op.Client)
+		hs.WriteString(op.Kind)
+		hs.WriteString(op.Key)
+		hs.WriteString(op.Node)
+		hs.WriteString(op.Outcome.String())
+		hs.WriteString(op.Note)
+		hs.WriteString(op.Phase)
+		hs.WriteBool(op.Faults > 0)
+	}
+
+	sigs := make([]string, 0, len(out.Violations))
+	for i := range out.Violations {
+		sigs = append(sigs, out.Violations[i].Signature())
+	}
+	sort.Strings(sigs)
+	hs.WriteInt(int64(len(sigs)))
+	for _, s := range sigs {
+		hs.WriteString(s)
+	}
+
+	hashNetStats(hs, out.Net)
+
+	if rcv := out.Recovery; rcv != nil {
+		hs.WriteBool(true)
+		hs.WriteBool(rcv.Recovered)
+		hs.WriteInt(int64(rcv.Passes))
+		groups := make([]string, 0, len(rcv.FirstOk))
+		for g := range rcv.FirstOk {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		hs.WriteInt(int64(len(groups)))
+		for _, g := range groups {
+			hs.WriteString(g)
+		}
+	} else {
+		hs.WriteBool(false)
+	}
+	return hs.Signature()
+}
+
+// hashNetStats folds the fabric's event-class counters, one log2
+// bucket per class in declaration order.
+func hashNetStats(hs *coverage.Hasher, st netsim.Stats) {
+	for _, c := range [...]uint64{
+		st.Sent, st.Delivered, st.Duplicated,
+		st.DroppedEgress, st.DroppedSwitch, st.DroppedIngress,
+		st.DroppedRandom, st.DroppedChaos, st.DroppedLate, st.DroppedDown,
+	} {
+		hs.WriteUint(coverage.Bucket(c))
+	}
+}

@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// TestRoundCoverageSignatureStable: the coverage signal must be a pure
+// function of what the round exhibited — recomputing it from the same
+// outcome 50 times and re-executing the same schedule must all yield
+// one signature, or corpus dedup and mutate-mode determinism fall
+// apart.
+func TestRoundCoverageSignatureStable(t *testing.T) {
+	targets, err := Select("kvstore/lowest-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	sched := generateFor(tgt, 42, 1)
+	first := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Coverage == 0 {
+		t.Fatal("round carries no coverage signature")
+	}
+	for i := 0; i < 50; i++ {
+		if got := roundCoverage(&first, first.History); got != first.Coverage {
+			t.Fatalf("recompute %d: signature %s, round reported %s", i, got, first.Coverage)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		again := runSchedule(tgt, sched, runOpts{virtual: true, trace: true})
+		if again.Err != nil {
+			t.Fatal(again.Err)
+		}
+		if again.Coverage != first.Coverage {
+			t.Fatalf("re-execution %d: signature %s, first run %s", i, again.Coverage, first.Coverage)
+		}
+	}
+}
+
+// TestRoundCoverageDistinguishesSchedules: different schedules driving
+// different histories must (for this pinned seed) produce different
+// signatures — a collapsing signal would dedup every round into one
+// corpus entry and starve the mutation pool.
+func TestRoundCoverageDistinguishesSchedules(t *testing.T) {
+	targets, err := Select("kvstore/lowest-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := targets[0]
+	a := runSchedule(tgt, generateFor(tgt, 42, 0), runOpts{virtual: true})
+	b := runSchedule(tgt, generateFor(tgt, 42, 2), runOpts{virtual: true})
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("round errors: %v / %v", a.Err, b.Err)
+	}
+	if a.Coverage == b.Coverage {
+		t.Fatalf("distinct rounds hashed to one signature %s", a.Coverage)
+	}
+}

@@ -133,6 +133,65 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// runMutateCampaign executes one coverage-guided campaign and returns
+// the JSON report concatenated with the exported corpus: both must be
+// byte-identical for campaigns to count as deterministic, because the
+// corpus is what a resumed campaign mutates next. Rounds exceed
+// mutateGenerationSize so later generations really do derive schedules
+// from what the first one learned.
+func runMutateCampaign(t *testing.T, workers int) []byte {
+	t.Helper()
+	res := Run(Config{
+		Targets:     determinismTargets(t),
+		Rounds:      mutateGenerationSize + 3,
+		Seed:        42,
+		Workers:     workers,
+		Shrink:      true,
+		Trace:       true,
+		VirtualTime: true,
+		Mutate:      true,
+	})
+	if res.Errors > 0 {
+		t.Fatalf("campaign reported %d round errors", res.Errors)
+	}
+	mutated := 0
+	for _, st := range res.Stats {
+		mutated += st.MutatedRounds
+	}
+	if mutated == 0 {
+		t.Fatal("mutate campaign derived no schedules by mutation; the determinism check is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := res.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Corpus.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignDeterministicMutate: coverage-guided search must be as
+// reproducible as random search. Schedules are a pure function of
+// (seed, target, round, corpus-at-generation-start) and corpus updates
+// apply at generation barriers in (target, round) order, so the worker
+// pool cannot influence which parent a round mutates — a serial
+// campaign and a heavily parallel one must produce byte-identical
+// reports AND byte-identical corpora.
+func TestCampaignDeterministicMutate(t *testing.T) {
+	for attempt := 0; ; attempt++ {
+		serial := runMutateCampaign(t, detWorkersSerial)
+		parallel := runMutateCampaign(t, detWorkersParallel)
+		if bytes.Equal(serial, parallel) {
+			return
+		}
+		if attempt >= detRetries {
+			t.Fatalf("worker count changed mutate-campaign outcomes:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+		}
+		t.Logf("attempt %d diverged; retrying with a fresh pair (allowed under -race)", attempt)
+	}
+}
+
 // TestVirtualRoundReplaysExactly: a single schedule replayed
 // virtually must reproduce the same violation signatures every time —
 // the property the shrinker depends on to confirm minimal reproducers.

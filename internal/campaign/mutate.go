@@ -1,0 +1,229 @@
+package campaign
+
+import (
+	"math/rand"
+
+	"neat/internal/netsim"
+)
+
+// Mutation operators for the coverage-guided search. Mutate derives a
+// new schedule from the corpus instead of generating one from scratch:
+// pick a parent that previously reached a novel state, then perturb it
+// — nudge fault timing, re-draw a magnitude, swap the victim, add or
+// remove one fault, or splice two corpus entries together. Every draw
+// comes from the round's schedule RNG, so the derived schedule is a
+// pure function of (campaign seed, target, round, corpus snapshot) and
+// campaigns stay byte-identical across worker counts.
+
+// mutationOps is how many operator applications one Mutate performs:
+// one or two, drawn from rng.
+const mutationOps = 2
+
+// Mutate derives a schedule by mutating a parent drawn from pool
+// (which must be non-empty). The result respects Generate's bounds:
+// ops in [minOps, maxOps], at most maxFaults faults, at most one disk
+// fault, heals strictly inside the schedule, victims from topo.
+func Mutate(rng *rand.Rand, topo Topology, kinds []FaultKind, pool []Schedule) Schedule {
+	if len(kinds) == 0 {
+		kinds = AllFaultKinds
+	}
+	sched := cloneSchedule(pickParent(rng, pool))
+	n := 1 + rng.Intn(mutationOps)
+	for i := 0; i < n; i++ {
+		applyMutation(rng, topo, kinds, &sched, pool)
+	}
+	normalizeSchedule(rng, topo, kinds, &sched)
+	return sched
+}
+
+// pickParent draws a mutation parent with a recency bias: half the
+// draws come from the newest half of the pool (the schedules that most
+// recently reached novel coverage), half from anywhere. Fresh corpus
+// entries are the search frontier; pure uniform selection dilutes them
+// under the accumulated history as the corpus grows.
+func pickParent(rng *rand.Rand, pool []Schedule) Schedule {
+	if len(pool) > 1 && rng.Intn(2) == 0 {
+		half := (len(pool) + 1) / 2
+		return pool[len(pool)-half+rng.Intn(half)]
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+func applyMutation(rng *rand.Rand, topo Topology, kinds []FaultKind, sched *Schedule, pool []Schedule) {
+	if len(sched.Faults) == 0 {
+		sched.Faults = append(sched.Faults, genFault(rng, topo, sched.Ops, kinds, new(bool)))
+		return
+	}
+	switch rng.Intn(6) {
+	case 0: // perturb timing: new injection point, re-drawn heal
+		f := &sched.Faults[rng.Intn(len(sched.Faults))]
+		f.At = rng.Intn(sched.Ops)
+		f.HealAt = -1
+		if f.Kind != FaultRestart && rng.Intn(2) == 0 {
+			if h := f.At + 1 + rng.Intn(sched.Ops-f.At); h < sched.Ops {
+				f.HealAt = h
+			}
+		}
+	case 1: // perturb magnitude within the kind's generation bounds
+		f := &sched.Faults[rng.Intn(len(sched.Faults))]
+		mutateMagnitude(rng, f)
+	case 2: // swap victims: re-draw the same kind against fresh groups
+		i := rng.Intn(len(sched.Faults))
+		old := sched.Faults[i]
+		diskUsed := scheduleHasDisk(sched.Faults, i)
+		nf := genFault(rng, topo, sched.Ops, []FaultKind{old.Kind}, &diskUsed)
+		// Keep the parent's timing: the operator moves the fault to new
+		// victims, not to a new moment.
+		nf.At, nf.HealAt = old.At, old.HealAt
+		if nf.Kind == FaultRestart {
+			nf.HealAt = -1
+		}
+		sched.Faults[i] = nf
+	case 3: // add one fault (replace one when already at the cap)
+		diskUsed := scheduleHasDisk(sched.Faults, -1)
+		nf := genFault(rng, topo, sched.Ops, kinds, &diskUsed)
+		if len(sched.Faults) < maxFaults {
+			sched.Faults = append(sched.Faults, nf)
+		} else {
+			sched.Faults[rng.Intn(len(sched.Faults))] = nf
+		}
+	case 4: // remove one fault (re-draw it when it is the only one)
+		i := rng.Intn(len(sched.Faults))
+		if len(sched.Faults) > 1 {
+			sched.Faults = append(sched.Faults[:i], sched.Faults[i+1:]...)
+		} else {
+			diskUsed := false
+			sched.Faults[i] = genFault(rng, topo, sched.Ops, kinds, &diskUsed)
+		}
+	case 5: // splice: head of this schedule, tail of another corpus entry
+		other := pool[rng.Intn(len(pool))]
+		head := sched.Faults[:rng.Intn(len(sched.Faults)+1)]
+		var tail []Fault
+		if len(other.Faults) > 0 {
+			tail = other.Faults[rng.Intn(len(other.Faults)+1):]
+		}
+		faults := make([]Fault, 0, len(head)+len(tail))
+		faults = append(faults, head...)
+		faults = append(faults, cloneSchedule(Schedule{Faults: tail}).Faults...)
+		if other.Ops > sched.Ops {
+			sched.Ops = other.Ops
+		}
+		sched.Faults = faults
+	}
+}
+
+// mutateMagnitude re-draws the kind's magnitude parameters inside the
+// same bounds Generate uses. Kinds without a magnitude knob flip the
+// heal style instead, so the operator is never a no-op draw pattern.
+func mutateMagnitude(rng *rand.Rand, f *Fault) {
+	switch f.Kind {
+	case FaultSlow:
+		f.DelayMs = minSlowDelayMs + rng.Intn(maxSlowDelayMs-minSlowDelayMs+1)
+	case FaultLoss:
+		f.Rate = minLossRate + (maxLossRate-minLossRate)*rng.Float64()
+	case FaultFlaky:
+		f.Rate = minFlakyRate + (maxFlakyRate-minFlakyRate)*rng.Float64()
+		f.DelayMs = minWindowMs + rng.Intn(maxWindowMs-minWindowMs+1)
+	case FaultFlap:
+		f.DelayMs = minFlapMs + rng.Intn(maxFlapMs-minFlapMs+1)
+	case FaultSkew:
+		off := minSkewOffMs + rng.Intn(maxSkewOffMs-minSkewOffMs+1)
+		if rng.Intn(2) == 0 {
+			off = -off
+		}
+		f.DelayMs = off
+		f.Rate = minSkewRate + (maxSkewRate-minSkewRate)*rng.Float64()
+	case FaultRestart:
+		f.DelayMs = minRestartMs + rng.Intn(maxRestartMs-minRestartMs+1)
+	case FaultDisk:
+		if rng.Intn(2) == 0 {
+			f.Mode = DiskModeLost
+		} else {
+			f.Mode = DiskModeTorn
+		}
+	default: // complete, partial, simplex, crash, pause: toggle heal style
+		if f.HealAt >= 0 {
+			f.HealAt = -1
+		} else if h := f.At + 1 + rng.Intn(maxOps-f.At); h < maxOps {
+			f.HealAt = h
+		}
+	}
+}
+
+// scheduleHasDisk reports whether any fault other than index skip is a
+// disk fault — the at-most-one-lying-disk invariant Generate keeps.
+func scheduleHasDisk(faults []Fault, skip int) bool {
+	for i, f := range faults {
+		if i != skip && f.Kind == FaultDisk {
+			return true
+		}
+	}
+	return false
+}
+
+// normalizeSchedule re-establishes Generate's invariants after
+// mutation and splicing: ops inside [minOps, maxOps], at most
+// maxFaults faults, injection and heal indices inside the schedule,
+// restart heals through their timer only, one disk fault at most, and
+// every victim present in the topology (hand-edited corpus files can
+// name nodes the target does not have). A schedule left empty by the
+// clean-up gets one fresh fault — a schedule with nothing to inject
+// explores nothing.
+func normalizeSchedule(rng *rand.Rand, topo Topology, kinds []FaultKind, sched *Schedule) {
+	if sched.Ops < minOps {
+		sched.Ops = minOps
+	}
+	if sched.Ops > maxOps {
+		sched.Ops = maxOps
+	}
+	if len(sched.Faults) > maxFaults {
+		sched.Faults = sched.Faults[:maxFaults]
+	}
+	known := make(map[netsim.NodeID]bool,
+		len(topo.Servers)+len(topo.Services)+len(topo.Clients))
+	for _, set := range [][]netsim.NodeID{topo.Servers, topo.Services, topo.Clients} {
+		for _, id := range set {
+			known[id] = true
+		}
+	}
+	kept := sched.Faults[:0]
+	diskUsed := false
+	for _, f := range sched.Faults {
+		if !groupKnown(f.GroupA, known) || !groupKnown(f.GroupB, known) || len(f.GroupA) == 0 {
+			continue
+		}
+		if f.Kind == FaultDisk {
+			if diskUsed {
+				f = f.crash(f.GroupA[0])
+			} else {
+				diskUsed = true
+			}
+		}
+		if f.At < 0 {
+			f.At = 0
+		}
+		if f.At >= sched.Ops {
+			f.At = sched.Ops - 1
+		}
+		if f.Kind == FaultRestart {
+			f.HealAt = -1
+		} else if f.HealAt >= 0 && (f.HealAt <= f.At || f.HealAt >= sched.Ops) {
+			f.HealAt = -1
+		}
+		kept = append(kept, f)
+	}
+	sched.Faults = kept
+	if len(sched.Faults) == 0 {
+		du := false
+		sched.Faults = append(sched.Faults, genFault(rng, topo, sched.Ops, kinds, &du))
+	}
+}
+
+func groupKnown(g []netsim.NodeID, known map[netsim.NodeID]bool) bool {
+	for _, id := range g {
+		if !known[id] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"neat/internal/netsim"
+)
+
+// mutateTestPool builds a deterministic corpus pool of freshly
+// generated schedules to mutate against.
+func mutateTestPool(topo Topology, n int, seed int64) []Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]Schedule, n)
+	for i := range pool {
+		pool[i] = Generate(rng, topo)
+	}
+	return pool
+}
+
+func mutateTestTopology(t *testing.T) Topology {
+	t.Helper()
+	targets, err := Select("dfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return targets[0].Topology()
+}
+
+// TestMutateDeterministic: Mutate draws everything from the supplied
+// rng, so equal seeds must yield deeply equal schedules — the property
+// the campaign's cross-worker byte-identity rests on.
+func TestMutateDeterministic(t *testing.T) {
+	topo := mutateTestTopology(t)
+	pool := mutateTestPool(topo, 6, 99)
+	for seed := int64(0); seed < 200; seed++ {
+		a := Mutate(rand.New(rand.NewSource(seed)), topo, nil, pool)
+		b := Mutate(rand.New(rand.NewSource(seed)), topo, nil, pool)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: mutations diverged:\n%v\nvs\n%v", seed, a, b)
+		}
+	}
+}
+
+// TestMutateRespectsGenerateBounds: whatever the operators do —
+// splicing, adding, perturbing — the result must satisfy every
+// invariant Generate guarantees, because the runner injects mutated
+// schedules through the exact same fault machinery.
+func TestMutateRespectsGenerateBounds(t *testing.T) {
+	topo := mutateTestTopology(t)
+	known := make(map[netsim.NodeID]bool)
+	for _, set := range [][]netsim.NodeID{topo.Servers, topo.Services, topo.Clients} {
+		for _, id := range set {
+			known[id] = true
+		}
+	}
+	pool := mutateTestPool(topo, 8, 7)
+	for seed := int64(0); seed < 500; seed++ {
+		s := Mutate(rand.New(rand.NewSource(seed)), topo, nil, pool)
+		if s.Ops < minOps || s.Ops > maxOps {
+			t.Fatalf("seed %d: ops %d outside [%d, %d]", seed, s.Ops, minOps, maxOps)
+		}
+		if len(s.Faults) == 0 || len(s.Faults) > maxFaults {
+			t.Fatalf("seed %d: %d faults outside [1, %d]", seed, len(s.Faults), maxFaults)
+		}
+		disks := 0
+		for _, f := range s.Faults {
+			if f.Kind == FaultDisk {
+				disks++
+			}
+			if f.At < 0 || f.At >= s.Ops {
+				t.Fatalf("seed %d: fault %q injects at %d outside [0, %d)", seed, f.String(), f.At, s.Ops)
+			}
+			if f.HealAt != -1 && (f.HealAt <= f.At || f.HealAt >= s.Ops) {
+				t.Fatalf("seed %d: fault %q heals at %d, not in (%d, %d)", seed, f.String(), f.HealAt, f.At, s.Ops)
+			}
+			if f.Kind == FaultRestart && f.HealAt != -1 {
+				t.Fatalf("seed %d: restart fault carries heal index %d; restarts heal through their timer", seed, f.HealAt)
+			}
+			if len(f.GroupA) == 0 {
+				t.Fatalf("seed %d: fault %q has no victims", seed, f.String())
+			}
+			for _, g := range [][]netsim.NodeID{f.GroupA, f.GroupB} {
+				for _, id := range g {
+					if !known[id] {
+						t.Fatalf("seed %d: fault %q names node %q outside the topology", seed, f.String(), id)
+					}
+				}
+			}
+		}
+		if disks > 1 {
+			t.Fatalf("seed %d: %d disk faults; at most one lying disk per schedule", seed, disks)
+		}
+	}
+}
+
+// TestMutateDoesNotAliasPool: corpus entries are mutation parents for
+// every later round; an operator writing through a shared fault slice
+// would corrupt the pool for its siblings.
+func TestMutateDoesNotAliasPool(t *testing.T) {
+	topo := mutateTestTopology(t)
+	pool := mutateTestPool(topo, 4, 3)
+	snapshot := make([]Schedule, len(pool))
+	for i, s := range pool {
+		snapshot[i] = cloneSchedule(s)
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		Mutate(rand.New(rand.NewSource(seed)), topo, nil, pool)
+	}
+	if !reflect.DeepEqual(pool, snapshot) {
+		t.Fatalf("mutation modified the parent pool:\n%v\nvs\n%v", pool, snapshot)
+	}
+}
+
+// TestMutateDropsForeignVictims: a hand-edited corpus file can name
+// nodes the target does not have; normalization must drop such faults
+// rather than hand the engine an unknown node.
+func TestMutateDropsForeignVictims(t *testing.T) {
+	topo := mutateTestTopology(t)
+	pool := []Schedule{{
+		Ops: 8,
+		Faults: []Fault{{
+			Kind:   FaultCrash,
+			At:     2,
+			HealAt: -1,
+			GroupA: []netsim.NodeID{"no-such-node"},
+		}},
+	}}
+	for seed := int64(0); seed < 50; seed++ {
+		s := Mutate(rand.New(rand.NewSource(seed)), topo, nil, pool)
+		for _, f := range s.Faults {
+			for _, id := range append(append([]netsim.NodeID{}, f.GroupA...), f.GroupB...) {
+				if id == "no-such-node" {
+					t.Fatalf("seed %d: foreign victim survived normalization in %q", seed, f.String())
+				}
+			}
+		}
+		if len(s.Faults) == 0 {
+			t.Fatalf("seed %d: schedule left with no faults", seed)
+		}
+	}
+}

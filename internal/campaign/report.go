@@ -40,6 +40,10 @@ func (r *Result) Report() report.Campaign {
 		// A clean campaign must serialize as an empty violation list,
 		// not null, for JSON consumers.
 		Violations: []report.CampaignViolation{},
+		Mutate:     r.Mutate,
+	}
+	if r.Corpus != nil {
+		out.CorpusSize = r.Corpus.Len()
 	}
 	for _, name := range r.Targets {
 		st := r.Stats[name]
@@ -56,6 +60,10 @@ func (r *Result) Report() report.Campaign {
 			ProbeRetries:    st.ProbeRetries,
 			MaxRecoveryNs:   st.MaxRecoveryNs,
 			RecoveryNs:      st.RecoveryNs,
+
+			CoverageSignatures: st.Signatures,
+			MutatedRounds:      st.MutatedRounds,
+			CorpusNew:          st.CorpusNew,
 		})
 	}
 	for _, f := range r.Findings {

@@ -8,10 +8,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neat/internal/clock"
 	"neat/internal/core"
+	"neat/internal/coverage"
 	"neat/internal/history"
 	"neat/internal/netsim"
 )
@@ -29,6 +31,13 @@ type RoundOutcome struct {
 	// Recovery summarizes the post-heal recovery-validation phase; nil
 	// when probing was disabled.
 	Recovery *RecoveryStats
+	// Net is the fabric's final packet-outcome counters, snapshotted at
+	// a deterministic virtual instant (after the checks, with the
+	// round's busy token still held).
+	Net netsim.Stats
+	// Coverage is the round's deterministic coverage signature (see
+	// roundCoverage); zero when the round failed before judging.
+	Coverage coverage.Signature
 	Err      error
 }
 
@@ -480,6 +489,8 @@ func runScheduleBody(t Target, sched Schedule, opts runOpts) RoundOutcome {
 	if opts.trace {
 		out.History = h
 	}
+	out.Net = eng.Network().Stats()
+	out.Coverage = roundCoverage(&out, h)
 	return out
 }
 
@@ -575,6 +586,16 @@ type TargetStats struct {
 	// MaxRecoveryNs is the slowest confirmed full recovery (virtual
 	// nanoseconds from probe start).
 	MaxRecoveryNs int64
+	// Signatures counts the distinct coverage signatures the target's
+	// rounds produced during this run.
+	Signatures int
+	// MutatedRounds counts rounds whose schedule was derived by corpus
+	// mutation rather than fresh generation.
+	MutatedRounds int
+	// CorpusNew counts rounds whose signature was novel for the corpus
+	// (including one pre-seeded from a prior campaign), so their
+	// schedules were added as mutation parents.
+	CorpusNew int
 	// RecoveryNs is the worst-case per-group recovery time (virtual
 	// nanoseconds from probe start to the group's first successful
 	// probe), across the target's rounds.
@@ -631,6 +652,18 @@ type Config struct {
 	// campaign keeps going; 0 means DefaultRoundTimeout, negative
 	// disables the watchdog.
 	RoundTimeout time.Duration
+	// Mutate turns on coverage-guided search: rounds run in small
+	// generations, and once the corpus has parents for a target most of
+	// its later schedules are derived by mutating corpus entries
+	// instead of fresh random generation. Schedules stay a pure
+	// function of (Seed, target, round, corpus-at-generation-start), so
+	// mutate campaigns are byte-identical across worker counts too.
+	// cmd/neat-fuzz sets it from -mutate.
+	Mutate bool
+	// Corpus, when set, seeds the coverage corpus (typically loaded
+	// from a prior campaign's -corpus file) and receives this
+	// campaign's novel schedules. Nil means start empty.
+	Corpus *Corpus
 	// Trace retains every finding's full recorded operation history
 	// (the witness trace is always kept). cmd/neat-fuzz sets it from
 	// -trace.
@@ -648,6 +681,11 @@ type Result struct {
 	Findings []Finding
 	// Errors counts rounds that failed to deploy or execute.
 	Errors int
+	// Mutate records whether the campaign ran the coverage-guided
+	// search; Corpus is the coverage corpus after the run (pre-seeded
+	// entries plus every schedule that reached a novel signature).
+	Mutate bool
+	Corpus *Corpus
 }
 
 // TotalViolations sums every violation found, before deduplication.
@@ -659,9 +697,32 @@ func (r *Result) TotalViolations() int {
 	return n
 }
 
+// mutateGenerationSize is how many rounds per target run between
+// corpus barriers in mutate mode. Corpus additions apply only at the
+// barrier, in (target, round) order, so every schedule in a generation
+// depends on the corpus as it stood at the generation's start — never
+// on which worker finished a sibling round first.
+const mutateGenerationSize = 5
+
+// mutateFreshFraction is the share of mutate-mode rounds that still
+// run a freshly generated schedule once the corpus has parents, so the
+// search keeps exploring states no ancestor reached.
+const mutateFreshFraction = 0.4
+
+// runJob is one scheduled round: the schedule is fixed before the
+// generation starts, so workers only execute.
+type runJob struct {
+	target  Target
+	round   int
+	sched   Schedule
+	mutated bool
+}
+
 // Run executes a campaign: Rounds seeded schedules per target on a
 // worker pool, violations deduplicated by signature, and (optionally)
-// one greedy shrink per unique signature.
+// one greedy shrink per unique signature. With cfg.Mutate the rounds
+// run in generations and most schedules are derived by mutating corpus
+// entries once the corpus has any.
 func Run(cfg Config) *Result {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 10
@@ -679,10 +740,16 @@ func Run(cfg Config) *Result {
 		}
 		cfg.Workers = min(max(runtime.GOMAXPROCS(0)*2, lo), hi)
 	}
+	corpus := cfg.Corpus
+	if corpus == nil {
+		corpus = NewCorpus()
+	}
 	res := &Result{
 		Seed:   cfg.Seed,
 		Rounds: cfg.Rounds,
 		Stats:  make(map[string]*TargetStats),
+		Mutate: cfg.Mutate,
+		Corpus: corpus,
 	}
 	for _, t := range cfg.Targets {
 		res.Targets = append(res.Targets, t.Name())
@@ -693,76 +760,40 @@ func Run(cfg Config) *Result {
 		virtual: cfg.VirtualTime, settle: cfg.Settle, trace: cfg.Trace,
 		noProbe: cfg.NoProbe, rto: cfg.RTO, watchdog: cfg.RoundTimeout,
 	}
-	type job struct {
-		target Target
-		round  int
+	// Generation size: the whole campaign at once without mutation
+	// (schedules never depend on earlier outcomes), small batches with
+	// it (each generation mutates what the previous ones learned).
+	genSize := cfg.Rounds
+	if cfg.Mutate {
+		genSize = mutateGenerationSize
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
+	covSets := make(map[string]*coverage.Set, len(cfg.Targets))
 	var found []Finding
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		//neat:allow goaccount -- campaign worker pool: drivers run rounds, each round owns its own virtual clock
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				seed := scheduleSeed(cfg.Seed, j.target.Name(), j.round)
-				gen := rand.New(rand.NewSource(seed))
-				sched := Generate(gen, j.target.Topology(), cfg.FaultKinds...)
-				sched.Seed = seed
-				out := runSchedule(j.target, sched, opts)
-				out.Round = j.round
-				mu.Lock()
-				st := res.Stats[out.Target]
-				st.Rounds++
-				st.Violations += len(out.Violations)
-				if out.Err != nil {
-					st.Errors++
-					res.Errors++
-				}
-				if rcv := out.Recovery; rcv != nil {
-					st.ProbedRounds++
-					st.ProbeOps += rcv.Ops
-					st.ProbeRetries += rcv.Retries
-					if rcv.Recovered {
-						st.RecoveredRounds++
-						if ns := rcv.RecoveryTime.Nanoseconds(); ns > st.MaxRecoveryNs {
-							st.MaxRecoveryNs = ns
-						}
-					}
-					for g, d := range rcv.FirstOk {
-						if st.RecoveryNs == nil {
-							st.RecoveryNs = make(map[string]int64)
-						}
-						if ns := d.Nanoseconds(); ns > st.RecoveryNs[g] {
-							st.RecoveryNs[g] = ns
-						}
-					}
-				}
-				for _, v := range out.Violations {
-					found = append(found, Finding{
-						Violation: v,
-						Round:     j.round,
-						Schedule:  sched,
-						History:   out.History,
-					})
-				}
-				if cfg.Log != nil {
-					fmt.Fprintf(cfg.Log, "round %3d  %-22s violations=%d%s%s\n",
-						j.round, out.Target, len(out.Violations), recoverySuffix(out.Recovery), errSuffix(out.Err))
-				}
-				mu.Unlock()
+	for g0 := 0; g0 < cfg.Rounds; g0 += genSize {
+		gEnd := min(g0+genSize, cfg.Rounds)
+		jobs := make([]runJob, 0, len(cfg.Targets)*(gEnd-g0))
+		for _, t := range cfg.Targets {
+			var pool []Schedule
+			if cfg.Mutate {
+				pool = corpus.ForTarget(t.Name())
 			}
-		}()
-	}
-	for _, t := range cfg.Targets {
-		for r := 0; r < cfg.Rounds; r++ {
-			jobs <- job{target: t, round: r}
+			for r := g0; r < gEnd; r++ {
+				seed := scheduleSeed(cfg.Seed, t.Name(), r)
+				gen := rand.New(rand.NewSource(seed))
+				j := runJob{target: t, round: r}
+				if cfg.Mutate && len(pool) > 0 && gen.Float64() >= mutateFreshFraction {
+					j.sched = Mutate(gen, t.Topology(), cfg.FaultKinds, pool)
+					j.mutated = true
+				} else {
+					j.sched = Generate(gen, t.Topology(), cfg.FaultKinds...)
+				}
+				j.sched.Seed = seed
+				jobs = append(jobs, j)
+			}
 		}
+		outs := runGeneration(cfg, jobs, opts)
+		res.aggregate(corpus, covSets, jobs, outs, &found)
 	}
-	close(jobs)
-	wg.Wait()
 
 	res.Findings = Dedup(found)
 	for _, f := range res.Findings {
@@ -774,6 +805,109 @@ func Run(cfg Config) *Result {
 		res.shrinkAll(cfg)
 	}
 	return res
+}
+
+// runGeneration executes one generation's jobs on the worker pool and
+// returns the outcomes slotted by job index. Log lines stream in
+// completion order (they are progress, not part of the result); the
+// outcomes themselves are consumed in job order by aggregate.
+func runGeneration(cfg Config, jobs []runJob, opts runOpts) []RoundOutcome {
+	outs := make([]RoundOutcome, len(jobs))
+	workers := min(cfg.Workers, len(jobs))
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var logMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//neat:allow goaccount -- campaign worker pool: drivers run rounds, each round owns its own virtual clock
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				out := runSchedule(j.target, j.sched, opts)
+				out.Round = j.round
+				outs[i] = out
+				if cfg.Log != nil {
+					logMu.Lock()
+					fmt.Fprintf(cfg.Log, "round %3d  %-22s violations=%d%s%s\n",
+						j.round, out.Target, len(out.Violations), recoverySuffix(out.Recovery), errSuffix(out.Err))
+					logMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+// aggregate folds one generation's outcomes into the result and the
+// corpus, strictly in job order — (target, round) — so stats, corpus
+// insertion order, and finding order are independent of worker
+// scheduling.
+func (r *Result) aggregate(corpus *Corpus, covSets map[string]*coverage.Set, jobs []runJob, outs []RoundOutcome, found *[]Finding) {
+	for i, j := range jobs {
+		out := outs[i]
+		name := j.target.Name()
+		st := r.Stats[name]
+		st.Rounds++
+		st.Violations += len(out.Violations)
+		if j.mutated {
+			st.MutatedRounds++
+		}
+		if out.Err != nil {
+			st.Errors++
+			r.Errors++
+		}
+		if rcv := out.Recovery; rcv != nil {
+			st.ProbedRounds++
+			st.ProbeOps += rcv.Ops
+			st.ProbeRetries += rcv.Retries
+			if rcv.Recovered {
+				st.RecoveredRounds++
+				if ns := rcv.RecoveryTime.Nanoseconds(); ns > st.MaxRecoveryNs {
+					st.MaxRecoveryNs = ns
+				}
+			}
+			for g, d := range rcv.FirstOk {
+				if st.RecoveryNs == nil {
+					st.RecoveryNs = make(map[string]int64)
+				}
+				if ns := d.Nanoseconds(); ns > st.RecoveryNs[g] {
+					st.RecoveryNs[g] = ns
+				}
+			}
+		}
+		if out.Err == nil {
+			// Coverage accounting only for rounds that actually ran to
+			// judgment: a deploy failure or wedged round has no signature.
+			set := covSets[name]
+			if set == nil {
+				set = &coverage.Set{}
+				covSets[name] = set
+			}
+			if set.Add(out.Coverage) {
+				st.Signatures++
+			}
+			if corpus.Add(name, out.Coverage, j.sched) {
+				st.CorpusNew++
+			}
+		}
+		for _, v := range out.Violations {
+			*found = append(*found, Finding{
+				Violation: v,
+				Round:     j.round,
+				Schedule:  j.sched,
+				History:   out.History,
+			})
+		}
+	}
 }
 
 func errSuffix(err error) string {

@@ -135,24 +135,15 @@ func ParseFaultKinds(spec string) ([]FaultKind, error) {
 	case "gray":
 		return append([]FaultKind{}, GrayFaultKinds...), nil
 	}
-	byName := make(map[string]FaultKind, len(AllFaultKinds))
-	for _, k := range AllFaultKinds {
-		byName[k.String()] = k
-	}
 	var out []FaultKind
 	for _, name := range strings.Split(spec, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		k, ok := byName[name]
-		if !ok {
-			known := make([]string, 0, len(AllFaultKinds))
-			for _, kk := range AllFaultKinds {
-				known = append(known, kk.String())
-			}
-			return nil, fmt.Errorf("campaign: unknown fault kind %q (known: %s, or the presets all/classic/chaos/gray)",
-				name, strings.Join(known, ", "))
+		k, err := ParseFaultKind(name)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, k)
 	}
@@ -160,6 +151,23 @@ func ParseFaultKinds(spec string) ([]FaultKind, error) {
 		return nil, fmt.Errorf("campaign: empty fault-kind spec %q", spec)
 	}
 	return out, nil
+}
+
+// ParseFaultKind resolves one fault-kind name ("complete", "slow",
+// "pause", ...). Corpus files store kinds by name, so imports resolve
+// through here.
+func ParseFaultKind(name string) (FaultKind, error) {
+	for _, k := range AllFaultKinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	known := make([]string, 0, len(AllFaultKinds))
+	for _, kk := range AllFaultKinds {
+		known = append(known, kk.String())
+	}
+	return 0, fmt.Errorf("campaign: unknown fault kind %q (known: %s, or the presets all/classic/chaos/gray)",
+		name, strings.Join(known, ", "))
 }
 
 // Fault is one scheduled fault. It is injected just before operation

@@ -1,0 +1,141 @@
+// Package coverage defines the deterministic coverage signal that
+// guides the campaign's feedback-directed schedule search.
+//
+// A round's coverage signature is a 64-bit FNV-1a hash over the
+// behaviors the round exhibited — the shape of its recorded history,
+// the violation classes it triggered, log2-bucketed fabric packet
+// outcomes, and the recovery-phase verdict. Two rounds that drove the
+// system through the same states hash identically; a round that
+// reached a new state (a different retry pattern, a new drop class, a
+// first-ever violation) hashes to something unseen. The campaign
+// keeps schedules with novel signatures as mutation seeds, AFL-style.
+//
+// Everything here is pure computation over values the caller already
+// ordered deterministically: the hasher folds inputs in call order
+// and holds no maps, so equal input sequences always produce equal
+// signatures — on any host, at any worker count.
+package coverage
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+)
+
+// Signature is one round's 64-bit coverage signature.
+type Signature uint64
+
+// String renders the signature as fixed-width hex, the form used in
+// corpus files and reports.
+func (s Signature) String() string {
+	return fmt.Sprintf("%016x", uint64(s))
+}
+
+// Parse decodes a signature rendered by String.
+func Parse(text string) (Signature, error) {
+	v, err := strconv.ParseUint(text, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("coverage: bad signature %q: %w", text, err)
+	}
+	return Signature(v), nil
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hasher accumulates a coverage signature. The zero value is ready to
+// use. Every Write* folds a one-byte domain tag before its payload,
+// so adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+type Hasher struct {
+	sum uint64
+}
+
+// NewHasher returns a hasher seeded with the FNV-1a offset basis.
+func NewHasher() *Hasher {
+	return &Hasher{sum: fnvOffset64}
+}
+
+func (h *Hasher) byte(b byte) {
+	h.sum = (h.sum ^ uint64(b)) * fnvPrime64
+}
+
+// WriteString folds a length-prefixed string.
+func (h *Hasher) WriteString(s string) {
+	h.byte(1)
+	h.WriteUint(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// WriteUint folds an unsigned value, fixed-width.
+func (h *Hasher) WriteUint(v uint64) {
+	h.byte(2)
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+// WriteInt folds a signed value, fixed-width.
+func (h *Hasher) WriteInt(v int64) {
+	h.byte(3)
+	for i := 0; i < 8; i++ {
+		h.byte(byte(uint64(v) >> (8 * i)))
+	}
+}
+
+// WriteBool folds a boolean.
+func (h *Hasher) WriteBool(b bool) {
+	if b {
+		h.byte(5)
+	} else {
+		h.byte(4)
+	}
+}
+
+// Signature returns the accumulated signature.
+func (h *Hasher) Signature() Signature {
+	return Signature(h.sum)
+}
+
+// Bucket maps a counter to its log2 bucket: 0 stays 0, and n > 0 maps
+// to 1+floor(log2 n). Coverage hashes bucketed counters so a round
+// that dropped 17 packets instead of 19 is the same behavior, while
+// 0 vs 2 vs 40 are different behaviors — the AFL count-bucketing
+// insight applied to fabric statistics.
+func Bucket(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return uint64(bits.Len64(n))
+}
+
+// Set tracks distinct signatures.
+type Set struct {
+	m map[Signature]struct{}
+}
+
+// Add records sig and reports whether it was novel.
+func (s *Set) Add(sig Signature) bool {
+	if s.m == nil {
+		s.m = make(map[Signature]struct{})
+	}
+	if _, ok := s.m[sig]; ok {
+		return false
+	}
+	s.m[sig] = struct{}{}
+	return true
+}
+
+// Has reports whether sig was already recorded.
+func (s *Set) Has(sig Signature) bool {
+	_, ok := s.m[sig]
+	return ok
+}
+
+// Len is the number of distinct signatures recorded.
+func (s *Set) Len() int {
+	return len(s.m)
+}

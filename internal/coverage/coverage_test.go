@@ -1,0 +1,95 @@
+package coverage
+
+import "testing"
+
+// TestHasherDeterministic: equal input sequences produce equal
+// signatures, repeatedly — the property the whole search rests on.
+func TestHasherDeterministic(t *testing.T) {
+	mk := func() Signature {
+		h := NewHasher()
+		h.WriteString("kvstore")
+		h.WriteInt(-42)
+		h.WriteUint(7)
+		h.WriteBool(true)
+		h.WriteString("")
+		return h.Signature()
+	}
+	first := mk()
+	for i := 0; i < 50; i++ {
+		if got := mk(); got != first {
+			t.Fatalf("iteration %d: signature %v, want %v", i, got, first)
+		}
+	}
+}
+
+// TestHasherFieldBoundaries: adjacent fields must not alias — the
+// length prefix and domain tags keep "ab"+"c" distinct from "a"+"bc",
+// and a string distinct from the equivalent numeric folds.
+func TestHasherFieldBoundaries(t *testing.T) {
+	sig := func(fold func(h *Hasher)) Signature {
+		h := NewHasher()
+		fold(h)
+		return h.Signature()
+	}
+	a := sig(func(h *Hasher) { h.WriteString("ab"); h.WriteString("c") })
+	b := sig(func(h *Hasher) { h.WriteString("a"); h.WriteString("bc") })
+	if a == b {
+		t.Fatal("string boundary aliased: ab|c == a|bc")
+	}
+	if sig(func(h *Hasher) { h.WriteUint(1) }) == sig(func(h *Hasher) { h.WriteInt(1) }) {
+		t.Fatal("uint and int folds aliased")
+	}
+	if sig(func(h *Hasher) { h.WriteBool(true) }) == sig(func(h *Hasher) { h.WriteBool(false) }) {
+		t.Fatal("bool folds aliased")
+	}
+}
+
+func TestSignatureStringParseRoundTrip(t *testing.T) {
+	for _, s := range []Signature{0, 1, 0xdeadbeef, ^Signature(0)} {
+		text := s.String()
+		if len(text) != 16 {
+			t.Fatalf("signature %v rendered %q, want fixed 16 hex chars", uint64(s), text)
+		}
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if back != s {
+			t.Fatalf("round trip %v -> %q -> %v", uint64(s), text, uint64(back))
+		}
+	}
+	if _, err := Parse("not-hex"); err == nil {
+		t.Fatal("Parse accepted garbage")
+	}
+}
+
+func TestBucket(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.n); got != c.want {
+			t.Fatalf("Bucket(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	var s Set
+	if !s.Add(7) {
+		t.Fatal("first Add reported not novel")
+	}
+	if s.Add(7) {
+		t.Fatal("second Add reported novel")
+	}
+	if !s.Add(8) {
+		t.Fatal("distinct Add reported not novel")
+	}
+	if !s.Has(7) || s.Has(9) {
+		t.Fatal("Has answered wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}

@@ -191,12 +191,24 @@ func (h History) Keys(kinds ...string) []string {
 	return out
 }
 
-// ForKey returns the sub-history of one key, order preserved.
+// ForKey returns the sub-history of one key, order preserved. The
+// result is sized exactly — this sits on the per-key hot path of the
+// linearizability checker, where append doubling would dominate the
+// checker's allocations.
 func (h History) ForKey(key string) History {
-	var out History
-	for _, op := range h {
-		if op.Key == key {
-			out = append(out, op)
+	n := 0
+	for i := range h {
+		if h[i].Key == key {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make(History, 0, n)
+	for i := range h {
+		if h[i].Key == key {
+			out = append(out, h[i])
 		}
 	}
 	return out

@@ -1,9 +1,15 @@
 package history
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"neat/internal/clock"
 )
 
 // RegisterSpec parameterizes the register linearizability checker.
@@ -60,12 +66,57 @@ func (s *RegisterSpec) defaults() {
 func Registers(spec RegisterSpec) Check {
 	spec.defaults()
 	return func(h History) []Violation {
+		keys := h.Keys(spec.WriteKind, spec.DeleteKind, spec.ReadKind)
 		var out []Violation
-		for _, key := range h.Keys(spec.WriteKind, spec.DeleteKind, spec.ReadKind) {
-			out = append(out, checkRegister(spec, key, h.ForKey(key))...)
+		for _, vs := range checkRegistersParallel(spec, h, keys) {
+			out = append(out, vs...)
 		}
 		return out
 	}
+}
+
+// parallelCheckMinOps gates the parallel per-key fan-out: below this
+// many recorded operations the goroutine handoff costs more than the
+// search itself.
+const parallelCheckMinOps = 64
+
+// checkRegistersParallel runs the per-key register checks across up to
+// GOMAXPROCS workers and returns the results slotted by key index, so
+// the merged violation order is always the key-appearance order
+// regardless of which worker finished first — the determinism
+// contract. The workers are pure computation over an already-recorded
+// history and never touch a clock, so they run as plain unaccounted
+// goroutines via clock.Go with the real clock (which carries no busy
+// accounting to bind them to).
+func checkRegistersParallel(spec RegisterSpec, h History, keys []string) [][]Violation {
+	out := make([][]Violation, len(keys))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 || len(h) < parallelCheckMinOps {
+		for i, key := range keys {
+			out[i] = checkRegister(spec, key, h.ForKey(key))
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		clock.Go(clock.Real{}, func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				out[i] = checkRegister(spec, keys[i], h.ForKey(keys[i]))
+			}
+		})
+	}
+	wg.Wait()
+	return out
 }
 
 // regItem is one searchable event of a register's history.
@@ -81,11 +132,22 @@ type regItem struct {
 const infDur = time.Duration(math.MaxInt64)
 
 func checkRegister(spec RegisterSpec, key string, h History) []Violation {
-	var writes []regItem
-	var reads []regItem
+	// Exact-size the item slices: per-key slice churn is the checker's
+	// dominant allocation source at campaign throughput.
+	nw, nr := 0, 0
+	for i := range h {
+		switch h[i].Kind {
+		case spec.WriteKind, spec.DeleteKind:
+			nw++
+		case spec.ReadKind:
+			nr++
+		}
+	}
+	writes := make([]regItem, 0, nw)
+	reads := make([]regItem, 0, nr)
 	// failedWrites maps a definitively refused value to its op, for
-	// dirty-read witnesses.
-	failedWrites := make(map[string]Op)
+	// dirty-read witnesses. Built lazily: most histories have none.
+	var failedWrites map[string]Op
 	for _, op := range h {
 		switch op.Kind {
 		case spec.WriteKind, spec.DeleteKind:
@@ -99,6 +161,9 @@ func checkRegister(spec RegisterSpec, key string, h History) []Violation {
 				writes = append(writes, it)
 			default:
 				if !it.absent {
+					if failedWrites == nil {
+						failedWrites = make(map[string]Op)
+					}
 					failedWrites[op.Input] = op
 				}
 			}
@@ -116,15 +181,19 @@ func checkRegister(spec RegisterSpec, key string, h History) []Violation {
 	// ever wrote cannot be linearized at all — either the value leaked
 	// out of a definitively failed write or it was fabricated. Judged
 	// first and removed so the search below only arbitrates ordering.
-	written := make(map[string]bool)
-	for _, w := range writes {
-		if !w.absent {
-			written[w.val] = true
+	// A linear scan over the writes replaces a written-values map: the
+	// per-key write count is small and the scan allocates nothing.
+	written := func(val string) bool {
+		for i := range writes {
+			if !writes[i].absent && writes[i].val == val {
+				return true
+			}
 		}
+		return false
 	}
-	clean := reads[:0:0]
+	clean := reads[:0]
 	for _, r := range reads {
-		if r.absent || written[r.val] {
+		if r.absent || written(r.val) {
 			clean = append(clean, r)
 			continue
 		}
@@ -208,83 +277,224 @@ func staleReadViolation(key string, writes []regItem, r regItem) Violation {
 // explanation for them. Visited states are memoized on the
 // (linearized-set, register-value) pair, which collapses the
 // exponential search to the number of distinct reachable states.
+//
+// The memo key is allocation-free: register values are interned to
+// small integer ids up front (0 = absent), so a state is the
+// fixed-width pair (bitmask, value id). Histories of at most 128
+// items — every campaign-scale per-key history — use a comparable
+// struct key in a map[regState]struct{} with value-type states, which
+// allocates nothing per visited state beyond the map's own growth.
+// Longer histories fall back to a width-generic search whose keys are
+// fixed-width binary encodings built in a reused buffer (lookups
+// convert without allocating; only inserts copy) and whose masks come
+// from a free list, so allocations stay bounded by the search depth,
+// not the state count.
 func linearizable(writes, reads []regItem) bool {
-	items := make([]regItem, 0, len(writes)+len(reads))
-	items = append(items, writes...)
-	items = append(items, reads...)
-	n := len(items)
+	n := len(writes) + len(reads)
 	if n == 0 {
 		return true
 	}
-	words := (n + 63) / 64
-	type state struct {
-		mask []uint64
-		val  string
-		abs  bool
+	items := make([]regItem, 0, n)
+	items = append(items, writes...)
+	items = append(items, reads...)
+
+	// Intern register values: states then compare by a fixed-width id
+	// instead of a string. Id 0 is the absent register.
+	valID := make(map[string]int32, n)
+	ids := make([]int32, n)
+	for i := range items {
+		if items[i].absent {
+			continue
+		}
+		id, ok := valID[items[i].val]
+		if !ok {
+			id = int32(len(valID)) + 1
+			valID[items[i].val] = id
+		}
+		ids[i] = id
 	}
-	full := func(mask []uint64) bool {
-		for i := 0; i < n; i++ {
-			if mask[i/64]&(1<<(i%64)) == 0 && !items[i].optional {
-				return false
+	if n <= 128 {
+		return linearizableNarrow(items, ids)
+	}
+	return linearizableWide(items, ids)
+}
+
+// regState is the memo key of the narrow (≤128 item) search: the
+// linearized-set bitmask and the interned register value (0 = absent).
+type regState struct {
+	m0, m1 uint64
+	val    int32
+}
+
+func (s *regState) has(i int) bool {
+	if i < 64 {
+		return s.m0&(1<<uint(i)) != 0
+	}
+	return s.m1&(1<<uint(i-64)) != 0
+}
+
+func (s *regState) set(i int) {
+	if i < 64 {
+		s.m0 |= 1 << uint(i)
+	} else {
+		s.m1 |= 1 << uint(i-64)
+	}
+}
+
+func linearizableNarrow(items []regItem, ids []int32) bool {
+	n := len(items)
+	// required holds the non-optional items; a state is complete when
+	// its mask covers it.
+	var required regState
+	for i := range items {
+		if !items[i].optional {
+			required.set(i)
+		}
+	}
+	visited := make(map[regState]struct{}, 4*n)
+	var dfs func(s regState) bool
+	dfs = func(s regState) bool {
+		// Greedily linearize every eligible read that matches the
+		// current register: a read has no effect on the value, and
+		// removing it from the pending set only relaxes the precedence
+		// constraint on everything else, so taking it first loses no
+		// solutions. This collapses the branching to writes only.
+		// minRet is the real-time precedence bound: an item may be
+		// linearized next only if no pending item returned before it
+		// was invoked.
+		minRet := infDur
+		for {
+			minRet = infDur
+			for i := 0; i < n; i++ {
+				if !s.has(i) && items[i].ret < minRet {
+					minRet = items[i].ret
+				}
+			}
+			folded := false
+			for i := 0; i < n; i++ {
+				if !s.has(i) && items[i].read && ids[i] == s.val && items[i].inv <= minRet {
+					s.set(i)
+					folded = true
+				}
+			}
+			if !folded {
+				break
 			}
 		}
-		return true
-	}
-	keyOf := func(s state) string {
-		b := make([]byte, 0, words*8+len(s.val)+2)
-		for _, w := range s.mask {
-			for i := 0; i < 8; i++ {
-				b = append(b, byte(w>>(8*i)))
-			}
-		}
-		if s.abs {
-			b = append(b, 1)
-		} else {
-			b = append(b, 0, '|')
-			b = append(b, s.val...)
-		}
-		return string(b)
-	}
-	visited := make(map[string]bool)
-	var dfs func(s state) bool
-	dfs = func(s state) bool {
-		if full(s.mask) {
+		if s.m0&required.m0 == required.m0 && s.m1&required.m1 == required.m1 {
 			return true
 		}
-		k := keyOf(s)
-		if visited[k] {
+		if _, seen := visited[s]; seen {
 			return false
 		}
-		visited[k] = true
-		// An item may be linearized next only if no pending item
-		// returned before it was invoked (real-time precedence).
-		minRet := infDur
+		visited[s] = struct{}{}
 		for i := 0; i < n; i++ {
-			if s.mask[i/64]&(1<<(i%64)) == 0 && items[i].ret < minRet {
-				minRet = items[i].ret
-			}
-		}
-		for i := 0; i < n; i++ {
-			if s.mask[i/64]&(1<<(i%64)) != 0 {
+			if s.has(i) {
 				continue
 			}
 			it := &items[i]
-			if it.inv > minRet {
+			if it.read || it.inv > minRet {
 				continue
 			}
-			if it.read && (it.absent != s.abs || (!it.absent && it.val != s.val)) {
-				continue
-			}
-			next := state{mask: append([]uint64(nil), s.mask...), val: s.val, abs: s.abs}
-			next.mask[i/64] |= 1 << (i % 64)
-			if !it.read {
-				next.val, next.abs = it.val, it.absent
-			}
+			next := s
+			next.set(i)
+			next.val = ids[i]
 			if dfs(next) {
 				return true
 			}
 		}
 		return false
 	}
-	return dfs(state{mask: make([]uint64, words), abs: true})
+	return dfs(regState{})
+}
+
+func linearizableWide(items []regItem, ids []int32) bool {
+	n := len(items)
+	words := (n + 63) / 64
+	required := make([]uint64, words)
+	for i := range items {
+		if !items[i].optional {
+			required[i/64] |= 1 << uint(i%64)
+		}
+	}
+	full := func(mask []uint64) bool {
+		for w := range mask {
+			if mask[w]&required[w] != required[w] {
+				return false
+			}
+		}
+		return true
+	}
+	keyBuf := make([]byte, words*8+4)
+	encode := func(mask []uint64, val int32) []byte {
+		for w, m := range mask {
+			binary.LittleEndian.PutUint64(keyBuf[w*8:], m)
+		}
+		binary.LittleEndian.PutUint32(keyBuf[words*8:], uint32(val))
+		return keyBuf
+	}
+	visited := make(map[string]struct{}, 4*n)
+	// Masks live only on the recursion path, so a free list caps their
+	// allocations at the search depth.
+	var free [][]uint64
+	copyMask := func(src []uint64) []uint64 {
+		if k := len(free); k > 0 {
+			m := free[k-1]
+			free = free[:k-1]
+			copy(m, src)
+			return m
+		}
+		return append(make([]uint64, 0, words), src...)
+	}
+	var dfs func(mask []uint64, val int32) bool
+	dfs = func(mask []uint64, val int32) bool {
+		// Greedy read folding, as in the narrow search: eligible
+		// matching reads are linearized immediately (sound, see
+		// linearizableNarrow), leaving only writes to branch on.
+		minRet := infDur
+		for {
+			minRet = infDur
+			for i := 0; i < n; i++ {
+				if mask[i/64]&(1<<uint(i%64)) == 0 && items[i].ret < minRet {
+					minRet = items[i].ret
+				}
+			}
+			folded := false
+			for i := 0; i < n; i++ {
+				if mask[i/64]&(1<<uint(i%64)) == 0 && items[i].read && ids[i] == val && items[i].inv <= minRet {
+					mask[i/64] |= 1 << uint(i%64)
+					folded = true
+				}
+			}
+			if !folded {
+				break
+			}
+		}
+		if full(mask) {
+			return true
+		}
+		k := encode(mask, val)
+		if _, seen := visited[string(k)]; seen {
+			return false
+		}
+		visited[string(k)] = struct{}{}
+		for i := 0; i < n; i++ {
+			if mask[i/64]&(1<<uint(i%64)) != 0 {
+				continue
+			}
+			it := &items[i]
+			if it.read || it.inv > minRet {
+				continue
+			}
+			next := copyMask(mask)
+			next[i/64] |= 1 << uint(i%64)
+			ok := dfs(next, ids[i])
+			free = append(free, next)
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(make([]uint64, words), 0)
 }

@@ -282,6 +282,28 @@ func TestLinearizabilityThroughputSmoke(t *testing.T) {
 	}
 }
 
+// TestLinearizabilityAllocs pins the checker's allocation budget over
+// a campaign-round-sized history: interned values, packed memo keys,
+// and pooled masks hold the full multi-key check to a few dozen
+// allocations where the string-keyed memo paid thousands. The ceiling
+// leaves ~3x headroom over the measured cost so it trips on
+// regressions, not noise. (AllocsPerRun forces GOMAXPROCS to 1, so
+// this measures the serial path; the parallel path adds only a fixed
+// handful of goroutine and result-slot allocations.)
+func TestLinearizabilityAllocs(t *testing.T) {
+	h := synthHistory(4, 40)
+	check := Registers(RegisterSpec{})
+	wantNone(t, check(h))
+	avg := testing.AllocsPerRun(5, func() {
+		if vs := check(h); len(vs) != 0 {
+			t.Fatalf("benchmark history must be clean, got %v", sigs(vs))
+		}
+	})
+	if avg > 150 {
+		t.Fatalf("checking a %d-op history allocates %.0f objects, budget is 150", len(h), avg)
+	}
+}
+
 // BenchmarkLinearizability measures the Wing & Gong search with
 // memoized state dedup over a campaign-round-sized register history.
 func BenchmarkLinearizability(b *testing.B) {

@@ -1,0 +1,149 @@
+package netsim
+
+import "time"
+
+// Delayed delivery used to allocate one capture-closure and one clock
+// timer per packet: n.clk.AfterFunc(d, func() { n.deliver(pkt, true) }).
+// At campaign rates (every slow/flaky/reorder overlay delays packets)
+// that closure+timer pair dominated the fabric's allocation profile.
+//
+// The fabric now parks delayed packets in a per-network min-heap of
+// value entries ordered by (due, seq) — the backing array doubles as
+// the packet pool, reused for the network's lifetime — and keeps a
+// single armed timer for the earliest deadline. The timer callback is
+// one method value bound at New, so arming never allocates a closure.
+//
+// Drain granularity depends on the clock. Under the real clock every
+// due packet drains per fire (one timer per deadline bucket). Under a
+// Sim clock the drain hands over exactly one packet per fire and
+// re-arms: the simulated clock's determinism contract serializes
+// same-instant work by firing one timer per advance with a settle
+// (run-to-quiescence) cycle between, and delivering two packets
+// back-to-back from one callback would let the first packet's
+// dispatcher run concurrently with the second delivery — an inbox
+// ordering race the one-per-fire contract exists to prevent.
+
+// pendingPkt is one delayed packet awaiting delivery.
+type pendingPkt struct {
+	due time.Time
+	seq uint64
+	pkt Packet
+}
+
+// enqueueDelayed parks pkt in the pending heap and (re)arms the single
+// delivery timer when pkt sets a new earliest deadline.
+func (n *Network) enqueueDelayed(pkt Packet, d time.Duration) {
+	due := n.clk.Now().Add(d)
+	n.delayMu.Lock()
+	n.delayHeap = append(n.delayHeap, pendingPkt{due: due, seq: n.delaySeq, pkt: pkt})
+	n.delaySeq++
+	siftUpPending(n.delayHeap, len(n.delayHeap)-1)
+	if !n.delayArmed || due.Before(n.delayAt) {
+		if n.delayTimer != nil {
+			n.delayTimer.Stop()
+		}
+		n.delayArmed = true
+		n.delayAt = due
+		n.delayTimer = n.clk.AfterFunc(d, n.drainFn)
+	}
+	n.delayMu.Unlock()
+}
+
+// drainDelayed is the armed timer's callback: pop every due packet
+// (one, under a Sim clock) in (due, seq) order, deliver outside the
+// lock with the late-filter re-check, then re-arm for the next
+// deadline if packets remain.
+func (n *Network) drainDelayed() {
+	n.delayMu.Lock()
+	n.delayArmed = false
+	now := n.clk.Now()
+	buf := n.delayScratch
+	n.delayScratch = nil // in use until deliveries finish
+	buf = buf[:0]
+	for len(n.delayHeap) > 0 && !n.delayHeap[0].due.After(now) {
+		buf = append(buf, popPending(&n.delayHeap))
+		if !n.delayBatch {
+			break
+		}
+	}
+	n.delayMu.Unlock()
+
+	for i := range buf {
+		n.deliver(buf[i].pkt, true)
+	}
+
+	n.delayMu.Lock()
+	for i := range buf {
+		buf[i] = pendingPkt{} // release payload references; the array is pooled
+	}
+	if n.delayScratch == nil {
+		n.delayScratch = buf[:0]
+	}
+	if !n.delayArmed && len(n.delayHeap) > 0 {
+		head := n.delayHeap[0].due
+		d := head.Sub(n.clk.Now())
+		if d < 0 {
+			d = 0
+		}
+		n.delayArmed = true
+		n.delayAt = head
+		n.delayTimer = n.clk.AfterFunc(d, n.drainFn)
+	}
+	n.delayMu.Unlock()
+}
+
+// pendingDelayed reports how many packets are parked in the delay
+// queue (diagnostics and tests).
+func (n *Network) pendingDelayed() int {
+	n.delayMu.Lock()
+	defer n.delayMu.Unlock()
+	return len(n.delayHeap)
+}
+
+func pendingLess(a, b pendingPkt) bool {
+	if !a.due.Equal(b.due) {
+		return a.due.Before(b.due)
+	}
+	return a.seq < b.seq
+}
+
+func siftUpPending(h []pendingPkt, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pendingLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDownPending(h []pendingPkt, i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(h) {
+			return
+		}
+		least := left
+		if right := left + 1; right < len(h) && pendingLess(h[right], h[left]) {
+			least = right
+		}
+		if !pendingLess(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+func popPending(hp *[]pendingPkt) pendingPkt {
+	h := *hp
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = pendingPkt{} // release payload reference in the pooled array
+	h = h[:last]
+	siftDownPending(h, 0)
+	*hp = h
+	return top
+}

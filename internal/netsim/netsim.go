@@ -131,6 +131,19 @@ type Network struct {
 	viewsMu sync.Mutex
 	views   map[NodeID]*clock.NodeView
 
+	// Batched delayed delivery (see delivery.go): a pooled min-heap of
+	// pending packets drained by a single armed timer, replacing one
+	// closure+timer allocation per delayed packet.
+	delayMu      sync.Mutex
+	delayHeap    []pendingPkt
+	delaySeq     uint64
+	delayTimer   clock.Timer
+	delayArmed   bool
+	delayAt      time.Time
+	delayBatch   bool // real clock: drain every due packet per fire
+	delayScratch []pendingPkt
+	drainFn      func() // drainDelayed bound once; arming allocates no closure
+
 	stats statCounters
 }
 
@@ -196,7 +209,7 @@ func New(opts Options) *Network {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Network{
+	n := &Network{
 		hosts:   make(map[NodeID]*host),
 		egress:  make(map[NodeID]Filter),
 		ingress: make(map[NodeID]Filter),
@@ -205,6 +218,13 @@ func New(opts Options) *Network {
 		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 	}
+	// Only the real clock may drain several due packets per timer fire;
+	// a Sim clock serializes same-instant work one timer per advance,
+	// and the delay queue must honor that contract (see delivery.go).
+	_, isReal := clk.(clock.Real)
+	n.delayBatch = isReal
+	n.drainFn = n.drainDelayed
+	return n
 }
 
 // Clock returns the fabric's time source. Components attached to the
@@ -502,13 +522,15 @@ func (n *Network) Send(src, dst NodeID, payload any) error {
 // scheduleDeliver hands the packet to the destination now (synchronous
 // fast path) or after d on the fabric clock. Only delayed packets
 // re-check the filter pipeline at delivery time — the synchronous path
-// was checked an instant ago in Send.
+// was checked an instant ago in Send. Delayed packets go through the
+// pooled pending heap and its single armed timer (delivery.go) rather
+// than a per-packet AfterFunc closure.
 func (n *Network) scheduleDeliver(pkt Packet, d time.Duration) {
 	if d == 0 {
 		n.deliver(pkt, false)
 		return
 	}
-	n.clk.AfterFunc(d, func() { n.deliver(pkt, true) })
+	n.enqueueDelayed(pkt, d)
 }
 
 func (n *Network) deliver(pkt Packet, recheck bool) {

@@ -15,6 +15,11 @@ type Campaign struct {
 	Targets         []CampaignTarget    `json:"targets"`
 	Violations      []CampaignViolation `json:"violations"`
 	Errors          int                 `json:"errors,omitempty"`
+	// Mutate records whether the campaign ran the coverage-guided
+	// search; CorpusSize is the total number of corpus entries after
+	// the run (pre-seeded plus newly added).
+	Mutate     bool `json:"mutate,omitempty"`
+	CorpusSize int  `json:"corpus_size,omitempty"`
 }
 
 // CampaignTarget is one target's aggregate outcome. The recovery
@@ -36,6 +41,13 @@ type CampaignTarget struct {
 	ProbeRetries    int              `json:"probe_retries,omitempty"`
 	MaxRecoveryNs   int64            `json:"max_recovery_ns,omitempty"`
 	RecoveryNs      map[string]int64 `json:"recovery_ns,omitempty"`
+
+	// Coverage accounting: distinct coverage signatures the target's
+	// rounds produced this run, rounds whose schedule came from corpus
+	// mutation, and schedules added to the corpus as novel.
+	CoverageSignatures int `json:"coverage_signatures,omitempty"`
+	MutatedRounds      int `json:"mutated_rounds,omitempty"`
+	CorpusNew          int `json:"corpus_new,omitempty"`
 }
 
 // CampaignViolation is one deduplicated invariant breach with the
