@@ -10,6 +10,10 @@
 //	mapiter       no map-iteration order leaking into output/findings
 //	goaccount     goroutines accounted to the virtual clock's tokens
 //	ambiguity     transport Call errors classified, never swallowed
+//	lockorder     no cycles in the mutex acquisition-order graph
+//	timerleak     clock timers/tickers reach Stop on every path
+//	tokenbalance  busy-token acquires balanced by releases on every path
+//	checkerpurity history checkers (and their callees) stay pure
 //
 // Intentional exceptions are `//neat:allow <analyzer> -- <reason>`
 // (or //neat:allow-file) escape comments; every escape in force is
@@ -19,12 +23,14 @@
 //
 // Usage:
 //
-//	neat-lint [-run a,b,...] [-vet] [-list] [-q] [packages ...]
+//	neat-lint [-run a,b,...] [-vet] [-list] [-q] [-json] [packages ...]
 //
 // Packages default to ./... . Exit status: 0 clean, 1 diagnostics
 // found, 2 usage/load errors. With -vet, `go vet` runs over the same
 // patterns and its findings fail the gate too — one consolidated
-// lint invocation for CI.
+// lint invocation for CI. With -json, diagnostics and the escape
+// audit are emitted as deterministic machine-readable JSON instead of
+// text: same findings, byte-identical report.
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 	vet := flag.Bool("vet", false, "also run `go vet` over the same packages and merge its verdict")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	quiet := flag.Bool("q", false, "suppress the escape audit summary")
+	asJSON := flag.Bool("json", false, "emit diagnostics and the escape audit as deterministic JSON")
 	flag.Parse()
 
 	if *list {
@@ -87,12 +94,18 @@ func main() {
 	}
 
 	wd, _ := os.Getwd()
-	for _, d := range diags {
-		fmt.Printf("%s:%d:%d: %s: %s\n", relPath(wd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-	}
-
-	if !*quiet {
-		printAudit(wd, escapes, full)
+	if *asJSON {
+		if err := lint.WriteJSON(os.Stdout, wd, diags, escapes); err != nil {
+			fmt.Fprintln(os.Stderr, "neat-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(wd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+		if !*quiet {
+			printAudit(wd, escapes, full)
+		}
 	}
 
 	failed := len(diags) > 0

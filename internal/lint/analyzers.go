@@ -1,13 +1,18 @@
 package lint
 
 // All returns the determinism-contract analyzer suite, in reporting
-// order.
+// order: the five statement-local analyzers plus the four
+// flow-sensitive ones built on the CFG/dataflow engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Ambiguity,
+		CheckerPurity,
 		GoAccount,
+		LockOrder,
 		MapIter,
 		RealClock,
+		TimerLeak,
+		TokenBalance,
 		UnseededRand,
 	}
 }

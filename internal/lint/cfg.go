@@ -1,0 +1,427 @@
+package lint
+
+// Control-flow graphs for flow-sensitive analyzers. A funcCFG is the
+// intra-procedural CFG of one function body: basic blocks of
+// statements in execution order, with explicit edges for branches,
+// loops, switches, selects, labeled break/continue, and goto. Two
+// virtual blocks terminate every function: exit (reached by return
+// statements and by falling off the end of the body) and panicExit
+// (reached by statement-level panic(...) calls). Deferred calls run on
+// both, so analyzers that honor defer-registered cleanups treat a fact
+// killed by a DeferStmt as killed on every path that postdates the
+// registration — which is exactly Go's semantics, including the
+// defer-in-loop case where registration is conditional on the loop
+// body having executed.
+//
+// The builder is syntactic: it needs no type information and treats
+// every non-branching statement as an opaque node. Nested function
+// literals are not flattened into the enclosing graph — a FuncLit
+// executes at call time, not at its lexical position — so analyzers
+// walk block nodes shallowly (inspectShallow) and decide per-analyzer
+// what a lit's presence means (escape, deferred cleanup, spawned
+// body).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A cfgBlock is one basic block: nodes execute in order, then control
+// transfers to one of succs (or the function terminates, for the exit
+// blocks).
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+func (b *cfgBlock) addSucc(s *cfgBlock) {
+	for _, t := range b.succs {
+		if t == s {
+			return
+		}
+	}
+	b.succs = append(b.succs, s)
+}
+
+// A funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*cfgBlock // blocks[0] is the entry
+	// exit is the normal-termination block: targeted by returns and by
+	// the body's fallthrough end. It holds no nodes.
+	exit *cfgBlock
+	// panicExit is targeted by statement-level panic(...) calls.
+	panicExit *cfgBlock
+}
+
+func (g *funcCFG) entry() *cfgBlock { return g.blocks[0] }
+
+// reachable returns the blocks reachable from the entry, in a
+// deterministic order (DFS preorder). Unreachable blocks — code after
+// a return, say — contribute no facts.
+func (g *funcCFG) reachable() []*cfgBlock {
+	seen := make([]bool, len(g.blocks))
+	var out []*cfgBlock
+	var visit func(b *cfgBlock)
+	visit = func(b *cfgBlock) {
+		if seen[b.index] {
+			return
+		}
+		seen[b.index] = true
+		out = append(out, b)
+		for _, s := range b.succs {
+			visit(s)
+		}
+	}
+	visit(g.entry())
+	return out
+}
+
+// cfgBuilder accumulates the graph while walking one body.
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+	// targets is the innermost-first stack of break/continue targets.
+	targets *branchTargets
+	// labels maps label names to their blocks, created on demand so
+	// forward gotos resolve.
+	labels map[string]*cfgBlock
+	// pendingLabel names the label attached to the next loop/switch/
+	// select statement, so `break L` / `continue L` resolve to it.
+	pendingLabel string
+}
+
+type branchTargets struct {
+	outer      *branchTargets
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select scopes
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: map[string]*cfgBlock{}}
+	entry := b.newBlock()
+	g.exit = b.newBlock()
+	g.panicExit = b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	b.cur.addSucc(g.exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// startFrom begins a new block succeeding from.
+func (b *cfgBuilder) startFrom(from *cfgBlock) *cfgBlock {
+	blk := b.newBlock()
+	from.addSucc(blk)
+	return blk
+}
+
+// dead replaces cur with an unreachable block, for code following a
+// terminating statement.
+func (b *cfgBuilder) dead() { b.cur = b.newBlock() }
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	takeLabel := func() string {
+		l := b.pendingLabel
+		b.pendingLabel = ""
+		return l
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.cur.addSucc(b.g.exit)
+		b.dead()
+	case *ast.ExprStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		if isPanicCall(s.X) {
+			b.cur.addSucc(b.g.panicExit)
+			b.dead()
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		b.cur = b.startFrom(cond)
+		b.stmtList(s.Body.List)
+		b.cur.addSucc(after)
+		if s.Else != nil {
+			b.cur = b.startFrom(cond)
+			b.stmt(s.Else)
+			b.cur.addSucc(after)
+		} else {
+			cond.addSucc(after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Init)
+		}
+		head := b.startFrom(b.cur)
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			head.addSucc(after)
+		}
+		b.targets = &branchTargets{outer: b.targets, label: label, breakTo: after, continueTo: post}
+		b.cur = b.startFrom(head)
+		b.stmtList(s.Body.List)
+		b.targets = b.targets.outer
+		b.cur.addSucc(post)
+		if s.Post != nil {
+			post.nodes = append(post.nodes, s.Post)
+		}
+		post.addSucc(head)
+		b.cur = after
+	case *ast.RangeStmt:
+		label := takeLabel()
+		head := b.startFrom(b.cur)
+		head.nodes = append(head.nodes, s) // the range clause itself
+		after := b.newBlock()
+		head.addSucc(after) // zero iterations
+		b.targets = &branchTargets{outer: b.targets, label: label, breakTo: after, continueTo: head}
+		b.cur = b.startFrom(head)
+		b.stmtList(s.Body.List)
+		b.targets = b.targets.outer
+		b.cur.addSucc(head)
+		b.cur = after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := takeLabel()
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				b.cur.nodes = append(b.cur.nodes, sw.Init)
+			}
+			if sw.Tag != nil {
+				b.cur.nodes = append(b.cur.nodes, sw.Tag)
+			}
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.cur.nodes = append(b.cur.nodes, sw.Init)
+			}
+			b.cur.nodes = append(b.cur.nodes, sw.Assign)
+			body = sw.Body
+		}
+		head := b.cur
+		after := b.newBlock()
+		b.targets = &branchTargets{outer: b.targets, label: label, breakTo: after}
+		// One block per clause; fallthrough chains to the next clause's
+		// block. A switch with no default may match nothing.
+		var clauseBlocks []*cfgBlock
+		var clauses []*ast.CaseClause
+		hasDefault := false
+		for _, cs := range body.List {
+			cc := cs.(*ast.CaseClause)
+			clauses = append(clauses, cc)
+			clauseBlocks = append(clauseBlocks, b.startFrom(head))
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			head.addSucc(after)
+		}
+		for i, cc := range clauses {
+			blk := clauseBlocks[i]
+			for _, e := range cc.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+			b.cur = blk
+			for _, cs := range cc.Body {
+				if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					if i+1 < len(clauseBlocks) {
+						b.cur.addSucc(clauseBlocks[i+1])
+					}
+					b.dead()
+					continue
+				}
+				b.stmt(cs)
+			}
+			b.cur.addSucc(after)
+		}
+		b.targets = b.targets.outer
+		b.cur = after
+	case *ast.SelectStmt:
+		label := takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.targets = &branchTargets{outer: b.targets, label: label, breakTo: after}
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			b.cur = b.startFrom(head)
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.cur.addSucc(after)
+		}
+		b.targets = b.targets.outer
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			b.dead()
+			return
+		}
+		b.cur = after
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.cur.addSucc(lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s.Label, false); t != nil {
+				b.cur.addSucc(t)
+			}
+			b.dead()
+		case token.CONTINUE:
+			if t := b.findTarget(s.Label, true); t != nil {
+				b.cur.addSucc(t)
+			}
+			b.dead()
+		case token.GOTO:
+			b.cur.addSucc(b.labelBlock(s.Label.Name))
+			b.dead()
+		case token.FALLTHROUGH:
+			// Handled by the switch builder; a stray one is dead code.
+			b.dead()
+		}
+	default:
+		// Defer, go, assignments, declarations, sends, inc/dec: opaque.
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+// labelBlock returns (creating on demand) the block a label names —
+// both the LabeledStmt itself and any gotos targeting it land here.
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// findTarget resolves a break/continue to its block: the innermost
+// enclosing scope, or the labeled one.
+func (b *cfgBuilder) findTarget(label *ast.Ident, cont bool) *cfgBlock {
+	for t := b.targets; t != nil; t = t.outer {
+		if label != nil && t.label != label.Name {
+			continue
+		}
+		if cont {
+			if t.continueTo != nil {
+				return t.continueTo
+			}
+			if label != nil {
+				return nil
+			}
+			continue // unlabeled continue skips switch/select scopes
+		}
+		return t.breakTo
+	}
+	return nil
+}
+
+// isPanicCall reports whether expr is a call of the panic builtin.
+func isPanicCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+// inspectShallow walks n without descending into nested function
+// literals: a lit's body executes at call time, not at its lexical
+// position, so flow-sensitive analyzers must not attribute its effects
+// to the enclosing block. The lit node itself is still visited.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if !fn(m) {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return true
+	})
+}
+
+// funcUnits enumerates the function bodies of one file in source
+// order: every FuncDecl and every FuncLit (including lits nested in
+// other lits), each its own unit of flow-sensitive analysis. name is
+// the enclosing declaration's name ("(*Replica).Start"), shared by its
+// lits.
+type funcUnit struct {
+	name string
+	decl *ast.FuncDecl // nil for lits
+	lit  *ast.FuncLit  // nil for decls
+	body *ast.BlockStmt
+}
+
+func funcUnits(f *ast.File) []funcUnit {
+	var out []funcUnit
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := declName(fd)
+		out = append(out, funcUnit{name: name, decl: fd, body: fd.Body})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcUnit{name: name, lit: lit, body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// declName renders a FuncDecl's name with its receiver type:
+// "(*Replica).Start", "Run".
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseCFG builds the CFG of the first function declared in src.
+func parseCFG(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	decl := f.Decls[0].(*ast.FuncDecl)
+	return buildCFG(decl.Body)
+}
+
+func reaches(g *funcCFG, b *cfgBlock) bool {
+	for _, r := range g.reachable() {
+		if r == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := parseCFG(t, "x := 1\n_ = x")
+	if !reaches(g, g.exit) {
+		t.Error("straight-line body: exit should be reachable")
+	}
+	if reaches(g, g.panicExit) {
+		t.Error("straight-line body: panic exit should be unreachable")
+	}
+}
+
+func TestCFGPanicOnly(t *testing.T) {
+	g := parseCFG(t, `panic("x")`)
+	if reaches(g, g.exit) {
+		t.Error("unconditional panic: normal exit should be unreachable")
+	}
+	if !reaches(g, g.panicExit) {
+		t.Error("unconditional panic: panic exit should be reachable")
+	}
+}
+
+func TestCFGConditionalPanic(t *testing.T) {
+	g := parseCFG(t, "if cond() {\n\tpanic(\"x\")\n}")
+	if !reaches(g, g.exit) || !reaches(g, g.panicExit) {
+		t.Error("conditional panic: both exits should be reachable")
+	}
+}
+
+func TestCFGInfiniteLoop(t *testing.T) {
+	g := parseCFG(t, "for {\n\tstep()\n}")
+	if reaches(g, g.exit) {
+		t.Error("bare for{}: exit should be unreachable")
+	}
+}
+
+func TestCFGLoopBreak(t *testing.T) {
+	g := parseCFG(t, "for {\n\tif cond() {\n\t\tbreak\n\t}\n}")
+	if !reaches(g, g.exit) {
+		t.Error("for with break: exit should be reachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := parseCFG(t, "outer:\nfor {\n\tfor {\n\t\tif cond() {\n\t\t\tbreak outer\n\t\t}\n\t}\n}")
+	if !reaches(g, g.exit) {
+		t.Error("labeled break out of a nested loop: exit should be reachable")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	g := parseCFG(t, "outer:\nfor i := 0; i < n; i++ {\n\tfor {\n\t\tcontinue outer\n\t}\n}")
+	if !reaches(g, g.exit) {
+		t.Error("labeled continue: the outer post/cond path to exit should be reachable")
+	}
+}
+
+func TestCFGGotoLoop(t *testing.T) {
+	// A goto cycle must neither hang construction nor reach exit.
+	g := parseCFG(t, "l:\ngoto l")
+	if reaches(g, g.exit) {
+		t.Error("goto self-loop: exit should be unreachable")
+	}
+}
+
+func TestCFGSelectBlocksForever(t *testing.T) {
+	g := parseCFG(t, "select {}")
+	if reaches(g, g.exit) {
+		t.Error("empty select blocks forever: exit should be unreachable")
+	}
+}
+
+func TestCFGSwitchDefaultExhausts(t *testing.T) {
+	// Every clause returns, default included: fallthrough to exit only
+	// via the returns.
+	g := parseCFG(t, "switch x() {\ncase 1:\n\treturn\ndefault:\n\treturn\n}\nstep()")
+	// The trailing step() is dead; exit is still reachable through the
+	// returns.
+	if !reaches(g, g.exit) {
+		t.Error("switch of returns: exit should be reachable")
+	}
+}
+
+func TestCFGReachableDeterministic(t *testing.T) {
+	g := parseCFG(t, "for i := 0; i < n; i++ {\n\tif cond() {\n\t\tcontinue\n\t}\n\tstep()\n}")
+	a := g.reachable()
+	b := g.reachable()
+	if len(a) != len(b) {
+		t.Fatalf("reachable() not stable: %d vs %d blocks", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reachable() order not stable at %d", i)
+		}
+	}
+}
+
+// TestForwardJoin drives the solver over a diamond: a fact genned in
+// one arm must be present (may-analysis) at the join and at exit.
+func TestForwardJoin(t *testing.T) {
+	g := parseCFG(t, "if cond() {\n\tgen()\n}\nstep()")
+	// Transfer: seeing the gen() call sets bit 0.
+	lat := bitLattice(func(b *cfgBlock, in uint64) uint64 {
+		out := in
+		for _, n := range b.nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "gen" {
+						out |= 1
+					}
+				}
+				return true
+			})
+		}
+		return out
+	})
+	in := forward(g, 0, lat)
+	if in[g.exit.index]&1 == 0 {
+		t.Error("may-fact genned on one arm should survive the join to exit")
+	}
+}

@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const historyPkgPath = "neat/internal/history"
+
+// CheckerPurity reports impure operations reachable from history
+// checkers. A checker — any function with the history.Check shape,
+// func(history.History) []history.Violation — is the judge of a
+// recorded round: the determinism contract requires that re-running it
+// over an equal history yields equal violations in equal order, which
+// is what makes violation replay exact, shrinking trustworthy, and the
+// parallel per-key checking introduced for the linearizability hot
+// path safe to merge in key order. That property dies quietly if a
+// checker (or any helper it calls, in any package) writes
+// package-level state, consults a clock or randomness, performs IO,
+// or mutates the History it was handed — the recorder shares that
+// slice across checkers and with the witness renderer.
+//
+// The Summarize phase records a purity summary for every function in
+// every loaded package: direct impure operations (with positions) and
+// static call edges, nested function literals summarized as callees of
+// their enclosing function since comparators and parallel workers run
+// under the checker. The Run phase walks the call graph from every
+// checker root and reports each reachable impure operation at its own
+// site — the line an audited escape would annotate — naming the
+// checker that reaches it.
+var CheckerPurity = &Analyzer{
+	Name: "checkerpurity",
+	Doc: "require functions with the history.Check shape (and everything they call) to be pure: no " +
+		"package-level writes, no clock/rand/IO, no mutation of the received History",
+	Run:       runCheckerPurity,
+	Summarize: summarizeCheckerPurity,
+}
+
+// purityFacts is the store's checker-purity state.
+type purityFacts struct {
+	funcs map[string]*puritySummary
+	// roots are the checker-shaped functions, in discovery order.
+	roots []string
+
+	finalized bool
+	// reachedBy maps each function reachable from a root to the first
+	// root that reaches it.
+	reachedBy map[string]string
+}
+
+func newPurityFacts() *purityFacts {
+	return &purityFacts{funcs: map[string]*puritySummary{}, reachedBy: map[string]string{}}
+}
+
+type puritySummary struct {
+	name   string // enclosing declaration name, for messages
+	events []purityEvent
+	calls  []purityCall
+}
+
+type purityEvent struct {
+	pos token.Position
+	msg string
+}
+
+type purityCall struct {
+	callee string
+	pos    token.Position
+}
+
+// forbiddenCalls maps stdlib callees to the contract they break.
+// Packages not listed are assumed pure — sort, strings, fmt.Sprintf
+// and friends are the checkers' bread and butter.
+var forbiddenPkgs = map[string]string{
+	clockPkgPath:  "consults the clock",
+	"math/rand":   "draws unseeded randomness",
+	"math/rand/v2": "draws unseeded randomness",
+	"crypto/rand": "draws randomness",
+	"os":          "performs IO",
+	"io":          "performs IO",
+	"io/ioutil":   "performs IO",
+	"net":         "performs IO",
+	"bufio":       "performs IO",
+}
+
+// forbiddenFuncs lists individually-forbidden functions in otherwise
+// tolerated packages.
+var forbiddenFuncs = map[string]string{
+	"time.Now":    "reads the wall clock",
+	"time.Since":  "reads the wall clock",
+	"time.Until":  "reads the wall clock",
+	"time.Sleep":  "sleeps on the wall clock",
+	"time.After":  "waits on the wall clock",
+	"time.Tick":   "ticks on the wall clock",
+	"fmt.Print":   "writes to stdout",
+	"fmt.Printf":  "writes to stdout",
+	"fmt.Println": "writes to stdout",
+	"fmt.Fprint":  "performs IO",
+	"fmt.Fprintf": "performs IO",
+	"fmt.Fprintln": "performs IO",
+	"print":       "writes to stderr",
+	"println":     "writes to stderr",
+}
+
+// inPlaceSorters are the sort entry points that mutate their argument:
+// handing them the History parameter reorders the shared slice.
+var inPlaceSorters = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+}
+
+func summarizeCheckerPurity(p *Pass, store *Store) error {
+	if !summarizable(p) {
+		return nil
+	}
+	pf := store.purityFacts()
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		units := funcUnits(f)
+		ids := unitIDs(p, units)
+		// Lit units are callees of their enclosing unit: comparators,
+		// map/filter closures, and parallel workers all run under the
+		// checker that created them.
+		for i, u := range units {
+			if _, dup := pf.funcs[ids[i]]; dup {
+				continue
+			}
+			sum := summarizePurityUnit(p, u, units, ids, i)
+			pf.funcs[ids[i]] = sum
+			if isCheckShape(p, u) {
+				pf.roots = append(pf.roots, ids[i])
+			}
+		}
+	}
+	return nil
+}
+
+// isCheckShape reports whether the unit has the history.Check
+// signature: one parameter of type history.History, one result
+// []history.Violation.
+func isCheckShape(p *Pass, u funcUnit) bool {
+	var sig *types.Signature
+	if u.decl != nil {
+		if fn, ok := p.Info.Defs[u.decl.Name].(*types.Func); ok && fn != nil {
+			sig, _ = fn.Type().(*types.Signature)
+		}
+	} else if tv, ok := p.Info.Types[u.lit]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	if sig == nil || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isHistoryNamed(sig.Params().At(0).Type(), "History") {
+		return false
+	}
+	sl, ok := sig.Results().At(0).Type().(*types.Slice)
+	return ok && isHistoryNamed(sl.Elem(), "Violation")
+}
+
+func isHistoryNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == historyPkgPath && obj.Name() == name
+}
+
+// summarizePurityUnit collects one unit's direct impure operations and
+// call edges. The unit's nested lits become call edges at their
+// lexical position.
+func summarizePurityUnit(p *Pass, u funcUnit, units []funcUnit, ids []string, idx int) *puritySummary {
+	sum := &puritySummary{name: u.name}
+
+	// History-typed parameters visible in this unit: its own, plus any
+	// captured from enclosing units (a comparator closing over h).
+	paramObjs := historyParams(p, u)
+	if u.lit != nil {
+		for j, uj := range units {
+			if j != idx && containsPos(uj.body, u.body.Pos()) {
+				for o := range historyParams(p, uj) {
+					paramObjs[o] = true
+				}
+			}
+		}
+	}
+
+	inspectShallow(u.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n == u.lit {
+				return true
+			}
+			for j := idx + 1; j < len(units); j++ {
+				if units[j].lit == n {
+					sum.calls = append(sum.calls, purityCall{callee: ids[j], pos: p.Fset.Position(n.Pos())})
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkPurityWrite(p, lhs, paramObjs, sum)
+			}
+		case *ast.IncDecStmt:
+			checkPurityWrite(p, n.X, paramObjs, sum)
+		case *ast.CallExpr:
+			checkPurityCall(p, n, paramObjs, sum)
+		}
+		return true
+	})
+	return sum
+}
+
+// historyParams returns the unit's parameters (and named receivers)
+// of type history.History.
+func historyParams(p *Pass, u funcUnit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var ft *ast.FuncType
+	if u.decl != nil {
+		ft = u.decl.Type
+	} else {
+		ft = u.lit.Type
+	}
+	if ft.Params == nil {
+		return out
+	}
+	for _, fld := range ft.Params.List {
+		for _, name := range fld.Names {
+			if obj := p.Info.Defs[name]; obj != nil && isHistoryNamed(obj.Type(), "History") {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// checkPurityWrite flags assignments to package-level state and to
+// the History argument's elements.
+func checkPurityWrite(p *Pass, lhs ast.Expr, paramObjs map[types.Object]bool, sum *puritySummary) {
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := p.Info.Uses[root]
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		// Writing the var itself or through it — either way shared
+		// mutable state.
+		sum.events = append(sum.events, purityEvent{
+			pos: p.Fset.Position(lhs.Pos()),
+			msg: fmt.Sprintf("writes package-level state %s", v.Name()),
+		})
+		return
+	}
+	if paramObjs[obj] && lhs != ast.Expr(root) {
+		// h[i] = ..., h[i].Field = ... — mutating the shared history.
+		sum.events = append(sum.events, purityEvent{
+			pos: p.Fset.Position(lhs.Pos()),
+			msg: fmt.Sprintf("mutates the History argument %s in place", root.Name),
+		})
+	}
+}
+
+// rootIdent unwraps index/selector/star chains to the base identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkPurityCall flags forbidden callees and in-place sorts of the
+// History argument, and records call edges for everything else that
+// statically resolves.
+func checkPurityCall(p *Pass, call *ast.CallExpr, paramObjs map[types.Object]bool, sum *puritySummary) {
+	// println/print builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if why, bad := forbiddenFuncs[id.Name]; bad {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				sum.events = append(sum.events, purityEvent{pos: p.Fset.Position(call.Pos()), msg: why})
+				return
+			}
+		}
+	}
+	fn, ok := staticCallee(p, call)
+	if !ok {
+		return
+	}
+	path := fn.Pkg().Path()
+	qual := path + "." + fn.Name()
+	if why, bad := forbiddenPkgs[path]; bad {
+		sum.events = append(sum.events, purityEvent{
+			pos: p.Fset.Position(call.Pos()),
+			msg: fmt.Sprintf("%s (%s.%s)", why, shortLock(path), fn.Name()),
+		})
+		return
+	}
+	if why, bad := forbiddenFuncs[shortQual(qual)]; bad {
+		sum.events = append(sum.events, purityEvent{
+			pos: p.Fset.Position(call.Pos()),
+			msg: fmt.Sprintf("%s (%s)", why, shortQual(qual)),
+		})
+		return
+	}
+	if inPlaceSorters[shortQual(qual)] && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && paramObjs[p.Info.Uses[id]] {
+			sum.events = append(sum.events, purityEvent{
+				pos: p.Fset.Position(call.Pos()),
+				msg: fmt.Sprintf("sorts the History argument %s in place (%s)", id.Name, shortQual(qual)),
+			})
+			return
+		}
+	}
+	sum.calls = append(sum.calls, purityCall{callee: funcID(fn), pos: p.Fset.Position(call.Pos())})
+}
+
+// shortQual shortens "a/b/pkg.Fn" to "pkg.Fn".
+func shortQual(qual string) string {
+	if i := strings.LastIndex(qual, "/"); i >= 0 {
+		return qual[i+1:]
+	}
+	return qual
+}
+
+// runCheckerPurity reports, for this package, every impure operation
+// reachable from any checker root.
+func runCheckerPurity(p *Pass) error {
+	if p.Store == nil || p.Store.purity == nil {
+		return nil
+	}
+	pf := p.Store.purity
+	pf.finalize()
+	if len(pf.reachedBy) == 0 {
+		return nil
+	}
+	files := map[string]bool{}
+	for _, f := range p.Files {
+		files[p.Fset.Position(f.Pos()).Filename] = true
+	}
+	ids := make([]string, 0, len(pf.reachedBy))
+	for id := range pf.reachedBy {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sum := pf.funcs[id]
+		for _, ev := range sum.events {
+			if !files[ev.pos.Filename] {
+				continue
+			}
+			root := pf.reachedBy[id]
+			rootName := root
+			if rs := pf.funcs[root]; rs != nil {
+				rootName = rs.name
+			}
+			p.report(Diagnostic{
+				Analyzer: p.Analyzer.Name,
+				Pos:      ev.pos,
+				Message: fmt.Sprintf("%s, inside code reachable from history checker %s: checkers must be pure "+
+					"so violation replay is exact and parallel checking stays deterministic", ev.msg, rootName),
+			})
+		}
+	}
+	return nil
+}
+
+// finalize walks the call graph from every root, recording which
+// functions a checker can reach.
+func (pf *purityFacts) finalize() {
+	if pf.finalized {
+		return
+	}
+	pf.finalized = true
+	var visit func(root, id string)
+	visit = func(root, id string) {
+		if _, seen := pf.reachedBy[id]; seen {
+			return
+		}
+		sum := pf.funcs[id]
+		if sum == nil {
+			return // out-of-scope callee: assumed pure
+		}
+		pf.reachedBy[id] = root
+		for _, c := range sum.calls {
+			visit(root, c.callee)
+		}
+	}
+	for _, r := range pf.roots {
+		visit(r, r)
+	}
+}

@@ -1,0 +1,85 @@
+package lint
+
+// A generic forward-dataflow worklist solver over funcCFGs. Each
+// analyzer supplies its own lattice: a bottom element, a join
+// (least-upper-bound over the analyzer's may/must semantics), an
+// equality test for the fixpoint check, and a transfer function
+// applying one block's effects. The solver iterates reachable blocks
+// in deterministic order until the facts stabilize; unreachable
+// blocks keep bottom and so contribute nothing.
+//
+// The concrete lattices in this package are small: timerleak and
+// tokenbalance use bitmasks over per-function sites (join = union, a
+// may-be-outstanding analysis), lockorder uses bitmasks over
+// per-function lock classes (join = union, a may-hold analysis).
+
+// A lattice packages one analyzer's dataflow behavior over fact
+// type F.
+type lattice[F any] struct {
+	bottom   func() F
+	join     func(F, F) F
+	equal    func(F, F) bool
+	transfer func(b *cfgBlock, in F) F
+}
+
+// forward solves the forward-dataflow problem over g, starting from
+// entry fact at the entry block, and returns the in-fact of every
+// block (indexed by block index). Analyzers needing out-facts or
+// per-node facts re-apply their transfer over the stabilized in-facts.
+func forward[F any](g *funcCFG, entry F, lat lattice[F]) []F {
+	blocks := g.reachable()
+	in := make([]F, len(g.blocks))
+	out := make([]F, len(g.blocks))
+	for i := range g.blocks {
+		in[i] = lat.bottom()
+		out[i] = lat.bottom()
+	}
+	in[g.entry().index] = entry
+
+	// Worklist in deterministic (reachability-preorder) seed order;
+	// every reachable block is processed at least once, and re-queued
+	// whenever a predecessor's out-fact grows its in-fact. Facts only
+	// move up the lattice, so the fixpoint terminates. Skipping a block
+	// whose out-fact did not change is sound: joining an unchanged fact
+	// into a successor is a no-op.
+	work := make([]*cfgBlock, len(blocks))
+	copy(work, blocks)
+	queued := make([]bool, len(g.blocks))
+	for _, b := range blocks {
+		queued[b.index] = true
+	}
+	first := make([]bool, len(g.blocks))
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.index] = false
+		o := lat.transfer(b, in[b.index])
+		if first[b.index] && lat.equal(o, out[b.index]) {
+			continue
+		}
+		first[b.index] = true
+		out[b.index] = o
+		for _, s := range b.succs {
+			ni := lat.join(in[s.index], o)
+			if !lat.equal(ni, in[s.index]) {
+				in[s.index] = ni
+				if !queued[s.index] {
+					queued[s.index] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// bitLattice builds the common bitmask lattice (join = union) over a
+// per-block transfer.
+func bitLattice(transfer func(b *cfgBlock, in uint64) uint64) lattice[uint64] {
+	return lattice[uint64]{
+		bottom:   func() uint64 { return 0 },
+		join:     func(a, b uint64) uint64 { return a | b },
+		equal:    func(a, b uint64) bool { return a == b },
+		transfer: transfer,
+	}
+}

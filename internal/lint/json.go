@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// The machine-readable report: what CI dashboards and editor
+// integrations consume instead of scraping the text output. Field
+// order, slice order (position-sorted by Run), and the trailing
+// newline are all fixed, so the same diagnostics always serialize to
+// the same bytes — the report is diffable and cacheable like any other
+// build artifact.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Escapes     []jsonEscape     `json:"escapes"`
+}
+
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonEscape struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	FileWide  bool     `json:"fileWide"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	// Used counts the diagnostics the escape suppressed in this run;
+	// 0 under the full suite means the escape is stale.
+	Used int `json:"used"`
+}
+
+// WriteJSON renders the run's diagnostics and escape audit as
+// deterministic, indented JSON. File paths are relativized to root
+// when they live under it, so reports are stable across checkouts.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic, escapes []*Escape) error {
+	rep := jsonReport{
+		Diagnostics: make([]jsonDiagnostic, 0, len(diags)),
+		Escapes:     make([]jsonEscape, 0, len(escapes)),
+	}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+			File:     jsonRel(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	for _, e := range escapes {
+		rep.Escapes = append(rep.Escapes, jsonEscape{
+			File:      jsonRel(root, e.Pos.Filename),
+			Line:      e.Pos.Line,
+			FileWide:  e.FileWide,
+			Analyzers: e.Analyzers,
+			Reason:    e.Reason,
+			Used:      e.Used,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(rep)
+}
+
+// jsonRel relativizes path to root, keeping forward slashes so the
+// bytes match across platforms; paths outside root stay absolute.
+func jsonRel(root, path string) string {
+	if root == "" {
+		return path
+	}
+	r, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(r, "..") {
+		return path
+	}
+	return filepath.ToSlash(r)
+}

@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"neat/internal/lint"
+)
+
+// renderJSON loads the badpkg fixture from scratch and renders the
+// full nine-analyzer report.
+func renderJSON(t *testing.T) []byte {
+	t.Helper()
+	abs, err := filepath.Abs("testdata/src/badpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(moduleRoot(t))
+	pkg, err := loader.LoadDir(abs, "fixture/badpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, escapes, err := lint.Run([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, filepath.Dir(abs), diags, escapes); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWriteJSONByteStable re-loads and re-renders the same fixture and
+// requires byte-identical reports: the JSON output is part of the
+// determinism contract (CI artifacts and editor integrations diff it).
+func TestWriteJSONByteStable(t *testing.T) {
+	first := renderJSON(t)
+	for i := 0; i < 3; i++ {
+		if next := renderJSON(t); !bytes.Equal(first, next) {
+			t.Fatalf("JSON report not byte-stable across run %d:\n--- first ---\n%s\n--- run %d ---\n%s",
+				i+1, first, i+1, next)
+		}
+	}
+}
+
+// TestWriteJSONShape decodes the report and spot-checks structure: all
+// nine analyzers present, positions populated, empty escape list
+// rendered as [] rather than null.
+func TestWriteJSONShape(t *testing.T) {
+	raw := renderJSON(t)
+	var rep struct {
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Escapes []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+		} `json:"escapes"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, raw)
+	}
+	seen := map[string]bool{}
+	for _, d := range rep.Diagnostics {
+		seen[d.Analyzer] = true
+		if d.File == "" || d.Line == 0 || d.Column == 0 || d.Message == "" {
+			t.Errorf("diagnostic with empty position/message: %+v", d)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("diagnostic path not relativized: %s", d.File)
+		}
+	}
+	for _, a := range lint.All() {
+		if !seen[a.Name] {
+			t.Errorf("badpkg JSON report missing analyzer %s", a.Name)
+		}
+	}
+	if !bytes.Contains(raw, []byte(`"escapes": []`)) {
+		t.Errorf("empty escape audit should render as [], got:\n%s", raw)
+	}
+}

@@ -6,7 +6,7 @@
 // something. No compiler enforces them; before this package they were
 // guarded by a three-package CI grep and reviewer vigilance.
 //
-// The five analyzers:
+// The statement-local analyzers:
 //
 //   - realclock: no time.Now/Sleep/After/Tick/NewTimer/NewTicker/
 //     AfterFunc outside internal/clock (and _test.go benchmarks) —
@@ -23,6 +23,26 @@
 //   - ambiguity: no transport Endpoint.Call error dropped or merely
 //     nil-checked — the silent-success window must be classified
 //     (MarkMaybeExecuted / OutcomeOf) or propagated, never swallowed.
+//
+// The flow-sensitive analyzers, built on this package's CFG +
+// forward-dataflow engine (cfg.go, dataflow.go) and the cross-package
+// summary store (summary.go):
+//
+//   - lockorder: no cycles in the inter-procedural mutex
+//     acquisition-order graph — a cycle is a potential deadlock on the
+//     netsim/transport/campaign hot paths, reported with the full
+//     witness chain of lock sites.
+//   - timerleak: every clock.Clock NewTimer/NewTicker result reaches
+//     Stop on all paths, early returns and panics included — a leaked
+//     timer wedges Sim quiescence and surfaces only as a watchdog
+//     engine-error.
+//   - tokenbalance: busy-token Acquire/Release (transfer, scoped, and
+//     gid-scoped flavours) balanced on every path — an unreleased
+//     token freezes virtual time.
+//   - checkerpurity: functions with the history.Check shape, and
+//     everything they call, stay pure — no package-level writes, no
+//     clock/rand/IO, no mutation of the received History — so
+//     violation replay is exact and parallel checking is safe.
 //
 // Intentional exceptions are written in the code as audited escape
 // comments (see escape.go):
@@ -52,6 +72,10 @@ type Analyzer struct {
 	// Run executes the check over one package, reporting findings via
 	// pass.Reportf.
 	Run func(pass *Pass) error
+	// Summarize, when set, runs over every loaded package before any
+	// Run pass, accumulating cross-package facts (function summaries)
+	// into the store. Run passes read the store via pass.Store.
+	Summarize func(pass *Pass, store *Store) error
 }
 
 // A Pass is one analyzer's view of one type-checked package.
@@ -67,6 +91,9 @@ type Pass struct {
 	Info *types.Info
 	// PkgPath is the package's import path ("neat/internal/clock").
 	PkgPath string
+	// Store holds the cross-package summaries accumulated during the
+	// Summarize phase of this Run.
+	Store *Store
 
 	report func(Diagnostic)
 }
@@ -124,6 +151,30 @@ func (d Diagnostic) String() string {
 // diagnostics (sorted by position, then analyzer) together with the
 // escape audit.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []*Escape, error) {
+	store := NewStore()
+	// Phase 1: cross-package summaries. Every summarizing analyzer
+	// sees every loaded package before any per-package Run pass, so
+	// call-graph facts (lock acquisition sets, purity verdicts) are
+	// complete regardless of package order.
+	for _, a := range analyzers {
+		if a.Summarize == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				Store:    store,
+			}
+			if err := a.Summarize(pass, store); err != nil {
+				return nil, nil, fmt.Errorf("%s: summarizing %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
 	var diags []Diagnostic
 	var escapes []*Escape
 	for _, pkg := range pkgs {
@@ -136,6 +187,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []*Escape, error
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				PkgPath:  pkg.Path,
+				Store:    store,
 				report:   func(d Diagnostic) { raw = append(raw, d) },
 			}
 			if err := a.Run(pass); err != nil {

@@ -32,6 +32,22 @@ func TestAmbiguity(t *testing.T) {
 	linttest.Run(t, "testdata/src/ambiguity", lint.Ambiguity)
 }
 
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockorder", lint.LockOrder)
+}
+
+func TestTimerLeak(t *testing.T) {
+	linttest.Run(t, "testdata/src/timerleak", lint.TimerLeak)
+}
+
+func TestTokenBalance(t *testing.T) {
+	linttest.Run(t, "testdata/src/tokenbalance", lint.TokenBalance)
+}
+
+func TestCheckerPurity(t *testing.T) {
+	linttest.Run(t, "testdata/src/checkerpurity", lint.CheckerPurity)
+}
+
 func TestEscapes(t *testing.T) {
 	linttest.Run(t, "testdata/src/escapes", lint.RealClock)
 }

@@ -1,0 +1,562 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder reports cycles in the inter-procedural mutex
+// acquisition-order graph: if one path acquires lock A and then —
+// directly or through any chain of calls — lock B, while another
+// acquires B then A, two goroutines interleaving those paths can
+// deadlock. In this codebase the stakes are sharper than a hang:
+// netsim delivery, transport dispatch, and the campaign runner all
+// hold locks on the packet hot path, and a deadlock there freezes the
+// round until the wall-clock watchdog converts it into an engine-error
+// finding with no pointer back at the ordering bug.
+//
+// Locks are abstracted by their declaration — all instances of
+// netsim.Network.mu are one vertex, package-level and function-local
+// mutexes get their own — which is the classic static-lockorder
+// abstraction: it cannot distinguish two instances of the same struct,
+// so self-edges (A while A) are skipped rather than reported. Each
+// function's Summarize pass runs a forward may-hold dataflow over its
+// CFG (Lock gens, Unlock kills, a deferred Unlock holds to exit) to
+// record direct edges and the held-set at every static call site;
+// spawned goroutine bodies start with an empty held-set, since lock
+// order constrains single threads. A global fixpoint then propagates
+// "may acquire" facts up the call graph, every edge keeping a witness
+// chain of positions. Cycles are reported once, at the first witness
+// site, with the full chain.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "forbid cycles in the inter-procedural mutex acquisition-order graph; a cycle is a potential " +
+		"deadlock reported with the full witness chain of lock sites",
+	Run:       runLockOrder,
+	Summarize: summarizeLockOrder,
+}
+
+// lockFacts is the store's lock-order state: per-function summaries
+// during Summarize, the finalized graph and cycles after.
+type lockFacts struct {
+	funcs map[string]*lockSummary
+	order []string // deterministic summary insertion order
+
+	finalized bool
+	cycles    []lockCycle
+}
+
+func newLockFacts() *lockFacts {
+	return &lockFacts{funcs: map[string]*lockSummary{}}
+}
+
+type lockSummary struct {
+	// acquires maps each lock class this function directly acquires to
+	// its first acquisition site.
+	acquires map[string]token.Position
+	// edges are the direct ordering edges: to acquired at pos while
+	// from was held.
+	edges []lockEdge
+	// calls are the static call sites, with the held-set at each.
+	calls []lockCall
+}
+
+type lockEdge struct {
+	from, to string
+	// site is where `to` is acquired; via is the call chain leading
+	// there (empty for a direct edge).
+	site token.Position
+	via  []token.Position
+}
+
+type lockCall struct {
+	callee string
+	held   []string // sorted lock classes held at the call
+	pos    token.Position
+}
+
+type lockCycle struct {
+	locks []string // canonical rotation: lexicographically smallest first
+	edges []lockEdge
+}
+
+// summarizeLockOrder records one package's function summaries.
+func summarizeLockOrder(p *Pass, store *Store) error {
+	if !summarizable(p) {
+		return nil
+	}
+	lf := store.lockFacts()
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		units := funcUnits(f)
+		ids := unitIDs(p, units)
+		for i, u := range units {
+			sum := summarizeLockUnit(p, u)
+			if sum == nil {
+				continue
+			}
+			id := ids[i]
+			if _, dup := lf.funcs[id]; !dup {
+				lf.funcs[id] = sum
+				lf.order = append(lf.order, id)
+			}
+		}
+	}
+	return nil
+}
+
+// summarizeLockUnit runs the may-hold dataflow over one function and
+// extracts its summary; nil when the function touches no locks and
+// makes no calls worth recording.
+func summarizeLockUnit(p *Pass, u funcUnit) *lockSummary {
+	g := buildCFG(u.body)
+	reach := g.reachable()
+
+	// Intern the lock classes this function mentions.
+	lockIdx := map[string]int{}
+	var lockIDs []string
+	intern := func(id string) int {
+		if i, ok := lockIdx[id]; ok {
+			return i
+		}
+		i := len(lockIDs)
+		if i >= 64 {
+			return -1
+		}
+		lockIdx[id] = i
+		lockIDs = append(lockIDs, id)
+		return i
+	}
+	type lockEvent struct {
+		idx      int
+		acquire  bool
+		deferred bool
+		pos      token.Pos
+	}
+	type callEvent struct {
+		fn  *types.Func
+		pos token.Pos
+		gof bool // spawned via go: callee runs with an empty held-set
+	}
+	// Per-node events, computed once; the transfer function and the
+	// final recording pass both replay them.
+	events := map[ast.Node][]any{}
+	touches := false
+	for _, b := range reach {
+		for _, n := range b.nodes {
+			_, isDefer := n.(*ast.DeferStmt)
+			_, isGo := n.(*ast.GoStmt)
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, acquire, ok := lockCallSite(p, call); ok {
+					if i := intern(id); i >= 0 {
+						touches = true
+						events[n] = append(events[n], lockEvent{idx: i, acquire: acquire, deferred: isDefer, pos: call.Pos()})
+					}
+					return true
+				}
+				if fn, ok := staticCallee(p, call); ok {
+					events[n] = append(events[n], callEvent{fn: fn, pos: call.Pos(), gof: isGo})
+				}
+				return true
+			})
+		}
+	}
+	if !touches && len(events) == 0 {
+		return nil
+	}
+
+	transfer := func(b *cfgBlock, in uint64) uint64 {
+		held := in
+		for _, n := range b.nodes {
+			for _, ev := range events[n] {
+				le, ok := ev.(lockEvent)
+				if !ok {
+					continue
+				}
+				switch {
+				case le.acquire && !le.deferred:
+					held |= uint64(1) << le.idx
+				case !le.acquire && !le.deferred:
+					held &^= uint64(1) << le.idx
+				}
+				// A deferred Unlock keeps the lock held to exit; a
+				// deferred Lock is nonsense and ignored.
+			}
+		}
+		return held
+	}
+	in := forward(g, 0, bitLattice(transfer))
+
+	heldSet := func(mask uint64) []string {
+		var out []string
+		for i, id := range lockIDs {
+			if mask&(uint64(1)<<i) != 0 {
+				out = append(out, id)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	sum := &lockSummary{acquires: map[string]token.Position{}}
+	for _, b := range reach {
+		held := in[b.index]
+		for _, n := range b.nodes {
+			for _, ev := range events[n] {
+				switch ev := ev.(type) {
+				case lockEvent:
+					id := lockIDs[ev.idx]
+					if ev.acquire {
+						pos := p.Fset.Position(ev.pos)
+						if first, ok := sum.acquires[id]; !ok || posLess(pos, first) {
+							sum.acquires[id] = pos
+						}
+						for _, h := range heldSet(held) {
+							if h != id {
+								sum.edges = append(sum.edges, lockEdge{from: h, to: id, site: pos})
+							}
+						}
+						if !ev.deferred {
+							held |= uint64(1) << ev.idx
+						}
+					} else if !ev.deferred {
+						held &^= uint64(1) << ev.idx
+					}
+				case callEvent:
+					h := heldSet(held)
+					if ev.gof {
+						h = nil // a spawned goroutine starts lock-free
+					}
+					sum.calls = append(sum.calls, lockCall{
+						callee: funcID(ev.fn),
+						held:   h,
+						pos:    p.Fset.Position(ev.pos),
+					})
+				}
+			}
+		}
+	}
+	if len(sum.acquires) == 0 && len(sum.calls) == 0 {
+		return nil
+	}
+	return sum
+}
+
+// lockCallSite recognizes sync mutex operations and resolves the lock
+// class: ("pkg.Type.field" | "pkg.var" | "pkg.func.local@line",
+// acquire?, ok).
+func lockCallSite(p *Pass, call *ast.CallExpr) (string, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	id, ok := lockClass(p, sel.X)
+	if !ok {
+		return "", false, false
+	}
+	return id, acquire, true
+}
+
+// lockClass abstracts the mutex operand to its declaration.
+func lockClass(p *Pass, expr ast.Expr) (string, bool) {
+	expr = ast.Unparen(expr)
+	if un, ok := expr.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		expr = ast.Unparen(un.X)
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		// x.mu — identify by the field's owning named type.
+		s := p.Info.Selections[e]
+		if s == nil {
+			// Package-qualified var: pkg.Mu.
+			if path := p.PkgNameOf(e.X); path != "" {
+				return path + "." + e.Sel.Name, true
+			}
+			return "", false
+		}
+		recv := s.Recv()
+		for {
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name, true
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			return "", false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+		// Function-local mutex: scoped by declaration position, so two
+		// locals of the same name in different functions stay distinct.
+		return fmt.Sprintf("%s.%s@%d", v.Pkg().Path(), v.Name(), p.Fset.Position(v.Pos()).Line), true
+	}
+	return "", false
+}
+
+// runLockOrder finalizes the global graph once, then reports the
+// cycles whose witness lives in this package — so escapes filter at
+// the lock site they annotate.
+func runLockOrder(p *Pass) error {
+	if p.Store == nil || p.Store.locks == nil {
+		return nil
+	}
+	lf := p.Store.locks
+	lf.finalize()
+	if len(lf.cycles) == 0 {
+		return nil
+	}
+	files := map[string]bool{}
+	for _, f := range p.Files {
+		files[p.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, c := range lf.cycles {
+		if !files[c.edges[0].site.Filename] {
+			continue
+		}
+		p.report(Diagnostic{
+			Analyzer: p.Analyzer.Name,
+			Pos:      c.edges[0].site,
+			Message:  c.message(),
+		})
+	}
+	return nil
+}
+
+func (c lockCycle) message() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "potential deadlock: lock acquisition cycle %s", strings.Join(append(append([]string{}, c.locks...), c.locks[0]), " -> "))
+	for _, e := range c.edges {
+		fmt.Fprintf(&b, "; %s acquired at %s while %s held", shortLock(e.to), shortPos(e.site), shortLock(e.from))
+		if len(e.via) > 0 {
+			var via []string
+			for _, v := range e.via {
+				via = append(via, shortPos(v))
+			}
+			fmt.Fprintf(&b, " (via %s)", strings.Join(via, " -> "))
+		}
+	}
+	return b.String()
+}
+
+// shortLock trims the module path prefix from a lock class for the
+// message ("netsim.Network.mu").
+func shortLock(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func shortPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// finalize runs the global fixpoint and cycle detection.
+func (lf *lockFacts) finalize() {
+	if lf.finalized {
+		return
+	}
+	lf.finalized = true
+
+	ids := append([]string{}, lf.order...)
+	sort.Strings(ids)
+
+	// reach[f][lock] = witness trail to an acquisition of lock from f:
+	// the call positions walked, ending at the acquire site.
+	reach := map[string]map[string][]token.Position{}
+	for _, f := range ids {
+		m := map[string][]token.Position{}
+		for lock, pos := range lf.funcs[f].acquires {
+			m[lock] = []token.Position{pos}
+		}
+		reach[f] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range ids {
+			for _, call := range lf.funcs[f].calls {
+				sub := reach[call.callee]
+				if sub == nil {
+					continue
+				}
+				locks := make([]string, 0, len(sub))
+				for l := range sub {
+					locks = append(locks, l)
+				}
+				sort.Strings(locks)
+				for _, l := range locks {
+					if _, ok := reach[f][l]; ok {
+						continue
+					}
+					trail := append([]token.Position{call.pos}, sub[l]...)
+					if len(trail) > 6 {
+						trail = trail[:6] // cap witness depth
+					}
+					reach[f][l] = trail
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Assemble the global edge set: direct edges plus held-at-call ×
+	// transitively-acquired-by-callee. Deduplicate by (from, to),
+	// keeping the positionally-smallest witness for determinism.
+	edges := map[[2]string]lockEdge{}
+	addEdge := func(e lockEdge) {
+		key := [2]string{e.from, e.to}
+		if old, ok := edges[key]; ok {
+			if witnessLess(old, e) {
+				return
+			}
+		}
+		edges[key] = e
+	}
+	for _, f := range ids {
+		sum := lf.funcs[f]
+		for _, e := range sum.edges {
+			addEdge(e)
+		}
+		for _, call := range sum.calls {
+			if len(call.held) == 0 {
+				continue
+			}
+			sub := reach[call.callee]
+			if sub == nil {
+				continue
+			}
+			locks := make([]string, 0, len(sub))
+			for l := range sub {
+				locks = append(locks, l)
+			}
+			sort.Strings(locks)
+			for _, to := range locks {
+				trail := sub[to]
+				site := trail[len(trail)-1]
+				via := append([]token.Position{call.pos}, trail[:len(trail)-1]...)
+				for _, from := range call.held {
+					if from == to {
+						continue
+					}
+					addEdge(lockEdge{from: from, to: to, site: site, via: via})
+				}
+			}
+		}
+	}
+
+	lf.cycles = findLockCycles(edges)
+}
+
+func witnessLess(a, b lockEdge) bool {
+	if !posEq(a.site, b.site) {
+		return posLess(a.site, b.site)
+	}
+	return len(a.via) < len(b.via)
+}
+
+func posEq(a, b token.Position) bool {
+	return a.Filename == b.Filename && a.Line == b.Line && a.Column == b.Column
+}
+
+// findLockCycles enumerates the elementary cycles of the edge graph,
+// canonicalized to start at their lexicographically-smallest lock, in
+// deterministic order.
+func findLockCycles(edges map[[2]string]lockEdge) []lockCycle {
+	adj := map[string][]string{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var cycles []lockCycle
+	const maxCycles, maxLen = 64, 8
+	var path []string
+	onPath := map[string]bool{}
+	var dfs func(start, at string)
+	dfs = func(start, at string) {
+		if len(cycles) >= maxCycles || len(path) > maxLen {
+			return
+		}
+		for _, next := range adj[at] {
+			if next < start {
+				continue // cycles are discovered from their smallest node
+			}
+			if next == start {
+				locks := append([]string{}, path...)
+				var es []lockEdge
+				for i := range locks {
+					es = append(es, edges[[2]string{locks[i], locks[(i+1)%len(locks)]}])
+				}
+				cycles = append(cycles, lockCycle{locks: locks, edges: es})
+				continue
+			}
+			if onPath[next] {
+				continue
+			}
+			path = append(path, next)
+			onPath[next] = true
+			dfs(start, next)
+			onPath[next] = false
+			path = path[:len(path)-1]
+		}
+	}
+	for _, n := range nodes {
+		path = append(path[:0], n)
+		onPath = map[string]bool{n: true}
+		dfs(n, n)
+	}
+	return cycles
+}

@@ -1,0 +1,105 @@
+package lint
+
+// The cross-package summary store. Intra-procedural dataflow answers
+// path questions inside one function; call-graph-shaped facts — which
+// locks a callee may acquire, whether a helper a checker calls is
+// pure — need per-function summaries visible across packages. The
+// store is filled by the analyzers' Summarize phase, which lint.Run
+// drives over every loaded package before any Run pass, and is then
+// read (and lazily finalized into global facts: the lock-order graph,
+// the purity verdicts) during the per-package passes.
+//
+// Functions are keyed by a stable string identity (funcID) rather
+// than by *types.Func: every package is type-checked separately, so
+// the same function is a different types object seen from its own
+// source check and from a dependent's export-data import. FullName
+// ("(*neat/internal/netsim.Network).Pause") is identical from both
+// sides. Function literals get positional identities scoped to their
+// enclosing declaration ("pkg.Fn$1", in source order), since nothing
+// outside the enclosing function can name them.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// A Store accumulates cross-package facts during the Summarize phase.
+type Store struct {
+	locks  *lockFacts
+	purity *purityFacts
+}
+
+// NewStore returns an empty summary store.
+func NewStore() *Store { return &Store{} }
+
+func (s *Store) lockFacts() *lockFacts {
+	if s.locks == nil {
+		s.locks = newLockFacts()
+	}
+	return s.locks
+}
+
+func (s *Store) purityFacts() *purityFacts {
+	if s.purity == nil {
+		s.purity = newPurityFacts()
+	}
+	return s.purity
+}
+
+// funcID returns the stable cross-package identity of fn.
+func funcID(fn *types.Func) string { return fn.FullName() }
+
+// unitIDs assigns a funcID to every funcUnit of a file: declarations
+// get their types identity, lits get "<parent>$<n>" in source order.
+func unitIDs(p *Pass, units []funcUnit) []string {
+	ids := make([]string, len(units))
+	litSeq := 0
+	parent := ""
+	for i, u := range units {
+		if u.decl != nil {
+			if fn, ok := p.Info.Defs[u.decl.Name].(*types.Func); ok && fn != nil {
+				parent = funcID(fn)
+			} else {
+				parent = fmt.Sprintf("%s.%s@%d", p.PkgPath, u.decl.Name.Name, p.Fset.Position(u.decl.Pos()).Line)
+			}
+			litSeq = 0
+			ids[i] = parent
+			continue
+		}
+		litSeq++
+		ids[i] = fmt.Sprintf("%s$%d", parent, litSeq)
+	}
+	return ids
+}
+
+// staticCallee resolves a call expression to the funcID of its
+// statically-known callee: a package function, a method (including
+// interface methods — resolved to the interface's method, which is
+// how clock.Clock calls are recognized), or nothing for builtins,
+// function values, and conversions.
+func staticCallee(p *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, false
+	}
+	return fn, true
+}
+
+// summarizable reports whether this pass's package participates in
+// the Summarize phase: external test packages and test files are the
+// analyzers' blind spot by design — test drivers run outside the
+// simulation's contracts.
+func summarizable(p *Pass) bool {
+	return !strings.HasSuffix(p.PkgPath, "_test")
+}

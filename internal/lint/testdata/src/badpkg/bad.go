@@ -7,9 +7,11 @@ package badpkg
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"neat/internal/clock"
+	"neat/internal/history"
 	"neat/internal/netsim"
 	"neat/internal/transport"
 )
@@ -41,4 +43,52 @@ func (n *noisy) Spawn() {
 // ambiguity: the silent-success window is dropped on the floor.
 func Fire(ep *transport.Endpoint, dst netsim.NodeID) {
 	ep.Call(dst, "ping", nil, time.Second)
+}
+
+// timerleak: the error path returns without stopping the ticker.
+func (n *noisy) Tick(down bool) error {
+	t := n.clk.NewTicker(time.Second)
+	if down {
+		return fmt.Errorf("down")
+	}
+	<-t.C()
+	t.Stop()
+	return nil
+}
+
+// tokenbalance: the panic path unwinds past the inline release.
+func (n *noisy) Work(bad bool) {
+	clock.Acquire(n.clk)
+	if bad {
+		panic("wedged")
+	}
+	clock.Release(n.clk)
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// lockorder: A-then-B here, B-then-A below — an acquisition cycle.
+func BothAB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func BothBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var checked int
+
+// checkerpurity: a history checker mutating package state.
+func CheckNothing(h history.History) []history.Violation {
+	checked++
+	return nil
 }

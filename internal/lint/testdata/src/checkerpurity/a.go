@@ -1,0 +1,69 @@
+// Package checkerpurity exercises the checker-purity call-graph walk:
+// impurity directly in a checker, reached through helpers and nested
+// closures, History mutation and in-place sorting — and the silent
+// shapes: pure checkers, and impure functions no checker reaches.
+package checkerpurity
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"neat/internal/history"
+)
+
+var hits int
+
+// A checker writing package state.
+func CheckCounts(h history.History) []history.Violation {
+	hits++ // want `writes package-level state hits`
+	return nil
+}
+
+// A checker reaching the wall clock through a helper.
+func CheckFresh(h history.History) []history.Violation {
+	if stale() {
+		return nil
+	}
+	return nil
+}
+
+func stale() bool {
+	return time.Now().IsZero() // want `reads the wall clock`
+}
+
+// Sorting the shared History reorders the recorder's slice under
+// every other checker.
+func CheckSorted(h history.History) []history.Violation {
+	sort.Slice(h, func(i, j int) bool { return i < j }) // want `sorts the History argument h in place`
+	return nil
+}
+
+// Overwriting an element corrupts the shared history.
+func CheckScrub(h history.History) []history.Violation {
+	h[0] = history.Op{} // want `mutates the History argument h in place`
+	return nil
+}
+
+// The closure runs under the checker: its impurity counts.
+func CheckNested(h history.History) []history.Violation {
+	debug := func() {
+		println("checking") // want `writes to stderr`
+	}
+	debug()
+	return nil
+}
+
+// Pure: reads, allocates, formats — fine.
+func CheckPure(h history.History) []history.Violation {
+	var out []history.Violation
+	for _, op := range h {
+		_ = fmt.Sprintf("%v", op)
+	}
+	return out
+}
+
+// Impure but unreachable from any checker: out of scope.
+func logStats() {
+	fmt.Println("stats")
+}

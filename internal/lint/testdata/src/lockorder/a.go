@@ -1,0 +1,99 @@
+// Package lockorder exercises the inter-procedural acquisition-order
+// graph: a direct two-lock cycle, a cycle closed through a call chain,
+// and the shapes that must stay silent — consistent ordering, deferred
+// unlocks, goroutine separation, and same-class instance pairs.
+package lockorder
+
+import "sync"
+
+var mu1, mu2 sync.Mutex
+
+// The A->B half of the direct cycle.
+func firstThenSecond() {
+	mu1.Lock()
+	mu2.Lock() // want `lock acquisition cycle`
+	mu2.Unlock()
+	mu1.Unlock()
+}
+
+// The B->A half.
+func secondThenFirst() {
+	mu2.Lock()
+	mu1.Lock()
+	mu1.Unlock()
+	mu2.Unlock()
+}
+
+var mu3, mu4 sync.Mutex
+
+// Half a cycle through a call: mu3 held across the call into
+// grabFourth.
+func thirdThenCall() {
+	mu3.Lock()
+	grabFourth()
+	mu3.Unlock()
+}
+
+func grabFourth() {
+	mu4.Lock() // want `lock acquisition cycle`
+	mu4.Unlock()
+}
+
+// The reverse order closes the cycle directly.
+func fourthThenThird() {
+	mu4.Lock()
+	mu3.Lock()
+	mu3.Unlock()
+	mu4.Unlock()
+}
+
+var mu5, mu6 sync.Mutex
+
+// Consistent ordering everywhere, deferred unlocks included: silent.
+func orderedA() {
+	mu5.Lock()
+	defer mu5.Unlock()
+	mu6.Lock()
+	defer mu6.Unlock()
+}
+
+func orderedB() {
+	mu5.Lock()
+	mu6.Lock()
+	mu6.Unlock()
+	mu5.Unlock()
+}
+
+var mu7, mu8 sync.Mutex
+
+// Holding mu7 while spawning a goroutine that locks mu8 orders
+// nothing: the spawned goroutine starts lock-free.
+func spawnWhileHolding() {
+	mu7.Lock()
+	go lockEighth()
+	mu7.Unlock()
+}
+
+func lockEighth() {
+	mu8.Lock()
+	mu8.Unlock()
+}
+
+// So the reverse order elsewhere is not a cycle.
+func eighthThenSeventh() {
+	mu8.Lock()
+	mu7.Lock()
+	mu7.Unlock()
+	mu8.Unlock()
+}
+
+type node struct{ mu sync.Mutex }
+
+// Two instances of one class: the abstraction cannot tell them apart,
+// so the self-edge is skipped rather than reported.
+func handover(a, b *node) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,131 @@
+// Package timerleak exercises the may-be-unstopped timer dataflow:
+// leaks on early returns and panic paths, and every kill — Stop on all
+// paths, deferred Stop, escape to a new owner — plus the CFG corner
+// cases (defer-in-loop, labeled break, panic/recover).
+package timerleak
+
+import (
+	"errors"
+	"time"
+
+	"neat/internal/clock"
+)
+
+type svc struct {
+	clk  clock.Clock
+	tick clock.Ticker
+}
+
+// The error path returns before Stop.
+func (s *svc) leakOnError(down bool) error {
+	t := s.clk.NewTicker(time.Second) // want `may not reach Stop on every path`
+	if down {
+		return errors.New("down")
+	}
+	<-t.C()
+	t.Stop()
+	return nil
+}
+
+// Every normal path stops, but only a deferred Stop survives a panic
+// unwind.
+func (s *svc) leakOnPanic(bad bool) {
+	t := s.clk.NewTimer(time.Second) // want `not stopped on a panic path`
+	if bad {
+		panic("bad")
+	}
+	t.Stop()
+}
+
+// Discarded outright: nothing can ever stop it.
+func (s *svc) discard() {
+	s.clk.NewTicker(time.Second) // want `result of NewTicker discarded`
+}
+
+// Deferred Stop covers every exit, panics included.
+func (s *svc) deferred(bad bool) {
+	t := s.clk.NewTimer(time.Second)
+	defer t.Stop()
+	if bad {
+		panic("bad")
+	}
+	<-t.C()
+}
+
+// Stop on both arms of the branch: clean.
+func (s *svc) bothArms(fast bool) {
+	t := s.clk.NewTimer(time.Second)
+	if fast {
+		t.Stop()
+		return
+	}
+	<-t.C()
+	t.Stop()
+}
+
+// Handing the ticker to a spawned loop transfers the Stop obligation.
+func (s *svc) handoff(stop chan struct{}) {
+	t := s.clk.NewTicker(time.Second)
+	go func() {
+		defer t.Stop()
+		<-stop
+	}()
+}
+
+// Storing into a field transfers ownership to the struct's Close path.
+func (s *svc) stash() {
+	s.tick = s.clk.NewTicker(time.Second)
+}
+
+// Defer-in-loop: each iteration's registration is conditional on the
+// iteration executing, and each deferred Stop covers its ticker.
+func (s *svc) deferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		t := s.clk.NewTicker(time.Second)
+		defer t.Stop()
+	}
+}
+
+// Labeled break: the exit through the label still passes Stop.
+func (s *svc) labeledBreak(stop chan struct{}) {
+	t := s.clk.NewTicker(time.Second)
+outer:
+	for {
+		select {
+		case <-t.C():
+		case <-stop:
+			break outer
+		}
+	}
+	t.Stop()
+}
+
+// The return inside the select skips the Stop after the labeled loop.
+func (s *svc) labeledLeak(stop chan struct{}, drop bool) {
+	t := s.clk.NewTicker(time.Second) // want `may not reach Stop on every path`
+outer:
+	for {
+		select {
+		case <-t.C():
+			if drop {
+				return
+			}
+		case <-stop:
+			break outer
+		}
+	}
+	t.Stop()
+}
+
+// A deferred recover-closure that stops the timer discharges the
+// obligation on both the normal and the panicking exit.
+func (s *svc) recoverStop(bad bool) {
+	t := s.clk.NewTimer(time.Second)
+	defer func() {
+		recover()
+		t.Stop()
+	}()
+	if bad {
+		panic("bad")
+	}
+}

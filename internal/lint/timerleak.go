@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TimerLeak reports clock.Timer/clock.Ticker values that may never
+// reach Stop on some path to the function's exit — including early
+// error returns and explicit panic paths. Under clock.Sim a leaked
+// ticker is a standing appointment with the scheduler: quiescence
+// auto-advance always finds a next deadline, the round never settles,
+// and the failure only surfaces minutes later as a wall-clock
+// watchdog engine-error with no pointer back to the leak site. The
+// analysis is a forward may-be-unstopped dataflow over the function's
+// CFG (lostcancel-shaped): creating a timer or ticker gens a fact;
+// calling Stop, deferring a Stop (directly or inside a deferred
+// closure), or letting the value escape the function — returned,
+// passed to a call, captured by a spawned or stored closure, written
+// to a field — kills it, on the grounds that whoever received the
+// value owns the Stop obligation. clock.AfterFunc timers are exempt:
+// they self-complete, and netsim's delivery fabric depends on exactly
+// that. Test files and internal/clock itself are out of scope.
+var TimerLeak = &Analyzer{
+	Name: "timerleak",
+	Doc: "require every clock.Clock NewTimer/NewTicker result to reach Stop (or escape to a new owner) " +
+		"on all paths, including early returns and panics; a leaked timer wedges Sim quiescence",
+	Run: runTimerLeak,
+}
+
+func runTimerLeak(p *Pass) error {
+	if p.PkgPath == clockPkgPath || !summarizable(p) || !importsTransitively(p, clockPkgPath) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, u := range funcUnits(f) {
+			checkTimerUnit(p, u)
+		}
+	}
+	return nil
+}
+
+// importsTransitively reports whether the package can see path at all
+// — directly or through any import. Creation sites are recognized by
+// result type, which can flow through re-exporting helpers, so scope
+// is wider than direct importers.
+func importsTransitively(p *Pass, path string) bool {
+	if p.Pkg == nil {
+		return false
+	}
+	seen := map[*types.Package]bool{}
+	var visit func(pkg *types.Package) bool
+	visit = func(pkg *types.Package) bool {
+		if pkg.Path() == path {
+			return true
+		}
+		if seen[pkg] {
+			return false
+		}
+		seen[pkg] = true
+		for _, im := range pkg.Imports() {
+			if visit(im) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, im := range p.Pkg.Imports() {
+		if visit(im) {
+			return true
+		}
+	}
+	return false
+}
+
+// A timerSite is one tracked creation: the call, the variable it was
+// bound to, and what was created.
+type timerSite struct {
+	pos  token.Pos
+	obj  types.Object // nil when the result was discarded
+	kind string       // "NewTimer", "NewTicker", "NewWakeTimer"
+}
+
+func checkTimerUnit(p *Pass, u funcUnit) {
+	g := buildCFG(u.body)
+	reach := g.reachable()
+
+	// Collect creation sites in deterministic (block, node) order.
+	var sites []*timerSite
+	siteBits := map[types.Object]uint64{} // kill mask per bound variable
+	for _, b := range reach {
+		for _, n := range b.nodes {
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := timerCreationKind(p, call)
+				if !ok {
+					return true
+				}
+				if len(sites) >= 64 {
+					return true // bitmask capacity; no real function comes close
+				}
+				obj, discarded := boundVar(p, n, call)
+				if discarded {
+					p.Reportf(call.Pos(),
+						"result of %s discarded: the %s can never be stopped and will wedge Sim quiescence; bind it and defer Stop",
+						kind, timerNoun(kind))
+					return true
+				}
+				if obj == nil {
+					// Escaped at birth — returned or passed directly;
+					// the receiver owns the Stop obligation.
+					return true
+				}
+				sites = append(sites, &timerSite{pos: call.Pos(), kind: kind, obj: obj})
+				siteBits[obj] |= uint64(1) << (len(sites) - 1)
+				return true
+			})
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	transfer := func(b *cfgBlock, in uint64) uint64 {
+		facts := in
+		for _, n := range b.nodes {
+			facts = timerNodeTransfer(p, n, sites, siteBits, facts)
+		}
+		return facts
+	}
+	in := forward(g, 0, bitLattice(transfer))
+
+	leakedExit := in[g.exit.index]
+	leakedPanic := in[g.panicExit.index]
+	for i, s := range sites {
+		bit := uint64(1) << i
+		switch {
+		case leakedExit&bit != 0:
+			p.Reportf(s.pos,
+				"%s result %q may not reach Stop on every path (early return leaks the %s and wedges Sim quiescence); defer %s.Stop() after creation",
+				s.kind, objName(s.obj), timerNoun(s.kind), objName(s.obj))
+		case leakedPanic&bit != 0:
+			p.Reportf(s.pos,
+				"%s result %q is not stopped on a panic path; only a deferred Stop survives the unwind — defer %s.Stop() after creation",
+				s.kind, objName(s.obj), objName(s.obj))
+		}
+	}
+}
+
+// timerNodeTransfer applies one statement's gen/kill effects.
+func timerNodeTransfer(p *Pass, n ast.Node, sites []*timerSite, siteBits map[types.Object]uint64, facts uint64) uint64 {
+	// Defers kill: a deferred v.Stop() (or a deferred closure that
+	// stops v, or a deferred call receiving v) runs on every later
+	// exit, normal or panicking.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for obj, bits := range siteBits {
+			if deferStops(p, d, obj) {
+				facts &^= bits
+			}
+		}
+		return facts
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			// Gen: a creation site reached here.
+			for i, s := range sites {
+				if s.pos == m.Pos() {
+					facts |= uint64(1) << i
+				}
+			}
+			// Kill: v.Stop().
+			if obj := stopReceiver(p, m); obj != nil {
+				facts &^= siteBits[obj]
+			}
+		case *ast.GoStmt:
+			// A spawned body that stops (or receives) the value owns it.
+			for obj, bits := range siteBits {
+				if facts&bits != 0 && nodeUsesObj(p, m.Call, obj) {
+					facts &^= bits
+				}
+			}
+		case *ast.Ident:
+			// Any other use — returned, passed, stored, captured —
+			// escapes the value to a new owner. Receiving from v.C()
+			// and calling v.Stop()/v.Reset() do not escape.
+			obj := p.Info.Uses[m]
+			if obj == nil || siteBits[obj] == 0 {
+				return true
+			}
+			if isTimerSelfUse(p, m) || isAssignTarget(p, m) {
+				return true
+			}
+			facts &^= siteBits[obj]
+		}
+		return true
+	})
+	return facts
+}
+
+// timerCreationKind recognizes calls whose result is a clock.Timer or
+// clock.Ticker that the caller must stop: the Clock interface's
+// NewTimer/NewTicker (through any implementation or wrapper) and
+// clock.NewWakeTimer. AfterFunc is exempt — it self-completes.
+func timerCreationKind(p *Pass, call *ast.CallExpr) (string, bool) {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	if !isClockTimerType(tv.Type) {
+		return "", false
+	}
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	switch name {
+	case "NewTimer", "NewTicker", "NewWakeTimer":
+		return name, true
+	}
+	return "", false
+}
+
+// isClockTimerType reports whether t is clock.Timer or clock.Ticker.
+func isClockTimerType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != clockPkgPath {
+		return false
+	}
+	return obj.Name() == "Timer" || obj.Name() == "Ticker"
+}
+
+// boundVar resolves the variable a creation call binds, walking the
+// enclosing statement: t := clk.NewTicker(d), t = ..., var t = ... .
+// discarded is true when the result is dropped outright (an ExprStmt
+// or a blank assignment); a nil obj with discarded false means the
+// value flows into a larger expression — returned or passed directly
+// — and escapes at birth to a new owner.
+func boundVar(p *Pass, stmt ast.Node, call *ast.CallExpr) (obj types.Object, discarded bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			if ast.Unparen(rhs) == call && i < len(s.Lhs) {
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					return nil, false // field/element target: stored away
+				}
+				if id.Name == "_" {
+					return nil, true
+				}
+				if obj := p.Info.Defs[id]; obj != nil {
+					return obj, false
+				}
+				return p.Info.Uses[id], false
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					if ast.Unparen(v) == call && i < len(vs.Names) {
+						if vs.Names[i].Name == "_" {
+							return nil, true
+						}
+						return p.Info.Defs[vs.Names[i]], false
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if ast.Unparen(s.X) == call {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// stopReceiver resolves v from a v.Stop() call, nil otherwise.
+func stopReceiver(p *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stop" {
+		return nil
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return p.Info.Uses[id]
+	}
+	return nil
+}
+
+// deferStops reports whether the deferred call discharges obj's Stop
+// obligation: defer v.Stop(), a deferred closure whose body uses v,
+// or v passed to the deferred call.
+func deferStops(p *Pass, d *ast.DeferStmt, obj types.Object) bool {
+	if recv := stopReceiver(p, d.Call); recv == obj {
+		return true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && nodeUsesObj(p, lit.Body, obj) {
+		return true
+	}
+	for _, arg := range d.Call.Args {
+		if nodeUsesObj(p, arg, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeUsesObj reports whether any identifier under n (including
+// inside nested function literals) resolves to obj.
+func nodeUsesObj(p *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTimerSelfUse reports whether id's use is v.Stop(), v.Reset(...),
+// or a v.C() receive — uses that neither escape nor abandon the value.
+func isTimerSelfUse(p *Pass, id *ast.Ident) bool {
+	parents := parentMap(fileOf(p, id.Pos()))
+	sel, ok := parents[id].(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Stop", "C", "Reset":
+		_, isCall := parents[sel].(*ast.CallExpr)
+		return isCall
+	}
+	return false
+}
+
+// isAssignTarget reports whether id is the target of an assignment
+// (an overwrite, not a read).
+func isAssignTarget(p *Pass, id *ast.Ident) bool {
+	parents := parentMap(fileOf(p, id.Pos()))
+	as, ok := parents[id].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == id {
+			return true
+		}
+	}
+	return false
+}
+
+// fileOf finds the pass file containing pos.
+func fileOf(p *Pass, pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return p.Files[0]
+}
+
+func timerNoun(kind string) string {
+	if strings.Contains(kind, "Ticker") {
+		return "ticker"
+	}
+	return "timer"
+}
+
+func objName(obj types.Object) string {
+	if obj == nil {
+		return "_"
+	}
+	return obj.Name()
+}

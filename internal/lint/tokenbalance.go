@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Busy-token flavours. Transfer tokens (Acquire/Release) follow a
+// unit of work between goroutines; scoped tokens (AcquireScoped/
+// ReleaseScoped) bind to the calling goroutine and are surrendered
+// while it parks in a clock wait; gid-scoped tokens (AcquireScopedAs/
+// ReleaseScopedAs) bind to another goroutine's scope. A token of one
+// flavour can only be retired by its own flavour's release (or, for
+// transfer tokens, rebound by BecomeScoped).
+type tokenFlavour int
+
+const (
+	tokenTransfer tokenFlavour = iota
+	tokenScoped
+	tokenGid
+	tokenNone
+)
+
+func (fl tokenFlavour) String() string {
+	switch fl {
+	case tokenTransfer:
+		return "transfer"
+	case tokenScoped:
+		return "scoped"
+	case tokenGid:
+		return "gid-scoped"
+	}
+	return "?"
+}
+
+// acquireFlavours maps internal/clock's token entry points to the
+// flavour they acquire, releaseFlavours to the flavour they retire.
+// BecomeScoped retires a transfer token (rebinding it into the
+// goroutine's scope, where it becomes a scoped obligation).
+var acquireFlavours = map[string]tokenFlavour{
+	"Acquire":         tokenTransfer,
+	"AcquireScoped":   tokenScoped,
+	"AcquireScopedAs": tokenGid,
+}
+
+var releaseFlavours = map[string]tokenFlavour{
+	"Release":         tokenTransfer,
+	"BecomeScoped":    tokenTransfer,
+	"ReleaseScoped":   tokenScoped,
+	"ReleaseScopedAs": tokenGid,
+}
+
+// TokenBalance reports busy-token acquisitions that may never be
+// released on some path to the function's exit — including early
+// error returns and explicit panic paths. The busy-token ledger is
+// what lets clock.Sim decide "the system is quiescent, advance to the
+// next timer": a token acquired and never released freezes virtual
+// time forever (the round wedges until the wall-clock watchdog kills
+// it), while a silently unbalanced path that releases elsewhere makes
+// the freeze schedule-dependent — the worst kind of flaky. The
+// analysis is a forward may-be-outstanding dataflow per function:
+// clock.Acquire/AcquireScoped/AcquireScopedAs (package helpers or
+// Busy methods) gen a fact of their flavour; a release of the same
+// flavour — inline, deferred, deferred inside a closure, or inside a
+// spawned goroutine body that takes ownership of the handoff — kills
+// it. Releases without a matching local acquire are the transfer
+// scheme working as designed (the token arrived from another
+// goroutine) and are never reported. Test files and internal/clock
+// itself are out of scope.
+var TokenBalance = &Analyzer{
+	Name: "tokenbalance",
+	Doc: "require every busy-token Acquire/AcquireScoped to reach a same-flavour Release on all paths " +
+		"(early returns and panics included); an unreleased token freezes Sim quiescence",
+	Run: runTokenBalance,
+}
+
+func runTokenBalance(p *Pass) error {
+	if p.PkgPath == clockPkgPath || !summarizable(p) || !p.Imports(clockPkgPath) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, u := range funcUnits(f) {
+			checkTokenUnit(p, u)
+		}
+	}
+	return nil
+}
+
+// A tokenSite is one tracked acquisition.
+type tokenSite struct {
+	pos     token.Pos
+	flavour tokenFlavour
+	name    string // the acquiring call's name, for the message
+}
+
+func checkTokenUnit(p *Pass, u funcUnit) {
+	g := buildCFG(u.body)
+	reach := g.reachable()
+
+	var sites []*tokenSite
+	for _, b := range reach {
+		for _, n := range b.nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue // a deferred acquire would be perverse; ignore
+			}
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, fl := tokenCallFlavour(p, call, acquireFlavours)
+				if fl == tokenNone || len(sites) >= 64 {
+					return true
+				}
+				sites = append(sites, &tokenSite{pos: call.Pos(), flavour: fl, name: name})
+				return true
+			})
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+	flavourMask := func(fl tokenFlavour) uint64 {
+		var m uint64
+		for i, s := range sites {
+			if s.flavour == fl {
+				m |= uint64(1) << i
+			}
+		}
+		return m
+	}
+
+	transfer := func(b *cfgBlock, in uint64) uint64 {
+		facts := in
+		for _, n := range b.nodes {
+			facts = tokenNodeTransfer(p, n, sites, flavourMask, facts)
+		}
+		return facts
+	}
+	in := forward(g, 0, bitLattice(transfer))
+
+	leakedExit := in[g.exit.index]
+	leakedPanic := in[g.panicExit.index]
+	for i, s := range sites {
+		bit := uint64(1) << i
+		switch {
+		case leakedExit&bit != 0:
+			p.Reportf(s.pos,
+				"busy token from %s may not be released on every path: an outstanding %s token freezes Sim quiescence until the watchdog kills the round; release it (or defer the release) before every return",
+				s.name, s.flavour)
+		case leakedPanic&bit != 0:
+			p.Reportf(s.pos,
+				"busy token from %s is not released on a panic path: only a deferred release survives the unwind; defer the %s-flavour release",
+				s.name, s.flavour)
+		}
+	}
+}
+
+// tokenNodeTransfer applies one statement's gen/kill effects. Any
+// release of flavour fl kills every outstanding site of fl: tokens
+// are counters, not values, so a release balances whichever
+// acquisition is outstanding. (Two simultaneous outstanding tokens
+// balanced by one release slip through — acceptable for an analyzer
+// that must never cry wolf; no function in this codebase holds two.)
+func tokenNodeTransfer(p *Pass, n ast.Node, sites []*tokenSite, flavourMask func(tokenFlavour) uint64, facts uint64) uint64 {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// defer clock.Release(c) / defer clock.ReleaseScoped(c) — or a
+		// deferred closure performing the release — runs on every
+		// later exit, normal or panicking.
+		if _, fl := tokenCallFlavour(p, d.Call, releaseFlavours); fl != tokenNone {
+			return facts &^ flavourMask(fl)
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			for _, fl := range nestedReleaseFlavours(p, lit.Body) {
+				facts &^= flavourMask(fl)
+			}
+		}
+		return facts
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			for i, s := range sites {
+				if s.pos == m.Pos() {
+					facts |= uint64(1) << i
+				}
+			}
+			if _, fl := tokenCallFlavour(p, m, releaseFlavours); fl != tokenNone {
+				facts &^= flavourMask(fl)
+			}
+		case *ast.GoStmt:
+			// The handoff idiom: acquire, then spawn a body that
+			// releases — ownership of the token moves to the spawned
+			// goroutine. clock.Go performs exactly this internally.
+			if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+				for _, fl := range nestedReleaseFlavours(p, lit.Body) {
+					facts &^= flavourMask(fl)
+				}
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+// tokenCallFlavour resolves a call against one of the flavour tables:
+// a package-level helper (clock.Acquire(c)) or a Busy method
+// (b.Acquire()), both living in internal/clock.
+func tokenCallFlavour(p *Pass, call *ast.CallExpr, table map[string]tokenFlavour) (string, tokenFlavour) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", tokenNone
+	}
+	fl, ok := table[sel.Sel.Name]
+	if !ok {
+		return "", tokenNone
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != clockPkgPath {
+		return "", tokenNone
+	}
+	if p.PkgNameOf(sel.X) == clockPkgPath {
+		return "clock." + sel.Sel.Name, fl
+	}
+	return sel.Sel.Name, fl
+}
+
+// nestedReleaseFlavours lists the flavours released anywhere under
+// body, nested lits included.
+func nestedReleaseFlavours(p *Pass, body ast.Node) []tokenFlavour {
+	seen := map[tokenFlavour]bool{}
+	var out []tokenFlavour
+	ast.Inspect(body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, fl := tokenCallFlavour(p, call, releaseFlavours); fl != tokenNone && !seen[fl] {
+			seen[fl] = true
+			out = append(out, fl)
+		}
+		return true
+	})
+	return out
+}

@@ -234,6 +234,7 @@ func (e *Endpoint) receive(pkt netsim.Packet) {
 		// write lock — can never miss a token.
 		e.mu.RLock()
 		if p := e.pending[env.ID]; p != nil {
+			//neat:allow tokenbalance -- transfer handoff: the send moves the token to the waiting Call, which releases it after consuming the reply
 			clock.Acquire(e.clk)
 			select {
 			case p.ch <- env:
@@ -265,6 +266,7 @@ func (e *Endpoint) receive(pkt netsim.Packet) {
 		e.mu.RUnlock()
 		return
 	}
+	//neat:allow tokenbalance -- gid-scoped handoff: the enqueue binds the token to the dispatcher, which releases it after serving; Close drains leftovers
 	clock.AcquireScopedAs(e.clk, e.dispGid)
 	select {
 	case e.inbox <- pkt:
